@@ -1,0 +1,78 @@
+// Table 3 (closure-cost block): regenerates the paper's #Tx / weight-unit
+// figures for all eight schemes, symbolically in m and at sample HTLC
+// counts, and cross-validates the Daric column against byte-exact
+// transactions produced by the executable engine on the ledger.
+#include <iostream>
+
+#include "src/costmodel/table3.h"
+#include "src/daric/protocol.h"
+#include "src/tx/weight.h"
+
+namespace {
+
+using namespace daric;  // NOLINT
+using sim::PartyId;
+
+channel::ChannelParams make_params(const std::string& id, Amount a, Amount b) {
+  channel::ChannelParams p;
+  p.id = id;
+  p.cash_a = a;
+  p.cash_b = b;
+  p.t_punish = 6;
+  return p;
+}
+
+double measured_daric_dishonest() {
+  sim::Environment env(2, crypto::schnorr_scheme());
+  daricch::DaricChannel ch(env, make_params("t3-dis", 50'000, 50'000));
+  ch.create();
+  ch.update({30'000, 70'000, {}});
+  ch.publish_old_commit(PartyId::kA, 0);
+  ch.run_until_closed();
+  const auto commit = env.ledger().spender_of(ch.funding_outpoint());
+  const auto rv = env.ledger().spender_of({commit->txid(), 0});
+  return static_cast<double>(tx::measure(*commit).weight() + tx::measure(*rv).weight());
+}
+
+double measured_daric_noncollab() {
+  sim::Environment env(2, crypto::schnorr_scheme());
+  daricch::DaricChannel ch(env, make_params("t3-nc", 50'000, 50'000));
+  ch.create();
+  ch.update({30'000, 70'000, {}});
+  ch.party(PartyId::kA).force_close();
+  ch.run_until_closed();
+  const auto commit = env.ledger().spender_of(ch.funding_outpoint());
+  const auto split = env.ledger().spender_of({commit->txid(), 0});
+  return static_cast<double>(tx::measure(*commit).weight() + tx::measure(*split).weight());
+}
+
+}  // namespace
+
+int main() {
+  costmodel::print_table3(std::cout, -1);  // symbolic in m
+  std::cout << "\n";
+  for (int m : {0, 1, 7}) {
+    costmodel::print_table3(std::cout, m);
+    std::cout << "\n";
+  }
+
+  std::cout << "Cross-validation against the executable Daric engine\n";
+  std::cout << "(byte-exact serialized transactions accepted by the ledger):\n";
+  const double dis_measured = measured_daric_dishonest();
+  const double dis_paper = costmodel::dishonest_closure(costmodel::Scheme::kDaric, 0).weight;
+  std::cout << "  dishonest closure : paper " << dis_paper << " WU, measured " << dis_measured
+            << " WU (delta " << dis_measured - dis_paper << ")\n";
+  const double nc_measured = measured_daric_noncollab();
+  const double nc_paper = costmodel::noncollab_closure(costmodel::Scheme::kDaric, 0).weight;
+  std::cout << "  non-collab closure: paper " << nc_paper << " WU, measured " << nc_measured
+            << " WU (delta " << nc_measured - nc_paper << ")\n";
+
+  std::cout << "\nHeadline comparisons (paper Sec. 7):\n";
+  std::cout << "  * Daric dishonest closure (1239 WU) is the cheapest of all schemes for m >= 1\n";
+  std::cout << "  * Daric non-collab beats Lightning for m > 6: LN("
+            << costmodel::noncollab_closure(costmodel::Scheme::kLightning, 7).weight
+            << ") vs Daric("
+            << costmodel::noncollab_closure(costmodel::Scheme::kDaric, 7).weight
+            << ") at m = 7\n";
+  return 0;
+}

@@ -1,0 +1,241 @@
+#include "src/analysis/eltoo_attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/crypto/keys.h"
+#include "src/script/standard.h"
+#include "src/tx/sighash.h"
+#include "src/tx/weight.h"
+
+namespace daric::analysis {
+
+using script::SighashFlag;
+
+DelayAttackEconomics analyze_delay_attack(const DelayAttackParams& p) {
+  DelayAttackEconomics e;
+  const double pair_vbytes = 0.25 * p.pair_witness_bytes + p.pair_non_witness_bytes;
+  // One pair of the 100k-vB budget goes to the attacker's fee input/output.
+  e.channels_per_delay_tx = static_cast<int>(
+      (static_cast<double>(tx::kMaxTxVBytes) - pair_vbytes) / pair_vbytes);
+  e.delay_txs_before_expiry = static_cast<int>(
+      p.htlc_timelock_blocks / ledger::inclusion_delay(p.fee_market, p.fee_market.floor_feerate));
+  // The attacker pins each delay transaction's absolute fee just above A so
+  // no victim is willing to outbid it (Sec. 6.1).
+  e.fee_per_delay_tx = p.htlc_value;
+  e.total_attack_cost = static_cast<Amount>(e.delay_txs_before_expiry) * e.fee_per_delay_tx;
+  e.max_revenue = static_cast<Amount>(e.channels_per_delay_tx) * p.htlc_value;
+  e.profit = e.max_revenue - e.total_attack_cost;
+  e.profitable = e.profit > 0;
+  return e;
+}
+
+Round daric_reaction_bound(Round delta) {
+  // Once the stale commit confirms, the revocation transaction is the only
+  // transaction that can spend it for T > Δ rounds, and the ledger accepts
+  // any valid posted transaction within Δ rounds.
+  return delta;
+}
+
+namespace {
+
+// A scaled-down eltoo channel for the mempool simulation.
+struct SimChannel {
+  crypto::KeyPair upd_a, upd_b;
+  script::Script fund_script;
+  tx::OutPoint fund_op;
+  std::vector<tx::Transaction> update_bodies;      // per state, floating
+  std::vector<script::Script> output_scripts;      // per state
+  std::vector<Bytes> sig_a, sig_b;                 // SINGLE|ANYPREVOUT per state
+  tx::OutPoint tip;                                // current holder outpoint
+  std::uint32_t tip_state = 0;
+  bool tip_is_funding = true;
+};
+
+script::Script sim_update_script(const SimChannel& c, std::uint32_t state, std::uint32_t s0,
+                                 std::uint32_t csv) {
+  // Settlement keys do not matter for the delay dynamics; reuse upd keys.
+  script::Script s;
+  s.op(script::Op::OP_IF)
+      .num4(csv)
+      .op(script::Op::OP_CHECKSEQUENCEVERIFY)
+      .op(script::Op::OP_DROP)
+      .small_int(2)
+      .push(c.upd_a.pk.compressed())
+      .push(c.upd_b.pk.compressed())
+      .small_int(2)
+      .op(script::Op::OP_CHECKMULTISIG)
+      .op(script::Op::OP_ELSE)
+      .num4(s0 + state + 1)
+      .op(script::Op::OP_CHECKLOCKTIMEVERIFY)
+      .op(script::Op::OP_DROP)
+      .small_int(2)
+      .push(c.upd_a.pk.compressed())
+      .push(c.upd_b.pk.compressed())
+      .small_int(2)
+      .op(script::Op::OP_CHECKMULTISIG)
+      .op(script::Op::OP_ENDIF);
+  return s;
+}
+
+}  // namespace
+
+DelayAttackSimResult simulate_delay_attack(int channels, Round timelock_rounds,
+                                           Amount htlc_value,
+                                           const ledger::FeeMarketParams& market) {
+  DelayAttackSimResult result;
+  const Round delta = 1;
+  sim::Environment env(delta, crypto::schnorr_scheme());
+  ledger::Mempool mempool(env.ledger(), market);
+  const auto& scheme = env.scheme();
+  const std::uint32_t s0 = 0;
+  const std::uint32_t csv = 6;
+  const Amount capacity = 2 * htlc_value;
+
+  // How many stale states the attacker needs: one per delay transaction.
+  const Round per_tx_delay = ledger::inclusion_delay(market, market.floor_feerate);
+  const int delay_txs_needed =
+      static_cast<int>((timelock_rounds + per_tx_delay - 1) / per_tx_delay) + 1;
+  const std::uint32_t num_states = static_cast<std::uint32_t>(delay_txs_needed) + 2;
+  const std::uint32_t latest = num_states - 1;
+
+  std::vector<SimChannel> chans(static_cast<std::size_t>(channels));
+  for (int i = 0; i < channels; ++i) {
+    SimChannel& c = chans[static_cast<std::size_t>(i)];
+    const std::string base = "attack/ch" + std::to_string(i);
+    c.upd_a = crypto::derive_keypair(base + "/A");
+    c.upd_b = crypto::derive_keypair(base + "/B");
+    c.fund_script = script::multisig_2of2(c.upd_a.pk.compressed(), c.upd_b.pk.compressed());
+    c.fund_op = env.ledger().mint(capacity, tx::Condition::p2wsh(c.fund_script));
+    c.tip = c.fund_op;
+    for (std::uint32_t st = 0; st < num_states; ++st) {
+      tx::Transaction body;
+      body.nlocktime = s0 + st;
+      const script::Script out = sim_update_script(c, st, s0, csv);
+      body.outputs = {{capacity, tx::Condition::p2wsh(out)}};
+      // SIGHASH_SINGLE|ANYPREVOUT: the signature covers only (nLT, output
+      // at the input's index) — exactly what batching into TX_De needs.
+      body.inputs = {{c.fund_op}};  // placeholder; APO ignores it
+      c.update_bodies.push_back(body);
+      c.output_scripts.push_back(out);
+      c.sig_a.push_back(
+          tx::sign_input(body, 0, c.upd_a.sk, scheme, SighashFlag::kSingleAnyPrevOut));
+      c.sig_b.push_back(
+          tx::sign_input(body, 0, c.upd_b.sk, scheme, SighashFlag::kSingleAnyPrevOut));
+    }
+  }
+
+  // Attacker / victim fee wallets.
+  const crypto::KeyPair atk_key = crypto::derive_keypair("attack/attacker-fees");
+  const crypto::KeyPair vic_key = crypto::derive_keypair("attack/victim-fees");
+  const Amount atk_fee = htlc_value;       // pinned just at A
+  const Amount vic_fee = htlc_value / 10;  // victims will not outbid A
+
+  // Make all states' nLockTimes valid before the attack starts.
+  env.ledger().advance_rounds(num_states + 2);
+
+  auto add_fee_pair = [&](tx::Transaction& t, const crypto::KeyPair& key, Amount fee,
+                          Amount pad_vbytes) {
+    // Fee input; padding outputs emulate the 100k-vB batch so the fee rate
+    // stays at the relay floor (the attacker's stalling lever).
+    const Amount pad_outputs = std::max<Amount>(0, pad_vbytes / 31);
+    const Amount in_value = fee + pad_outputs;
+    const tx::OutPoint op =
+        env.ledger().mint(in_value, tx::Condition::p2wpkh(key.pk.compressed()));
+    t.inputs.push_back({op});
+    for (Amount k = 0; k < pad_outputs; ++k)
+      t.outputs.push_back({1, tx::Condition::p2wpkh(key.pk.compressed())});
+    const std::size_t idx = t.inputs.size() - 1;
+    t.witnesses.resize(t.inputs.size());
+    const Bytes sig = tx::sign_input(t, idx, key.sk, scheme, SighashFlag::kAll);
+    t.witnesses[idx].stack = {sig, key.pk.compressed()};
+  };
+
+  auto build_delay_tx = [&](std::uint32_t state) {
+    tx::Transaction t;
+    t.nlocktime = s0 + state;
+    for (SimChannel& c : chans) {
+      const std::size_t i = t.inputs.size();
+      t.inputs.push_back({c.tip});
+      t.outputs.push_back(c.update_bodies[state].outputs[0]);
+      t.witnesses.resize(t.inputs.size());
+      if (c.tip_is_funding) {
+        t.witnesses[i].stack = {Bytes{}, c.sig_a[state], c.sig_b[state]};
+        t.witnesses[i].witness_script = c.fund_script;
+      } else {
+        t.witnesses[i].stack = {Bytes{}, c.sig_a[state], c.sig_b[state], Bytes{}};
+        t.witnesses[i].witness_script = c.output_scripts[c.tip_state];
+      }
+    }
+    // Pad so the fee rate lands just above the relay floor despite the
+    // large fee (undershoot ~10% for the fee input's own vbytes).
+    const Amount base_vb = static_cast<Amount>(tx::measure(t).vbytes());
+    add_fee_pair(t, atk_key, atk_fee, atk_fee * 9 / 10 - base_vb);
+    return t;
+  };
+
+  auto build_victim_tx = [&](SimChannel& c) {
+    tx::Transaction t;
+    t.nlocktime = s0 + latest;
+    t.inputs.push_back({c.tip});
+    t.outputs.push_back(c.update_bodies[latest].outputs[0]);
+    t.witnesses.resize(1);
+    if (c.tip_is_funding) {
+      t.witnesses[0].stack = {Bytes{}, c.sig_a[latest], c.sig_b[latest]};
+      t.witnesses[0].witness_script = c.fund_script;
+    } else {
+      t.witnesses[0].stack = {Bytes{}, c.sig_a[latest], c.sig_b[latest], Bytes{}};
+      t.witnesses[0].witness_script = c.output_scripts[c.tip_state];
+    }
+    add_fee_pair(t, vic_key, vic_fee, 0);
+    return t;
+  };
+
+  const Round attack_start = env.now();
+  std::uint32_t next_state = 0;
+  Hash256 pending_delay_txid{};
+  bool have_pending = false;
+  std::vector<Hash256> victim_txids;
+
+  while (env.now() - attack_start < timelock_rounds) {
+    // Victims try to place the latest state whenever nothing conflicts.
+    const tx::Transaction victim_tx = build_victim_tx(chans[0]);
+    victim_txids.push_back(victim_tx.txid());
+    const auto vr = mempool.submit(victim_tx);
+    if (vr == ledger::MempoolResult::kRejectedRbfTooCheap) ++result.victim_replacements_rejected;
+
+    // The attacker (re)pins with the next stale state.
+    if (!have_pending && next_state < latest - 1) {
+      tx::Transaction delay = build_delay_tx(next_state);
+      const auto ar = mempool.submit(delay);
+      if (ar == ledger::MempoolResult::kAccepted || ar == ledger::MempoolResult::kReplaced) {
+        pending_delay_txid = delay.txid();
+        have_pending = true;
+        result.attacker_fees_paid += atk_fee;
+      }
+    }
+
+    mempool.advance_round();
+
+    if (have_pending && env.ledger().is_confirmed(pending_delay_txid)) {
+      // Delay tx landed: every channel's tip moved to the stale state.
+      for (std::size_t i = 0; i < chans.size(); ++i) {
+        chans[i].tip = {pending_delay_txid, static_cast<std::uint32_t>(i)};
+        chans[i].tip_state = next_state;
+        chans[i].tip_is_funding = false;
+      }
+      ++result.delay_txs_confirmed;
+      ++next_state;
+      have_pending = false;
+    }
+  }
+
+  result.victim_blocked_rounds = env.now() - attack_start;
+  // After the timelock: did any attempt to place the latest state land?
+  result.victim_blocked_past_timelock = std::none_of(
+      victim_txids.begin(), victim_txids.end(),
+      [&](const Hash256& id) { return env.ledger().is_confirmed(id); });
+  return result;
+}
+
+}  // namespace daric::analysis

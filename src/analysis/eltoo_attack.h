@@ -1,0 +1,59 @@
+// Sec. 6.1: the HTLC-delay attack against eltoo.
+//
+// Closed-form economics (the paper's April-2022 operating point) plus an
+// executable simulation: the adversary chains minimum-fee-rate "delay"
+// transactions that re-publish outdated channel states; victims cannot
+// replace them because BIP 125 demands a higher absolute fee than the
+// attacker chose (which exceeds the HTLC value A), and cannot confirm the
+// latest state until the HTLC timelock has expired.
+#pragma once
+
+#include "src/ledger/fee_market.h"
+#include "src/sim/environment.h"
+
+namespace daric::analysis {
+
+struct DelayAttackParams {
+  Amount htlc_value = 100'000;     // A, satoshis
+  int htlc_timelock_blocks = 432;  // 3 days of 10-minute blocks
+  ledger::FeeMarketParams fee_market{};  // floor 1 sat/vB, 3 blocks to confirm
+  // Appendix H.4: one eltoo input-output pair = 222 witness + 84 non-witness bytes.
+  double pair_witness_bytes = 222;
+  double pair_non_witness_bytes = 84;
+};
+
+struct DelayAttackEconomics {
+  int channels_per_delay_tx = 0;  // ≈ 715
+  int delay_txs_before_expiry = 0;  // ≈ 144
+  Amount fee_per_delay_tx = 0;      // the attacker pins it to ≥ A
+  Amount total_attack_cost = 0;     // delay_txs · A
+  Amount max_revenue = 0;           // channels_per_tx · A
+  Amount profit = 0;
+  bool profitable = false;
+};
+
+/// The paper's closed-form cost/benefit computation.
+DelayAttackEconomics analyze_delay_attack(const DelayAttackParams& p);
+
+struct DelayAttackSimResult {
+  int delay_txs_confirmed = 0;
+  int victim_replacements_rejected = 0;
+  Round victim_blocked_rounds = 0;  // rounds the latest state stayed off-chain
+  bool victim_blocked_past_timelock = false;
+  Amount attacker_fees_paid = 0;
+};
+
+/// Executable mempool-level simulation with `channels` victims. Uses
+/// SIGHASH_SINGLE|ANYPREVOUT to batch stale states exactly as Sec. 6.1
+/// describes. `timelock_rounds` is the (scaled-down) HTLC timelock.
+DelayAttackSimResult simulate_delay_attack(int channels, Round timelock_rounds,
+                                           Amount htlc_value,
+                                           const ledger::FeeMarketParams& market);
+
+/// Why the same attack fails against Daric: once an old commit confirms,
+/// the only transaction the ledger will accept for T rounds is the
+/// victim's revocation (checked by the Daric punish tests); returns the
+/// number of rounds within which the honest party's revocation lands.
+Round daric_reaction_bound(Round delta);
+
+}  // namespace daric::analysis

@@ -1,0 +1,46 @@
+#include "src/analysis/punishment.h"
+
+#include <algorithm>
+
+namespace daric::analysis {
+
+namespace {
+// Probability that the attack goes unanswered: not covered by a fair
+// watchtower AND the party itself fails to react.
+double unanswered(const PunishmentParams& params, double p) {
+  return (1.0 - params.watchtower_coverage) * (1.0 - p);
+}
+}  // namespace
+
+double eltoo_attack_ev(const PunishmentParams& params, double p) {
+  const double p0 = unanswered(params, p);
+  const auto c = static_cast<double>(params.channel_capacity);
+  const auto f = static_cast<double>(params.tx_fee);
+  // Revenue C_A − f with probability p0; loss f otherwise.
+  return (c - f) * p0 - f * (1.0 - p0);
+}
+
+double daric_attack_ev(const PunishmentParams& params, double p) {
+  const double p0 = unanswered(params, p);
+  const auto c = static_cast<double>(params.channel_capacity);
+  const double rho = params.reserve;
+  // Revenue (1−ρ)·C with probability p0; the reserve ρ·C is forfeited to
+  // the punishing counterparty otherwise.
+  return (1.0 - rho) * c * p0 - rho * c * (1.0 - p0);
+}
+
+double eltoo_p_threshold(const PunishmentParams& params) {
+  const double ratio = static_cast<double>(params.tx_fee) /
+                       static_cast<double>(params.channel_capacity);
+  const double denom = 1.0 - params.watchtower_coverage;
+  if (denom <= 0) return 0.0;  // full coverage: any p deters
+  return std::max(0.0, 1.0 - ratio / denom);
+}
+
+double daric_p_threshold(const PunishmentParams& params) {
+  const double denom = 1.0 - params.watchtower_coverage;
+  if (denom <= 0) return 0.0;
+  return std::max(0.0, 1.0 - params.reserve / denom);
+}
+
+}  // namespace daric::analysis

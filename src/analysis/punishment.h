@@ -1,0 +1,35 @@
+// Sec. 6.2: deterrence thresholds for profit-driven channel closure.
+//
+// p is the probability the honest party reacts to fraud in time. A scheme
+// deters a rational attacker iff the attacker's expected value is negative,
+// which yields a minimum p threshold:
+//   eltoo : p > 1 − f / C_A                    (fee is the only loss)
+//   Daric : p > 1 − ρ                          (ρ = minimum balance reserve)
+// and, when the attacker does not know whether a fair watchtower with
+// network coverage c = C_W / C is monitoring:
+//   eltoo : p > 1 − (f / C_A) / (1 − c)
+//   Daric : p > 1 − ρ / (1 − c)
+#pragma once
+
+#include "src/util/bytes.h"
+
+namespace daric::analysis {
+
+struct PunishmentParams {
+  Amount tx_fee = 210;              // f: 208 vB at 1 sat/vB ≈ 0.0000021 BTC
+  Amount channel_capacity = 4'000'000;  // C_A: 0.04 BTC average LN channel
+  double reserve = 0.01;            // ρ: Lightning's 1% minimum balance
+  double watchtower_coverage = 0.0; // c = C_W / C
+};
+
+/// Attacker's expected value (in satoshis) when the honest party reacts
+/// with probability p. Negative EV ⇒ deterred.
+double eltoo_attack_ev(const PunishmentParams& params, double p);
+double daric_attack_ev(const PunishmentParams& params, double p);
+
+/// Minimum reaction probability p that deters the attack (clamped to [0,1];
+/// a value > 1 means no p suffices).
+double eltoo_p_threshold(const PunishmentParams& params);
+double daric_p_threshold(const PunishmentParams& params);
+
+}  // namespace daric::analysis

@@ -1,0 +1,130 @@
+// Cerberus channel baseline (Avarikioti et al., FC 2020): Lightning-style
+// duplicated commitments whose punishment is delegated to an *incentivized*
+// watchtower — the parties pre-sign, per state, a complete revocation
+// transaction that claims both commit outputs and pays the tower a reward.
+// Party and tower storage are O(n) (Table 1); the commit transaction's
+// 2-output layout reproduces Appendix H.6's 772-WU non-collaborative close.
+#pragma once
+
+#include <optional>
+
+#include "src/channel/params.h"
+#include "src/channel/state.h"
+#include "src/channel/watchtower.h"
+#include "src/daric/wallet.h"
+#include "src/sim/environment.h"
+#include "src/sim/party.h"
+#include "src/tx/transaction.h"
+
+namespace daric::cerberus {
+
+enum class CbOutcome { kNone, kCooperative, kNonCollaborative, kPunished };
+
+/// Commit-output script (H.6, 115 bytes):
+///   IF 2 <rev1> <rev2> 2 CHECKMULTISIG ELSE <T> CSV DROP <delayed> CHECKSIG ENDIF
+script::Script cerberus_output_script(BytesView rev1, BytesView rev2, std::uint32_t csv,
+                                      BytesView delayed_pk);
+
+class CerberusChannel;
+
+/// The incentivized tower: it holds one fully-signed revocation transaction
+/// per revoked state and collects `reward` when it fires one.
+class CerberusWatchtower : public channel::Watchtower {
+ public:
+  explicit CerberusWatchtower(tx::OutPoint fund_op) : fund_op_(fund_op) {}
+
+  struct RevocationPackage {
+    Hash256 revoked_commit_txid;
+    tx::Transaction revocation;  // fully signed, ready to post
+  };
+  void add_package(RevocationPackage pkg) { packages_.push_back(std::move(pkg)); }
+
+  void on_round(ledger::Ledger& l) override;
+  std::size_t storage_bytes() const override;
+  bool reacted() const override { return reacted_; }
+
+ private:
+  tx::OutPoint fund_op_;
+  std::vector<RevocationPackage> packages_;
+  bool reacted_ = false;
+};
+
+class CerberusChannel {
+ public:
+  /// `tower_reward` is carved out of the cheater's punished funds.
+  CerberusChannel(sim::Environment& env, channel::ChannelParams params, Amount tower_reward);
+
+  bool create();
+  bool update(const channel::StateVec& next);
+  bool cooperative_close();
+  void force_close(sim::PartyId who);
+  void publish_old_commit(sim::PartyId who, std::uint32_t state);
+
+  bool run_until_closed(Round max_rounds = 400);
+  CbOutcome outcome() const { return outcome_; }
+  std::uint32_t state_number() const { return sn_; }
+
+  std::size_t party_storage_bytes(sim::PartyId who) const;  // O(n)
+  CerberusWatchtower& tower(sim::PartyId who) {
+    return who == sim::PartyId::kA ? tower_a_ : tower_b_;
+  }
+  const tx::Transaction& latest_commit(sim::PartyId who) const {
+    return who == sim::PartyId::kA ? commit_a_ : commit_b_;
+  }
+  tx::OutPoint funding_outpoint() const { return fund_op_; }
+  Bytes tower_reward_pk() const { return tower_key_.pk.compressed(); }
+  Amount tower_reward() const { return tower_reward_; }
+  const channel::ChannelParams& params() const { return params_; }
+
+ private:
+  struct CommitRecord {
+    tx::Transaction tx;
+    script::Script out0_script, out1_script;
+    sim::PartyId owner;
+    std::uint32_t state = 0;
+  };
+
+  crypto::KeyPair rev_keypair(sim::PartyId owner, std::uint32_t state, int leg) const;
+  tx::Transaction build_commit(sim::PartyId owner, std::uint32_t state,
+                               const channel::StateVec& st, script::Script* s0,
+                               script::Script* s1) const;
+  tx::Transaction build_revocation(const CommitRecord& rec, sim::PartyId victim) const;
+  void sign_state(std::uint32_t state, const channel::StateVec& st);
+  void on_round();
+
+  sim::Environment& env_;
+  channel::ChannelParams params_;
+  Amount tower_reward_;
+  daricch::DaricPubKeys pub_a_, pub_b_;
+  crypto::KeyPair main_a_, main_b_, delayed_a_, delayed_b_, tower_key_;
+
+  bool open_ = false;
+  std::uint32_t sn_ = 0;
+  channel::StateVec st_;
+  tx::OutPoint fund_op_;
+  script::Script fund_script_;
+
+  tx::Transaction commit_a_, commit_b_;
+  std::vector<CommitRecord> archive_;
+  // Each party's stash of fully-signed revocation txs (the O(n) term).
+  std::vector<tx::Transaction> revocations_held_by_a_, revocations_held_by_b_;
+
+  CerberusWatchtower tower_a_{tx::OutPoint{}};
+  CerberusWatchtower tower_b_{tx::OutPoint{}};
+
+  CbOutcome outcome_ = CbOutcome::kNone;
+  std::optional<Hash256> expected_close_txid_;
+  std::optional<Hash256> pending_txid_;
+  struct PendingSweep {
+    tx::OutPoint op;
+    script::Script script;
+    sim::PartyId owner;
+    Amount cash = 0;
+    Round post_round = 0;
+    bool posted = false;
+    Hash256 txid;
+  };
+  std::optional<PendingSweep> pending_sweep_;
+};
+
+}  // namespace daric::cerberus

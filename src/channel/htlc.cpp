@@ -1,0 +1,15 @@
+#include "src/channel/htlc.h"
+
+#include "src/crypto/sha256.h"
+
+namespace daric::channel {
+
+HtlcSecret make_htlc_secret(std::string_view label) {
+  const Hash256 pre = crypto::Sha256::tagged(
+      "daric/htlc-preimage", {reinterpret_cast<const Byte*>(label.data()), label.size()});
+  Bytes preimage(pre.view().begin(), pre.view().end());
+  const crypto::Hash160 h = crypto::hash160(preimage);
+  return {std::move(preimage), Bytes(h.view().begin(), h.view().end())};
+}
+
+}  // namespace daric::channel

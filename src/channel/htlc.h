@@ -1,0 +1,25 @@
+// HTLC descriptors appearing in channel states.
+#pragma once
+
+#include "src/crypto/ripemd160.h"
+#include "src/util/bytes.h"
+
+namespace daric::channel {
+
+struct Htlc {
+  Amount cash = 0;
+  Bytes payment_hash;       // HASH160 of the preimage, 20 bytes
+  bool offered_by_a = true; // payer side: true → A pays B
+  std::uint32_t timeout = 0;  // relative rounds before payer can claw back
+
+  bool operator==(const Htlc&) const = default;
+};
+
+/// Derives (preimage, HASH160(preimage)) pairs for tests and examples.
+struct HtlcSecret {
+  Bytes preimage;
+  Bytes payment_hash;  // 20 bytes
+};
+HtlcSecret make_htlc_secret(std::string_view label);
+
+}  // namespace daric::channel

@@ -1,0 +1,15 @@
+#include "src/channel/params.h"
+
+#include <stdexcept>
+
+namespace daric::channel {
+
+void ChannelParams::validate(Round ledger_delta) const {
+  if (cash_a <= 0 || cash_b <= 0)
+    throw std::invalid_argument("both parties must deposit positive amounts");
+  if (t_punish <= ledger_delta)
+    throw std::invalid_argument("T must exceed the ledger delay Δ (Theorem 1)");
+  if (id.empty()) throw std::invalid_argument("channel id must be non-empty");
+}
+
+}  // namespace daric::channel

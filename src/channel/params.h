@@ -1,0 +1,36 @@
+// Channel parameters shared by all engines.
+#pragma once
+
+#include <string>
+
+#include "src/crypto/sig_scheme.h"
+#include "src/util/bytes.h"
+
+namespace daric::channel {
+
+struct ChannelParams {
+  std::string id;        // γ.id
+  Amount cash_a = 0;     // A's initial deposit
+  Amount cash_b = 0;     // B's initial deposit
+  Round t_punish = 10;   // the relative timelock T (must exceed ledger Δ)
+  /// Base for state-number absolute timelocks (the paper uses 500,000,000
+  /// to address the UNIX-timestamp range; in the simulation the clock
+  /// starts at 0, so S0 = 0 keeps states immediately enforceable).
+  std::uint32_t s0 = 0;
+  /// Minimum share of the capacity each party must retain (Sec. 6.2: the
+  /// Lightning network deploys 1%; this is what the punishment analysis
+  /// calls the dishonest party's guaranteed stake at risk).
+  double min_balance_fraction = 0.0;
+  /// Sign revocation transactions with SIGHASH_SINGLE|ANYPREVOUT instead of
+  /// ALL|ANYPREVOUT, enabling the Sec. 8 fee-bumping trick: a fee input and
+  /// change output can be grafted on at publish time (daric/fees.h).
+  bool feeable_revocations = false;
+
+  Amount capacity() const { return cash_a + cash_b; }
+  Amount min_balance() const {
+    return static_cast<Amount>(min_balance_fraction * static_cast<double>(capacity()));
+  }
+  void validate(Round ledger_delta) const;  // throws on T <= Δ or bad amounts
+};
+
+}  // namespace daric::channel

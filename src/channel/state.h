@@ -1,0 +1,29 @@
+// Channel state γ.st: the output vector θ⃗ a split/settlement transaction
+// realizes, in engine-independent form.
+#pragma once
+
+#include <vector>
+
+#include "src/channel/htlc.h"
+
+namespace daric::channel {
+
+struct StateVec {
+  Amount to_a = 0;
+  Amount to_b = 0;
+  std::vector<Htlc> htlcs;
+
+  Amount total() const {
+    Amount sum = to_a + to_b;
+    for (const Htlc& h : htlcs) sum += h.cash;
+    return sum;
+  }
+  std::size_t num_htlcs() const { return htlcs.size(); }
+
+  bool operator==(const StateVec&) const = default;
+};
+
+/// γ.flag of Sec. 5.1: 1 = one active state, 2 = update in flight.
+enum class ChannelFlag { kStable = 1, kUpdating = 2 };
+
+}  // namespace daric::channel

@@ -1,0 +1,3 @@
+#include "src/channel/storage.h"
+
+// Header-only definitions; this translation unit anchors the module.

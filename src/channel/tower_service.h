@@ -1,0 +1,45 @@
+// A watchtower service: one operator watching many channels. Aggregate
+// storage is what decides the service's economics — O(#channels) for Daric
+// vs O(#channels × #updates) for Lightning.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/channel/watchtower.h"
+
+namespace daric::channel {
+
+class TowerService {
+ public:
+  /// Takes ownership; returns the tower's index.
+  std::size_t add(std::unique_ptr<Watchtower> tower) {
+    towers_.push_back(std::move(tower));
+    return towers_.size() - 1;
+  }
+
+  Watchtower& tower(std::size_t i) { return *towers_.at(i); }
+  std::size_t size() const { return towers_.size(); }
+
+  void on_round(ledger::Ledger& l) {
+    for (const auto& t : towers_) t->on_round(l);
+  }
+
+  std::size_t total_storage_bytes() const {
+    std::size_t sum = 0;
+    for (const auto& t : towers_) sum += t->storage_bytes();
+    return sum;
+  }
+
+  int reactions() const {
+    int n = 0;
+    for (const auto& t : towers_)
+      if (t->reacted()) ++n;
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Watchtower>> towers_;
+};
+
+}  // namespace daric::channel

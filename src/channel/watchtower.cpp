@@ -1,0 +1,3 @@
+#include "src/channel/watchtower.h"
+
+// Interface-only; this translation unit anchors the module.

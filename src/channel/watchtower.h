@@ -1,0 +1,22 @@
+// Watchtower interface: a third party that monitors the ledger every round
+// on behalf of a client and reacts to fraud.
+#pragma once
+
+#include "src/ledger/ledger.h"
+#include "src/sim/party.h"
+
+namespace daric::channel {
+
+class Watchtower {
+ public:
+  virtual ~Watchtower() = default;
+
+  /// Called at the end of every round with the ledger to inspect.
+  virtual void on_round(ledger::Ledger& l) = 0;
+  /// Bytes this watchtower must persist for the channel it watches.
+  virtual std::size_t storage_bytes() const = 0;
+  /// Whether the watchtower has already reacted to a fraud attempt.
+  virtual bool reacted() const = 0;
+};
+
+}  // namespace daric::channel

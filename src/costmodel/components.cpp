@@ -1,0 +1,166 @@
+#include "src/costmodel/components.h"
+
+#include <stdexcept>
+
+namespace daric::costmodel {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kLightning: return "Lightning";
+    case Scheme::kGeneralized: return "Generalized";
+    case Scheme::kFppw: return "FPPW";
+    case Scheme::kCerberus: return "Cerberus";
+    case Scheme::kOutpost: return "Outpost";
+    case Scheme::kSleepy: return "Sleepy";
+    case Scheme::kEltoo: return "eltoo";
+    case Scheme::kDaric: return "Daric";
+  }
+  return "?";
+}
+
+bool supports_htlcs(Scheme s) {
+  return s != Scheme::kCerberus && s != Scheme::kOutpost && s != Scheme::kSleepy;
+}
+
+// --- Appendix H.1: Lightning ------------------------------------------------
+
+TxBytes ln_commit(int m) { return {224, 125.0 + 43.0 * m}; }
+namespace {
+TxBytes ln_htlc_timeout() { return {287, 94}; }
+TxBytes ln_htlc_success() { return {326, 94}; }
+TxBytes ln_redeem() { return {244, 82}; }
+TxBytes ln_claimback() { return {219, 82}; }
+}  // namespace
+TxBytes ln_revocation(int m) { return {157.0 + 246.5 * m, 82.0 + 41.0 * m}; }
+
+// --- Appendix H.2: Generalized ----------------------------------------------
+
+TxBytes gc_commit() { return {224, 94}; }
+TxBytes gc_split(int m) { return {380, 113.0 + 43.0 * m}; }
+namespace {
+TxBytes gc_revocation() { return {414, 82}; }
+}  // namespace
+TxBytes redeem_prime() { return {212, 82}; }
+TxBytes claimback_prime() { return {180, 82}; }
+
+// --- Appendix H.3: Daric ----------------------------------------------------
+
+TxBytes daric_commit() { return {224, 94}; }
+TxBytes daric_split(int m) { return {311, 113.0 + 43.0 * m}; }
+TxBytes daric_revocation() { return {311, 82}; }
+
+// --- Appendix H.4: eltoo ----------------------------------------------------
+
+namespace {
+// Update spending the funding output, no fee input/output attached.
+TxBytes eltoo_update_plain() { return {224, 94}; }
+}  // namespace
+TxBytes eltoo_update() { return {332, 125}; }         // with fee input/output
+TxBytes eltoo_update_rebind() { return {412, 125}; }  // spends an update output
+TxBytes eltoo_settlement(int m) { return {304, 113.0 + 43.0 * m}; }
+
+// --- Appendix H.5: FPPW -----------------------------------------------------
+
+namespace {
+TxBytes fppw_commit() { return {224, 137}; }
+TxBytes fppw_split(int m) { return {338, 113.0 + 43.0 * m}; }
+TxBytes fppw_revocation() { return {897, 94}; }
+
+// --- Appendix H.6: Cerberus -------------------------------------------------
+
+TxBytes cerberus_commit() { return {224, 137}; }
+TxBytes cerberus_revocation() { return {534, 123}; }
+
+TxBytes htlc_resolution(int m) {
+  // m/2 Redeem' + m/2 Claimback' (the shared post-split resolution).
+  const double half = m / 2.0;
+  return {half * (redeem_prime().witness + claimback_prime().witness),
+          half * (redeem_prime().non_witness + claimback_prime().non_witness)};
+}
+
+void require_htlc_support(Scheme s, int m) {
+  if (m != 0 && !supports_htlcs(s))
+    throw std::invalid_argument(std::string(scheme_name(s)) +
+                                " has no HTLC construction in the paper (m must be 0)");
+}
+
+}  // namespace
+
+ClosureCost dishonest_closure(Scheme s, int m) {
+  require_htlc_support(s, m);
+  switch (s) {
+    case Scheme::kLightning:
+      return {2, (ln_commit(m) + ln_revocation(m)).weight(), false};
+    case Scheme::kGeneralized:
+      return {2, (gc_commit() + gc_revocation()).weight(), false};
+    case Scheme::kFppw:
+      return {2, (fppw_commit() + fppw_revocation()).weight(), false};
+    case Scheme::kCerberus:
+      return {2, (cerberus_commit() + cerberus_revocation()).weight(), false};
+    case Scheme::kOutpost:
+      return {3, 2632, true};
+    case Scheme::kSleepy:
+      return {3, 2172, true};
+    case Scheme::kEltoo:
+      return {3, (eltoo_update_plain() + eltoo_update_rebind() + eltoo_settlement(m) +
+                  htlc_resolution(m))
+                     .weight(),
+              false};
+    case Scheme::kDaric:
+      return {2, (daric_commit() + daric_revocation()).weight(), false};
+  }
+  throw std::logic_error("unreachable");
+}
+
+ClosureCost noncollab_closure(Scheme s, int m) {
+  require_htlc_support(s, m);
+  const double half = m / 2.0;
+  switch (s) {
+    case Scheme::kLightning: {
+      const double quarter = m / 4.0;
+      TxBytes total = ln_commit(m);
+      total = total + TxBytes{quarter * ln_htlc_timeout().witness,
+                              quarter * ln_htlc_timeout().non_witness};
+      total = total + TxBytes{quarter * ln_htlc_success().witness,
+                              quarter * ln_htlc_success().non_witness};
+      total = total + TxBytes{quarter * ln_redeem().witness, quarter * ln_redeem().non_witness};
+      total = total +
+              TxBytes{quarter * ln_claimback().witness, quarter * ln_claimback().non_witness};
+      return {1.0 + m, total.weight(), false};
+    }
+    case Scheme::kGeneralized:
+      return {2.0 + m, (gc_commit() + gc_split(m) + htlc_resolution(m)).weight(), false};
+    case Scheme::kFppw:
+      return {2.0 + m, (fppw_commit() + fppw_split(m) + htlc_resolution(m)).weight(), false};
+    case Scheme::kCerberus:
+      return {1, cerberus_commit().weight(), false};
+    case Scheme::kOutpost:
+      return {3, 3018, true};
+    case Scheme::kSleepy:
+      return {3, 2558, true};
+    case Scheme::kEltoo:
+      return {2.0 + m, (eltoo_update() + eltoo_settlement(m) + htlc_resolution(m)).weight(),
+              false};
+    case Scheme::kDaric:
+      return {2.0 + m, (daric_commit() + daric_split(m) + htlc_resolution(m)).weight(), false};
+  }
+  (void)half;
+  throw std::logic_error("unreachable");
+}
+
+OpsCount update_ops(Scheme s, int m) {
+  require_htlc_support(s, m);
+  switch (s) {
+    case Scheme::kLightning: return {2.0 + 2.0 * m, 1.0 + m / 2.0, 2};
+    case Scheme::kGeneralized: return {3, 2, 1};
+    case Scheme::kFppw: return {6, 10, 1};
+    case Scheme::kCerberus: return {3, 6, 0};
+    case Scheme::kOutpost: return {4, 4, 0};
+    case Scheme::kSleepy: return {5, 5, 0};
+    case Scheme::kEltoo: return {2, 2, 1};
+    case Scheme::kDaric: return {4, 3, 0};
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace daric::costmodel

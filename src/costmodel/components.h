@@ -1,0 +1,82 @@
+// Appendix H byte accounting for all eight payment channels of Table 3.
+//
+// Every closure cost is assembled from per-transaction (witness bytes,
+// non-witness bytes) components exactly as Appendix H derives them; weight
+// units are witness + 4·non-witness. Outpost and Sleepy totals come from
+// Table 3 directly (their appendix subsections are not in the provided
+// text) and are flagged `from_table`.
+#pragma once
+
+#include <string>
+
+namespace daric::costmodel {
+
+enum class Scheme {
+  kLightning,
+  kGeneralized,
+  kFppw,
+  kCerberus,
+  kOutpost,
+  kSleepy,
+  kEltoo,
+  kDaric,
+};
+
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::kLightning, Scheme::kGeneralized, Scheme::kFppw,  Scheme::kCerberus,
+    Scheme::kOutpost,   Scheme::kSleepy,      Scheme::kEltoo, Scheme::kDaric,
+};
+
+const char* scheme_name(Scheme s);
+
+/// Whether Appendix H gives HTLC figures for the scheme (Cerberus, Outpost
+/// and Sleepy are m = 0 only).
+bool supports_htlcs(Scheme s);
+
+/// One transaction's byte footprint.
+struct TxBytes {
+  double witness = 0;
+  double non_witness = 0;
+  double weight() const { return witness + 4 * non_witness; }
+  TxBytes operator+(const TxBytes& o) const {
+    return {witness + o.witness, non_witness + o.non_witness};
+  }
+};
+
+/// A whole closure scenario.
+struct ClosureCost {
+  double num_txs = 0;
+  double weight = 0;
+  bool from_table = false;  // totals lifted from Table 3, not components
+};
+
+/// Per-update operation counts (Table 3's right block).
+struct OpsCount {
+  double sign = 0;
+  double verify = 0;
+  double exp = 0;
+};
+
+/// Dishonest closure: a revoked state is published and resolved.
+ClosureCost dishonest_closure(Scheme s, int m);
+/// Non-collaborative closure: unilateral close of the latest state with m
+/// HTLC outputs, half redeemed / half clawed back.
+ClosureCost noncollab_closure(Scheme s, int m);
+/// Operations each party performs per channel update.
+OpsCount update_ops(Scheme s, int m);
+
+// Individual Appendix-H transaction components (exported for tests).
+TxBytes ln_commit(int m);
+TxBytes ln_revocation(int m);
+TxBytes gc_commit();
+TxBytes gc_split(int m);
+TxBytes daric_commit();
+TxBytes daric_split(int m);
+TxBytes daric_revocation();
+TxBytes eltoo_update();
+TxBytes eltoo_update_rebind();  // spending an earlier update's output
+TxBytes eltoo_settlement(int m);
+TxBytes redeem_prime();
+TxBytes claimback_prime();
+
+}  // namespace daric::costmodel

@@ -1,0 +1,78 @@
+#include "src/costmodel/table3.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace daric::costmodel {
+
+std::vector<Table3Row> table3(int m) {
+  std::vector<Table3Row> rows;
+  for (Scheme s : kAllSchemes) {
+    const int mm = supports_htlcs(s) ? m : 0;
+    rows.push_back({s, dishonest_closure(s, mm), noncollab_closure(s, mm), update_ops(s, mm)});
+  }
+  return rows;
+}
+
+LinearWeight dishonest_weight_formula(Scheme s) {
+  const double w0 = dishonest_closure(s, 0).weight;
+  if (!supports_htlcs(s)) return {w0, 0};
+  const double w2 = dishonest_closure(s, 2).weight;
+  return {w0, (w2 - w0) / 2.0};
+}
+
+LinearWeight noncollab_weight_formula(Scheme s) {
+  const double w0 = noncollab_closure(s, 0).weight;
+  if (!supports_htlcs(s)) return {w0, 0};
+  const double w2 = noncollab_closure(s, 2).weight;
+  return {w0, (w2 - w0) / 2.0};
+}
+
+namespace {
+void print_formula(std::ostream& os, const LinearWeight& f) {
+  os << std::setw(8) << f.constant;
+  if (f.slope != 0) {
+    os << " + " << std::setw(6) << f.slope << "*m";
+  } else {
+    os << std::string(12, ' ');
+  }
+}
+}  // namespace
+
+void print_table3(std::ostream& os, int m) {
+  os << "Table 3 — on-chain closure cost and per-update operations";
+  if (m >= 0)
+    os << " (m = " << m << " HTLC outputs)\n";
+  else
+    os << " (symbolic in m)\n";
+  os << std::left << std::setw(13) << "Scheme" << std::right << std::setw(6) << "#Tx"
+     << std::setw(22) << "dishonest weight" << std::setw(6) << "#Tx" << std::setw(22)
+     << "non-collab weight" << std::setw(9) << "Sign" << std::setw(8) << "Verify"
+     << std::setw(6) << "Exp" << "\n";
+  for (Scheme s : kAllSchemes) {
+    const int mm = supports_htlcs(s) ? (m >= 0 ? m : 0) : 0;
+    const ClosureCost d = dishonest_closure(s, mm);
+    const ClosureCost n = noncollab_closure(s, mm);
+    const OpsCount o = update_ops(s, mm);
+    os << std::left << std::setw(13) << scheme_name(s) << std::right;
+    os << std::setw(6) << d.num_txs;
+    if (m >= 0) {
+      os << std::setw(22) << d.weight;
+    } else {
+      os << "   ";
+      print_formula(os, dishonest_weight_formula(s));
+    }
+    os << std::setw(6) << n.num_txs;
+    if (m >= 0) {
+      os << std::setw(22) << n.weight;
+    } else {
+      os << "   ";
+      print_formula(os, noncollab_weight_formula(s));
+    }
+    os << std::setw(9) << o.sign << std::setw(8) << o.verify << std::setw(6) << o.exp;
+    if (!supports_htlcs(s)) os << "   (m=0 only)";
+    os << "\n";
+  }
+}
+
+}  // namespace daric::costmodel

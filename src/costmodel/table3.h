@@ -1,0 +1,34 @@
+// Table 3 assembly & rendering.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/costmodel/components.h"
+
+namespace daric::costmodel {
+
+struct Table3Row {
+  Scheme scheme;
+  ClosureCost dishonest;
+  ClosureCost noncollab;
+  OpsCount ops;
+};
+
+/// All eight schemes at a given HTLC count (schemes without HTLC support
+/// are reported at m = 0 regardless, as the paper's Table 3 does).
+std::vector<Table3Row> table3(int m);
+
+/// Renders the table in the paper's layout (symbolic in m when m < 0).
+void print_table3(std::ostream& os, int m);
+
+/// The closed-form weight expressions "a + b·m" of Table 3.
+struct LinearWeight {
+  double constant = 0;
+  double slope = 0;
+  double at(int m) const { return constant + slope * m; }
+};
+LinearWeight dishonest_weight_formula(Scheme s);
+LinearWeight noncollab_weight_formula(Scheme s);
+
+}  // namespace daric::costmodel

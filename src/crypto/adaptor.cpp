@@ -1,0 +1,38 @@
+#include "src/crypto/adaptor.h"
+
+#include <stdexcept>
+
+#include "src/crypto/rfc6979.h"
+
+namespace daric::crypto {
+
+AdaptorPreSig adaptor_pre_sign(const Scalar& sk, const Hash256& msg, const Point& statement) {
+  static const Byte kDomain[] = {'a', 'd', 'a', 'p', 't', 'o', 'r'};
+  const Scalar k = rfc6979_nonce(sk, msg, {kDomain, sizeof(kDomain)});
+  const Point r_hat = Point::mul_gen(k) + statement;
+  const Point pk = Point::mul_gen(sk);
+  const Scalar e = schnorr_challenge(r_hat, pk, msg);
+  return {r_hat, k + e * sk};
+}
+
+bool adaptor_pre_verify(const Point& pk, const Hash256& msg, const Point& statement,
+                        const AdaptorPreSig& pre) {
+  if (pk.is_infinity() || pre.r_hat.is_infinity()) return false;
+  const Scalar e = schnorr_challenge(pre.r_hat, pk, msg);
+  // ŝ*G + Y == R̂ + e*P
+  return Point::mul_gen(pre.s_hat) + statement == pre.r_hat + pk * e;
+}
+
+Bytes adaptor_adapt(const AdaptorPreSig& pre, const Scalar& witness) {
+  const Scalar s = pre.s_hat + witness;
+  return concat({pre.r_hat.compressed(), s.to_be_bytes()});
+}
+
+Scalar adaptor_extract(BytesView sig, const AdaptorPreSig& pre) {
+  if (sig.size() != kSchnorrSigSize) throw std::invalid_argument("bad signature size");
+  const U256 sv = U256::from_be_bytes(sig.subspan(33));
+  if (sv >= Scalar::order()) throw std::invalid_argument("bad signature scalar");
+  return Scalar::from_u256(sv) - pre.s_hat;
+}
+
+}  // namespace daric::crypto

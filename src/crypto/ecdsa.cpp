@@ -1,0 +1,48 @@
+#include "src/crypto/ecdsa.h"
+
+#include "src/crypto/rfc6979.h"
+
+namespace daric::crypto {
+
+namespace {
+Scalar field_x_as_scalar(const Point& p) {
+  return Scalar::from_be_bytes_reduce(p.x().to_be_bytes());
+}
+}  // namespace
+
+Bytes ecdsa_sign(const Scalar& sk, const Hash256& msg) {
+  static const Byte kDomain[] = {'e', 'c', 'd', 's', 'a'};
+  const Scalar z = Scalar::from_be_bytes_reduce(msg.view());
+  Scalar k = rfc6979_nonce(sk, msg, {kDomain, sizeof(kDomain)});
+  for (;;) {
+    const Point rp = Point::mul_gen(k);
+    const Scalar r = field_x_as_scalar(rp);
+    if (!r.is_zero()) {
+      Scalar s = k.inv() * (z + r * sk);
+      if (!s.is_zero()) {
+        // Low-s normalization (BIP 62).
+        const U256 half = shr(Scalar::order(), 1);
+        if (s.raw() > half) s = s.neg();
+        return concat({r.to_be_bytes(), s.to_be_bytes()});
+      }
+    }
+    k = k + Scalar(1);  // deterministic retry; negligible probability path
+  }
+}
+
+bool ecdsa_verify(const Point& pk, const Hash256& msg, BytesView sig) {
+  if (sig.size() != kEcdsaSigSize || pk.is_infinity()) return false;
+  const U256 rv = U256::from_be_bytes(sig.subspan(0, 32));
+  const U256 sv = U256::from_be_bytes(sig.subspan(32));
+  if (rv.is_zero() || sv.is_zero() || rv >= Scalar::order() || sv >= Scalar::order())
+    return false;
+  const Scalar r = Scalar::from_u256(rv);
+  const Scalar s = Scalar::from_u256(sv);
+  const Scalar z = Scalar::from_be_bytes_reduce(msg.view());
+  const Scalar w = s.inv();
+  const Point p = Point::mul_gen(z * w) + pk * (r * w);
+  if (p.is_infinity()) return false;
+  return field_x_as_scalar(p) == r;
+}
+
+}  // namespace daric::crypto

@@ -1,0 +1,15 @@
+// ECDSA over secp256k1 with RFC 6979 nonces and low-s normalization.
+// Raw encoding: 32-byte big-endian r followed by 32-byte big-endian s.
+#pragma once
+
+#include "src/crypto/keys.h"
+#include "src/util/bytes.h"
+
+namespace daric::crypto {
+
+inline constexpr std::size_t kEcdsaSigSize = 64;
+
+Bytes ecdsa_sign(const Scalar& sk, const Hash256& msg);
+bool ecdsa_verify(const Point& pk, const Hash256& msg, BytesView sig);
+
+}  // namespace daric::crypto

@@ -1,0 +1,82 @@
+#include "src/crypto/field.h"
+
+#include <stdexcept>
+
+#include "src/crypto/modarith.h"
+
+namespace daric::crypto {
+
+namespace {
+const modarith::Params& params() {
+  static const modarith::Params p{
+      .m = U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"),
+      .c = U256::from_hex("1000003d1"),
+  };
+  return p;
+}
+}  // namespace
+
+const U256& Fe::modulus() { return params().m; }
+
+Fe Fe::from_u256(const U256& v) {
+  if (v >= params().m) throw std::invalid_argument("Fe out of range");
+  Fe f;
+  f.v_ = v;
+  return f;
+}
+
+Fe Fe::from_be_bytes_reduce(BytesView b) {
+  U512 wide;
+  const U256 v = U256::from_be_bytes(b);
+  for (int i = 0; i < 4; ++i) wide.limb[static_cast<std::size_t>(i)] = v.limb[static_cast<std::size_t>(i)];
+  Fe f;
+  f.v_ = modarith::reduce512(wide, params());
+  return f;
+}
+
+Fe Fe::operator+(const Fe& o) const {
+  Fe r;
+  r.v_ = modarith::add_mod(v_, o.v_, params());
+  return r;
+}
+
+Fe Fe::operator-(const Fe& o) const {
+  Fe r;
+  r.v_ = modarith::sub_mod(v_, o.v_, params());
+  return r;
+}
+
+Fe Fe::operator*(const Fe& o) const {
+  Fe r;
+  r.v_ = modarith::mul_mod(v_, o.v_, params());
+  return r;
+}
+
+Fe Fe::neg() const {
+  Fe r;
+  r.v_ = modarith::sub_mod(U256(0), v_, params());
+  return r;
+}
+
+Fe Fe::inv() const {
+  if (is_zero()) throw std::domain_error("Fe inverse of zero");
+  Fe r;
+  r.v_ = modarith::inv_mod(v_, params());
+  return r;
+}
+
+bool Fe::sqrt(Fe& out) const {
+  // p ≡ 3 (mod 4): candidate = a^((p+1)/4).
+  U256 exp;
+  add_with_carry(params().m, U256(1), exp);  // p+1 never carries (p < 2^256-1)
+  exp = shr(exp, 2);
+  Fe cand;
+  cand.v_ = modarith::pow_mod(v_, exp, params());
+  if (cand.sqr() == *this) {
+    out = cand;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace daric::crypto

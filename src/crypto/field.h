@@ -1,0 +1,39 @@
+// secp256k1 base-field element (mod p = 2^256 - 2^32 - 977).
+#pragma once
+
+#include "src/crypto/u256.h"
+
+namespace daric::crypto {
+
+class Fe {
+ public:
+  Fe() = default;
+  explicit Fe(std::uint64_t v) : v_(v) {}
+  /// Value must already be < p (checked).
+  static Fe from_u256(const U256& v);
+  /// Interprets 32 big-endian bytes, reducing mod p.
+  static Fe from_be_bytes_reduce(BytesView b);
+
+  static const U256& modulus();
+
+  Fe operator+(const Fe& o) const;
+  Fe operator-(const Fe& o) const;
+  Fe operator*(const Fe& o) const;
+  Fe neg() const;
+  Fe sqr() const { return *this * *this; }
+  Fe inv() const;
+  /// Square root (p ≡ 3 mod 4); returns false if *this is not a QR.
+  bool sqrt(Fe& out) const;
+
+  bool is_zero() const { return v_.is_zero(); }
+  bool is_odd() const { return v_.is_odd(); }
+  bool operator==(const Fe&) const = default;
+
+  const U256& raw() const { return v_; }
+  Bytes to_be_bytes() const { return v_.to_be_bytes(); }
+
+ private:
+  U256 v_{};
+};
+
+}  // namespace daric::crypto

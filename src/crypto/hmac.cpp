@@ -1,0 +1,31 @@
+#include "src/crypto/hmac.h"
+
+#include "src/crypto/sha256.h"
+
+namespace daric::crypto {
+
+Hash256 hmac_sha256(BytesView key, std::initializer_list<BytesView> msg_parts) {
+  std::array<Byte, 64> k{};
+  if (key.size() > 64) {
+    const Hash256 kh = Sha256::hash(key);
+    std::memcpy(k.data(), kh.data.data(), 32);
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<Byte, 64> ipad, opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[static_cast<std::size_t>(i)] = k[static_cast<std::size_t>(i)] ^ 0x36;
+    opad[static_cast<std::size_t>(i)] = k[static_cast<std::size_t>(i)] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.update({ipad.data(), ipad.size()});
+  for (const auto& part : msg_parts) inner.update(part);
+  const Hash256 ih = inner.finalize();
+  Sha256 outer;
+  outer.update({opad.data(), opad.size()}).update(ih.view());
+  return outer.finalize();
+}
+
+Hash256 hmac_sha256(BytesView key, BytesView msg) { return hmac_sha256(key, {msg}); }
+
+}  // namespace daric::crypto

@@ -1,0 +1,11 @@
+// HMAC-SHA256 (RFC 2104), used by the RFC 6979 deterministic nonce generator.
+#pragma once
+
+#include "src/util/bytes.h"
+
+namespace daric::crypto {
+
+Hash256 hmac_sha256(BytesView key, BytesView msg);
+Hash256 hmac_sha256(BytesView key, std::initializer_list<BytesView> msg_parts);
+
+}  // namespace daric::crypto

@@ -1,0 +1,17 @@
+#include "src/crypto/keys.h"
+
+#include "src/crypto/sha256.h"
+
+namespace daric::crypto {
+
+KeyPair derive_keypair(std::string_view label) {
+  const Hash256 h =
+      Sha256::tagged("daric/keygen", {reinterpret_cast<const Byte*>(label.data()), label.size()});
+  Scalar sk = Scalar::from_be_bytes_reduce(h.view());
+  if (sk.is_zero()) sk = Scalar(1);  // astronomically unlikely; keep keys valid
+  return {sk, Point::mul_gen(sk)};
+}
+
+Bytes pubkey_bytes(const Point& pk) { return pk.compressed(); }
+
+}  // namespace daric::crypto

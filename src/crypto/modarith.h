@@ -1,0 +1,97 @@
+// Shared modular-arithmetic kernels for moduli m close to 2^256, i.e.
+// 2^256 ≡ c (mod m) with small-ish c. Both the secp256k1 base field p and
+// the group order n have this shape.
+#pragma once
+
+#include "src/crypto/u256.h"
+
+namespace daric::crypto::modarith {
+
+struct Params {
+  U256 m;  // modulus
+  U256 c;  // 2^256 mod m
+};
+
+/// Reduce x (< m after the call) assuming x < 2*m.
+inline U256 normalize(U256 x, const Params& p) {
+  U256 tmp;
+  if (sub_with_borrow(x, p.m, tmp) == 0) return tmp;
+  return x;
+}
+
+/// Reduce a full 512-bit value modulo m.
+inline U256 reduce512(U512 x, const Params& p) {
+  // Repeatedly fold the high 256 bits: x = hi*2^256 + lo ≡ hi*c + lo.
+  while (!x.hi().is_zero()) {
+    U512 folded = mul_full(x.hi(), p.c);
+    // folded += x.lo() (into the low 256 bits, carry up)
+    unsigned long long carry = 0;
+    const U256 lo = x.lo();
+    for (int i = 0; i < 8; ++i) {
+      unsigned long long sum = folded.limb[static_cast<std::size_t>(i)];
+      unsigned long long add = i < 4 ? lo.limb[static_cast<std::size_t>(i)] : 0ull;
+      carry = __builtin_uaddll_overflow(sum, add, &sum) +
+              __builtin_uaddll_overflow(sum, carry, &sum);
+      folded.limb[static_cast<std::size_t>(i)] = sum;
+    }
+    x = folded;
+  }
+  U256 r = x.lo();
+  // At most a couple of subtractions remain.
+  U256 tmp;
+  while (sub_with_borrow(r, p.m, tmp) == 0) r = tmp;
+  return r;
+}
+
+inline U256 add_mod(const U256& a, const U256& b, const Params& p) {
+  U256 s;
+  const auto carry = add_with_carry(a, b, s);
+  if (carry) {
+    // s + 2^256 ≡ s + c
+    U256 t;
+    const auto carry2 = add_with_carry(s, p.c, t);
+    s = t;
+    if (carry2) {  // can only happen when s was enormous; fold once more
+      U256 t2;
+      add_with_carry(s, p.c, t2);
+      s = t2;
+    }
+  }
+  U256 tmp;
+  while (sub_with_borrow(s, p.m, tmp) == 0) s = tmp;
+  return s;
+}
+
+inline U256 sub_mod(const U256& a, const U256& b, const Params& p) {
+  U256 d;
+  if (sub_with_borrow(a, b, d) != 0) {
+    U256 t;
+    add_with_carry(d, p.m, t);  // wraps exactly back into range
+    d = t;
+  }
+  return d;
+}
+
+inline U256 mul_mod(const U256& a, const U256& b, const Params& p) {
+  return reduce512(mul_full(a, b), p);
+}
+
+inline U256 pow_mod(const U256& base, const U256& exp, const Params& p) {
+  U256 result(1);
+  U256 acc = base;
+  const unsigned bits = exp.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul_mod(result, acc, p);
+    acc = mul_mod(acc, acc, p);
+  }
+  return result;
+}
+
+/// Modular inverse via Fermat's little theorem (m prime).
+inline U256 inv_mod(const U256& a, const Params& p) {
+  U256 m_minus_2;
+  sub_with_borrow(p.m, U256(2), m_minus_2);
+  return pow_mod(a, m_minus_2, p);
+}
+
+}  // namespace daric::crypto::modarith

@@ -1,0 +1,178 @@
+#include "src/crypto/point.h"
+
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace daric::crypto {
+
+namespace {
+
+// Internal Jacobian representation: (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+struct Jac {
+  Fe x{}, y{}, z{};
+  bool infinity = true;
+};
+
+Jac to_jac(const Point& p) {
+  if (p.is_infinity()) return {};
+  return {p.x(), p.y(), Fe(1), false};
+}
+
+Jac jac_dbl(const Jac& p) {
+  if (p.infinity || p.y.is_zero()) return {};
+  const Fe y2 = p.y.sqr();
+  const Fe s = Fe(4) * p.x * y2;
+  const Fe m = Fe(3) * p.x.sqr();  // a = 0 term
+  const Fe xr = m.sqr() - (s + s);
+  const Fe yr = m * (s - xr) - Fe(8) * y2.sqr();
+  const Fe zr = (p.y + p.y) * p.z;
+  return {xr, yr, zr, false};
+}
+
+Jac jac_add(const Jac& p, const Jac& q) {
+  if (p.infinity) return q;
+  if (q.infinity) return p;
+  const Fe z1z1 = p.z.sqr();
+  const Fe z2z2 = q.z.sqr();
+  const Fe u1 = p.x * z2z2;
+  const Fe u2 = q.x * z1z1;
+  const Fe s1 = p.y * z2z2 * q.z;
+  const Fe s2 = q.y * z1z1 * p.z;
+  if (u1 == u2) {
+    if (s1 == s2) return jac_dbl(p);
+    return {};  // p == -q
+  }
+  const Fe h = u2 - u1;
+  const Fe hh = h.sqr();
+  const Fe hhh = h * hh;
+  const Fe r = s2 - s1;
+  const Fe v = u1 * hh;
+  const Fe xr = r.sqr() - hhh - (v + v);
+  const Fe yr = r * (v - xr) - s1 * hhh;
+  const Fe zr = p.z * q.z * h;
+  return {xr, yr, zr, false};
+}
+
+Point from_jac(const Jac& p) {
+  if (p.infinity) return Point();
+  const Fe zi = p.z.inv();
+  const Fe zi2 = zi.sqr();
+  return Point::from_affine(p.x * zi2, p.y * zi2 * zi);
+}
+
+bool on_curve(const Fe& x, const Fe& y) { return y.sqr() == x.sqr() * x + Fe(7); }
+
+Jac jac_scalar_mul(const Jac& base, const Scalar& k) {
+  Jac acc;
+  const U256& bits = k.raw();
+  const unsigned n = bits.bit_length();
+  for (int i = static_cast<int>(n) - 1; i >= 0; --i) {
+    acc = jac_dbl(acc);
+    if (bits.bit(static_cast<unsigned>(i))) acc = jac_add(acc, base);
+  }
+  return acc;
+}
+
+// Precomputed 4-bit-window table for k*G: table[w][j-1] = j * 16^w * G.
+struct GenTable {
+  std::array<std::array<Jac, 15>, 64> win;
+};
+
+const GenTable& gen_table() {
+  static GenTable table;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Jac base = to_jac(Point::generator());
+    for (int w = 0; w < 64; ++w) {
+      Jac acc;
+      for (int j = 0; j < 15; ++j) {
+        acc = jac_add(acc, base);
+        table.win[static_cast<std::size_t>(w)][static_cast<std::size_t>(j)] = acc;
+      }
+      // base <<= 4 bits
+      for (int d = 0; d < 4; ++d) base = jac_dbl(base);
+    }
+  });
+  return table;
+}
+
+}  // namespace
+
+Point Point::generator() {
+  static const Point g = from_affine(
+      Fe::from_u256(U256::from_hex(
+          "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")),
+      Fe::from_u256(U256::from_hex(
+          "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")));
+  return g;
+}
+
+Point Point::from_affine(const Fe& x, const Fe& y) {
+  if (!on_curve(x, y)) throw std::invalid_argument("point not on curve");
+  Point p;
+  p.x_ = x;
+  p.y_ = y;
+  p.infinity_ = false;
+  return p;
+}
+
+std::optional<Point> Point::from_compressed(BytesView b) {
+  if (b.size() != 33 || (b[0] != 0x02 && b[0] != 0x03)) return std::nullopt;
+  U256 xv = U256::from_be_bytes(b.subspan(1));
+  if (xv >= Fe::modulus()) return std::nullopt;
+  const Fe x = Fe::from_u256(xv);
+  Fe y;
+  if (!(x.sqr() * x + Fe(7)).sqrt(y)) return std::nullopt;
+  if (y.is_odd() != (b[0] == 0x03)) y = y.neg();
+  return from_affine(x, y);
+}
+
+Point Point::operator+(const Point& o) const { return from_jac(jac_add(to_jac(*this), to_jac(o))); }
+
+Point Point::dbl() const { return from_jac(jac_dbl(to_jac(*this))); }
+
+Point Point::neg() const {
+  if (infinity_) return {};
+  Point p;
+  p.x_ = x_;
+  p.y_ = y_.neg();
+  p.infinity_ = false;
+  return p;
+}
+
+Point Point::operator*(const Scalar& k) const {
+  if (infinity_ || k.is_zero()) return {};
+  return from_jac(jac_scalar_mul(to_jac(*this), k));
+}
+
+Point Point::mul_gen(const Scalar& k) {
+  if (k.is_zero()) return {};
+  const GenTable& t = gen_table();
+  Jac acc;
+  const U256& v = k.raw();
+  for (int w = 0; w < 64; ++w) {
+    const unsigned nib =
+        static_cast<unsigned>(v.limb[static_cast<std::size_t>(w / 16)] >> (w % 16 * 4) & 0xf);
+    if (nib != 0)
+      acc = jac_add(acc, t.win[static_cast<std::size_t>(w)][static_cast<std::size_t>(nib - 1)]);
+  }
+  return from_jac(acc);
+}
+
+bool Point::operator==(const Point& o) const {
+  if (infinity_ || o.infinity_) return infinity_ == o.infinity_;
+  return x_ == o.x_ && y_ == o.y_;
+}
+
+Bytes Point::compressed() const {
+  if (infinity_) throw std::domain_error("cannot encode infinity");
+  Bytes out;
+  out.reserve(33);
+  out.push_back(y_.is_odd() ? 0x03 : 0x02);
+  const Bytes xb = x_.to_be_bytes();
+  append(out, xb);
+  return out;
+}
+
+}  // namespace daric::crypto

@@ -1,0 +1,45 @@
+// secp256k1 curve points (y^2 = x^3 + 7) with Jacobian-coordinate internals.
+#pragma once
+
+#include <optional>
+
+#include "src/crypto/field.h"
+#include "src/crypto/scalar.h"
+
+namespace daric::crypto {
+
+class Point {
+ public:
+  /// Point at infinity.
+  Point() = default;
+
+  static Point generator();
+  /// Constructs from affine coordinates; throws if not on the curve.
+  static Point from_affine(const Fe& x, const Fe& y);
+  /// Parses a 33-byte compressed encoding; nullopt on failure.
+  static std::optional<Point> from_compressed(BytesView b);
+
+  bool is_infinity() const { return infinity_; }
+  const Fe& x() const { return x_; }
+  const Fe& y() const { return y_; }
+
+  Point operator+(const Point& o) const;
+  Point dbl() const;
+  Point neg() const;
+  /// Scalar multiplication (double-and-add).
+  Point operator*(const Scalar& k) const;
+
+  /// k*G using a precomputed table of generator multiples.
+  static Point mul_gen(const Scalar& k);
+
+  bool operator==(const Point& o) const;
+
+  /// 33-byte compressed SEC encoding; throws for infinity.
+  Bytes compressed() const;
+
+ private:
+  Fe x_{}, y_{};
+  bool infinity_ = true;
+};
+
+}  // namespace daric::crypto

@@ -1,0 +1,31 @@
+#include "src/crypto/rfc6979.h"
+
+#include "src/crypto/hmac.h"
+
+namespace daric::crypto {
+
+namespace {
+Bytes to_bytes(const Hash256& h) { return Bytes(h.view().begin(), h.view().end()); }
+}  // namespace
+
+Scalar rfc6979_nonce(const Scalar& key, const Hash256& msg_hash, BytesView extra) {
+  Bytes v(32, 0x01);
+  Bytes k(32, 0x00);
+  const Bytes x = key.to_be_bytes();
+  const Byte zero = 0x00, one = 0x01;
+
+  k = to_bytes(hmac_sha256(k, {v, {&zero, 1}, x, msg_hash.view(), extra}));
+  v = to_bytes(hmac_sha256(k, v));
+  k = to_bytes(hmac_sha256(k, {v, {&one, 1}, x, msg_hash.view(), extra}));
+  v = to_bytes(hmac_sha256(k, v));
+
+  for (;;) {
+    v = to_bytes(hmac_sha256(k, v));
+    const U256 cand = U256::from_be_bytes(v);
+    if (!cand.is_zero() && cand < Scalar::order()) return Scalar::from_u256(cand);
+    k = to_bytes(hmac_sha256(k, {v, {&zero, 1}}));
+    v = to_bytes(hmac_sha256(k, v));
+  }
+}
+
+}  // namespace daric::crypto

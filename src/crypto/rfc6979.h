@@ -1,0 +1,13 @@
+// RFC 6979 deterministic nonce derivation (HMAC-SHA256 based).
+#pragma once
+
+#include "src/crypto/scalar.h"
+#include "src/util/bytes.h"
+
+namespace daric::crypto {
+
+/// Derives a deterministic, non-zero nonce from (secret key, message hash).
+/// `extra` lets callers domain-separate (e.g. Schnorr vs ECDSA vs adaptor).
+Scalar rfc6979_nonce(const Scalar& key, const Hash256& msg_hash, BytesView extra = {});
+
+}  // namespace daric::crypto

@@ -1,0 +1,19 @@
+// RIPEMD-160, used for Bitcoin's HASH160 (P2WPKH programs).
+#pragma once
+
+#include "src/util/bytes.h"
+
+namespace daric::crypto {
+
+struct Hash160 {
+  std::array<Byte, 20> data{};
+  bool operator==(const Hash160&) const = default;
+  BytesView view() const { return {data.data(), data.size()}; }
+};
+
+Hash160 ripemd160(BytesView data);
+
+/// Bitcoin HASH160 = RIPEMD160(SHA256(data)).
+Hash160 hash160(BytesView data);
+
+}  // namespace daric::crypto

@@ -1,0 +1,68 @@
+#include "src/crypto/scalar.h"
+
+#include <stdexcept>
+
+#include "src/crypto/modarith.h"
+
+namespace daric::crypto {
+
+namespace {
+const modarith::Params& params() {
+  static const modarith::Params p{
+      .m = U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"),
+      .c = U256::from_hex("14551231950b75fc4402da1732fc9bebf"),
+  };
+  return p;
+}
+}  // namespace
+
+const U256& Scalar::order() { return params().m; }
+
+Scalar Scalar::from_u256(const U256& v) {
+  if (v >= params().m) throw std::invalid_argument("Scalar out of range");
+  Scalar s;
+  s.v_ = v;
+  return s;
+}
+
+Scalar Scalar::from_be_bytes_reduce(BytesView b) {
+  U512 wide;
+  const U256 v = U256::from_be_bytes(b);
+  for (int i = 0; i < 4; ++i) wide.limb[static_cast<std::size_t>(i)] = v.limb[static_cast<std::size_t>(i)];
+  Scalar s;
+  s.v_ = modarith::reduce512(wide, params());
+  return s;
+}
+
+Scalar Scalar::operator+(const Scalar& o) const {
+  Scalar r;
+  r.v_ = modarith::add_mod(v_, o.v_, params());
+  return r;
+}
+
+Scalar Scalar::operator-(const Scalar& o) const {
+  Scalar r;
+  r.v_ = modarith::sub_mod(v_, o.v_, params());
+  return r;
+}
+
+Scalar Scalar::operator*(const Scalar& o) const {
+  Scalar r;
+  r.v_ = modarith::mul_mod(v_, o.v_, params());
+  return r;
+}
+
+Scalar Scalar::neg() const {
+  Scalar r;
+  r.v_ = modarith::sub_mod(U256(0), v_, params());
+  return r;
+}
+
+Scalar Scalar::inv() const {
+  if (is_zero()) throw std::domain_error("Scalar inverse of zero");
+  Scalar r;
+  r.v_ = modarith::inv_mod(v_, params());
+  return r;
+}
+
+}  // namespace daric::crypto

@@ -1,0 +1,35 @@
+// secp256k1 group-order scalar (mod n).
+#pragma once
+
+#include "src/crypto/u256.h"
+
+namespace daric::crypto {
+
+class Scalar {
+ public:
+  Scalar() = default;
+  explicit Scalar(std::uint64_t v) : v_(v) {}
+  /// Value must already be < n (checked).
+  static Scalar from_u256(const U256& v);
+  /// Interprets 32 big-endian bytes, reducing mod n.
+  static Scalar from_be_bytes_reduce(BytesView b);
+
+  static const U256& order();
+
+  Scalar operator+(const Scalar& o) const;
+  Scalar operator-(const Scalar& o) const;
+  Scalar operator*(const Scalar& o) const;
+  Scalar neg() const;
+  Scalar inv() const;
+
+  bool is_zero() const { return v_.is_zero(); }
+  bool operator==(const Scalar&) const = default;
+
+  const U256& raw() const { return v_; }
+  Bytes to_be_bytes() const { return v_.to_be_bytes(); }
+
+ private:
+  U256 v_{};
+};
+
+}  // namespace daric::crypto

@@ -1,0 +1,35 @@
+#include "src/crypto/schnorr.h"
+
+#include "src/crypto/rfc6979.h"
+#include "src/crypto/sha256.h"
+
+namespace daric::crypto {
+
+Scalar schnorr_challenge(const Point& r, const Point& pk, const Hash256& msg) {
+  const Bytes data = concat({r.compressed(), pk.compressed(), msg.view()});
+  return Scalar::from_be_bytes_reduce(Sha256::tagged("daric/schnorr", data).view());
+}
+
+Bytes schnorr_sign(const Scalar& sk, const Hash256& msg) {
+  static const Byte kDomain[] = {'s', 'c', 'h', 'n', 'o', 'r', 'r'};
+  const Scalar k = rfc6979_nonce(sk, msg, {kDomain, sizeof(kDomain)});
+  const Point r = Point::mul_gen(k);
+  const Point pk = Point::mul_gen(sk);
+  const Scalar e = schnorr_challenge(r, pk, msg);
+  const Scalar s = k + e * sk;
+  return concat({r.compressed(), s.to_be_bytes()});
+}
+
+bool schnorr_verify(const Point& pk, const Hash256& msg, BytesView sig) {
+  if (sig.size() != kSchnorrSigSize || pk.is_infinity()) return false;
+  const auto r = Point::from_compressed(sig.subspan(0, 33));
+  if (!r) return false;
+  const U256 sv = U256::from_be_bytes(sig.subspan(33));
+  if (sv >= Scalar::order()) return false;
+  const Scalar s = Scalar::from_u256(sv);
+  const Scalar e = schnorr_challenge(*r, pk, msg);
+  // s*G == R + e*P
+  return Point::mul_gen(s) == *r + pk * e;
+}
+
+}  // namespace daric::crypto

@@ -1,0 +1,20 @@
+// Schnorr signatures over secp256k1 (full-point nonce encoding).
+//
+// A signature is (R, s) with R = k*G, e = H(R || P || m), s = k + e*x.
+// Raw encoding: 33-byte compressed R followed by 32-byte big-endian s.
+#pragma once
+
+#include "src/crypto/keys.h"
+#include "src/util/bytes.h"
+
+namespace daric::crypto {
+
+inline constexpr std::size_t kSchnorrSigSize = 65;
+
+Bytes schnorr_sign(const Scalar& sk, const Hash256& msg);
+bool schnorr_verify(const Point& pk, const Hash256& msg, BytesView sig);
+
+/// Challenge scalar e = H(R || P || m); exposed for the adaptor variant.
+Scalar schnorr_challenge(const Point& r, const Point& pk, const Hash256& msg);
+
+}  // namespace daric::crypto

@@ -1,0 +1,28 @@
+// SHA-256 (FIPS 180-4) and the double-SHA256 used for txids.
+#pragma once
+
+#include "src/util/bytes.h"
+
+namespace daric::crypto {
+
+class Sha256 {
+ public:
+  Sha256();
+  Sha256& update(BytesView data);
+  Hash256 finalize();  // object must not be reused afterwards
+
+  static Hash256 hash(BytesView data);
+  /// Bitcoin's HASH256: SHA256(SHA256(data)).
+  static Hash256 double_hash(BytesView data);
+  /// BIP340-style tagged hash: SHA256(SHA256(tag)||SHA256(tag)||data).
+  static Hash256 tagged(std::string_view tag, BytesView data);
+
+ private:
+  void process_block(const Byte* block);
+  std::array<std::uint32_t, 8> state_;
+  std::array<Byte, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace daric::crypto

@@ -1,0 +1,54 @@
+// Fixed-width 256-bit unsigned integer used by the secp256k1 field and
+// scalar arithmetic. Limbs are little-endian uint64; byte I/O is big-endian
+// to match the usual cryptographic convention.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace daric::crypto {
+
+struct U256 {
+  std::array<std::uint64_t, 4> limb{};  // limb[0] least significant
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : limb{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2, std::uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  static U256 from_be_bytes(BytesView b);  // b.size() must be 32
+  Bytes to_be_bytes() const;
+  static U256 from_hex(std::string_view h);
+
+  bool is_zero() const;
+  bool bit(unsigned i) const;       // i in [0, 256)
+  unsigned bit_length() const;      // position of highest set bit + 1, 0 for zero
+  bool is_odd() const { return limb[0] & 1; }
+
+  bool operator==(const U256&) const = default;
+  auto operator<=>(const U256& o) const {
+    for (int i = 3; i >= 0; --i)
+      if (limb[i] != o.limb[i]) return limb[i] <=> o.limb[i];
+    return std::strong_ordering::equal;
+  }
+};
+
+/// 512-bit product buffer (little-endian limbs).
+struct U512 {
+  std::array<std::uint64_t, 8> limb{};
+  U256 lo() const { return {limb[0], limb[1], limb[2], limb[3]}; }
+  U256 hi() const { return {limb[4], limb[5], limb[6], limb[7]}; }
+};
+
+/// a + b, carry-out returned.
+std::uint64_t add_with_carry(const U256& a, const U256& b, U256& out);
+/// a - b, borrow-out returned (1 if a < b).
+std::uint64_t sub_with_borrow(const U256& a, const U256& b, U256& out);
+/// Full 256x256 -> 512 multiply.
+U512 mul_full(const U256& a, const U256& b);
+/// Logical shift right by k bits (k < 256).
+U256 shr(const U256& a, unsigned k);
+
+}  // namespace daric::crypto

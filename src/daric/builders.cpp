@@ -1,0 +1,103 @@
+#include "src/daric/builders.h"
+
+#include <stdexcept>
+
+namespace daric::daricch {
+
+FundingTemplate gen_fund(const tx::OutPoint& tid_a, const tx::OutPoint& tid_b, Amount cash,
+                         const DaricPubKeys& a, const DaricPubKeys& b) {
+  FundingTemplate f;
+  f.fund_script = script::multisig_2of2(a.main, b.main);
+  f.body.inputs = {{tid_a}, {tid_b}};
+  f.body.nlocktime = 0;
+  f.body.outputs = {{cash, tx::Condition::p2wsh(f.fund_script)}};
+  return f;
+}
+
+CommitPair gen_commit(const tx::OutPoint& fund_outpoint, Amount cash, const DaricPubKeys& a,
+                      const DaricPubKeys& b, std::uint32_t state,
+                      const channel::ChannelParams& p) {
+  CommitPair c;
+  const std::uint32_t cltv = p.s0 + state;
+  const auto csv = static_cast<std::uint32_t>(p.t_punish);
+  c.script_a = commit_script(a.sp, b.sp, a.rv, b.rv, cltv, csv);
+  c.script_b = commit_script(a.sp, b.sp, a.rv2, b.rv2, cltv, csv);
+
+  // Sec. 8 ("Compatibility with P2WSH transactions"): the state number is
+  // encoded in the commit's nLockTime so the victim / watchtower can
+  // reconstruct the output script of an arbitrary published commit.
+  c.body_a.inputs = {{fund_outpoint}};
+  c.body_a.nlocktime = cltv;
+  c.body_a.outputs = {{cash, tx::Condition::p2wsh(c.script_a)}};
+
+  c.body_b.inputs = {{fund_outpoint}};
+  c.body_b.nlocktime = cltv;
+  c.body_b.outputs = {{cash, tx::Condition::p2wsh(c.script_b)}};
+  return c;
+}
+
+tx::Transaction gen_split(const channel::StateVec& st, std::uint32_t state,
+                          const channel::ChannelParams& p, const DaricPubKeys& a,
+                          const DaricPubKeys& b) {
+  tx::Transaction t;
+  t.nlocktime = p.s0 + state;
+  t.outputs = state_outputs(st, a.main, b.main);
+  return t;  // floating: inputs bound later
+}
+
+tx::Transaction gen_revoke(BytesView payout_pk_main, Amount cash, std::uint32_t revoked_state,
+                           const channel::ChannelParams& p) {
+  tx::Transaction t;
+  t.nlocktime = p.s0 + revoked_state;
+  t.outputs = {{cash, tx::Condition::p2wpkh(payout_pk_main)}};
+  return t;  // floating
+}
+
+tx::Transaction gen_fin_split(const tx::OutPoint& fund_outpoint, const channel::StateVec& st,
+                              const DaricPubKeys& a, const DaricPubKeys& b) {
+  tx::Transaction t;
+  t.inputs = {{fund_outpoint}};
+  t.nlocktime = 0;
+  t.outputs = state_outputs(st, a.main, b.main);
+  return t;
+}
+
+void bind_floating(tx::Transaction& t, const tx::OutPoint& op) {
+  t.inputs = {{op}};
+  if (t.witnesses.size() < 1) t.witnesses.resize(1);
+}
+
+namespace {
+void ensure_witness_slot(tx::Transaction& t, std::size_t input) {
+  if (t.witnesses.size() <= input) t.witnesses.resize(input + 1);
+}
+}  // namespace
+
+void attach_funding_witness(tx::Transaction& t, std::size_t input,
+                            const script::Script& fund_script, Bytes sig_a, Bytes sig_b) {
+  ensure_witness_slot(t, input);
+  t.witnesses[input].stack = {Bytes{}, std::move(sig_a), std::move(sig_b)};
+  t.witnesses[input].witness_script = fund_script;
+}
+
+void attach_split_witness(tx::Transaction& t, std::size_t input,
+                          const script::Script& commit_script, Bytes sig_a, Bytes sig_b) {
+  ensure_witness_slot(t, input);
+  t.witnesses[input].stack = {Bytes{}, std::move(sig_a), std::move(sig_b), Bytes{}};
+  t.witnesses[input].witness_script = commit_script;
+}
+
+void attach_revoke_witness(tx::Transaction& t, std::size_t input,
+                           const script::Script& commit_script, Bytes sig_a, Bytes sig_b) {
+  ensure_witness_slot(t, input);
+  t.witnesses[input].stack = {Bytes{}, std::move(sig_a), std::move(sig_b), Bytes{1}};
+  t.witnesses[input].witness_script = commit_script;
+}
+
+void attach_p2wpkh_witness(tx::Transaction& t, std::size_t input, Bytes sig, Bytes pubkey) {
+  ensure_witness_slot(t, input);
+  t.witnesses[input].stack = {std::move(sig), std::move(pubkey)};
+  t.witnesses[input].witness_script.reset();
+}
+
+}  // namespace daric::daricch

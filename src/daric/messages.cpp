@@ -1,0 +1,170 @@
+#include "src/daric/messages.h"
+
+#include <stdexcept>
+
+#include "src/script/standard.h"
+#include "src/util/serialize.h"
+
+namespace daric::daricch::msg {
+
+namespace {
+
+void write_pubkeys(Writer& w, const DaricPubKeys& p) {
+  for (const Bytes* k : {&p.main, &p.sp, &p.rv, &p.rv2}) {
+    if (k->size() != script::kPubKeySize) throw std::invalid_argument("bad pubkey size");
+    w.bytes(*k);
+  }
+}
+
+DaricPubKeys read_pubkeys(Reader& r) {
+  DaricPubKeys p;
+  p.main = r.bytes(script::kPubKeySize);
+  p.sp = r.bytes(script::kPubKeySize);
+  p.rv = r.bytes(script::kPubKeySize);
+  p.rv2 = r.bytes(script::kPubKeySize);
+  return p;
+}
+
+void write_sig(Writer& w, const Bytes& sig) {
+  if (sig.size() != script::kWireSigSize) throw std::invalid_argument("bad signature size");
+  w.bytes(sig);
+}
+
+Bytes read_sig(Reader& r) { return r.bytes(script::kWireSigSize); }
+
+void write_state(Writer& w, const channel::StateVec& st) {
+  w.u64le(static_cast<std::uint64_t>(st.to_a));
+  w.u64le(static_cast<std::uint64_t>(st.to_b));
+  w.varint(st.htlcs.size());
+  for (const channel::Htlc& h : st.htlcs) {
+    w.u64le(static_cast<std::uint64_t>(h.cash));
+    if (h.payment_hash.size() != 20) throw std::invalid_argument("bad payment hash");
+    w.bytes(h.payment_hash);
+    w.u8(h.offered_by_a ? 1 : 0);
+    w.u32le(h.timeout);
+  }
+}
+
+channel::StateVec read_state(Reader& r) {
+  channel::StateVec st;
+  st.to_a = static_cast<Amount>(r.u64le());
+  st.to_b = static_cast<Amount>(r.u64le());
+  const std::uint64_t n = r.varint();
+  if (n > 966) throw std::invalid_argument("too many HTLCs");  // BOLT-5 cap
+  for (std::uint64_t i = 0; i < n; ++i) {
+    channel::Htlc h;
+    h.cash = static_cast<Amount>(r.u64le());
+    h.payment_hash = r.bytes(20);
+    const std::uint8_t dir = r.u8();
+    if (dir > 1) throw std::invalid_argument("bad HTLC direction");
+    h.offered_by_a = dir == 1;
+    h.timeout = r.u32le();
+    st.htlcs.push_back(std::move(h));
+  }
+  return st;
+}
+
+}  // namespace
+
+Bytes encode(const Envelope& e) {
+  Writer w;
+  w.u16le(static_cast<std::uint16_t>(e.type));
+  w.var_bytes(Bytes(e.channel_id.begin(), e.channel_id.end()));
+  std::visit(
+      [&](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, CreateInfo>) {
+          w.bytes(body.funding_source.txid.view());
+          w.u32le(body.funding_source.vout);
+          write_pubkeys(w, body.keys);
+        } else if constexpr (std::is_same_v<T, CreateCom>) {
+          write_sig(w, body.split_sig);
+          write_sig(w, body.commit_sig);
+        } else if constexpr (std::is_same_v<T, CreateFund>) {
+          write_sig(w, body.funding_sig);
+        } else if constexpr (std::is_same_v<T, UpdateReq>) {
+          write_state(w, body.next_state);
+          w.u32le(body.t_stp);
+        } else if constexpr (std::is_same_v<T, UpdateInfo>) {
+          write_sig(w, body.split_sig);
+        } else if constexpr (std::is_same_v<T, UpdateComP>) {
+          write_sig(w, body.split_sig);
+          write_sig(w, body.commit_sig);
+        } else if constexpr (std::is_same_v<T, UpdateComQ>) {
+          write_sig(w, body.commit_sig);
+        } else if constexpr (std::is_same_v<T, Revoke>) {
+          write_sig(w, body.revocation_sig);
+        } else if constexpr (std::is_same_v<T, Close>) {
+          write_sig(w, body.fin_split_sig);
+        }
+      },
+      e.body);
+  return w.take();
+}
+
+std::optional<Envelope> decode(BytesView data) {
+  try {
+    Reader r(data);
+    Envelope e;
+    const std::uint16_t raw_type = r.u16le();
+    e.type = static_cast<Type>(raw_type);
+    const Bytes id = r.var_bytes();
+    e.channel_id.assign(id.begin(), id.end());
+    switch (e.type) {
+      case Type::kCreateInfo: {
+        CreateInfo b;
+        b.funding_source.txid = Hash256::from_bytes(r.bytes(32));
+        b.funding_source.vout = r.u32le();
+        b.keys = read_pubkeys(r);
+        e.body = std::move(b);
+        break;
+      }
+      case Type::kCreateCom: {
+        CreateCom b;
+        b.split_sig = read_sig(r);
+        b.commit_sig = read_sig(r);
+        e.body = std::move(b);
+        break;
+      }
+      case Type::kCreateFund:
+        e.body = CreateFund{read_sig(r)};
+        break;
+      case Type::kUpdateReq: {
+        UpdateReq b;
+        b.next_state = read_state(r);
+        b.t_stp = r.u32le();
+        e.body = std::move(b);
+        break;
+      }
+      case Type::kUpdateInfo:
+        e.body = UpdateInfo{read_sig(r)};
+        break;
+      case Type::kUpdateComP: {
+        UpdateComP b;
+        b.split_sig = read_sig(r);
+        b.commit_sig = read_sig(r);
+        e.body = std::move(b);
+        break;
+      }
+      case Type::kUpdateComQ:
+        e.body = UpdateComQ{read_sig(r)};
+        break;
+      case Type::kRevokeP:
+      case Type::kRevokeQ:
+        e.body = Revoke{read_sig(r)};
+        break;
+      case Type::kCloseP:
+      case Type::kCloseQ:
+        e.body = Close{read_sig(r)};
+        break;
+      default:
+        return std::nullopt;  // unknown message type
+    }
+    if (!r.empty()) return std::nullopt;  // trailing bytes
+    return e;
+  } catch (const std::exception&) {
+    return std::nullopt;  // truncation / malformed fields
+  }
+}
+
+}  // namespace daric::daricch::msg

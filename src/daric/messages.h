@@ -1,0 +1,86 @@
+// Wire encoding of the Daric protocol messages (Appendix D's createInfo /
+// createCom / createFund / updateReq / updateInfo / updateComP / updateComQ
+// / revokeP / revokeQ / closeP / closeQ), BOLT-style: a u16 message type, a
+// channel id, then type-specific fields. The simulation passes structs
+// in-process; this codec is what a networked deployment would put on the
+// socket, and the tests hold it to strict decode discipline (unknown types,
+// truncation and trailing bytes are all rejected).
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "src/channel/state.h"
+#include "src/daric/wallet.h"
+#include "src/tx/output.h"
+
+namespace daric::daricch::msg {
+
+enum class Type : std::uint16_t {
+  kCreateInfo = 1,
+  kCreateCom = 2,
+  kCreateFund = 3,
+  kUpdateReq = 16,
+  kUpdateInfo = 17,
+  kUpdateComP = 18,
+  kUpdateComQ = 19,
+  kRevokeP = 20,
+  kRevokeQ = 21,
+  kCloseP = 32,
+  kCloseQ = 33,
+};
+
+struct CreateInfo {
+  tx::OutPoint funding_source;  // tid_P
+  DaricPubKeys keys;
+};
+
+struct CreateCom {
+  Bytes split_sig;   // σ̃ (ANYPREVOUT) on [TX_SP,0]
+  Bytes commit_sig;  // σ on the counterparty's [TX_CM,0]
+};
+
+struct CreateFund {
+  Bytes funding_sig;
+};
+
+struct UpdateReq {
+  channel::StateVec next_state;  // θ⃗
+  std::uint32_t t_stp = 0;
+};
+
+struct UpdateInfo {
+  Bytes split_sig;  // σ̃^Q on [TX_SP,i+1]
+};
+
+struct UpdateComP {
+  Bytes split_sig;
+  Bytes commit_sig;
+};
+
+struct UpdateComQ {
+  Bytes commit_sig;
+};
+
+struct Revoke {
+  Bytes revocation_sig;  // σ̃ on the counterparty's [TX_RV,i]
+};
+
+struct Close {
+  Bytes fin_split_sig;
+};
+
+struct Envelope {
+  Type type = Type::kCreateInfo;
+  std::string channel_id;
+  std::variant<CreateInfo, CreateCom, CreateFund, UpdateReq, UpdateInfo, UpdateComP,
+               UpdateComQ, Revoke, Close>
+      body;
+};
+
+Bytes encode(const Envelope& e);
+/// Strict decode: nullopt on unknown type, truncation, malformed fields or
+/// trailing bytes.
+std::optional<Envelope> decode(BytesView data);
+
+}  // namespace daric::daricch::msg

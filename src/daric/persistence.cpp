@@ -1,0 +1,295 @@
+#include "src/daric/persistence.h"
+
+#include <stdexcept>
+
+#include "src/tx/sighash.h"
+#include "src/util/serialize.h"
+
+namespace daric::daricch {
+
+using script::SighashFlag;
+using sim::PartyId;
+
+namespace {
+
+// --- decodable encodings (unlike the consensus wire format, these must
+// round-trip the structured script representation) ------------------------
+
+void write_script(Writer& w, const script::Script& s) {
+  w.varint(s.instructions().size());
+  for (const script::Instr& in : s.instructions()) {
+    w.u8(static_cast<std::uint8_t>(in.op));
+    if (in.op == script::Op::PUSH) w.var_bytes(in.data);
+    if (in.op == script::Op::NUM4) w.u32le(in.num);
+  }
+}
+
+script::Script read_script(Reader& r) {
+  script::Script s;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto op = static_cast<script::Op>(r.u8());
+    if (op == script::Op::PUSH) {
+      s.push(r.var_bytes());
+    } else if (op == script::Op::NUM4) {
+      s.num4(r.u32le());
+    } else {
+      s.op(op);
+    }
+  }
+  return s;
+}
+
+void write_outpoint(Writer& w, const tx::OutPoint& op) {
+  w.bytes(op.txid.view());
+  w.u32le(op.vout);
+}
+
+tx::OutPoint read_outpoint(Reader& r) {
+  tx::OutPoint op;
+  op.txid = Hash256::from_bytes(r.bytes(32));
+  op.vout = r.u32le();
+  return op;
+}
+
+void write_tx(Writer& w, const tx::Transaction& t) {
+  w.u32le(t.version);
+  w.varint(t.inputs.size());
+  for (const tx::TxIn& in : t.inputs) write_outpoint(w, in.prevout);
+  w.u32le(t.nlocktime);
+  w.varint(t.outputs.size());
+  for (const tx::Output& out : t.outputs) {
+    w.u64le(static_cast<std::uint64_t>(out.cash));
+    w.u8(out.cond.type == tx::Condition::Type::kP2WSH ? 0 : 1);
+    w.var_bytes(out.cond.program);
+  }
+  w.varint(t.witnesses.size());
+  for (const tx::Witness& wit : t.witnesses) {
+    w.varint(wit.stack.size());
+    for (const Bytes& el : wit.stack) w.var_bytes(el);
+    w.u8(wit.witness_script ? 1 : 0);
+    if (wit.witness_script) write_script(w, *wit.witness_script);
+  }
+}
+
+tx::Transaction read_tx(Reader& r) {
+  tx::Transaction t;
+  t.version = r.u32le();
+  const std::uint64_t nin = r.varint();
+  for (std::uint64_t i = 0; i < nin; ++i) t.inputs.push_back({read_outpoint(r)});
+  t.nlocktime = r.u32le();
+  const std::uint64_t nout = r.varint();
+  for (std::uint64_t i = 0; i < nout; ++i) {
+    tx::Output out;
+    out.cash = static_cast<Amount>(r.u64le());
+    out.cond.type = r.u8() == 0 ? tx::Condition::Type::kP2WSH : tx::Condition::Type::kP2WPKH;
+    out.cond.program = r.var_bytes();
+    t.outputs.push_back(std::move(out));
+  }
+  const std::uint64_t nwit = r.varint();
+  for (std::uint64_t i = 0; i < nwit; ++i) {
+    tx::Witness wit;
+    const std::uint64_t nel = r.varint();
+    for (std::uint64_t k = 0; k < nel; ++k) wit.stack.push_back(r.var_bytes());
+    if (r.u8() == 1) wit.witness_script = read_script(r);
+    t.witnesses.push_back(std::move(wit));
+  }
+  return t;
+}
+
+void write_state(Writer& w, const channel::StateVec& st) {
+  w.u64le(static_cast<std::uint64_t>(st.to_a));
+  w.u64le(static_cast<std::uint64_t>(st.to_b));
+  w.varint(st.htlcs.size());
+  for (const channel::Htlc& h : st.htlcs) {
+    w.u64le(static_cast<std::uint64_t>(h.cash));
+    w.var_bytes(h.payment_hash);
+    w.u8(h.offered_by_a ? 1 : 0);
+    w.u32le(h.timeout);
+  }
+}
+
+channel::StateVec read_state(Reader& r) {
+  channel::StateVec st;
+  st.to_a = static_cast<Amount>(r.u64le());
+  st.to_b = static_cast<Amount>(r.u64le());
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    channel::Htlc h;
+    h.cash = static_cast<Amount>(r.u64le());
+    h.payment_hash = r.var_bytes();
+    h.offered_by_a = r.u8() == 1;
+    h.timeout = r.u32le();
+    st.htlcs.push_back(std::move(h));
+  }
+  return st;
+}
+
+void write_pubkeys(Writer& w, const DaricPubKeys& p) {
+  w.var_bytes(p.main);
+  w.var_bytes(p.sp);
+  w.var_bytes(p.rv);
+  w.var_bytes(p.rv2);
+}
+
+DaricPubKeys read_pubkeys(Reader& r) {
+  DaricPubKeys p;
+  p.main = r.var_bytes();
+  p.sp = r.var_bytes();
+  p.rv = r.var_bytes();
+  p.rv2 = r.var_bytes();
+  return p;
+}
+
+}  // namespace
+
+ChannelSnapshot snapshot_party(const DaricParty& p) {
+  if (!p.channel_open()) throw std::logic_error("channel not open");
+  if (p.flag() != channel::ChannelFlag::kStable)
+    throw std::logic_error("snapshot only between updates");
+  ChannelSnapshot s;
+  s.params = p.params_;
+  s.id = p.id();
+  s.sn = p.state_number();
+  s.st = p.state();
+  s.fund_op = p.fund_op_;
+  s.cm_own = p.cm_own_;
+  s.cm_own_script = p.cm_own_script_;
+  s.cm_other_script = p.cm_other_script_;
+  s.split_body = p.split_.body;
+  s.split_sig_a = p.split_.sig_a;
+  s.split_sig_b = p.split_.sig_b;
+  s.theta_sig = p.theta_sig_;
+  s.pub_other = p.pub_other_;
+  return s;
+}
+
+Bytes serialize_snapshot(const ChannelSnapshot& s) {
+  Writer w;
+  w.var_bytes(Bytes(s.params.id.begin(), s.params.id.end()));
+  w.u64le(static_cast<std::uint64_t>(s.params.cash_a));
+  w.u64le(static_cast<std::uint64_t>(s.params.cash_b));
+  w.u64le(static_cast<std::uint64_t>(s.params.t_punish));
+  w.u32le(s.params.s0);
+  w.u8(s.params.feeable_revocations ? 1 : 0);
+  w.u8(s.id == PartyId::kA ? 0 : 1);
+  w.u32le(s.sn);
+  write_state(w, s.st);
+  write_outpoint(w, s.fund_op);
+  write_tx(w, s.cm_own);
+  write_script(w, s.cm_own_script);
+  write_script(w, s.cm_other_script);
+  write_tx(w, s.split_body);
+  w.var_bytes(s.split_sig_a);
+  w.var_bytes(s.split_sig_b);
+  w.var_bytes(s.theta_sig);
+  write_pubkeys(w, s.pub_other);
+  return w.take();
+}
+
+ChannelSnapshot deserialize_snapshot(BytesView data) {
+  Reader r(data);
+  ChannelSnapshot s;
+  const Bytes id = r.var_bytes();
+  s.params.id.assign(id.begin(), id.end());
+  s.params.cash_a = static_cast<Amount>(r.u64le());
+  s.params.cash_b = static_cast<Amount>(r.u64le());
+  s.params.t_punish = static_cast<Round>(r.u64le());
+  s.params.s0 = r.u32le();
+  s.params.feeable_revocations = r.u8() == 1;
+  s.id = r.u8() == 0 ? PartyId::kA : PartyId::kB;
+  s.sn = r.u32le();
+  s.st = read_state(r);
+  s.fund_op = read_outpoint(r);
+  s.cm_own = read_tx(r);
+  s.cm_own_script = read_script(r);
+  s.cm_other_script = read_script(r);
+  s.split_body = read_tx(r);
+  s.split_sig_a = r.var_bytes();
+  s.split_sig_b = r.var_bytes();
+  s.theta_sig = r.var_bytes();
+  s.pub_other = read_pubkeys(r);
+  if (!r.empty()) throw std::invalid_argument("trailing snapshot bytes");
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// RestoredParty
+// ---------------------------------------------------------------------------
+
+RestoredParty::RestoredParty(sim::Environment& env, ChannelSnapshot snapshot)
+    : env_(env),
+      s_(std::move(snapshot)),
+      keys_(DaricKeys::derive(sim::party_name(s_.id), s_.params.id)) {}
+
+void RestoredParty::force_close() { env_.ledger().post(s_.cm_own); }
+
+void RestoredParty::on_round() {
+  if (done()) return;
+  auto& ledger = env_.ledger();
+
+  if (pending_txid_) {
+    if (ledger.is_confirmed(*pending_txid_)) outcome_ = CloseOutcome::kPunished;
+    return;
+  }
+  if (pending_split_) {
+    auto& [post_round, bound] = *pending_split_;
+    if (post_round != -1 && env_.now() >= post_round) {
+      ledger.post(bound);
+      post_round = -1;  // posted
+    } else if (post_round == -1 && ledger.is_confirmed(bound.txid())) {
+      outcome_ = CloseOutcome::kNonCollaborative;
+    }
+    return;
+  }
+
+  const auto spender = ledger.spender_of(s_.fund_op);
+  if (!spender) return;
+  const Hash256 id = spender->txid();
+  const auto conf = ledger.confirmation_round(id);
+
+  if (id == s_.cm_own.txid() ||
+      spender->outputs[0].cond == tx::Condition::p2wsh(s_.cm_other_script)) {
+    // Latest state (ours or the counterparty's): split after T.
+    const script::Script& scr =
+        id == s_.cm_own.txid() ? s_.cm_own_script : s_.cm_other_script;
+    tx::Transaction bound = s_.split_body;
+    bind_floating(bound, {id, 0});
+    attach_split_witness(bound, 0, scr, s_.split_sig_a, s_.split_sig_b);
+    pending_split_ = {{(conf ? *conf : env_.now()) + s_.params.t_punish, std::move(bound)}};
+    return;
+  }
+
+  // Anything else spending the funding output is a revoked counterparty
+  // commit: rebuild its script from the nLockTime-encoded state and punish.
+  if (s_.sn == 0 || s_.theta_sig.empty()) return;
+  if (spender->nlocktime < s_.params.s0) return;
+  const std::uint32_t j = spender->nlocktime - s_.params.s0;
+  const auto csv = static_cast<std::uint32_t>(s_.params.t_punish);
+  const DaricPubKeys pub_own = to_pub(keys_);
+  const DaricPubKeys& pa = s_.id == PartyId::kA ? pub_own : s_.pub_other;
+  const DaricPubKeys& pb = s_.id == PartyId::kA ? s_.pub_other : pub_own;
+  const script::Script guess =
+      s_.id == PartyId::kA
+          ? commit_script(pa.sp, pb.sp, pa.rv2, pb.rv2, s_.params.s0 + j, csv)
+          : commit_script(pa.sp, pb.sp, pa.rv, pb.rv, s_.params.s0 + j, csv);
+  if (spender->outputs.size() != 1 ||
+      spender->outputs[0].cond != tx::Condition::p2wsh(guess) || j >= s_.sn)
+    return;
+
+  tx::Transaction rv = gen_revoke(pub_own.main, s_.params.capacity(), s_.sn - 1, s_.params);
+  bind_floating(rv, {id, 0});
+  const SighashFlag flag = s_.params.feeable_revocations ? SighashFlag::kSingleAnyPrevOut
+                                                         : SighashFlag::kAllAnyPrevOut;
+  const crypto::Scalar& sk = s_.id == PartyId::kA ? keys_.rv2.sk : keys_.rv.sk;
+  const Bytes own = tx::sign_input(rv, 0, sk, env_.scheme(), flag);
+  if (s_.id == PartyId::kA) {
+    attach_revoke_witness(rv, 0, guess, own, s_.theta_sig);
+  } else {
+    attach_revoke_witness(rv, 0, guess, s_.theta_sig, own);
+  }
+  ledger.post(rv);
+  pending_txid_ = rv.txid();
+}
+
+}  // namespace daric::daricch

@@ -1,0 +1,61 @@
+// Durable channel state (crash recovery).
+//
+// Everything a party must persist to stay safe is the Γ/Θ store — the very
+// quantity Table 1 bounds. This module serializes that store to a flat
+// byte blob and restores a fully-armed monitor from it: after a crash and
+// restore, the party can still force-close, produce its split, and punish
+// any revoked commit. The blob's size is the measured O(1) storage.
+#pragma once
+
+#include "src/daric/protocol.h"
+
+namespace daric::daricch {
+
+/// Snapshot of a party's persistent channel state (Γ^P, Θ^P and keys).
+struct ChannelSnapshot {
+  channel::ChannelParams params;
+  sim::PartyId id = sim::PartyId::kA;
+  std::uint32_t sn = 0;
+  channel::StateVec st;
+  tx::OutPoint fund_op;
+  tx::Transaction cm_own;          // fully signed
+  script::Script cm_own_script;
+  script::Script cm_other_script;
+  tx::Transaction split_body;      // floating
+  Bytes split_sig_a, split_sig_b;
+  Bytes theta_sig;
+  DaricPubKeys pub_other;
+};
+
+/// Extracts the persistable state from a live party.
+ChannelSnapshot snapshot_party(const DaricParty& p);
+
+/// Serialization (the blob a wallet would write to disk).
+Bytes serialize_snapshot(const ChannelSnapshot& s);
+ChannelSnapshot deserialize_snapshot(BytesView data);
+
+/// A standalone monitor restored from a snapshot: it can finish the
+/// channel without the original DaricParty object (the crash-recovery
+/// path). Keys are re-derived from the deterministic wallet seed.
+class RestoredParty {
+ public:
+  RestoredParty(sim::Environment& env, ChannelSnapshot snapshot);
+
+  /// Posts the stored commit (unilateral close after recovery).
+  void force_close();
+  /// Punish monitor; call every round (or register as an env hook).
+  void on_round();
+
+  CloseOutcome outcome() const { return outcome_; }
+  bool done() const { return outcome_ != CloseOutcome::kNone; }
+
+ private:
+  sim::Environment& env_;
+  ChannelSnapshot s_;
+  DaricKeys keys_;
+  std::optional<Hash256> pending_txid_;
+  std::optional<std::pair<Round, tx::Transaction>> pending_split_;
+  CloseOutcome outcome_ = CloseOutcome::kNone;
+};
+
+}  // namespace daric::daricch

@@ -1,0 +1,587 @@
+#include "src/daric/protocol.h"
+
+#include "src/channel/storage.h"
+
+#include <stdexcept>
+
+#include "src/daric/fees.h"
+#include "src/tx/sighash.h"
+
+namespace daric::daricch {
+
+using script::SighashFlag;
+using sim::PartyId;
+
+const char* close_outcome_name(CloseOutcome o) {
+  switch (o) {
+    case CloseOutcome::kNone: return "none";
+    case CloseOutcome::kCooperative: return "cooperative";
+    case CloseOutcome::kNonCollaborative: return "non-collaborative";
+    case CloseOutcome::kPunished: return "punished";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool verify_wire(const tx::Transaction& body, SighashFlag flag, BytesView pubkey33,
+                 BytesView wire, const crypto::SignatureScheme& scheme) {
+  const auto decoded = script::decode_wire_sig(wire, scheme.signature_size());
+  if (!decoded || decoded->flag != flag) return false;
+  const auto pk = crypto::Point::from_compressed(pubkey33);
+  if (!pk) return false;
+  return scheme.verify(*pk, tx::sighash_digest(body, 0, flag), decoded->raw);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DaricParty
+// ---------------------------------------------------------------------------
+
+DaricParty::DaricParty(PartyId id, const channel::ChannelParams& params, sim::Environment& env,
+                       tx::OutPoint funding_source, crypto::KeyPair funding_key)
+    : id_(id),
+      params_(params),
+      env_(env),
+      funding_source_(funding_source),
+      funding_key_(std::move(funding_key)),
+      keys_(DaricKeys::derive(sim::party_name(id), params.id)),
+      pub_own_(to_pub(keys_)) {}
+
+std::size_t DaricParty::storage_bytes() const {
+  if (!open_) return 0;
+  channel::StorageMeter m;
+  m.add_tx(tx_fu_);
+  m.add_tx(cm_own_);
+  m.add_tx(cm_other_body_);
+  m.add_tx(split_.body);
+  m.add_signature();  // split_.sig_a
+  m.add_signature();  // split_.sig_b
+  if (!theta_sig_.empty()) m.add_signature();
+  // Own four keypairs and the counterparty's four public keys.
+  m.add_raw(4 * (32 + 33) + 4 * 33);
+  if (flag_ == channel::ChannelFlag::kUpdating) {
+    if (cm_own_new_) m.add_tx(*cm_own_new_);
+    m.add_tx(cm_other_new_body_);
+    m.add_tx(split_new_.body);
+    m.add_signature();
+    m.add_signature();
+  }
+  return m.bytes();
+}
+
+namespace {
+SighashFlag revocation_flag(const channel::ChannelParams& p) {
+  return p.feeable_revocations ? SighashFlag::kSingleAnyPrevOut
+                               : SighashFlag::kAllAnyPrevOut;
+}
+}  // namespace
+
+Bytes DaricParty::sign_own_revocation(const tx::Transaction& body) const {
+  // TX^A_RV spends TX^B_CM (rv2 keys); TX^B_RV spends TX^A_CM (rv keys).
+  const crypto::Scalar& sk = id_ == PartyId::kA ? keys_.rv2.sk : keys_.rv.sk;
+  return tx::sign_input(body, 0, sk, env_.scheme(), revocation_flag(params_));
+}
+
+void DaricParty::set_fee_source(const FeeSource& source, Amount fee) {
+  if (!params_.feeable_revocations)
+    throw std::logic_error("fee bumping needs params.feeable_revocations");
+  fee_outpoint_value_ = {source.outpoint, source.value};
+  fee_key_ = source.key;
+  punish_fee_ = fee;
+}
+
+bool DaricParty::is_counterparty_commit(const tx::Transaction& spender, std::uint32_t* state_out,
+                                        script::Script* script_out) const {
+  if (spender.outputs.size() != 1) return false;
+  if (spender.nlocktime < params_.s0) return false;
+  const std::uint32_t j = spender.nlocktime - params_.s0;
+  const auto csv = static_cast<std::uint32_t>(params_.t_punish);
+  // A's commits are guarded by rv keys, B's by rv2 (Appendix B).
+  const DaricPubKeys& pa = id_ == PartyId::kA ? pub_own_ : pub_other_;
+  const DaricPubKeys& pb = id_ == PartyId::kA ? pub_other_ : pub_own_;
+  const script::Script guess =
+      id_ == PartyId::kA
+          ? commit_script(pa.sp, pb.sp, pa.rv2, pb.rv2, params_.s0 + j, csv)   // TX^B_CM,j
+          : commit_script(pa.sp, pb.sp, pa.rv, pb.rv, params_.s0 + j, csv);    // TX^A_CM,j
+  if (spender.outputs[0].cond != tx::Condition::p2wsh(guess)) return false;
+  *state_out = j;
+  *script_out = guess;
+  return true;
+}
+
+void DaricParty::commit_to_published_split(const tx::Transaction& spender,
+                                           const FloatingSplit& split,
+                                           const script::Script& commit_scr) {
+  const auto confirmed = env_.ledger().confirmation_round(spender.txid());
+  tx::Transaction bound = split.body;
+  bind_floating(bound, {spender.txid(), 0});
+  attach_split_witness(bound, 0, commit_scr, split.sig_a, split.sig_b);
+  pending_split_ = PendingSplit{std::move(bound),
+                                (confirmed ? *confirmed : env_.now()) + params_.t_punish, false};
+}
+
+void DaricParty::try_punish(const tx::Transaction& spender) {
+  std::uint32_t j = 0;
+  script::Script cscript;
+  if (!is_counterparty_commit(spender, &j, &cscript)) return;
+  if (j >= sn_ || theta_sig_.empty()) return;  // latest state or nothing revoked yet
+
+  tx::Transaction rv = gen_revoke(pub_own_.main, params_.capacity(), sn_ - 1, params_);
+  bind_floating(rv, {spender.txid(), 0});
+  const Bytes own = sign_own_revocation(rv);
+  if (id_ == PartyId::kA) {
+    attach_revoke_witness(rv, 0, cscript, own, theta_sig_);  // [rv2_A, rv2_B]
+  } else {
+    attach_revoke_witness(rv, 0, cscript, theta_sig_, own);  // [rv_A, rv_B]
+  }
+  if (fee_outpoint_value_ && fee_key_) {
+    attach_fee(rv, {fee_outpoint_value_->first, fee_outpoint_value_->second, *fee_key_},
+               punish_fee_, env_.scheme());
+  }
+  env_.ledger().post(rv);
+  pending_revocation_txid_ = rv.txid();
+}
+
+void DaricParty::on_round() {
+  if (!open_) return;
+  auto& ledger = env_.ledger();
+
+  if (pending_revocation_txid_) {
+    if (ledger.is_confirmed(*pending_revocation_txid_)) {
+      outcome_ = CloseOutcome::kPunished;
+      closed_round_ = env_.now();
+      open_ = false;
+    }
+    return;
+  }
+
+  if (pending_split_) {
+    if (!pending_split_->posted && env_.now() >= pending_split_->post_round) {
+      ledger.post(pending_split_->bound);
+      pending_split_->posted = true;
+    } else if (pending_split_->posted && ledger.is_confirmed(pending_split_->bound.txid())) {
+      outcome_ = CloseOutcome::kNonCollaborative;
+      closed_round_ = env_.now();
+      open_ = false;
+    }
+    return;
+  }
+
+  const auto spender = ledger.spender_of(fund_op_);
+  if (!spender) return;
+  const Hash256 id = spender->txid();
+
+  if (expected_coop_txid_ && id == *expected_coop_txid_) {
+    outcome_ = CloseOutcome::kCooperative;
+    closed_round_ = env_.now();
+    open_ = false;
+    return;
+  }
+
+  // Appendix D Punish: is the spender in the allowed set I?
+  if (id == cm_own_.txid()) {
+    commit_to_published_split(*spender, split_, cm_own_script_);
+    return;
+  }
+  if (id == cm_other_body_.txid()) {
+    commit_to_published_split(*spender, split_, cm_other_script_);
+    return;
+  }
+  if (flag_ == channel::ChannelFlag::kUpdating) {
+    if (cm_own_new_ && id == cm_own_new_->txid()) {
+      commit_to_published_split(*spender, split_new_, cm_own_new_script_);
+      return;
+    }
+    if (id == cm_other_new_body_.txid()) {
+      commit_to_published_split(*spender, split_new_, cm_other_new_script_);
+      return;
+    }
+  }
+
+  // Not in I: if it is a revoked counterparty commit, punish instantly.
+  std::uint32_t j = 0;
+  script::Script cscript;
+  if (is_counterparty_commit(*spender, &j, &cscript)) {
+    try_punish(*spender);
+    return;
+  }
+  // Otherwise it is one of *our own* revoked commits (republished by a
+  // dishonest self in tests): the channel resolves once the counterparty's
+  // revocation claims its output.
+  if (ledger.spender_of({id, 0})) {
+    outcome_ = CloseOutcome::kPunished;
+    closed_round_ = env_.now();
+    open_ = false;
+  }
+}
+
+void DaricParty::force_close() {
+  if (!open_) return;
+  const bool use_new = flag_ == channel::ChannelFlag::kUpdating && cm_own_new_.has_value();
+  env_.ledger().post(use_new ? *cm_own_new_ : cm_own_);
+  // The Punish monitor picks it up once confirmed and schedules the split.
+}
+
+// ---------------------------------------------------------------------------
+// DaricChannel
+// ---------------------------------------------------------------------------
+
+namespace {
+
+tx::OutPoint mint_funding_source(sim::Environment& env, Amount value,
+                                 const crypto::KeyPair& key) {
+  return env.ledger().mint(value, tx::Condition::p2wpkh(key.pk.compressed()));
+}
+
+crypto::KeyPair funding_keypair(const channel::ChannelParams& p, PartyId id) {
+  return crypto::derive_keypair(p.id + "/" + sim::party_name(id) + "/funding-source");
+}
+
+}  // namespace
+
+DaricChannel::DaricChannel(sim::Environment& env, channel::ChannelParams params)
+    : env_(env),
+      params_(std::move(params)),
+      a_(PartyId::kA, params_, env,
+         mint_funding_source(env, params_.cash_a, funding_keypair(params_, PartyId::kA)),
+         funding_keypair(params_, PartyId::kA)),
+      b_(PartyId::kB, params_, env,
+         mint_funding_source(env, params_.cash_b, funding_keypair(params_, PartyId::kB)),
+         funding_keypair(params_, PartyId::kB)) {
+  params_.validate(env_.delta());
+  env_.add_round_hook([this] { a_.on_round(); });
+  env_.add_round_hook([this] { b_.on_round(); });
+}
+
+bool DaricChannel::create() {
+  const auto& scheme = env_.scheme();
+  const Amount cash = params_.capacity();
+
+  // Step 1: createInfo in both directions (one message round).
+  env_.message_round(PartyId::kA, "createInfo");
+  a_.pub_other_ = b_.pub_own_;
+  b_.pub_other_ = a_.pub_own_;
+
+  // Step 2: both construct the funding, commit and split bodies.
+  const FundingTemplate fund =
+      gen_fund(a_.funding_source_, b_.funding_source_, cash, a_.pub_own_, b_.pub_own_);
+  const tx::OutPoint fund_op = fund.output();
+  const CommitPair commits = gen_commit(fund_op, cash, a_.pub_own_, b_.pub_own_, 0, params_);
+  const channel::StateVec st0{params_.cash_a, params_.cash_b, {}};
+  const tx::Transaction split0 = gen_split(st0, 0, params_, a_.pub_own_, b_.pub_own_);
+
+  // Step 3: createCom — exchange split (ANYPREVOUT) and cross-commit sigs.
+  env_.message_round(PartyId::kA, "createCom");
+  const Bytes sp_sig_a =
+      tx::sign_input(split0, 0, a_.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+  const Bytes sp_sig_b =
+      tx::sign_input(split0, 0, b_.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+  const Bytes cm_b_sig_a =  // A's signature on [TX^B_CM,0]
+      tx::sign_input(commits.body_b, 0, a_.keys_.main.sk, scheme, SighashFlag::kAll);
+  const Bytes cm_a_sig_b =  // B's signature on [TX^A_CM,0]
+      tx::sign_input(commits.body_a, 0, b_.keys_.main.sk, scheme, SighashFlag::kAll);
+
+  // Step 4: both verify what they received.
+  if (!verify_wire(split0, SighashFlag::kAllAnyPrevOut, b_.pub_own_.sp, sp_sig_b, scheme) ||
+      !verify_wire(commits.body_a, SighashFlag::kAll, b_.pub_own_.main, cm_a_sig_b, scheme))
+    return false;
+  if (!verify_wire(split0, SighashFlag::kAllAnyPrevOut, a_.pub_own_.sp, sp_sig_a, scheme) ||
+      !verify_wire(commits.body_b, SighashFlag::kAll, a_.pub_own_.main, cm_b_sig_a, scheme))
+    return false;
+
+  // Step 5: exchange funding signatures and post TX_FU.
+  env_.message_round(PartyId::kA, "createFund");
+  tx::Transaction tx_fu = fund.body;
+  // Each input is a P2WPKH funding source: input 0 = A's, input 1 = B's.
+  attach_p2wpkh_witness(tx_fu, 0,
+                        tx::sign_input(tx_fu, 0, a_.funding_key_.sk, scheme, SighashFlag::kAll),
+                        a_.funding_key_.pk.compressed());
+  attach_p2wpkh_witness(tx_fu, 1,
+                        tx::sign_input(tx_fu, 1, b_.funding_key_.sk, scheme, SighashFlag::kAll),
+                        b_.funding_key_.pk.compressed());
+  env_.ledger().post(tx_fu);
+
+  // Step 6: wait ≤ Δ for confirmation, then finalize both Γ stores.
+  for (Round r = 0; r <= env_.delta() + 1 && !env_.ledger().is_confirmed(tx_fu.txid()); ++r)
+    env_.advance_round();
+  if (!env_.ledger().is_confirmed(tx_fu.txid())) return false;
+
+  auto finalize = [&](DaricParty& p, const tx::Transaction& body_own,
+                      const script::Script& script_own, const tx::Transaction& body_other,
+                      const script::Script& script_other, const Bytes& own_commit_counter_sig) {
+    p.tx_fu_ = tx_fu;
+    p.fund_op_ = fund_op;
+    p.fund_script_ = fund.fund_script;
+    p.cm_own_ = body_own;
+    const Bytes own_sig =
+        tx::sign_input(body_own, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
+    const Bytes& sig_a = p.id_ == PartyId::kA ? own_sig : own_commit_counter_sig;
+    const Bytes& sig_b = p.id_ == PartyId::kA ? own_commit_counter_sig : own_sig;
+    attach_funding_witness(p.cm_own_, 0, fund.fund_script, sig_a, sig_b);
+    p.cm_own_script_ = script_own;
+    p.cm_other_body_ = body_other;
+    p.cm_other_script_ = script_other;
+    p.split_ = {split0, sp_sig_a, sp_sig_b};
+    p.st_ = st0;
+    p.sn_ = 0;
+    p.flag_ = channel::ChannelFlag::kStable;
+    p.theta_sig_.clear();
+    p.open_ = true;
+  };
+  finalize(a_, commits.body_a, commits.script_a, commits.body_b, commits.script_b, cm_a_sig_b);
+  finalize(b_, commits.body_b, commits.script_b, commits.body_a, commits.script_a, cm_b_sig_a);
+  archive_a_.push_back(a_.cm_own_);
+  archive_b_.push_back(b_.cm_own_);
+  return true;
+}
+
+bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
+  if (!a_.open_ || !b_.open_) throw std::logic_error("channel not open");
+  if (a_.flag_ != channel::ChannelFlag::kStable) throw std::logic_error("update in flight");
+  if (next.total() != params_.capacity())
+    throw std::invalid_argument("state must preserve the channel capacity");
+  if (next.to_a < params_.min_balance() || next.to_b < params_.min_balance())
+    throw std::invalid_argument("state violates the minimum-balance reserve");
+
+  const auto& scheme = env_.scheme();
+  DaricParty& p = party(proposer);
+  DaricParty& q = party(other(proposer));
+  const std::uint32_t i = a_.sn_;
+  const Amount cash = params_.capacity();
+
+  auto abort_by = [&](DaricParty& silent, DaricParty& honest, int msg) {
+    if (silent.behavior.abort_update_before_msg == msg) {
+      honest.force_close();
+      run_until_closed();
+      return true;
+    }
+    return false;
+  };
+
+  // Message 1: updateReq (P → Q).
+  if (abort_by(p, q, 1)) return false;
+  env_.message_round(p.id_, "updateReq");
+
+  // Q builds the new bodies and its ANYPREVOUT split signature.
+  const CommitPair commits =
+      gen_commit(a_.fund_op_, cash, a_.pub_own_, b_.pub_own_, i + 1, params_);
+  const tx::Transaction split_body = gen_split(next, i + 1, params_, a_.pub_own_, b_.pub_own_);
+  const tx::Transaction& body_p = p.id_ == PartyId::kA ? commits.body_a : commits.body_b;
+  const tx::Transaction& body_q = p.id_ == PartyId::kA ? commits.body_b : commits.body_a;
+  const script::Script& script_p = p.id_ == PartyId::kA ? commits.script_a : commits.script_b;
+  const script::Script& script_q = p.id_ == PartyId::kA ? commits.script_b : commits.script_a;
+
+  // Message 2: updateInfo (Q → P).
+  if (abort_by(q, p, 2)) return false;
+  const Bytes sp_sig_q =
+      tx::sign_input(split_body, 0, q.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+  env_.message_round(q.id_, "updateInfo");
+
+  // P verifies and stores Γ'^P (flag := 2).
+  if (!verify_wire(split_body, SighashFlag::kAllAnyPrevOut, q.pub_own_.sp, sp_sig_q, scheme)) {
+    p.force_close();
+    run_until_closed();
+    return false;
+  }
+  const Bytes sp_sig_p =
+      tx::sign_input(split_body, 0, p.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+  const Bytes split_sig_a = p.id_ == PartyId::kA ? sp_sig_p : sp_sig_q;
+  const Bytes split_sig_b = p.id_ == PartyId::kA ? sp_sig_q : sp_sig_p;
+  p.flag_ = channel::ChannelFlag::kUpdating;
+  p.st_prime_ = next;
+  p.cm_own_new_.reset();
+  p.cm_own_new_script_ = script_p;
+  p.cm_other_new_body_ = body_q;
+  p.cm_other_new_script_ = script_q;
+  p.split_new_ = {split_body, split_sig_a, split_sig_b};
+
+  // Message 3: updateComP (P → Q) with σ̃^P_SP and σ^P on [TX^Q_CM,i+1].
+  if (abort_by(p, q, 3)) return false;
+  const Bytes cm_q_sig_p = tx::sign_input(body_q, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
+  env_.message_round(p.id_, "updateComP");
+
+  if (!verify_wire(split_body, SighashFlag::kAllAnyPrevOut, p.pub_own_.sp, sp_sig_p, scheme) ||
+      !verify_wire(body_q, SighashFlag::kAll, p.pub_own_.main, cm_q_sig_p, scheme)) {
+    q.force_close();
+    run_until_closed();
+    return false;
+  }
+  // Q assembles its own new commit and stores Γ'^Q.
+  q.flag_ = channel::ChannelFlag::kUpdating;
+  q.st_prime_ = next;
+  q.cm_own_new_ = body_q;
+  {
+    const Bytes own = tx::sign_input(body_q, 0, q.keys_.main.sk, scheme, SighashFlag::kAll);
+    const Bytes& sig_a = q.id_ == PartyId::kA ? own : cm_q_sig_p;
+    const Bytes& sig_b = q.id_ == PartyId::kA ? cm_q_sig_p : own;
+    attach_funding_witness(*q.cm_own_new_, 0, q.fund_script_, sig_a, sig_b);
+  }
+  q.cm_own_new_script_ = script_q;
+  q.cm_other_new_body_ = body_p;
+  q.cm_other_new_script_ = script_p;
+  q.split_new_ = {split_body, split_sig_a, split_sig_b};
+
+  // Message 4: updateComQ (Q → P) with σ^Q on [TX^P_CM,i+1].
+  if (abort_by(q, p, 4)) return false;
+  const Bytes cm_p_sig_q = tx::sign_input(body_p, 0, q.keys_.main.sk, scheme, SighashFlag::kAll);
+  env_.message_round(q.id_, "updateComQ");
+
+  if (!verify_wire(body_p, SighashFlag::kAll, q.pub_own_.main, cm_p_sig_q, scheme)) {
+    p.force_close();
+    run_until_closed();
+    return false;
+  }
+  p.cm_own_new_ = body_p;
+  {
+    const Bytes own = tx::sign_input(body_p, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
+    const Bytes& sig_a = p.id_ == PartyId::kA ? own : cm_p_sig_q;
+    const Bytes& sig_b = p.id_ == PartyId::kA ? cm_p_sig_q : own;
+    attach_funding_witness(*p.cm_own_new_, 0, p.fund_script_, sig_a, sig_b);
+  }
+
+  // Revocation bodies for state i (both floating, nLT = S0 + i).
+  const tx::Transaction rv_p = gen_revoke(p.pub_own_.main, cash, i, params_);
+  const tx::Transaction rv_q = gen_revoke(q.pub_own_.main, cash, i, params_);
+  // TX^A_RV is guarded by rv2 keys, TX^B_RV by rv keys (Appendix B).
+  auto rv_sign_key = [&](const DaricParty& signer, const DaricParty& owner) {
+    return owner.id_ == PartyId::kA ? signer.keys_.rv2.sk : signer.keys_.rv.sk;
+  };
+  auto rv_verify_key = [&](const DaricParty& signer, const DaricParty& owner) {
+    return owner.id_ == PartyId::kA ? signer.pub_own_.rv2 : signer.pub_own_.rv;
+  };
+
+  // Message 5: revokeP (P → Q): P's signature on [TX^Q_RV,i].
+  const SighashFlag rv_flag = revocation_flag(params_);
+  if (abort_by(p, q, 5)) return false;
+  const Bytes rv_q_sig_p = tx::sign_input(rv_q, 0, rv_sign_key(p, q), scheme, rv_flag);
+  env_.message_round(p.id_, "revokeP");
+
+  if (!verify_wire(rv_q, rv_flag, rv_verify_key(p, q), rv_q_sig_p, scheme)) {
+    q.force_close();
+    run_until_closed();
+    return false;
+  }
+  auto promote = [&](DaricParty& x, const Bytes& theta) {
+    x.theta_sig_ = theta;
+    x.sn_ = i + 1;
+    x.st_ = next;
+    x.cm_own_ = *x.cm_own_new_;
+    x.cm_own_script_ = x.cm_own_new_script_;
+    x.cm_other_body_ = x.cm_other_new_body_;
+    x.cm_other_script_ = x.cm_other_new_script_;
+    x.split_ = x.split_new_;
+    x.flag_ = channel::ChannelFlag::kStable;
+    x.cm_own_new_.reset();
+    x.st_prime_ = {};
+  };
+  promote(q, rv_q_sig_p);
+
+  // Message 6: revokeQ (Q → P): Q's signature on [TX^P_RV,i].
+  if (abort_by(q, p, 6)) return false;
+  const Bytes rv_p_sig_q = tx::sign_input(rv_p, 0, rv_sign_key(q, p), scheme, rv_flag);
+  env_.message_round(q.id_, "revokeQ");
+
+  if (!verify_wire(rv_p, rv_flag, rv_verify_key(q, p), rv_p_sig_q, scheme)) {
+    p.force_close();
+    run_until_closed();
+    return false;
+  }
+  promote(p, rv_p_sig_q);
+
+  archive_a_.push_back(a_.cm_own_);
+  archive_b_.push_back(b_.cm_own_);
+  return true;
+}
+
+bool DaricChannel::cooperative_close(PartyId initiator) {
+  if (!a_.open_ || !b_.open_) throw std::logic_error("channel not open");
+  const auto& scheme = env_.scheme();
+  DaricParty& p = party(initiator);
+  DaricParty& q = party(other(initiator));
+
+  tx::Transaction fin = gen_fin_split(p.fund_op_, p.st_, a_.pub_own_, b_.pub_own_);
+  const Bytes sig_p = tx::sign_input(fin, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
+  env_.message_round(p.id_, "closeP");
+
+  if (q.behavior.refuse_close) {
+    p.force_close();
+    run_until_closed();
+    return false;
+  }
+  const Bytes sig_q = tx::sign_input(fin, 0, q.keys_.main.sk, scheme, SighashFlag::kAll);
+  env_.message_round(q.id_, "closeQ");
+
+  if (!verify_wire(fin, SighashFlag::kAll, q.pub_own_.main, sig_q, scheme)) {
+    p.force_close();
+    run_until_closed();
+    return false;
+  }
+  const Bytes& sig_a = initiator == PartyId::kA ? sig_p : sig_q;
+  const Bytes& sig_b = initiator == PartyId::kA ? sig_q : sig_p;
+  attach_funding_witness(fin, 0, p.fund_script_, sig_a, sig_b);
+  a_.expected_coop_txid_ = fin.txid();
+  b_.expected_coop_txid_ = fin.txid();
+  env_.ledger().post(fin);
+  return run_until_closed();
+}
+
+void DaricChannel::publish_old_commit(PartyId who, std::uint32_t state) {
+  const auto& archive = who == PartyId::kA ? archive_a_ : archive_b_;
+  if (state >= archive.size()) throw std::out_of_range("no archived commit for that state");
+  env_.ledger().post(archive[state]);
+}
+
+bool DaricChannel::run_until_closed(Round max_rounds) {
+  for (Round r = 0; r < max_rounds; ++r) {
+    if (!a_.open_ && !b_.open_) return true;
+    env_.advance_round();
+  }
+  return !a_.open_ && !b_.open_;
+}
+
+// ---------------------------------------------------------------------------
+// HTLC resolution on a confirmed split transaction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+tx::Transaction build_htlc_spend(const tx::Transaction& split, std::size_t htlc_index,
+                                 const channel::StateVec& st, const DaricParty& claimer,
+                                 const DaricPubKeys& a, const DaricPubKeys& b,
+                                 const Bytes& second_element) {
+  if (htlc_index >= st.htlcs.size()) throw std::out_of_range("bad HTLC index");
+  const channel::Htlc& h = st.htlcs[htlc_index];
+  const auto vout = static_cast<std::uint32_t>(2 + htlc_index);  // after the two balances
+
+  tx::Transaction t;
+  t.inputs = {{{split.txid(), vout}}};
+  t.nlocktime = 0;
+  t.outputs = {{h.cash, tx::Condition::p2wpkh(claimer.pub().main)}};
+
+  const Bytes sig = tx::sign_input(t, 0, claimer.keys().main.sk,
+                                   claimer.environment().scheme(), SighashFlag::kAll);
+  t.witnesses.resize(1);
+  t.witnesses[0].stack = {sig, second_element};
+  t.witnesses[0].witness_script = htlc_script(h, a.main, b.main);
+  return t;
+}
+
+}  // namespace
+
+tx::Transaction build_htlc_redeem(const tx::Transaction& split, std::size_t htlc_index,
+                                  const channel::StateVec& st, const DaricParty& payee,
+                                  const DaricPubKeys& a, const DaricPubKeys& b,
+                                  BytesView preimage) {
+  return build_htlc_spend(split, htlc_index, st, payee, a, b,
+                          Bytes(preimage.begin(), preimage.end()));
+}
+
+tx::Transaction build_htlc_claimback(const tx::Transaction& split, std::size_t htlc_index,
+                                     const channel::StateVec& st, const DaricParty& payer,
+                                     const DaricPubKeys& a, const DaricPubKeys& b) {
+  return build_htlc_spend(split, htlc_index, st, payer, a, b, Bytes{});
+}
+
+}  // namespace daric::daricch

@@ -1,0 +1,200 @@
+// The Daric protocol π of Appendix D: Create, Update, Close, Punish and
+// ForceClose, driven over the simulation environment with 1-round message
+// delivery and the ledger functionality L(Δ, Σ).
+//
+// DaricParty owns the per-party stores Γ^P (latest channel state), Γ'^P
+// (in-flight update) and Θ^P (counterparty's floating revocation
+// signature). DaricChannel orchestrates the two parties' message exchanges
+// and exposes misbehavior injection for tests: aborting mid-update and
+// publishing revoked commits.
+#pragma once
+
+#include <optional>
+
+#include "src/channel/params.h"
+#include "src/channel/state.h"
+#include "src/daric/builders.h"
+#include "src/sim/environment.h"
+#include "src/sim/party.h"
+
+namespace daric::daricch {
+
+enum class CloseOutcome { kNone, kCooperative, kNonCollaborative, kPunished };
+
+struct WatchtowerPackage;  // defined in daric/watchtower.h
+struct ChannelSnapshot;    // defined in daric/persistence.h
+
+const char* close_outcome_name(CloseOutcome o);
+
+/// Misbehavior knobs (all zero/false = honest).
+struct Behavior {
+  /// Go silent before sending the k-th update message (1..6); 0 = honest.
+  int abort_update_before_msg = 0;
+  /// Refuse to countersign a cooperative close.
+  bool refuse_close = false;
+};
+
+class DaricParty {
+ public:
+  DaricParty(sim::PartyId id, const channel::ChannelParams& params, sim::Environment& env,
+             tx::OutPoint funding_source, crypto::KeyPair funding_key);
+
+  sim::PartyId id() const { return id_; }
+  const DaricKeys& keys() const { return keys_; }
+  const DaricPubKeys& pub() const { return pub_own_; }
+  const sim::Environment& environment() const { return env_; }
+
+  // --- observable state -------------------------------------------------
+  std::uint32_t state_number() const { return sn_; }
+  const channel::StateVec& state() const { return st_; }
+  /// γ.st′ — the in-flight state (meaningful while flag() == kUpdating).
+  const channel::StateVec& pending_state() const { return st_prime_; }
+  channel::ChannelFlag flag() const { return flag_; }
+  CloseOutcome outcome() const { return outcome_; }
+  std::optional<Round> closed_round() const { return closed_round_; }
+  bool channel_open() const { return open_; }
+  /// Bytes of persistent storage the party currently holds (Table 1).
+  std::size_t storage_bytes() const;
+
+  /// End-of-round monitor: the Punish phase of Appendix D.
+  void on_round();
+
+  /// ForceClose^P(id): posts the newest fully-signed own commit.
+  void force_close();
+
+  /// Registers a wallet UTXO used to fee-bump the revocation at punish
+  /// time (requires params.feeable_revocations; see daric/fees.h).
+  void set_fee_source(const struct FeeSource& source, Amount fee);
+
+  Behavior behavior;
+
+ private:
+  friend class DaricChannel;
+  friend class DaricWatchtower;
+  friend WatchtowerPackage make_watchtower_package(const DaricParty&);
+  friend ChannelSnapshot snapshot_party(const DaricParty&);
+
+  struct FloatingSplit {
+    tx::Transaction body;  // [TX_SP,i]‾ — unbound
+    Bytes sig_a, sig_b;    // ANYPREVOUT wire signatures (SP keys)
+    bool complete() const { return !sig_a.empty() && !sig_b.empty(); }
+  };
+
+  // Appendix-D helpers executed locally.
+  void commit_to_published_split(const tx::Transaction& spender, const FloatingSplit& split,
+                                 const script::Script& commit_script);
+  void try_punish(const tx::Transaction& spender);
+  bool is_counterparty_commit(const tx::Transaction& spender, std::uint32_t* state_out,
+                              script::Script* script_out) const;
+  Bytes sign_own_revocation(const tx::Transaction& bound_body) const;
+
+  sim::PartyId id_;
+  channel::ChannelParams params_;
+  sim::Environment& env_;
+
+  // Funding source (the paper's tid_P) and its key.
+  tx::OutPoint funding_source_;
+  crypto::KeyPair funding_key_;
+
+  DaricKeys keys_;
+  DaricPubKeys pub_own_;
+  DaricPubKeys pub_other_;
+
+  // Γ^P.
+  bool open_ = false;
+  channel::StateVec st_;
+  std::uint32_t sn_ = 0;
+  channel::ChannelFlag flag_ = channel::ChannelFlag::kStable;
+  channel::StateVec st_prime_;
+  tx::Transaction tx_fu_;
+  tx::OutPoint fund_op_;
+  script::Script fund_script_;
+  tx::Transaction cm_own_;  // fully signed TX^P_CM,sn
+  script::Script cm_own_script_;
+  tx::Transaction cm_other_body_;  // [TX^Q_CM,sn]
+  script::Script cm_other_script_;
+  FloatingSplit split_;
+
+  // Γ'^P (valid while flag == kUpdating).
+  std::optional<tx::Transaction> cm_own_new_;
+  script::Script cm_own_new_script_;
+  tx::Transaction cm_other_new_body_;
+  script::Script cm_other_new_script_;
+  FloatingSplit split_new_;
+
+  // Θ^P: counterparty's ANYPREVOUT signature on TX^P_RV,(sn-1).
+  Bytes theta_sig_;
+
+  // Close bookkeeping.
+  CloseOutcome outcome_ = CloseOutcome::kNone;
+  std::optional<Round> closed_round_;
+  std::optional<Hash256> expected_coop_txid_;
+
+  // Pending split publication (non-collaborative close in progress).
+  struct PendingSplit {
+    tx::Transaction bound;  // ready-to-post split
+    Round post_round = 0;
+    bool posted = false;
+  };
+  std::optional<PendingSplit> pending_split_;
+  std::optional<Hash256> pending_revocation_txid_;
+
+  // Optional fee bumping for the punishment transaction.
+  std::optional<std::pair<tx::OutPoint, Amount>> fee_outpoint_value_;
+  Amount punish_fee_ = 0;
+  std::optional<crypto::KeyPair> fee_key_;
+};
+
+/// Orchestrates the two parties over the environment. Each protocol message
+/// costs one network round (F_GDC's 1-round delivery).
+class DaricChannel {
+ public:
+  DaricChannel(sim::Environment& env, channel::ChannelParams params);
+
+  /// Create phase (6 steps). Returns true once TX_FU confirmed.
+  bool create();
+
+  /// Update phase: P proposes the next state. Returns true on UPDATED at
+  /// both sides; false if an injected abort triggered ForceClose.
+  bool update(const channel::StateVec& next, sim::PartyId proposer = sim::PartyId::kA);
+
+  /// Collaborative close via the modified split TX_SP̄.
+  bool cooperative_close(sim::PartyId initiator = sim::PartyId::kA);
+
+  /// Fraud injection: `who` publishes its own commit of old state `state`.
+  /// Requires that state to have existed; uses the test-harness archive.
+  void publish_old_commit(sim::PartyId who, std::uint32_t state);
+
+  /// Runs rounds until both parties consider the channel closed (or limit).
+  bool run_until_closed(Round max_rounds = 200);
+
+  DaricParty& party(sim::PartyId p) { return p == sim::PartyId::kA ? a_ : b_; }
+  const channel::ChannelParams& params() const { return params_; }
+  tx::OutPoint funding_outpoint() const { return a_.fund_op_; }
+
+  /// Test-harness archive of every signed own-commit (what a *dishonest*
+  /// party would have squirrelled away). Not counted in storage_bytes().
+  const std::vector<tx::Transaction>& archived_commits(sim::PartyId p) const {
+    return p == sim::PartyId::kA ? archive_a_ : archive_b_;
+  }
+
+ private:
+  sim::Environment& env_;
+  channel::ChannelParams params_;
+  DaricParty a_, b_;
+  std::vector<tx::Transaction> archive_a_, archive_b_;
+};
+
+/// Builds the transaction that redeems one HTLC output of a confirmed split
+/// transaction (payee path, preimage) — the paper's Redeem' transaction.
+tx::Transaction build_htlc_redeem(const tx::Transaction& split, std::size_t htlc_index,
+                                  const channel::StateVec& st, const DaricParty& payee,
+                                  const DaricPubKeys& a, const DaricPubKeys& b,
+                                  BytesView preimage);
+
+/// Claimback' transaction: payer path after the HTLC timeout.
+tx::Transaction build_htlc_claimback(const tx::Transaction& split, std::size_t htlc_index,
+                                     const channel::StateVec& st, const DaricParty& payer,
+                                     const DaricPubKeys& a, const DaricPubKeys& b);
+
+}  // namespace daric::daricch

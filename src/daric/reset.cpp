@@ -1,0 +1,65 @@
+#include "src/daric/reset.h"
+
+#include "src/tx/sighash.h"
+
+namespace daric::daricch {
+
+using script::SighashFlag;
+
+ResetPackage build_reset(const DaricParty& a, const DaricParty& b,
+                         const channel::ChannelParams& old_params,
+                         const channel::StateVec& new_initial_state) {
+  ResetPackage pkg;
+  const auto& scheme = a.environment().scheme();
+  const Amount cash = old_params.capacity();
+
+  // Fresh key material for the reset channel (Sec. 8: "each channel must
+  // have its own set of public keys").
+  pkg.new_params = old_params;
+  pkg.new_params.id = old_params.id + "/reset";
+  pkg.new_keys_a = DaricKeys::derive("A", pkg.new_params.id);
+  pkg.new_keys_b = DaricKeys::derive("B", pkg.new_params.id);
+  pkg.new_main_a = pkg.new_keys_a.main;
+  pkg.new_main_b = pkg.new_keys_b.main;
+  pkg.new_fund_script = script::multisig_2of2(pkg.new_main_a.pk.compressed(),
+                                              pkg.new_main_b.pk.compressed());
+
+  // Reset split: replaces TX_SP,(sn+1); its single output is the new
+  // funding condition. Floating with nLT = S0 + sn + 1.
+  pkg.reset_split.nlocktime = old_params.s0 + a.state_number() + 1;
+  pkg.reset_split.outputs = {{cash, tx::Condition::p2wsh(pkg.new_fund_script)}};
+  pkg.reset_sig_a = tx::sign_input(pkg.reset_split, 0, a.keys().sp.sk, scheme,
+                                   SighashFlag::kAllAnyPrevOut);
+  pkg.reset_sig_b = tx::sign_input(pkg.reset_split, 0, b.keys().sp.sk, scheme,
+                                   SighashFlag::kAllAnyPrevOut);
+
+  // Reset-channel commit for its state 0 — floating, because the reset
+  // split's txid is unknown until it confirms.
+  const DaricPubKeys pub_a = to_pub(pkg.new_keys_a);
+  const DaricPubKeys pub_b = to_pub(pkg.new_keys_b);
+  pkg.new_commit_script =
+      commit_script(pub_a.sp, pub_b.sp, pub_a.rv, pub_b.rv, pkg.new_params.s0,
+                    static_cast<std::uint32_t>(pkg.new_params.t_punish));
+  pkg.new_commit.nlocktime = pkg.new_params.s0;
+  pkg.new_commit.outputs = {{cash, tx::Condition::p2wsh(pkg.new_commit_script)}};
+  pkg.new_commit_sig_a = tx::sign_input(pkg.new_commit, 0, pkg.new_main_a.sk, scheme,
+                                        SighashFlag::kAllAnyPrevOut);
+  pkg.new_commit_sig_b = tx::sign_input(pkg.new_commit, 0, pkg.new_main_b.sk, scheme,
+                                        SighashFlag::kAllAnyPrevOut);
+  (void)new_initial_state;  // realized by the reset channel's first split
+  return pkg;
+}
+
+void bind_reset_split(ResetPackage& pkg, const tx::OutPoint& commit_output,
+                      const script::Script& commit_script) {
+  bind_floating(pkg.reset_split, commit_output);
+  attach_split_witness(pkg.reset_split, 0, commit_script, pkg.reset_sig_a, pkg.reset_sig_b);
+}
+
+void bind_new_commit(ResetPackage& pkg, const tx::OutPoint& reset_split_output) {
+  bind_floating(pkg.new_commit, reset_split_output);
+  attach_funding_witness(pkg.new_commit, 0, pkg.new_fund_script, pkg.new_commit_sig_a,
+                         pkg.new_commit_sig_b);
+}
+
+}  // namespace daric::daricch

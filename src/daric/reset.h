@@ -1,0 +1,47 @@
+// Sec. 8 "Channel reset": when the state counter nears its end, the
+// parties update the channel so that the new split transaction's output
+// acts like a fresh funding output, and all state numbers restart.
+//
+// Because the (reset) split transaction is floating, its txid is unknown
+// until publication — so the first commit of the reset channel must be
+// floating as well (ANYPREVOUT over the new 2-of-2). These helpers build
+// that transaction chain; tests drive it end-to-end on the ledger.
+#pragma once
+
+#include "src/channel/params.h"
+#include "src/daric/protocol.h"
+
+namespace daric::daricch {
+
+struct ResetPackage {
+  // The reset split: floating, single joint output (the new "funding").
+  tx::Transaction reset_split;        // witness attached after binding
+  Bytes reset_sig_a, reset_sig_b;     // ANYPREVOUT (old SP keys)
+  script::Script new_fund_script;     // 2-of-2 over fresh main keys
+  crypto::KeyPair new_main_a, new_main_b;
+
+  // State 0 of the reset channel: a *floating* commit (ANYPREVOUT over the
+  // new funding condition) plus its split.
+  tx::Transaction new_commit;         // floating
+  Bytes new_commit_sig_a, new_commit_sig_b;  // ANYPREVOUT (new main keys)
+  script::Script new_commit_script;
+  DaricKeys new_keys_a, new_keys_b;
+  channel::ChannelParams new_params;
+};
+
+/// Builds the reset chain for a channel currently at state `a.state_number()`.
+/// `new_initial_state` becomes state 0 of the reset channel.
+ResetPackage build_reset(const DaricParty& a, const DaricParty& b,
+                         const channel::ChannelParams& old_params,
+                         const channel::StateVec& new_initial_state);
+
+/// Binds the reset split to a published commit's output and attaches the
+/// split-branch witness (commit_script = script of the published commit).
+void bind_reset_split(ResetPackage& pkg, const tx::OutPoint& commit_output,
+                      const script::Script& commit_script);
+
+/// Binds the reset channel's floating commit to the confirmed reset-split
+/// output and attaches its 2-of-2 witness.
+void bind_new_commit(ResetPackage& pkg, const tx::OutPoint& reset_split_output);
+
+}  // namespace daric::daricch

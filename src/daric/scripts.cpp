@@ -1,0 +1,47 @@
+#include "src/daric/scripts.h"
+
+namespace daric::daricch {
+
+script::Script commit_script(BytesView spl_a, BytesView spl_b, BytesView rev_a,
+                             BytesView rev_b, std::uint32_t cltv_abs, std::uint32_t csv_rel) {
+  script::Script s;
+  s.num4(cltv_abs)
+      .op(script::Op::OP_CHECKLOCKTIMEVERIFY)
+      .op(script::Op::OP_DROP)
+      .op(script::Op::OP_IF)
+      .small_int(2)
+      .push(rev_a)
+      .push(rev_b)
+      .small_int(2)
+      .op(script::Op::OP_CHECKMULTISIG)
+      .op(script::Op::OP_ELSE)
+      .num4(csv_rel)
+      .op(script::Op::OP_CHECKSEQUENCEVERIFY)
+      .op(script::Op::OP_DROP)
+      .small_int(2)
+      .push(spl_a)
+      .push(spl_b)
+      .small_int(2)
+      .op(script::Op::OP_CHECKMULTISIG)
+      .op(script::Op::OP_ENDIF);
+  return s;
+}
+
+script::Script htlc_script(const channel::Htlc& h, BytesView pk_a_main, BytesView pk_b_main) {
+  const BytesView payee = h.offered_by_a ? pk_b_main : pk_a_main;
+  const BytesView payer = h.offered_by_a ? pk_a_main : pk_b_main;
+  return script::htlc(h.payment_hash, payee, payer, h.timeout);
+}
+
+std::vector<tx::Output> state_outputs(const channel::StateVec& st, BytesView pk_a_main,
+                                      BytesView pk_b_main) {
+  std::vector<tx::Output> outs;
+  outs.push_back({st.to_a, tx::Condition::p2wpkh(pk_a_main)});
+  outs.push_back({st.to_b, tx::Condition::p2wpkh(pk_b_main)});
+  for (const channel::Htlc& h : st.htlcs) {
+    outs.push_back({h.cash, tx::Condition::p2wsh(htlc_script(h, pk_a_main, pk_b_main))});
+  }
+  return outs;
+}
+
+}  // namespace daric::daricch

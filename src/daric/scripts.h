@@ -1,0 +1,28 @@
+// On-chain scripts of Appendix B plus the state-vector → outputs mapping.
+#pragma once
+
+#include "src/channel/state.h"
+#include "src/script/standard.h"
+#include "src/tx/output.h"
+
+namespace daric::daricch {
+
+/// Commit output script (Appendix B):
+///   <S0+i> CLTV DROP
+///   IF    2 <rev_a> <rev_b> 2 CHECKMULTISIG          (revocation branch)
+///   ELSE  <T> CSV DROP 2 <spl_a> <spl_b> 2 CHECKMULTISIG   (split branch)
+///   ENDIF
+/// TX^A_CM uses the rv keys; TX^B_CM uses the rv2 (Rev′) keys.
+script::Script commit_script(BytesView spl_a, BytesView spl_b, BytesView rev_a,
+                             BytesView rev_b, std::uint32_t cltv_abs, std::uint32_t csv_rel);
+
+/// Maps a channel state θ⃗ to concrete outputs: P2WPKH balances plus one
+/// P2WSH HTLC output per in-flight payment (Sec. 8, multi-hop extension).
+std::vector<tx::Output> state_outputs(const channel::StateVec& st, BytesView pk_a_main,
+                                      BytesView pk_b_main);
+
+/// The HTLC witness script used inside state outputs (payer/payee resolved
+/// from the HTLC's direction).
+script::Script htlc_script(const channel::Htlc& h, BytesView pk_a_main, BytesView pk_b_main);
+
+}  // namespace daric::daricch

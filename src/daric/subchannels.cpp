@@ -1,0 +1,71 @@
+#include "src/daric/subchannels.h"
+
+#include <stdexcept>
+
+#include "src/tx/sighash.h"
+
+namespace daric::daricch {
+
+using script::SighashFlag;
+
+SubchannelPackage build_subchannels(const DaricParty& a, const DaricParty& b,
+                                    const channel::ChannelParams& parent, Amount cash0,
+                                    Amount cash1) {
+  if (cash0 + cash1 != parent.capacity())
+    throw std::invalid_argument("sub-channel capacities must sum to the parent's");
+  if (cash0 <= 0 || cash1 <= 0) throw std::invalid_argument("capacities must be positive");
+  const auto& scheme = a.environment().scheme();
+
+  SubchannelPackage pkg;
+  // Parent split with one joint output per sub-channel, floating, replacing
+  // the next state's normal split.
+  pkg.split.nlocktime = parent.s0 + a.state_number() + 1;
+
+  const Amount cashes[2] = {cash0, cash1};
+  for (std::size_t k = 0; k < 2; ++k) {
+    Subchannel& sub = pkg.subs[k];
+    sub.params = parent;
+    sub.params.id = parent.id + "/sub" + std::to_string(k);
+    sub.cash = cashes[k];
+    // Fresh, per-sub-channel key material (Sec. 8: "each channel must have
+    // its own set of public keys").
+    sub.keys_a = DaricKeys::derive("A", sub.params.id);
+    sub.keys_b = DaricKeys::derive("B", sub.params.id);
+    sub.fund_script =
+        script::multisig_2of2(sub.keys_a.main.pk.compressed(), sub.keys_b.main.pk.compressed());
+    pkg.split.outputs.push_back({sub.cash, tx::Condition::p2wsh(sub.fund_script)});
+
+    // Floating first commit of the sub-channel.
+    const DaricPubKeys pub_a = to_pub(sub.keys_a);
+    const DaricPubKeys pub_b = to_pub(sub.keys_b);
+    sub.commit_script = commit_script(pub_a.sp, pub_b.sp, pub_a.rv, pub_b.rv, sub.params.s0,
+                                      static_cast<std::uint32_t>(sub.params.t_punish));
+    sub.commit.nlocktime = sub.params.s0;
+    sub.commit.outputs = {{sub.cash, tx::Condition::p2wsh(sub.commit_script)}};
+    sub.commit_sig_a = tx::sign_input(sub.commit, 0, sub.keys_a.main.sk, scheme,
+                                      SighashFlag::kAllAnyPrevOut);
+    sub.commit_sig_b = tx::sign_input(sub.commit, 0, sub.keys_b.main.sk, scheme,
+                                      SighashFlag::kAllAnyPrevOut);
+  }
+
+  pkg.split_sig_a =
+      tx::sign_input(pkg.split, 0, a.keys().sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+  pkg.split_sig_b =
+      tx::sign_input(pkg.split, 0, b.keys().sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+  return pkg;
+}
+
+void bind_subchannel_split(SubchannelPackage& pkg, const tx::OutPoint& commit_output,
+                           const script::Script& parent_commit_script) {
+  bind_floating(pkg.split, commit_output);
+  attach_split_witness(pkg.split, 0, parent_commit_script, pkg.split_sig_a, pkg.split_sig_b);
+}
+
+void bind_subchannel_commit(SubchannelPackage& pkg, std::size_t k,
+                            const tx::OutPoint& funding_output) {
+  Subchannel& sub = pkg.subs.at(k);
+  bind_floating(sub.commit, funding_output);
+  attach_funding_witness(sub.commit, 0, sub.fund_script, sub.commit_sig_a, sub.commit_sig_b);
+}
+
+}  // namespace daric::daricch

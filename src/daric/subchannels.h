@@ -1,0 +1,47 @@
+// Sec. 8 "Other applications": splitting a Daric channel into sub-channels
+// off-chain. The parties update the parent so its split transaction has
+// multiple 2-of-2 outputs, each acting as the funding output of a new
+// Daric channel. Because the parent split is floating, the sub-channels'
+// first commits must be floating too, and every sub-channel needs its own
+// key set (otherwise one sub-channel's commit could spend another's
+// funding — a property the tests check).
+#pragma once
+
+#include <array>
+
+#include "src/channel/params.h"
+#include "src/daric/protocol.h"
+
+namespace daric::daricch {
+
+struct Subchannel {
+  channel::ChannelParams params;
+  DaricKeys keys_a, keys_b;
+  script::Script fund_script;      // 2-of-2 over this sub-channel's main keys
+  Amount cash = 0;
+  tx::Transaction commit;          // floating first commit (state 0)
+  script::Script commit_script;
+  Bytes commit_sig_a, commit_sig_b;  // ANYPREVOUT
+};
+
+struct SubchannelPackage {
+  tx::Transaction split;  // parent's floating split: one output per sub-channel
+  Bytes split_sig_a, split_sig_b;
+  std::array<Subchannel, 2> subs;
+};
+
+/// Builds a two-way split of the parent channel into sub-channels holding
+/// `cash0` and `cash1` (must sum to the parent capacity).
+SubchannelPackage build_subchannels(const DaricParty& a, const DaricParty& b,
+                                    const channel::ChannelParams& parent, Amount cash0,
+                                    Amount cash1);
+
+/// Binds the parent split to a published parent commit.
+void bind_subchannel_split(SubchannelPackage& pkg, const tx::OutPoint& commit_output,
+                           const script::Script& parent_commit_script);
+
+/// Binds sub-channel `k`'s floating commit to its confirmed funding output.
+void bind_subchannel_commit(SubchannelPackage& pkg, std::size_t k,
+                            const tx::OutPoint& funding_output);
+
+}  // namespace daric::daricch

@@ -1,0 +1,35 @@
+#include "src/eltoo/scripts.h"
+
+namespace daric::eltoo {
+
+script::Script funding_script(BytesView upd_a, BytesView upd_b) {
+  return script::multisig_2of2(upd_a, upd_b);
+}
+
+script::Script update_script(BytesView set_a_i, BytesView set_b_i, BytesView upd_a,
+                             BytesView upd_b, std::uint32_t next_state_cltv,
+                             std::uint32_t csv_rel) {
+  script::Script s;
+  s.op(script::Op::OP_IF)
+      .num4(csv_rel)
+      .op(script::Op::OP_CHECKSEQUENCEVERIFY)
+      .op(script::Op::OP_DROP)
+      .small_int(2)
+      .push(set_a_i)
+      .push(set_b_i)
+      .small_int(2)
+      .op(script::Op::OP_CHECKMULTISIG)
+      .op(script::Op::OP_ELSE)
+      .num4(next_state_cltv)
+      .op(script::Op::OP_CHECKLOCKTIMEVERIFY)
+      .op(script::Op::OP_DROP)
+      .small_int(2)
+      .push(upd_a)
+      .push(upd_b)
+      .small_int(2)
+      .op(script::Op::OP_CHECKMULTISIG)
+      .op(script::Op::OP_ENDIF);
+  return s;
+}
+
+}  // namespace daric::eltoo

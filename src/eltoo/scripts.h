@@ -1,0 +1,24 @@
+// eltoo on-chain scripts (Decker et al. 2018), trigger-less variant as in
+// the paper's Appendix H.4.
+#pragma once
+
+#include "src/script/standard.h"
+#include "src/tx/output.h"
+
+namespace daric::eltoo {
+
+/// Funding output: plain 2-of-2 over the update keys, so any (floating)
+/// update transaction can bind to it.
+script::Script funding_script(BytesView upd_a, BytesView upd_b);
+
+/// Update-transaction output for state i:
+///   IF    <T> CSV DROP 2 <set_a,i> <set_b,i> 2 CHECKMULTISIG   (settlement)
+///   ELSE  <S0+i+1> CLTV DROP 2 <upd_a> <upd_b> 2 CHECKMULTISIG (later update)
+///   ENDIF
+/// The CLTV floor S0+i+1 is what gives eltoo its versioning: only an update
+/// with a strictly higher state number can override this output.
+script::Script update_script(BytesView set_a_i, BytesView set_b_i, BytesView upd_a,
+                             BytesView upd_b, std::uint32_t next_state_cltv,
+                             std::uint32_t csv_rel);
+
+}  // namespace daric::eltoo

@@ -1,0 +1,401 @@
+#include "src/fppw/protocol.h"
+
+#include <stdexcept>
+
+#include "src/channel/storage.h"
+#include "src/daric/builders.h"
+#include "src/daric/scripts.h"
+#include "src/tx/sighash.h"
+
+namespace daric::fppw {
+
+using script::Op;
+using script::SighashFlag;
+using sim::PartyId;
+
+FppwChannel::FppwChannel(sim::Environment& env, channel::ChannelParams params)
+    : env_(env), params_(std::move(params)) {
+  params_.validate(env_.delta());
+  if (!env_.scheme().supports_adaptor())
+    throw std::invalid_argument("FPPW needs adaptor signatures (publisher identification)");
+  const daricch::DaricKeys ka = daricch::DaricKeys::derive("A", params_.id + "/fppw");
+  const daricch::DaricKeys kb = daricch::DaricKeys::derive("B", params_.id + "/fppw");
+  pub_a_ = to_pub(ka);
+  pub_b_ = to_pub(kb);
+  const std::string base = params_.id + "/fppw/";
+  main_a_ = crypto::derive_keypair(base + "A/main");
+  main_b_ = crypto::derive_keypair(base + "B/main");
+  rev_a_ = crypto::derive_keypair(base + "A/rev");
+  rev_b_ = crypto::derive_keypair(base + "B/rev");
+  rev_w_ = crypto::derive_keypair(base + "W/rev");
+  pen_a_ = crypto::derive_keypair(base + "A/pen");
+  pen_b_ = crypto::derive_keypair(base + "B/pen");
+  tower_payout_ = crypto::derive_keypair(base + "W/payout");
+  env_.add_round_hook([this] { on_round(); });
+}
+
+FppwChannel::StateSecrets FppwChannel::state_secrets(std::uint32_t state) const {
+  const std::string base = params_.id + "/fppw/state/" + std::to_string(state);
+  return {crypto::derive_keypair(base + "/yA"), crypto::derive_keypair(base + "/yB")};
+}
+
+namespace {
+void multisig3(script::Script& s, BytesView k1, BytesView k2, BytesView k3) {
+  s.small_int(3).push(k1).push(k2).push(k3).small_int(3).op(Op::OP_CHECKMULTISIG);
+}
+}  // namespace
+
+script::Script FppwChannel::out0_script(std::uint32_t state) const {
+  (void)state;  // revocation keys are per-channel; state identified via nLT
+  script::Script s;
+  s.op(Op::OP_IF);
+  multisig3(s, rev_a_.pk.compressed(), rev_b_.pk.compressed(), rev_w_.pk.compressed());
+  s.op(Op::OP_ELSE)
+      .num4(static_cast<std::uint32_t>(params_.t_punish))
+      .op(Op::OP_CHECKSEQUENCEVERIFY)
+      .op(Op::OP_DROP)
+      .small_int(2)
+      .push(main_a_.pk.compressed())
+      .push(main_b_.pk.compressed())
+      .small_int(2)
+      .op(Op::OP_CHECKMULTISIG)
+      .op(Op::OP_ENDIF);
+  return s;
+}
+
+script::Script FppwChannel::out1_script(std::uint32_t state) const {
+  const StateSecrets sec = state_secrets(state);
+  script::Script s;
+  s.op(Op::OP_IF);
+  multisig3(s, rev_a_.pk.compressed(), rev_b_.pk.compressed(), rev_w_.pk.compressed());
+  s.op(Op::OP_ELSE)
+      .num4(static_cast<std::uint32_t>(params_.t_punish))
+      .op(Op::OP_CHECKSEQUENCEVERIFY)
+      .op(Op::OP_DROP)
+      .op(Op::OP_IF)
+      .small_int(2)
+      .push(pen_b_.pk.compressed())
+      .push(sec.y_a.pk.compressed())
+      .small_int(2)
+      .op(Op::OP_CHECKMULTISIG)
+      .op(Op::OP_ELSE)
+      .small_int(2)
+      .push(pen_a_.pk.compressed())
+      .push(sec.y_b.pk.compressed())
+      .small_int(2)
+      .op(Op::OP_CHECKMULTISIG)
+      .op(Op::OP_ENDIF)
+      .op(Op::OP_ENDIF);
+  return s;
+}
+
+tx::Transaction FppwChannel::build_commit_body(std::uint32_t state) const {
+  tx::Transaction t;
+  t.inputs = {{fund_op_}};
+  t.nlocktime = params_.s0 + state;
+  t.outputs = {{params_.capacity(), tx::Condition::p2wsh(out0_script(state))},
+               {collateral(), tx::Condition::p2wsh(out1_script(state))}};
+  return t;
+}
+
+tx::Transaction FppwChannel::build_revocation(std::uint32_t state, PartyId victim) const {
+  const ArchivedState& s = archive_.at(state);
+  const Hash256 id = s.commit_body.txid();
+  tx::Transaction t;
+  t.inputs = {{{id, 0}}, {{id, 1}}};
+  t.nlocktime = 0;
+  t.outputs = {{params_.capacity(),
+                tx::Condition::p2wpkh(victim == PartyId::kA ? pub_a_.main : pub_b_.main)},
+               {collateral(), tx::Condition::p2wpkh(tower_payout_.pk.compressed())}};
+  t.witnesses.resize(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Bytes sa = tx::sign_input(t, i, rev_a_.sk, env_.scheme(), SighashFlag::kAll);
+    const Bytes sb = tx::sign_input(t, i, rev_b_.sk, env_.scheme(), SighashFlag::kAll);
+    const Bytes sw = tx::sign_input(t, i, rev_w_.sk, env_.scheme(), SighashFlag::kAll);
+    t.witnesses[i].stack = {Bytes{}, sa, sb, sw, Bytes{1}};
+    t.witnesses[i].witness_script = i == 0 ? s.out0 : s.out1;
+  }
+  return t;
+}
+
+void FppwChannel::sign_state(std::uint32_t state, const channel::StateVec& st) {
+  const auto& scheme = env_.scheme();
+  const StateSecrets sec = state_secrets(state);
+  commit_body_ = build_commit_body(state);
+  out0_ = out0_script(state);
+  out1_ = out1_script(state);
+  const Hash256 digest = tx::sighash_digest(commit_body_, 0, SighashFlag::kAll);
+  crypto::op_counters().exps.fetch_add(2, std::memory_order_relaxed);
+  crypto::op_counters().signs.fetch_add(2, std::memory_order_relaxed);
+  pre_a_ = crypto::adaptor_pre_sign(main_a_.sk, digest, sec.y_b.pk);
+  pre_b_ = crypto::adaptor_pre_sign(main_b_.sk, digest, sec.y_a.pk);
+
+  split_body_ = tx::Transaction{};
+  split_body_.inputs = {{{commit_body_.txid(), 0}}};
+  split_body_.nlocktime = 0;
+  split_body_.outputs = daricch::state_outputs(st, pub_a_.main, pub_b_.main);
+  split_sig_a_ = tx::sign_input(split_body_, 0, main_a_.sk, scheme, SighashFlag::kAll);
+  split_sig_b_ = tx::sign_input(split_body_, 0, main_b_.sk, scheme, SighashFlag::kAll);
+
+  archive_.push_back({commit_body_, out0_, out1_, pre_a_, pre_b_});
+}
+
+bool FppwChannel::create() {
+  fund_script_ = script::multisig_2of2(main_a_.pk.compressed(), main_b_.pk.compressed());
+  // The funding holds channel capacity plus the tower's collateral
+  // (escrowed at setup; the tower recovers it through every exit path).
+  fund_op_ = env_.ledger().mint(params_.capacity() + collateral(),
+                                tx::Condition::p2wsh(fund_script_));
+  st_ = {params_.cash_a, params_.cash_b, {}};
+  sn_ = 0;
+  env_.message_round(PartyId::kA, "fppw/create");
+  sign_state(0, st_);
+  open_ = true;
+  return true;
+}
+
+bool FppwChannel::update(const channel::StateVec& next) {
+  if (!open_) throw std::logic_error("channel not open");
+  if (next.total() != params_.capacity())
+    throw std::invalid_argument("state must preserve capacity");
+  if (next.to_a <= 0 || next.to_b <= 0)
+    throw std::invalid_argument("both balances must stay positive");
+  env_.message_round(PartyId::kA, "fppw/presig");
+  env_.message_round(PartyId::kB, "fppw/split-sig");
+  env_.message_round(PartyId::kA, "fppw/revoke");
+  // Revoke the current state: both revocation variants go to the tower.
+  const std::uint32_t old = sn_;
+  tower_revocations_.push_back(
+      {archive_.at(old).commit_body.txid(), build_revocation(old, PartyId::kA)});
+  tower_revocations_.push_back(
+      {archive_.at(old).commit_body.txid(), build_revocation(old, PartyId::kB)});
+  sign_state(old + 1, next);
+  ++sn_;
+  st_ = next;
+  return true;
+}
+
+tx::Transaction FppwChannel::assemble_commit(PartyId publisher, std::uint32_t state) const {
+  const ArchivedState& s = archive_.at(state);
+  const StateSecrets sec = state_secrets(state);
+  tx::Transaction t = s.commit_body;
+  const Hash256 digest = tx::sighash_digest(t, 0, SighashFlag::kAll);
+  Bytes sig_a, sig_b;
+  if (publisher == PartyId::kA) {
+    sig_a = script::encode_wire_sig(env_.scheme().sign(main_a_.sk, digest), SighashFlag::kAll);
+    sig_b = script::encode_wire_sig(crypto::adaptor_adapt(s.pre_b, sec.y_a.sk),
+                                    SighashFlag::kAll);
+  } else {
+    sig_a = script::encode_wire_sig(crypto::adaptor_adapt(s.pre_a, sec.y_b.sk),
+                                    SighashFlag::kAll);
+    sig_b = script::encode_wire_sig(env_.scheme().sign(main_b_.sk, digest), SighashFlag::kAll);
+  }
+  daricch::attach_funding_witness(t, 0, fund_script_, sig_a, sig_b);
+  return t;
+}
+
+bool FppwChannel::cooperative_close() {
+  if (!open_) throw std::logic_error("channel not open");
+  const auto& scheme = env_.scheme();
+  tx::Transaction close;
+  close.inputs = {{fund_op_}};
+  close.nlocktime = 0;
+  close.outputs = daricch::state_outputs(st_, pub_a_.main, pub_b_.main);
+  close.outputs.push_back({collateral(), tx::Condition::p2wpkh(tower_payout_.pk.compressed())});
+  const Bytes sa = tx::sign_input(close, 0, main_a_.sk, scheme, SighashFlag::kAll);
+  const Bytes sb = tx::sign_input(close, 0, main_b_.sk, scheme, SighashFlag::kAll);
+  daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
+  env_.message_round(PartyId::kA, "fppw/close");
+  env_.ledger().post(close);
+  expected_close_txid_ = close.txid();
+  return run_until_closed();
+}
+
+void FppwChannel::force_close(PartyId who) {
+  if (!open_) return;
+  env_.ledger().post(assemble_commit(who, sn_));
+}
+
+void FppwChannel::publish_old_commit(PartyId who, std::uint32_t state) {
+  if (state >= archive_.size()) throw std::out_of_range("no archived commit");
+  env_.ledger().post(assemble_commit(who, state));
+}
+
+void FppwChannel::on_round() {
+  if (!open_ || outcome_ != FppwOutcome::kNone) return;
+  auto& ledger = env_.ledger();
+  const auto& scheme = env_.scheme();
+
+  if (pending_txid_) {
+    if (ledger.is_confirmed(*pending_txid_)) {
+      outcome_ = pending_is_compensation_ ? FppwOutcome::kCompensated : FppwOutcome::kPunished;
+      open_ = false;
+    }
+    return;
+  }
+  if (pending_split_) {
+    auto& [post_round, bound] = *pending_split_;
+    if (post_round != -1 && env_.now() >= post_round) {
+      ledger.post(bound);
+      post_round = -1;
+    } else if (post_round == -1 && ledger.is_confirmed(bound.txid())) {
+      outcome_ = FppwOutcome::kNonCollaborative;
+      open_ = false;
+    }
+    return;
+  }
+
+  // Tower-failure path: fraud seen, tower offline, CSV matured.
+  if (fraud_seen_round_ && !tower_online_) {
+    if (env_.now() >= *fraud_seen_round_ + params_.t_punish) {
+      // Identify the publisher by extraction, then claim the collateral.
+      const auto spender = ledger.spender_of(fund_op_);
+      std::uint32_t state = 0;
+      const ArchivedState* rec = nullptr;
+      for (std::uint32_t i = 0; i < archive_.size(); ++i) {
+        if (archive_[i].commit_body.txid() == *fraud_commit_txid_) {
+          rec = &archive_[i];
+          state = i;
+          break;
+        }
+      }
+      if (!rec || !spender) return;
+      const StateSecrets sec = state_secrets(state);
+      const auto raw_a =
+          script::decode_wire_sig(spender->witnesses[0].stack[1], scheme.signature_size());
+      const auto raw_b =
+          script::decode_wire_sig(spender->witnesses[0].stack[2], scheme.signature_size());
+      if (!raw_a || !raw_b) return;
+      for (PartyId publisher : {PartyId::kA, PartyId::kB}) {
+        const bool a_pub = publisher == PartyId::kA;
+        crypto::Scalar y;
+        try {
+          y = crypto::adaptor_extract(a_pub ? raw_b->raw : raw_a->raw,
+                                      a_pub ? rec->pre_b : rec->pre_a);
+        } catch (const std::invalid_argument&) {
+          continue;
+        }
+        if (!(crypto::Point::mul_gen(y) == (a_pub ? sec.y_a.pk : sec.y_b.pk))) continue;
+
+        tx::Transaction pen;
+        pen.inputs = {{{*fraud_commit_txid_, 1}}};
+        pen.nlocktime = 0;
+        pen.outputs = {{collateral(),
+                        tx::Condition::p2wpkh(a_pub ? pub_b_.main : pub_a_.main)}};
+        const Hash256 digest = tx::sighash_digest(pen, 0, SighashFlag::kAll);
+        const Bytes sig_pen = script::encode_wire_sig(
+            scheme.sign((a_pub ? pen_b_ : pen_a_).sk, digest), SighashFlag::kAll);
+        const Bytes sig_y =
+            script::encode_wire_sig(scheme.sign(y, digest), SighashFlag::kAll);
+        pen.witnesses.resize(1);
+        pen.witnesses[0].stack = {Bytes{}, sig_pen, sig_y,
+                                  a_pub ? Bytes{1} : Bytes{}, Bytes{}};
+        pen.witnesses[0].witness_script = rec->out1;
+        ledger.post(pen);
+        pending_txid_ = pen.txid();
+        pending_is_compensation_ = true;
+        return;
+      }
+    }
+    return;
+  }
+
+  const auto spender = ledger.spender_of(fund_op_);
+  if (!spender) return;
+  const Hash256 id = spender->txid();
+  if (expected_close_txid_ && id == *expected_close_txid_) {
+    outcome_ = FppwOutcome::kCooperative;
+    open_ = false;
+    return;
+  }
+  std::uint32_t state = 0;
+  const ArchivedState* rec = nullptr;
+  for (std::uint32_t i = 0; i < archive_.size(); ++i) {
+    if (archive_[i].commit_body.txid() == id) {
+      rec = &archive_[i];
+      state = i;
+      break;
+    }
+  }
+  if (!rec) return;
+
+  if (state < sn_) {
+    // Revoked: the tower (if online) fires the pre-signed revocation for
+    // the non-publishing victim.
+    if (!tower_online_) {
+      fraud_seen_round_ = *ledger.confirmation_round(id);
+      fraud_commit_txid_ = id;
+      return;
+    }
+    // Identify the publisher: if B's on-chain signature slot is the
+    // adaptor-completion of pre_b, then A published, so B is the victim.
+    const StateSecrets sec = state_secrets(state);
+    const auto raw_b =
+        script::decode_wire_sig(spender->witnesses[0].stack[2], scheme.signature_size());
+    PartyId victim = PartyId::kA;  // assume B published
+    if (raw_b) {
+      try {
+        const crypto::Scalar y = crypto::adaptor_extract(raw_b->raw, rec->pre_b);
+        if (crypto::Point::mul_gen(y) == sec.y_a.pk) victim = PartyId::kB;
+      } catch (const std::invalid_argument&) {
+      }
+    }
+    for (const RevocationRecord& rv : tower_revocations_) {
+      if (rv.commit_txid != id) continue;
+      // The stored pair is [victim=A, victim=B]; match by payout key.
+      const auto& payout = rv.revocation.outputs[0].cond;
+      const bool pays_a = payout == tx::Condition::p2wpkh(pub_a_.main);
+      if ((victim == PartyId::kA) == pays_a) {
+        ledger.post(rv.revocation);
+        pending_txid_ = rv.revocation.txid();
+        pending_is_compensation_ = false;
+        return;
+      }
+    }
+    return;
+  }
+
+  // Latest commit: split after the CSV delay (collateral release elided —
+  // the tower's exit is part of the cooperative teardown in this engine).
+  const auto conf = ledger.confirmation_round(id);
+  tx::Transaction split = split_body_;
+  split.witnesses.resize(1);
+  split.witnesses[0].stack = {Bytes{}, split_sig_a_, split_sig_b_, Bytes{}};
+  split.witnesses[0].witness_script = out0_;
+  pending_split_ = {{(conf ? *conf : env_.now()) + params_.t_punish, std::move(split)}};
+}
+
+bool FppwChannel::run_until_closed(Round max_rounds) {
+  for (Round r = 0; r < max_rounds; ++r) {
+    if (outcome_ != FppwOutcome::kNone) return true;
+    env_.advance_round();
+  }
+  return outcome_ != FppwOutcome::kNone;
+}
+
+std::size_t FppwChannel::party_storage_bytes(PartyId who) const {
+  if (!open_) return 0;
+  (void)who;
+  channel::StorageMeter m;
+  m.add_raw(36);
+  m.add_tx(commit_body_);
+  m.add_tx(split_body_);
+  m.add_signature();
+  m.add_raw(33 + 32);  // counterparty pre-signature
+  // Parties also retain the per-state revocations they co-signed (O(n)).
+  for (const RevocationRecord& rv : tower_revocations_) m.add_tx(rv.revocation);
+  m.add_raw(5 * (32 + 33));
+  return m.bytes();
+}
+
+std::size_t FppwChannel::tower_storage_bytes() const {
+  channel::StorageMeter m;
+  m.add_raw(36 + 33);
+  for (const RevocationRecord& rv : tower_revocations_) {
+    m.add_raw(32);
+    m.add_tx(rv.revocation);
+  }
+  return m.bytes();
+}
+
+}  // namespace daric::fppw

@@ -1,0 +1,123 @@
+// FPPW baseline (Mirzaei et al., the same authors' fair watchtower design):
+// punish-then-split commits with adaptor-based publisher identification and
+// a watchtower that posts collateral equal to the channel capacity. Every
+// commit transaction has two outputs (Appendix H.5's 224w/137nw layout):
+//
+//   out0 — channel funds:  IF 3 RevA RevB RevW 3 CMS          (revocation)
+//                          ELSE t CSV DROP 2 SplA SplB 2 CMS  (split)
+//   out1 — collateral:     IF 3 RevA RevB RevW 3 CMS          (revocation)
+//                          ELSE t CSV DROP
+//                               IF  2 PenB Y_A 2 CMS          (B compensated)
+//                               ELSE 2 PenA Y_B 2 CMS         (A compensated)
+//
+// Honest fraud handling: the tower publishes the pre-signed revocation,
+// the victim gets the channel funds and the tower recovers its collateral.
+// If the tower fails (goes offline), the victim extracts the cheater's
+// statement witness y from the adaptor-completed commit signature and
+// claims the *collateral* through the penalty branch — the "fair w.r.t.
+// the hiring party" guarantee Sec. 6.2 leans on.
+#pragma once
+
+#include <optional>
+
+#include "src/channel/params.h"
+#include "src/channel/state.h"
+#include "src/crypto/adaptor.h"
+#include "src/daric/wallet.h"
+#include "src/sim/environment.h"
+#include "src/sim/party.h"
+#include "src/tx/transaction.h"
+
+namespace daric::fppw {
+
+enum class FppwOutcome {
+  kNone,
+  kCooperative,
+  kNonCollaborative,
+  kPunished,          // tower fired the revocation
+  kCompensated,       // tower failed; victim took the collateral
+};
+
+class FppwChannel {
+ public:
+  FppwChannel(sim::Environment& env, channel::ChannelParams params);
+
+  bool create();
+  bool update(const channel::StateVec& next);
+  bool cooperative_close();
+  void force_close(sim::PartyId who);
+  void publish_old_commit(sim::PartyId who, std::uint32_t state);
+
+  /// Take the watchtower offline (the fairness scenario).
+  void set_tower_online(bool online) { tower_online_ = online; }
+
+  bool run_until_closed(Round max_rounds = 400);
+  FppwOutcome outcome() const { return outcome_; }
+  std::uint32_t state_number() const { return sn_; }
+
+  std::size_t party_storage_bytes(sim::PartyId who) const;   // O(n)
+  std::size_t tower_storage_bytes() const;                   // O(n)
+  const tx::Transaction& latest_commit_body() const { return commit_body_; }
+  tx::OutPoint funding_outpoint() const { return fund_op_; }
+  Amount collateral() const { return params_.capacity(); }
+  const channel::ChannelParams& params() const { return params_; }
+
+ private:
+  struct StateSecrets {
+    crypto::KeyPair y_a, y_b;  // publisher statements
+  };
+  StateSecrets state_secrets(std::uint32_t state) const;
+  script::Script out0_script(std::uint32_t state) const;
+  script::Script out1_script(std::uint32_t state) const;
+  tx::Transaction build_commit_body(std::uint32_t state) const;
+  tx::Transaction assemble_commit(sim::PartyId publisher, std::uint32_t state) const;
+  tx::Transaction build_revocation(std::uint32_t state, sim::PartyId victim) const;
+  void sign_state(std::uint32_t state, const channel::StateVec& st);
+  void on_round();
+
+  sim::Environment& env_;
+  channel::ChannelParams params_;
+  daricch::DaricPubKeys pub_a_, pub_b_;
+  crypto::KeyPair main_a_, main_b_;             // funding / split keys
+  crypto::KeyPair rev_a_, rev_b_, rev_w_;       // revocation (3-of-3)
+  crypto::KeyPair pen_a_, pen_b_;               // penalty keys
+  crypto::KeyPair tower_payout_;
+
+  bool open_ = false;
+  bool tower_online_ = true;
+  std::uint32_t sn_ = 0;
+  channel::StateVec st_;
+  tx::OutPoint fund_op_;
+  script::Script fund_script_;
+
+  // Latest state material (single, non-duplicated commit, like GC).
+  tx::Transaction commit_body_;
+  script::Script out0_, out1_;
+  crypto::AdaptorPreSig pre_a_, pre_b_;
+  tx::Transaction split_body_;
+  Bytes split_sig_a_, split_sig_b_;
+
+  struct ArchivedState {
+    tx::Transaction commit_body;
+    script::Script out0, out1;
+    crypto::AdaptorPreSig pre_a, pre_b;
+  };
+  std::vector<ArchivedState> archive_;
+  // Tower-held (and party-held) fully signed revocations, one per revoked
+  // state — the O(n) storage of Table 1.
+  struct RevocationRecord {
+    Hash256 commit_txid;
+    tx::Transaction revocation;
+  };
+  std::vector<RevocationRecord> tower_revocations_;
+
+  FppwOutcome outcome_ = FppwOutcome::kNone;
+  std::optional<Hash256> expected_close_txid_;
+  std::optional<Hash256> pending_txid_;
+  bool pending_is_compensation_ = false;
+  std::optional<std::pair<Round, tx::Transaction>> pending_split_;
+  std::optional<Round> fraud_seen_round_;
+  std::optional<Hash256> fraud_commit_txid_;
+};
+
+}  // namespace daric::fppw

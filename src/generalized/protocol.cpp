@@ -1,0 +1,298 @@
+#include "src/generalized/protocol.h"
+
+#include <stdexcept>
+
+#include "src/channel/storage.h"
+#include "src/crypto/sha256.h"
+#include "src/daric/builders.h"
+#include "src/daric/scripts.h"
+#include "src/tx/sighash.h"
+
+namespace daric::generalized {
+
+using script::SighashFlag;
+using sim::PartyId;
+
+GeneralizedChannel::GeneralizedChannel(sim::Environment& env, channel::ChannelParams params)
+    : env_(env), params_(std::move(params)) {
+  params_.validate(env_.delta());
+  if (!env_.scheme().supports_adaptor())
+    throw std::invalid_argument(
+        "Generalized channels need adaptor signatures; scheme '" + env_.scheme().name() +
+        "' has none (this is the compatibility limitation Daric avoids)");
+  const daricch::DaricKeys ka = daricch::DaricKeys::derive("A", params_.id + "/gc");
+  const daricch::DaricKeys kb = daricch::DaricKeys::derive("B", params_.id + "/gc");
+  pub_a_ = to_pub(ka);
+  pub_b_ = to_pub(kb);
+  main_a_ = crypto::derive_keypair(params_.id + "/gc/A/main");
+  main_b_ = crypto::derive_keypair(params_.id + "/gc/B/main");
+  env_.add_round_hook([this] { on_round(); });
+}
+
+GeneralizedChannel::StateSecrets GeneralizedChannel::state_secrets(std::uint32_t state) const {
+  const std::string base = params_.id + "/gc/state/" + std::to_string(state);
+  auto preimage = [&](const std::string& label) {
+    const Hash256 h = crypto::Sha256::tagged("daric/gc-rev", {
+        reinterpret_cast<const Byte*>(label.data()), label.size()});
+    return Bytes(h.view().begin(), h.view().end());
+  };
+  return {crypto::derive_keypair(base + "/yA"), crypto::derive_keypair(base + "/yB"),
+          preimage(base + "/rA"), preimage(base + "/rB")};
+}
+
+script::Script GeneralizedChannel::output_script(std::uint32_t state) const {
+  const StateSecrets s = state_secrets(state);
+  const Hash256 ha = crypto::Sha256::double_hash(s.r_a);
+  const Hash256 hb = crypto::Sha256::double_hash(s.r_b);
+  return commit_output_script(pub_a_.main, pub_b_.main, s.y_a.pk.compressed(),
+                              s.y_b.pk.compressed(), ha.view(), hb.view(),
+                              static_cast<std::uint32_t>(params_.t_punish));
+}
+
+tx::Transaction GeneralizedChannel::build_commit_body(std::uint32_t state) const {
+  tx::Transaction t;
+  t.inputs = {{fund_op_}};
+  t.nlocktime = params_.s0 + state;  // state identifier (Sec. 8 trick)
+  t.outputs = {{params_.capacity(), tx::Condition::p2wsh(output_script(state))}};
+  return t;
+}
+
+void GeneralizedChannel::sign_state(std::uint32_t state, const channel::StateVec& st) {
+  const auto& scheme = env_.scheme();
+  const StateSecrets sec = state_secrets(state);
+  commit_body_ = build_commit_body(state);
+  out_script_ = output_script(state);
+  const Hash256 digest = tx::sighash_digest(commit_body_, 0, SighashFlag::kAll);
+  // Each party generates its statement (1 exp) and a pre-signature (1 sign).
+  crypto::op_counters().exps.fetch_add(2, std::memory_order_relaxed);
+  crypto::op_counters().signs.fetch_add(2, std::memory_order_relaxed);
+  pre_a_ = crypto::adaptor_pre_sign(main_a_.sk, digest, sec.y_b.pk);  // held by B
+  pre_b_ = crypto::adaptor_pre_sign(main_b_.sk, digest, sec.y_a.pk);  // held by A
+
+  split_body_ = tx::Transaction{};
+  split_body_.inputs = {{{commit_body_.txid(), 0}}};
+  split_body_.nlocktime = 0;
+  split_body_.outputs = daricch::state_outputs(st, pub_a_.main, pub_b_.main);
+  split_sig_a_ = tx::sign_input(split_body_, 0, main_a_.sk, scheme, SighashFlag::kAll);
+  split_sig_b_ = tx::sign_input(split_body_, 0, main_b_.sk, scheme, SighashFlag::kAll);
+
+  // Each party verifies the counterparty's pre-signature (counted through
+  // the op hook, as adaptor verification bypasses the scheme interface)
+  // and split signature (Table 3: 2 verifications per party).
+  crypto::op_counters().verifies.fetch_add(2, std::memory_order_relaxed);
+  if (!crypto::adaptor_pre_verify(main_a_.pk, digest, sec.y_b.pk, pre_a_) ||
+      !crypto::adaptor_pre_verify(main_b_.pk, digest, sec.y_a.pk, pre_b_))
+    throw std::logic_error("adaptor pre-signature invalid");
+  const Hash256 split_digest = tx::sighash_digest(split_body_, 0, SighashFlag::kAll);
+  auto check = [&](const crypto::Point& pk, const Bytes& wire) {
+    const auto dec = script::decode_wire_sig(wire, scheme.signature_size());
+    if (!dec || !scheme.verify(pk, split_digest, dec->raw))
+      throw std::logic_error("counterparty split signature invalid");
+  };
+  check(main_b_.pk, split_sig_b_);  // A checks B
+  check(main_a_.pk, split_sig_a_);  // B checks A
+
+  archive_.push_back({commit_body_, out_script_, pre_a_, pre_b_, st});
+}
+
+bool GeneralizedChannel::create() {
+  fund_script_ = script::multisig_2of2(main_a_.pk.compressed(), main_b_.pk.compressed());
+  fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
+  st_ = {params_.cash_a, params_.cash_b, {}};
+  sn_ = 0;
+  env_.message_round(PartyId::kA, "gc/create");
+  sign_state(0, st_);
+  open_ = true;
+  return true;
+}
+
+bool GeneralizedChannel::update(const channel::StateVec& next) {
+  if (!open_) throw std::logic_error("channel not open");
+  if (next.total() != params_.capacity())
+    throw std::invalid_argument("state must preserve capacity");
+  if (next.to_a <= 0 || next.to_b <= 0)
+    throw std::invalid_argument("both balances must stay positive");
+  env_.message_round(PartyId::kA, "gc/presig");
+  env_.message_round(PartyId::kB, "gc/split-sig");
+  sign_state(sn_ + 1, next);
+  env_.message_round(PartyId::kA, "gc/revoke");
+  const StateSecrets old = state_secrets(sn_);
+  revealed_r_a_.push_back(old.r_a);
+  revealed_r_b_.push_back(old.r_b);
+  ++sn_;
+  st_ = next;
+  return true;
+}
+
+tx::Transaction GeneralizedChannel::assemble_commit(PartyId publisher, std::uint32_t state) const {
+  const ArchivedState& s = archive_.at(state);
+  const StateSecrets sec = state_secrets(state);
+  tx::Transaction t = s.commit_body;
+  Bytes sig_a, sig_b;
+  if (publisher == PartyId::kA) {
+    const Hash256 digest = tx::sighash_digest(t, 0, SighashFlag::kAll);
+    sig_a = script::encode_wire_sig(env_.scheme().sign(main_a_.sk, digest), SighashFlag::kAll);
+    sig_b = script::encode_wire_sig(crypto::adaptor_adapt(s.pre_b, sec.y_a.sk), SighashFlag::kAll);
+  } else {
+    const Hash256 digest = tx::sighash_digest(t, 0, SighashFlag::kAll);
+    sig_a = script::encode_wire_sig(crypto::adaptor_adapt(s.pre_a, sec.y_b.sk), SighashFlag::kAll);
+    sig_b = script::encode_wire_sig(env_.scheme().sign(main_b_.sk, digest), SighashFlag::kAll);
+  }
+  daricch::attach_funding_witness(t, 0, fund_script_, sig_a, sig_b);
+  return t;
+}
+
+bool GeneralizedChannel::cooperative_close() {
+  if (!open_) throw std::logic_error("channel not open");
+  const auto& scheme = env_.scheme();
+  tx::Transaction close;
+  close.inputs = {{fund_op_}};
+  close.nlocktime = 0;
+  close.outputs = daricch::state_outputs(st_, pub_a_.main, pub_b_.main);
+  const Bytes sa = tx::sign_input(close, 0, main_a_.sk, scheme, SighashFlag::kAll);
+  const Bytes sb = tx::sign_input(close, 0, main_b_.sk, scheme, SighashFlag::kAll);
+  daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
+  env_.message_round(PartyId::kA, "gc/close");
+  env_.ledger().post(close);
+  expected_close_txid_ = close.txid();
+  return run_until_closed();
+}
+
+void GeneralizedChannel::force_close(PartyId who) {
+  if (!open_) return;
+  env_.ledger().post(assemble_commit(who, sn_));
+}
+
+void GeneralizedChannel::publish_old_commit(PartyId who, std::uint32_t state) {
+  if (state >= archive_.size()) throw std::out_of_range("no archived commit for that state");
+  env_.ledger().post(assemble_commit(who, state));
+}
+
+void GeneralizedChannel::on_round() {
+  if (!open_ || outcome_ != GcOutcome::kNone) return;
+  auto& ledger = env_.ledger();
+  const auto& scheme = env_.scheme();
+
+  if (pending_punish_txid_) {
+    if (ledger.is_confirmed(*pending_punish_txid_)) {
+      outcome_ = GcOutcome::kPunished;
+      open_ = false;
+    }
+    return;
+  }
+  if (pending_split_) {
+    if (!pending_split_->posted && env_.now() >= pending_split_->post_round) {
+      ledger.post(pending_split_->bound);
+      pending_split_->posted = true;
+    } else if (pending_split_->posted && ledger.is_confirmed(pending_split_->bound.txid())) {
+      outcome_ = GcOutcome::kNonCollaborative;
+      open_ = false;
+    }
+    return;
+  }
+
+  const auto spender = ledger.spender_of(fund_op_);
+  if (!spender) return;
+  const Hash256 id = spender->txid();
+  if (expected_close_txid_ && id == *expected_close_txid_) {
+    outcome_ = GcOutcome::kCooperative;
+    open_ = false;
+    return;
+  }
+
+  // Identify the published state by txid (bodies are unique per state).
+  const ArchivedState* rec = nullptr;
+  std::uint32_t state = 0;
+  for (std::uint32_t i = 0; i < archive_.size(); ++i) {
+    if (archive_[i].commit_body.txid() == id) {
+      rec = &archive_[i];
+      state = i;
+      break;
+    }
+  }
+  if (!rec) return;
+
+  if (state == sn_) {
+    // Latest state: schedule the split after the dispute delay.
+    const auto conf = ledger.confirmation_round(id);
+    tx::Transaction split = split_body_;
+    split.witnesses.resize(1);
+    split.witnesses[0].stack = {Bytes{}, split_sig_a_, split_sig_b_, Bytes{1}};
+    split.witnesses[0].witness_script = out_script_;
+    pending_split_ =
+        PendingSplit{std::move(split), (conf ? *conf : env_.now()) + params_.t_punish, false};
+    return;
+  }
+
+  // Revoked state: identify the publisher by adaptor extraction, then
+  // punish with (extracted y, revealed r).
+  if (spender->witnesses.empty() || spender->witnesses[0].stack.size() != 3) return;
+  const StateSecrets sec = state_secrets(state);
+  const auto raw_a = script::decode_wire_sig(spender->witnesses[0].stack[1],
+                                             scheme.signature_size());
+  const auto raw_b = script::decode_wire_sig(spender->witnesses[0].stack[2],
+                                             scheme.signature_size());
+  if (!raw_a || !raw_b) return;
+
+  auto try_punish = [&](PartyId publisher) {
+    const bool a_published = publisher == PartyId::kA;
+    const crypto::AdaptorPreSig& pre = a_published ? rec->pre_b : rec->pre_a;
+    const Bytes& on_chain = a_published ? raw_b->raw : raw_a->raw;
+    crypto::Scalar y;
+    try {
+      y = crypto::adaptor_extract(on_chain, pre);
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+    const crypto::Point expect = a_published ? sec.y_a.pk : sec.y_b.pk;
+    if (!(crypto::Point::mul_gen(y) == expect)) return false;
+
+    const Bytes& r = a_published ? revealed_r_a_.at(state) : revealed_r_b_.at(state);
+    tx::Transaction punish;
+    punish.inputs = {{{id, 0}}};
+    punish.nlocktime = 0;
+    punish.outputs = {{params_.capacity(),
+                       tx::Condition::p2wpkh(a_published ? pub_b_.main : pub_a_.main)}};
+    const Hash256 digest = tx::sighash_digest(punish, 0, SighashFlag::kAll);
+    const Bytes sig_y = script::encode_wire_sig(scheme.sign(y, digest), SighashFlag::kAll);
+    const crypto::Scalar& victim_sk = a_published ? main_b_.sk : main_a_.sk;
+    const Bytes sig_main = script::encode_wire_sig(scheme.sign(victim_sk, digest),
+                                                   SighashFlag::kAll);
+    punish.witnesses.resize(1);
+    // Branch selectors: outer ε (punish side), inner 1 = punish A / ε = punish B.
+    punish.witnesses[0].stack = {sig_main, r, sig_y,
+                                 a_published ? Bytes{1} : Bytes{}, Bytes{}};
+    punish.witnesses[0].witness_script = rec->out_script;
+    ledger.post(punish);
+    pending_punish_txid_ = punish.txid();
+    return true;
+  };
+
+  if (!try_punish(PartyId::kA)) try_punish(PartyId::kB);
+}
+
+bool GeneralizedChannel::run_until_closed(Round max_rounds) {
+  for (Round r = 0; r < max_rounds; ++r) {
+    if (outcome_ != GcOutcome::kNone) return true;
+    env_.advance_round();
+  }
+  return outcome_ != GcOutcome::kNone;
+}
+
+std::size_t GeneralizedChannel::party_storage_bytes(PartyId who) const {
+  if (!open_) return 0;
+  (void)who;
+  channel::StorageMeter m;
+  m.add_raw(36);
+  m.add_tx(commit_body_);
+  m.add_tx(split_body_);
+  m.add_signature();  // split sig (own copy of counterparty's)
+  m.add_raw(33 + 32);  // counterparty pre-signature (R̂, ŝ)
+  // Revealed revocation preimages of the counterparty: O(n).
+  const auto& revealed = who == PartyId::kA ? revealed_r_b_ : revealed_r_a_;
+  for (const Bytes& r : revealed) m.add_raw(r.size());
+  m.add_raw(2 * (32 + 33));  // own keys + counterparty pubkey
+  return m.bytes();
+}
+
+}  // namespace daric::generalized

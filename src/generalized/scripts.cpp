@@ -1,0 +1,44 @@
+#include "src/generalized/scripts.h"
+
+namespace daric::generalized {
+
+script::Script commit_output_script(BytesView pk_a, BytesView pk_b, BytesView statement_a,
+                                    BytesView statement_b, BytesView rev_hash_a,
+                                    BytesView rev_hash_b, std::uint32_t csv_delay) {
+  using script::Op;
+  script::Script s;
+  s.op(Op::OP_IF)
+      // Split path: both parties, after the dispute delay.
+      .num4(csv_delay)
+      .op(Op::OP_CHECKSEQUENCEVERIFY)
+      .op(Op::OP_DROP)
+      .small_int(2)
+      .push(pk_a)
+      .push(pk_b)
+      .small_int(2)
+      .op(Op::OP_CHECKMULTISIG)
+      .op(Op::OP_ELSE)
+      .op(Op::OP_IF)
+      // B punishes A: signature under Y_A (extracted witness) + preimage r_A.
+      .push(statement_a)
+      .op(Op::OP_CHECKSIGVERIFY)
+      .op(Op::OP_HASH256)
+      .push(rev_hash_a)
+      .op(Op::OP_EQUALVERIFY)
+      .push(pk_b)
+      .op(Op::OP_CHECKSIG)
+      .op(Op::OP_ELSE)
+      // A punishes B.
+      .push(statement_b)
+      .op(Op::OP_CHECKSIGVERIFY)
+      .op(Op::OP_HASH256)
+      .push(rev_hash_b)
+      .op(Op::OP_EQUALVERIFY)
+      .push(pk_a)
+      .op(Op::OP_CHECKSIG)
+      .op(Op::OP_ENDIF)
+      .op(Op::OP_ENDIF);
+  return s;
+}
+
+}  // namespace daric::generalized

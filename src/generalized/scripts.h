@@ -1,0 +1,22 @@
+// Generalized-channel (Aumayr et al.) scripts.
+//
+// The commit output merges punish-then-split with publisher identification:
+// the split needs both parties after a delay; punishment needs (a) a
+// signature under the publisher's per-state statement Y — producible only
+// by the victim, who extracts the witness y from the adaptor-completed
+// commit signature — and (b) the publisher's revealed revocation preimage.
+// This is an executable re-arrangement of the paper's H.2 listing (same
+// ingredients, stack-machine-friendly branch selectors); Table 3 byte
+// counts come from the cost model, which uses the paper's exact sizes.
+#pragma once
+
+#include "src/script/standard.h"
+#include "src/tx/output.h"
+
+namespace daric::generalized {
+
+script::Script commit_output_script(BytesView pk_a, BytesView pk_b, BytesView statement_a,
+                                    BytesView statement_b, BytesView rev_hash_a,
+                                    BytesView rev_hash_b, std::uint32_t csv_delay);
+
+}  // namespace daric::generalized

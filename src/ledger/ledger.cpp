@@ -1,0 +1,94 @@
+#include "src/ledger/ledger.h"
+
+#include <stdexcept>
+
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace daric::ledger {
+
+void Ledger::post(const tx::Transaction& t) { post_with_delay(t, delta_); }
+
+void Ledger::post_with_delay(const tx::Transaction& t, Round delay) {
+  if (delay < 0 || delay > delta_) throw std::invalid_argument("delay must be in [0, Δ]");
+  records_.push_back({t.txid(), now_, now_ + delay, false, TxError::kOk});
+  queue_.push_back({t, now_ + delay, records_.size() - 1});
+}
+
+void Ledger::advance_round() {
+  ++now_;
+  process_due();
+}
+
+void Ledger::advance_rounds(Round n) {
+  for (Round i = 0; i < n; ++i) advance_round();
+}
+
+void Ledger::process_due() {
+  // FIFO over the queue; entries due now (or earlier) are processed.
+  std::deque<Pending> keep;
+  while (!queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    if (p.due > now_) {
+      keep.push_back(std::move(p));
+      continue;
+    }
+    const TxError err = validate_transaction(p.tx, {utxos_, seen_txids_, now_, scheme_});
+    records_[p.record_index].processed = true;
+    records_[p.record_index].result = err;
+    if (err != TxError::kOk) continue;
+
+    const Hash256 id = p.tx.txid();
+    fees_total_ += transaction_fee(p.tx, utxos_);
+    for (const tx::TxIn& in : p.tx.inputs) {
+      utxos_.erase(in.prevout);
+      spent_by_[in.prevout] = id;
+    }
+    for (std::uint32_t i = 0; i < p.tx.outputs.size(); ++i) {
+      utxos_.add({{id, i}, p.tx.outputs[i], now_});
+    }
+    seen_txids_.insert(id);
+    confirmed_round_[id] = now_;
+    tx_by_id_[id] = p.tx;
+    accepted_.push_back({now_, p.tx});
+  }
+  queue_ = std::move(keep);
+}
+
+tx::OutPoint Ledger::mint(Amount value, const tx::Condition& cond) {
+  if (value <= 0) throw std::invalid_argument("mint value must be positive");
+  // Synthesize a unique txid from a counter (not a real transaction).
+  Writer w;
+  w.u64le(mint_counter_++);
+  const Hash256 id = crypto::Sha256::tagged("daric/mint", w.data());
+  const tx::OutPoint op{id, 0};
+  utxos_.add({op, {value, cond}, now_});
+  seen_txids_.insert(id);
+  minted_total_ += value;
+  return op;
+}
+
+bool Ledger::is_confirmed(const Hash256& txid) const { return confirmed_round_.contains(txid); }
+
+std::optional<Round> Ledger::confirmation_round(const Hash256& txid) const {
+  const auto it = confirmed_round_.find(txid);
+  if (it == confirmed_round_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<tx::Transaction> Ledger::spender_of(const tx::OutPoint& op) const {
+  const auto it = spent_by_.find(op);
+  if (it == spent_by_.end()) return std::nullopt;
+  return tx_by_id_.at(it->second);
+}
+
+std::optional<TxError> Ledger::post_result(const Hash256& txid) const {
+  // Latest record for this txid (a tx may be re-posted).
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->txid == txid && it->processed) return it->result;
+  }
+  return std::nullopt;
+}
+
+}  // namespace daric::ledger

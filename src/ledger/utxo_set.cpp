@@ -1,0 +1,23 @@
+#include "src/ledger/utxo_set.h"
+
+namespace daric::ledger {
+
+void UtxoSet::add(const Utxo& u) { map_[u.outpoint] = u; }
+
+bool UtxoSet::erase(const tx::OutPoint& op) { return map_.erase(op) > 0; }
+
+std::optional<Utxo> UtxoSet::find(const tx::OutPoint& op) const {
+  const auto it = map_.find(op);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool UtxoSet::contains(const tx::OutPoint& op) const { return map_.contains(op); }
+
+Amount UtxoSet::total_value() const {
+  Amount sum = 0;
+  for (const auto& [op, utxo] : map_) sum += utxo.output.cash;
+  return sum;
+}
+
+}  // namespace daric::ledger

@@ -1,0 +1,30 @@
+// The UTXO set maintained by the ledger functionality.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/tx/output.h"
+
+namespace daric::ledger {
+
+struct Utxo {
+  tx::OutPoint outpoint;
+  tx::Output output;
+  Round recorded_round = 0;  // the `t` in (t, txid, i, θ) of Appendix C
+};
+
+class UtxoSet {
+ public:
+  void add(const Utxo& u);
+  bool erase(const tx::OutPoint& op);
+  std::optional<Utxo> find(const tx::OutPoint& op) const;
+  bool contains(const tx::OutPoint& op) const;
+  std::size_t size() const { return map_.size(); }
+  Amount total_value() const;
+
+ private:
+  std::unordered_map<tx::OutPoint, Utxo, tx::OutPointHasher> map_;
+};
+
+}  // namespace daric::ledger

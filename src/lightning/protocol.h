@@ -1,0 +1,101 @@
+// Lightning channel baseline: duplicated per-party commitment transactions,
+// per-state revocation secrets, O(n) party/watchtower storage.
+#pragma once
+
+#include <optional>
+
+#include "src/channel/params.h"
+#include "src/channel/state.h"
+#include "src/daric/wallet.h"
+#include "src/lightning/scripts.h"
+#include "src/sim/environment.h"
+#include "src/sim/party.h"
+#include "src/tx/transaction.h"
+
+namespace daric::lightning {
+
+enum class LnOutcome { kNone, kCooperative, kNonCollaborative, kPunished };
+
+class LightningChannel {
+ public:
+  LightningChannel(sim::Environment& env, channel::ChannelParams params);
+
+  bool create();
+  bool update(const channel::StateVec& next);  // 3 message rounds
+  bool cooperative_close();
+  void force_close(sim::PartyId who);
+  void publish_old_commit(sim::PartyId who, std::uint32_t state);
+
+  bool run_until_closed(Round max_rounds = 400);
+  LnOutcome outcome() const { return outcome_; }
+  bool closed() const { return outcome_ != LnOutcome::kNone; }
+  std::uint32_t state_number() const { return sn_; }
+  const channel::StateVec& state() const { return st_; }
+
+  /// O(n): stored counterparty revocation secrets dominate.
+  std::size_t party_storage_bytes(sim::PartyId who) const;
+  /// Latest commitment tx of `who` (size measurements).
+  const tx::Transaction& latest_commit(sim::PartyId who) const;
+  /// Archived (signed) commit of `owner` at `state` plus its to_local script.
+  const tx::Transaction& archived_commit(sim::PartyId owner, std::uint32_t state) const;
+  const script::Script& archived_to_local(sim::PartyId owner, std::uint32_t state) const;
+  /// Revocation secret of `owner`'s commit #state, as revealed to the
+  /// counterparty (throws unless state < sn, i.e. actually revoked).
+  crypto::Scalar revealed_secret(sim::PartyId owner, std::uint32_t state) const;
+  BytesView payout_pk(sim::PartyId who) const {
+    return who == sim::PartyId::kA ? pub_a_.main : pub_b_.main;
+  }
+  const channel::ChannelParams& params() const { return params_; }
+
+ private:
+  struct CommitRecord {
+    tx::Transaction tx;          // fully signed
+    script::Script to_local;     // witness script of output 0
+    sim::PartyId owner;
+    std::uint32_t state = 0;
+  };
+
+  crypto::KeyPair revocation_keypair(sim::PartyId owner, std::uint32_t state) const;
+  tx::Transaction build_commit(sim::PartyId owner, std::uint32_t state,
+                               const channel::StateVec& st, script::Script* to_local_out) const;
+  void sign_state(std::uint32_t state, const channel::StateVec& st);
+  void on_round();
+
+  sim::Environment& env_;
+  channel::ChannelParams params_;
+  daricch::DaricPubKeys pub_a_, pub_b_;
+  crypto::KeyPair main_a_, main_b_;       // funding / commit keys
+  crypto::KeyPair delayed_a_, delayed_b_;
+
+  bool open_ = false;
+  std::uint32_t sn_ = 0;
+  channel::StateVec st_;
+  tx::OutPoint fund_op_;
+  script::Script fund_script_;
+
+  tx::Transaction commit_a_, commit_b_;  // latest, fully signed
+  script::Script to_local_a_, to_local_b_;
+
+  // Revealed revocation secrets: secrets_for_[x] = secrets of x's *own* old
+  // commits, held by the counterparty (this is the O(n) storage).
+  std::vector<Bytes> secrets_of_a_, secrets_of_b_;
+
+  // Archive of every signed commit (identification + fraud injection).
+  std::vector<CommitRecord> archive_;
+
+  LnOutcome outcome_ = LnOutcome::kNone;
+  std::optional<Hash256> expected_close_txid_;
+  std::optional<Hash256> pending_claim_txid_;
+  struct PendingSweep {
+    tx::OutPoint to_local_op;
+    script::Script script;
+    sim::PartyId owner;
+    Amount cash = 0;
+    Round post_round = 0;
+    bool posted = false;
+    Hash256 txid;
+  };
+  std::optional<PendingSweep> pending_sweep_;
+};
+
+}  // namespace daric::lightning

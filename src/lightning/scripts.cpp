@@ -1,0 +1,20 @@
+#include "src/lightning/scripts.h"
+
+namespace daric::lightning {
+
+script::Script to_local_script(BytesView revocation_pk, std::uint32_t to_self_delay,
+                               BytesView delayed_pk) {
+  script::Script s;
+  s.op(script::Op::OP_IF)
+      .push(revocation_pk)
+      .op(script::Op::OP_ELSE)
+      .num4(to_self_delay)
+      .op(script::Op::OP_CHECKSEQUENCEVERIFY)
+      .op(script::Op::OP_DROP)
+      .push(delayed_pk)
+      .op(script::Op::OP_ENDIF)
+      .op(script::Op::OP_CHECKSIG);
+  return s;
+}
+
+}  // namespace daric::lightning

@@ -1,0 +1,15 @@
+// Lightning (BOLT-3 style) scripts used by the baseline engine.
+#pragma once
+
+#include "src/script/standard.h"
+#include "src/tx/output.h"
+
+namespace daric::lightning {
+
+/// to_local output of a commitment transaction (78-byte witness script of
+/// Appendix H.1):
+///   IF <revocation_pk> ELSE <to_self_delay> CSV DROP <delayed_pk> ENDIF CHECKSIG
+script::Script to_local_script(BytesView revocation_pk, std::uint32_t to_self_delay,
+                               BytesView delayed_pk);
+
+}  // namespace daric::lightning

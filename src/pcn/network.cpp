@@ -1,0 +1,168 @@
+#include "src/pcn/network.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace daric::pcn {
+
+using channel::StateVec;
+using sim::PartyId;
+
+void PaymentNetwork::add_node(const std::string& name) {
+  if (!nodes_.emplace(name, false).second)
+    throw std::invalid_argument("node already exists: " + name);
+}
+
+std::size_t PaymentNetwork::open_channel(const std::string& left, const std::string& right,
+                                         Amount left_deposit, Amount right_deposit,
+                                         Round t_punish) {
+  if (!has_node(left) || !has_node(right)) throw std::invalid_argument("unknown node");
+  channel::ChannelParams p;
+  p.id = "pcn/" + left + "-" + right + "/" + std::to_string(channel_counter_++);
+  p.cash_a = left_deposit;
+  p.cash_b = right_deposit;
+  p.t_punish = t_punish;
+  Edge e{left, right, std::make_unique<daricch::DaricChannel>(env_, p)};
+  if (!e.ch->create()) throw std::runtime_error("channel creation failed");
+  channels_.push_back(std::move(e));
+  return channels_.size() - 1;
+}
+
+Amount PaymentNetwork::spendable(const Edge& e, bool forward) const {
+  const auto& st = e.ch->party(PartyId::kA).state();
+  // Keep 1 satoshi on each side so states stay ledger-valid.
+  return (forward ? st.to_a : st.to_b) - 1;
+}
+
+std::optional<std::vector<RouteHop>> PaymentNetwork::find_route(const std::string& from,
+                                                                const std::string& to,
+                                                                Amount amount) const {
+  if (!has_node(from) || !has_node(to) || from == to) return std::nullopt;
+  // BFS over nodes; edges usable only with sufficient directional liquidity.
+  std::map<std::string, std::pair<std::string, RouteHop>> parent;
+  std::deque<std::string> queue{from};
+  std::map<std::string, bool> seen{{from, true}};
+  while (!queue.empty()) {
+    const std::string cur = queue.front();
+    queue.pop_front();
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      const Edge& e = channels_[i];
+      if (!e.ch->party(PartyId::kA).channel_open()) continue;
+      std::string next;
+      bool forward = false;
+      if (e.left == cur && spendable(e, true) >= amount) {
+        next = e.right;
+        forward = true;
+      } else if (e.right == cur && spendable(e, false) >= amount) {
+        next = e.left;
+        forward = false;
+      } else {
+        continue;
+      }
+      // Known-offline intermediaries cannot forward; the recipient itself
+      // may still be offline (detected at lock time).
+      if (next != to && nodes_.at(next)) continue;
+      if (seen[next]) continue;
+      seen[next] = true;
+      parent[next] = {cur, {i, forward}};
+      if (next == to) {
+        std::vector<RouteHop> route;
+        std::string walk = to;
+        while (walk != from) {
+          route.push_back(parent[walk].second);
+          walk = parent[walk].first;
+        }
+        std::reverse(route.begin(), route.end());
+        return route;
+      }
+      queue.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+bool PaymentNetwork::pay(const std::string& from, const std::string& to, Amount amount) {
+  const auto route = find_route(from, to, amount);
+  if (!route) return false;
+
+  const auto invoice = channel::make_htlc_secret(
+      "pcn/" + from + "->" + to + "/" + std::to_string(payments_completed_));
+
+  // Phase 1: lock HTLCs payer-ward with decreasing timelocks so every
+  // intermediary can recover upstream after enforcing downstream.
+  std::vector<std::size_t> locked;
+  const auto base_timeout = static_cast<std::uint32_t>(12 + 6 * route->size());
+  bool failed = false;
+  for (std::size_t h = 0; h < route->size(); ++h) {
+    const RouteHop& hop = (*route)[h];
+    Edge& e = channels_[hop.channel_index];
+    const std::string& receiver = hop.forward ? e.right : e.left;
+    if (nodes_.at(receiver)) {  // receiver offline: cannot lock further
+      failed = true;
+      break;
+    }
+    StateVec st = e.ch->party(PartyId::kA).state();
+    channel::Htlc htlc{amount, invoice.payment_hash, hop.forward,
+                       base_timeout - static_cast<std::uint32_t>(6 * h)};
+    if (hop.forward) {
+      st.to_a -= amount;
+    } else {
+      st.to_b -= amount;
+    }
+    st.htlcs.push_back(htlc);
+    if (!e.ch->update(st)) {
+      failed = true;
+      break;
+    }
+    locked.push_back(h);
+  }
+
+  if (failed) {
+    // Roll back the locked hops cooperatively (timeout path, off-chain).
+    for (auto it = locked.rbegin(); it != locked.rend(); ++it) {
+      const RouteHop& hop = (*route)[*it];
+      Edge& e = channels_[hop.channel_index];
+      StateVec st = e.ch->party(PartyId::kA).state();
+      st.htlcs.pop_back();
+      if (hop.forward) {
+        st.to_a += amount;
+      } else {
+        st.to_b += amount;
+      }
+      e.ch->update(st);
+    }
+    return false;
+  }
+
+  // Phase 2: the recipient reveals the preimage; settle hops in reverse.
+  for (auto it = route->rbegin(); it != route->rend(); ++it) {
+    Edge& e = channels_[it->channel_index];
+    StateVec st = e.ch->party(PartyId::kA).state();
+    st.htlcs.pop_back();
+    if (it->forward) {
+      st.to_b += amount;
+    } else {
+      st.to_a += amount;
+    }
+    if (!e.ch->update(st)) return false;  // falls back to on-chain enforcement
+  }
+  ++payments_completed_;
+  return true;
+}
+
+void PaymentNetwork::set_offline(const std::string& name, bool offline) {
+  nodes_.at(name) = offline;
+}
+
+Amount PaymentNetwork::balance(const std::string& node) const {
+  Amount sum = 0;
+  for (const Edge& e : channels_) {
+    if (!e.ch->party(PartyId::kA).channel_open()) continue;
+    const auto& st = e.ch->party(PartyId::kA).state();
+    if (e.left == node) sum += st.to_a;
+    if (e.right == node) sum += st.to_b;
+  }
+  return sum;
+}
+
+}  // namespace daric::pcn

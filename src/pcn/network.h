@@ -1,0 +1,76 @@
+// Payment-channel network on top of Daric channels (Sec. 8, "Extending
+// Daric to multi-hop payments"): nodes, channels, BFS routing with capacity
+// constraints, and multi-hop HTLC payments with per-hop decreasing
+// timelocks. HTLC outputs ride on split transactions, so multi-hop needs
+// no extra machinery beyond channel updates — the property the paper
+// credits to avoiding state duplication.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/daric/protocol.h"
+
+namespace daric::pcn {
+
+struct RouteHop {
+  std::size_t channel_index;
+  bool forward;  // true: payer is the channel's A side
+};
+
+class PaymentNetwork {
+ public:
+  explicit PaymentNetwork(sim::Environment& env) : env_(env) {}
+
+  void add_node(const std::string& name);
+  bool has_node(const std::string& name) const { return nodes_.contains(name); }
+
+  /// Opens a Daric channel between two registered nodes; `left` plays the
+  /// role of party A. Returns the channel index.
+  std::size_t open_channel(const std::string& left, const std::string& right,
+                           Amount left_deposit, Amount right_deposit, Round t_punish = 6);
+
+  /// BFS route with enough directional liquidity for `amount` on each hop.
+  std::optional<std::vector<RouteHop>> find_route(const std::string& from,
+                                                  const std::string& to, Amount amount) const;
+
+  /// Multi-hop HTLC payment. Locks an HTLC with a decreasing timelock on
+  /// each hop (payee-ward), then settles all hops in reverse once the
+  /// recipient reveals the preimage. Returns false if no route exists or a
+  /// hop refuses (offline node); locked hops are then rolled back.
+  bool pay(const std::string& from, const std::string& to, Amount amount);
+
+  /// Marks a node as unresponsive: payments through it fail at settlement
+  /// (and the sender's HTLC lock is rolled back cooperatively upstream).
+  void set_offline(const std::string& name, bool offline);
+
+  /// Sum of the node's balances across all its open channels.
+  Amount balance(const std::string& node) const;
+
+  std::size_t channel_count() const { return channels_.size(); }
+  daricch::DaricChannel& channel(std::size_t i) { return *channels_.at(i).ch; }
+  const std::string& left_node(std::size_t i) const { return channels_.at(i).left; }
+  const std::string& right_node(std::size_t i) const { return channels_.at(i).right; }
+
+  /// Number of successfully completed payments.
+  int payments_completed() const { return payments_completed_; }
+
+ private:
+  struct Edge {
+    std::string left, right;
+    std::unique_ptr<daricch::DaricChannel> ch;
+  };
+
+  Amount spendable(const Edge& e, bool forward) const;
+
+  sim::Environment& env_;
+  std::map<std::string, bool> nodes_;  // name -> offline?
+  std::vector<Edge> channels_;
+  int payments_completed_ = 0;
+  int channel_counter_ = 0;
+};
+
+}  // namespace daric::pcn

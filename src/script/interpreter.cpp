@@ -1,0 +1,253 @@
+#include "src/script/interpreter.h"
+
+#include "src/crypto/ripemd160.h"
+#include "src/crypto/sha256.h"
+
+namespace daric::script {
+
+const char* script_error_name(ScriptError e) {
+  switch (e) {
+    case ScriptError::kOk: return "ok";
+    case ScriptError::kStackUnderflow: return "stack-underflow";
+    case ScriptError::kBadOpcode: return "bad-opcode";
+    case ScriptError::kVerifyFailed: return "verify-failed";
+    case ScriptError::kEqualVerifyFailed: return "equalverify-failed";
+    case ScriptError::kLocktimeNotSatisfied: return "cltv-not-satisfied";
+    case ScriptError::kSequenceNotSatisfied: return "csv-not-satisfied";
+    case ScriptError::kBadSignature: return "bad-signature";
+    case ScriptError::kOpReturn: return "op-return";
+    case ScriptError::kUnbalancedConditional: return "unbalanced-conditional";
+    case ScriptError::kBadMultisig: return "bad-multisig";
+    case ScriptError::kFalseTopOfStack: return "false-top-of-stack";
+  }
+  return "unknown";
+}
+
+bool cast_to_bool(BytesView v) {
+  for (Byte b : v)
+    if (b != 0) return true;
+  return false;
+}
+
+std::uint64_t decode_number(BytesView v) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < v.size() && i < 8; ++i)
+    out |= static_cast<std::uint64_t>(v[i]) << (i * 8);
+  return out;
+}
+
+Bytes encode_number(std::uint64_t v) {
+  Bytes out;
+  while (v != 0) {
+    out.push_back(static_cast<Byte>(v));
+    v >>= 8;
+  }
+  return out;
+}
+
+namespace {
+
+struct Machine {
+  std::vector<Bytes>& stack;
+  const SigChecker& checker;
+  // Conditional-execution state: one entry per open OP_IF.
+  std::vector<bool> cond;
+
+  bool executing() const {
+    for (bool b : cond)
+      if (!b) return false;
+    return true;
+  }
+
+  ScriptError pop(Bytes& out) {
+    if (stack.empty()) return ScriptError::kStackUnderflow;
+    out = std::move(stack.back());
+    stack.pop_back();
+    return ScriptError::kOk;
+  }
+};
+
+ScriptError do_checkmultisig(Machine& m, bool& result) {
+  Bytes n_elem;
+  if (auto e = m.pop(n_elem); e != ScriptError::kOk) return e;
+  const std::uint64_t n = decode_number(n_elem);
+  if (n > 20) return ScriptError::kBadMultisig;
+  std::vector<Bytes> keys(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (auto e = m.pop(keys[n - 1 - i]); e != ScriptError::kOk) return e;  // script order
+  }
+  Bytes k_elem;
+  if (auto e = m.pop(k_elem); e != ScriptError::kOk) return e;
+  const std::uint64_t k = decode_number(k_elem);
+  if (k > n) return ScriptError::kBadMultisig;
+  std::vector<Bytes> sigs(k);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    if (auto e = m.pop(sigs[k - 1 - i]); e != ScriptError::kOk) return e;  // witness order
+  }
+  Bytes dummy;  // Bitcoin's historical extra element
+  if (auto e = m.pop(dummy); e != ScriptError::kOk) return e;
+
+  std::size_t ikey = 0;
+  std::size_t isig = 0;
+  while (isig < sigs.size() && ikey < keys.size()) {
+    if (m.checker.check_sig(sigs[isig], keys[ikey])) ++isig;
+    ++ikey;
+    if (sigs.size() - isig > keys.size() - ikey) break;  // cannot succeed anymore
+  }
+  result = isig == sigs.size();
+  return ScriptError::kOk;
+}
+
+}  // namespace
+
+ScriptError eval_script(const Script& s, std::vector<Bytes>& stack, const SigChecker& checker) {
+  Machine m{stack, checker, {}};
+
+  for (const Instr& in : s.instructions()) {
+    const bool exec = m.executing();
+
+    // Conditionals are tracked even in non-executing branches.
+    if (in.op == Op::OP_IF || in.op == Op::OP_NOTIF) {
+      bool value = false;
+      if (exec) {
+        Bytes top;
+        if (auto e = m.pop(top); e != ScriptError::kOk) return e;
+        value = cast_to_bool(top);
+        if (in.op == Op::OP_NOTIF) value = !value;
+      }
+      m.cond.push_back(value);
+      continue;
+    }
+    if (in.op == Op::OP_ELSE) {
+      if (m.cond.empty()) return ScriptError::kUnbalancedConditional;
+      m.cond.back() = !m.cond.back();
+      continue;
+    }
+    if (in.op == Op::OP_ENDIF) {
+      if (m.cond.empty()) return ScriptError::kUnbalancedConditional;
+      m.cond.pop_back();
+      continue;
+    }
+    if (!exec) continue;
+
+    switch (in.op) {
+      case Op::PUSH:
+        stack.push_back(in.data);
+        break;
+      case Op::NUM4: {
+        Bytes v(4);
+        for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i)] = static_cast<Byte>(in.num >> (i * 8));
+        stack.push_back(std::move(v));
+        break;
+      }
+      case Op::OP_0:
+        stack.push_back({});
+        break;
+      case Op::OP_DROP: {
+        Bytes tmp;
+        if (auto e = m.pop(tmp); e != ScriptError::kOk) return e;
+        break;
+      }
+      case Op::OP_DUP: {
+        if (stack.empty()) return ScriptError::kStackUnderflow;
+        stack.push_back(stack.back());
+        break;
+      }
+      case Op::OP_VERIFY: {
+        Bytes top;
+        if (auto e = m.pop(top); e != ScriptError::kOk) return e;
+        if (!cast_to_bool(top)) return ScriptError::kVerifyFailed;
+        break;
+      }
+      case Op::OP_RETURN:
+        return ScriptError::kOpReturn;
+      case Op::OP_EQUAL:
+      case Op::OP_EQUALVERIFY: {
+        Bytes a, b;
+        if (auto e = m.pop(a); e != ScriptError::kOk) return e;
+        if (auto e = m.pop(b); e != ScriptError::kOk) return e;
+        const bool eq = a == b;
+        if (in.op == Op::OP_EQUALVERIFY) {
+          if (!eq) return ScriptError::kEqualVerifyFailed;
+        } else {
+          stack.push_back(eq ? Bytes{1} : Bytes{});
+        }
+        break;
+      }
+      case Op::OP_SHA256: {
+        Bytes a;
+        if (auto e = m.pop(a); e != ScriptError::kOk) return e;
+        const Hash256 h = crypto::Sha256::hash(a);
+        stack.emplace_back(h.view().begin(), h.view().end());
+        break;
+      }
+      case Op::OP_HASH256: {
+        Bytes a;
+        if (auto e = m.pop(a); e != ScriptError::kOk) return e;
+        const Hash256 h = crypto::Sha256::double_hash(a);
+        stack.emplace_back(h.view().begin(), h.view().end());
+        break;
+      }
+      case Op::OP_HASH160: {
+        Bytes a;
+        if (auto e = m.pop(a); e != ScriptError::kOk) return e;
+        const crypto::Hash160 h = crypto::hash160(a);
+        stack.emplace_back(h.view().begin(), h.view().end());
+        break;
+      }
+      case Op::OP_CHECKSIG:
+      case Op::OP_CHECKSIGVERIFY: {
+        Bytes pk, sig;
+        if (auto e = m.pop(pk); e != ScriptError::kOk) return e;
+        if (auto e = m.pop(sig); e != ScriptError::kOk) return e;
+        const bool ok = checker.check_sig(sig, pk);
+        if (in.op == Op::OP_CHECKSIGVERIFY) {
+          if (!ok) return ScriptError::kBadSignature;
+        } else {
+          stack.push_back(ok ? Bytes{1} : Bytes{});
+        }
+        break;
+      }
+      case Op::OP_CHECKMULTISIG:
+      case Op::OP_CHECKMULTISIGVERIFY: {
+        bool ok = false;
+        if (auto e = do_checkmultisig(m, ok); e != ScriptError::kOk) return e;
+        if (in.op == Op::OP_CHECKMULTISIGVERIFY) {
+          if (!ok) return ScriptError::kBadSignature;
+        } else {
+          stack.push_back(ok ? Bytes{1} : Bytes{});
+        }
+        break;
+      }
+      case Op::OP_CHECKLOCKTIMEVERIFY: {
+        if (stack.empty()) return ScriptError::kStackUnderflow;
+        const std::uint64_t lock = decode_number(stack.back());
+        if (!checker.check_locktime(static_cast<std::uint32_t>(lock)))
+          return ScriptError::kLocktimeNotSatisfied;
+        break;
+      }
+      case Op::OP_CHECKSEQUENCEVERIFY: {
+        if (stack.empty()) return ScriptError::kStackUnderflow;
+        const std::uint64_t age = decode_number(stack.back());
+        if (!checker.check_sequence(static_cast<std::uint32_t>(age)))
+          return ScriptError::kSequenceNotSatisfied;
+        break;
+      }
+      default: {
+        // Small-int pushes OP_1..OP_16.
+        const auto raw = static_cast<unsigned>(in.op);
+        if (raw >= 0x51 && raw <= 0x60) {
+          stack.push_back(encode_number(raw - 0x50));
+          break;
+        }
+        return ScriptError::kBadOpcode;
+      }
+    }
+  }
+
+  if (!m.cond.empty()) return ScriptError::kUnbalancedConditional;
+  if (stack.empty() || !cast_to_bool(stack.back())) return ScriptError::kFalseTopOfStack;
+  return ScriptError::kOk;
+}
+
+}  // namespace daric::script

@@ -1,0 +1,50 @@
+// Stack interpreter for the script subset in script/opcodes.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/script/script.h"
+
+namespace daric::script {
+
+enum class ScriptError {
+  kOk,
+  kStackUnderflow,
+  kBadOpcode,
+  kVerifyFailed,
+  kEqualVerifyFailed,
+  kLocktimeNotSatisfied,   // CLTV
+  kSequenceNotSatisfied,   // CSV
+  kBadSignature,
+  kOpReturn,
+  kUnbalancedConditional,
+  kBadMultisig,
+  kFalseTopOfStack,
+};
+
+const char* script_error_name(ScriptError e);
+
+/// Context callbacks the interpreter needs from the transaction/chain layer.
+class SigChecker {
+ public:
+  virtual ~SigChecker() = default;
+  /// `wire_sig` includes the sighash flag byte; `pubkey` is 33-byte SEC.
+  virtual bool check_sig(BytesView wire_sig, BytesView pubkey) const = 0;
+  /// CLTV: is the spending tx's nLockTime >= `lock`?
+  virtual bool check_locktime(std::uint32_t lock) const = 0;
+  /// CSV: has the spent output been on-chain for >= `age` rounds?
+  virtual bool check_sequence(std::uint32_t age) const = 0;
+};
+
+/// Runs `s` on `stack`; on success requires a single truthy top element.
+ScriptError eval_script(const Script& s, std::vector<Bytes>& stack, const SigChecker& checker);
+
+/// Truthiness of a stack element (empty / all-zero is false).
+bool cast_to_bool(BytesView v);
+
+/// Minimal little-endian unsigned decode (up to 8 bytes).
+std::uint64_t decode_number(BytesView v);
+Bytes encode_number(std::uint64_t v);
+
+}  // namespace daric::script

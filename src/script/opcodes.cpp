@@ -1,0 +1,40 @@
+#include "src/script/opcodes.h"
+
+namespace daric::script {
+
+std::string op_name(Op op) {
+  switch (op) {
+    case Op::OP_0: return "OP_0";
+    case Op::OP_1: return "OP_1";
+    case Op::OP_2: return "OP_2";
+    case Op::OP_3: return "OP_3";
+    case Op::OP_16: return "OP_16";
+    case Op::OP_IF: return "OP_IF";
+    case Op::OP_NOTIF: return "OP_NOTIF";
+    case Op::OP_ELSE: return "OP_ELSE";
+    case Op::OP_ENDIF: return "OP_ENDIF";
+    case Op::OP_VERIFY: return "OP_VERIFY";
+    case Op::OP_RETURN: return "OP_RETURN";
+    case Op::OP_DROP: return "OP_DROP";
+    case Op::OP_DUP: return "OP_DUP";
+    case Op::OP_EQUAL: return "OP_EQUAL";
+    case Op::OP_EQUALVERIFY: return "OP_EQUALVERIFY";
+    case Op::OP_SHA256: return "OP_SHA256";
+    case Op::OP_HASH160: return "OP_HASH160";
+    case Op::OP_HASH256: return "OP_HASH256";
+    case Op::OP_CHECKSIG: return "OP_CHECKSIG";
+    case Op::OP_CHECKSIGVERIFY: return "OP_CHECKSIGVERIFY";
+    case Op::OP_CHECKMULTISIG: return "OP_CHECKMULTISIG";
+    case Op::OP_CHECKMULTISIGVERIFY: return "OP_CHECKMULTISIGVERIFY";
+    case Op::OP_CHECKLOCKTIMEVERIFY: return "OP_CHECKLOCKTIMEVERIFY";
+    case Op::OP_CHECKSEQUENCEVERIFY: return "OP_CHECKSEQUENCEVERIFY";
+    case Op::PUSH: return "PUSH";
+    case Op::NUM4: return "NUM4";
+  }
+  // Small ints OP_4..OP_15 fall through the explicit cases above.
+  const auto raw = static_cast<unsigned>(op);
+  if (raw >= 0x51 && raw <= 0x60) return "OP_" + std::to_string(raw - 0x50);
+  return "OP_UNKNOWN(" + std::to_string(raw) + ")";
+}
+
+}  // namespace daric::script

@@ -1,0 +1,50 @@
+// Opcode set: exactly the subset of Bitcoin Script used by the transaction
+// scripts in the paper's Appendices B and H.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace daric::script {
+
+enum class Op : std::uint8_t {
+  // 0x00 and 0x51..0x60 are the small-integer pushes.
+  OP_0 = 0x00,
+  OP_1 = 0x51,
+  OP_2 = 0x52,
+  OP_3 = 0x53,
+  OP_16 = 0x60,
+
+  OP_IF = 0x63,
+  OP_NOTIF = 0x64,
+  OP_ELSE = 0x67,
+  OP_ENDIF = 0x68,
+  OP_VERIFY = 0x69,
+  OP_RETURN = 0x6a,
+
+  OP_DROP = 0x75,
+  OP_DUP = 0x76,
+
+  OP_EQUAL = 0x87,
+  OP_EQUALVERIFY = 0x88,
+
+  OP_SHA256 = 0xa8,
+  OP_HASH160 = 0xa9,
+  OP_HASH256 = 0xaa,
+
+  OP_CHECKSIG = 0xac,
+  OP_CHECKSIGVERIFY = 0xad,
+  OP_CHECKMULTISIG = 0xae,
+  OP_CHECKMULTISIGVERIFY = 0xaf,
+
+  OP_CHECKLOCKTIMEVERIFY = 0xb1,  // CLTV
+  OP_CHECKSEQUENCEVERIFY = 0xb2,  // CSV
+
+  // Pseudo-ops used only in the structured in-memory representation:
+  PUSH = 0xf0,  // data push: 1 length byte + payload on the wire
+  NUM4 = 0xf1,  // 4-byte little-endian immediate (timelock operands)
+};
+
+std::string op_name(Op op);
+
+}  // namespace daric::script

@@ -1,0 +1,53 @@
+#include "src/script/script.h"
+
+#include <stdexcept>
+
+#include "src/crypto/sha256.h"
+
+namespace daric::script {
+
+Script& Script::op(Op o) {
+  ins_.push_back({o, {}, 0});
+  return *this;
+}
+
+Script& Script::push(BytesView data) {
+  if (data.size() > 255) throw std::invalid_argument("push too large");
+  ins_.push_back({Op::PUSH, Bytes(data.begin(), data.end()), 0});
+  return *this;
+}
+
+Script& Script::num4(std::uint32_t v) {
+  ins_.push_back({Op::NUM4, {}, v});
+  return *this;
+}
+
+Script& Script::small_int(unsigned n) {
+  if (n > 16) throw std::invalid_argument("small_int out of range");
+  if (n == 0) return op(Op::OP_0);
+  return op(static_cast<Op>(0x50 + n));
+}
+
+Bytes Script::serialize() const {
+  Bytes out;
+  for (const Instr& in : ins_) {
+    switch (in.op) {
+      case Op::PUSH:
+        out.push_back(static_cast<Byte>(in.data.size()));
+        append(out, in.data);
+        break;
+      case Op::NUM4:
+        for (int i = 0; i < 4; ++i) out.push_back(static_cast<Byte>(in.num >> (i * 8)));
+        break;
+      default:
+        out.push_back(static_cast<Byte>(in.op));
+    }
+  }
+  return out;
+}
+
+Hash256 Script::wsh_program() const { return crypto::Sha256::hash(serialize()); }
+
+bool Script::operator==(const Script& o) const { return serialize() == o.serialize(); }
+
+}  // namespace daric::script

@@ -1,0 +1,46 @@
+// Structured script representation.
+//
+// Scripts are held as instruction sequences and serialized only for size
+// accounting and P2WSH hashing. Wire sizes follow the paper's Appendix H
+// counting: opcodes are 1 byte, data pushes are 1 length byte + payload,
+// and the CLTV/CSV timelock operands are raw 4-byte immediates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/script/opcodes.h"
+#include "src/util/bytes.h"
+
+namespace daric::script {
+
+struct Instr {
+  Op op = Op::OP_0;
+  Bytes data;             // payload when op == PUSH
+  std::uint32_t num = 0;  // operand when op == NUM4
+};
+
+class Script {
+ public:
+  Script& op(Op o);
+  Script& push(BytesView data);
+  Script& num4(std::uint32_t v);
+  /// Small-int push: n in [0, 16] encoded as OP_0 / OP_1..OP_16.
+  Script& small_int(unsigned n);
+
+  const std::vector<Instr>& instructions() const { return ins_; }
+  bool empty() const { return ins_.empty(); }
+
+  /// Wire encoding (used for sizes and the P2WSH program hash).
+  Bytes serialize() const;
+  std::size_t wire_size() const { return serialize().size(); }
+  /// P2WSH program: SHA256 of the wire encoding.
+  Hash256 wsh_program() const;
+
+  bool operator==(const Script& o) const;
+
+ private:
+  std::vector<Instr> ins_;
+};
+
+}  // namespace daric::script

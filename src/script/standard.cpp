@@ -1,0 +1,66 @@
+#include "src/script/standard.h"
+
+#include <stdexcept>
+
+namespace daric::script {
+
+Bytes encode_wire_sig(BytesView raw_sig, SighashFlag flag) {
+  if (raw_sig.size() + 1 > kWireSigSize) throw std::invalid_argument("raw signature too large");
+  Bytes out(kWireSigSize, 0);
+  std::memcpy(out.data(), raw_sig.data(), raw_sig.size());
+  out.back() = static_cast<Byte>(flag);
+  return out;
+}
+
+std::optional<DecodedSig> decode_wire_sig(BytesView wire, std::size_t raw_size) {
+  if (wire.size() != kWireSigSize || raw_size + 1 > kWireSigSize) return std::nullopt;
+  // Strict encoding: padding between the raw signature and the flag byte
+  // must be zero (otherwise third parties could malleate witnesses).
+  for (std::size_t i = raw_size; i + 1 < kWireSigSize; ++i) {
+    if (wire[i] != 0) return std::nullopt;
+  }
+  const Byte flag = wire.back();
+  switch (flag) {
+    case 0x01:
+    case 0x03:
+    case 0x41:
+    case 0x43:
+      break;
+    default:
+      return std::nullopt;
+  }
+  return DecodedSig{Bytes(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(raw_size)),
+                    static_cast<SighashFlag>(flag)};
+}
+
+Script multisig_2of2(BytesView pk_a, BytesView pk_b) {
+  Script s;
+  s.small_int(2).push(pk_a).push(pk_b).small_int(2).op(Op::OP_CHECKMULTISIG);
+  return s;
+}
+
+Script single_key(BytesView pk) {
+  Script s;
+  s.push(pk).op(Op::OP_CHECKSIG);
+  return s;
+}
+
+Script htlc(BytesView payment_hash160, BytesView payee_pk, BytesView payer_pk,
+            std::uint32_t timeout_rounds) {
+  Script s;
+  s.op(Op::OP_HASH160)
+      .push(payment_hash160)
+      .op(Op::OP_EQUAL)
+      .op(Op::OP_IF)
+      .push(payee_pk)
+      .op(Op::OP_ELSE)
+      .num4(timeout_rounds)
+      .op(Op::OP_CHECKSEQUENCEVERIFY)
+      .op(Op::OP_DROP)
+      .push(payer_pk)
+      .op(Op::OP_ENDIF)
+      .op(Op::OP_CHECKSIG);
+  return s;
+}
+
+}  // namespace daric::script

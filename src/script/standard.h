@@ -1,0 +1,45 @@
+// Wire signature encoding and standard-script builders.
+//
+// Signatures travel as a fixed 73-byte blob (the paper's worst-case DER
+// size): raw scheme signature, zero padding, and a final sighash-flag byte.
+// Keeping the wire size constant makes measured transaction weights line up
+// byte-for-byte with Appendix H.
+#pragma once
+
+#include <optional>
+
+#include "src/script/script.h"
+
+namespace daric::script {
+
+inline constexpr std::size_t kWireSigSize = 73;
+inline constexpr std::size_t kPubKeySize = 33;
+
+enum class SighashFlag : std::uint8_t {
+  kAll = 0x01,
+  kSingle = 0x03,
+  kAllAnyPrevOut = 0x41,     // ANYPREVOUT | ALL  — the paper's floating txs
+  kSingleAnyPrevOut = 0x43,  // ANYPREVOUT | SINGLE — Sec. 8 fee handling
+};
+
+inline bool is_anyprevout(SighashFlag f) { return (static_cast<std::uint8_t>(f) & 0x40) != 0; }
+
+Bytes encode_wire_sig(BytesView raw_sig, SighashFlag flag);
+
+struct DecodedSig {
+  Bytes raw;
+  SighashFlag flag;
+};
+std::optional<DecodedSig> decode_wire_sig(BytesView wire, std::size_t raw_size);
+
+/// 2-of-2 multisig witness script: OP_2 <pkA> <pkB> OP_2 OP_CHECKMULTISIG.
+Script multisig_2of2(BytesView pk_a, BytesView pk_b);
+
+/// Single-key script: <pk> OP_CHECKSIG.
+Script single_key(BytesView pk);
+
+/// HTLC script (Appendix H.2): hash-locked to payee, timelocked to payer.
+Script htlc(BytesView payment_hash160, BytesView payee_pk, BytesView payer_pk,
+            std::uint32_t timeout_rounds);
+
+}  // namespace daric::script

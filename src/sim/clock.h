@@ -1,0 +1,18 @@
+// Global round clock (the F_clock of Appendix C). The ledger consumes it;
+// every simulation entity observes the same round number.
+#pragma once
+
+#include "src/util/bytes.h"
+
+namespace daric::sim {
+
+class Clock {
+ public:
+  Round now() const { return now_; }
+  void tick() { ++now_; }
+
+ private:
+  Round now_ = 0;
+};
+
+}  // namespace daric::sim

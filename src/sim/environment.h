@@ -1,0 +1,51 @@
+// Simulation environment: ledger + clock + message accounting, plus the
+// per-round hooks parties and watchtowers register to monitor the chain.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/ledger/ledger.h"
+#include "src/sim/network.h"
+
+namespace daric::sim {
+
+class Environment {
+ public:
+  /// T must exceed Δ for every channel built on this environment
+  /// (Theorem 1's precondition); enforced by the channel engines.
+  Environment(Round delta, const crypto::SignatureScheme& scheme)
+      : ledger_(delta, scheme) {}
+
+  ledger::Ledger& ledger() { return ledger_; }
+  const ledger::Ledger& ledger() const { return ledger_; }
+  Round now() const { return ledger_.now(); }
+  Round delta() const { return ledger_.delta(); }
+  const crypto::SignatureScheme& scheme() const { return ledger_.scheme(); }
+  MessageLog& log() { return log_; }
+
+  /// Registers a hook executed at the end of every round (punish watchers).
+  void add_round_hook(std::function<void()> hook) { hooks_.push_back(std::move(hook)); }
+
+  /// Advances one round: ledger processing first, then monitoring hooks.
+  void advance_round() {
+    ledger_.advance_round();
+    for (const auto& hook : hooks_) hook();
+  }
+  void advance_rounds(Round n) {
+    for (Round i = 0; i < n; ++i) advance_round();
+  }
+
+  /// Charges one message round to the clock (off-chain traffic).
+  void message_round(PartyId from, std::string type) {
+    log_.record(now(), from, std::move(type));
+    advance_round();
+  }
+
+ private:
+  ledger::Ledger ledger_;
+  MessageLog log_;
+  std::vector<std::function<void()>> hooks_;
+};
+
+}  // namespace daric::sim

@@ -1,0 +1,3 @@
+#include "src/sim/network.h"
+
+// Header-only definitions; this translation unit anchors the module.

@@ -1,0 +1,35 @@
+// Authenticated message channel with guaranteed 1-round delivery (the
+// F_GDC of Appendix C). The protocol engines call `exchange()` around each
+// message round so that off-chain latency is charged against the clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/party.h"
+#include "src/util/bytes.h"
+
+namespace daric::sim {
+
+struct MessageRecord {
+  Round round = 0;
+  PartyId from = PartyId::kA;
+  std::string type;
+};
+
+/// Records protocol messages and their rounds; exposes traffic statistics.
+class MessageLog {
+ public:
+  void record(Round round, PartyId from, std::string type) {
+    records_.push_back({round, from, std::move(type)});
+  }
+  std::size_t count() const { return records_.size(); }
+  const std::vector<MessageRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<MessageRecord> records_;
+};
+
+}  // namespace daric::sim

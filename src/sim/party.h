@@ -1,0 +1,13 @@
+// Party identities for two-party channel protocols.
+#pragma once
+
+#include <string>
+
+namespace daric::sim {
+
+enum class PartyId { kA, kB };
+
+inline PartyId other(PartyId p) { return p == PartyId::kA ? PartyId::kB : PartyId::kA; }
+inline const char* party_name(PartyId p) { return p == PartyId::kA ? "A" : "B"; }
+
+}  // namespace daric::sim

@@ -1,0 +1,29 @@
+#include "src/tx/output.h"
+
+#include <stdexcept>
+
+#include "src/crypto/ripemd160.h"
+
+namespace daric::tx {
+
+Condition Condition::p2wsh(const script::Script& witness_script) {
+  const Hash256 h = witness_script.wsh_program();
+  return {Type::kP2WSH, Bytes(h.view().begin(), h.view().end())};
+}
+
+Condition Condition::p2wpkh(BytesView pubkey33) {
+  if (pubkey33.size() != 33) throw std::invalid_argument("need 33-byte pubkey");
+  const crypto::Hash160 h = crypto::hash160(pubkey33);
+  return {Type::kP2WPKH, Bytes(h.view().begin(), h.view().end())};
+}
+
+Bytes Condition::script_pubkey() const {
+  Bytes out;
+  out.reserve(program.size() + 2);
+  out.push_back(0x00);  // OP_0 (SegWit v0)
+  out.push_back(static_cast<Byte>(program.size()));
+  append(out, program);
+  return out;
+}
+
+}  // namespace daric::tx

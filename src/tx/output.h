@@ -1,0 +1,50 @@
+// Outputs, output conditions (SegWit v0 programs) and outpoints.
+#pragma once
+
+#include <cstdint>
+
+#include "src/script/script.h"
+#include "src/util/bytes.h"
+
+namespace daric::tx {
+
+/// An output condition θ.φ — on the wire, a SegWit v0 program.
+struct Condition {
+  enum class Type { kP2WSH, kP2WPKH };
+
+  Type type = Type::kP2WSH;
+  Bytes program;  // 32 bytes (P2WSH) or 20 bytes (P2WPKH)
+
+  static Condition p2wsh(const script::Script& witness_script);
+  static Condition p2wpkh(BytesView pubkey33);
+
+  /// scriptPubKey bytes: OP_0 <program>. 22 or 34 bytes.
+  Bytes script_pubkey() const;
+
+  bool operator==(const Condition&) const = default;
+};
+
+/// An output θ = (cash, φ).
+struct Output {
+  Amount cash = 0;
+  Condition cond;
+
+  bool operator==(const Output&) const = default;
+};
+
+/// Reference to an output of an existing transaction.
+struct OutPoint {
+  Hash256 txid;
+  std::uint32_t vout = 0;
+
+  bool operator==(const OutPoint&) const = default;
+  auto operator<=>(const OutPoint&) const = default;
+};
+
+struct OutPointHasher {
+  std::size_t operator()(const OutPoint& o) const {
+    return Hash256Hasher{}(o.txid) ^ (static_cast<std::size_t>(o.vout) << 1);
+  }
+};
+
+}  // namespace daric::tx

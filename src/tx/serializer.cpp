@@ -1,0 +1,68 @@
+#include "src/tx/serializer.h"
+
+#include "src/util/serialize.h"
+
+namespace daric::tx {
+
+namespace {
+
+void write_inputs(Writer& w, const Transaction& tx) {
+  w.varint(tx.inputs.size());
+  for (const TxIn& in : tx.inputs) {
+    w.bytes(in.prevout.txid.view());
+    w.u32le(in.prevout.vout);
+    w.u8(0);           // empty scriptSig (all spends are SegWit)
+    w.u32le(0xffffffff);  // sequence
+  }
+}
+
+void write_outputs(Writer& w, const Transaction& tx) {
+  w.varint(tx.outputs.size());
+  for (const Output& out : tx.outputs) {
+    w.u64le(static_cast<std::uint64_t>(out.cash));
+    const Bytes spk = out.cond.script_pubkey();
+    w.varint(spk.size());
+    w.bytes(spk);
+  }
+}
+
+}  // namespace
+
+Bytes serialize_witness(const Witness& wit) {
+  Writer w;
+  const std::size_t count = wit.stack.size() + (wit.witness_script ? 1 : 0);
+  w.varint(count);
+  for (const Bytes& el : wit.stack) w.var_bytes(el);
+  if (wit.witness_script) w.var_bytes(wit.witness_script->serialize());
+  return w.take();
+}
+
+Bytes serialize_base(const Transaction& tx) {
+  Writer w;
+  w.u32le(tx.version);
+  write_inputs(w, tx);
+  write_outputs(w, tx);
+  w.u32le(tx.nlocktime);
+  return w.take();
+}
+
+Bytes serialize_full(const Transaction& tx) {
+  if (!tx.has_witness()) return serialize_base(tx);
+  Writer w;
+  w.u32le(tx.version);
+  w.u8(0x00);  // SegWit marker
+  w.u8(0x01);  // SegWit flag
+  write_inputs(w, tx);
+  write_outputs(w, tx);
+  for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+    if (i < tx.witnesses.size()) {
+      w.bytes(serialize_witness(tx.witnesses[i]));
+    } else {
+      w.u8(0);  // empty witness
+    }
+  }
+  w.u32le(tx.nlocktime);
+  return w.take();
+}
+
+}  // namespace daric::tx

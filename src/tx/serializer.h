@@ -1,0 +1,17 @@
+// Bitcoin-compatible wire serialization and size accounting.
+#pragma once
+
+#include "src/tx/transaction.h"
+
+namespace daric::tx {
+
+/// Serialization without witness data ("base"); this is what txid hashes.
+Bytes serialize_base(const Transaction& tx);
+/// Full serialization including the SegWit marker/flag and witness data.
+Bytes serialize_full(const Transaction& tx);
+
+/// Serialized witness bytes for one input: CompactSize element count, each
+/// element length-prefixed; a P2WSH witness script is the last element.
+Bytes serialize_witness(const Witness& w);
+
+}  // namespace daric::tx

@@ -1,0 +1,99 @@
+#include "src/tx/sighash.h"
+
+#include "src/crypto/ripemd160.h"
+#include "src/crypto/sha256.h"
+#include "src/util/serialize.h"
+
+namespace daric::tx {
+
+namespace {
+
+void write_output(Writer& w, const Output& out) {
+  w.u64le(static_cast<std::uint64_t>(out.cash));
+  const Bytes spk = out.cond.script_pubkey();
+  w.varint(spk.size());
+  w.bytes(spk);
+}
+
+}  // namespace
+
+Hash256 sighash_digest(const Transaction& tx, std::size_t input_index,
+                       script::SighashFlag flag) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(flag));
+  if (!script::is_anyprevout(flag)) {
+    // Inputs are covered (the f(TX) form).
+    w.varint(tx.inputs.size());
+    for (const TxIn& in : tx.inputs) {
+      w.bytes(in.prevout.txid.view());
+      w.u32le(in.prevout.vout);
+    }
+  }
+  w.u32le(tx.nlocktime);
+  const bool single = flag == script::SighashFlag::kSingle ||
+                      flag == script::SighashFlag::kSingleAnyPrevOut;
+  if (single) {
+    if (input_index >= tx.outputs.size())
+      throw std::out_of_range("SIGHASH_SINGLE with no matching output");
+    write_output(w, tx.outputs[input_index]);
+  } else {
+    w.varint(tx.outputs.size());
+    for (const Output& out : tx.outputs) write_output(w, out);
+  }
+  return crypto::Sha256::tagged("daric/sighash", w.data());
+}
+
+bool TxSigChecker::check_sig(BytesView wire_sig, BytesView pubkey) const {
+  if (pubkey.size() != script::kPubKeySize) return false;
+  const auto decoded = script::decode_wire_sig(wire_sig, scheme_.signature_size());
+  if (!decoded) return false;
+  const auto pk = crypto::Point::from_compressed(pubkey);
+  if (!pk) return false;
+  const Hash256 digest = sighash_digest(tx_, input_index_, decoded->flag);
+  return scheme_.verify(*pk, digest, decoded->raw);
+}
+
+bool TxSigChecker::check_locktime(std::uint32_t lock) const { return tx_.nlocktime >= lock; }
+
+bool TxSigChecker::check_sequence(std::uint32_t age) const {
+  return utxo_age_ >= static_cast<Round>(age);
+}
+
+script::ScriptError verify_input(const Transaction& tx, std::size_t input_index,
+                                 const Output& spent, const crypto::SignatureScheme& scheme,
+                                 Round utxo_age) {
+  using script::ScriptError;
+  if (input_index >= tx.inputs.size() || input_index >= tx.witnesses.size())
+    return ScriptError::kStackUnderflow;
+  const Witness& wit = tx.witnesses[input_index];
+  const TxSigChecker checker(tx, input_index, scheme, utxo_age);
+
+  switch (spent.cond.type) {
+    case Condition::Type::kP2WPKH: {
+      if (wit.stack.size() != 2 || wit.witness_script) return ScriptError::kBadSignature;
+      const Bytes& sig = wit.stack[0];
+      const Bytes& pubkey = wit.stack[1];
+      const crypto::Hash160 h = crypto::hash160(pubkey);
+      if (Bytes(h.view().begin(), h.view().end()) != spent.cond.program)
+        return ScriptError::kEqualVerifyFailed;
+      return checker.check_sig(sig, pubkey) ? ScriptError::kOk : ScriptError::kBadSignature;
+    }
+    case Condition::Type::kP2WSH: {
+      if (!wit.witness_script) return ScriptError::kBadSignature;
+      const Hash256 h = wit.witness_script->wsh_program();
+      if (Bytes(h.view().begin(), h.view().end()) != spent.cond.program)
+        return ScriptError::kEqualVerifyFailed;
+      std::vector<Bytes> stack = wit.stack;
+      return script::eval_script(*wit.witness_script, stack, checker);
+    }
+  }
+  return ScriptError::kBadOpcode;
+}
+
+Bytes sign_input(const Transaction& tx, std::size_t input_index, const crypto::Scalar& sk,
+                 const crypto::SignatureScheme& scheme, script::SighashFlag flag) {
+  const Hash256 digest = sighash_digest(tx, input_index, flag);
+  return script::encode_wire_sig(scheme.sign(sk, digest), flag);
+}
+
+}  // namespace daric::tx

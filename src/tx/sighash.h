@@ -1,0 +1,48 @@
+// Sighash digests (SIGHASH_ALL / SINGLE / ANYPREVOUT) and witness-program
+// verification against a spent output.
+//
+// ANYPREVOUT digests cover f̃([TX]‾) = (nLT, Output) only, which is what
+// makes split and revocation transactions "floating": the same signature
+// validates no matter which commit output the transaction is later bound to.
+#pragma once
+
+#include "src/crypto/sig_scheme.h"
+#include "src/script/interpreter.h"
+#include "src/script/standard.h"
+#include "src/tx/transaction.h"
+
+namespace daric::tx {
+
+/// Digest signed for `tx`'s input `input_index` under `flag`.
+Hash256 sighash_digest(const Transaction& tx, std::size_t input_index,
+                       script::SighashFlag flag);
+
+/// SigChecker bound to one input of a transaction plus chain context.
+class TxSigChecker final : public script::SigChecker {
+ public:
+  TxSigChecker(const Transaction& tx, std::size_t input_index,
+               const crypto::SignatureScheme& scheme, Round utxo_age)
+      : tx_(tx), input_index_(input_index), scheme_(scheme), utxo_age_(utxo_age) {}
+
+  bool check_sig(BytesView wire_sig, BytesView pubkey) const override;
+  bool check_locktime(std::uint32_t lock) const override;
+  bool check_sequence(std::uint32_t age) const override;
+
+ private:
+  const Transaction& tx_;
+  std::size_t input_index_;
+  const crypto::SignatureScheme& scheme_;
+  Round utxo_age_;
+};
+
+/// Full SegWit-v0 verification of one input against the output it spends.
+/// `utxo_age` is the number of rounds since the spent output confirmed.
+script::ScriptError verify_input(const Transaction& tx, std::size_t input_index,
+                                 const Output& spent, const crypto::SignatureScheme& scheme,
+                                 Round utxo_age);
+
+/// Convenience: sign `tx`'s digest under `flag` and wrap as a wire signature.
+Bytes sign_input(const Transaction& tx, std::size_t input_index, const crypto::Scalar& sk,
+                 const crypto::SignatureScheme& scheme, script::SighashFlag flag);
+
+}  // namespace daric::tx

@@ -1,0 +1,11 @@
+#include "src/tx/weight.h"
+
+#include "src/tx/serializer.h"
+
+namespace daric::tx {
+
+TxSize measure(const Transaction& tx) {
+  return {serialize_base(tx).size(), serialize_full(tx).size()};
+}
+
+}  // namespace daric::tx

@@ -1,0 +1,22 @@
+// Weight-unit accounting (BIP 141): weight = 3*base_size + total_size.
+#pragma once
+
+#include "src/tx/transaction.h"
+
+namespace daric::tx {
+
+struct TxSize {
+  std::size_t base = 0;   // non-witness serialization bytes
+  std::size_t total = 0;  // full serialization bytes
+
+  std::size_t witness() const { return total - base; }
+  std::size_t weight() const { return base * 3 + total; }
+  std::size_t vbytes() const { return (weight() + 3) / 4; }
+};
+
+TxSize measure(const Transaction& tx);
+
+/// Max standard transaction size (paper Sec. 6.1): 100,000 vbytes.
+inline constexpr std::size_t kMaxTxVBytes = 100'000;
+
+}  // namespace daric::tx

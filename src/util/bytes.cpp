@@ -1,0 +1,33 @@
+#include "src/util/bytes.h"
+
+#include "src/util/hex.h"
+
+namespace daric {
+
+Bytes concat(std::initializer_list<BytesView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+void append(Bytes& dst, BytesView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+bool Hash256::is_zero() const {
+  for (Byte b : data)
+    if (b != 0) return false;
+  return true;
+}
+
+std::string Hash256::hex() const { return to_hex(view()); }
+
+Hash256 Hash256::from_bytes(BytesView b) {
+  if (b.size() != 32) throw std::invalid_argument("Hash256 needs 32 bytes");
+  Hash256 h;
+  std::memcpy(h.data.data(), b.data(), 32);
+  return h;
+}
+
+}  // namespace daric

@@ -1,0 +1,52 @@
+// Byte-buffer primitives shared by every module.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace daric {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using BytesView = std::span<const Byte>;
+
+/// Amounts are satoshis; negative amounts are invalid everywhere.
+using Amount = std::int64_t;
+constexpr Amount kCoin = 100'000'000;  // 1 BTC in satoshis
+
+/// Discrete simulation round (the paper's synchronous-round unit).
+using Round = std::int64_t;
+
+/// Concatenate any number of byte ranges.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Constant 32-byte value type used for hashes and txids.
+struct Hash256 {
+  std::array<Byte, 32> data{};
+
+  bool operator==(const Hash256&) const = default;
+  auto operator<=>(const Hash256&) const = default;
+
+  BytesView view() const { return {data.data(), data.size()}; }
+  bool is_zero() const;
+  std::string hex() const;
+  static Hash256 from_bytes(BytesView b);
+};
+
+struct Hash256Hasher {
+  std::size_t operator()(const Hash256& h) const {
+    std::size_t v;
+    std::memcpy(&v, h.data.data(), sizeof(v));
+    return v;
+  }
+};
+
+}  // namespace daric

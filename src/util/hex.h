@@ -1,0 +1,14 @@
+// Hex encoding/decoding helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+
+namespace daric {
+
+std::string to_hex(BytesView data);
+Bytes from_hex(std::string_view hex);  // throws std::invalid_argument on bad input
+
+}  // namespace daric

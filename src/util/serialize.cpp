@@ -1,0 +1,89 @@
+#include "src/util/serialize.h"
+
+namespace daric {
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::u16le(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32le(std::uint32_t v) {
+  u16le(static_cast<std::uint16_t>(v));
+  u16le(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Writer::u64le(std::uint64_t v) {
+  u32le(static_cast<std::uint32_t>(v));
+  u32le(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::varint(std::uint64_t v) {
+  if (v < 0xfd) {
+    u8(static_cast<std::uint8_t>(v));
+  } else if (v <= 0xffff) {
+    u8(0xfd);
+    u16le(static_cast<std::uint16_t>(v));
+  } else if (v <= 0xffffffff) {
+    u8(0xfe);
+    u32le(static_cast<std::uint32_t>(v));
+  } else {
+    u8(0xff);
+    u64le(v);
+  }
+}
+
+void Writer::bytes(BytesView v) { append(buf_, v); }
+
+void Writer::var_bytes(BytesView v) {
+  varint(v.size());
+  bytes(v);
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) throw std::out_of_range("Reader underrun");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16le() {
+  const auto lo = u8();
+  const auto hi = u8();
+  return static_cast<std::uint16_t>(lo | hi << 8);
+}
+
+std::uint32_t Reader::u32le() {
+  const std::uint32_t lo = u16le();
+  const std::uint32_t hi = u16le();
+  return lo | hi << 16;
+}
+
+std::uint64_t Reader::u64le() {
+  const std::uint64_t lo = u32le();
+  const std::uint64_t hi = u32le();
+  return lo | hi << 32;
+}
+
+std::uint64_t Reader::varint() {
+  const auto tag = u8();
+  if (tag < 0xfd) return tag;
+  if (tag == 0xfd) return u16le();
+  if (tag == 0xfe) return u32le();
+  return u64le();
+}
+
+Bytes Reader::bytes(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes Reader::var_bytes() { return bytes(varint()); }
+
+}  // namespace daric

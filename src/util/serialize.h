@@ -1,0 +1,51 @@
+// Bitcoin-compatible little-endian / var-int byte stream reader & writer.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace daric {
+
+/// Appends primitives to a growing byte buffer using Bitcoin wire encodings.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16le(std::uint16_t v);
+  void u32le(std::uint32_t v);
+  void u64le(std::uint64_t v);
+  void varint(std::uint64_t v);             // Bitcoin CompactSize
+  void bytes(BytesView v);                  // raw, no length prefix
+  void var_bytes(BytesView v);              // CompactSize length + raw bytes
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes primitives from a byte view; throws std::out_of_range on underrun.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16le();
+  std::uint32_t u32le();
+  std::uint64_t u64le();
+  std::uint64_t varint();
+  Bytes bytes(std::size_t n);
+  Bytes var_bytes();
+
+  bool empty() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace daric

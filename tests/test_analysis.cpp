@@ -1,0 +1,139 @@
+// Sec. 6 analyses: the eltoo HTLC-delay attack (closed form + executable
+// mempool simulation) and the punishment/deterrence thresholds.
+#include <gtest/gtest.h>
+
+#include "src/analysis/eltoo_attack.h"
+#include "src/analysis/punishment.h"
+
+namespace daric::analysis {
+namespace {
+
+// --- 6.1 closed form ---------------------------------------------------
+
+TEST(DelayAttackEconomicsTest, PaperOperatingPoint) {
+  const DelayAttackEconomics e = analyze_delay_attack({});
+  EXPECT_EQ(e.channels_per_delay_tx, 715);   // "≈ 715 eltoo channels"
+  EXPECT_EQ(e.delay_txs_before_expiry, 144); // 3 days / 30 minutes
+  EXPECT_EQ(e.fee_per_delay_tx, 100'000);
+  EXPECT_EQ(e.total_attack_cost, 144 * 100'000);
+  EXPECT_EQ(e.max_revenue, 715 * 100'000);
+  EXPECT_TRUE(e.profitable);  // pays 144·A to win up to 715·A
+}
+
+TEST(DelayAttackEconomicsTest, CongestionMakesItMoreProfitable) {
+  DelayAttackParams p;
+  p.fee_market.congestion = 4;  // each delay tx stalls 4x longer
+  const DelayAttackEconomics congested = analyze_delay_attack(p);
+  const DelayAttackEconomics baseline = analyze_delay_attack({});
+  EXPECT_LT(congested.delay_txs_before_expiry, baseline.delay_txs_before_expiry);
+  EXPECT_GT(congested.profit, baseline.profit);
+}
+
+TEST(DelayAttackEconomicsTest, ShortTimelockBreaksEven) {
+  DelayAttackParams p;
+  // With a timelock so long that fees exceed the max revenue, the attack
+  // turns unprofitable: 716 * 3 blocks = 2148 blocks.
+  p.htlc_timelock_blocks = 715 * 3 + 3;
+  EXPECT_FALSE(analyze_delay_attack(p).profitable);
+}
+
+TEST(DelayAttackEconomicsTest, DaricReactionBoundIsDelta) {
+  EXPECT_EQ(daric_reaction_bound(3), 3);
+}
+
+// --- 6.1 executable simulation ----------------------------------------
+
+TEST(DelayAttackSim, VictimBlockedPastTimelock) {
+  // Scaled-down run: 12-round HTLC timelock, floor-rate delay 3 rounds.
+  const DelayAttackSimResult r =
+      simulate_delay_attack(/*channels=*/2, /*timelock_rounds=*/12,
+                            /*htlc_value=*/5'000, {1.0, 3, 1});
+  EXPECT_TRUE(r.victim_blocked_past_timelock);
+  EXPECT_GE(r.delay_txs_confirmed, 3);
+  EXPECT_GT(r.victim_replacements_rejected, 0);
+  EXPECT_GE(r.victim_blocked_rounds, 12);
+  EXPECT_EQ(r.attacker_fees_paid, 5'000 * r.delay_txs_confirmed);
+}
+
+TEST(DelayAttackSim, SingleChannelAlsoBlocked) {
+  const DelayAttackSimResult r =
+      simulate_delay_attack(1, 9, 4'000, {1.0, 3, 1});
+  EXPECT_TRUE(r.victim_blocked_past_timelock);
+}
+
+// --- 6.2 punishment thresholds ------------------------------------------
+
+TEST(Punishment, EltooThresholdAtPaperNumbers) {
+  // f ≈ 0.0000021 BTC (210 sat), C_A = 0.04 BTC ⇒ p > ~0.9999.
+  PunishmentParams p;
+  EXPECT_NEAR(eltoo_p_threshold(p), 0.9999475, 1e-6);
+  // With the *average* fee f = 0.000055 BTC: p > ~0.999.
+  p.tx_fee = 5'500;
+  EXPECT_NEAR(eltoo_p_threshold(p), 0.998625, 1e-6);
+}
+
+TEST(Punishment, DaricThresholdIsOneMinusReserve) {
+  PunishmentParams p;
+  EXPECT_DOUBLE_EQ(daric_p_threshold(p), 0.99);
+  p.reserve = 0.05;
+  EXPECT_DOUBLE_EQ(daric_p_threshold(p), 0.95);  // flexible deterrence
+}
+
+TEST(Punishment, EltooThresholdGrowsWithCapacityDaricDoesNot) {
+  PunishmentParams small;
+  small.channel_capacity = 1'000'000;
+  PunishmentParams large;
+  large.channel_capacity = 100'000'000;  // 1 BTC channel
+  EXPECT_LT(eltoo_p_threshold(small), eltoo_p_threshold(large));
+  EXPECT_DOUBLE_EQ(daric_p_threshold(small), daric_p_threshold(large));
+}
+
+TEST(Punishment, DaricThresholdBelowEltooThreshold) {
+  // "to discourage attacks, the honest party would require to meet a
+  //  higher p in eltoo than in Daric"
+  PunishmentParams p;
+  EXPECT_LT(daric_p_threshold(p), eltoo_p_threshold(p));
+}
+
+TEST(Punishment, EvSignsMatchThresholds) {
+  PunishmentParams p;
+  const double et = eltoo_p_threshold(p);
+  EXPECT_GT(eltoo_attack_ev(p, et - 0.0001), 0);  // below threshold: profitable
+  EXPECT_LT(eltoo_attack_ev(p, et + 0.00001), 0); // above: deterred
+  const double dt = daric_p_threshold(p);
+  EXPECT_GT(daric_attack_ev(p, dt - 0.01), 0);
+  EXPECT_LT(daric_attack_ev(p, dt + 0.001), 0);
+}
+
+TEST(Punishment, WatchtowerCoverageLowersThresholds) {
+  PunishmentParams none;
+  PunishmentParams half = none;
+  half.watchtower_coverage = 0.5;
+  EXPECT_LT(eltoo_p_threshold(half), eltoo_p_threshold(none));
+  EXPECT_LT(daric_p_threshold(half), daric_p_threshold(none));
+  // Daric with ρ = 1% and 50% coverage: p > 1 - 0.01/0.5 = 0.98.
+  EXPECT_DOUBLE_EQ(daric_p_threshold(half), 0.98);
+}
+
+TEST(Punishment, FullCoverageDetersUnconditionally) {
+  PunishmentParams p;
+  p.watchtower_coverage = 1.0;
+  EXPECT_DOUBLE_EQ(eltoo_p_threshold(p), 0.0);
+  EXPECT_DOUBLE_EQ(daric_p_threshold(p), 0.0);
+}
+
+class ReserveSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReserveSweep, DaricDeterrenceIsFlexible) {
+  PunishmentParams p;
+  p.reserve = GetParam();
+  EXPECT_NEAR(daric_p_threshold(p), 1.0 - GetParam(), 1e-12);
+  // EV at p slightly above the threshold is negative for every reserve.
+  EXPECT_LT(daric_attack_ev(p, 1.0 - GetParam() + 1e-6), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Reserves, ReserveSweep,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.10, 0.25));
+
+}  // namespace
+}  // namespace daric::analysis

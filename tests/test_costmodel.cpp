@@ -1,0 +1,169 @@
+// Table 3 reproduction: closure weights and per-update operation counts
+// must match the paper's published expressions exactly.
+#include <gtest/gtest.h>
+
+#include "src/costmodel/table3.h"
+
+namespace daric::costmodel {
+namespace {
+
+// --- Dishonest closure constants (Table 3, m = 0) --------------------------
+
+TEST(Table3Dishonest, ExactWeightsAtMZero) {
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kLightning, 0).weight, 1209);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kGeneralized, 0).weight, 1342);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kFppw, 0).weight, 2045);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kCerberus, 0).weight, 1798);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kOutpost, 0).weight, 2632);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kSleepy, 0).weight, 2172);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kEltoo, 0).weight, 2268);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kDaric, 0).weight, 1239);
+}
+
+TEST(Table3Dishonest, SlopesMatchPaper) {
+  EXPECT_DOUBLE_EQ(dishonest_weight_formula(Scheme::kLightning).slope, 582.5);
+  EXPECT_DOUBLE_EQ(dishonest_weight_formula(Scheme::kEltoo).slope, 696);
+  EXPECT_DOUBLE_EQ(dishonest_weight_formula(Scheme::kDaric).slope, 0);
+  EXPECT_DOUBLE_EQ(dishonest_weight_formula(Scheme::kGeneralized).slope, 0);
+  EXPECT_DOUBLE_EQ(dishonest_weight_formula(Scheme::kFppw).slope, 0);
+}
+
+TEST(Table3Dishonest, TxCounts) {
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kLightning, 0).num_txs, 2);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kEltoo, 0).num_txs, 3);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kDaric, 0).num_txs, 2);
+  EXPECT_DOUBLE_EQ(dishonest_closure(Scheme::kOutpost, 0).num_txs, 3);
+}
+
+// --- Non-collaborative closure ---------------------------------------------
+
+TEST(Table3NonCollab, ExactWeightsAtMZero) {
+  EXPECT_DOUBLE_EQ(noncollab_closure(Scheme::kLightning, 0).weight, 724);
+  EXPECT_DOUBLE_EQ(noncollab_closure(Scheme::kGeneralized, 0).weight, 1432);
+  EXPECT_DOUBLE_EQ(noncollab_closure(Scheme::kFppw, 0).weight, 1562);
+  EXPECT_DOUBLE_EQ(noncollab_closure(Scheme::kCerberus, 0).weight, 772);
+  EXPECT_DOUBLE_EQ(noncollab_closure(Scheme::kOutpost, 0).weight, 3018);
+  EXPECT_DOUBLE_EQ(noncollab_closure(Scheme::kSleepy, 0).weight, 2558);
+  EXPECT_DOUBLE_EQ(noncollab_closure(Scheme::kEltoo, 0).weight, 1588);
+  EXPECT_DOUBLE_EQ(noncollab_closure(Scheme::kDaric, 0).weight, 1363);
+}
+
+TEST(Table3NonCollab, SlopesMatchPaper) {
+  EXPECT_DOUBLE_EQ(noncollab_weight_formula(Scheme::kLightning).slope, 793);
+  EXPECT_DOUBLE_EQ(noncollab_weight_formula(Scheme::kGeneralized).slope, 696);
+  EXPECT_DOUBLE_EQ(noncollab_weight_formula(Scheme::kFppw).slope, 696);
+  EXPECT_DOUBLE_EQ(noncollab_weight_formula(Scheme::kEltoo).slope, 696);
+  EXPECT_DOUBLE_EQ(noncollab_weight_formula(Scheme::kDaric).slope, 696);
+}
+
+// --- Paper's headline comparisons -------------------------------------------
+
+TEST(Table3Claims, DaricCheapestDishonestClosureForAnyHtlcCount) {
+  // "Daric (with weight 1239) is more cost effective than other schemes
+  //  with m ≥ 1."
+  for (int m : {1, 2, 6, 100, 966}) {
+    const double daric = dishonest_closure(Scheme::kDaric, m).weight;
+    for (Scheme s : kAllSchemes) {
+      if (s == Scheme::kDaric) continue;
+      const int mm = supports_htlcs(s) ? m : 0;
+      EXPECT_LT(daric, dishonest_closure(s, mm).weight) << scheme_name(s) << " m=" << m;
+    }
+  }
+}
+
+TEST(Table3Claims, DaricBeatsLightningNonCollabAboveSixHtlcs) {
+  // "In the non-collaborative closure scenario with m ≠ 0, Daric
+  //  outperforms ... Lightning channel with m > 6."
+  EXPECT_GT(noncollab_closure(Scheme::kDaric, 6).weight,
+            noncollab_closure(Scheme::kLightning, 6).weight);
+  for (int m : {7, 8, 20, 966}) {
+    EXPECT_LT(noncollab_closure(Scheme::kDaric, m).weight,
+              noncollab_closure(Scheme::kLightning, m).weight)
+        << "m=" << m;
+  }
+}
+
+TEST(Table3Claims, DaricBeatsGcEltooFppwNonCollabForAllM) {
+  for (int m : {0, 1, 5, 100}) {
+    const double daric = noncollab_closure(Scheme::kDaric, m).weight;
+    EXPECT_LT(daric, noncollab_closure(Scheme::kGeneralized, m).weight);
+    EXPECT_LT(daric, noncollab_closure(Scheme::kEltoo, m).weight);
+    EXPECT_LT(daric, noncollab_closure(Scheme::kFppw, m).weight);
+  }
+}
+
+TEST(Table3Claims, LightningAndEltooDishonestCostsGrowWithM) {
+  EXPECT_GT(dishonest_closure(Scheme::kLightning, 10).weight,
+            dishonest_closure(Scheme::kLightning, 0).weight);
+  EXPECT_GT(dishonest_closure(Scheme::kEltoo, 10).weight,
+            dishonest_closure(Scheme::kEltoo, 0).weight);
+  EXPECT_EQ(dishonest_closure(Scheme::kDaric, 10).weight,
+            dishonest_closure(Scheme::kDaric, 0).weight);
+}
+
+// --- Operation counts -------------------------------------------------------
+
+TEST(Table3Ops, MatchPaperAtMZero) {
+  struct Row {
+    Scheme s;
+    double sign, verify, exp;
+  };
+  const Row rows[] = {
+      {Scheme::kLightning, 2, 1, 2}, {Scheme::kGeneralized, 3, 2, 1},
+      {Scheme::kFppw, 6, 10, 1},     {Scheme::kCerberus, 3, 6, 0},
+      {Scheme::kOutpost, 4, 4, 0},   {Scheme::kSleepy, 5, 5, 0},
+      {Scheme::kEltoo, 2, 2, 1},     {Scheme::kDaric, 4, 3, 0},
+  };
+  for (const Row& r : rows) {
+    const OpsCount o = update_ops(r.s, 0);
+    EXPECT_DOUBLE_EQ(o.sign, r.sign) << scheme_name(r.s);
+    EXPECT_DOUBLE_EQ(o.verify, r.verify) << scheme_name(r.s);
+    EXPECT_DOUBLE_EQ(o.exp, r.exp) << scheme_name(r.s);
+  }
+}
+
+TEST(Table3Ops, DaricIndependentOfHtlcCountLightningNot) {
+  EXPECT_EQ(update_ops(Scheme::kDaric, 100).sign, update_ops(Scheme::kDaric, 0).sign);
+  EXPECT_EQ(update_ops(Scheme::kLightning, 100).sign, 2 + 2 * 100);
+  EXPECT_EQ(update_ops(Scheme::kLightning, 100).verify, 1 + 50);
+}
+
+// --- Component cross-checks --------------------------------------------
+
+TEST(Components, WeightIdentity) {
+  const TxBytes t = daric_commit() + daric_revocation();
+  EXPECT_DOUBLE_EQ(t.witness, 535);
+  EXPECT_DOUBLE_EQ(t.non_witness, 176);
+  EXPECT_DOUBLE_EQ(t.weight(), 1239);
+}
+
+TEST(Components, HtlcFreeSchemesRejectNonzeroM) {
+  EXPECT_THROW(dishonest_closure(Scheme::kCerberus, 1), std::invalid_argument);
+  EXPECT_THROW(noncollab_closure(Scheme::kOutpost, 2), std::invalid_argument);
+  EXPECT_THROW(update_ops(Scheme::kSleepy, 3), std::invalid_argument);
+}
+
+TEST(Components, FromTableFlagOnlyForOutpostSleepy) {
+  for (Scheme s : kAllSchemes) {
+    const bool expect = s == Scheme::kOutpost || s == Scheme::kSleepy;
+    EXPECT_EQ(dishonest_closure(s, 0).from_table, expect) << scheme_name(s);
+  }
+}
+
+class Table3MSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table3MSweep, ClosedFormsMatchComponentSums) {
+  const int m = GetParam();
+  for (Scheme s : kAllSchemes) {
+    if (!supports_htlcs(s)) continue;
+    EXPECT_DOUBLE_EQ(dishonest_weight_formula(s).at(m), dishonest_closure(s, m).weight)
+        << scheme_name(s);
+    EXPECT_DOUBLE_EQ(noncollab_weight_formula(s).at(m), noncollab_closure(s, m).weight)
+        << scheme_name(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HtlcCounts, Table3MSweep, ::testing::Values(0, 1, 2, 7, 16, 966));
+
+}  // namespace
+}  // namespace daric::costmodel

@@ -1,0 +1,474 @@
+// Unit tests for the from-scratch crypto substrate.
+#include <gtest/gtest.h>
+
+#include "src/crypto/adaptor.h"
+#include "src/crypto/ecdsa.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/ripemd160.h"
+#include "src/crypto/schnorr.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/sig_scheme.h"
+#include "src/util/hex.h"
+
+namespace daric {
+namespace {
+
+using crypto::Fe;
+using crypto::Point;
+using crypto::Scalar;
+using crypto::U256;
+
+Bytes str_bytes(std::string_view s) {
+  return Bytes(reinterpret_cast<const Byte*>(s.data()),
+               reinterpret_cast<const Byte*>(s.data()) + s.size());
+}
+
+// --- SHA-256 (FIPS 180-4 vectors) ------------------------------------------
+
+TEST(Sha256, EmptyVector) {
+  EXPECT_EQ(crypto::Sha256::hash({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(crypto::Sha256::hash(str_bytes("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  EXPECT_EQ(crypto::Sha256::hash(str_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")).hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  crypto::Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finalize().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = str_bytes("the quick brown fox jumps over the lazy dog and more data");
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    crypto::Sha256 h;
+    h.update({data.data(), split});
+    h.update({data.data() + split, data.size() - split});
+    EXPECT_EQ(h.finalize(), crypto::Sha256::hash(data));
+  }
+}
+
+TEST(Sha256, DoubleHashDiffersFromSingle) {
+  const Bytes d = str_bytes("x");
+  EXPECT_NE(crypto::Sha256::double_hash(d), crypto::Sha256::hash(d));
+  EXPECT_EQ(crypto::Sha256::double_hash(d),
+            crypto::Sha256::hash(crypto::Sha256::hash(d).view()));
+}
+
+TEST(Sha256, TaggedHashDomainSeparates) {
+  const Bytes d = str_bytes("msg");
+  EXPECT_NE(crypto::Sha256::tagged("a", d), crypto::Sha256::tagged("b", d));
+}
+
+// --- RIPEMD-160 (ISO test vectors) ------------------------------------------
+
+TEST(Ripemd160, StandardVectors) {
+  EXPECT_EQ(to_hex(crypto::ripemd160({}).view()),
+            "9c1185a5c5e9fc54612808977ee8f548b2258d31");
+  EXPECT_EQ(to_hex(crypto::ripemd160(str_bytes("abc")).view()),
+            "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+  EXPECT_EQ(to_hex(crypto::ripemd160(str_bytes("message digest")).view()),
+            "5d0689ef49d2fae572b881b123a85ffa21595f36");
+  EXPECT_EQ(to_hex(crypto::ripemd160(str_bytes(
+                "abcdefghijklmnopqrstuvwxyz")).view()),
+            "f71c27109c692c1b56bbdceb5b9d2865b3708dbc");
+}
+
+TEST(Ripemd160, Hash160IsRipemdOfSha) {
+  const Bytes d = str_bytes("pubkey");
+  EXPECT_EQ(crypto::hash160(d), crypto::ripemd160(crypto::Sha256::hash(d).view()));
+}
+
+// --- HMAC-SHA256 (RFC 4231) ---------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(crypto::hmac_sha256(key, str_bytes("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(crypto::hmac_sha256(str_bytes("Jefe"),
+                                str_bytes("what do ya want for nothing?")).hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(crypto::hmac_sha256(key, str_bytes(
+                "Test Using Larger Than Block-Size Key - Hash Key First")).hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- U256 ---------------------------------------------------------------
+
+TEST(U256Test, ByteRoundTrip) {
+  const U256 v = U256::from_hex("0123456789abcdef0011223344556677fedcba98765432100123456789abcdef");
+  EXPECT_EQ(U256::from_be_bytes(v.to_be_bytes()), v);
+}
+
+TEST(U256Test, AddCarry) {
+  U256 max;
+  max.limb = {~0ull, ~0ull, ~0ull, ~0ull};
+  U256 out;
+  EXPECT_EQ(crypto::add_with_carry(max, U256(1), out), 1u);
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(U256Test, SubBorrow) {
+  U256 out;
+  EXPECT_EQ(crypto::sub_with_borrow(U256(0), U256(1), out), 1u);
+  EXPECT_EQ(crypto::sub_with_borrow(U256(5), U256(3), out), 0u);
+  EXPECT_EQ(out, U256(2));
+}
+
+TEST(U256Test, MulFull) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const U256 v(~0ull);
+  const crypto::U512 p = crypto::mul_full(v, v);
+  EXPECT_EQ(p.limb[0], 1ull);
+  EXPECT_EQ(p.limb[1], ~0ull - 1);
+  EXPECT_EQ(p.limb[2], 0ull);
+}
+
+TEST(U256Test, Ordering) {
+  EXPECT_LT(U256(1), U256(2));
+  EXPECT_LT(U256(~0ull), U256(0, 1, 0, 0));
+  EXPECT_GT(U256(0, 0, 0, 1), U256(~0ull, ~0ull, ~0ull, 0));
+}
+
+TEST(U256Test, BitLength) {
+  EXPECT_EQ(U256(0).bit_length(), 0u);
+  EXPECT_EQ(U256(1).bit_length(), 1u);
+  EXPECT_EQ(U256(0, 0, 0, 1ull << 63).bit_length(), 256u);
+}
+
+TEST(U256Test, Shr) {
+  const U256 v = U256::from_hex("ff00000000000000000000000000000000");
+  EXPECT_EQ(crypto::shr(v, 8), U256::from_hex("ff000000000000000000000000000000"));
+}
+
+// --- Field & scalar -------------------------------------------------------
+
+TEST(FieldTest, AddSubInverse) {
+  const Fe a = Fe::from_be_bytes_reduce(crypto::Sha256::hash(str_bytes("a")).view());
+  const Fe b = Fe::from_be_bytes_reduce(crypto::Sha256::hash(str_bytes("b")).view());
+  EXPECT_EQ(a + b - b, a);
+  EXPECT_EQ((a - a), Fe(0));
+}
+
+TEST(FieldTest, MulInverse) {
+  const Fe a = Fe::from_be_bytes_reduce(crypto::Sha256::hash(str_bytes("z")).view());
+  EXPECT_EQ(a * a.inv(), Fe(1));
+}
+
+TEST(FieldTest, SqrtRoundTrip) {
+  const Fe a = Fe::from_be_bytes_reduce(crypto::Sha256::hash(str_bytes("sq")).view());
+  const Fe sq = a.sqr();
+  Fe root;
+  ASSERT_TRUE(sq.sqrt(root));
+  EXPECT_TRUE(root == a || root == a.neg());
+}
+
+TEST(FieldTest, NonResidueRejected) {
+  // -1 is a non-residue mod p (p ≡ 3 mod 4).
+  Fe root;
+  EXPECT_FALSE(Fe(1).neg().sqrt(root));
+}
+
+TEST(ScalarTest, Arithmetic) {
+  const Scalar a = Scalar::from_be_bytes_reduce(crypto::Sha256::hash(str_bytes("s1")).view());
+  const Scalar b = Scalar::from_be_bytes_reduce(crypto::Sha256::hash(str_bytes("s2")).view());
+  EXPECT_EQ(a + b - b, a);
+  EXPECT_EQ(a * a.inv(), Scalar(1));
+  EXPECT_EQ(a + a.neg(), Scalar(0));
+}
+
+TEST(ScalarTest, ReductionIsCanonical) {
+  // Order + 5 reduces to 5.
+  U256 v = Scalar::order();
+  U256 out;
+  crypto::add_with_carry(v, U256(5), out);
+  EXPECT_EQ(Scalar::from_be_bytes_reduce(out.to_be_bytes()), Scalar(5));
+}
+
+// --- Curve points --------------------------------------------------------
+
+TEST(PointTest, GeneratorOnCurve) {
+  const Point g = Point::generator();
+  EXPECT_FALSE(g.is_infinity());
+  EXPECT_EQ(g.y().sqr(), g.x().sqr() * g.x() + Fe(7));
+}
+
+TEST(PointTest, AdditionMatchesScalarMul) {
+  const Point g = Point::generator();
+  EXPECT_EQ(g + g, g * Scalar(2));
+  EXPECT_EQ(g + g + g, g * Scalar(3));
+  EXPECT_EQ(g.dbl(), g * Scalar(2));
+}
+
+TEST(PointTest, MulGenMatchesGenericMul) {
+  for (int i = 1; i <= 20; ++i) {
+    const Scalar k = Scalar::from_be_bytes_reduce(
+        crypto::Sha256::hash(str_bytes("k" + std::to_string(i))).view());
+    EXPECT_EQ(Point::mul_gen(k), Point::generator() * k);
+  }
+}
+
+TEST(PointTest, NegCancels) {
+  const Point p = Point::mul_gen(Scalar(42));
+  EXPECT_TRUE((p + p.neg()).is_infinity());
+}
+
+TEST(PointTest, InfinityIdentity) {
+  const Point p = Point::mul_gen(Scalar(7));
+  EXPECT_EQ(p + Point(), p);
+  EXPECT_EQ(Point() + p, p);
+}
+
+TEST(PointTest, CompressedRoundTrip) {
+  for (int i = 1; i <= 10; ++i) {
+    const Point p = Point::mul_gen(Scalar(static_cast<std::uint64_t>(i * 1234567)));
+    const auto back = Point::from_compressed(p.compressed());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+}
+
+TEST(PointTest, BadCompressedRejected) {
+  Bytes junk(33, 0xff);
+  junk[0] = 0x02;
+  EXPECT_FALSE(Point::from_compressed(junk).has_value());
+  EXPECT_FALSE(Point::from_compressed(Bytes{0x04}).has_value());
+}
+
+TEST(PointTest, ScalarMulDistributes) {
+  const Scalar a(12345), b(67890);
+  EXPECT_EQ(Point::mul_gen(a + b), Point::mul_gen(a) + Point::mul_gen(b));
+}
+
+// --- Schnorr ----------------------------------------------------------------
+
+TEST(Schnorr, SignVerify) {
+  const auto kp = crypto::derive_keypair("schnorr-test");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("hello"));
+  const Bytes sig = crypto::schnorr_sign(kp.sk, msg);
+  EXPECT_EQ(sig.size(), crypto::kSchnorrSigSize);
+  EXPECT_TRUE(crypto::schnorr_verify(kp.pk, msg, sig));
+}
+
+TEST(Schnorr, RejectsWrongMessage) {
+  const auto kp = crypto::derive_keypair("schnorr-test");
+  const Bytes sig = crypto::schnorr_sign(kp.sk, crypto::Sha256::hash(str_bytes("m1")));
+  EXPECT_FALSE(crypto::schnorr_verify(kp.pk, crypto::Sha256::hash(str_bytes("m2")), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  const auto kp = crypto::derive_keypair("schnorr-test");
+  const auto other = crypto::derive_keypair("other");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("m"));
+  EXPECT_FALSE(crypto::schnorr_verify(other.pk, msg, crypto::schnorr_sign(kp.sk, msg)));
+}
+
+TEST(Schnorr, RejectsMalleatedSignature) {
+  const auto kp = crypto::derive_keypair("schnorr-test");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("m"));
+  Bytes sig = crypto::schnorr_sign(kp.sk, msg);
+  for (std::size_t i = 0; i < sig.size(); i += 9) {
+    Bytes bad = sig;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(crypto::schnorr_verify(kp.pk, msg, bad)) << "byte " << i;
+  }
+}
+
+TEST(Schnorr, DeterministicSignatures) {
+  const auto kp = crypto::derive_keypair("schnorr-test");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("m"));
+  EXPECT_EQ(crypto::schnorr_sign(kp.sk, msg), crypto::schnorr_sign(kp.sk, msg));
+}
+
+// --- ECDSA ----------------------------------------------------------------
+
+TEST(Ecdsa, SignVerify) {
+  const auto kp = crypto::derive_keypair("ecdsa-test");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("hello"));
+  const Bytes sig = crypto::ecdsa_sign(kp.sk, msg);
+  EXPECT_EQ(sig.size(), crypto::kEcdsaSigSize);
+  EXPECT_TRUE(crypto::ecdsa_verify(kp.pk, msg, sig));
+}
+
+TEST(Ecdsa, LowS) {
+  const auto kp = crypto::derive_keypair("ecdsa-test");
+  for (int i = 0; i < 8; ++i) {
+    const Hash256 msg = crypto::Sha256::hash(str_bytes("m" + std::to_string(i)));
+    const Bytes sig = crypto::ecdsa_sign(kp.sk, msg);
+    const U256 s = U256::from_be_bytes(BytesView(sig).subspan(32));
+    EXPECT_LE(s, crypto::shr(Scalar::order(), 1));
+  }
+}
+
+TEST(Ecdsa, RejectsTamper) {
+  const auto kp = crypto::derive_keypair("ecdsa-test");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("m"));
+  Bytes sig = crypto::ecdsa_sign(kp.sk, msg);
+  sig[5] ^= 1;
+  EXPECT_FALSE(crypto::ecdsa_verify(kp.pk, msg, sig));
+}
+
+// --- Adaptor signatures -------------------------------------------------
+
+TEST(Adaptor, PreSignAdaptExtract) {
+  const auto signer = crypto::derive_keypair("adaptor-signer");
+  const auto witness = crypto::derive_keypair("adaptor-witness");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("commit"));
+
+  const auto pre = crypto::adaptor_pre_sign(signer.sk, msg, witness.pk);
+  EXPECT_TRUE(crypto::adaptor_pre_verify(signer.pk, msg, witness.pk, pre));
+
+  const Bytes sig = crypto::adaptor_adapt(pre, witness.sk);
+  EXPECT_TRUE(crypto::schnorr_verify(signer.pk, msg, sig));
+
+  EXPECT_EQ(crypto::adaptor_extract(sig, pre), witness.sk);
+}
+
+TEST(Adaptor, PreSigIsNotAValidSignature) {
+  const auto signer = crypto::derive_keypair("adaptor-signer");
+  const auto witness = crypto::derive_keypair("adaptor-witness");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("commit"));
+  const auto pre = crypto::adaptor_pre_sign(signer.sk, msg, witness.pk);
+  const Bytes as_sig = concat({pre.r_hat.compressed(), pre.s_hat.to_be_bytes()});
+  EXPECT_FALSE(crypto::schnorr_verify(signer.pk, msg, as_sig));
+}
+
+TEST(Adaptor, PreVerifyRejectsWrongStatement) {
+  const auto signer = crypto::derive_keypair("adaptor-signer");
+  const auto witness = crypto::derive_keypair("adaptor-witness");
+  const auto wrong = crypto::derive_keypair("adaptor-wrong");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("commit"));
+  const auto pre = crypto::adaptor_pre_sign(signer.sk, msg, witness.pk);
+  EXPECT_FALSE(crypto::adaptor_pre_verify(signer.pk, msg, wrong.pk, pre));
+}
+
+// --- Scheme abstraction ------------------------------------------------
+
+TEST(SigScheme, SchnorrAndEcdsaInterchangeable) {
+  const auto kp = crypto::derive_keypair("scheme-test");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("m"));
+  for (const crypto::SignatureScheme* s :
+       {&crypto::schnorr_scheme(), &crypto::ecdsa_scheme()}) {
+    const Bytes sig = s->sign(kp.sk, msg);
+    EXPECT_EQ(sig.size(), s->signature_size());
+    EXPECT_TRUE(s->verify(kp.pk, msg, sig)) << s->name();
+  }
+}
+
+TEST(SigScheme, AdaptorSupportFlags) {
+  EXPECT_TRUE(crypto::schnorr_scheme().supports_adaptor());
+  EXPECT_FALSE(crypto::ecdsa_scheme().supports_adaptor());
+}
+
+TEST(SigScheme, CountingSchemeCounts) {
+  crypto::op_counters().reset();
+  crypto::CountingScheme counting(crypto::schnorr_scheme());
+  const auto kp = crypto::derive_keypair("count");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("m"));
+  const Bytes sig = counting.sign(kp.sk, msg);
+  counting.verify(kp.pk, msg, sig);
+  counting.verify(kp.pk, msg, sig);
+  EXPECT_EQ(crypto::op_counters().signs.load(), 1u);
+  EXPECT_EQ(crypto::op_counters().verifies.load(), 2u);
+}
+
+// Deterministic key derivation: distinct labels, distinct keys.
+TEST(Keys, DistinctLabelsDistinctKeys) {
+  EXPECT_FALSE(crypto::derive_keypair("x").sk == crypto::derive_keypair("y").sk);
+  EXPECT_EQ(crypto::derive_keypair("x").sk, crypto::derive_keypair("x").sk);
+}
+
+// Algebraic-law sweeps over pseudo-random elements.
+class AlgebraSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Fe fe(const std::string& label) const {
+    return Fe::from_be_bytes_reduce(
+        crypto::Sha256::hash(str_bytes(label + std::to_string(GetParam()))).view());
+  }
+  Scalar sc(const std::string& label) const {
+    return Scalar::from_be_bytes_reduce(
+        crypto::Sha256::hash(str_bytes(label + std::to_string(GetParam()))).view());
+  }
+};
+
+TEST_P(AlgebraSweep, FieldRingLaws) {
+  const Fe a = fe("a"), b = fe("b"), c = fe("c");
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a * Fe(1), a);
+  EXPECT_EQ(a + Fe(0), a);
+}
+
+TEST_P(AlgebraSweep, FieldInverseAndSqrt) {
+  const Fe a = fe("inv");
+  if (!a.is_zero()) {
+    EXPECT_EQ(a * a.inv(), Fe(1));
+    EXPECT_EQ(a.inv().inv(), a);
+  }
+  Fe root;
+  ASSERT_TRUE(a.sqr().sqrt(root));
+  EXPECT_EQ(root.sqr(), a.sqr());
+}
+
+TEST_P(AlgebraSweep, ScalarFieldLaws) {
+  const Scalar a = sc("x"), b = sc("y");
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ(a - b, (b - a).neg());
+  if (!b.is_zero()) EXPECT_EQ(a * b * b.inv(), a);
+}
+
+TEST_P(AlgebraSweep, GroupHomomorphism) {
+  // φ(k) = k·G is a homomorphism: φ(a+b) = φ(a) + φ(b), φ(ab) = a·φ(b).
+  const Scalar a = sc("g1"), b = sc("g2");
+  EXPECT_EQ(Point::mul_gen(a + b), Point::mul_gen(a) + Point::mul_gen(b));
+  EXPECT_EQ(Point::mul_gen(a * b), Point::mul_gen(b) * a);
+  EXPECT_TRUE((Point::mul_gen(a) + Point::mul_gen(a.neg())).is_infinity());
+}
+
+TEST_P(AlgebraSweep, PointAdditionLaws) {
+  const Point p = Point::mul_gen(sc("p"));
+  const Point q = Point::mul_gen(sc("q"));
+  const Point r = Point::mul_gen(sc("r"));
+  EXPECT_EQ(p + q, q + p);
+  EXPECT_EQ((p + q) + r, p + (q + r));
+  EXPECT_EQ(p + p, p.dbl());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, AlgebraSweep, ::testing::Range(0, 8));
+
+class SchnorrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchnorrSweep, RoundTripManyKeys) {
+  const int i = GetParam();
+  const auto kp = crypto::derive_keypair("sweep" + std::to_string(i));
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("msg" + std::to_string(i)));
+  EXPECT_TRUE(crypto::schnorr_verify(kp.pk, msg, crypto::schnorr_sign(kp.sk, msg)));
+  EXPECT_TRUE(crypto::ecdsa_verify(kp.pk, msg, crypto::ecdsa_sign(kp.sk, msg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, SchnorrSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace daric

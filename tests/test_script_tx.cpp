@@ -1,0 +1,428 @@
+// Script interpreter, transaction serialization, sighash and weight tests.
+// Byte-size assertions cross-check Appendix H's accounting.
+#include <gtest/gtest.h>
+
+#include "src/crypto/keys.h"
+#include "src/crypto/sha256.h"
+#include "src/daric/scripts.h"
+#include "src/eltoo/scripts.h"
+#include "src/lightning/scripts.h"
+#include "src/script/interpreter.h"
+#include "src/script/standard.h"
+#include "src/tx/serializer.h"
+#include "src/tx/sighash.h"
+#include "src/tx/weight.h"
+#include "src/util/serialize.h"
+
+namespace daric {
+namespace {
+
+using script::Op;
+using script::Script;
+using script::ScriptError;
+using script::SighashFlag;
+
+const auto kA = crypto::derive_keypair("tx-test/A");
+const auto kB = crypto::derive_keypair("tx-test/B");
+
+Hash256 dummy_txid(int i) {
+  Bytes b{static_cast<Byte>(i)};
+  return crypto::Sha256::hash(b);
+}
+
+// --- Appendix-H script sizes ---------------------------------------------
+
+TEST(ScriptSizes, Multisig2of2Is71Bytes) {
+  EXPECT_EQ(script::multisig_2of2(kA.pk.compressed(), kB.pk.compressed()).wire_size(), 71u);
+}
+
+TEST(ScriptSizes, DaricCommitScriptIs157Bytes) {
+  const Script s = daricch::commit_script(kA.pk.compressed(), kB.pk.compressed(),
+                                          kA.pk.compressed(), kB.pk.compressed(), 42, 10);
+  EXPECT_EQ(s.wire_size(), 157u);  // Appendix H.3
+}
+
+TEST(ScriptSizes, LightningToLocalIs78Bytes) {
+  const Script s = lightning::to_local_script(kA.pk.compressed(), 144, kB.pk.compressed());
+  EXPECT_EQ(s.wire_size(), 78u);  // Appendix H.1
+}
+
+TEST(ScriptSizes, HtlcScriptIs101Bytes) {
+  const Bytes h(20, 0xab);
+  EXPECT_EQ(script::htlc(h, kA.pk.compressed(), kB.pk.compressed(), 144).wire_size(), 101u);
+}
+
+TEST(ScriptSizes, EltooUpdateScriptIs157Bytes) {
+  // Appendix H.4 counts 151 bytes for a listing without an explicit state
+  // CLTV (eltoo hides the state floor in the key/locktime machinery). Our
+  // executable script carries the <S0+i+1> CLTV guard explicitly: +6 bytes.
+  // Table 3 reproduction uses the paper's component sizes (costmodel).
+  const Script s = eltoo::update_script(kA.pk.compressed(), kB.pk.compressed(),
+                                        kA.pk.compressed(), kB.pk.compressed(), 7, 10);
+  EXPECT_EQ(s.wire_size(), 157u);
+}
+
+TEST(ScriptSizes, SingleKeyScriptIs35Bytes) {
+  EXPECT_EQ(script::single_key(kA.pk.compressed()).wire_size(), 35u);
+}
+
+// --- Interpreter primitives ----------------------------------------------
+
+class StubChecker : public script::SigChecker {
+ public:
+  bool sig_result = true;
+  std::uint32_t locktime = 0;
+  Round age = 0;
+  bool check_sig(BytesView, BytesView) const override { return sig_result; }
+  bool check_locktime(std::uint32_t lock) const override { return locktime >= lock; }
+  bool check_sequence(std::uint32_t a) const override {
+    return age >= static_cast<Round>(a);
+  }
+};
+
+TEST(Interpreter, PushAndEqual) {
+  Script s;
+  s.push(Bytes{1, 2}).push(Bytes{1, 2}).op(Op::OP_EQUAL);
+  std::vector<Bytes> stack;
+  EXPECT_EQ(eval_script(s, stack, StubChecker{}), ScriptError::kOk);
+}
+
+TEST(Interpreter, EqualVerifyFails) {
+  Script s;
+  s.push(Bytes{1}).push(Bytes{2}).op(Op::OP_EQUALVERIFY).small_int(1);
+  std::vector<Bytes> stack;
+  EXPECT_EQ(eval_script(s, stack, StubChecker{}), ScriptError::kEqualVerifyFailed);
+}
+
+TEST(Interpreter, IfElseBranching) {
+  for (bool branch : {true, false}) {
+    Script s;
+    s.op(Op::OP_IF).small_int(7).op(Op::OP_ELSE).small_int(9).op(Op::OP_ENDIF);
+    std::vector<Bytes> stack{branch ? Bytes{1} : Bytes{}};
+    ASSERT_EQ(eval_script(s, stack, StubChecker{}), ScriptError::kOk);
+    EXPECT_EQ(script::decode_number(stack.back()), branch ? 7u : 9u);
+  }
+}
+
+TEST(Interpreter, NestedConditionals) {
+  // IF IF 1 ELSE 2 ENDIF ELSE 3 ENDIF with selectors [inner, outer].
+  Script s;
+  s.op(Op::OP_IF)
+      .op(Op::OP_IF)
+      .small_int(1)
+      .op(Op::OP_ELSE)
+      .small_int(2)
+      .op(Op::OP_ENDIF)
+      .op(Op::OP_ELSE)
+      .small_int(3)
+      .op(Op::OP_ENDIF);
+  struct Case {
+    Bytes inner, outer;
+    std::uint64_t expect;
+  };
+  for (const Case& c : {Case{{1}, {1}, 1}, Case{{}, {1}, 2}, Case{{9}, {}, 3}}) {
+    std::vector<Bytes> stack{c.inner, c.outer};
+    ASSERT_EQ(eval_script(s, stack, StubChecker{}), ScriptError::kOk);
+    EXPECT_EQ(script::decode_number(stack.back()), c.expect);
+  }
+}
+
+TEST(Interpreter, UnbalancedConditionalRejected) {
+  Script s;
+  s.op(Op::OP_IF).small_int(1);
+  std::vector<Bytes> stack{Bytes{1}};
+  EXPECT_EQ(eval_script(s, stack, StubChecker{}), ScriptError::kUnbalancedConditional);
+}
+
+TEST(Interpreter, OpReturnFails) {
+  Script s;
+  s.op(Op::OP_RETURN);
+  std::vector<Bytes> stack;
+  EXPECT_EQ(eval_script(s, stack, StubChecker{}), ScriptError::kOpReturn);
+}
+
+TEST(Interpreter, CltvRespectsChecker) {
+  Script s;
+  s.num4(100).op(Op::OP_CHECKLOCKTIMEVERIFY).op(Op::OP_DROP).small_int(1);
+  StubChecker c;
+  std::vector<Bytes> stack;
+  c.locktime = 99;
+  EXPECT_EQ(eval_script(s, stack, c), ScriptError::kLocktimeNotSatisfied);
+  stack.clear();
+  c.locktime = 100;
+  EXPECT_EQ(eval_script(s, stack, c), ScriptError::kOk);
+}
+
+TEST(Interpreter, CsvRespectsChecker) {
+  Script s;
+  s.num4(10).op(Op::OP_CHECKSEQUENCEVERIFY).op(Op::OP_DROP).small_int(1);
+  StubChecker c;
+  std::vector<Bytes> stack;
+  c.age = 9;
+  EXPECT_EQ(eval_script(s, stack, c), ScriptError::kSequenceNotSatisfied);
+  stack.clear();
+  c.age = 10;
+  EXPECT_EQ(eval_script(s, stack, c), ScriptError::kOk);
+}
+
+TEST(Interpreter, StackUnderflowDetected) {
+  Script s;
+  s.op(Op::OP_DROP);
+  std::vector<Bytes> stack;
+  EXPECT_EQ(eval_script(s, stack, StubChecker{}), ScriptError::kStackUnderflow);
+}
+
+TEST(Interpreter, DirtyFalseTopFails) {
+  Script s;
+  s.op(Op::OP_0);
+  std::vector<Bytes> stack;
+  EXPECT_EQ(eval_script(s, stack, StubChecker{}), ScriptError::kFalseTopOfStack);
+}
+
+// --- Real signature spends over verify_input ----------------------------
+
+struct Spend {
+  tx::Output spent;
+  tx::Transaction tx;
+};
+
+Spend make_p2wpkh_spend(const crypto::KeyPair& owner, Amount value) {
+  Spend s;
+  s.spent = {value, tx::Condition::p2wpkh(owner.pk.compressed())};
+  s.tx.inputs = {{{dummy_txid(1), 0}}};
+  s.tx.outputs = {{value, tx::Condition::p2wpkh(owner.pk.compressed())}};
+  const Bytes sig =
+      tx::sign_input(s.tx, 0, owner.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+  s.tx.witnesses.resize(1);
+  s.tx.witnesses[0].stack = {sig, owner.pk.compressed()};
+  return s;
+}
+
+TEST(VerifyInput, P2wpkhHappyPath) {
+  const Spend s = make_p2wpkh_spend(kA, 1000);
+  EXPECT_EQ(tx::verify_input(s.tx, 0, s.spent, crypto::schnorr_scheme(), 0),
+            ScriptError::kOk);
+}
+
+TEST(VerifyInput, P2wpkhWrongKeyRejected) {
+  Spend s = make_p2wpkh_spend(kA, 1000);
+  s.tx.witnesses[0].stack[1] = kB.pk.compressed();  // hash mismatch
+  EXPECT_EQ(tx::verify_input(s.tx, 0, s.spent, crypto::schnorr_scheme(), 0),
+            ScriptError::kEqualVerifyFailed);
+}
+
+TEST(VerifyInput, P2wpkhTamperedSigRejected) {
+  Spend s = make_p2wpkh_spend(kA, 1000);
+  s.tx.witnesses[0].stack[0][7] ^= 1;
+  EXPECT_EQ(tx::verify_input(s.tx, 0, s.spent, crypto::schnorr_scheme(), 0),
+            ScriptError::kBadSignature);
+}
+
+TEST(VerifyInput, Multisig2of2OrderMatters) {
+  const Script ms = script::multisig_2of2(kA.pk.compressed(), kB.pk.compressed());
+  tx::Transaction t;
+  t.inputs = {{{dummy_txid(2), 0}}};
+  t.outputs = {{500, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  const tx::Output spent{500, tx::Condition::p2wsh(ms)};
+  const Bytes sa = tx::sign_input(t, 0, kA.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+  const Bytes sb = tx::sign_input(t, 0, kB.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+
+  t.witnesses.resize(1);
+  t.witnesses[0].witness_script = ms;
+  t.witnesses[0].stack = {Bytes{}, sa, sb};
+  EXPECT_EQ(tx::verify_input(t, 0, spent, crypto::schnorr_scheme(), 0), ScriptError::kOk);
+
+  t.witnesses[0].stack = {Bytes{}, sb, sa};  // swapped
+  EXPECT_NE(tx::verify_input(t, 0, spent, crypto::schnorr_scheme(), 0), ScriptError::kOk);
+}
+
+TEST(VerifyInput, WitnessScriptHashMismatchRejected) {
+  const Script ms = script::multisig_2of2(kA.pk.compressed(), kB.pk.compressed());
+  const Script other = script::multisig_2of2(kB.pk.compressed(), kA.pk.compressed());
+  tx::Transaction t;
+  t.inputs = {{{dummy_txid(3), 0}}};
+  t.outputs = {{500, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  const tx::Output spent{500, tx::Condition::p2wsh(ms)};
+  t.witnesses.resize(1);
+  t.witnesses[0].witness_script = other;
+  t.witnesses[0].stack = {Bytes{}, Bytes{}, Bytes{}};
+  EXPECT_EQ(tx::verify_input(t, 0, spent, crypto::schnorr_scheme(), 0),
+            ScriptError::kEqualVerifyFailed);
+}
+
+// --- HTLC spends -----------------------------------------------------------
+
+TEST(Htlc, RedeemWithPreimageAndClaimbackAfterTimeout) {
+  const Bytes preimage{1, 2, 3, 4};
+  const crypto::Hash160 h = crypto::hash160(preimage);
+  const Script htlc = script::htlc(h.view(), kB.pk.compressed(), kA.pk.compressed(), 10);
+  const tx::Output spent{700, tx::Condition::p2wsh(htlc)};
+
+  // Payee redeem with preimage.
+  tx::Transaction redeem;
+  redeem.inputs = {{{dummy_txid(4), 0}}};
+  redeem.outputs = {{700, tx::Condition::p2wpkh(kB.pk.compressed())}};
+  const Bytes sig_b =
+      tx::sign_input(redeem, 0, kB.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+  redeem.witnesses.resize(1);
+  redeem.witnesses[0].witness_script = htlc;
+  redeem.witnesses[0].stack = {sig_b, preimage};
+  EXPECT_EQ(tx::verify_input(redeem, 0, spent, crypto::schnorr_scheme(), 0),
+            ScriptError::kOk);
+
+  // Wrong preimage falls into the timeout branch and fails CSV at age 0.
+  redeem.witnesses[0].stack = {sig_b, Bytes{9, 9}};
+  EXPECT_EQ(tx::verify_input(redeem, 0, spent, crypto::schnorr_scheme(), 0),
+            ScriptError::kSequenceNotSatisfied);
+
+  // Payer claimback after the timeout.
+  tx::Transaction back;
+  back.inputs = {{{dummy_txid(4), 0}}};
+  back.outputs = {{700, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  const Bytes sig_a =
+      tx::sign_input(back, 0, kA.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+  back.witnesses.resize(1);
+  back.witnesses[0].witness_script = htlc;
+  back.witnesses[0].stack = {sig_a, Bytes{}};
+  EXPECT_EQ(tx::verify_input(back, 0, spent, crypto::schnorr_scheme(), 9),
+            ScriptError::kSequenceNotSatisfied);
+  EXPECT_EQ(tx::verify_input(back, 0, spent, crypto::schnorr_scheme(), 10),
+            ScriptError::kOk);
+}
+
+// --- Sighash semantics ------------------------------------------------------
+
+TEST(Sighash, AnyPrevOutIgnoresInputs) {
+  tx::Transaction t;
+  t.nlocktime = 5;
+  t.outputs = {{100, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  t.inputs = {{{dummy_txid(5), 0}}};
+  const Hash256 d1 = tx::sighash_digest(t, 0, SighashFlag::kAllAnyPrevOut);
+  t.inputs = {{{dummy_txid(6), 3}}};
+  const Hash256 d2 = tx::sighash_digest(t, 0, SighashFlag::kAllAnyPrevOut);
+  EXPECT_EQ(d1, d2);
+
+  const Hash256 a1 = tx::sighash_digest(t, 0, SighashFlag::kAll);
+  t.inputs = {{{dummy_txid(7), 0}}};
+  const Hash256 a2 = tx::sighash_digest(t, 0, SighashFlag::kAll);
+  EXPECT_NE(a1, a2);
+}
+
+TEST(Sighash, AnyPrevOutCoversLocktimeAndOutputs) {
+  tx::Transaction t;
+  t.nlocktime = 5;
+  t.inputs = {{{dummy_txid(5), 0}}};
+  t.outputs = {{100, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  const Hash256 base = tx::sighash_digest(t, 0, SighashFlag::kAllAnyPrevOut);
+  t.nlocktime = 6;
+  EXPECT_NE(base, tx::sighash_digest(t, 0, SighashFlag::kAllAnyPrevOut));
+  t.nlocktime = 5;
+  t.outputs[0].cash = 101;
+  EXPECT_NE(base, tx::sighash_digest(t, 0, SighashFlag::kAllAnyPrevOut));
+}
+
+TEST(Sighash, SingleCoversOnlyOwnOutput) {
+  tx::Transaction t;
+  t.inputs = {{{dummy_txid(8), 0}}, {{dummy_txid(9), 0}}};
+  t.outputs = {{100, tx::Condition::p2wpkh(kA.pk.compressed())},
+               {200, tx::Condition::p2wpkh(kB.pk.compressed())}};
+  const Hash256 d0 = tx::sighash_digest(t, 0, SighashFlag::kSingleAnyPrevOut);
+  t.outputs[1].cash = 999;  // other output changes
+  EXPECT_EQ(d0, tx::sighash_digest(t, 0, SighashFlag::kSingleAnyPrevOut));
+  t.outputs[0].cash = 999;  // own output changes
+  EXPECT_NE(d0, tx::sighash_digest(t, 0, SighashFlag::kSingleAnyPrevOut));
+}
+
+TEST(Sighash, FlagsAreDomainSeparated) {
+  tx::Transaction t;
+  t.inputs = {{{dummy_txid(10), 0}}};
+  t.outputs = {{100, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  EXPECT_NE(tx::sighash_digest(t, 0, SighashFlag::kAll),
+            tx::sighash_digest(t, 0, SighashFlag::kAllAnyPrevOut));
+}
+
+// --- Wire signatures -------------------------------------------------------
+
+TEST(WireSig, EncodeDecodeRoundTrip) {
+  const Bytes raw(65, 0x11);
+  const Bytes wire = script::encode_wire_sig(raw, SighashFlag::kAllAnyPrevOut);
+  EXPECT_EQ(wire.size(), script::kWireSigSize);
+  const auto dec = script::decode_wire_sig(wire, 65);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->raw, raw);
+  EXPECT_EQ(dec->flag, SighashFlag::kAllAnyPrevOut);
+}
+
+TEST(WireSig, BadFlagRejected) {
+  Bytes wire(script::kWireSigSize, 0);
+  wire.back() = 0x7f;
+  EXPECT_FALSE(script::decode_wire_sig(wire, 65).has_value());
+}
+
+// --- Serialization & weight ------------------------------------------------
+
+TEST(Weight, CommitTxMatchesAppendixH) {
+  // A Daric/GC-style commit: one input spending a 2-of-2 P2WSH via a
+  // 71-byte script, one P2WSH output. Appendix H: 224 witness bytes
+  // (incl. 2-byte marker), 94 non-witness → weight 600.
+  const Script ms = script::multisig_2of2(kA.pk.compressed(), kB.pk.compressed());
+  tx::Transaction t;
+  t.inputs = {{{dummy_txid(11), 0}}};
+  t.outputs = {{100, tx::Condition::p2wsh(ms)}};
+  const Bytes sa = tx::sign_input(t, 0, kA.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+  const Bytes sb = tx::sign_input(t, 0, kB.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+  t.witnesses.resize(1);
+  t.witnesses[0].stack = {Bytes{}, sa, sb};
+  t.witnesses[0].witness_script = ms;
+
+  const tx::TxSize size = tx::measure(t);
+  EXPECT_EQ(size.base, 94u);
+  EXPECT_EQ(size.witness(), 224u);
+  EXPECT_EQ(size.weight(), 224u + 4 * 94u);
+}
+
+TEST(Weight, P2wpkhOutputIs31Bytes) {
+  tx::Transaction t;
+  t.inputs = {{{dummy_txid(12), 0}}};
+  t.outputs = {{100, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  // base = 4 + 1 + 41 + 1 + 31 + 4 = 82 (Appendix H's standard 1-in/1-out).
+  EXPECT_EQ(tx::serialize_base(t).size(), 82u);
+}
+
+TEST(Weight, P2wpkhWitnessSpendWeight) {
+  const Spend s = make_p2wpkh_spend(kA, 1000);
+  const tx::TxSize size = tx::measure(s.tx);
+  // marker(2) + count(1) + sig(1+73) + key(1+33) = 111 witness bytes.
+  EXPECT_EQ(size.witness(), 111u);
+}
+
+TEST(Txid, ExcludesWitness) {
+  Spend s = make_p2wpkh_spend(kA, 1000);
+  const Hash256 before = s.tx.txid();
+  s.tx.witnesses[0].stack[0][3] ^= 0xff;
+  EXPECT_EQ(s.tx.txid(), before);
+  s.tx.outputs[0].cash = 999;
+  EXPECT_NE(s.tx.txid(), before);
+}
+
+TEST(Serializer, VarIntBoundaries) {
+  Writer w;
+  w.varint(0xfc);
+  w.varint(0xfd);
+  w.varint(0xffff);
+  w.varint(0x10000);
+  Reader r(w.data());
+  EXPECT_EQ(r.varint(), 0xfcu);
+  EXPECT_EQ(r.varint(), 0xfdu);
+  EXPECT_EQ(r.varint(), 0xffffu);
+  EXPECT_EQ(r.varint(), 0x10000u);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Serializer, ReaderUnderrunThrows) {
+  Reader r(BytesView{});
+  EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace daric
