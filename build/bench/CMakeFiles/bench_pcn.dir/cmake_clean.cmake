@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcn.dir/bench_pcn.cpp.o"
+  "CMakeFiles/bench_pcn.dir/bench_pcn.cpp.o.d"
+  "bench_pcn"
+  "bench_pcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_htlc_attack.dir/bench_sec61_htlc_attack.cpp.o"
+  "CMakeFiles/bench_sec61_htlc_attack.dir/bench_sec61_htlc_attack.cpp.o.d"
+  "bench_sec61_htlc_attack"
+  "bench_sec61_htlc_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_htlc_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_punishment.dir/bench_sec62_punishment.cpp.o"
+  "CMakeFiles/bench_sec62_punishment.dir/bench_sec62_punishment.cpp.o.d"
+  "bench_sec62_punishment"
+  "bench_sec62_punishment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_punishment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

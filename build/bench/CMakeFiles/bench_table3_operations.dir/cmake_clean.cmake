@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_operations.dir/bench_table3_operations.cpp.o"
+  "CMakeFiles/bench_table3_operations.dir/bench_table3_operations.cpp.o.d"
+  "bench_table3_operations"
+  "bench_table3_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_microbench.dir/bench_update_microbench.cpp.o"
+  "CMakeFiles/bench_update_microbench.dir/bench_update_microbench.cpp.o.d"
+  "bench_update_microbench"
+  "bench_update_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dishonest_close.dir/dishonest_close.cpp.o"
+  "CMakeFiles/dishonest_close.dir/dishonest_close.cpp.o.d"
+  "dishonest_close"
+  "dishonest_close.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dishonest_close.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htlc_attack.dir/htlc_attack.cpp.o"
+  "CMakeFiles/htlc_attack.dir/htlc_attack.cpp.o.d"
+  "htlc_attack"
+  "htlc_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htlc_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcn_tour.dir/pcn_tour.cpp.o"
+  "CMakeFiles/pcn_tour.dir/pcn_tour.cpp.o.d"
+  "pcn_tour"
+  "pcn_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcn_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

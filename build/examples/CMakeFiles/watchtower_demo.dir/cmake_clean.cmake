@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watchtower_demo.dir/watchtower_demo.cpp.o"
+  "CMakeFiles/watchtower_demo.dir/watchtower_demo.cpp.o.d"
+  "watchtower_demo"
+  "watchtower_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watchtower_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/eltoo_attack.cpp" "src/CMakeFiles/daric.dir/analysis/eltoo_attack.cpp.o" "gcc" "src/CMakeFiles/daric.dir/analysis/eltoo_attack.cpp.o.d"
+  "/root/repo/src/analysis/punishment.cpp" "src/CMakeFiles/daric.dir/analysis/punishment.cpp.o" "gcc" "src/CMakeFiles/daric.dir/analysis/punishment.cpp.o.d"
+  "/root/repo/src/cerberus/protocol.cpp" "src/CMakeFiles/daric.dir/cerberus/protocol.cpp.o" "gcc" "src/CMakeFiles/daric.dir/cerberus/protocol.cpp.o.d"
+  "/root/repo/src/channel/htlc.cpp" "src/CMakeFiles/daric.dir/channel/htlc.cpp.o" "gcc" "src/CMakeFiles/daric.dir/channel/htlc.cpp.o.d"
+  "/root/repo/src/channel/params.cpp" "src/CMakeFiles/daric.dir/channel/params.cpp.o" "gcc" "src/CMakeFiles/daric.dir/channel/params.cpp.o.d"
+  "/root/repo/src/channel/state.cpp" "src/CMakeFiles/daric.dir/channel/state.cpp.o" "gcc" "src/CMakeFiles/daric.dir/channel/state.cpp.o.d"
+  "/root/repo/src/channel/storage.cpp" "src/CMakeFiles/daric.dir/channel/storage.cpp.o" "gcc" "src/CMakeFiles/daric.dir/channel/storage.cpp.o.d"
+  "/root/repo/src/channel/watchtower.cpp" "src/CMakeFiles/daric.dir/channel/watchtower.cpp.o" "gcc" "src/CMakeFiles/daric.dir/channel/watchtower.cpp.o.d"
+  "/root/repo/src/costmodel/components.cpp" "src/CMakeFiles/daric.dir/costmodel/components.cpp.o" "gcc" "src/CMakeFiles/daric.dir/costmodel/components.cpp.o.d"
+  "/root/repo/src/costmodel/table3.cpp" "src/CMakeFiles/daric.dir/costmodel/table3.cpp.o" "gcc" "src/CMakeFiles/daric.dir/costmodel/table3.cpp.o.d"
+  "/root/repo/src/crypto/adaptor.cpp" "src/CMakeFiles/daric.dir/crypto/adaptor.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/adaptor.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "src/CMakeFiles/daric.dir/crypto/ecdsa.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/field.cpp" "src/CMakeFiles/daric.dir/crypto/field.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/field.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/daric.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keys.cpp" "src/CMakeFiles/daric.dir/crypto/keys.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/keys.cpp.o.d"
+  "/root/repo/src/crypto/point.cpp" "src/CMakeFiles/daric.dir/crypto/point.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/point.cpp.o.d"
+  "/root/repo/src/crypto/rfc6979.cpp" "src/CMakeFiles/daric.dir/crypto/rfc6979.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/rfc6979.cpp.o.d"
+  "/root/repo/src/crypto/ripemd160.cpp" "src/CMakeFiles/daric.dir/crypto/ripemd160.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/ripemd160.cpp.o.d"
+  "/root/repo/src/crypto/scalar.cpp" "src/CMakeFiles/daric.dir/crypto/scalar.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/scalar.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/CMakeFiles/daric.dir/crypto/schnorr.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/daric.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sig_scheme.cpp" "src/CMakeFiles/daric.dir/crypto/sig_scheme.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/sig_scheme.cpp.o.d"
+  "/root/repo/src/crypto/u256.cpp" "src/CMakeFiles/daric.dir/crypto/u256.cpp.o" "gcc" "src/CMakeFiles/daric.dir/crypto/u256.cpp.o.d"
+  "/root/repo/src/daric/builders.cpp" "src/CMakeFiles/daric.dir/daric/builders.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/builders.cpp.o.d"
+  "/root/repo/src/daric/fees.cpp" "src/CMakeFiles/daric.dir/daric/fees.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/fees.cpp.o.d"
+  "/root/repo/src/daric/messages.cpp" "src/CMakeFiles/daric.dir/daric/messages.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/messages.cpp.o.d"
+  "/root/repo/src/daric/persistence.cpp" "src/CMakeFiles/daric.dir/daric/persistence.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/persistence.cpp.o.d"
+  "/root/repo/src/daric/protocol.cpp" "src/CMakeFiles/daric.dir/daric/protocol.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/protocol.cpp.o.d"
+  "/root/repo/src/daric/reset.cpp" "src/CMakeFiles/daric.dir/daric/reset.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/reset.cpp.o.d"
+  "/root/repo/src/daric/scripts.cpp" "src/CMakeFiles/daric.dir/daric/scripts.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/scripts.cpp.o.d"
+  "/root/repo/src/daric/subchannels.cpp" "src/CMakeFiles/daric.dir/daric/subchannels.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/subchannels.cpp.o.d"
+  "/root/repo/src/daric/wallet.cpp" "src/CMakeFiles/daric.dir/daric/wallet.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/wallet.cpp.o.d"
+  "/root/repo/src/daric/watchtower.cpp" "src/CMakeFiles/daric.dir/daric/watchtower.cpp.o" "gcc" "src/CMakeFiles/daric.dir/daric/watchtower.cpp.o.d"
+  "/root/repo/src/eltoo/protocol.cpp" "src/CMakeFiles/daric.dir/eltoo/protocol.cpp.o" "gcc" "src/CMakeFiles/daric.dir/eltoo/protocol.cpp.o.d"
+  "/root/repo/src/eltoo/scripts.cpp" "src/CMakeFiles/daric.dir/eltoo/scripts.cpp.o" "gcc" "src/CMakeFiles/daric.dir/eltoo/scripts.cpp.o.d"
+  "/root/repo/src/fppw/protocol.cpp" "src/CMakeFiles/daric.dir/fppw/protocol.cpp.o" "gcc" "src/CMakeFiles/daric.dir/fppw/protocol.cpp.o.d"
+  "/root/repo/src/generalized/protocol.cpp" "src/CMakeFiles/daric.dir/generalized/protocol.cpp.o" "gcc" "src/CMakeFiles/daric.dir/generalized/protocol.cpp.o.d"
+  "/root/repo/src/generalized/scripts.cpp" "src/CMakeFiles/daric.dir/generalized/scripts.cpp.o" "gcc" "src/CMakeFiles/daric.dir/generalized/scripts.cpp.o.d"
+  "/root/repo/src/ledger/fee_market.cpp" "src/CMakeFiles/daric.dir/ledger/fee_market.cpp.o" "gcc" "src/CMakeFiles/daric.dir/ledger/fee_market.cpp.o.d"
+  "/root/repo/src/ledger/ledger.cpp" "src/CMakeFiles/daric.dir/ledger/ledger.cpp.o" "gcc" "src/CMakeFiles/daric.dir/ledger/ledger.cpp.o.d"
+  "/root/repo/src/ledger/utxo_set.cpp" "src/CMakeFiles/daric.dir/ledger/utxo_set.cpp.o" "gcc" "src/CMakeFiles/daric.dir/ledger/utxo_set.cpp.o.d"
+  "/root/repo/src/ledger/validation.cpp" "src/CMakeFiles/daric.dir/ledger/validation.cpp.o" "gcc" "src/CMakeFiles/daric.dir/ledger/validation.cpp.o.d"
+  "/root/repo/src/lightning/protocol.cpp" "src/CMakeFiles/daric.dir/lightning/protocol.cpp.o" "gcc" "src/CMakeFiles/daric.dir/lightning/protocol.cpp.o.d"
+  "/root/repo/src/lightning/scripts.cpp" "src/CMakeFiles/daric.dir/lightning/scripts.cpp.o" "gcc" "src/CMakeFiles/daric.dir/lightning/scripts.cpp.o.d"
+  "/root/repo/src/lightning/watchtower.cpp" "src/CMakeFiles/daric.dir/lightning/watchtower.cpp.o" "gcc" "src/CMakeFiles/daric.dir/lightning/watchtower.cpp.o.d"
+  "/root/repo/src/pcn/network.cpp" "src/CMakeFiles/daric.dir/pcn/network.cpp.o" "gcc" "src/CMakeFiles/daric.dir/pcn/network.cpp.o.d"
+  "/root/repo/src/script/interpreter.cpp" "src/CMakeFiles/daric.dir/script/interpreter.cpp.o" "gcc" "src/CMakeFiles/daric.dir/script/interpreter.cpp.o.d"
+  "/root/repo/src/script/opcodes.cpp" "src/CMakeFiles/daric.dir/script/opcodes.cpp.o" "gcc" "src/CMakeFiles/daric.dir/script/opcodes.cpp.o.d"
+  "/root/repo/src/script/script.cpp" "src/CMakeFiles/daric.dir/script/script.cpp.o" "gcc" "src/CMakeFiles/daric.dir/script/script.cpp.o.d"
+  "/root/repo/src/script/standard.cpp" "src/CMakeFiles/daric.dir/script/standard.cpp.o" "gcc" "src/CMakeFiles/daric.dir/script/standard.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/daric.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/daric.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/CMakeFiles/daric.dir/sim/environment.cpp.o" "gcc" "src/CMakeFiles/daric.dir/sim/environment.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/daric.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/daric.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/party.cpp" "src/CMakeFiles/daric.dir/sim/party.cpp.o" "gcc" "src/CMakeFiles/daric.dir/sim/party.cpp.o.d"
+  "/root/repo/src/tx/output.cpp" "src/CMakeFiles/daric.dir/tx/output.cpp.o" "gcc" "src/CMakeFiles/daric.dir/tx/output.cpp.o.d"
+  "/root/repo/src/tx/serializer.cpp" "src/CMakeFiles/daric.dir/tx/serializer.cpp.o" "gcc" "src/CMakeFiles/daric.dir/tx/serializer.cpp.o.d"
+  "/root/repo/src/tx/sighash.cpp" "src/CMakeFiles/daric.dir/tx/sighash.cpp.o" "gcc" "src/CMakeFiles/daric.dir/tx/sighash.cpp.o.d"
+  "/root/repo/src/tx/transaction.cpp" "src/CMakeFiles/daric.dir/tx/transaction.cpp.o" "gcc" "src/CMakeFiles/daric.dir/tx/transaction.cpp.o.d"
+  "/root/repo/src/tx/weight.cpp" "src/CMakeFiles/daric.dir/tx/weight.cpp.o" "gcc" "src/CMakeFiles/daric.dir/tx/weight.cpp.o.d"
+  "/root/repo/src/uc/conformance.cpp" "src/CMakeFiles/daric.dir/uc/conformance.cpp.o" "gcc" "src/CMakeFiles/daric.dir/uc/conformance.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/daric.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/daric.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "src/CMakeFiles/daric.dir/util/hex.cpp.o" "gcc" "src/CMakeFiles/daric.dir/util/hex.cpp.o.d"
+  "/root/repo/src/util/serialize.cpp" "src/CMakeFiles/daric.dir/util/serialize.cpp.o" "gcc" "src/CMakeFiles/daric.dir/util/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

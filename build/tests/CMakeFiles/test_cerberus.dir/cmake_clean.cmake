@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cerberus.dir/test_cerberus.cpp.o"
+  "CMakeFiles/test_cerberus.dir/test_cerberus.cpp.o.d"
+  "test_cerberus"
+  "test_cerberus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cerberus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

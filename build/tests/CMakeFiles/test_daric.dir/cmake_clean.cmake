@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_daric.dir/test_daric.cpp.o"
+  "CMakeFiles/test_daric.dir/test_daric.cpp.o.d"
+  "test_daric"
+  "test_daric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_daric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fppw.dir/test_fppw.cpp.o"
+  "CMakeFiles/test_fppw.dir/test_fppw.cpp.o.d"
+  "test_fppw"
+  "test_fppw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fppw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

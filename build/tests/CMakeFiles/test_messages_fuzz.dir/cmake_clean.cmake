@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_messages_fuzz.dir/test_messages_fuzz.cpp.o"
+  "CMakeFiles/test_messages_fuzz.dir/test_messages_fuzz.cpp.o.d"
+  "test_messages_fuzz"
+  "test_messages_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_messages_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

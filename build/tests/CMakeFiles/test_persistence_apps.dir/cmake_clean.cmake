@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persistence_apps.dir/test_persistence_apps.cpp.o"
+  "CMakeFiles/test_persistence_apps.dir/test_persistence_apps.cpp.o.d"
+  "test_persistence_apps"
+  "test_persistence_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persistence_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

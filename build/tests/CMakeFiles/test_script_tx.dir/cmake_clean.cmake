@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_script_tx.dir/test_script_tx.cpp.o"
+  "CMakeFiles/test_script_tx.dir/test_script_tx.cpp.o.d"
+  "test_script_tx"
+  "test_script_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_script_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_crypto "/root/repo/build/tests/test_crypto")
+set_tests_properties(test_crypto PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_script_tx "/root/repo/build/tests/test_script_tx")
+set_tests_properties(test_script_tx PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ledger "/root/repo/build/tests/test_ledger")
+set_tests_properties(test_ledger PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_daric "/root/repo/build/tests/test_daric")
+set_tests_properties(test_daric PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baselines "/root/repo/build/tests/test_baselines")
+set_tests_properties(test_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_costmodel "/root/repo/build/tests/test_costmodel")
+set_tests_properties(test_costmodel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_analysis "/root/repo/build/tests/test_analysis")
+set_tests_properties(test_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_extensions "/root/repo/build/tests/test_extensions")
+set_tests_properties(test_extensions PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_persistence_apps "/root/repo/build/tests/test_persistence_apps")
+set_tests_properties(test_persistence_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_messages_fuzz "/root/repo/build/tests/test_messages_fuzz")
+set_tests_properties(test_messages_fuzz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cerberus "/root/repo/build/tests/test_cerberus")
+set_tests_properties(test_cerberus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fppw "/root/repo/build/tests/test_fppw")
+set_tests_properties(test_fppw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;daric_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;daric_test;/root/repo/tests/CMakeLists.txt;0;")

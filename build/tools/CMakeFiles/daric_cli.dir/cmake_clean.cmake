@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daric_cli.dir/daric_cli.cpp.o"
+  "CMakeFiles/daric_cli.dir/daric_cli.cpp.o.d"
+  "daric_cli"
+  "daric_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daric_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
