@@ -1,0 +1,36 @@
+#include "src/crypto/ct.h"
+
+#include "src/crypto/scalar.h"
+
+namespace daric::crypto {
+
+namespace {
+
+/// Accumulates the OR of byte differences through a volatile so the
+/// compiler cannot rewrite the loop into an early-exit compare.
+Byte diff_fold(BytesView a, BytesView b) {
+  volatile Byte acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = acc | (a[i] ^ b[i]);
+  return acc;
+}
+
+}  // namespace
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;  // lengths are public
+  return diff_fold(a, b) == 0;
+}
+
+bool ct_is_zero(BytesView a) {
+  volatile Byte acc = 0;
+  for (const Byte v : a) acc = acc | v;
+  return acc == 0;
+}
+
+bool ct_equal(const Scalar& a, const Scalar& b) {
+  const Bytes ab = a.to_be_bytes();
+  const Bytes bb = b.to_be_bytes();
+  return ct_equal(ab, bb);
+}
+
+}  // namespace daric::crypto

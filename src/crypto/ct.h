@@ -1,0 +1,28 @@
+// Constant-time comparisons for secret material.
+//
+// Ordinary `memcmp`/`operator==` short-circuit on the first differing byte,
+// so the comparison time leaks how much of a secret an attacker guessed
+// right. Everything here runs in time that depends only on the input
+// length: compare secret scalars, extracted adaptor witnesses, derived
+// nonces and MACs through these, never through `==`.
+// tools/lint_secrets.py enforces this in src/crypto.
+#pragma once
+
+#include "src/util/bytes.h"
+
+namespace daric::crypto {
+
+class Scalar;
+
+/// True iff `a` and `b` have the same length and contents; scans every
+/// byte regardless of where the first mismatch is.
+bool ct_equal(BytesView a, BytesView b);
+
+/// True iff every byte of `a` is zero, scanning all of them.
+bool ct_is_zero(BytesView a);
+
+/// Constant-time equality of two scalars (e.g. secret keys, adaptor
+/// witnesses, RFC 6979 nonces).
+bool ct_equal(const Scalar& a, const Scalar& b);
+
+}  // namespace daric::crypto

@@ -1,5 +1,6 @@
 #include "src/crypto/keys.h"
 
+#include "src/crypto/ct.h"
 #include "src/crypto/sha256.h"
 
 namespace daric::crypto {
@@ -8,7 +9,7 @@ KeyPair derive_keypair(std::string_view label) {
   const Hash256 h =
       Sha256::tagged("daric/keygen", {reinterpret_cast<const Byte*>(label.data()), label.size()});
   Scalar sk = Scalar::from_be_bytes_reduce(h.view());
-  if (sk.is_zero()) sk = Scalar(1);  // astronomically unlikely; keep keys valid
+  if (ct_is_zero(sk.to_be_bytes())) sk = Scalar(1);  // astronomically unlikely; keep keys valid
   return {sk, Point::mul_gen(sk)};
 }
 

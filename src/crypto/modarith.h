@@ -22,6 +22,7 @@ inline U256 normalize(U256 x, const Params& p) {
 /// Reduce a full 512-bit value modulo m.
 inline U256 reduce512(U512 x, const Params& p) {
   // Repeatedly fold the high 256 bits: x = hi*2^256 + lo ≡ hi*c + lo.
+  // lint: ct-ok generic reduction; folds ≤ 2 times for any product of canonical values
   while (!x.hi().is_zero()) {
     U512 folded = mul_full(x.hi(), p.c);
     // folded += x.lo() (into the low 256 bits, carry up)

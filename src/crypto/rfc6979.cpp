@@ -1,5 +1,6 @@
 #include "src/crypto/rfc6979.h"
 
+#include "src/crypto/ct.h"
 #include "src/crypto/hmac.h"
 
 namespace daric::crypto {
@@ -22,7 +23,10 @@ Scalar rfc6979_nonce(const Scalar& key, const Hash256& msg_hash, BytesView extra
   for (;;) {
     v = to_bytes(hmac_sha256(k, v));
     const U256 cand = U256::from_be_bytes(v);
-    if (!cand.is_zero() && cand < Scalar::order()) return Scalar::from_u256(cand);
+    // The candidate is secret; test it for zero without a data-dependent
+    // early exit. (The < order() range check is the spec's public rejection
+    // sampling and does not leak byte positions.)
+    if (!ct_is_zero(v) && cand < Scalar::order()) return Scalar::from_u256(cand);
     k = to_bytes(hmac_sha256(k, {v, {&zero, 1}}));
     v = to_bytes(hmac_sha256(k, v));
   }

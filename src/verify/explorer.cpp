@@ -1,0 +1,122 @@
+#include "src/verify/explorer.h"
+
+#include <unordered_set>
+
+namespace daric::verify {
+
+namespace {
+
+bool replayable(const std::vector<Action>& trace) {
+  // The conformance replayer (verify/replay.h) drives the concrete
+  // DaricChannel, whose monitors cannot be detached: crashes are not
+  // replayable, and an aborted update force-closes synchronously so it
+  // must be the last protocol action.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].kind == ActionKind::kCrash) return false;
+    if (trace[i].kind == ActionKind::kUpdateAbort) {
+      for (std::size_t j = i + 1; j < trace.size(); ++j)
+        if (trace[j].kind != ActionKind::kTick) return false;
+    }
+  }
+  return true;
+}
+
+struct Frame {
+  State state;
+  std::vector<Action> actions;
+  std::size_t next = 0;
+};
+
+}  // namespace
+
+ExploreResult Explorer::run() {
+  ExploreResult res;
+  std::unordered_set<Packed, PackedHash> visited;
+  visited.reserve(1 << 20);
+
+  std::vector<Frame> stack;
+  stack.reserve(static_cast<std::size_t>(opts_.max_depth) + 1);
+
+  std::vector<Violation> scratch;
+  std::size_t samples_per_kind[3] = {0, 0, 0};  // coop, split, punish
+
+  auto visit = [&](const State& s, const std::vector<Frame>& st) -> bool {
+    // Returns true when s is new (and should be expanded).
+    if (!visited.insert(pack(s)).second) return false;
+    res.distinct_states++;
+
+    scratch.clear();
+    check_state(s, opts_, scratch);
+    for (const Violation& v : scratch) {
+      if (res.violations.size() >= kMaxViolationReports) break;
+      ViolationReport rep;
+      rep.violation = v;
+      rep.state = s;
+      for (std::size_t i = 1; i < st.size(); ++i)
+        rep.trace.push_back(st[i - 1].actions[st[i - 1].next - 1]);
+      res.violations.push_back(std::move(rep));
+    }
+
+    if (s.resolved()) {
+      res.resolved_states++;
+      if (s.resolution == Resolution::kPunish) res.punished_states++;
+      const std::size_t kind = static_cast<std::size_t>(s.resolution) - 1;
+      if (want_samples_ > 0 && res.sample_traces.size() < want_samples_ &&
+          samples_per_kind[kind] < (want_samples_ + 2) / 3 + 1) {
+        std::vector<Action> trace;
+        for (std::size_t i = 1; i < st.size(); ++i)
+          trace.push_back(st[i - 1].actions[st[i - 1].next - 1]);
+        if (replayable(trace)) {
+          samples_per_kind[kind]++;
+          res.sample_traces.push_back(std::move(trace));
+        }
+      }
+    }
+    return true;
+  };
+
+  Frame root;
+  root.state = initial_state(opts_);
+  enabled_actions(root.state, opts_, root.actions);
+  stack.push_back(std::move(root));
+  visit(stack.back().state, stack);
+  if (stack.back().actions.empty()) res.terminal_states++;
+
+  while (!stack.empty()) {
+    if (opts_.max_states != 0 && res.distinct_states >= opts_.max_states) {
+      res.state_cap_hit = true;
+      break;
+    }
+    Frame& top = stack.back();
+    if (top.next >= top.actions.size() ||
+        static_cast<int>(stack.size()) > opts_.max_depth) {
+      stack.pop_back();
+      continue;
+    }
+    const Action a = top.actions[top.next++];
+    State succ = apply(top.state, a, opts_);
+    res.transitions++;
+
+    Frame f;
+    f.state = std::move(succ);
+    // `visit` reads the predecessor chain including the new frame's slot,
+    // so push first, then test freshness.
+    stack.push_back(std::move(f));
+    if (!visit(stack.back().state, stack)) {
+      stack.pop_back();
+      continue;
+    }
+    Frame& nf = stack.back();
+    enabled_actions(nf.state, opts_, nf.actions);
+    if (nf.actions.empty()) {
+      res.terminal_states++;
+      stack.pop_back();
+      continue;
+    }
+    if (static_cast<int>(stack.size()) > res.max_depth_reached)
+      res.max_depth_reached = static_cast<int>(stack.size());
+  }
+  return res;
+}
+
+}  // namespace daric::verify

@@ -1,0 +1,49 @@
+// Bounded exhaustive explorer for the Daric channel model: iterative DFS
+// with an explicit stack and a packed-state visited set, so multi-million
+// state runs stay in memory. Every visited state is invariant-checked;
+// violations carry the full action trace as a counterexample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/verify/invariants.h"
+#include "src/verify/model.h"
+
+namespace daric::verify {
+
+struct ViolationReport {
+  Violation violation;
+  State state;
+  std::vector<Action> trace;  // actions from the initial state
+};
+
+struct ExploreResult {
+  std::uint64_t distinct_states = 0;  // deduplicated states visited
+  std::uint64_t transitions = 0;      // edges taken (including revisits)
+  std::uint64_t terminal_states = 0;  // states with no enabled action
+  std::uint64_t resolved_states = 0;  // states where the channel resolved
+  std::uint64_t punished_states = 0;  // resolved by a revocation
+  int max_depth_reached = 0;
+  bool state_cap_hit = false;
+  std::vector<ViolationReport> violations;  // capped (see Explorer)
+  std::vector<std::vector<Action>> sample_traces;  // resolved, replayable
+};
+
+class Explorer {
+ public:
+  explicit Explorer(Options opts) : opts_(opts) {}
+
+  /// Collect up to `n` crash-free resolved traces (for conformance replay).
+  void collect_sample_traces(std::size_t n) { want_samples_ = n; }
+
+  ExploreResult run();
+
+  static constexpr std::size_t kMaxViolationReports = 8;
+
+ private:
+  Options opts_;
+  std::size_t want_samples_ = 0;
+};
+
+}  // namespace daric::verify

@@ -1,0 +1,108 @@
+#include "src/verify/invariants.h"
+
+#include <algorithm>
+
+namespace daric::verify {
+
+const char* invariant_name(InvariantId id) {
+  switch (id) {
+    case InvariantId::kBalanceSecurity: return "balance-security";
+    case InvariantId::kUniqueCommit: return "unique-commit";
+    case InvariantId::kPenalization: return "penalization";
+    case InvariantId::kPunishGuaranteed: return "punish-guaranteed";
+    case InvariantId::kValueConservation: return "value-conservation";
+  }
+  return "unknown";
+}
+
+Payouts payouts_of(const State& s, const Options& opts) {
+  Payouts p;
+  switch (s.resolution) {
+    case Resolution::kOpen:
+      return p;
+    case Resolution::kCoop:
+      p = {true, opts.to_a(s.coop_state), opts.to_b(s.coop_state)};
+      return p;
+    case Resolution::kSplit:
+      p = {true, opts.to_a(s.confirmed_state), opts.to_b(s.confirmed_state)};
+      return p;
+    case Resolution::kPunish:
+      p.resolved = true;
+      p.a = s.winner == 0 ? opts.capacity : 0;
+      p.b = s.winner == 1 ? opts.capacity : 0;
+      return p;
+  }
+  return p;
+}
+
+namespace {
+
+/// The worst balance an honest party may be held to: during a half-finished
+/// update both the promoted state sn_p and every co-signed state up to
+/// top() are acceptable outcomes (cf. the DaricAbortSweep test).
+Amount acceptable_floor(const State& s, const Options& opts, int p) {
+  const std::uint8_t lo = s.party[p].sn;
+  const std::uint8_t hi = s.top();
+  Amount floor = opts.capacity;
+  for (std::uint8_t j = lo; j <= hi; ++j)
+    floor = std::min(floor, p == 0 ? opts.to_a(j) : opts.to_b(j));
+  return floor;
+}
+
+}  // namespace
+
+void check_state(const State& s, const Options& opts, std::vector<Violation>& out) {
+  // Structural single-spend discipline (rule 2 of L(Δ, Σ)): a confirmed
+  // commit and a cooperative close are mutually exclusive spends of the
+  // funding output, and the commit output resolves at most once.
+  if (s.commit_confirmed && s.resolution == Resolution::kCoop)
+    out.push_back({InvariantId::kUniqueCommit, "coop close and commit both confirmed"});
+  if (s.commit_output_spent && !s.commit_confirmed)
+    out.push_back({InvariantId::kUniqueCommit, "commit output spent without a commit"});
+
+  const Payouts pay = payouts_of(s, opts);
+  if (!pay.resolved) return;
+
+  if (pay.a + pay.b != opts.capacity)
+    out.push_back({InvariantId::kValueConservation,
+                   "payouts " + std::to_string(pay.a) + "+" + std::to_string(pay.b) +
+                       " != capacity " + std::to_string(opts.capacity)});
+
+  if (s.resolution == Resolution::kPunish) {
+    const int punished = 1 - s.winner;
+    // Only a revoked commit is punishable, and only by its victim.
+    if (punished != s.confirmed_owner)
+      out.push_back({InvariantId::kPenalization, "punisher owned the confirmed commit"});
+    if (s.confirmed_state >= s.party[s.winner].sn)
+      out.push_back({InvariantId::kPenalization,
+                     "punished commit " + std::to_string(s.confirmed_state) +
+                         " was not revoked (sn=" + std::to_string(s.party[s.winner].sn) + ")"});
+    const Amount loser_pay = punished == 0 ? pay.a : pay.b;
+    if (loser_pay != 0)
+      out.push_back({InvariantId::kPenalization, "cheating publisher kept funds"});
+  }
+
+  // A revoked commit settling via its split means the punishment window was
+  // missed; with a live victim or an armed tower that must never happen.
+  if (s.resolution == Resolution::kSplit && s.commit_confirmed) {
+    const int victim = 1 - s.confirmed_owner;
+    if (s.confirmed_state < s.party[victim].sn && s.punish_expected)
+      out.push_back({InvariantId::kPunishGuaranteed,
+                     "revoked commit " + std::to_string(s.confirmed_state) +
+                         " settled although victim was protected"});
+  }
+
+  // Theorem 1 balance security: an honest party never ends with less than
+  // its balance in the latest state it agreed to.
+  for (int p = 0; p < 2; ++p) {
+    if (s.party[p].cheated) continue;  // no guarantee for a cheater
+    const Amount got = p == 0 ? pay.a : pay.b;
+    const Amount floor = acceptable_floor(s, opts, p);
+    if (got < floor)
+      out.push_back({InvariantId::kBalanceSecurity,
+                     std::string("party ") + (p == 0 ? "A" : "B") + " received " +
+                         std::to_string(got) + " < agreed floor " + std::to_string(floor)});
+  }
+}
+
+}  // namespace daric::verify

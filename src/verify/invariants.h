@@ -1,0 +1,39 @@
+// Machine-checked invariants over reachable states of the Daric model —
+// the model-level form of Theorem 1 and the ledger's conservation rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/verify/model.h"
+
+namespace daric::verify {
+
+enum class InvariantId : std::uint8_t {
+  kBalanceSecurity,    // honest party's payout ≥ its latest agreed balance
+  kUniqueCommit,       // no two channel states confirm on-chain
+  kPenalization,       // a punished publisher was cheating and loses everything
+  kPunishGuaranteed,   // protected victim ⇒ a revoked commit never settles
+  kValueConservation,  // payouts sum to the channel capacity
+};
+
+const char* invariant_name(InvariantId id);
+
+struct Violation {
+  InvariantId id;
+  std::string detail;
+};
+
+/// Final payouts (valid when `resolved` is true; fee-free model).
+struct Payouts {
+  bool resolved = false;
+  Amount a = 0;
+  Amount b = 0;
+};
+Payouts payouts_of(const State& s, const Options& opts);
+
+/// Appends every invariant violated by `s` to `out`. Safe to call on any
+/// reachable state; most checks only fire once the channel resolved.
+void check_state(const State& s, const Options& opts, std::vector<Violation>& out);
+
+}  // namespace daric::verify

@@ -1,0 +1,384 @@
+#include "src/verify/model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace daric::verify {
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+Amount Options::to_a(int state) const {
+  // 0: C/2, 1: C/2 + u, 2: C/2 - u, 3: C/2 + 2u, 4: C/2 - 2u, ...
+  const Amount unit = capacity / (2 * (max_updates + 2));
+  const Amount half = capacity / 2;
+  if (state == 0) return half;
+  const Amount step = unit * ((state + 1) / 2);
+  return (state % 2 == 1) ? half + step : half - step;
+}
+
+void Options::validate() const {
+  if (t_punish <= delta) throw std::invalid_argument("need T > Δ");
+  if (delta < 1) throw std::invalid_argument("need Δ ≥ 1");
+  if (max_updates < 1 || max_updates > 8) throw std::invalid_argument("max_updates in [1,8]");
+  if (horizon < t_punish + 2 * delta + 6) throw std::invalid_argument("horizon too small");
+  if (horizon + t_punish + delta > 250) throw std::invalid_argument("horizon overflows packing");
+  if (capacity < 4 * (max_updates + 2)) throw std::invalid_argument("capacity too small");
+  for (int j = 0; j <= max_updates; ++j)
+    if (to_a(j) <= 0 || to_a(j) >= capacity)
+      throw std::invalid_argument("balance schedule out of range");
+}
+
+// ---------------------------------------------------------------------------
+// Packing / hashing
+// ---------------------------------------------------------------------------
+
+Packed pack(const State& s) {
+  Packed p{};
+  std::size_t i = 0;
+  auto put = [&](std::uint8_t v) { p[i++] = v; };
+  put(s.round);
+  for (const PartyState& ps : s.party) {
+    put(ps.sn);
+    put(ps.commit);
+    put(static_cast<std::uint8_t>(ps.crashed | (ps.crash_used << 1) | (ps.cheated << 2) |
+                                  (ps.pending_commit << 3)));
+    put(ps.crashed ? ps.recover_round : 0);
+    put(ps.pending_commit ? ps.pending_state : 0);
+    put(ps.pending_commit ? ps.pending_due : 0);
+    put(ps.pending_commit ? ps.pending_seq : 0);
+  }
+  put(static_cast<std::uint8_t>(s.update_aborted | (s.funding_spent << 1) |
+                                (s.commit_confirmed << 2) | (s.punish_expected << 3) |
+                                (s.commit_output_spent << 4) | (s.rv_pending << 5) |
+                                (s.split_pending << 6) | (s.coop_pending << 7)));
+  put(s.commit_confirmed ? s.confirmed_owner : 0);
+  put(s.commit_confirmed ? s.confirmed_state : 0);
+  put(s.commit_confirmed ? s.confirmed_round : 0);
+  put(s.rv_pending ? s.rv_poster : 0);
+  put(s.rv_pending ? s.rv_due : 0);
+  put(s.rv_pending ? s.rv_seq : 0);
+  put(s.split_pending ? s.split_due : 0);
+  put(s.split_pending ? s.split_seq : 0);
+  put(s.coop_pending ? s.coop_state : 0);
+  put(s.coop_pending ? s.coop_due : 0);
+  put(s.coop_pending ? s.coop_seq : 0);
+  put(static_cast<std::uint8_t>(s.resolution));
+  put(s.resolution == Resolution::kPunish ? s.winner : 0);
+  // i <= 32; remaining bytes stay zero.
+  return p;
+}
+
+std::size_t PackedHash::operator()(const Packed& p) const {
+  // FNV-1a over the 32 bytes, finished with a splitmix64-style mix.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : p) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h);
+}
+
+// ---------------------------------------------------------------------------
+// Initial state
+// ---------------------------------------------------------------------------
+
+State initial_state(const Options& opts) {
+  opts.validate();
+  return State{};  // channel open at state 0, round 0, nothing on chain
+}
+
+// ---------------------------------------------------------------------------
+// Internal helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool stable(const State& s) {
+  return !s.update_aborted && !s.funding_spent && !s.coop_pending &&
+         !s.party[0].pending_commit && !s.party[1].pending_commit &&
+         !s.party[0].crashed && !s.party[1].crashed &&
+         s.party[0].sn == s.party[1].sn && s.party[0].commit == s.party[0].sn &&
+         s.party[1].commit == s.party[1].sn;
+}
+
+std::uint8_t next_seq(const State& s) {
+  std::uint8_t seq = 0;
+  auto bump = [&](bool present, std::uint8_t v) {
+    if (present && v >= seq) seq = static_cast<std::uint8_t>(v + 1);
+  };
+  bump(s.party[0].pending_commit, s.party[0].pending_seq);
+  bump(s.party[1].pending_commit, s.party[1].pending_seq);
+  bump(s.rv_pending, s.rv_seq);
+  bump(s.split_pending, s.split_seq);
+  bump(s.coop_pending, s.coop_seq);
+  return seq;
+}
+
+/// One pending ledger entry, mirroring ledger::Ledger's queue semantics:
+/// processed when due, earliest due round first, FIFO post order on ties.
+struct Entry {
+  int kind;  // 0 = commit A, 1 = commit B, 2 = coop, 3 = rv, 4 = split
+  std::uint8_t due;
+  std::uint8_t seq;
+};
+
+void process_due_entries(State& s, const Options& opts) {
+  std::vector<Entry> due;
+  for (int p = 0; p < 2; ++p)
+    if (s.party[p].pending_commit && s.party[p].pending_due <= s.round)
+      due.push_back({p, s.party[p].pending_due, s.party[p].pending_seq});
+  if (s.coop_pending && s.coop_due <= s.round) due.push_back({2, s.coop_due, s.coop_seq});
+  if (s.rv_pending && s.rv_due <= s.round) due.push_back({3, s.rv_due, s.rv_seq});
+  if (s.split_pending && s.split_due <= s.round) due.push_back({4, s.split_due, s.split_seq});
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.due != b.due ? a.due < b.due : a.seq < b.seq;
+  });
+
+  for (const Entry& e : due) {
+    switch (e.kind) {
+      case 0:
+      case 1: {
+        PartyState& ps = s.party[e.kind];
+        if (!s.funding_spent) {
+          s.funding_spent = true;
+          s.commit_confirmed = true;
+          s.confirmed_owner = static_cast<std::uint8_t>(e.kind);
+          s.confirmed_state = ps.pending_state;
+          s.confirmed_round = s.round;
+          const PartyState& q = s.party[1 - e.kind];
+          const bool tower_q = e.kind == 0 ? opts.tower_b : opts.tower_a;
+          if (ps.pending_state < q.sn) s.punish_expected = tower_q || !q.crashed;
+        }
+        ps.pending_commit = false;  // confirmed or dropped (double spend)
+        break;
+      }
+      case 2:
+        if (!s.funding_spent) {
+          s.funding_spent = true;
+          s.resolution = Resolution::kCoop;
+        }
+        s.coop_pending = false;
+        break;
+      case 3:
+        if (s.commit_confirmed && !s.commit_output_spent) {
+          s.commit_output_spent = true;
+          s.resolution = Resolution::kPunish;
+          s.winner = s.rv_poster;
+        }
+        s.rv_pending = false;
+        break;
+      case 4:
+        // The split path carries CSV T: the commit output must be T rounds
+        // old. (Guaranteed by the posting rule; checked for safety.)
+        if (s.commit_confirmed && !s.commit_output_spent &&
+            s.round >= s.confirmed_round + opts.t_punish) {
+          s.commit_output_spent = true;
+          s.resolution = Resolution::kSplit;
+        }
+        s.split_pending = false;
+        break;
+      default: break;
+    }
+  }
+}
+
+/// Honest monitors + automatic reactions, run after ledger processing in
+/// the same round (mirrors sim::Environment::advance_round's hook order).
+void run_monitors(State& s, const Options& opts, std::uint8_t tau_honest,
+                  std::uint8_t tau_split) {
+  if (s.resolved() || !s.commit_confirmed || s.commit_output_spent) return;
+
+  // Punish phase of Appendix D: a live victim (or its tower) posts the
+  // floating revocation against any confirmed commit with state < sn.
+  if (!s.rv_pending) {
+    const int owner = s.confirmed_owner;
+    const int q = 1 - owner;
+    const PartyState& victim = s.party[q];
+    const bool tower_q = owner == 0 ? opts.tower_b : opts.tower_a;
+    if (s.confirmed_state < victim.sn && (!victim.crashed || tower_q)) {
+      s.rv_pending = true;
+      s.rv_poster = static_cast<std::uint8_t>(q);
+      s.rv_due = static_cast<std::uint8_t>(s.round + tau_honest);
+      s.rv_seq = next_seq(s);
+    }
+  }
+
+  // Split posting: once the CSV window elapses anyone (publisher or
+  // victim) posts the bound split; the adversary controls its τ.
+  if (!s.split_pending && s.round >= s.confirmed_round + opts.t_punish) {
+    s.split_pending = true;
+    s.split_due = static_cast<std::uint8_t>(s.round + tau_split);
+    s.split_seq = next_seq(s);
+  }
+}
+
+State tick(const State& in, const Options& opts, std::uint8_t tau_honest,
+           std::uint8_t tau_split) {
+  State s = in;
+  s.round++;
+  process_due_entries(s, opts);
+  for (PartyState& ps : s.party)
+    if (ps.crashed && ps.recover_round <= s.round) ps.crashed = false;
+  run_monitors(s, opts, tau_honest, tau_split);
+  return s;
+}
+
+void post_commit(State& s, int p, std::uint8_t state, std::uint8_t tau) {
+  PartyState& ps = s.party[p];
+  ps.pending_commit = true;
+  ps.pending_state = state;
+  ps.pending_due = static_cast<std::uint8_t>(s.round + tau);
+  ps.pending_seq = next_seq(s);
+  // Honest ForceClose posts the newest own commit; anything older is a
+  // deviation and forfeits the balance-security guarantee. (Opponent-
+  // punishable cheats are a subset: sn_other ≤ commit_own always, because
+  // promote at message 5 follows the commit assembly at message 4.)
+  if (state < ps.commit) ps.cheated = true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Enabled actions
+// ---------------------------------------------------------------------------
+
+void enabled_actions(const State& s, const Options& opts, std::vector<Action>& out) {
+  out.clear();
+  if (s.resolved()) return;  // terminal
+
+  const auto taus = std::array<std::uint8_t, 2>{0, static_cast<std::uint8_t>(opts.delta)};
+
+  // Ticking is pure time passage; the two τ arguments only matter when the
+  // tick triggers posts, and duplicate successors are deduplicated by the
+  // explorer.
+  if (s.round < opts.horizon) {
+    for (std::uint8_t th : taus)
+      for (std::uint8_t ts : taus) out.push_back({ActionKind::kTick, 0, 0, th, ts});
+  }
+
+  if (stable(s) && s.party[0].sn < opts.max_updates) {
+    if (s.round + 6 <= opts.horizon) {
+      out.push_back({ActionKind::kUpdate, 0, 0, 0, 0});
+      for (std::uint8_t k = 1; k <= 6; ++k)
+        for (std::uint8_t t : taus) out.push_back({ActionKind::kUpdateAbort, 0, k, t, 0});
+    }
+  }
+
+  if (stable(s) && s.round + 2 <= opts.horizon) {
+    for (std::uint8_t t : taus) out.push_back({ActionKind::kCoopClose, 0, 0, t, 0});
+  }
+
+  // Publishing a commit: any fully-signed own commit, any τ. Covers both
+  // the honest force-close (state == commit) and every stale-state fraud.
+  if (!s.funding_spent && s.round < opts.horizon) {
+    for (int p = 0; p < 2; ++p) {
+      const PartyState& ps = s.party[p];
+      if (ps.crashed || ps.pending_commit) continue;
+      for (std::uint8_t j = 0; j <= ps.commit; ++j)
+        for (std::uint8_t t : taus)
+          out.push_back({ActionKind::kPublish, static_cast<std::uint8_t>(p), j, t, 0});
+    }
+  }
+
+  if (opts.allow_crash) {
+    for (int p = 0; p < 2; ++p) {
+      const PartyState& ps = s.party[p];
+      if (ps.crashed || ps.crash_used) continue;
+      for (std::uint8_t d = 0; d < opts.recovery_delays.size(); ++d)
+        out.push_back({ActionKind::kCrash, static_cast<std::uint8_t>(p), d, 0, 0});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Apply
+// ---------------------------------------------------------------------------
+
+State apply(const State& in, const Action& a, const Options& opts) {
+  State s = in;
+  switch (a.kind) {
+    case ActionKind::kTick:
+      return tick(in, opts, a.tau, a.tau2);
+
+    case ActionKind::kUpdate: {
+      // Six message rounds with no on-chain activity (stable() guarantees
+      // an empty ledger queue), then both parties promote.
+      s.round += 6;
+      const std::uint8_t next = static_cast<std::uint8_t>(s.party[0].sn + 1);
+      for (PartyState& ps : s.party) {
+        ps.sn = next;
+        ps.commit = next;
+      }
+      return s;
+    }
+
+    case ActionKind::kUpdateAbort: {
+      // Update i → i+1 proposed by A, adversary silent before message k.
+      // Store deltas mirror DaricChannel::update's abort handling; the
+      // victim immediately force-closes its newest fully-signed commit.
+      const std::uint8_t i = s.party[0].sn;
+      const std::uint8_t k = a.arg;
+      s.round += static_cast<std::uint8_t>(k - 1);  // messages delivered before the abort
+      int victim;            // odd messages are sent by A: silence hurts B
+      std::uint8_t victim_commit = i;
+      switch (k) {
+        case 1: victim = 1; break;
+        case 2: victim = 0; break;
+        case 3: victim = 1; break;
+        case 4:
+          // B assembled its fully-signed commit i+1 at message 3.
+          victim = 0;
+          s.party[1].commit = static_cast<std::uint8_t>(i + 1);
+          break;
+        case 5:
+          // Both new commits assembled (message 4); no revocation yet.
+          victim = 1;
+          s.party[0].commit = s.party[1].commit = static_cast<std::uint8_t>(i + 1);
+          victim_commit = static_cast<std::uint8_t>(i + 1);
+          break;
+        case 6:
+        default:
+          // B promoted at message 5: sn_B = i+1, Θ^B covers commits ≤ i.
+          victim = 0;
+          s.party[0].commit = s.party[1].commit = static_cast<std::uint8_t>(i + 1);
+          s.party[1].sn = static_cast<std::uint8_t>(i + 1);
+          victim_commit = static_cast<std::uint8_t>(i + 1);
+          break;
+      }
+      s.update_aborted = true;
+      post_commit(s, victim, victim_commit, a.tau);
+      return s;
+    }
+
+    case ActionKind::kPublish:
+      post_commit(s, a.p, a.arg, a.tau);
+      return s;
+
+    case ActionKind::kCoopClose:
+      // Two message rounds (closeP/closeQ), then the final split is posted.
+      s.round += 2;
+      s.coop_pending = true;
+      s.coop_state = s.party[0].sn;
+      s.coop_due = static_cast<std::uint8_t>(s.round + a.tau);
+      s.coop_seq = next_seq(s);
+      return s;
+
+    case ActionKind::kCrash: {
+      PartyState& ps = s.party[a.p];
+      ps.crashed = true;
+      ps.crash_used = true;
+      ps.recover_round = static_cast<std::uint8_t>(s.round + opts.recovery_delays[a.arg]);
+      return s;
+    }
+  }
+  return s;  // unreachable
+}
+
+}  // namespace daric::verify

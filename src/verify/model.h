@@ -1,0 +1,170 @@
+// Bounded model of the Daric channel state machine over the ledger
+// functionality L(Δ, Σ).
+//
+// The model abstracts the cryptography away (a signature either exists or
+// it does not) but keeps the protocol- and ledger-level timing semantics
+// exact: posted transactions confirm after an adversary-chosen delay
+// τ ≤ Δ, due posts are processed in FIFO post order (matching
+// ledger::Ledger::process_due), the split path waits the CSV delay T, and
+// the floating revocation punishes every commit with state < sn (the
+// ANYPREVOUT + CLTV trick of Appendix B). Update interleavings follow the
+// six-message Appendix-D update: an abort before message k leaves exactly
+// the stores the concrete DaricChannel::update leaves, including the
+// asymmetric promote at messages 5/6. Parties may crash and recover
+// (daric/persistence keeps Γ/Θ across the crash), and a watchtower holding
+// the latest package punishes on a crashed client's behalf.
+//
+// States are packed into a fixed 32-byte key for deduplication, so the
+// explorer (verify/explorer.h) can hold millions of visited states.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace daric::verify {
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+struct Options {
+  Round delta = 1;     // Δ: worst-case confirmation delay
+  Round t_punish = 3;  // T: commit CSV delay (must exceed Δ)
+  int max_updates = 3; // highest reachable state number N
+  Round horizon = 22;  // no action may move the clock past this round
+  int max_depth = 64;  // DFS depth bound (actions along one path)
+  std::uint64_t max_states = 4'000'000;  // explorer cap (0 = unlimited)
+
+  bool tower_a = true;  // watchtower guarding A (holds the latest package)
+  bool tower_b = true;  // watchtower guarding B
+  bool allow_crash = true;
+  // Crash actions branch over these recovery delays. The second choice is
+  // deliberately longer than T + Δ: past the reaction window, only a
+  // watchtower can still punish.
+  std::array<Round, 2> recovery_delays{2, 12};
+
+  Amount capacity = 100'000;  // channel capacity (satoshis; fee-free model)
+
+  /// Balance schedule: state j's split pays (to_a(j), capacity - to_a(j)).
+  /// Alternates direction so both parties have revoked states worth
+  /// cheating for.
+  Amount to_a(int state) const;
+  Amount to_b(int state) const { return capacity - to_a(state); }
+
+  void validate() const;  // throws on T <= Δ, horizon overflow, etc.
+};
+
+// ---------------------------------------------------------------------------
+// Actions
+// ---------------------------------------------------------------------------
+
+enum class ActionKind : std::uint8_t {
+  kTick,         // advance one round (ledger processing + honest monitors)
+  kUpdate,       // complete six-message update to state sn+1
+  kUpdateAbort,  // update aborted before message `arg` (1..6); victim force-closes
+  kPublish,      // party `p` posts its own commit for state `arg`
+  kCoopClose,    // cooperative close at the latest state
+  kCrash,        // party `p` crashes; recovers after recovery_delays[arg]
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kTick;
+  std::uint8_t p = 0;    // party index (kPublish, kCrash)
+  std::uint8_t arg = 0;  // state (kPublish), message k (kUpdateAbort), delay idx (kCrash)
+  std::uint8_t tau = 0;  // τ for posts created by this action (honest posts on kTick)
+  std::uint8_t tau2 = 0; // kTick only: τ for the split post (adversary-timed)
+
+  bool operator==(const Action&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+enum class Resolution : std::uint8_t { kOpen = 0, kCoop, kSplit, kPunish };
+
+struct PartyState {
+  std::uint8_t sn = 0;      // promoted state; can punish opponent commits < sn
+  std::uint8_t commit = 0;  // newest own fully-signed (publishable) commit
+  bool crashed = false;
+  bool crash_used = false;       // at most one crash per party per run
+  std::uint8_t recover_round = 0;
+  bool cheated = false;  // posted a commit the opponent had revoked
+
+  bool pending_commit = false;  // own commit posted, awaiting confirmation
+  std::uint8_t pending_state = 0;
+  std::uint8_t pending_due = 0;
+  std::uint8_t pending_seq = 0;  // FIFO order among concurrent posts
+
+  bool operator==(const PartyState&) const = default;
+};
+
+struct State {
+  std::uint8_t round = 0;
+  PartyState party[2];
+  bool update_aborted = false;  // channel is force-closing; no updates/coop
+
+  // --- on-chain -----------------------------------------------------------
+  bool funding_spent = false;
+  bool commit_confirmed = false;
+  std::uint8_t confirmed_owner = 0;
+  std::uint8_t confirmed_state = 0;
+  std::uint8_t confirmed_round = 0;
+  bool punish_expected = false;  // victim live or tower armed at confirmation
+  bool commit_output_spent = false;
+
+  bool rv_pending = false;
+  std::uint8_t rv_poster = 0;
+  std::uint8_t rv_due = 0;
+  std::uint8_t rv_seq = 0;
+
+  bool split_pending = false;
+  std::uint8_t split_due = 0;
+  std::uint8_t split_seq = 0;
+
+  bool coop_pending = false;
+  std::uint8_t coop_state = 0;
+  std::uint8_t coop_due = 0;
+  std::uint8_t coop_seq = 0;
+
+  Resolution resolution = Resolution::kOpen;
+  std::uint8_t winner = 0;  // kPunish: the punisher's index
+
+  bool operator==(const State&) const = default;
+
+  /// Highest state for which any fully-signed commit exists: the upper end
+  /// of the acceptable enforcement set during a half-finished update.
+  std::uint8_t top() const {
+    std::uint8_t t = party[0].commit;
+    for (const PartyState& ps : party)
+      for (std::uint8_t v : {ps.commit, ps.sn})
+        if (v > t) t = v;
+    return t;
+  }
+  bool resolved() const { return resolution != Resolution::kOpen; }
+};
+
+/// 32-byte canonical key for visited-state deduplication.
+using Packed = std::array<std::uint8_t, 32>;
+Packed pack(const State& s);
+
+struct PackedHash {
+  std::size_t operator()(const Packed& p) const;
+};
+
+// ---------------------------------------------------------------------------
+// Transition relation
+// ---------------------------------------------------------------------------
+
+State initial_state(const Options& opts);
+
+/// Appends every action enabled in `s` to `out` (cleared first).
+void enabled_actions(const State& s, const Options& opts, std::vector<Action>& out);
+
+/// Successor state (s must enable `a`).
+State apply(const State& s, const Action& a, const Options& opts);
+
+}  // namespace daric::verify

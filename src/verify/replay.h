@@ -1,0 +1,34 @@
+// Conformance replay: drives a model-checker action trace through the
+// concrete DaricChannel engine over the real ledger functionality
+// L(Δ, Σ), so the abstraction can be cross-validated against the
+// implementation it models (same close-outcome class, same payouts).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/daric/protocol.h"
+#include "src/verify/model.h"
+
+namespace daric::verify {
+
+struct ReplayOutcome {
+  daricch::CloseOutcome outcome = daricch::CloseOutcome::kNone;
+  Amount payout_a = 0;
+  Amount payout_b = 0;
+};
+
+/// Folds `apply` over the trace (the model-side result to compare with).
+State model_final(const Options& opts, const std::vector<Action>& trace);
+
+/// Model resolution → concrete close outcome.
+daricch::CloseOutcome expected_outcome(Resolution r);
+
+/// Replays the trace on a fresh environment/channel. Returns nullopt for
+/// traces the concrete API cannot drive (crashes; protocol actions after a
+/// synchronously-closing abort or cooperative close).
+std::optional<ReplayOutcome> replay_trace(const Options& opts,
+                                          const std::vector<Action>& trace,
+                                          const std::string& channel_id);
+
+}  // namespace daric::verify

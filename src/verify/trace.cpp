@@ -1,0 +1,91 @@
+#include "src/verify/trace.h"
+
+#include <sstream>
+
+namespace daric::verify {
+
+namespace {
+const char* party_letter(std::uint8_t p) { return p == 0 ? "A" : "B"; }
+
+const char* resolution_name(Resolution r) {
+  switch (r) {
+    case Resolution::kOpen: return "open";
+    case Resolution::kCoop: return "coop";
+    case Resolution::kSplit: return "split";
+    case Resolution::kPunish: return "punish";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string action_to_string(const Action& a) {
+  std::ostringstream os;
+  switch (a.kind) {
+    case ActionKind::kTick:
+      os << "tick(τrv=" << int(a.tau) << ",τsp=" << int(a.tau2) << ")";
+      break;
+    case ActionKind::kUpdate:
+      os << "update";
+      break;
+    case ActionKind::kUpdateAbort:
+      os << "update-abort(before-msg=" << int(a.arg) << ",τ=" << int(a.tau) << ")";
+      break;
+    case ActionKind::kPublish:
+      os << "publish(" << party_letter(a.p) << ",state=" << int(a.arg) << ",τ=" << int(a.tau)
+         << ")";
+      break;
+    case ActionKind::kCoopClose:
+      os << "coop-close(τ=" << int(a.tau) << ")";
+      break;
+    case ActionKind::kCrash:
+      os << "crash(" << party_letter(a.p) << ",delay-idx=" << int(a.arg) << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string state_to_string(const State& s, const Options& opts) {
+  std::ostringstream os;
+  os << "round=" << int(s.round);
+  for (int p = 0; p < 2; ++p) {
+    const PartyState& ps = s.party[p];
+    os << " " << party_letter(static_cast<std::uint8_t>(p)) << "{sn=" << int(ps.sn)
+       << ",cm=" << int(ps.commit);
+    if (ps.crashed) os << ",crashed→" << int(ps.recover_round);
+    if (ps.cheated) os << ",cheated";
+    if (ps.pending_commit)
+      os << ",posted(st=" << int(ps.pending_state) << ",due=" << int(ps.pending_due) << ")";
+    os << "}";
+  }
+  if (s.commit_confirmed)
+    os << " commit{" << party_letter(s.confirmed_owner) << ",st=" << int(s.confirmed_state)
+       << ",@" << int(s.confirmed_round) << (s.punish_expected ? ",protected" : "") << "}";
+  if (s.rv_pending) os << " rv{" << party_letter(s.rv_poster) << ",due=" << int(s.rv_due) << "}";
+  if (s.split_pending) os << " split{due=" << int(s.split_due) << "}";
+  if (s.coop_pending)
+    os << " coop{st=" << int(s.coop_state) << ",due=" << int(s.coop_due) << "}";
+  os << " resolution=" << resolution_name(s.resolution);
+  if (s.resolution == Resolution::kPunish) os << "(" << party_letter(s.winner) << " wins)";
+  const Payouts pay = payouts_of(s, opts);
+  if (pay.resolved) os << " payout(A=" << pay.a << ",B=" << pay.b << ")";
+  return os.str();
+}
+
+std::string trace_to_string(const std::vector<Action>& trace) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i) os << " → ";
+    os << action_to_string(trace[i]);
+  }
+  return os.str();
+}
+
+std::string violation_to_string(const ViolationReport& rep, const Options& opts) {
+  std::ostringstream os;
+  os << "invariant " << invariant_name(rep.violation.id) << " violated: " << rep.violation.detail
+     << "\n  state: " << state_to_string(rep.state, opts)
+     << "\n  trace: " << trace_to_string(rep.trace) << "\n";
+  return os.str();
+}
+
+}  // namespace daric::verify

@@ -1,0 +1,17 @@
+// Human-readable rendering of model actions, states and counterexample
+// traces (the model checker's debugging surface).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/verify/explorer.h"
+
+namespace daric::verify {
+
+std::string action_to_string(const Action& a);
+std::string state_to_string(const State& s, const Options& opts);
+std::string trace_to_string(const std::vector<Action>& trace);
+std::string violation_to_string(const ViolationReport& rep, const Options& opts);
+
+}  // namespace daric::verify

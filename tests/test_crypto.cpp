@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/crypto/adaptor.h"
+#include "src/crypto/ct.h"
 #include "src/crypto/ecdsa.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/keys.h"
@@ -22,6 +23,44 @@ using crypto::U256;
 Bytes str_bytes(std::string_view s) {
   return Bytes(reinterpret_cast<const Byte*>(s.data()),
                reinterpret_cast<const Byte*>(s.data()) + s.size());
+}
+
+// --- Constant-time comparison helpers ---------------------------------------
+
+TEST(ConstantTime, CtEqualBytes) {
+  const Bytes a = str_bytes("0123456789abcdef0123456789abcdef");
+  Bytes b = a;
+  EXPECT_TRUE(crypto::ct_equal(a, b));
+  EXPECT_TRUE(crypto::ct_equal(Bytes{}, Bytes{}));
+
+  b.front() ^= 0x01;  // mismatch in the first byte
+  EXPECT_FALSE(crypto::ct_equal(a, b));
+  b = a;
+  b.back() ^= 0x80;  // mismatch in the last byte
+  EXPECT_FALSE(crypto::ct_equal(a, b));
+
+  // Length mismatch is never equal, even on a shared prefix.
+  EXPECT_FALSE(crypto::ct_equal(a, BytesView(a).subspan(0, a.size() - 1)));
+}
+
+TEST(ConstantTime, CtIsZero) {
+  EXPECT_TRUE(crypto::ct_is_zero(Bytes{}));
+  EXPECT_TRUE(crypto::ct_is_zero(Bytes(32, 0)));
+  Bytes b(32, 0);
+  b[31] = 1;
+  EXPECT_FALSE(crypto::ct_is_zero(b));
+  b[31] = 0;
+  b[0] = 0x80;
+  EXPECT_FALSE(crypto::ct_is_zero(b));
+}
+
+TEST(ConstantTime, CtEqualScalar) {
+  const Scalar x = crypto::derive_keypair("ct/x").sk;
+  const Scalar y = crypto::derive_keypair("ct/y").sk;
+  EXPECT_TRUE(crypto::ct_equal(x, x));
+  EXPECT_FALSE(crypto::ct_equal(x, y));
+  EXPECT_TRUE(crypto::ct_equal(Scalar(0), Scalar(0)));
+  EXPECT_FALSE(crypto::ct_equal(Scalar(0), Scalar(1)));
 }
 
 // --- SHA-256 (FIPS 180-4 vectors) ------------------------------------------
@@ -436,7 +475,9 @@ TEST_P(AlgebraSweep, ScalarFieldLaws) {
   const Scalar a = sc("x"), b = sc("y");
   EXPECT_EQ(a * b, b * a);
   EXPECT_EQ(a - b, (b - a).neg());
-  if (!b.is_zero()) EXPECT_EQ(a * b * b.inv(), a);
+  if (!b.is_zero()) {
+    EXPECT_EQ(a * b * b.inv(), a);
+  }
 }
 
 TEST_P(AlgebraSweep, GroupHomomorphism) {

@@ -2,6 +2,9 @@
 // round/delay behaviour, and the fee-market mempool (RBF).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "src/crypto/sha256.h"
 #include "src/ledger/fee_market.h"
 #include "src/ledger/ledger.h"
@@ -167,6 +170,112 @@ TEST_F(LedgerTest, CsvEnforcedViaUtxoAge) {
   ledger_.post_with_delay(t, 0);
   ledger_.advance_round();
   EXPECT_TRUE(ledger_.is_confirmed(t.txid()));
+}
+
+// --- Randomized-schedule properties -------------------------------------
+
+tx::Transaction spend_split(const tx::OutPoint& op, const std::vector<Amount>& outs,
+                            const crypto::KeyPair& key, std::uint32_t nlt) {
+  tx::Transaction t;
+  t.inputs = {{op}};
+  t.nlocktime = nlt;
+  for (const Amount v : outs)
+    t.outputs.push_back({v, tx::Condition::p2wpkh(key.pk.compressed())});
+  const Bytes sig = tx::sign_input(t, 0, key.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+  t.witnesses.resize(1);
+  t.witnesses[0].stack = {sig, key.pk.compressed()};
+  return t;
+}
+
+// Under arbitrary interleavings of spends, splits, conflicting double spends
+// and adversary delays, minted value is conserved every single round:
+// unspent outputs plus collected fees always equal the total ever minted.
+TEST(LedgerProperty, ValueConservationUnderRandomSchedules) {
+  for (const std::uint32_t seed : {1u, 7u, 42u, 1337u}) {
+    std::mt19937 rng(seed);
+    const Round delta = 1 + static_cast<Round>(rng() % 3);
+    ledger::Ledger ledger(delta, crypto::schnorr_scheme());
+
+    // (outpoint, value) candidates; stale entries double-spend on purpose.
+    std::vector<std::pair<tx::OutPoint, Amount>> coins;
+    for (int i = 0; i < 6; ++i) {
+      const Amount v = 500 + static_cast<Amount>(rng() % 5000);
+      coins.emplace_back(ledger.mint(v, tx::Condition::p2wpkh(kOwner.pk.compressed())), v);
+    }
+
+    for (int step = 0; step < 60; ++step) {
+      const int posts = static_cast<int>(rng() % 3);
+      for (int k = 0; k < posts; ++k) {
+        const auto [op, value] = coins[rng() % coins.size()];
+        const Amount fee = static_cast<Amount>(rng() % (value / 2 + 1));
+        std::vector<Amount> outs;
+        if (value - fee > 1 && rng() % 2 == 0) {
+          const Amount first = 1 + static_cast<Amount>(rng() % (value - fee - 1));
+          outs = {first, value - fee - first};
+        } else {
+          outs = {value - fee};
+        }
+        const auto nlt = static_cast<std::uint32_t>(std::max<long long>(
+            0, ledger.now() + static_cast<long long>(rng() % 7) - 2));
+        const tx::Transaction t = spend_split(op, outs, kOwner, nlt);
+        ledger.post_with_delay(t, static_cast<Round>(rng() % (delta + 1)));
+        for (std::uint32_t i = 0; i < outs.size(); ++i)
+          coins.emplace_back(tx::OutPoint{t.txid(), i}, outs[i]);
+      }
+      ledger.advance_round();
+      ASSERT_EQ(ledger.utxos().total_value() + ledger.fees_total(), ledger.minted_total())
+          << "seed=" << seed << " round=" << ledger.now();
+    }
+    ledger.advance_rounds(delta + 1);
+    EXPECT_EQ(ledger.utxos().total_value() + ledger.fees_total(), ledger.minted_total());
+  }
+}
+
+// Rule-5 / Δ-delay validity: across randomized publish schedules nothing
+// ever confirms before its nLockTime, everything confirms within the posted
+// delay window, and the only rejections are future locktimes.
+TEST(LedgerProperty, LocktimeAndDelayBoundsUnderRandomSchedules) {
+  struct Posted {
+    Hash256 txid;
+    Round posted = 0;
+    Round tau = 0;
+    std::uint32_t nlt = 0;
+  };
+  for (const std::uint32_t seed : {3u, 11u, 99u, 2024u}) {
+    std::mt19937 rng(seed);
+    const Round delta = 1 + static_cast<Round>(rng() % 3);
+    ledger::Ledger ledger(delta, crypto::schnorr_scheme());
+    std::vector<Posted> posted;
+
+    for (int step = 0; step < 40; ++step) {
+      if (rng() % 2 == 0) {
+        const tx::OutPoint op =
+            ledger.mint(1000, tx::Condition::p2wpkh(kOwner.pk.compressed()));
+        const auto nlt = static_cast<std::uint32_t>(std::max<long long>(
+            0, ledger.now() + static_cast<long long>(rng() % 9) - 2));
+        const Round tau = static_cast<Round>(rng() % (delta + 1));
+        const tx::Transaction t = spend_split(op, {1000}, kOwner, nlt);
+        ledger.post_with_delay(t, tau);
+        posted.push_back({t.txid(), ledger.now(), tau, nlt});
+      }
+      ledger.advance_round();
+    }
+    ledger.advance_rounds(delta + 1);  // drain the queue
+
+    for (const Posted& p : posted) {
+      const auto res = ledger.post_result(p.txid);
+      ASSERT_TRUE(res.has_value());
+      if (const auto conf = ledger.confirmation_round(p.txid)) {
+        EXPECT_GE(*conf, static_cast<Round>(p.nlt)) << "seed=" << seed;
+        EXPECT_GE(*conf, p.posted + p.tau) << "seed=" << seed;
+        // One round per step ⇒ due posts are picked up immediately.
+        EXPECT_LE(*conf, p.posted + std::max<Round>(p.tau, 1)) << "seed=" << seed;
+      } else {
+        EXPECT_EQ(*res, TxError::kLocktimeInFuture) << "seed=" << seed;
+        EXPECT_GT(static_cast<long long>(p.nlt), p.posted + p.tau) << "seed=" << seed;
+      }
+    }
+  }
 }
 
 // --- Fee market / mempool ----------------------------------------------

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Full verification harness: plain tier-1 suite, the same suite under
+# ASan+UBSan, a bounded model-check run, the secret-hygiene lint, and —
+# when the binary is installed — clang-tidy over the library sources.
+#
+# Usage: tools/check.sh [--fast]
+#   --fast   skip the sanitizer rebuild (plain tests + model check + lint)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "plain build + tier-1 tests"
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+step "bounded model check (default safe config)"
+./build/tools/daric_modelcheck
+
+step "bounded model check (broken watchtower must fail)"
+if ./build/tools/daric_modelcheck --break=watchtower --quiet; then
+  echo "ERROR: disabling the watchtowers should trip balance security" >&2
+  exit 1
+fi
+echo "counterexample found, as expected"
+
+step "secret-hygiene lint (src/crypto)"
+python3 tools/lint_secrets.py
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy (src/)"
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  git ls-files 'src/*.cpp' | xargs clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+if [[ "$FAST" == 1 ]]; then
+  echo; echo "check.sh --fast: OK (sanitizer pass skipped)"
+  exit 0
+fi
+
+step "ASan+UBSan build + tier-1 tests"
+cmake -B build-asan -S . -DDARIC_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j >/dev/null
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+step "bounded model check under sanitizers"
+./build-asan/tools/daric_modelcheck --updates 2 --horizon 16
+
+echo; echo "check.sh: all gates passed"

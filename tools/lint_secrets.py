@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Secret-hygiene lint for src/crypto.
+
+Flags comparison patterns on secret material that leak timing information:
+
+  * ``memcmp``/``strcmp``/``strncmp`` anywhere in crypto sources — these
+    short-circuit on the first differing byte; use ``crypto::ct_equal``.
+  * ``==`` / ``!=`` where an operand is a secret-named identifier
+    (``sk``, ``secret``, ``seckey``, ``priv``, ``nonce``, ``witness``,
+    ``shared_key`` ...), including early-exit forms such as
+    ``if (sk != expected) return``.
+  * variable-time zero tests on secrets: ``sk.is_zero()`` and friends.
+
+A finding is suppressed by a ``// lint: ct-ok <reason>`` comment on the
+same line or the line directly above — the reason is mandatory, so every
+allowlisted compare documents why it is safe (public data, spec-mandated
+rejection sampling, ...).
+
+Usage:  lint_secrets.py [paths...]        (default: src/crypto)
+Exit:   0 clean, 1 findings, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SECRET_NAME = re.compile(
+    r"\b(sk|x|seckey|secret\w*|priv\w*|nonce\w*|witness\w*|shared_key|"
+    r"session_key|mac\w*)\b",
+    re.IGNORECASE,
+)
+
+MEMCMP = re.compile(r"\b(memcmp|strcmp|strncmp|bcmp)\s*\(")
+COMPARE = re.compile(r"[^=!<>]==[^=]|!=")
+IS_ZERO = re.compile(r"\b(\w+)(?:\.\w+\(\))*\.is_zero\s*\(")
+ALLOW = re.compile(r"//\s*lint:\s*ct-ok\b\s*(\S.*)?$")
+
+# `x` alone is too generic to flag in comparisons; it only counts for the
+# dedicated is_zero check where rfc6979 names the secret key `x`.
+COMPARE_SECRET = re.compile(
+    r"\b(sk|seckey|secret\w*|priv\w*|nonce\w*|witness\w*|shared_key|"
+    r"session_key)\b",
+    re.IGNORECASE,
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal contents (keeps quotes)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def allowlisted(lines: list[str], idx: int) -> bool:
+    if ALLOW.search(lines[idx]):
+        return True
+    return idx > 0 and ALLOW.search(lines[idx - 1]) is not None
+
+
+def lint_file(path: Path) -> list[tuple[Path, int, str]]:
+    findings: list[tuple[Path, int, str]] = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    for i, raw in enumerate(lines):
+        code = strip_comments_and_strings(raw)
+        if not code.strip():
+            continue
+
+        if MEMCMP.search(code) and not allowlisted(lines, i):
+            findings.append(
+                (path, i + 1,
+                 "byte-compare with early exit on potential secret material; "
+                 "use crypto::ct_equal")
+            )
+            continue
+
+        if COMPARE.search(code) and COMPARE_SECRET.search(code) \
+                and not allowlisted(lines, i):
+            findings.append(
+                (path, i + 1,
+                 "variable-time ==/!= on secret-named operand; "
+                 "use crypto::ct_equal (or annotate '// lint: ct-ok <why>')")
+            )
+            continue
+
+        m = IS_ZERO.search(code)
+        if m and SECRET_NAME.fullmatch(m.group(1)) and not allowlisted(lines, i):
+            findings.append(
+                (path, i + 1,
+                 f"variable-time zero test on secret '{m.group(1)}'; "
+                 "use crypto::ct_is_zero")
+            )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    repo = Path(__file__).resolve().parent.parent
+    targets = [Path(a) for a in argv[1:]] or [repo / "src" / "crypto"]
+
+    files: list[Path] = []
+    for t in targets:
+        if t.is_dir():
+            files += sorted(p for p in t.rglob("*") if p.suffix in {".h", ".cpp", ".cc"})
+        elif t.is_file():
+            files.append(t)
+        else:
+            print(f"error: no such path: {t}", file=sys.stderr)
+            return 2
+
+    findings: list[tuple[Path, int, str]] = []
+    for f in files:
+        findings += lint_file(f)
+
+    for path, line, msg in findings:
+        try:
+            rel = path.resolve().relative_to(repo)
+        except ValueError:
+            rel = path
+        print(f"{rel}:{line}: {msg}")
+
+    if findings:
+        print(f"lint_secrets: {len(findings)} finding(s) in {len(files)} file(s)")
+        return 1
+    print(f"lint_secrets: OK ({len(files)} file(s) clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
