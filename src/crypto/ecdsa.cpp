@@ -40,7 +40,9 @@ bool ecdsa_verify(const Point& pk, const Hash256& msg, BytesView sig) {
   const Scalar s = Scalar::from_u256(sv);
   const Scalar z = Scalar::from_be_bytes_reduce(msg.view());
   const Scalar w = s.inv();
-  const Point p = Point::mul_gen(z * w) + pk * (r * w);
+  // u1·G + u2·P in one Strauss–Shamir ladder instead of two multiplications
+  // plus an addition.
+  const Point p = Point::mul_add_vartime(r * w, pk, z * w);
   if (p.is_infinity()) return false;
   return field_x_as_scalar(p) == r;
 }

@@ -1,9 +1,19 @@
 // secp256k1 base-field element (mod p = 2^256 - 2^32 - 977).
 #pragma once
 
+#include "src/crypto/modarith.h"
 #include "src/crypto/u256.h"
 
 namespace daric::crypto {
+
+namespace detail {
+// p and 2^256 mod p as compile-time constants so the operators below inline
+// without a static-initialization guard on every call.
+inline constexpr modarith::Params kFieldParams{
+    .m = U256{0xfffffffefffffc2f, 0xffffffffffffffff, 0xffffffffffffffff, 0xffffffffffffffff},
+    .c = U256{0x1000003d1, 0, 0, 0},
+};
+}  // namespace detail
 
 class Fe {
  public:
@@ -14,13 +24,34 @@ class Fe {
   /// Interprets 32 big-endian bytes, reducing mod p.
   static Fe from_be_bytes_reduce(BytesView b);
 
-  static const U256& modulus();
+  static const U256& modulus() { return detail::kFieldParams.m; }
 
-  Fe operator+(const Fe& o) const;
-  Fe operator-(const Fe& o) const;
-  Fe operator*(const Fe& o) const;
-  Fe neg() const;
-  Fe sqr() const { return *this * *this; }
+  Fe operator+(const Fe& o) const {
+    Fe r;
+    r.v_ = modarith::add_mod(v_, o.v_, detail::kFieldParams);
+    return r;
+  }
+  Fe operator-(const Fe& o) const {
+    Fe r;
+    r.v_ = modarith::sub_mod(v_, o.v_, detail::kFieldParams);
+    return r;
+  }
+  Fe operator*(const Fe& o) const {
+    Fe r;
+    r.v_ = modarith::mul_mod(v_, o.v_, detail::kFieldParams);
+    return r;
+  }
+  Fe neg() const {
+    Fe r;
+    r.v_ = modarith::sub_mod(U256(0), v_, detail::kFieldParams);
+    return r;
+  }
+  /// Dedicated squaring (cheaper than a general multiply).
+  Fe sqr() const {
+    Fe r;
+    r.v_ = modarith::sqr_mod(v_, detail::kFieldParams);
+    return r;
+  }
   Fe inv() const;
   /// Square root (p ≡ 3 mod 4); returns false if *this is not a QR.
   bool sqrt(Fe& out) const;

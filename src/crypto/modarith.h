@@ -19,8 +19,46 @@ inline U256 normalize(U256 x, const Params& p) {
   return x;
 }
 
-/// Reduce a full 512-bit value modulo m.
-inline U256 reduce512(U512 x, const Params& p) {
+/// Fold pass for moduli whose c fits in one limb (the secp256k1 base field:
+/// c = 2^32 + 977): lo + hi·c needs four widening multiplications instead of
+/// a full 256×256 product, and the second fold is a single multiplication.
+inline U256 reduce512_small_c(const U512& x, const Params& p) {
+  const std::uint64_t c = p.c.limb[0];
+  U256 r;
+  // Pass 1: r = lo + hi·c, overflow (< 2^35) kept aside.
+  unsigned __int128 acc = 0;
+  for (int i = 0; i < 4; ++i) {
+    acc += x.limb[static_cast<std::size_t>(i)];
+    acc += static_cast<unsigned __int128>(x.limb[static_cast<std::size_t>(i + 4)]) * c;
+    r.limb[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(acc);
+    acc >>= 64;
+  }
+  // Pass 2: fold the overflow limb; one more carry means the value wrapped
+  // past 2^256, which folds to a final +c that cannot carry again.
+  unsigned __int128 fold = static_cast<unsigned __int128>(static_cast<std::uint64_t>(acc)) * c;
+  unsigned long long carry = 0;
+  for (int i = 0; i < 4 && (fold != 0 || carry != 0); ++i) {
+    unsigned long long sum;
+    carry = __builtin_uaddll_overflow(r.limb[static_cast<std::size_t>(i)],
+                                      static_cast<std::uint64_t>(fold), &sum) +
+            __builtin_uaddll_overflow(sum, carry, &sum);
+    r.limb[static_cast<std::size_t>(i)] = sum;
+    fold >>= 64;
+  }
+  if (carry) {
+    U256 t;
+    add_with_carry(r, p.c, t);
+    r = t;
+  }
+  U256 tmp;
+  if (sub_with_borrow(r, p.m, tmp) == 0) r = tmp;
+  return r;
+}
+
+/// Generic fold loop: works for any c, at the cost of a full 256x256
+/// multiplication per fold. Kept callable directly so benchmarks can measure
+/// the pre-optimization arithmetic.
+inline U256 reduce512_generic(U512 x, const Params& p) {
   // Repeatedly fold the high 256 bits: x = hi*2^256 + lo ≡ hi*c + lo.
   // lint: ct-ok generic reduction; folds ≤ 2 times for any product of canonical values
   while (!x.hi().is_zero()) {
@@ -42,6 +80,12 @@ inline U256 reduce512(U512 x, const Params& p) {
   U256 tmp;
   while (sub_with_borrow(r, p.m, tmp) == 0) r = tmp;
   return r;
+}
+
+/// Reduce a full 512-bit value modulo m.
+inline U256 reduce512(const U512& x, const Params& p) {
+  if ((p.c.limb[1] | p.c.limb[2] | p.c.limb[3]) == 0) return reduce512_small_c(x, p);
+  return reduce512_generic(x, p);
 }
 
 inline U256 add_mod(const U256& a, const U256& b, const Params& p) {
@@ -77,13 +121,15 @@ inline U256 mul_mod(const U256& a, const U256& b, const Params& p) {
   return reduce512(mul_full(a, b), p);
 }
 
+inline U256 sqr_mod(const U256& a, const Params& p) { return reduce512(sqr_full(a), p); }
+
 inline U256 pow_mod(const U256& base, const U256& exp, const Params& p) {
   U256 result(1);
   U256 acc = base;
   const unsigned bits = exp.bit_length();
   for (unsigned i = 0; i < bits; ++i) {
     if (exp.bit(i)) result = mul_mod(result, acc, p);
-    acc = mul_mod(acc, acc, p);
+    acc = sqr_mod(acc, p);
   }
   return result;
 }

@@ -1,5 +1,6 @@
 #include "src/crypto/point.h"
 
+#include <algorithm>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
@@ -14,6 +15,12 @@ struct Jac {
   bool infinity = true;
 };
 
+// Affine point, possibly expressed in an isomorphic frame (see the
+// effective-affine table builder below).
+struct AffGe {
+  Fe x{}, y{};
+};
+
 Jac to_jac(const Point& p) {
   if (p.is_infinity()) return {};
   return {p.x(), p.y(), Fe(1), false};
@@ -21,11 +28,20 @@ Jac to_jac(const Point& p) {
 
 Jac jac_dbl(const Jac& p) {
   if (p.infinity || p.y.is_zero()) return {};
+  // 3M + 4S; the small-constant scalings (3·, 4·, 8·) are additions, not
+  // full field multiplications.
   const Fe y2 = p.y.sqr();
-  const Fe s = Fe(4) * p.x * y2;
-  const Fe m = Fe(3) * p.x.sqr();  // a = 0 term
+  const Fe xy2 = p.x * y2;
+  const Fe t = xy2 + xy2;
+  const Fe s = t + t;  // 4·x·y²
+  const Fe x2 = p.x.sqr();
+  const Fe m = x2 + x2 + x2;  // 3·x² (a = 0 term)
   const Fe xr = m.sqr() - (s + s);
-  const Fe yr = m * (s - xr) - Fe(8) * y2.sqr();
+  const Fe y4 = y2.sqr();
+  Fe y8 = y4 + y4;
+  y8 = y8 + y8;
+  y8 = y8 + y8;  // 8·y⁴
+  const Fe yr = m * (s - xr) - y8;
   const Fe zr = (p.y + p.y) * p.z;
   return {xr, yr, zr, false};
 }
@@ -54,6 +70,29 @@ Jac jac_add(const Jac& p, const Jac& q) {
   return {xr, yr, zr, false};
 }
 
+// Mixed addition p + q with q affine (8M + 3S instead of 12M + 4S). When
+// `zr` is non-null it receives the ratio new_z / old_z (used by the
+// effective-affine table builder); p must not be infinity in that case.
+Jac jac_add_aff(const Jac& p, const AffGe& q, Fe* zr = nullptr) {
+  if (p.infinity) return {q.x, q.y, Fe(1), false};
+  const Fe z1z1 = p.z.sqr();
+  const Fe u2 = q.x * z1z1;
+  const Fe s2 = q.y * z1z1 * p.z;
+  if (p.x == u2) {
+    if (p.y == s2) return jac_dbl(p);
+    return {};  // p == -q
+  }
+  const Fe h = u2 - p.x;
+  const Fe hh = h.sqr();
+  const Fe hhh = h * hh;
+  const Fe v = p.x * hh;
+  const Fe r = s2 - p.y;
+  const Fe xr = r.sqr() - hhh - (v + v);
+  const Fe yr = r * (v - xr) - p.y * hhh;
+  if (zr) *zr = h;
+  return {xr, yr, p.z * h, false};
+}
+
 Point from_jac(const Jac& p) {
   if (p.infinity) return Point();
   const Fe zi = p.z.inv();
@@ -63,7 +102,281 @@ Point from_jac(const Jac& p) {
 
 bool on_curve(const Fe& x, const Fe& y) { return y.sqr() == x.sqr() * x + Fe(7); }
 
-Jac jac_scalar_mul(const Jac& base, const Scalar& k) {
+// vartime: begin (verification-side scalar-multiplication machinery; every
+// scalar reaching this code is public — signature s values, challenge
+// hashes, batch randomizers — so data-dependent timing leaks nothing)
+
+// --- wNAF ------------------------------------------------------------------
+
+// Width-w NAF digit capacity: 256 bits plus one possible carry digit. The
+// GLV/generator half-scalars only need ~130 digits, but sizing every buffer
+// for the worst case keeps the code uniform (stack space is cheap).
+constexpr int kMaxNafLen = 257;
+
+// Window sizes: 5 for variable points (8-entry table built per call), 11 for
+// the generator halves (512-entry tables built once per process). A width-w
+// NAF has odd digits |d| <= 2^(w-1) - 1, so a table holds 2^(w-2) entries.
+constexpr unsigned kWnafWindowP = 5;
+constexpr unsigned kWnafWindowG = 11;
+constexpr int kTableSizeP = 1 << (kWnafWindowP - 2);  // odd multiples 1..15
+constexpr int kTableSizeG = 1 << (kWnafWindowG - 2);  // odd multiples 1..1023
+
+// Computes the width-w NAF of k: k = Σ naf[i]·2^i with every nonzero digit
+// odd and |digit| < 2^(w-1), at most one nonzero in any w consecutive
+// positions. Returns the digit count.
+int wnaf(std::int16_t* naf, U256 k, unsigned w) {
+  const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+  int len = 0;
+  while (!k.is_zero()) {
+    std::int64_t d = 0;
+    if (k.is_odd()) {
+      d = static_cast<std::int64_t>(k.limb[0] & mask);
+      if (d > std::int64_t{1} << (w - 1)) d -= std::int64_t{1} << w;
+      if (d >= 0)
+        sub_with_borrow(k, U256(static_cast<std::uint64_t>(d)), k);
+      else
+        add_with_carry(k, U256(static_cast<std::uint64_t>(-d)), k);
+    }
+    naf[len++] = static_cast<std::int16_t>(d);
+    k = shr(k, 1);
+  }
+  return len;
+}
+
+// Table lookup for wNAF digit d (odd, nonzero): entry (|d|-1)/2, negated
+// for negative digits.
+AffGe wnaf_lookup(const AffGe* table, int digit) {
+  AffGe g = table[(digit > 0 ? digit : -digit) >> 1];
+  if (digit < 0) g.y = g.y.neg();
+  return g;
+}
+
+// --- GLV endomorphism -------------------------------------------------------
+
+// secp256k1 has an efficient endomorphism phi(x, y) = (beta·x, y) acting as
+// multiplication by lambda (lambda³ = 1 mod n, beta³ = 1 mod p). Splitting a
+// 256-bit scalar k into k = k1 + k2·lambda with |k1|, |k2| ~ 2^128 halves
+// the shared doubling chain: k·P = k1·P + k2·phi(P), and phi(P)'s table is a
+// one-multiplication-per-entry transform of P's table.
+
+const Fe& glv_beta() {
+  static const Fe beta = Fe::from_u256(U256::from_hex(
+      "7ae96a2b657c07106e64479eac3434e99cf0497512f58995c1396c28719501ee"));
+  return beta;
+}
+
+struct GlvSplit {
+  U256 k1{}, k2{};       // magnitudes, < ~2^128
+  bool neg1 = false, neg2 = false;  // signs of the k1·P / k2·phi(P) terms
+};
+
+// round((k·g) / 2^shift) for 256 < shift < 512: the product's bits from
+// `shift` up, plus the rounding bit just below the cut.
+U256 mul_shift_var(const U256& k, const U256& g, unsigned shift) {
+  const U512 prod = mul_full(k, g);
+  const unsigned l = shift / 64;
+  const unsigned s = shift % 64;
+  U256 r;
+  for (unsigned i = 0; i < 4 && i + l < 8; ++i) {
+    std::uint64_t v = prod.limb[i + l] >> s;
+    if (s != 0 && i + l + 1 < 8) v |= prod.limb[i + l + 1] << (64 - s);
+    r.limb[i] = v;
+  }
+  if (prod.limb[(shift - 1) / 64] >> ((shift - 1) % 64) & 1) {
+    U256 t;
+    add_with_carry(r, U256(1), t);
+    r = t;
+  }
+  return r;
+}
+
+// Lattice-basis scalar decomposition (the constants are the standard secp256k1
+// values: (a1, b1), (a2, b2) span the lattice of pairs with a + b·lambda = 0
+// mod n, and g1, g2 are the precomputed rounded quotients 2^272·b2/n and
+// 2^272·(-b1)/n for Babai rounding at shift 272).
+GlvSplit glv_split(const Scalar& k) {
+  static const U256 g1 = U256::from_hex("3086d221a7d46bcde86c90e49284eb153dab");
+  static const U256 g2 = U256::from_hex("e4437ed6010e88286f547fa90abfe4c42212");
+  static const Scalar minus_b1 =
+      Scalar::from_u256(U256::from_hex("e4437ed6010e88286f547fa90abfe4c3"));
+  static const Scalar minus_b2 = Scalar::from_u256(U256::from_hex(
+      "fffffffffffffffffffffffffffffffe8a280ac50774346dd765cda83db1562c"));
+  static const Scalar lambda = Scalar::from_u256(U256::from_hex(
+      "5363ad4cc05c30e0a5261c028812645a122e22ea20816678df02967c1b23bd72"));
+  const Scalar c1 = Scalar::from_u256(mul_shift_var(k.raw(), g1, 272)) * minus_b1;
+  const Scalar c2 = Scalar::from_u256(mul_shift_var(k.raw(), g2, 272)) * minus_b2;
+  const Scalar r2 = c1 + c2;
+  const Scalar r1 = k - r2 * lambda;  // k = r1 + r2·lambda (mod n) by construction
+  const U256 half_n = shr(Scalar::order(), 1);
+  GlvSplit out;
+  out.neg1 = r1.raw() > half_n;
+  out.k1 = out.neg1 ? r1.neg().raw() : r1.raw();
+  out.neg2 = r2.raw() > half_n;
+  out.k2 = out.neg2 ? r2.neg().raw() : r2.raw();
+  return out;
+}
+
+// wNAF of a GLV half-scalar with the term's sign folded into the digits.
+int signed_wnaf(std::int16_t* naf, const U256& k, bool negative, unsigned w) {
+  const int len = wnaf(naf, k, w);
+  if (negative)
+    for (int i = 0; i < len; ++i) naf[i] = static_cast<std::int16_t>(-naf[i]);
+  return len;
+}
+
+// --- Effective-affine odd-multiples table -----------------------------------
+
+// Fills table[0..kTableSizeP) with {1,3,...,15}·P expressed as *affine*
+// points of an isomorphic frame sharing a single global Z (returned), using
+// one doubling, kTableSizeP-1 mixed additions and a few multiplications per
+// entry — and no field inversion (libsecp256k1's "effective affine" trick).
+// A Jacobian result accumulated against these entries is mapped back to the
+// true curve by multiplying its Z by the returned global Z.
+Fe effective_affine_table(AffGe* table, const Point& p) {
+  const Jac d = jac_dbl({p.x(), p.y(), Fe(1), false});  // 2P; never infinity
+  // Rescale P into the frame where d is affine: x·dz², y·dz³.
+  const Fe dz2 = d.z.sqr();
+  const Fe dz3 = dz2 * d.z;
+  const AffGe d_aff{d.x, d.y};
+  Jac entry[kTableSizeP];
+  Fe zr[kTableSizeP];
+  entry[0] = {p.x() * dz2, p.y() * dz3, Fe(1), false};
+  zr[0] = Fe(1);
+  for (int i = 1; i < kTableSizeP; ++i)
+    entry[i] = jac_add_aff(entry[i - 1], d_aff, &zr[i]);
+  // Backward pass: express entry i as affine w.r.t. the last entry's Z by
+  // accumulating the stored Z ratios — multiplications only.
+  const int last = kTableSizeP - 1;
+  table[last] = {entry[last].x, entry[last].y};
+  Fe zs = zr[last];
+  for (int i = last - 1; i >= 0; --i) {
+    const Fe zs2 = zs.sqr();
+    table[i] = {entry[i].x * zs2, entry[i].y * zs2 * zs};
+    zs = zs * zr[i];
+  }
+  return d.z * entry[last].z;
+}
+
+// --- Batched inversion (Montgomery's trick) ---------------------------------
+
+// Replaces each element with its inverse using a single field inversion.
+void batch_inverse(std::vector<Fe>& v) {
+  if (v.empty()) return;
+  std::vector<Fe> prefix(v.size());
+  prefix[0] = v[0];
+  for (std::size_t i = 1; i < v.size(); ++i) prefix[i] = prefix[i - 1] * v[i];
+  Fe acc = prefix.back().inv();
+  for (std::size_t i = v.size(); i-- > 1;) {
+    const Fe inv_i = acc * prefix[i - 1];
+    acc = acc * v[i];
+    v[i] = inv_i;
+  }
+  v[0] = acc;
+}
+
+// --- Generator wNAF tables --------------------------------------------------
+
+// Fills table[0..n) with the odd multiples {1,3,...,2n-1}·base in true affine
+// coordinates, normalized with a single batched inversion.
+void build_odd_multiples(const Jac& base, AffGe* table, int n) {
+  const Jac d = jac_dbl(base);
+  std::vector<Jac> entry(static_cast<std::size_t>(n));
+  entry[0] = base;
+  for (int i = 1; i < n; ++i)
+    entry[static_cast<std::size_t>(i)] = jac_add(entry[static_cast<std::size_t>(i - 1)], d);
+  std::vector<Fe> zs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) zs[static_cast<std::size_t>(i)] = entry[static_cast<std::size_t>(i)].z;
+  batch_inverse(zs);
+  for (int i = 0; i < n; ++i) {
+    const Fe zi2 = zs[static_cast<std::size_t>(i)].sqr();
+    table[i] = {entry[static_cast<std::size_t>(i)].x * zi2,
+                entry[static_cast<std::size_t>(i)].y * zi2 * zs[static_cast<std::size_t>(i)]};
+  }
+}
+
+// Generator scalars split exactly as b = b_lo + 2^128·b_hi, each half walked
+// against its own static table (G and 2^128·G), so the generator streams fit
+// the same ~130-doubling chain as the GLV-split variable point.
+struct GenTables {
+  AffGe lo[kTableSizeG];  // odd multiples of G
+  AffGe hi[kTableSizeG];  // odd multiples of 2^128·G
+};
+
+const GenTables& gen_wnaf_tables() {
+  static GenTables t;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const Jac g = to_jac(Point::generator());
+    build_odd_multiples(g, t.lo, kTableSizeG);
+    Jac h = g;
+    for (int i = 0; i < 128; ++i) h = jac_dbl(h);
+    build_odd_multiples(h, t.hi, kTableSizeG);
+  });
+  return t;
+}
+
+// --- Strauss–Shamir interleaved ladder --------------------------------------
+
+// a·P + b·G in Jacobian coordinates (true frame). One shared doubling chain
+// of ~130 iterations: the GLV split turns a·P into two half-length streams
+// over P's width-5 effective-affine table and its phi-image, and b is split
+// bitwise into 128-bit halves over the two static generator tables (rescaled
+// on the fly into P's isomorphic frame).
+Jac strauss_jac(const Scalar& a, const Point& p, const Scalar& b) {
+  std::int16_t naf_p1[kMaxNafLen], naf_p2[kMaxNafLen];
+  std::int16_t naf_g1[kMaxNafLen], naf_g2[kMaxNafLen];
+  int len_p1 = 0, len_p2 = 0, len_g1 = 0, len_g2 = 0;
+  AffGe ptable[kTableSizeP], ltable[kTableSizeP];
+  Fe global_z(1);
+  const bool have_p = !p.is_infinity() && !a.is_zero();
+  if (have_p) {
+    const GlvSplit sp = glv_split(a);
+    len_p1 = signed_wnaf(naf_p1, sp.k1, sp.neg1, kWnafWindowP);
+    len_p2 = signed_wnaf(naf_p2, sp.k2, sp.neg2, kWnafWindowP);
+    global_z = effective_affine_table(ptable, p);
+    // phi(m·P) = (beta·x, y) commutes with the isomorphic frame's scaling,
+    // so the phi table is valid in the same frame.
+    const Fe& beta = glv_beta();
+    for (int i = 0; i < kTableSizeP; ++i) ltable[i] = {beta * ptable[i].x, ptable[i].y};
+  }
+  if (!b.is_zero()) {
+    const U256& bv = b.raw();
+    len_g1 = wnaf(naf_g1, U256{bv.limb[0], bv.limb[1], 0, 0}, kWnafWindowG);
+    len_g2 = wnaf(naf_g2, U256{bv.limb[2], bv.limb[3], 0, 0}, kWnafWindowG);
+  }
+  const GenTables* gt = (len_g1 > 0 || len_g2 > 0) ? &gen_wnaf_tables() : nullptr;
+  // G-table entries live on the true curve; when P's table set up an
+  // isomorphic frame, rescale each used G entry into that frame.
+  Fe gz2(1), gz3(1);
+  const bool rescale_g = have_p && gt != nullptr;
+  if (rescale_g) {
+    gz2 = global_z.sqr();
+    gz3 = gz2 * global_z;
+  }
+  const auto add_gen = [&](Jac acc, const AffGe* table, int digit) {
+    AffGe g = wnaf_lookup(table, digit);
+    if (rescale_g) {
+      g.x = g.x * gz2;
+      g.y = g.y * gz3;
+    }
+    return jac_add_aff(acc, g);
+  };
+  Jac acc;
+  const int top = std::max(std::max(len_p1, len_p2), std::max(len_g1, len_g2));
+  for (int i = top - 1; i >= 0; --i) {
+    acc = jac_dbl(acc);
+    if (i < len_p1 && naf_p1[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(ptable, naf_p1[i]));
+    if (i < len_p2 && naf_p2[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(ltable, naf_p2[i]));
+    if (i < len_g1 && naf_g1[i] != 0) acc = add_gen(acc, gt->lo, naf_g1[i]);
+    if (i < len_g2 && naf_g2[i] != 0) acc = add_gen(acc, gt->hi, naf_g2[i]);
+  }
+  if (have_p && !acc.infinity) acc.z = acc.z * global_z;
+  return acc;
+}
+
+// vartime: end
+
+Jac jac_scalar_mul_ladder(const Jac& base, const Scalar& k) {
   Jac acc;
   const U256& bits = k.raw();
   const unsigned n = bits.bit_length();
@@ -75,6 +388,8 @@ Jac jac_scalar_mul(const Jac& base, const Scalar& k) {
 }
 
 // Precomputed 4-bit-window table for k*G: table[w][j-1] = j * 16^w * G.
+// Signing side: every window is visited in order regardless of k, so the
+// access pattern itself does not depend on the scalar.
 struct GenTable {
   std::array<std::array<Jac, 15>, 64> win;
 };
@@ -143,7 +458,97 @@ Point Point::neg() const {
 
 Point Point::operator*(const Scalar& k) const {
   if (infinity_ || k.is_zero()) return {};
-  return from_jac(jac_scalar_mul(to_jac(*this), k));
+  return from_jac(strauss_jac(k, *this, Scalar(0)));
+}
+
+Point Point::mul_add_vartime(const Scalar& a, const Point& p, const Scalar& b) {
+  return from_jac(strauss_jac(a, p, b));
+}
+
+bool Point::mul_add_equals_vartime(const Scalar& a, const Point& p, const Scalar& b,
+                                   const Point& expect) {
+  const Jac res = strauss_jac(a, p, b);
+  if (res.infinity || expect.is_infinity()) return res.infinity == expect.is_infinity();
+  // expect == (X/Z², Y/Z³) without computing 1/Z.
+  const Fe z2 = res.z.sqr();
+  return expect.x() * z2 == res.x && expect.y() * z2 * res.z == res.y;
+}
+
+// vartime: begin (batch verification — signatures and randomizers are public)
+bool Point::multi_mul_is_infinity_vartime(std::span<const Scalar> coeffs,
+                                          std::span<const Point> points,
+                                          const Scalar& gen_coeff) {
+  if (coeffs.size() != points.size())
+    throw std::invalid_argument("multi_mul: size mismatch");
+  // Collect the active (nonzero) terms.
+  std::vector<std::size_t> active;
+  active.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (!points[i].is_infinity() && !coeffs[i].is_zero()) active.push_back(i);
+
+  // Per-point odd-multiples tables, converted to true affine with a single
+  // batched inversion across the whole call; each point also gets the
+  // beta-transformed table for its GLV lambda-stream.
+  std::vector<std::array<AffGe, kTableSizeP>> tables(active.size());
+  std::vector<std::array<AffGe, kTableSizeP>> ltables(active.size());
+  std::vector<Fe> zs(active.size());
+  for (std::size_t j = 0; j < active.size(); ++j)
+    zs[j] = effective_affine_table(tables[j].data(), points[active[j]]);
+  batch_inverse(zs);
+  const Fe& beta = glv_beta();
+  for (std::size_t j = 0; j < active.size(); ++j) {
+    const Fe zi2 = zs[j].sqr();
+    const Fe zi3 = zi2 * zs[j];
+    for (std::size_t t = 0; t < tables[j].size(); ++t) {
+      auto& e = tables[j][t];
+      e.x = e.x * zi2;
+      e.y = e.y * zi3;
+      ltables[j][t] = {beta * e.x, e.y};
+    }
+  }
+
+  // Two half-length wNAF streams per point (GLV split).
+  std::vector<std::array<std::int16_t, kMaxNafLen>> nafs1(active.size());
+  std::vector<std::array<std::int16_t, kMaxNafLen>> nafs2(active.size());
+  std::vector<int> lens1(active.size());
+  std::vector<int> lens2(active.size());
+  int max_len = 0;
+  for (std::size_t j = 0; j < active.size(); ++j) {
+    const GlvSplit sp = glv_split(coeffs[active[j]]);
+    lens1[j] = signed_wnaf(nafs1[j].data(), sp.k1, sp.neg1, kWnafWindowP);
+    lens2[j] = signed_wnaf(nafs2[j].data(), sp.k2, sp.neg2, kWnafWindowP);
+    max_len = std::max({max_len, lens1[j], lens2[j]});
+  }
+  std::int16_t naf_g1[kMaxNafLen];
+  std::int16_t naf_g2[kMaxNafLen];
+  int len_g1 = 0, len_g2 = 0;
+  if (!gen_coeff.is_zero()) {
+    const U256& gv = gen_coeff.raw();
+    len_g1 = wnaf(naf_g1, U256{gv.limb[0], gv.limb[1], 0, 0}, kWnafWindowG);
+    len_g2 = wnaf(naf_g2, U256{gv.limb[2], gv.limb[3], 0, 0}, kWnafWindowG);
+    max_len = std::max({max_len, len_g1, len_g2});
+  }
+  const GenTables* gt = (len_g1 > 0 || len_g2 > 0) ? &gen_wnaf_tables() : nullptr;
+
+  Jac acc;
+  for (int i = max_len - 1; i >= 0; --i) {
+    acc = jac_dbl(acc);
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      if (i < lens1[j] && nafs1[j][static_cast<std::size_t>(i)] != 0)
+        acc = jac_add_aff(acc, wnaf_lookup(tables[j].data(), nafs1[j][static_cast<std::size_t>(i)]));
+      if (i < lens2[j] && nafs2[j][static_cast<std::size_t>(i)] != 0)
+        acc = jac_add_aff(acc, wnaf_lookup(ltables[j].data(), nafs2[j][static_cast<std::size_t>(i)]));
+    }
+    if (i < len_g1 && naf_g1[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(gt->lo, naf_g1[i]));
+    if (i < len_g2 && naf_g2[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(gt->hi, naf_g2[i]));
+  }
+  return acc.infinity;
+}
+// vartime: end
+
+Point Point::mul_ladder_vartime(const Point& p, const Scalar& k) {
+  if (p.is_infinity() || k.is_zero()) return {};
+  return from_jac(jac_scalar_mul_ladder(to_jac(p), k));
 }
 
 Point Point::mul_gen(const Scalar& k) {

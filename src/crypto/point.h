@@ -1,7 +1,20 @@
 // secp256k1 curve points (y^2 = x^3 + 7) with Jacobian-coordinate internals.
+//
+// Scalar multiplication strategy (see DESIGN.md → "Crypto hot path"):
+//   * variable-point k·P uses width-5 wNAF over effective-affine precomputed
+//     odd multiples (no field inversion anywhere on the path);
+//   * k·G uses a fixed 4-bit-window precomputed generator table (signing
+//     side — access pattern independent of which window entries are hit);
+//   * verification uses Strauss–Shamir interleaving (`mul_add_*_vartime`)
+//     and, for many signatures, one multi-scalar ladder
+//     (`multi_mul_is_infinity_vartime`).
+// The `_vartime` suffix marks functions whose running time depends on their
+// scalar inputs; they must only ever see public data (signatures, challenge
+// scalars, public keys).
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "src/crypto/field.h"
 #include "src/crypto/scalar.h"
@@ -26,11 +39,31 @@ class Point {
   Point operator+(const Point& o) const;
   Point dbl() const;
   Point neg() const;
-  /// Scalar multiplication (double-and-add).
+  /// Scalar multiplication (width-5 wNAF; variable time in k).
   Point operator*(const Scalar& k) const;
 
   /// k*G using a precomputed table of generator multiples.
   static Point mul_gen(const Scalar& k);
+
+  /// a·P + b·G in one Strauss–Shamir interleaved ladder. Variable time.
+  static Point mul_add_vartime(const Scalar& a, const Point& p, const Scalar& b);
+
+  /// Whether a·P + b·G == expect, compared in Jacobian coordinates so the
+  /// verification hot path performs no field inversion. Variable time.
+  static bool mul_add_equals_vartime(const Scalar& a, const Point& p, const Scalar& b,
+                                     const Point& expect);
+
+  /// Whether Σ coeffs[i]·points[i] + gen_coeff·G is the point at infinity —
+  /// the core of batch signature verification. One shared doubling chain,
+  /// per-point wNAF tables normalized with a single batched inversion.
+  /// Variable time; requires coeffs.size() == points.size().
+  static bool multi_mul_is_infinity_vartime(std::span<const Scalar> coeffs,
+                                            std::span<const Point> points,
+                                            const Scalar& gen_coeff);
+
+  /// Naive left-to-right double-and-add ladder. Kept as the benchmark
+  /// baseline and as an independent cross-check oracle for the wNAF paths.
+  static Point mul_ladder_vartime(const Point& p, const Scalar& k);
 
   bool operator==(const Point& o) const;
 

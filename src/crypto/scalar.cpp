@@ -2,21 +2,11 @@
 
 #include <stdexcept>
 
-#include "src/crypto/modarith.h"
-
 namespace daric::crypto {
 
 namespace {
-const modarith::Params& params() {
-  static const modarith::Params p{
-      .m = U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"),
-      .c = U256::from_hex("14551231950b75fc4402da1732fc9bebf"),
-  };
-  return p;
-}
+constexpr const modarith::Params& params() { return detail::kScalarParams; }
 }  // namespace
-
-const U256& Scalar::order() { return params().m; }
 
 Scalar Scalar::from_u256(const U256& v) {
   if (v >= params().m) throw std::invalid_argument("Scalar out of range");
@@ -32,30 +22,6 @@ Scalar Scalar::from_be_bytes_reduce(BytesView b) {
   Scalar s;
   s.v_ = modarith::reduce512(wide, params());
   return s;
-}
-
-Scalar Scalar::operator+(const Scalar& o) const {
-  Scalar r;
-  r.v_ = modarith::add_mod(v_, o.v_, params());
-  return r;
-}
-
-Scalar Scalar::operator-(const Scalar& o) const {
-  Scalar r;
-  r.v_ = modarith::sub_mod(v_, o.v_, params());
-  return r;
-}
-
-Scalar Scalar::operator*(const Scalar& o) const {
-  Scalar r;
-  r.v_ = modarith::mul_mod(v_, o.v_, params());
-  return r;
-}
-
-Scalar Scalar::neg() const {
-  Scalar r;
-  r.v_ = modarith::sub_mod(U256(0), v_, params());
-  return r;
 }
 
 Scalar Scalar::inv() const {

@@ -1,9 +1,19 @@
 // secp256k1 group-order scalar (mod n).
 #pragma once
 
+#include "src/crypto/modarith.h"
 #include "src/crypto/u256.h"
 
 namespace daric::crypto {
+
+namespace detail {
+// n and 2^256 mod n as compile-time constants so the operators below inline
+// without a static-initialization guard on every call.
+inline constexpr modarith::Params kScalarParams{
+    .m = U256{0xbfd25e8cd0364141, 0xbaaedce6af48a03b, 0xfffffffffffffffe, 0xffffffffffffffff},
+    .c = U256{0x402da1732fc9bebf, 0x4551231950b75fc4, 0x1, 0},
+};
+}  // namespace detail
 
 class Scalar {
  public:
@@ -14,12 +24,28 @@ class Scalar {
   /// Interprets 32 big-endian bytes, reducing mod n.
   static Scalar from_be_bytes_reduce(BytesView b);
 
-  static const U256& order();
+  static const U256& order() { return detail::kScalarParams.m; }
 
-  Scalar operator+(const Scalar& o) const;
-  Scalar operator-(const Scalar& o) const;
-  Scalar operator*(const Scalar& o) const;
-  Scalar neg() const;
+  Scalar operator+(const Scalar& o) const {
+    Scalar r;
+    r.v_ = modarith::add_mod(v_, o.v_, detail::kScalarParams);
+    return r;
+  }
+  Scalar operator-(const Scalar& o) const {
+    Scalar r;
+    r.v_ = modarith::sub_mod(v_, o.v_, detail::kScalarParams);
+    return r;
+  }
+  Scalar operator*(const Scalar& o) const {
+    Scalar r;
+    r.v_ = modarith::mul_mod(v_, o.v_, detail::kScalarParams);
+    return r;
+  }
+  Scalar neg() const {
+    Scalar r;
+    r.v_ = modarith::sub_mod(U256(0), v_, detail::kScalarParams);
+    return r;
+  }
   Scalar inv() const;
 
   bool is_zero() const { return v_.is_zero(); }

@@ -1,5 +1,7 @@
 #include "src/crypto/schnorr.h"
 
+#include <vector>
+
 #include "src/crypto/rfc6979.h"
 #include "src/crypto/sha256.h"
 
@@ -28,8 +30,64 @@ bool schnorr_verify(const Point& pk, const Hash256& msg, BytesView sig) {
   if (sv >= Scalar::order()) return false;
   const Scalar s = Scalar::from_u256(sv);
   const Scalar e = schnorr_challenge(*r, pk, msg);
-  // s*G == R + e*P
-  return Point::mul_gen(s) == *r + pk * e;
+  // s·G == R + e·P  ⟺  (−e)·P + s·G == R, one Strauss–Shamir ladder with
+  // the comparison done in Jacobian coordinates (no field inversion).
+  return Point::mul_add_equals_vartime(e.neg(), pk, s, *r);
+}
+
+namespace {
+
+// Per-item randomizer: 128 bits from a hash of the whole batch and the item
+// index. Synthetic randomness in the BIP340 style — an adversary would have
+// to find signatures satisfying the combined equation for coefficients that
+// are themselves a hash of those signatures.
+Scalar batch_randomizer(const Hash256& seed, std::uint32_t index) {
+  Bytes data(seed.view().begin(), seed.view().end());
+  for (int shift = 24; shift >= 0; shift -= 8)
+    data.push_back(static_cast<Byte>(index >> shift));
+  const Hash256 h = Sha256::tagged("daric/batch-randomizer", data);
+  Bytes half(32, 0);
+  std::copy(h.view().begin(), h.view().begin() + 16, half.begin() + 16);
+  return Scalar::from_be_bytes_reduce(half);
+}
+
+}  // namespace
+
+bool schnorr_verify_batch(std::span<const SigBatchItem> items) {
+  if (items.empty()) return true;
+  if (items.size() == 1) return schnorr_verify(items[0].pk, items[0].msg, items[0].sig);
+
+  Sha256 seed_hash;
+  for (const SigBatchItem& it : items) {
+    if (it.sig.size() != kSchnorrSigSize || it.pk.is_infinity()) return false;
+    seed_hash.update(it.sig);
+    seed_hash.update(it.pk.compressed());
+    seed_hash.update(it.msg.view());
+  }
+  const Hash256 seed = seed_hash.finalize();
+
+  std::vector<Scalar> coeffs;
+  std::vector<Point> points;
+  coeffs.reserve(2 * items.size());
+  points.reserve(2 * items.size());
+  Scalar g_coeff(0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const SigBatchItem& it = items[i];
+    const auto r = Point::from_compressed(BytesView(it.sig).subspan(0, 33));
+    if (!r) return false;
+    const U256 sv = U256::from_be_bytes(BytesView(it.sig).subspan(33));
+    if (sv >= Scalar::order()) return false;
+    const Scalar s = Scalar::from_u256(sv);
+    const Scalar e = schnorr_challenge(*r, it.pk, it.msg);
+    const Scalar a = i == 0 ? Scalar(1) : batch_randomizer(seed, static_cast<std::uint32_t>(i));
+    g_coeff = g_coeff + a * s;
+    // Negate the points, not the coefficients: aᵢ stays 128 bits wide.
+    coeffs.push_back(a);
+    points.push_back(r->neg());
+    coeffs.push_back(a * e);
+    points.push_back(it.pk.neg());
+  }
+  return Point::multi_mul_is_infinity_vartime(coeffs, points, g_coeff);
 }
 
 }  // namespace daric::crypto

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "src/crypto/keys.h"
+#include "src/crypto/sig_scheme.h"
 #include "src/util/bytes.h"
 
 namespace daric::crypto {
@@ -13,6 +14,15 @@ inline constexpr std::size_t kSchnorrSigSize = 65;
 
 Bytes schnorr_sign(const Scalar& sk, const Hash256& msg);
 bool schnorr_verify(const Point& pk, const Hash256& msg, BytesView sig);
+
+/// Batch verification via a random linear combination: with per-item
+/// randomizers aᵢ (a₀ = 1), all signatures are valid iff
+///   (Σ aᵢ·sᵢ)·G − Σ aᵢ·Rᵢ − Σ (aᵢ·eᵢ)·Pᵢ = ∞
+/// except with negligible probability. Randomizers are synthetic (derived
+/// by hashing the whole batch), so the check is deterministic. One shared
+/// multi-scalar ladder makes the per-signature cost well below a single
+/// verification's.
+bool schnorr_verify_batch(std::span<const SigBatchItem> items);
 
 /// Challenge scalar e = H(R || P || m); exposed for the adaptor variant.
 Scalar schnorr_challenge(const Point& r, const Point& pk, const Hash256& msg);

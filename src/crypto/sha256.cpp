@@ -113,10 +113,16 @@ Hash256 Sha256::hash(BytesView data) { return Sha256().update(data).finalize(); 
 Hash256 Sha256::double_hash(BytesView data) { return hash(hash(data).view()); }
 
 Hash256 Sha256::tagged(std::string_view tag, BytesView data) {
+  Sha256 h = tagged_init(tag);
+  h.update(data);
+  return h.finalize();
+}
+
+Sha256 Sha256::tagged_init(std::string_view tag) {
   const Hash256 th = hash({reinterpret_cast<const Byte*>(tag.data()), tag.size()});
   Sha256 h;
-  h.update(th.view()).update(th.view()).update(data);
-  return h.finalize();
+  h.update(th.view()).update(th.view());
+  return h;
 }
 
 }  // namespace daric::crypto

@@ -16,6 +16,9 @@ class Sha256 {
   static Hash256 double_hash(BytesView data);
   /// BIP340-style tagged hash: SHA256(SHA256(tag)||SHA256(tag)||data).
   static Hash256 tagged(std::string_view tag, BytesView data);
+  /// Streaming variant: a hasher already fed SHA256(tag)||SHA256(tag).
+  /// Copies of the returned object serve as reusable midstates.
+  static Sha256 tagged_init(std::string_view tag);
 
  private:
   void process_block(const Byte* block);

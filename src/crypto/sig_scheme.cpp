@@ -18,6 +18,10 @@ class SchnorrScheme final : public SignatureScheme {
     return schnorr_verify(pk, msg, sig);
   }
   bool supports_adaptor() const override { return true; }
+  bool supports_batch_verify() const override { return true; }
+  bool verify_batch(std::span<const SigBatchItem> items) const override {
+    return schnorr_verify_batch(items);
+  }
 };
 
 class EcdsaScheme final : public SignatureScheme {
@@ -48,6 +52,12 @@ OpCounters& op_counters() {
   return c;
 }
 
+bool SignatureScheme::verify_batch(std::span<const SigBatchItem> items) const {
+  for (const SigBatchItem& it : items)
+    if (!verify(it.pk, it.msg, it.sig)) return false;
+  return true;
+}
+
 Bytes CountingScheme::sign(const Scalar& sk, const Hash256& msg) const {
   op_counters().signs.fetch_add(1, std::memory_order_relaxed);
   return inner_.sign(sk, msg);
@@ -56,6 +66,11 @@ Bytes CountingScheme::sign(const Scalar& sk, const Hash256& msg) const {
 bool CountingScheme::verify(const Point& pk, const Hash256& msg, BytesView sig) const {
   op_counters().verifies.fetch_add(1, std::memory_order_relaxed);
   return inner_.verify(pk, msg, sig);
+}
+
+bool CountingScheme::verify_batch(std::span<const SigBatchItem> items) const {
+  op_counters().verifies.fetch_add(items.size(), std::memory_order_relaxed);
+  return inner_.verify_batch(items);
 }
 
 }  // namespace daric::crypto

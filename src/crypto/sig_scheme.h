@@ -9,11 +9,19 @@
 #pragma once
 
 #include <atomic>
+#include <span>
 #include <string>
 
 #include "src/crypto/keys.h"
 
 namespace daric::crypto {
+
+/// One (public key, message, raw signature) item of a batch verification.
+struct SigBatchItem {
+  Point pk;
+  Hash256 msg;
+  Bytes sig;
+};
 
 class SignatureScheme {
  public:
@@ -25,6 +33,13 @@ class SignatureScheme {
   virtual bool verify(const Point& pk, const Hash256& msg, BytesView sig) const = 0;
   /// Whether Schnorr-style adaptor signatures exist for this scheme.
   virtual bool supports_adaptor() const = 0;
+
+  /// Whether verify_batch is cheaper than one verify per item.
+  virtual bool supports_batch_verify() const { return false; }
+  /// Verifies every item; the default checks them one by one. A true result
+  /// means all signatures are valid; schemes with real batching (Schnorr's
+  /// random-linear-combination check) amortize the ladder across items.
+  virtual bool verify_batch(std::span<const SigBatchItem> items) const;
 };
 
 /// Process-wide singletons.
@@ -57,6 +72,10 @@ class CountingScheme : public SignatureScheme {
   Bytes sign(const Scalar& sk, const Hash256& msg) const override;
   bool verify(const Point& pk, const Hash256& msg, BytesView sig) const override;
   bool supports_adaptor() const override { return inner_.supports_adaptor(); }
+  bool supports_batch_verify() const override { return inner_.supports_batch_verify(); }
+  /// Counts one Vrfy per item (batching is an implementation detail; the
+  /// paper's Table-3 op counts are per-signature).
+  bool verify_batch(std::span<const SigBatchItem> items) const override;
 
  private:
   const SignatureScheme& inner_;

@@ -39,10 +39,6 @@ U256 U256::from_hex(std::string_view h) {
   return from_be_bytes(padded);
 }
 
-bool U256::is_zero() const { return limb[0] == 0 && limb[1] == 0 && limb[2] == 0 && limb[3] == 0; }
-
-bool U256::bit(unsigned i) const { return limb[i / 64] >> (i % 64) & 1; }
-
 unsigned U256::bit_length() const {
   for (int i = 3; i >= 0; --i) {
     if (limb[static_cast<std::size_t>(i)] != 0) {
@@ -51,60 +47,6 @@ unsigned U256::bit_length() const {
     }
   }
   return 0;
-}
-
-std::uint64_t add_with_carry(const U256& a, const U256& b, U256& out) {
-  unsigned long long carry = 0;
-  for (int i = 0; i < 4; ++i) {
-    unsigned long long sum;
-    carry = __builtin_uaddll_overflow(a.limb[static_cast<std::size_t>(i)],
-                                      b.limb[static_cast<std::size_t>(i)], &sum) +
-            __builtin_uaddll_overflow(sum, carry, &sum);
-    out.limb[static_cast<std::size_t>(i)] = sum;
-  }
-  return carry;
-}
-
-std::uint64_t sub_with_borrow(const U256& a, const U256& b, U256& out) {
-  unsigned long long borrow = 0;
-  for (int i = 0; i < 4; ++i) {
-    unsigned long long diff;
-    borrow = __builtin_usubll_overflow(a.limb[static_cast<std::size_t>(i)],
-                                       b.limb[static_cast<std::size_t>(i)], &diff) +
-             __builtin_usubll_overflow(diff, borrow, &diff);
-    out.limb[static_cast<std::size_t>(i)] = diff;
-  }
-  return borrow;
-}
-
-U512 mul_full(const U256& a, const U256& b) {
-  U512 out;
-  for (int i = 0; i < 4; ++i) {
-    unsigned __int128 carry = 0;
-    for (int j = 0; j < 4; ++j) {
-      unsigned __int128 cur =
-          static_cast<unsigned __int128>(a.limb[static_cast<std::size_t>(i)]) *
-              b.limb[static_cast<std::size_t>(j)] +
-          out.limb[static_cast<std::size_t>(i + j)] + carry;
-      out.limb[static_cast<std::size_t>(i + j)] = static_cast<std::uint64_t>(cur);
-      carry = cur >> 64;
-    }
-    out.limb[static_cast<std::size_t>(i + 4)] = static_cast<std::uint64_t>(carry);
-  }
-  return out;
-}
-
-U256 shr(const U256& a, unsigned k) {
-  U256 out;
-  const unsigned limb_shift = k / 64;
-  const unsigned bit_shift = k % 64;
-  for (unsigned i = 0; i + limb_shift < 4; ++i) {
-    std::uint64_t v = a.limb[i + limb_shift] >> bit_shift;
-    if (bit_shift != 0 && i + limb_shift + 1 < 4)
-      v |= a.limb[i + limb_shift + 1] << (64 - bit_shift);
-    out.limb[i] = v;
-  }
-  return out;
 }
 
 }  // namespace daric::crypto

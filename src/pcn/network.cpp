@@ -1,5 +1,6 @@
 #include "src/pcn/network.h"
 
+#include <algorithm>
 #include <deque>
 #include <stdexcept>
 
@@ -25,13 +26,22 @@ std::size_t PaymentNetwork::open_channel(const std::string& left, const std::str
   Edge e{left, right, std::make_unique<daricch::DaricChannel>(env_, p)};
   if (!e.ch->create()) throw std::runtime_error("channel creation failed");
   channels_.push_back(std::move(e));
-  return channels_.size() - 1;
+  const std::size_t index = channels_.size() - 1;
+  adjacency_[left].push_back(index);
+  adjacency_[right].push_back(index);
+  return index;
 }
 
 Amount PaymentNetwork::spendable(const Edge& e, bool forward) const {
   const auto& st = e.ch->party(PartyId::kA).state();
-  // Keep 1 satoshi on each side so states stay ledger-valid.
-  return (forward ? st.to_a : st.to_b) - 1;
+  // Balances already exclude cash locked in pending HTLCs — it is debited
+  // from the payer side when the HTLC is added and only credited somewhere
+  // on settlement or abort. Keep 1 satoshi on each side so states stay
+  // ledger-valid; a drained side (balance ≤ 1) offers nothing. Without the
+  // guard the subtraction goes negative and routing would treat a drained
+  // edge as liquid.
+  const Amount balance = forward ? st.to_a : st.to_b;
+  return balance <= 1 ? 0 : balance - 1;
 }
 
 std::optional<std::vector<RouteHop>> PaymentNetwork::find_route(const std::string& from,
@@ -45,7 +55,9 @@ std::optional<std::vector<RouteHop>> PaymentNetwork::find_route(const std::strin
   while (!queue.empty()) {
     const std::string cur = queue.front();
     queue.pop_front();
-    for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const auto adj = adjacency_.find(cur);
+    if (adj == adjacency_.end()) continue;
+    for (const std::size_t i : adj->second) {
       const Edge& e = channels_[i];
       if (!e.ch->party(PartyId::kA).channel_open()) continue;
       std::string next;
@@ -81,16 +93,36 @@ std::optional<std::vector<RouteHop>> PaymentNetwork::find_route(const std::strin
   return std::nullopt;
 }
 
-bool PaymentNetwork::pay(const std::string& from, const std::string& to, Amount amount) {
+bool PaymentNetwork::resolve_hop(const RouteHop& hop, const Bytes& payment_hash,
+                                 bool settle) {
+  Edge& e = channels_[hop.channel_index];
+  StateVec st = e.ch->party(PartyId::kA).state();
+  const auto it = std::find_if(st.htlcs.begin(), st.htlcs.end(), [&](const channel::Htlc& h) {
+    return h.payment_hash == payment_hash && h.offered_by_a == hop.forward;
+  });
+  if (it == st.htlcs.end()) return false;
+  const Amount cash = it->cash;
+  st.htlcs.erase(it);
+  if (settle == hop.forward) {
+    st.to_b += cash;  // settle forward / abort backward: B side gets the cash
+  } else {
+    st.to_a += cash;
+  }
+  return e.ch->update(st);
+}
+
+std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
+                                                       const std::string& to, Amount amount) {
+  if (amount <= 0) return std::nullopt;
   const auto route = find_route(from, to, amount);
-  if (!route) return false;
+  if (!route) return std::nullopt;
 
   const auto invoice = channel::make_htlc_secret(
-      "pcn/" + from + "->" + to + "/" + std::to_string(payments_completed_));
+      "pcn/" + from + "->" + to + "/" + std::to_string(payment_counter_));
 
-  // Phase 1: lock HTLCs payer-ward with decreasing timelocks so every
-  // intermediary can recover upstream after enforcing downstream.
-  std::vector<std::size_t> locked;
+  // Lock HTLCs payer-ward with decreasing timelocks so every intermediary
+  // can recover upstream after enforcing downstream.
+  std::vector<RouteHop> locked;
   const auto base_timeout = static_cast<std::uint32_t>(12 + 6 * route->size());
   bool failed = false;
   for (std::size_t h = 0; h < route->size(); ++h) {
@@ -114,40 +146,49 @@ bool PaymentNetwork::pay(const std::string& from, const std::string& to, Amount 
       failed = true;
       break;
     }
-    locked.push_back(h);
+    locked.push_back(hop);
   }
 
   if (failed) {
     // Roll back the locked hops cooperatively (timeout path, off-chain).
-    for (auto it = locked.rbegin(); it != locked.rend(); ++it) {
-      const RouteHop& hop = (*route)[*it];
-      Edge& e = channels_[hop.channel_index];
-      StateVec st = e.ch->party(PartyId::kA).state();
-      st.htlcs.pop_back();
-      if (hop.forward) {
-        st.to_a += amount;
-      } else {
-        st.to_b += amount;
-      }
-      e.ch->update(st);
-    }
-    return false;
+    for (auto it = locked.rbegin(); it != locked.rend(); ++it)
+      resolve_hop(*it, invoice.payment_hash, /*settle=*/false);
+    return std::nullopt;
   }
 
-  // Phase 2: the recipient reveals the preimage; settle hops in reverse.
-  for (auto it = route->rbegin(); it != route->rend(); ++it) {
-    Edge& e = channels_[it->channel_index];
-    StateVec st = e.ch->party(PartyId::kA).state();
-    st.htlcs.pop_back();
-    if (it->forward) {
-      st.to_b += amount;
-    } else {
-      st.to_a += amount;
-    }
-    if (!e.ch->update(st)) return false;  // falls back to on-chain enforcement
+  const PaymentId id = payment_counter_++;
+  pending_.emplace(id, PendingPayment{*route, invoice.payment_hash});
+  return id;
+}
+
+bool PaymentNetwork::settle_payment(PaymentId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  const PendingPayment payment = std::move(it->second);
+  pending_.erase(it);
+  for (auto hop = payment.route.rbegin(); hop != payment.route.rend(); ++hop) {
+    if (!resolve_hop(*hop, payment.payment_hash, /*settle=*/true))
+      return false;  // falls back to on-chain enforcement
   }
   ++payments_completed_;
   return true;
+}
+
+bool PaymentNetwork::abort_payment(PaymentId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  const PendingPayment payment = std::move(it->second);
+  pending_.erase(it);
+  bool ok = true;
+  for (auto hop = payment.route.rbegin(); hop != payment.route.rend(); ++hop)
+    ok = resolve_hop(*hop, payment.payment_hash, /*settle=*/false) && ok;
+  return ok;
+}
+
+bool PaymentNetwork::pay(const std::string& from, const std::string& to, Amount amount) {
+  const auto id = begin_payment(from, to, amount);
+  if (!id) return false;
+  return settle_payment(*id);
 }
 
 void PaymentNetwork::set_offline(const std::string& name, bool offline) {

@@ -4,6 +4,11 @@
 // timelocks. HTLC outputs ride on split transactions, so multi-hop needs
 // no extra machinery beyond channel updates — the property the paper
 // credits to avoiding state duplication.
+//
+// Payments are two-phase: begin_payment locks HTLCs along the route,
+// settle_payment / abort_payment resolve them. Several payments may be
+// in flight over the same edge at once; resolution always matches the
+// HTLC by payment hash and direction, never by position.
 #pragma once
 
 #include <map>
@@ -21,6 +26,8 @@ struct RouteHop {
   bool forward;  // true: payer is the channel's A side
 };
 
+using PaymentId = int;
+
 class PaymentNetwork {
  public:
   explicit PaymentNetwork(sim::Environment& env) : env_(env) {}
@@ -37,10 +44,20 @@ class PaymentNetwork {
   std::optional<std::vector<RouteHop>> find_route(const std::string& from,
                                                   const std::string& to, Amount amount) const;
 
-  /// Multi-hop HTLC payment. Locks an HTLC with a decreasing timelock on
-  /// each hop (payee-ward), then settles all hops in reverse once the
-  /// recipient reveals the preimage. Returns false if no route exists or a
-  /// hop refuses (offline node); locked hops are then rolled back.
+  /// Phase 1 of a multi-hop HTLC payment: routes and locks an HTLC with a
+  /// decreasing timelock on each hop (payee-ward). On failure every hop
+  /// locked so far is rolled back and nullopt is returned.
+  std::optional<PaymentId> begin_payment(const std::string& from, const std::string& to,
+                                         Amount amount);
+
+  /// Phase 2: the recipient reveals the preimage; settles hops in reverse.
+  bool settle_payment(PaymentId id);
+
+  /// Cooperative cancellation (timeout path, off-chain): unlocks the
+  /// payment's HTLCs in reverse, returning the cash to the payer side.
+  bool abort_payment(PaymentId id);
+
+  /// One-shot payment: begin_payment + settle_payment.
   bool pay(const std::string& from, const std::string& to, Amount amount);
 
   /// Marks a node as unresponsive: payments through it fail at settlement
@@ -63,13 +80,27 @@ class PaymentNetwork {
     std::string left, right;
     std::unique_ptr<daricch::DaricChannel> ch;
   };
+  struct PendingPayment {
+    std::vector<RouteHop> route;
+    Bytes payment_hash;
+  };
 
   Amount spendable(const Edge& e, bool forward) const;
+  /// Removes the HTLC matching (payment_hash, direction) from the hop's
+  /// channel and credits its cash to the payee (settle) or back to the
+  /// payer (abort). Matching by hash, not position, keeps concurrent
+  /// payments over a shared edge independent.
+  bool resolve_hop(const RouteHop& hop, const Bytes& payment_hash, bool settle);
 
   sim::Environment& env_;
   std::map<std::string, bool> nodes_;  // name -> offline?
   std::vector<Edge> channels_;
+  // Channel indices touching each node, maintained by open_channel, so
+  // routing scans node degree instead of every channel in the network.
+  std::map<std::string, std::vector<std::size_t>> adjacency_;
+  std::map<PaymentId, PendingPayment> pending_;
   int payments_completed_ = 0;
+  int payment_counter_ = 0;
   int channel_counter_ = 0;
 };
 

@@ -8,6 +8,13 @@ namespace daric::tx {
 
 namespace {
 
+constexpr std::string_view kSighashTag = "daric/sighash";
+
+bool is_single(script::SighashFlag flag) {
+  return flag == script::SighashFlag::kSingle ||
+         flag == script::SighashFlag::kSingleAnyPrevOut;
+}
+
 void write_output(Writer& w, const Output& out) {
   w.u64le(static_cast<std::uint64_t>(out.cash));
   const Bytes spk = out.cond.script_pubkey();
@@ -15,11 +22,10 @@ void write_output(Writer& w, const Output& out) {
   w.bytes(spk);
 }
 
-}  // namespace
-
-Hash256 sighash_digest(const Transaction& tx, std::size_t input_index,
-                       script::SighashFlag flag) {
-  Writer w;
+// The input-independent part of the digest preimage: flag byte, inputs
+// (unless ANYPREVOUT) and nLockTime. Everything after this depends on the
+// input index only for the SINGLE flags.
+void write_prefix(Writer& w, const Transaction& tx, script::SighashFlag flag) {
   w.u8(static_cast<std::uint8_t>(flag));
   if (!script::is_anyprevout(flag)) {
     // Inputs are covered (the f(TX) form).
@@ -30,17 +36,53 @@ Hash256 sighash_digest(const Transaction& tx, std::size_t input_index,
     }
   }
   w.u32le(tx.nlocktime);
-  const bool single = flag == script::SighashFlag::kSingle ||
-                      flag == script::SighashFlag::kSingleAnyPrevOut;
-  if (single) {
-    if (input_index >= tx.outputs.size())
-      throw std::out_of_range("SIGHASH_SINGLE with no matching output");
-    write_output(w, tx.outputs[input_index]);
+}
+
+void write_single_output(Writer& w, const Transaction& tx, std::size_t input_index) {
+  if (input_index >= tx.outputs.size())
+    throw std::out_of_range("SIGHASH_SINGLE with no matching output");
+  write_output(w, tx.outputs[input_index]);
+}
+
+}  // namespace
+
+Hash256 sighash_digest(const Transaction& tx, std::size_t input_index,
+                       script::SighashFlag flag) {
+  Writer w;
+  write_prefix(w, tx, flag);
+  if (is_single(flag)) {
+    write_single_output(w, tx, input_index);
   } else {
     w.varint(tx.outputs.size());
     for (const Output& out : tx.outputs) write_output(w, out);
   }
-  return crypto::Sha256::tagged("daric/sighash", w.data());
+  return crypto::Sha256::tagged(kSighashTag, w.data());
+}
+
+Hash256 SighashCache::digest(std::size_t input_index, script::SighashFlag flag) const {
+  auto it = entries_.find(flag);
+  if (it == entries_.end()) {
+    Entry e;
+    Writer w;
+    write_prefix(w, tx_, flag);
+    if (is_single(flag)) {
+      e.midstate = crypto::Sha256::tagged_init(kSighashTag);
+      e.midstate.update(w.data());
+    } else {
+      w.varint(tx_.outputs.size());
+      for (const Output& out : tx_.outputs) write_output(w, out);
+      e.whole = true;
+      e.full = crypto::Sha256::tagged(kSighashTag, w.data());
+    }
+    it = entries_.emplace(flag, std::move(e)).first;
+  }
+  const Entry& e = it->second;
+  if (e.whole) return e.full;
+  Writer w;
+  write_single_output(w, tx_, input_index);
+  crypto::Sha256 h = e.midstate;  // copy: the cached midstate stays pristine
+  h.update(w.data());
+  return h.finalize();
 }
 
 bool TxSigChecker::check_sig(BytesView wire_sig, BytesView pubkey) const {
@@ -49,7 +91,8 @@ bool TxSigChecker::check_sig(BytesView wire_sig, BytesView pubkey) const {
   if (!decoded) return false;
   const auto pk = crypto::Point::from_compressed(pubkey);
   if (!pk) return false;
-  const Hash256 digest = sighash_digest(tx_, input_index_, decoded->flag);
+  const Hash256 digest = cache_ ? cache_->digest(input_index_, decoded->flag)
+                                : sighash_digest(tx_, input_index_, decoded->flag);
   return scheme_.verify(*pk, digest, decoded->raw);
 }
 
@@ -61,12 +104,12 @@ bool TxSigChecker::check_sequence(std::uint32_t age) const {
 
 script::ScriptError verify_input(const Transaction& tx, std::size_t input_index,
                                  const Output& spent, const crypto::SignatureScheme& scheme,
-                                 Round utxo_age) {
+                                 Round utxo_age, const SighashCache* cache) {
   using script::ScriptError;
   if (input_index >= tx.inputs.size() || input_index >= tx.witnesses.size())
     return ScriptError::kStackUnderflow;
   const Witness& wit = tx.witnesses[input_index];
-  const TxSigChecker checker(tx, input_index, scheme, utxo_age);
+  const TxSigChecker checker(tx, input_index, scheme, utxo_age, cache);
 
   switch (spent.cond.type) {
     case Condition::Type::kP2WPKH: {
@@ -88,6 +131,31 @@ script::ScriptError verify_input(const Transaction& tx, std::size_t input_index,
     }
   }
   return ScriptError::kBadOpcode;
+}
+
+std::optional<crypto::SigBatchItem> p2wpkh_sig_claim(const Transaction& tx,
+                                                     std::size_t input_index,
+                                                     const Output& spent,
+                                                     const crypto::SignatureScheme& scheme,
+                                                     const SighashCache& cache) {
+  if (spent.cond.type != Condition::Type::kP2WPKH) return std::nullopt;
+  if (input_index >= tx.inputs.size() || input_index >= tx.witnesses.size())
+    return std::nullopt;
+  const Witness& wit = tx.witnesses[input_index];
+  if (wit.stack.size() != 2 || wit.witness_script) return std::nullopt;
+  const Bytes& sig = wit.stack[0];
+  const Bytes& pubkey = wit.stack[1];
+  if (pubkey.size() != script::kPubKeySize) return std::nullopt;
+  const crypto::Hash160 h = crypto::hash160(pubkey);
+  if (Bytes(h.view().begin(), h.view().end()) != spent.cond.program) return std::nullopt;
+  const auto decoded = script::decode_wire_sig(sig, scheme.signature_size());
+  if (!decoded) return std::nullopt;
+  const auto pk = crypto::Point::from_compressed(pubkey);
+  if (!pk) return std::nullopt;
+  // SINGLE with no matching output: decline the claim so the fallback path
+  // reports it exactly as the direct path would.
+  if (is_single(decoded->flag) && input_index >= tx.outputs.size()) return std::nullopt;
+  return crypto::SigBatchItem{*pk, cache.digest(input_index, decoded->flag), decoded->raw};
 }
 
 Bytes sign_input(const Transaction& tx, std::size_t input_index, const crypto::Scalar& sk,

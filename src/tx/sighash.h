@@ -6,6 +6,10 @@
 // validates no matter which commit output the transaction is later bound to.
 #pragma once
 
+#include <map>
+#include <optional>
+
+#include "src/crypto/sha256.h"
 #include "src/crypto/sig_scheme.h"
 #include "src/script/interpreter.h"
 #include "src/script/standard.h"
@@ -17,12 +21,38 @@ namespace daric::tx {
 Hash256 sighash_digest(const Transaction& tx, std::size_t input_index,
                        script::SighashFlag flag);
 
+/// Caches the per-flag serialization work shared by every input of one
+/// transaction. SIGHASH_ALL-family digests do not depend on the input index,
+/// so the complete digest is cached after the first input; SIGHASH_SINGLE
+/// digests share their serialized prefix (flag byte, inputs, nLockTime), so
+/// a SHA-256 midstate is cached and only the matching output is hashed per
+/// input. Not thread-safe — use one cache per validation pass.
+class SighashCache {
+ public:
+  explicit SighashCache(const Transaction& tx) : tx_(tx) {}
+
+  /// Same contract as sighash_digest, including the std::out_of_range throw
+  /// for SIGHASH_SINGLE with no matching output.
+  Hash256 digest(std::size_t input_index, script::SighashFlag flag) const;
+
+ private:
+  struct Entry {
+    bool whole = false;       // true: `full` is the digest for every input
+    Hash256 full{};
+    crypto::Sha256 midstate;  // prefix midstate, used when !whole
+  };
+  const Transaction& tx_;
+  mutable std::map<script::SighashFlag, Entry> entries_;
+};
+
 /// SigChecker bound to one input of a transaction plus chain context.
 class TxSigChecker final : public script::SigChecker {
  public:
   TxSigChecker(const Transaction& tx, std::size_t input_index,
-               const crypto::SignatureScheme& scheme, Round utxo_age)
-      : tx_(tx), input_index_(input_index), scheme_(scheme), utxo_age_(utxo_age) {}
+               const crypto::SignatureScheme& scheme, Round utxo_age,
+               const SighashCache* cache = nullptr)
+      : tx_(tx), input_index_(input_index), scheme_(scheme), utxo_age_(utxo_age),
+        cache_(cache) {}
 
   bool check_sig(BytesView wire_sig, BytesView pubkey) const override;
   bool check_locktime(std::uint32_t lock) const override;
@@ -33,13 +63,28 @@ class TxSigChecker final : public script::SigChecker {
   std::size_t input_index_;
   const crypto::SignatureScheme& scheme_;
   Round utxo_age_;
+  const SighashCache* cache_;
 };
 
 /// Full SegWit-v0 verification of one input against the output it spends.
 /// `utxo_age` is the number of rounds since the spent output confirmed.
+/// `cache`, when given, must have been built over `tx`.
 script::ScriptError verify_input(const Transaction& tx, std::size_t input_index,
                                  const Output& spent, const crypto::SignatureScheme& scheme,
-                                 Round utxo_age);
+                                 Round utxo_age, const SighashCache* cache = nullptr);
+
+/// If input `input_index` is a structurally well-formed P2WPKH spend of
+/// `spent`, returns the (pubkey, digest, signature) claim it asserts, suitable
+/// for deferred batch verification. Returns nullopt on any mismatch — the
+/// caller must then run verify_input to get the precise error. P2WPKH carries
+/// exactly one signature with fixed semantics, so deferring it cannot change
+/// the verdict; script-path (P2WSH) spends may branch on CHECKSIG results and
+/// are never claimed here.
+std::optional<crypto::SigBatchItem> p2wpkh_sig_claim(const Transaction& tx,
+                                                     std::size_t input_index,
+                                                     const Output& spent,
+                                                     const crypto::SignatureScheme& scheme,
+                                                     const SighashCache& cache);
 
 /// Convenience: sign `tx`'s digest under `flag` and wrap as a wire signature.
 Bytes sign_input(const Transaction& tx, std::size_t input_index, const crypto::Scalar& sk,

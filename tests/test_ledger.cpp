@@ -83,6 +83,48 @@ TEST_F(LedgerTest, Rule2BadWitnessRejected) {
   EXPECT_EQ(ledger_.post_result(t.txid()), TxError::kBadWitness);
 }
 
+// Multi-input P2WPKH spends take the deferred batch-verification path
+// (schnorr supports batch verify); the verdict must match per-input
+// verification for both valid and tampered witnesses.
+TEST_F(LedgerTest, MultiInputBatchVerifiedSpendAccepted) {
+  std::vector<tx::OutPoint> ops;
+  for (int i = 0; i < 4; ++i)
+    ops.push_back(ledger_.mint(1000, tx::Condition::p2wpkh(kOwner.pk.compressed())));
+  tx::Transaction t;
+  for (const auto& op : ops) t.inputs.push_back({op});
+  t.outputs = {{4000, tx::Condition::p2wpkh(kOther.pk.compressed())}};
+  t.witnesses.resize(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Bytes sig =
+        tx::sign_input(t, i, kOwner.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+    t.witnesses[i].stack = {sig, kOwner.pk.compressed()};
+  }
+  ledger_.post(t);
+  ledger_.advance_rounds(3);
+  EXPECT_TRUE(ledger_.is_confirmed(t.txid()));
+  for (const auto& op : ops) EXPECT_FALSE(ledger_.is_unspent(op));
+}
+
+TEST_F(LedgerTest, MultiInputBatchRejectsOneTamperedSignature) {
+  std::vector<tx::OutPoint> ops;
+  for (int i = 0; i < 3; ++i)
+    ops.push_back(ledger_.mint(1000, tx::Condition::p2wpkh(kOwner.pk.compressed())));
+  tx::Transaction t;
+  for (const auto& op : ops) t.inputs.push_back({op});
+  t.outputs = {{3000, tx::Condition::p2wpkh(kOther.pk.compressed())}};
+  t.witnesses.resize(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Bytes sig =
+        tx::sign_input(t, i, kOwner.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+    t.witnesses[i].stack = {sig, kOwner.pk.compressed()};
+  }
+  t.witnesses[1].stack[0][12] ^= 1;  // tamper the middle input's signature
+  ledger_.post(t);
+  ledger_.advance_rounds(3);
+  EXPECT_EQ(ledger_.post_result(t.txid()), TxError::kBadWitness);
+  for (const auto& op : ops) EXPECT_TRUE(ledger_.is_unspent(op));
+}
+
 TEST_F(LedgerTest, Rule3ZeroValueOutputRejected) {
   const tx::OutPoint op = ledger_.mint(1000, tx::Condition::p2wpkh(kOwner.pk.compressed()));
   tx::Transaction t = spend_p2wpkh(op, 1000, 1000, kOwner);

@@ -1,0 +1,152 @@
+// Regression tests for the PCN bugs fixed in PR 2:
+//  - HTLC rollback/settlement removed the *last* HTLC on a channel instead
+//    of the one belonging to the payment, corrupting any pair of in-flight
+//    payments sharing an edge;
+//  - `spendable` computed `balance - 1` without a guard, so a drained side
+//    could be treated as liquid by routing;
+//  - routing rescanned every channel per dequeued node instead of using a
+//    per-node adjacency index.
+#include <gtest/gtest.h>
+
+#include "src/pcn/network.h"
+
+namespace daric {
+namespace {
+
+using sim::PartyId;
+
+constexpr Round kDelta = 2;
+
+struct PcnFixture {
+  sim::Environment env{kDelta, crypto::schnorr_scheme()};
+  pcn::PaymentNetwork net{env};
+
+  PcnFixture() {
+    for (const char* n : {"alice", "bob", "carol", "dave"}) net.add_node(n);
+    net.open_channel("alice", "bob", 500'000, 500'000);
+    net.open_channel("bob", "carol", 500'000, 500'000);
+    net.open_channel("carol", "dave", 500'000, 500'000);
+  }
+
+  std::size_t htlc_count(std::size_t channel_index) {
+    return net.channel(channel_index).party(PartyId::kA).state().htlcs.size();
+  }
+};
+
+// Two payments in flight over the same edges; aborting the FIRST one must
+// leave the second one's HTLCs in place. Pre-fix, rollback popped the last
+// HTLC pushed (the second payment's), so settling the survivor moved the
+// wrong amounts.
+TEST(PcnRegression, AbortFirstOfTwoConcurrentPaymentsOverSharedEdge) {
+  PcnFixture f;
+  const Amount a0 = f.net.balance("alice");
+  const Amount c0 = f.net.balance("carol");
+
+  const auto p1 = f.net.begin_payment("alice", "carol", 120'000);
+  const auto p2 = f.net.begin_payment("alice", "carol", 50'000);
+  ASSERT_TRUE(p1.has_value());
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(f.htlc_count(0), 2u);
+  EXPECT_EQ(f.htlc_count(1), 2u);
+
+  ASSERT_TRUE(f.net.abort_payment(*p1));
+  EXPECT_EQ(f.htlc_count(0), 1u);
+  EXPECT_EQ(f.htlc_count(1), 1u);
+
+  ASSERT_TRUE(f.net.settle_payment(*p2));
+  EXPECT_EQ(f.htlc_count(0), 0u);
+  EXPECT_EQ(f.htlc_count(1), 0u);
+  EXPECT_EQ(f.net.balance("alice"), a0 - 50'000);
+  EXPECT_EQ(f.net.balance("carol"), c0 + 50'000);
+  EXPECT_EQ(f.net.balance("bob"), 1'000'000);  // intermediary nets to zero
+  EXPECT_EQ(f.net.payments_completed(), 1);
+}
+
+// Settling out of lock order must also resolve each payment's own HTLCs.
+TEST(PcnRegression, SettleConcurrentPaymentsOutOfOrder) {
+  PcnFixture f;
+  const Amount a0 = f.net.balance("alice");
+  const Amount d0 = f.net.balance("dave");
+
+  const auto p1 = f.net.begin_payment("alice", "dave", 100'000);
+  const auto p2 = f.net.begin_payment("alice", "dave", 70'000);
+  ASSERT_TRUE(p1.has_value());
+  ASSERT_TRUE(p2.has_value());
+
+  ASSERT_TRUE(f.net.settle_payment(*p2));
+  ASSERT_TRUE(f.net.settle_payment(*p1));
+  EXPECT_EQ(f.net.balance("alice"), a0 - 170'000);
+  EXPECT_EQ(f.net.balance("dave"), d0 + 170'000);
+  EXPECT_EQ(f.net.balance("bob"), 1'000'000);
+  EXPECT_EQ(f.net.balance("carol"), 1'000'000);
+  EXPECT_EQ(f.net.payments_completed(), 2);
+}
+
+// Aborting a payment restores the exact pre-payment balances.
+TEST(PcnRegression, AbortRestoresBalances) {
+  PcnFixture f;
+  const Amount a0 = f.net.balance("alice");
+  const Amount b0 = f.net.balance("bob");
+  const auto id = f.net.begin_payment("alice", "dave", 200'000);
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(f.net.abort_payment(*id));
+  EXPECT_EQ(f.net.balance("alice"), a0);
+  EXPECT_EQ(f.net.balance("bob"), b0);
+  EXPECT_EQ(f.net.payments_completed(), 0);
+  // Settle/abort on a resolved id is refused.
+  EXPECT_FALSE(f.net.settle_payment(*id));
+  EXPECT_FALSE(f.net.abort_payment(*id));
+}
+
+// A drained edge (balance at the 1-satoshi reserve) offers zero liquidity:
+// routing must not cross it, in either direction.
+TEST(PcnRegression, RoutingRefusesDrainedEdge) {
+  PcnFixture f;
+  // Drain alice→bob as far as the reserve allows.
+  ASSERT_TRUE(f.net.pay("alice", "bob", 499'999));
+  EXPECT_FALSE(f.net.find_route("alice", "bob", 1).has_value());
+  EXPECT_FALSE(f.net.find_route("alice", "dave", 1).has_value());
+  // The reverse direction gained the liquidity.
+  ASSERT_TRUE(f.net.find_route("bob", "alice", 500'000).has_value());
+  ASSERT_TRUE(f.net.pay("bob", "alice", 100'000));
+  EXPECT_TRUE(f.net.find_route("alice", "dave", 50'000).has_value());
+}
+
+// Liquidity locked in pending HTLCs is unavailable to later route queries
+// until the payment resolves.
+TEST(PcnRegression, PendingHtlcLocksReduceRoutableLiquidity) {
+  PcnFixture f;
+  const auto id = f.net.begin_payment("alice", "dave", 400'000);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(f.net.find_route("alice", "dave", 200'000).has_value());
+  ASSERT_TRUE(f.net.abort_payment(*id));
+  EXPECT_TRUE(f.net.find_route("alice", "dave", 200'000).has_value());
+}
+
+// The adjacency index must stay consistent as channels are opened, including
+// parallel channels between the same pair of nodes.
+TEST(PcnRegression, AdjacencyIndexCoversNewAndParallelChannels) {
+  sim::Environment env{kDelta, crypto::schnorr_scheme()};
+  pcn::PaymentNetwork net{env};
+  for (const char* n : {"a", "b", "c", "d", "e"}) net.add_node(n);
+  net.open_channel("a", "b", 10'000, 10'000);
+  EXPECT_FALSE(net.find_route("a", "c", 1'000).has_value());
+  net.open_channel("b", "c", 10'000, 10'000);
+  EXPECT_TRUE(net.find_route("a", "c", 1'000).has_value());
+  // A parallel a-b channel with more liquidity unlocks bigger payments.
+  EXPECT_FALSE(net.find_route("a", "b", 50'000).has_value());
+  net.open_channel("a", "b", 80'000, 1'000);
+  const auto big = net.find_route("a", "b", 50'000);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->size(), 1u);
+  EXPECT_EQ((*big)[0].channel_index, 2u);
+  // Nodes with no channels are simply unreachable, not an error.
+  EXPECT_FALSE(net.find_route("a", "e", 1).has_value());
+  EXPECT_FALSE(net.find_route("e", "a", 1).has_value());
+  // Payments still work end to end across the indexed graph.
+  net.open_channel("c", "d", 10'000, 10'000);
+  EXPECT_TRUE(net.pay("a", "d", 2'000));
+}
+
+}  // namespace
+}  // namespace daric

@@ -341,6 +341,74 @@ TEST(Sighash, FlagsAreDomainSeparated) {
             tx::sighash_digest(t, 0, SighashFlag::kAllAnyPrevOut));
 }
 
+TEST(SighashCache, MatchesDirectDigestForAllFlagsAndInputs) {
+  tx::Transaction t;
+  t.nlocktime = 9;
+  t.inputs = {{{dummy_txid(20), 0}}, {{dummy_txid(21), 1}}, {{dummy_txid(22), 2}}};
+  t.outputs = {{100, tx::Condition::p2wpkh(kA.pk.compressed())},
+               {200, tx::Condition::p2wpkh(kB.pk.compressed())},
+               {300, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  const tx::SighashCache cache(t);
+  for (const auto flag : {SighashFlag::kAll, SighashFlag::kAllAnyPrevOut,
+                          SighashFlag::kSingle, SighashFlag::kSingleAnyPrevOut}) {
+    for (std::size_t i = 0; i < t.inputs.size(); ++i) {
+      EXPECT_EQ(cache.digest(i, flag), tx::sighash_digest(t, i, flag))
+          << "flag=" << static_cast<int>(flag) << " input=" << i;
+      // Repeated queries hit the cached entry and must stay stable.
+      EXPECT_EQ(cache.digest(i, flag), tx::sighash_digest(t, i, flag));
+    }
+  }
+}
+
+TEST(SighashCache, SinglePreservesMissingOutputThrow) {
+  tx::Transaction t;
+  t.inputs = {{{dummy_txid(23), 0}}, {{dummy_txid(24), 0}}};
+  t.outputs = {{100, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  const tx::SighashCache cache(t);
+  EXPECT_EQ(cache.digest(0, SighashFlag::kSingle),
+            tx::sighash_digest(t, 0, SighashFlag::kSingle));
+  EXPECT_THROW(cache.digest(1, SighashFlag::kSingle), std::out_of_range);
+  EXPECT_THROW(cache.digest(1, SighashFlag::kSingleAnyPrevOut), std::out_of_range);
+}
+
+TEST(SighashCache, VerifyInputAcceptsCachedDigests) {
+  const Spend s = make_p2wpkh_spend(kA, 1000);
+  const tx::SighashCache cache(s.tx);
+  EXPECT_EQ(tx::verify_input(s.tx, 0, s.spent, crypto::schnorr_scheme(), 0, &cache),
+            ScriptError::kOk);
+}
+
+TEST(P2wpkhSigClaim, ClaimsWellFormedSpendAndDeclinesMismatches) {
+  const Spend s = make_p2wpkh_spend(kA, 1000);
+  const tx::SighashCache cache(s.tx);
+  const auto& scheme = crypto::schnorr_scheme();
+  const auto claim = tx::p2wpkh_sig_claim(s.tx, 0, s.spent, scheme, cache);
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->msg, tx::sighash_digest(s.tx, 0, SighashFlag::kAll));
+  EXPECT_TRUE(scheme.verify(claim->pk, claim->msg, claim->sig));
+
+  // Wrong pubkey hash: decline, let verify_input report kEqualVerifyFailed.
+  Spend wrong_key = make_p2wpkh_spend(kA, 1000);
+  wrong_key.tx.witnesses[0].stack[1] = kB.pk.compressed();
+  const tx::SighashCache wrong_cache(wrong_key.tx);
+  EXPECT_FALSE(
+      tx::p2wpkh_sig_claim(wrong_key.tx, 0, wrong_key.spent, scheme, wrong_cache));
+
+  // P2WSH outputs are never claimed for deferral.
+  const Script ms = script::multisig_2of2(kA.pk.compressed(), kB.pk.compressed());
+  const tx::Output wsh{1000, tx::Condition::p2wsh(ms)};
+  EXPECT_FALSE(tx::p2wpkh_sig_claim(s.tx, 0, wsh, scheme, cache));
+
+  // A tampered signature is still claimed (it is structurally fine) and
+  // fails at verification time, exactly like the inline path.
+  Spend bad_sig = make_p2wpkh_spend(kA, 1000);
+  bad_sig.tx.witnesses[0].stack[0][7] ^= 1;
+  const tx::SighashCache bad_cache(bad_sig.tx);
+  const auto bad = tx::p2wpkh_sig_claim(bad_sig.tx, 0, bad_sig.spent, scheme, bad_cache);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(scheme.verify(bad->pk, bad->msg, bad->sig));
+}
+
 // --- Wire signatures -------------------------------------------------------
 
 TEST(WireSig, EncodeDecodeRoundTrip) {

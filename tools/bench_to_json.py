@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Converts google-benchmark JSON output into the repo's BENCH_*.json format.
+
+The BENCH format is a compact, diffable snapshot of one benchmark binary:
+
+    {
+      "bench": "crypto",
+      "context": {"host": ..., "num_cpus": ..., "build_type": ...},
+      "results": {
+        "BM_SchnorrVerify": {"real_time_ns": ..., "cpu_time_ns": ...,
+                             "items_per_second": ...},   # when reported
+        ...
+      },
+      "ratios": {"schnorr_verify_speedup_vs_naive_ladder": 3.4, ...}
+    }
+
+Ratios are requested on the command line as ``name=BM_SLOW/BM_FAST`` and
+computed from real time (``time(BM_SLOW) / time(BM_FAST)``), so a speedup
+ratio names the baseline first. For parameterized benchmarks pass the full
+name including the argument suffix (``BM_Foo/8``).
+
+Usage:
+    bench_to_json.py --name crypto --in raw.json --out BENCH_crypto.json \
+        [--ratio schnorr_verify_speedup_vs_naive_ladder=BM_SchnorrVerifyNaiveLadder/BM_SchnorrVerify] ...
+
+Exit: 0 on success, 2 on usage/IO error or a ratio referencing a missing
+benchmark (so check.sh fails loudly instead of committing a hollow file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def to_ns(value: float, unit: str) -> float:
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+    if scale is None:
+        raise ValueError(f"unknown time unit {unit!r}")
+    return value * scale
+
+
+def split_ratio(spec: str) -> tuple[str, str, str]:
+    name, _, expr = spec.partition("=")
+    if not name or "/" not in expr:
+        raise ValueError(f"bad --ratio {spec!r}; expected name=BM_SLOW/BM_FAST")
+    # Parameterized benchmark names contain '/' themselves (BM_Foo/8), so a
+    # ratio of two such names has several slashes; split at the boundary
+    # between a digit-or-name end and the following BM_ prefix.
+    slow, sep, fast = expr.rpartition("/BM_")
+    if not sep:
+        raise ValueError(f"bad --ratio {spec!r}; denominator must be a BM_ name")
+    return name, slow, "BM_" + fast
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--name", required=True, help="bench id, e.g. 'crypto'")
+    ap.add_argument("--in", dest="raw", required=True, help="google-benchmark JSON")
+    ap.add_argument("--out", required=True, help="BENCH_*.json to write")
+    ap.add_argument("--ratio", action="append", default=[],
+                    help="name=BM_SLOW/BM_FAST, computed from real time")
+    args = ap.parse_args(argv[1:])
+
+    try:
+        with open(args.raw, encoding="utf-8") as f:
+            raw = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {args.raw}: {e}", file=sys.stderr)
+        return 2
+
+    ctx = raw.get("context", {})
+    results: dict[str, dict[str, float]] = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        try:
+            entry = {
+                "real_time_ns": round(to_ns(b["real_time"], b["time_unit"]), 2),
+                "cpu_time_ns": round(to_ns(b["cpu_time"], b["time_unit"]), 2),
+            }
+        except (KeyError, ValueError) as e:
+            print(f"error: malformed benchmark entry {b.get('name')!r}: {e}",
+                  file=sys.stderr)
+            return 2
+        if "items_per_second" in b:
+            entry["items_per_second"] = round(b["items_per_second"], 2)
+        results[b["name"]] = entry
+
+    if not results:
+        print(f"error: {args.raw} contains no benchmark results", file=sys.stderr)
+        return 2
+
+    ratios: dict[str, float] = {}
+    for spec in args.ratio:
+        try:
+            name, slow, fast = split_ratio(spec)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        missing = [n for n in (slow, fast) if n not in results]
+        if missing:
+            print(f"error: ratio {name!r} references missing benchmark(s): "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            return 2
+        ratios[name] = round(
+            results[slow]["real_time_ns"] / results[fast]["real_time_ns"], 3)
+
+    out = {
+        "bench": args.name,
+        "context": {
+            "host": ctx.get("host_name", "unknown"),
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "build_type": ctx.get("library_build_type", "unknown"),
+            "date": ctx.get("date", "unknown"),
+        },
+        "results": results,
+    }
+    if ratios:
+        out["ratios"] = ratios
+
+    try:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(out, f, indent=2, sort_keys=False)
+            f.write("\n")
+    except OSError as e:
+        print(f"error: cannot write {args.out}: {e}", file=sys.stderr)
+        return 2
+
+    summary = ", ".join(f"{k}={v}x" for k, v in ratios.items()) or f"{len(results)} results"
+    print(f"bench_to_json: wrote {args.out} ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,16 +3,45 @@
 # ASan+UBSan, a bounded model-check run, the secret-hygiene lint, and —
 # when the binary is installed — clang-tidy over the library sources.
 #
-# Usage: tools/check.sh [--fast]
+# Usage: tools/check.sh [--fast|--bench]
 #   --fast   skip the sanitizer rebuild (plain tests + model check + lint)
+#   --bench  build Release, run the crypto + update microbenches, and write
+#            BENCH_crypto.json / BENCH_update_microbench.json at the repo root
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 FAST=0
+BENCH=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
+[[ "${1:-}" == "--bench" ]] && BENCH=1
 
 step() { printf '\n=== %s ===\n' "$*"; }
+
+if [[ "$BENCH" == 1 ]]; then
+  step "Release build for benchmarks"
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-release -j --target bench_crypto bench_update_microbench >/dev/null
+
+  step "bench_crypto -> BENCH_crypto.json"
+  ./build-release/bench/bench_crypto \
+    --benchmark_out=build-release/bench_crypto_raw.json \
+    --benchmark_out_format=json
+  python3 tools/bench_to_json.py --name crypto \
+    --in build-release/bench_crypto_raw.json --out BENCH_crypto.json \
+    --ratio schnorr_verify_speedup_vs_naive_ladder=BM_SchnorrVerifyNaiveLadder/BM_SchnorrVerify \
+    --ratio mul_var_point_speedup_vs_naive_ladder=BM_MulVarPointNaiveLadder/BM_MulVarPointWnaf
+
+  step "bench_update_microbench -> BENCH_update_microbench.json"
+  ./build-release/bench/bench_update_microbench \
+    --benchmark_out=build-release/bench_update_raw.json \
+    --benchmark_out_format=json
+  python3 tools/bench_to_json.py --name update_microbench \
+    --in build-release/bench_update_raw.json --out BENCH_update_microbench.json
+
+  echo; echo "check.sh --bench: BENCH files written"
+  exit 0
+fi
 
 step "plain build + tier-1 tests"
 cmake -B build -S . >/dev/null

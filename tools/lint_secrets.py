@@ -16,6 +16,13 @@ same line or the line directly above — the reason is mandatory, so every
 allowlisted compare documents why it is safe (public data, spec-mandated
 rejection sampling, ...).
 
+Verification-side code that is variable-time *by design* (wNAF/Strauss
+scalar multiplication, batch verification — all inputs public) is exempted
+as a block between ``// vartime: begin <reason>`` and ``// vartime: end``
+markers instead of annotating every line. Blocks nest; an ``end`` without a
+``begin`` or a ``begin`` left open at end-of-file is itself a finding, so a
+stray marker cannot silently disable the lint for the rest of a file.
+
 Usage:  lint_secrets.py [paths...]        (default: src/crypto)
 Exit:   0 clean, 1 findings, 2 usage/IO error.
 """
@@ -36,6 +43,8 @@ MEMCMP = re.compile(r"\b(memcmp|strcmp|strncmp|bcmp)\s*\(")
 COMPARE = re.compile(r"[^=!<>]==[^=]|!=")
 IS_ZERO = re.compile(r"\b(\w+)(?:\.\w+\(\))*\.is_zero\s*\(")
 ALLOW = re.compile(r"//\s*lint:\s*ct-ok\b\s*(\S.*)?$")
+VARTIME_BEGIN = re.compile(r"//\s*vartime:\s*begin\b")
+VARTIME_END = re.compile(r"//\s*vartime:\s*end\b")
 
 # `x` alone is too generic to flag in comparisons; it only counts for the
 # dedicated is_zero check where rfc6979 names the secret key `x`.
@@ -67,7 +76,21 @@ def lint_file(path: Path) -> list[tuple[Path, int, str]]:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
 
+    vartime_depth = 0
     for i, raw in enumerate(lines):
+        if VARTIME_BEGIN.search(raw):
+            vartime_depth += 1
+            continue
+        if VARTIME_END.search(raw):
+            if vartime_depth == 0:
+                findings.append(
+                    (path, i + 1, "'// vartime: end' without matching begin"))
+            else:
+                vartime_depth -= 1
+            continue
+        if vartime_depth > 0:
+            continue
+
         code = strip_comments_and_strings(raw)
         if not code.strip():
             continue
@@ -96,6 +119,11 @@ def lint_file(path: Path) -> list[tuple[Path, int, str]]:
                  f"variable-time zero test on secret '{m.group(1)}'; "
                  "use crypto::ct_is_zero")
             )
+    if vartime_depth > 0:
+        findings.append(
+            (path, len(lines),
+             f"{vartime_depth} '// vartime: begin' block(s) left open at "
+             "end of file"))
     return findings
 
 
