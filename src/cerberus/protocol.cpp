@@ -32,7 +32,7 @@ script::Script cerberus_output_script(BytesView rev1, BytesView rev2, std::uint3
 
 // --- Watchtower ------------------------------------------------------------
 
-void CerberusWatchtower::on_round(ledger::Ledger& l) {
+void CerberusWatchtower::monitor(ledger::Ledger& l) {
   if (reacted_) return;
   const auto spender = l.spender_of(fund_op_);
   if (!spender) return;

@@ -39,9 +39,11 @@ class CerberusWatchtower : public channel::Watchtower {
   };
   void add_package(RevocationPackage pkg) { packages_.push_back(std::move(pkg)); }
 
-  void on_round(ledger::Ledger& l) override;
   std::size_t storage_bytes() const override;
   bool reacted() const override { return reacted_; }
+
+ protected:
+  void monitor(ledger::Ledger& l) override;
 
  private:
   tx::OutPoint fund_op_;

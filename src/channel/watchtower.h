@@ -1,5 +1,11 @@
 // Watchtower interface: a third party that monitors the ledger every round
 // on behalf of a client and reacts to fraud.
+//
+// Availability is modeled here rather than in each implementation: a tower
+// taken offline (downtime windows in a chaos schedule, maintenance, DoS)
+// simply misses rounds. Theorem 1's liveness precondition — some monitor
+// must run at least once every T − Δ rounds — is exactly a constraint on
+// these gaps.
 #pragma once
 
 #include "src/ledger/ledger.h"
@@ -11,12 +17,24 @@ class Watchtower {
  public:
   virtual ~Watchtower() = default;
 
-  /// Called at the end of every round with the ledger to inspect.
-  virtual void on_round(ledger::Ledger& l) = 0;
+  /// Called at the end of every round; does nothing while offline.
+  void on_round(ledger::Ledger& l) {
+    if (online_) monitor(l);
+  }
   /// Bytes this watchtower must persist for the channel it watches.
   virtual std::size_t storage_bytes() const = 0;
   /// Whether the watchtower has already reacted to a fraud attempt.
   virtual bool reacted() const = 0;
+
+  void set_online(bool online) { online_ = online; }
+  bool online() const { return online_; }
+
+ protected:
+  /// The actual per-round ledger inspection.
+  virtual void monitor(ledger::Ledger& l) = 0;
+
+ private:
+  bool online_ = true;
 };
 
 }  // namespace daric::channel

@@ -14,6 +14,64 @@ namespace {
 
 // --- decodable encodings (unlike the consensus wire format, these must
 // round-trip the structured script representation) ------------------------
+//
+// The readers never trust a length or enum byte: every element count is
+// bounded by the bytes actually left in the blob and every discriminant is
+// range-checked, so a truncated or bit-flipped snapshot throws instead of
+// allocating unbounded memory or fabricating out-of-range enum values.
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::invalid_argument("corrupt snapshot: " + what);
+}
+
+/// Reads an element count whose elements each occupy at least
+/// `min_item_bytes` of the remaining blob.
+std::uint64_t read_count(Reader& r, std::size_t min_item_bytes, const char* what) {
+  const std::uint64_t n = r.varint();
+  if (min_item_bytes == 0) min_item_bytes = 1;
+  if (n > r.remaining() / min_item_bytes) corrupt(std::string("implausible ") + what + " count");
+  return n;
+}
+
+script::Op read_op(Reader& r) {
+  const auto op = static_cast<script::Op>(r.u8());
+  switch (op) {
+    case script::Op::OP_0:
+    case script::Op::OP_1:
+    case script::Op::OP_2:
+    case script::Op::OP_3:
+    case script::Op::OP_16:
+    case script::Op::OP_IF:
+    case script::Op::OP_NOTIF:
+    case script::Op::OP_ELSE:
+    case script::Op::OP_ENDIF:
+    case script::Op::OP_VERIFY:
+    case script::Op::OP_RETURN:
+    case script::Op::OP_DROP:
+    case script::Op::OP_DUP:
+    case script::Op::OP_EQUAL:
+    case script::Op::OP_EQUALVERIFY:
+    case script::Op::OP_SHA256:
+    case script::Op::OP_HASH160:
+    case script::Op::OP_HASH256:
+    case script::Op::OP_CHECKSIG:
+    case script::Op::OP_CHECKSIGVERIFY:
+    case script::Op::OP_CHECKMULTISIG:
+    case script::Op::OP_CHECKMULTISIGVERIFY:
+    case script::Op::OP_CHECKLOCKTIMEVERIFY:
+    case script::Op::OP_CHECKSEQUENCEVERIFY:
+    case script::Op::PUSH:
+    case script::Op::NUM4:
+      return op;
+  }
+  corrupt("unknown script opcode");
+}
+
+bool read_bool(Reader& r, const char* what) {
+  const std::uint8_t v = r.u8();
+  if (v > 1) corrupt(std::string("bad ") + what + " flag");
+  return v == 1;
+}
 
 void write_script(Writer& w, const script::Script& s) {
   w.varint(s.instructions().size());
@@ -26,9 +84,9 @@ void write_script(Writer& w, const script::Script& s) {
 
 script::Script read_script(Reader& r) {
   script::Script s;
-  const std::uint64_t n = r.varint();
+  const std::uint64_t n = read_count(r, 1, "instruction");
   for (std::uint64_t i = 0; i < n; ++i) {
-    const auto op = static_cast<script::Op>(r.u8());
+    const script::Op op = read_op(r);
     if (op == script::Op::PUSH) {
       s.push(r.var_bytes());
     } else if (op == script::Op::NUM4) {
@@ -75,23 +133,27 @@ void write_tx(Writer& w, const tx::Transaction& t) {
 tx::Transaction read_tx(Reader& r) {
   tx::Transaction t;
   t.version = r.u32le();
-  const std::uint64_t nin = r.varint();
+  const std::uint64_t nin = read_count(r, 36, "input");
   for (std::uint64_t i = 0; i < nin; ++i) t.inputs.push_back({read_outpoint(r)});
   t.nlocktime = r.u32le();
-  const std::uint64_t nout = r.varint();
+  const std::uint64_t nout = read_count(r, 10, "output");
   for (std::uint64_t i = 0; i < nout; ++i) {
     tx::Output out;
     out.cash = static_cast<Amount>(r.u64le());
-    out.cond.type = r.u8() == 0 ? tx::Condition::Type::kP2WSH : tx::Condition::Type::kP2WPKH;
+    out.cond.type =
+        read_bool(r, "condition type") ? tx::Condition::Type::kP2WPKH
+                                       : tx::Condition::Type::kP2WSH;
     out.cond.program = r.var_bytes();
+    const std::size_t expect = out.cond.type == tx::Condition::Type::kP2WSH ? 32 : 20;
+    if (out.cond.program.size() != expect) corrupt("bad witness program length");
     t.outputs.push_back(std::move(out));
   }
-  const std::uint64_t nwit = r.varint();
+  const std::uint64_t nwit = read_count(r, 2, "witness");
   for (std::uint64_t i = 0; i < nwit; ++i) {
     tx::Witness wit;
-    const std::uint64_t nel = r.varint();
+    const std::uint64_t nel = read_count(r, 1, "witness element");
     for (std::uint64_t k = 0; k < nel; ++k) wit.stack.push_back(r.var_bytes());
-    if (r.u8() == 1) wit.witness_script = read_script(r);
+    if (read_bool(r, "witness script")) wit.witness_script = read_script(r);
     t.witnesses.push_back(std::move(wit));
   }
   return t;
@@ -113,12 +175,12 @@ channel::StateVec read_state(Reader& r) {
   channel::StateVec st;
   st.to_a = static_cast<Amount>(r.u64le());
   st.to_b = static_cast<Amount>(r.u64le());
-  const std::uint64_t n = r.varint();
+  const std::uint64_t n = read_count(r, 14, "HTLC");
   for (std::uint64_t i = 0; i < n; ++i) {
     channel::Htlc h;
     h.cash = static_cast<Amount>(r.u64le());
     h.payment_hash = r.var_bytes();
-    h.offered_by_a = r.u8() == 1;
+    h.offered_by_a = read_bool(r, "HTLC direction");
     h.timeout = r.u32le();
     st.htlcs.push_back(std::move(h));
   }
@@ -196,8 +258,8 @@ ChannelSnapshot deserialize_snapshot(BytesView data) {
   s.params.cash_b = static_cast<Amount>(r.u64le());
   s.params.t_punish = static_cast<Round>(r.u64le());
   s.params.s0 = r.u32le();
-  s.params.feeable_revocations = r.u8() == 1;
-  s.id = r.u8() == 0 ? PartyId::kA : PartyId::kB;
+  s.params.feeable_revocations = read_bool(r, "feeable-revocations");
+  s.id = read_bool(r, "party id") ? PartyId::kB : PartyId::kA;
   s.sn = r.u32le();
   s.st = read_state(r);
   s.fund_op = read_outpoint(r);

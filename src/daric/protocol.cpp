@@ -145,7 +145,7 @@ void DaricParty::try_punish(const tx::Transaction& spender) {
 }
 
 void DaricParty::on_round() {
-  if (!open_) return;
+  if (!open_ || !online_) return;
   auto& ledger = env_.ledger();
 
   if (pending_revocation_txid_) {
@@ -241,6 +241,30 @@ crypto::KeyPair funding_keypair(const channel::ChannelParams& p, PartyId id) {
 
 }  // namespace
 
+namespace {
+/// Delivery attempts per protocol message before the sender concludes the
+/// link (or the counterparty) is dead and falls back to force-close.
+constexpr int kMaxSendAttempts = 3;
+}  // namespace
+
+int DaricChannel::send_reliable(DaricParty& sender, const char* type) {
+  for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+    const auto d = env_.transmit(sender.id_, type);
+    if (d.copies > 0) return d.copies;
+    // Dropped: the sender's ack timeout fires and it re-sends.
+  }
+  return 0;
+}
+
+int DaricChannel::send_or_close(DaricParty& sender, const char* type) {
+  const int copies = send_reliable(sender, type);
+  if (copies == 0) {
+    sender.force_close();
+    run_until_closed();
+  }
+  return copies;
+}
+
 DaricChannel::DaricChannel(sim::Environment& env, channel::ChannelParams params)
     : env_(env),
       params_(std::move(params)),
@@ -259,8 +283,9 @@ bool DaricChannel::create() {
   const auto& scheme = env_.scheme();
   const Amount cash = params_.capacity();
 
-  // Step 1: createInfo in both directions (one message round).
-  env_.message_round(PartyId::kA, "createInfo");
+  // Step 1: createInfo in both directions (one message round). A timeout
+  // before the funding transaction exists simply abandons the channel.
+  if (send_reliable(a_, "createInfo") == 0) return false;
   a_.pub_other_ = b_.pub_own_;
   b_.pub_other_ = a_.pub_own_;
 
@@ -273,7 +298,7 @@ bool DaricChannel::create() {
   const tx::Transaction split0 = gen_split(st0, 0, params_, a_.pub_own_, b_.pub_own_);
 
   // Step 3: createCom — exchange split (ANYPREVOUT) and cross-commit sigs.
-  env_.message_round(PartyId::kA, "createCom");
+  if (send_reliable(a_, "createCom") == 0) return false;
   const Bytes sp_sig_a =
       tx::sign_input(split0, 0, a_.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
   const Bytes sp_sig_b =
@@ -292,7 +317,7 @@ bool DaricChannel::create() {
     return false;
 
   // Step 5: exchange funding signatures and post TX_FU.
-  env_.message_round(PartyId::kA, "createFund");
+  if (send_reliable(a_, "createFund") == 0) return false;
   tx::Transaction tx_fu = fund.body;
   // Each input is a P2WPKH funding source: input 0 = A's, input 1 = B's.
   attach_p2wpkh_witness(tx_fu, 0,
@@ -334,6 +359,7 @@ bool DaricChannel::create() {
   finalize(b_, commits.body_b, commits.script_b, commits.body_a, commits.script_a, cm_b_sig_a);
   archive_a_.push_back(a_.cm_own_);
   archive_b_.push_back(b_.cm_own_);
+  archive_splits_.push_back({split0, sp_sig_a, sp_sig_b, commits.script_a, commits.script_b});
   return true;
 }
 
@@ -360,9 +386,10 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
     return false;
   };
 
-  // Message 1: updateReq (P → Q).
+  // Message 1: updateReq (P → Q). No receiver state is mutated yet, so a
+  // duplicate delivery is a no-op; a timeout aborts to force-close.
   if (abort_by(p, q, 1)) return false;
-  env_.message_round(p.id_, "updateReq");
+  if (send_or_close(p, "updateReq") == 0) return false;
 
   // Q builds the new bodies and its ANYPREVOUT split signature.
   const CommitPair commits =
@@ -377,9 +404,11 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   if (abort_by(q, p, 2)) return false;
   const Bytes sp_sig_q =
       tx::sign_input(split_body, 0, q.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
-  env_.message_round(q.id_, "updateInfo");
+  const int n2 = send_or_close(q, "updateInfo");
+  if (n2 == 0) return false;
 
-  // P verifies and stores Γ'^P (flag := 2).
+  // P verifies and stores Γ'^P (flag := 2); re-applied per delivered copy,
+  // so a duplicated updateInfo leaves the same Γ'^P (idempotent handler).
   if (!verify_wire(split_body, SighashFlag::kAllAnyPrevOut, q.pub_own_.sp, sp_sig_q, scheme)) {
     p.force_close();
     run_until_closed();
@@ -389,18 +418,21 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
       tx::sign_input(split_body, 0, p.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
   const Bytes split_sig_a = p.id_ == PartyId::kA ? sp_sig_p : sp_sig_q;
   const Bytes split_sig_b = p.id_ == PartyId::kA ? sp_sig_q : sp_sig_p;
-  p.flag_ = channel::ChannelFlag::kUpdating;
-  p.st_prime_ = next;
-  p.cm_own_new_.reset();
-  p.cm_own_new_script_ = script_p;
-  p.cm_other_new_body_ = body_q;
-  p.cm_other_new_script_ = script_q;
-  p.split_new_ = {split_body, split_sig_a, split_sig_b};
+  for (int copy = 0; copy < n2; ++copy) {
+    p.flag_ = channel::ChannelFlag::kUpdating;
+    p.st_prime_ = next;
+    p.cm_own_new_.reset();
+    p.cm_own_new_script_ = script_p;
+    p.cm_other_new_body_ = body_q;
+    p.cm_other_new_script_ = script_q;
+    p.split_new_ = {split_body, split_sig_a, split_sig_b};
+  }
 
   // Message 3: updateComP (P → Q) with σ̃^P_SP and σ^P on [TX^Q_CM,i+1].
   if (abort_by(p, q, 3)) return false;
   const Bytes cm_q_sig_p = tx::sign_input(body_q, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
-  env_.message_round(p.id_, "updateComP");
+  const int n3 = send_or_close(p, "updateComP");
+  if (n3 == 0) return false;
 
   if (!verify_wire(split_body, SighashFlag::kAllAnyPrevOut, p.pub_own_.sp, sp_sig_p, scheme) ||
       !verify_wire(body_q, SighashFlag::kAll, p.pub_own_.main, cm_q_sig_p, scheme)) {
@@ -408,33 +440,35 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
     run_until_closed();
     return false;
   }
-  // Q assembles its own new commit and stores Γ'^Q.
-  q.flag_ = channel::ChannelFlag::kUpdating;
-  q.st_prime_ = next;
-  q.cm_own_new_ = body_q;
-  {
+  // Q assembles its own new commit and stores Γ'^Q (idempotent per copy:
+  // the witness is rebuilt from the fresh body every time).
+  for (int copy = 0; copy < n3; ++copy) {
+    q.flag_ = channel::ChannelFlag::kUpdating;
+    q.st_prime_ = next;
+    q.cm_own_new_ = body_q;
     const Bytes own = tx::sign_input(body_q, 0, q.keys_.main.sk, scheme, SighashFlag::kAll);
     const Bytes& sig_a = q.id_ == PartyId::kA ? own : cm_q_sig_p;
     const Bytes& sig_b = q.id_ == PartyId::kA ? cm_q_sig_p : own;
     attach_funding_witness(*q.cm_own_new_, 0, q.fund_script_, sig_a, sig_b);
+    q.cm_own_new_script_ = script_q;
+    q.cm_other_new_body_ = body_p;
+    q.cm_other_new_script_ = script_p;
+    q.split_new_ = {split_body, split_sig_a, split_sig_b};
   }
-  q.cm_own_new_script_ = script_q;
-  q.cm_other_new_body_ = body_p;
-  q.cm_other_new_script_ = script_p;
-  q.split_new_ = {split_body, split_sig_a, split_sig_b};
 
   // Message 4: updateComQ (Q → P) with σ^Q on [TX^P_CM,i+1].
   if (abort_by(q, p, 4)) return false;
   const Bytes cm_p_sig_q = tx::sign_input(body_p, 0, q.keys_.main.sk, scheme, SighashFlag::kAll);
-  env_.message_round(q.id_, "updateComQ");
+  const int n4 = send_or_close(q, "updateComQ");
+  if (n4 == 0) return false;
 
   if (!verify_wire(body_p, SighashFlag::kAll, q.pub_own_.main, cm_p_sig_q, scheme)) {
     p.force_close();
     run_until_closed();
     return false;
   }
-  p.cm_own_new_ = body_p;
-  {
+  for (int copy = 0; copy < n4; ++copy) {
+    p.cm_own_new_ = body_p;
     const Bytes own = tx::sign_input(body_p, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
     const Bytes& sig_a = p.id_ == PartyId::kA ? own : cm_p_sig_q;
     const Bytes& sig_b = p.id_ == PartyId::kA ? cm_p_sig_q : own;
@@ -456,14 +490,18 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   const SighashFlag rv_flag = revocation_flag(params_);
   if (abort_by(p, q, 5)) return false;
   const Bytes rv_q_sig_p = tx::sign_input(rv_q, 0, rv_sign_key(p, q), scheme, rv_flag);
-  env_.message_round(p.id_, "revokeP");
+  const int n5 = send_or_close(p, "revokeP");
+  if (n5 == 0) return false;
 
   if (!verify_wire(rv_q, rv_flag, rv_verify_key(p, q), rv_q_sig_p, scheme)) {
     q.force_close();
     run_until_closed();
     return false;
   }
+  // Promotion Γ' → Γ is guarded on the kUpdating flag, so a duplicated
+  // revoke message replays as a no-op.
   auto promote = [&](DaricParty& x, const Bytes& theta) {
+    if (x.flag_ != channel::ChannelFlag::kUpdating) return;
     x.theta_sig_ = theta;
     x.sn_ = i + 1;
     x.st_ = next;
@@ -476,22 +514,25 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
     x.cm_own_new_.reset();
     x.st_prime_ = {};
   };
-  promote(q, rv_q_sig_p);
+  for (int copy = 0; copy < n5; ++copy) promote(q, rv_q_sig_p);
 
   // Message 6: revokeQ (Q → P): Q's signature on [TX^P_RV,i].
   if (abort_by(q, p, 6)) return false;
   const Bytes rv_p_sig_q = tx::sign_input(rv_p, 0, rv_sign_key(q, p), scheme, rv_flag);
-  env_.message_round(q.id_, "revokeQ");
+  const int n6 = send_or_close(q, "revokeQ");
+  if (n6 == 0) return false;
 
   if (!verify_wire(rv_p, rv_flag, rv_verify_key(q, p), rv_p_sig_q, scheme)) {
     p.force_close();
     run_until_closed();
     return false;
   }
-  promote(p, rv_p_sig_q);
+  for (int copy = 0; copy < n6; ++copy) promote(p, rv_p_sig_q);
 
   archive_a_.push_back(a_.cm_own_);
   archive_b_.push_back(b_.cm_own_);
+  archive_splits_.push_back(
+      {split_body, split_sig_a, split_sig_b, commits.script_a, commits.script_b});
   return true;
 }
 
@@ -503,7 +544,7 @@ bool DaricChannel::cooperative_close(PartyId initiator) {
 
   tx::Transaction fin = gen_fin_split(p.fund_op_, p.st_, a_.pub_own_, b_.pub_own_);
   const Bytes sig_p = tx::sign_input(fin, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
-  env_.message_round(p.id_, "closeP");
+  if (send_or_close(p, "closeP") == 0) return false;
 
   if (q.behavior.refuse_close) {
     p.force_close();
@@ -511,7 +552,7 @@ bool DaricChannel::cooperative_close(PartyId initiator) {
     return false;
   }
   const Bytes sig_q = tx::sign_input(fin, 0, q.keys_.main.sk, scheme, SighashFlag::kAll);
-  env_.message_round(q.id_, "closeQ");
+  if (send_or_close(q, "closeQ") == 0) return false;
 
   if (!verify_wire(fin, SighashFlag::kAll, q.pub_own_.main, sig_q, scheme)) {
     p.force_close();
@@ -531,6 +572,19 @@ void DaricChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   const auto& archive = who == PartyId::kA ? archive_a_ : archive_b_;
   if (state >= archive.size()) throw std::out_of_range("no archived commit for that state");
   env_.ledger().post(archive[state]);
+}
+
+void DaricChannel::publish_old_split(PartyId who, std::uint32_t state, Round delay) {
+  const auto& archive = who == PartyId::kA ? archive_a_ : archive_b_;
+  if (state >= archive.size() || state >= archive_splits_.size())
+    throw std::out_of_range("no archived split for that state");
+  const ArchivedSplit& as = archive_splits_[state];
+  tx::Transaction bound = as.body;
+  bind_floating(bound, {archive[state].txid(), 0});
+  const script::Script& commit_script =
+      who == PartyId::kA ? as.commit_script_a : as.commit_script_b;
+  attach_split_witness(bound, 0, commit_script, as.sig_a, as.sig_b);
+  env_.ledger().post_with_delay(bound, delay);
 }
 
 bool DaricChannel::run_until_closed(Round max_rounds) {

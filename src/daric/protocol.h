@@ -59,6 +59,11 @@ class DaricParty {
   /// End-of-round monitor: the Punish phase of Appendix D.
   void on_round();
 
+  /// Crash/downtime control: an offline party's Punish monitor misses
+  /// rounds (Theorem 1's liveness precondition is a bound on these gaps).
+  void set_online(bool online) { online_ = online; }
+  bool online() const { return online_; }
+
   /// ForceClose^P(id): posts the newest fully-signed own commit.
   void force_close();
 
@@ -102,6 +107,7 @@ class DaricParty {
 
   // Γ^P.
   bool open_ = false;
+  bool online_ = true;
   channel::StateVec st_;
   std::uint32_t sn_ = 0;
   channel::ChannelFlag flag_ = channel::ChannelFlag::kStable;
@@ -165,6 +171,12 @@ class DaricChannel {
   /// Requires that state to have existed; uses the test-harness archive.
   void publish_old_commit(sim::PartyId who, std::uint32_t state);
 
+  /// Attacker endgame: binds the archived split of `state` to `who`'s
+  /// already-published commit of that state and posts it with `delay`.
+  /// Only confirms once the commit's CSV (T) has matured — this is what a
+  /// cheater sweeps when every monitor stays dark past T − Δ.
+  void publish_old_split(sim::PartyId who, std::uint32_t state, Round delay = 1);
+
   /// Runs rounds until both parties consider the channel closed (or limit).
   bool run_until_closed(Round max_rounds = 200);
 
@@ -179,10 +191,26 @@ class DaricChannel {
   }
 
  private:
+  /// One delivery attempt per round; re-sends on drop up to the retry
+  /// budget. Returns delivered copies (0 = the abort timeout fired).
+  int send_reliable(DaricParty& sender, const char* type);
+  /// send_reliable, then abort-to-force-close by `sender` on timeout.
+  /// Returns 0 after closing the channel, else the delivered copy count.
+  int send_or_close(DaricParty& sender, const char* type);
+
   sim::Environment& env_;
   channel::ChannelParams params_;
   DaricParty a_, b_;
   std::vector<tx::Transaction> archive_a_, archive_b_;
+
+  // What a dishonest party would also keep: every state's floating split
+  // and both commit scripts it can bind to (the sweep after CSV maturity).
+  struct ArchivedSplit {
+    tx::Transaction body;
+    Bytes sig_a, sig_b;
+    script::Script commit_script_a, commit_script_b;
+  };
+  std::vector<ArchivedSplit> archive_splits_;
 };
 
 /// Builds the transaction that redeems one HTLC output of a confirmed split

@@ -34,7 +34,7 @@ DaricWatchtower::DaricWatchtower(const channel::ChannelParams& params, PartyId c
       pub_a_(std::move(pub_a)),
       pub_b_(std::move(pub_b)) {}
 
-void DaricWatchtower::on_round(ledger::Ledger& l) {
+void DaricWatchtower::monitor(ledger::Ledger& l) {
   if (reacted_ || !pkg_) return;
   const auto spender = l.spender_of(fund_op_);
   if (!spender || spender->outputs.size() != 1) return;

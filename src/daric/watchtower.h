@@ -30,9 +30,11 @@ class DaricWatchtower : public channel::Watchtower {
   /// Replaces the stored punishment package (constant storage).
   void update_package(WatchtowerPackage pkg) { pkg_ = std::move(pkg); }
 
-  void on_round(ledger::Ledger& l) override;
   std::size_t storage_bytes() const override;
   bool reacted() const override { return reacted_; }
+
+ protected:
+  void monitor(ledger::Ledger& l) override;
 
  private:
   channel::ChannelParams params_;

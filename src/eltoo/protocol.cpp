@@ -14,7 +14,16 @@ using sim::PartyId;
 
 namespace {
 std::size_t idx(PartyId p) { return p == PartyId::kA ? 0 : 1; }
+constexpr int kMaxSendAttempts = 3;
 }  // namespace
+
+int EltooChannel::send_reliable(PartyId from, const char* type) {
+  for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+    const auto d = env_.transmit(from, type);
+    if (d.copies > 0) return d.copies;
+  }
+  return 0;
+}
 
 EltooChannel::EltooChannel(sim::Environment& env, channel::ChannelParams params)
     : env_(env), params_(std::move(params)) {
@@ -83,11 +92,13 @@ void EltooChannel::sign_state(std::uint32_t state, const channel::StateVec& st) 
 
 bool EltooChannel::create() {
   fund_script_ = funding_script(upd_a_.pk.compressed(), upd_b_.pk.compressed());
-  fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
-  fund_txid_ = fund_op_.txid;
   st_ = {params_.cash_a, params_.cash_b, {}};
   sn_ = 0;
-  env_.message_round(PartyId::kA, "eltoo/create");
+  // Mint only once the opening handshake got through, so an aborted create
+  // leaves no funds stranded in the 2-of-2.
+  if (send_reliable(PartyId::kA, "eltoo/create") == 0) return false;
+  fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
+  fund_txid_ = fund_op_.txid;
   sign_state(0, st_);
   open_ = true;
   return true;
@@ -99,8 +110,14 @@ bool EltooChannel::update(const channel::StateVec& next) {
     throw std::invalid_argument("state must preserve capacity");
   if (next.to_a <= 0 || next.to_b <= 0)
     throw std::invalid_argument("both balances must stay positive");
-  env_.message_round(PartyId::kA, "eltoo/update-sigs-1");
-  env_.message_round(PartyId::kB, "eltoo/update-sigs-2");
+  auto send_or_close = [&](PartyId from, const char* type) {
+    if (send_reliable(from, type) > 0) return true;
+    force_close(from);
+    run_until_closed();
+    return false;
+  };
+  if (!send_or_close(PartyId::kA, "eltoo/update-sigs-1")) return false;
+  if (!send_or_close(PartyId::kB, "eltoo/update-sigs-2")) return false;
   sign_state(sn_ + 1, next);
   ++sn_;
   st_ = next;
@@ -117,7 +134,11 @@ bool EltooChannel::cooperative_close() {
   const Bytes sa = tx::sign_input(close, 0, upd_a_.sk, scheme, SighashFlag::kAll);
   const Bytes sb = tx::sign_input(close, 0, upd_b_.sk, scheme, SighashFlag::kAll);
   daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
-  env_.message_round(PartyId::kA, "eltoo/close");
+  if (send_reliable(PartyId::kA, "eltoo/close") == 0) {
+    force_close(PartyId::kA);
+    run_until_closed();
+    return false;
+  }
   env_.ledger().post(close);
   expected_close_txid_ = close.txid();
   return run_until_closed();
@@ -175,6 +196,7 @@ void EltooChannel::force_close(PartyId who) {
 
 void EltooChannel::on_round() {
   if (!open_ || settled_state_) return;
+  if (!monitor_online_) return;
   auto& ledger = env_.ledger();
 
   auto spender = ledger.spender_of(fund_op_);

@@ -34,6 +34,11 @@ class EltooChannel {
   /// Whether a party's monitor overrides stale updates (p in Sec. 6.2).
   void set_reacting(sim::PartyId who, bool reacts);
 
+  /// Downtime control for the chaos drills: while offline the channel's
+  /// chain monitor skips rounds entirely.
+  void set_monitor_online(bool v) { monitor_online_ = v; }
+  bool monitor_online() const { return monitor_online_; }
+
   bool run_until_closed(Round max_rounds = 400);
   bool closed() const { return settled_state_.has_value(); }
   /// State number whose settlement (or cooperative close) finalized.
@@ -56,6 +61,7 @@ class EltooChannel {
   tx::Transaction build_update_body(std::uint32_t state) const;
   tx::Transaction build_settlement_body(const channel::StateVec& st, std::uint32_t state) const;
   void sign_state(std::uint32_t state, const channel::StateVec& st);
+  int send_reliable(sim::PartyId from, const char* type);
   void on_round();
   void post_update_bound(std::uint32_t state, const tx::OutPoint& op,
                          const script::Script& prev_script, bool spending_funding);
@@ -88,6 +94,7 @@ class EltooChannel {
   std::vector<ArchivedState> archive_;
 
   bool reacts_[2] = {true, true};
+  bool monitor_online_ = true;
   // Monitor bookkeeping: the update tx currently holding the funds.
   std::optional<Hash256> tip_txid_;
   std::uint32_t tip_state_ = 0;

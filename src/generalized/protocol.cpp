@@ -13,6 +13,18 @@ namespace daric::generalized {
 using script::SighashFlag;
 using sim::PartyId;
 
+namespace {
+constexpr int kMaxSendAttempts = 3;
+}
+
+int GeneralizedChannel::send_reliable(PartyId from, const char* type) {
+  for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+    const auto d = env_.transmit(from, type);
+    if (d.copies > 0) return d.copies;
+  }
+  return 0;
+}
+
 GeneralizedChannel::GeneralizedChannel(sim::Environment& env, channel::ChannelParams params)
     : env_(env), params_(std::move(params)) {
   params_.validate(env_.delta());
@@ -97,10 +109,12 @@ void GeneralizedChannel::sign_state(std::uint32_t state, const channel::StateVec
 
 bool GeneralizedChannel::create() {
   fund_script_ = script::multisig_2of2(main_a_.pk.compressed(), main_b_.pk.compressed());
-  fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
   st_ = {params_.cash_a, params_.cash_b, {}};
   sn_ = 0;
-  env_.message_round(PartyId::kA, "gc/create");
+  // Mint only once the opening handshake got through, so an aborted create
+  // leaves no funds stranded in the 2-of-2.
+  if (send_reliable(PartyId::kA, "gc/create") == 0) return false;
+  fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
   sign_state(0, st_);
   open_ = true;
   return true;
@@ -112,10 +126,26 @@ bool GeneralizedChannel::update(const channel::StateVec& next) {
     throw std::invalid_argument("state must preserve capacity");
   if (next.to_a <= 0 || next.to_b <= 0)
     throw std::invalid_argument("both balances must stay positive");
-  env_.message_round(PartyId::kA, "gc/presig");
-  env_.message_round(PartyId::kB, "gc/split-sig");
+  auto send_or_close = [&](PartyId from, const char* type) {
+    if (send_reliable(from, type) > 0) return true;
+    force_close(from);
+    run_until_closed();
+    return false;
+  };
+  if (!send_or_close(PartyId::kA, "gc/presig")) return false;
+  if (!send_or_close(PartyId::kB, "gc/split-sig")) return false;
   sign_state(sn_ + 1, next);
-  env_.message_round(PartyId::kA, "gc/revoke");
+  if (send_reliable(PartyId::kA, "gc/revoke") == 0) {
+    // Both sides fully signed state sn_+1 and nothing was revoked yet; the
+    // live commit/split material already refers to it, so close there —
+    // closing at the old sn_ would post a commit the overwritten split can
+    // no longer bind to.
+    ++sn_;
+    st_ = next;
+    force_close(PartyId::kA);
+    run_until_closed();
+    return false;
+  }
   const StateSecrets old = state_secrets(sn_);
   revealed_r_a_.push_back(old.r_a);
   revealed_r_b_.push_back(old.r_b);
@@ -152,7 +182,11 @@ bool GeneralizedChannel::cooperative_close() {
   const Bytes sa = tx::sign_input(close, 0, main_a_.sk, scheme, SighashFlag::kAll);
   const Bytes sb = tx::sign_input(close, 0, main_b_.sk, scheme, SighashFlag::kAll);
   daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
-  env_.message_round(PartyId::kA, "gc/close");
+  if (send_reliable(PartyId::kA, "gc/close") == 0) {
+    force_close(PartyId::kA);
+    run_until_closed();
+    return false;
+  }
   env_.ledger().post(close);
   expected_close_txid_ = close.txid();
   return run_until_closed();
@@ -170,6 +204,7 @@ void GeneralizedChannel::publish_old_commit(PartyId who, std::uint32_t state) {
 
 void GeneralizedChannel::on_round() {
   if (!open_ || outcome_ != GcOutcome::kNone) return;
+  if (!monitor_online_) return;
   auto& ledger = env_.ledger();
   const auto& scheme = env_.scheme();
 

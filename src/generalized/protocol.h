@@ -37,6 +37,10 @@ class GeneralizedChannel {
   bool run_until_closed(Round max_rounds = 400);
   GcOutcome outcome() const { return outcome_; }
   bool closed() const { return outcome_ != GcOutcome::kNone; }
+  /// Downtime control for the chaos drills: while offline the channel's
+  /// chain monitor skips rounds entirely.
+  void set_monitor_online(bool v) { monitor_online_ = v; }
+  bool monitor_online() const { return monitor_online_; }
   std::uint32_t state_number() const { return sn_; }
 
   std::size_t party_storage_bytes(sim::PartyId who) const;  // O(n)
@@ -53,6 +57,7 @@ class GeneralizedChannel {
   tx::Transaction build_commit_body(std::uint32_t state) const;
   tx::Transaction assemble_commit(sim::PartyId publisher, std::uint32_t state) const;
   void sign_state(std::uint32_t state, const channel::StateVec& st);
+  int send_reliable(sim::PartyId from, const char* type);
   void on_round();
 
   sim::Environment& env_;
@@ -84,6 +89,7 @@ class GeneralizedChannel {
   // Revealed revocation preimages (the O(n) storage term): index = state.
   std::vector<Bytes> revealed_r_a_, revealed_r_b_;
 
+  bool monitor_online_ = true;
   GcOutcome outcome_ = GcOutcome::kNone;
   std::optional<Hash256> expected_close_txid_;
   std::optional<Hash256> pending_punish_txid_;

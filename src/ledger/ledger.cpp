@@ -7,7 +7,15 @@
 
 namespace daric::ledger {
 
-void Ledger::post(const tx::Transaction& t) { post_with_delay(t, delta_); }
+void Ledger::post(const tx::Transaction& t) {
+  Round delay = delta_;
+  if (delay_policy_) {
+    delay = delay_policy_(t, delta_);
+    if (delay < 0) delay = 0;
+    if (delay > delta_) delay = delta_;
+  }
+  post_with_delay(t, delay);
+}
 
 void Ledger::post_with_delay(const tx::Transaction& t, Round delay) {
   if (delay < 0 || delay > delta_) throw std::invalid_argument("delay must be in [0, Δ]");

@@ -36,9 +36,16 @@ class Ledger {
   const crypto::SignatureScheme& scheme() const { return scheme_; }
 
   /// Posts a transaction; it will be processed `delay` rounds from now
-  /// (delay defaults to Δ; must be in [0, Δ]).
+  /// (delay defaults to Δ, or to the installed delay policy's choice;
+  /// must be in [0, Δ]).
   void post(const tx::Transaction& t);
   void post_with_delay(const tx::Transaction& t, Round delay);
+
+  /// Adversary-chosen per-post confirmation delay τ ∈ [0, Δ] applied to
+  /// every plain post(). The policy's return value is clamped to [0, Δ].
+  /// Tests playing the adversary directly still use post_with_delay.
+  using DelayPolicy = std::function<Round(const tx::Transaction& t, Round delta)>;
+  void set_delay_policy(DelayPolicy policy) { delay_policy_ = std::move(policy); }
 
   /// Advances one round, processing all due posts in FIFO order.
   void advance_round();
@@ -75,6 +82,7 @@ class Ledger {
   };
   std::deque<Pending> queue_;
   std::vector<PostRecord> records_;
+  DelayPolicy delay_policy_;
 
   UtxoSet utxos_;
   std::unordered_set<Hash256, Hash256Hasher> seen_txids_;

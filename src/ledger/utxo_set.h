@@ -22,6 +22,10 @@ class UtxoSet {
   bool contains(const tx::OutPoint& op) const;
   std::size_t size() const { return map_.size(); }
   Amount total_value() const;
+  /// Read-only view over every unspent output (payout audits).
+  const std::unordered_map<tx::OutPoint, Utxo, tx::OutPointHasher>& entries() const {
+    return map_;
+  }
 
  private:
   std::unordered_map<tx::OutPoint, Utxo, tx::OutPointHasher> map_;

@@ -13,6 +13,18 @@ namespace daric::lightning {
 using script::SighashFlag;
 using sim::PartyId;
 
+namespace {
+constexpr int kMaxSendAttempts = 3;
+}
+
+int LightningChannel::send_reliable(PartyId from, const char* type) {
+  for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+    const auto d = env_.transmit(from, type);
+    if (d.copies > 0) return d.copies;
+  }
+  return 0;
+}
+
 LightningChannel::LightningChannel(sim::Environment& env, channel::ChannelParams params)
     : env_(env), params_(std::move(params)) {
   params_.validate(env_.delta());
@@ -87,10 +99,12 @@ void LightningChannel::sign_state(std::uint32_t state, const channel::StateVec& 
 
 bool LightningChannel::create() {
   fund_script_ = script::multisig_2of2(main_a_.pk.compressed(), main_b_.pk.compressed());
-  fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
   st_ = {params_.cash_a, params_.cash_b, {}};
   sn_ = 0;
-  env_.message_round(PartyId::kA, "ln/create");
+  // Mint only once the opening handshake got through, so an aborted create
+  // leaves no funds stranded in the 2-of-2.
+  if (send_reliable(PartyId::kA, "ln/create") == 0) return false;
+  fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
   sign_state(0, st_);
   open_ = true;
   return true;
@@ -103,11 +117,18 @@ bool LightningChannel::update(const channel::StateVec& next) {
   if (next.to_a <= 0 || next.to_b <= 0)
     throw std::invalid_argument("both balances must stay positive");
   // Two rounds to cross-sign the new commitments, one to exchange the old
-  // states' revocation secrets.
-  env_.message_round(PartyId::kA, "ln/commit-sig");
-  env_.message_round(PartyId::kB, "ln/commit-sig");
+  // states' revocation secrets. A peer silent past the retry budget means
+  // the sender aborts to its newest fully-signed commit.
+  auto send_or_close = [&](PartyId from, const char* type) {
+    if (send_reliable(from, type) > 0) return true;
+    force_close(from);
+    run_until_closed();
+    return false;
+  };
+  if (!send_or_close(PartyId::kA, "ln/commit-sig")) return false;
+  if (!send_or_close(PartyId::kB, "ln/commit-sig")) return false;
   sign_state(sn_ + 1, next);
-  env_.message_round(PartyId::kA, "ln/revoke");
+  if (!send_or_close(PartyId::kA, "ln/revoke")) return false;
   // Reveal the state-sn_ secrets; the counterparty stores them forever.
   secrets_of_a_.push_back(revocation_keypair(PartyId::kA, sn_).sk.to_be_bytes());
   secrets_of_b_.push_back(revocation_keypair(PartyId::kB, sn_).sk.to_be_bytes());
@@ -126,7 +147,11 @@ bool LightningChannel::cooperative_close() {
   const Bytes sa = tx::sign_input(close, 0, main_a_.sk, scheme, SighashFlag::kAll);
   const Bytes sb = tx::sign_input(close, 0, main_b_.sk, scheme, SighashFlag::kAll);
   daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
-  env_.message_round(PartyId::kA, "ln/close");
+  if (send_reliable(PartyId::kA, "ln/close") == 0) {
+    force_close(PartyId::kA);
+    run_until_closed();
+    return false;
+  }
   env_.ledger().post(close);
   expected_close_txid_ = close.txid();
   return run_until_closed();
@@ -149,6 +174,7 @@ void LightningChannel::publish_old_commit(PartyId who, std::uint32_t state) {
 
 void LightningChannel::on_round() {
   if (!open_ || outcome_ != LnOutcome::kNone) return;
+  if (!monitor_online_) return;
   auto& ledger = env_.ledger();
 
   if (pending_claim_txid_) {

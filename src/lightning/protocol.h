@@ -29,6 +29,10 @@ class LightningChannel {
   bool run_until_closed(Round max_rounds = 400);
   LnOutcome outcome() const { return outcome_; }
   bool closed() const { return outcome_ != LnOutcome::kNone; }
+  /// Downtime control for the chaos drills: while offline the channel's
+  /// chain monitor skips rounds entirely.
+  void set_monitor_online(bool v) { monitor_online_ = v; }
+  bool monitor_online() const { return monitor_online_; }
   std::uint32_t state_number() const { return sn_; }
   const channel::StateVec& state() const { return st_; }
 
@@ -59,6 +63,7 @@ class LightningChannel {
   tx::Transaction build_commit(sim::PartyId owner, std::uint32_t state,
                                const channel::StateVec& st, script::Script* to_local_out) const;
   void sign_state(std::uint32_t state, const channel::StateVec& st);
+  int send_reliable(sim::PartyId from, const char* type);
   void on_round();
 
   sim::Environment& env_;
@@ -83,6 +88,7 @@ class LightningChannel {
   // Archive of every signed commit (identification + fraud injection).
   std::vector<CommitRecord> archive_;
 
+  bool monitor_online_ = true;
   LnOutcome outcome_ = LnOutcome::kNone;
   std::optional<Hash256> expected_close_txid_;
   std::optional<Hash256> pending_claim_txid_;

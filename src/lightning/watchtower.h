@@ -25,9 +25,11 @@ class LightningWatchtower : public channel::Watchtower {
   };
   void add_package(StatePackage pkg) { packages_.push_back(std::move(pkg)); }
 
-  void on_round(ledger::Ledger& l) override;
   std::size_t storage_bytes() const override;
   bool reacted() const override { return reacted_; }
+
+ protected:
+  void monitor(ledger::Ledger& l) override;
 
  private:
   sim::PartyId client_;

@@ -1,5 +1,11 @@
 // Simulation environment: ledger + clock + message accounting, plus the
 // per-round hooks parties and watchtowers register to monitor the chain.
+//
+// Message delivery goes through an explicit DeliveryQueue: transmit()
+// enqueues the message, advances the clock until its delivery round, and
+// reports how many copies arrived (0 when the fault injector dropped it).
+// Without an injector every message is delivered exactly once after one
+// round — the guaranteed F_GDC behavior the engines were written against.
 #pragma once
 
 #include <functional>
@@ -23,6 +29,18 @@ class Environment {
   Round delta() const { return ledger_.delta(); }
   const crypto::SignatureScheme& scheme() const { return ledger_.scheme(); }
   MessageLog& log() { return log_; }
+  const DeliveryQueue& delivery_queue() const { return queue_; }
+
+  /// Installs the chaos policy for messages (non-owning; nullptr = none).
+  /// The injector's post_delay is NOT wired here — the caller decides
+  /// whether to also install it as the ledger's delay policy.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Upper bound on the extra delay a message may suffer on top of the
+  /// 1-round transit (the bounded-delay budget of the network model).
+  void set_message_delay_budget(Round budget) { message_delay_budget_ = budget; }
+  Round message_delay_budget() const { return message_delay_budget_; }
 
   /// Registers a hook executed at the end of every round (punish watchers).
   void add_round_hook(std::function<void()> hook) { hooks_.push_back(std::move(hook)); }
@@ -36,15 +54,49 @@ class Environment {
     for (Round i = 0; i < n; ++i) advance_round();
   }
 
-  /// Charges one message round to the clock (off-chain traffic).
-  void message_round(PartyId from, std::string type) {
-    log_.record(now(), from, std::move(type));
-    advance_round();
+  /// One delivery attempt of a protocol message. Consults the fault
+  /// injector, enqueues the message, and advances the clock to its
+  /// delivery round (1 + any injected delay; a drop still charges the
+  /// transit round the sender spends discovering the loss).
+  struct Delivery {
+    int copies = 1;   // 0 = lost, 2 = duplicated
+    Round delay = 0;  // extra rounds beyond the 1-round transit
+  };
+  Delivery transmit(PartyId from, std::string type) {
+    MessageAction act;
+    if (injector_) act = injector_->on_message(now(), from, type);
+    Round extra = act.fate == MessageFate::kDelay
+                      ? std::min(act.delay, message_delay_budget_)
+                      : 0;
+    if (extra < 0) extra = 0;
+    const int copies = act.fate == MessageFate::kDrop    ? 0
+                       : act.fate == MessageFate::kDuplicate ? 2
+                                                             : 1;
+    const Round sent = now();
+    const Round deliver = sent + 1 + extra;
+    if (copies > 0) queue_.push({deliver, from, type, copies});
+    log_.record({sent, deliver, from, std::move(type),
+                 extra > 0 ? MessageFate::kDelay : act.fate, copies});
+    int arrived = 0;
+    while (now() < deliver) {
+      advance_round();
+      arrived += queue_.drain_due(now());
+    }
+    if (copies == 0) return {0, extra};
+    return {arrived, extra};
   }
+
+  /// Charges one message round to the clock (off-chain traffic). Legacy
+  /// entry point: delivery result intentionally ignored by callers that
+  /// predate fault injection.
+  void message_round(PartyId from, std::string type) { transmit(from, std::move(type)); }
 
  private:
   ledger::Ledger ledger_;
   MessageLog log_;
+  DeliveryQueue queue_;
+  FaultInjector* injector_ = nullptr;
+  Round message_delay_budget_ = 3;
   std::vector<std::function<void()>> hooks_;
 };
 

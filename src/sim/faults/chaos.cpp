@@ -1,0 +1,40 @@
+#include "src/sim/faults/chaos.h"
+
+#include "src/sim/faults/rng.h"
+
+namespace daric::sim::faults {
+
+ChaosInjector::ChaosInjector(const FaultSchedule& schedule) : schedule_(schedule) {
+  for (const MessageRule& m : schedule_.messages) rules_.emplace(m.index, m);
+}
+
+MessageAction ChaosInjector::on_message(Round, PartyId, const std::string&) {
+  const std::uint32_t index = next_index_++;
+  const auto it = rules_.find(index);
+  if (it == rules_.end()) return {};
+  const MessageRule& rule = it->second;
+  switch (rule.fate) {
+    case MessageFate::kDrop:
+      ++dropped_;
+      return {MessageFate::kDrop, 0};
+    case MessageFate::kDelay:
+      ++delayed_;
+      return {MessageFate::kDelay, rule.delay};
+    case MessageFate::kDuplicate:
+      ++duplicated_;
+      return {MessageFate::kDuplicate, 0};
+    case MessageFate::kDeliver:
+      return {};
+  }
+  return {};
+}
+
+Round ChaosInjector::post_delay(Round, Round delta) {
+  const std::uint32_t post = posts_++;
+  if (!schedule_.ledger_random || delta <= 0) return delta;
+  return 1 + static_cast<Round>(
+                 mix(schedule_.seed, 0x6c656467ull ^ post) %
+                 static_cast<std::uint64_t>(delta));
+}
+
+}  // namespace daric::sim::faults

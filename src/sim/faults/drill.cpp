@@ -1,0 +1,663 @@
+#include "src/sim/faults/drill.h"
+
+#include <initializer_list>
+#include <optional>
+
+#include "src/crypto/sig_scheme.h"
+#include "src/daric/persistence.h"
+#include "src/daric/protocol.h"
+#include "src/eltoo/protocol.h"
+#include "src/generalized/protocol.h"
+#include "src/lightning/protocol.h"
+#include "src/sim/faults/chaos.h"
+#include "src/sim/faults/rng.h"
+
+namespace daric::sim::faults {
+
+namespace {
+
+using channel::StateVec;
+
+constexpr Amount kCashA = 60'000;
+constexpr Amount kCashB = 40'000;
+constexpr Amount kCapacity = kCashA + kCashB;
+
+/// Sum of unspent P2WPKH outputs paying `pk33`.
+Amount credited(const ledger::Ledger& l, BytesView pk33) {
+  const tx::Condition cond = tx::Condition::p2wpkh(pk33);
+  Amount sum = 0;
+  for (const auto& [op, u] : l.utxos().entries()) {
+    (void)op;
+    if (u.output.cond == cond) sum += u.output.cash;
+  }
+  return sum;
+}
+
+bool conserved(const ledger::Ledger& l) {
+  return l.utxos().total_value() + l.fees_total() == l.minted_total();
+}
+
+struct Payout {
+  Amount a = 0;
+  Amount b = 0;
+  bool operator==(const Payout&) const = default;
+};
+
+bool payout_matches(const Payout& got, std::initializer_list<Payout> candidates) {
+  for (const Payout& c : candidates)
+    if (got == c) return true;
+  return false;
+}
+
+/// Per-update balance, a stateless function of the seed so a replayed
+/// schedule drives the identical state sequence.
+Amount update_to_a(std::uint64_t seed, std::uint32_t i) {
+  return 1'000 + static_cast<Amount>(mix(seed, 0xa0000ull + i) %
+                                     static_cast<std::uint64_t>(kCapacity - 2'000));
+}
+
+void finish_report(DrillReport& rep, const ChaosInjector& inj, const MessageLog& log) {
+  rep.msg_total = log.count();
+  rep.msg_dropped = inj.dropped();
+  rep.msg_delayed = inj.delayed();
+  rep.msg_duplicated = inj.duplicated();
+}
+
+// ---------------------------------------------------------------------------
+// Daric
+// ---------------------------------------------------------------------------
+
+struct EndgameResult {
+  bool punished = false;
+  bool funds_lost = false;
+  bool closed = false;
+};
+
+/// The cheater's best play: publish the revoked commit with confirmation
+/// delay 1 (fee priority), keep its own honest monitor off, and bind + post
+/// the revoked split the instant the commit's CSV(T) matures. The victim's
+/// monitor misses `offline` rounds after the publication and its reaction
+/// suffers the worst-case ledger delay Δ.
+EndgameResult run_cheat_endgame(Environment& env, daricch::DaricChannel& ch, PartyId cheater,
+                                std::uint32_t state, Round offline, Round t_punish,
+                                Round delta) {
+  daricch::DaricParty& victim = ch.party(other(cheater));
+  ch.party(cheater).set_online(false);
+  const Hash256 cheat_txid = ch.archived_commits(cheater)[state].txid();
+  env.ledger().set_delay_policy([cheat_txid, delta](const tx::Transaction& t, Round d) {
+    (void)d;
+    return t.txid() == cheat_txid ? 1 : delta;
+  });
+
+  const Round t0 = env.now();
+  victim.set_online(false);
+  ch.publish_old_commit(cheater, state);  // posted at t0, confirms at t0 + 1
+
+  // The sweep must be posted at commit-confirmation + T − Δ so that its
+  // adversarial delay Δ lands it exactly when the CSV matures.
+  const Round sweep_round = t0 + 1 + t_punish - delta;
+  bool swept = false;
+  auto maybe_sweep = [&] {
+    if (!swept && env.now() == sweep_round) {
+      ch.publish_old_split(cheater, state, delta);
+      swept = true;
+    }
+  };
+
+  while (env.now() < t0 + offline) {
+    maybe_sweep();
+    env.advance_round();
+  }
+  victim.set_online(true);
+  for (int i = 0; i < 400 && victim.channel_open(); ++i) {
+    maybe_sweep();
+    env.advance_round();
+  }
+
+  EndgameResult res;
+  res.punished = victim.outcome() == daricch::CloseOutcome::kPunished;
+  const auto commit_spender = env.ledger().spender_of({cheat_txid, 0});
+  res.funds_lost = commit_spender.has_value() && !res.punished;
+  res.closed = !victim.channel_open() || res.funds_lost;
+  return res;
+}
+
+DrillReport run_daric(const FaultSchedule& s) {
+  DrillReport rep;
+  rep.protocol = Protocol::kDaric;
+  rep.seed = s.seed;
+
+  Environment env(s.delta, crypto::schnorr_scheme());
+  env.set_message_delay_budget(s.delay_budget);
+  ChaosInjector inj(s);
+  env.set_fault_injector(&inj);
+  env.ledger().set_delay_policy(
+      [&inj](const tx::Transaction&, Round d) { return inj.post_delay(0, d); });
+
+  channel::ChannelParams params;
+  params.id = "chaos-daric-" + std::to_string(s.seed);
+  params.cash_a = kCashA;
+  params.cash_b = kCashB;
+  params.t_punish = s.t_punish;
+
+  // Monitor blackouts run before the party monitors each round; the
+  // endgame phases (crash, fraud) take over the online flags themselves.
+  daricch::DaricChannel* chp = nullptr;
+  bool windows_active = true;
+  env.add_round_hook([&env, &s, &chp, &windows_active] {
+    if (!chp || !windows_active) return;
+    const Round r = env.now();
+    bool on_a = true, on_b = true;
+    for (const DowntimeWindow& w : s.downtime) {
+      if (r >= w.start && r < w.start + w.length)
+        (w.victim == PartyId::kA ? on_a : on_b) = false;
+    }
+    chp->party(PartyId::kA).set_online(on_a);
+    chp->party(PartyId::kB).set_online(on_b);
+  });
+
+  daricch::DaricChannel ch(env, params);
+  chp = &ch;
+
+  rep.create_ok = ch.create();
+  if (!rep.create_ok) {
+    // Abandoned open: both funding sources must still sit untouched.
+    const auto key = [&params](PartyId id) {
+      return crypto::derive_keypair(params.id + "/" + party_name(id) + "/funding-source");
+    };
+    rep.closed = true;
+    rep.conservation_ok = conserved(env.ledger());
+    rep.payout_ok = credited(env.ledger(), key(PartyId::kA).pk.compressed()) == kCashA &&
+                    credited(env.ledger(), key(PartyId::kB).pk.compressed()) == kCashB;
+    rep.ok = rep.conservation_ok && rep.payout_ok && !s.cheat.expect_loss;
+    rep.detail = "create aborted";
+    finish_report(rep, inj, env.log());
+    return rep;
+  }
+
+  StateVec stable{kCashA, kCashB, {}};
+  std::optional<StateVec> attempted;
+  bool update_aborted = false;
+  const std::optional<CrashPoint> crash =
+      s.crashes.empty() ? std::nullopt : std::optional<CrashPoint>(s.crashes[0]);
+  for (std::uint32_t i = 0; i < s.updates; ++i) {
+    const Amount to_a = update_to_a(s.seed, i);
+    const StateVec next{to_a, kCapacity - to_a, {}};
+    attempted = next;
+    if (!ch.update(next)) {
+      update_aborted = true;
+      break;
+    }
+    stable = next;
+    attempted.reset();
+    ++rep.updates_done;
+    if (crash && crash->after_update == rep.updates_done) break;
+  }
+
+  const Payout got_stable{stable.to_a, stable.to_b};
+  auto audit = [&](std::initializer_list<Payout> candidates) {
+    const Payout got{credited(env.ledger(), ch.party(PartyId::kA).pub().main),
+                     credited(env.ledger(), ch.party(PartyId::kB).pub().main)};
+    rep.conservation_ok = conserved(env.ledger());
+    rep.payout_ok = payout_matches(got, candidates);
+  };
+
+  if (update_aborted) {
+    // The retry budget ran out mid-update and one side force-closed; the
+    // split may pay either the last stable or the attempted state (both
+    // are fully signed by both parties).
+    rep.closed = ch.run_until_closed(300);
+    audit({got_stable, Payout{attempted->to_a, attempted->to_b}});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && !s.cheat.expect_loss;
+    rep.detail = "update aborted to force-close";
+  } else if (crash && rep.updates_done == crash->after_update) {
+    // Crash-recovery: snapshot → serialize → restore → the restored
+    // monitor finishes the channel on its own.
+    rep.crashed = true;
+    windows_active = false;
+    daricch::DaricParty& victim = ch.party(crash->victim);
+    const Bytes blob = daricch::serialize_snapshot(daricch::snapshot_party(victim));
+    daricch::RestoredParty restored(env, daricch::deserialize_snapshot(blob));
+    victim.set_online(false);  // the crashed process never comes back
+    env.add_round_hook([&restored] { restored.on_round(); });
+    restored.force_close();
+    for (int r = 0; r < 400 && !restored.done(); ++r) env.advance_round();
+    rep.closed = restored.done();
+    audit({got_stable});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && !s.cheat.expect_loss;
+    rep.detail = "crash-recovery close";
+  } else if (s.cheat.enabled && s.cheat.state < rep.updates_done) {
+    rep.cheated = true;
+    windows_active = false;
+    const PartyId cheater = s.cheat.cheater;
+    const EndgameResult res = run_cheat_endgame(env, ch, cheater, s.cheat.state,
+                                                s.cheat.victim_offline, s.t_punish, s.delta);
+    rep.closed = res.closed;
+    rep.punished = res.punished;
+    rep.funds_lost = res.funds_lost;
+    rep.conservation_ok = conserved(env.ledger());
+    if (s.cheat.expect_loss) {
+      // The crafted boundary schedule: the victim must come out short.
+      const Amount victim_credit = credited(
+          env.ledger(), ch.party(other(cheater)).pub().main);
+      const Amount owed = cheater == PartyId::kA ? stable.to_b : stable.to_a;
+      rep.payout_ok = victim_credit < owed;
+      rep.ok = rep.closed && rep.conservation_ok && rep.funds_lost && !rep.punished &&
+               rep.payout_ok;
+      rep.detail = "expected funds loss beyond T - delta";
+    } else {
+      const Payout want = cheater == PartyId::kA ? Payout{0, kCapacity}
+                                                 : Payout{kCapacity, 0};
+      audit({want});
+      rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && rep.punished &&
+               !rep.funds_lost;
+      rep.detail = "fraud punished";
+    }
+  } else {
+    const bool coop = mix(s.seed, 0xc105eull) % 2 == 0;
+    const PartyId initiator = mix(s.seed, 0x1417ull) % 2 == 0 ? PartyId::kA : PartyId::kB;
+    bool done;
+    if (coop) {
+      done = ch.cooperative_close(initiator);
+    } else {
+      ch.party(initiator).force_close();
+      done = ch.run_until_closed(300);
+    }
+    if (!done) done = ch.run_until_closed(300);
+    rep.closed = done;
+    audit({got_stable});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && !s.cheat.expect_loss;
+    rep.detail = coop ? "cooperative close" : "force close";
+  }
+  finish_report(rep, inj, env.log());
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Lightning
+// ---------------------------------------------------------------------------
+
+DrillReport run_lightning(const FaultSchedule& s) {
+  DrillReport rep;
+  rep.protocol = Protocol::kLightning;
+  rep.seed = s.seed;
+
+  Environment env(s.delta, crypto::schnorr_scheme());
+  env.set_message_delay_budget(s.delay_budget);
+  ChaosInjector inj(s);
+  env.set_fault_injector(&inj);
+  env.ledger().set_delay_policy(
+      [&inj](const tx::Transaction&, Round d) { return inj.post_delay(0, d); });
+
+  channel::ChannelParams params;
+  params.id = "chaos-ln-" + std::to_string(s.seed);
+  params.cash_a = kCashA;
+  params.cash_b = kCashB;
+  params.t_punish = s.t_punish;
+
+  lightning::LightningChannel* chp = nullptr;
+  bool windows_active = true;
+  env.add_round_hook([&env, &s, &chp, &windows_active] {
+    if (!chp || !windows_active) return;
+    const Round r = env.now();
+    bool online = true;
+    for (const DowntimeWindow& w : s.downtime)
+      if (r >= w.start && r < w.start + w.length) online = false;
+    chp->set_monitor_online(online);
+  });
+
+  lightning::LightningChannel ch(env, params);
+  chp = &ch;
+
+  rep.create_ok = ch.create();
+  if (!rep.create_ok) {
+    rep.closed = true;
+    rep.conservation_ok = conserved(env.ledger());  // nothing minted
+    rep.payout_ok = true;
+    rep.ok = rep.conservation_ok && !s.cheat.expect_loss;
+    rep.detail = "create aborted";
+    finish_report(rep, inj, env.log());
+    return rep;
+  }
+
+  StateVec stable{kCashA, kCashB, {}};
+  std::optional<StateVec> attempted;
+  bool update_aborted = false;
+  for (std::uint32_t i = 0; i < s.updates; ++i) {
+    const Amount to_a = update_to_a(s.seed, i);
+    const StateVec next{to_a, kCapacity - to_a, {}};
+    attempted = next;
+    if (!ch.update(next)) {
+      update_aborted = true;
+      break;
+    }
+    stable = next;
+    attempted.reset();
+    ++rep.updates_done;
+  }
+
+  auto audit = [&](std::initializer_list<Payout> candidates) {
+    const Payout got{credited(env.ledger(), ch.payout_pk(PartyId::kA)),
+                     credited(env.ledger(), ch.payout_pk(PartyId::kB))};
+    rep.conservation_ok = conserved(env.ledger());
+    rep.payout_ok = payout_matches(got, candidates);
+  };
+  const Payout got_stable{stable.to_a, stable.to_b};
+
+  if (update_aborted) {
+    rep.closed = ch.run_until_closed(400);
+    audit({got_stable, Payout{attempted->to_a, attempted->to_b}});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok;
+    rep.detail = "update aborted to force-close";
+  } else if (s.cheat.enabled && s.cheat.state < rep.updates_done) {
+    rep.cheated = true;
+    windows_active = false;
+    ch.set_monitor_online(false);
+    ch.publish_old_commit(s.cheat.cheater, s.cheat.state);
+    env.advance_rounds(s.cheat.victim_offline);
+    ch.set_monitor_online(true);
+    rep.closed = ch.run_until_closed(400);
+    rep.punished = ch.outcome() == lightning::LnOutcome::kPunished;
+    // The victim claims the cheater's to_local and keeps its own direct
+    // output from the published old commit: the whole capacity.
+    const PartyId victim = other(s.cheat.cheater);
+    const Payout want = victim == PartyId::kA ? Payout{kCapacity, 0} : Payout{0, kCapacity};
+    audit({want});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && rep.punished;
+    rep.detail = "fraud punished";
+  } else {
+    const bool coop = mix(s.seed, 0xc105eull) % 2 == 0;
+    bool done;
+    if (coop) {
+      done = ch.cooperative_close();
+    } else {
+      ch.force_close(mix(s.seed, 0x1417ull) % 2 == 0 ? PartyId::kA : PartyId::kB);
+      done = ch.run_until_closed(400);
+    }
+    if (!done) done = ch.run_until_closed(400);
+    rep.closed = done;
+    audit({got_stable});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok;
+    rep.detail = coop ? "cooperative close" : "force close";
+  }
+  finish_report(rep, inj, env.log());
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Generalized channels
+// ---------------------------------------------------------------------------
+
+DrillReport run_generalized(const FaultSchedule& s) {
+  DrillReport rep;
+  rep.protocol = Protocol::kGeneralized;
+  rep.seed = s.seed;
+
+  Environment env(s.delta, crypto::schnorr_scheme());
+  env.set_message_delay_budget(s.delay_budget);
+  ChaosInjector inj(s);
+  env.set_fault_injector(&inj);
+  env.ledger().set_delay_policy(
+      [&inj](const tx::Transaction&, Round d) { return inj.post_delay(0, d); });
+
+  channel::ChannelParams params;
+  params.id = "chaos-gc-" + std::to_string(s.seed);
+  params.cash_a = kCashA;
+  params.cash_b = kCashB;
+  params.t_punish = s.t_punish;
+
+  generalized::GeneralizedChannel* chp = nullptr;
+  bool windows_active = true;
+  env.add_round_hook([&env, &s, &chp, &windows_active] {
+    if (!chp || !windows_active) return;
+    const Round r = env.now();
+    bool online = true;
+    for (const DowntimeWindow& w : s.downtime)
+      if (r >= w.start && r < w.start + w.length) online = false;
+    chp->set_monitor_online(online);
+  });
+
+  generalized::GeneralizedChannel ch(env, params);
+  chp = &ch;
+
+  // The engine keeps its payout keys private; re-derive them from the
+  // deterministic wallet (same derivation path the constructor uses).
+  const Bytes pk_a = to_pub(daricch::DaricKeys::derive("A", params.id + "/gc")).main;
+  const Bytes pk_b = to_pub(daricch::DaricKeys::derive("B", params.id + "/gc")).main;
+
+  rep.create_ok = ch.create();
+  if (!rep.create_ok) {
+    rep.closed = true;
+    rep.conservation_ok = conserved(env.ledger());
+    rep.payout_ok = true;
+    rep.ok = rep.conservation_ok && !s.cheat.expect_loss;
+    rep.detail = "create aborted";
+    finish_report(rep, inj, env.log());
+    return rep;
+  }
+
+  StateVec stable{kCashA, kCashB, {}};
+  std::optional<StateVec> attempted;
+  bool update_aborted = false;
+  for (std::uint32_t i = 0; i < s.updates; ++i) {
+    const Amount to_a = update_to_a(s.seed, i);
+    const StateVec next{to_a, kCapacity - to_a, {}};
+    attempted = next;
+    if (!ch.update(next)) {
+      update_aborted = true;
+      break;
+    }
+    stable = next;
+    attempted.reset();
+    ++rep.updates_done;
+  }
+
+  auto audit = [&](std::initializer_list<Payout> candidates) {
+    const Payout got{credited(env.ledger(), pk_a), credited(env.ledger(), pk_b)};
+    rep.conservation_ok = conserved(env.ledger());
+    rep.payout_ok = payout_matches(got, candidates);
+  };
+  const Payout got_stable{stable.to_a, stable.to_b};
+
+  if (update_aborted) {
+    rep.closed = ch.run_until_closed(400);
+    audit({got_stable, Payout{attempted->to_a, attempted->to_b}});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok;
+    rep.detail = "update aborted to force-close";
+  } else if (s.cheat.enabled && s.cheat.state < rep.updates_done) {
+    rep.cheated = true;
+    windows_active = false;
+    ch.set_monitor_online(false);
+    ch.publish_old_commit(s.cheat.cheater, s.cheat.state);
+    env.advance_rounds(s.cheat.victim_offline);
+    ch.set_monitor_online(true);
+    rep.closed = ch.run_until_closed(400);
+    rep.punished = ch.outcome() == generalized::GcOutcome::kPunished;
+    const PartyId victim = other(s.cheat.cheater);
+    const Payout want = victim == PartyId::kA ? Payout{kCapacity, 0} : Payout{0, kCapacity};
+    audit({want});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && rep.punished;
+    rep.detail = "fraud punished";
+  } else {
+    const bool coop = mix(s.seed, 0xc105eull) % 2 == 0;
+    bool done;
+    if (coop) {
+      done = ch.cooperative_close();
+    } else {
+      ch.force_close(mix(s.seed, 0x1417ull) % 2 == 0 ? PartyId::kA : PartyId::kB);
+      done = ch.run_until_closed(400);
+    }
+    if (!done) done = ch.run_until_closed(400);
+    rep.closed = done;
+    audit({got_stable});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok;
+    rep.detail = coop ? "cooperative close" : "force close";
+  }
+  finish_report(rep, inj, env.log());
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// eltoo
+// ---------------------------------------------------------------------------
+
+DrillReport run_eltoo(const FaultSchedule& s) {
+  DrillReport rep;
+  rep.protocol = Protocol::kEltoo;
+  rep.seed = s.seed;
+
+  Environment env(s.delta, crypto::schnorr_scheme());
+  env.set_message_delay_budget(s.delay_budget);
+  ChaosInjector inj(s);
+  env.set_fault_injector(&inj);
+  env.ledger().set_delay_policy(
+      [&inj](const tx::Transaction&, Round d) { return inj.post_delay(0, d); });
+
+  channel::ChannelParams params;
+  params.id = "chaos-eltoo-" + std::to_string(s.seed);
+  params.cash_a = kCashA;
+  params.cash_b = kCashB;
+  params.t_punish = s.t_punish;
+
+  eltoo::EltooChannel* chp = nullptr;
+  bool windows_active = true;
+  env.add_round_hook([&env, &s, &chp, &windows_active] {
+    if (!chp || !windows_active) return;
+    const Round r = env.now();
+    bool online = true;
+    for (const DowntimeWindow& w : s.downtime)
+      if (r >= w.start && r < w.start + w.length) online = false;
+    chp->set_monitor_online(online);
+  });
+
+  eltoo::EltooChannel ch(env, params);
+  chp = &ch;
+
+  const Bytes pk_a = to_pub(daricch::DaricKeys::derive("A", params.id + "/eltoo")).main;
+  const Bytes pk_b = to_pub(daricch::DaricKeys::derive("B", params.id + "/eltoo")).main;
+
+  rep.create_ok = ch.create();
+  if (!rep.create_ok) {
+    rep.closed = true;
+    rep.conservation_ok = conserved(env.ledger());
+    rep.payout_ok = true;
+    rep.ok = rep.conservation_ok && !s.cheat.expect_loss;
+    rep.detail = "create aborted";
+    finish_report(rep, inj, env.log());
+    return rep;
+  }
+
+  StateVec stable{kCashA, kCashB, {}};
+  std::optional<StateVec> attempted;
+  bool update_aborted = false;
+  for (std::uint32_t i = 0; i < s.updates; ++i) {
+    const Amount to_a = update_to_a(s.seed, i);
+    const StateVec next{to_a, kCapacity - to_a, {}};
+    attempted = next;
+    if (!ch.update(next)) {
+      update_aborted = true;
+      break;
+    }
+    stable = next;
+    attempted.reset();
+    ++rep.updates_done;
+  }
+
+  auto audit = [&](std::initializer_list<Payout> candidates) {
+    const Payout got{credited(env.ledger(), pk_a), credited(env.ledger(), pk_b)};
+    rep.conservation_ok = conserved(env.ledger());
+    rep.payout_ok = payout_matches(got, candidates);
+  };
+  const Payout got_stable{stable.to_a, stable.to_b};
+
+  if (update_aborted) {
+    rep.closed = ch.run_until_closed(400);
+    audit({got_stable, Payout{attempted->to_a, attempted->to_b}});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok;
+    rep.detail = "update aborted to force-close";
+  } else if (s.cheat.enabled && s.cheat.state < rep.updates_done) {
+    // eltoo has no punishment: the honest monitor overrides the stale
+    // update with the newest one and settles the latest state.
+    rep.cheated = true;
+    windows_active = false;
+    ch.set_monitor_online(false);
+    ch.publish_old_update(s.cheat.cheater, s.cheat.state);
+    env.advance_rounds(s.cheat.victim_offline);
+    ch.set_monitor_online(true);
+    rep.closed = ch.run_until_closed(400);
+    rep.punished = false;
+    const bool overridden =
+        ch.settled_state().has_value() && *ch.settled_state() == rep.updates_done;
+    audit({got_stable});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && overridden;
+    rep.detail = "stale update overridden";
+  } else {
+    const bool coop = mix(s.seed, 0xc105eull) % 2 == 0;
+    bool done;
+    if (coop) {
+      done = ch.cooperative_close();
+    } else {
+      ch.force_close(mix(s.seed, 0x1417ull) % 2 == 0 ? PartyId::kA : PartyId::kB);
+      done = ch.run_until_closed(400);
+    }
+    if (!done) done = ch.run_until_closed(400);
+    rep.closed = done;
+    audit({got_stable});
+    rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok;
+    rep.detail = coop ? "cooperative close" : "force close";
+  }
+  finish_report(rep, inj, env.log());
+  return rep;
+}
+
+}  // namespace
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kDaric: return "daric";
+    case Protocol::kLightning: return "lightning";
+    case Protocol::kGeneralized: return "generalized";
+    case Protocol::kEltoo: return "eltoo";
+  }
+  return "?";
+}
+
+DrillReport run_drill(Protocol proto, const FaultSchedule& s) {
+  switch (proto) {
+    case Protocol::kDaric: return run_daric(s);
+    case Protocol::kLightning: return run_lightning(s);
+    case Protocol::kGeneralized: return run_generalized(s);
+    case Protocol::kEltoo: return run_eltoo(s);
+  }
+  return {};
+}
+
+BoundaryReport run_downtime_boundary(Round offline_rounds, Round t_punish, Round delta) {
+  BoundaryReport rep;
+  rep.offline_rounds = offline_rounds;
+
+  Environment env(delta, crypto::schnorr_scheme());
+  channel::ChannelParams params;
+  params.id = "boundary-" + std::to_string(t_punish) + "-" + std::to_string(delta) + "-" +
+              std::to_string(offline_rounds);
+  params.cash_a = kCashA;
+  params.cash_b = kCashB;
+  params.t_punish = t_punish;
+
+  daricch::DaricChannel ch(env, params);
+  if (!ch.create()) return rep;
+  if (!ch.update({50'000, 50'000, {}})) return rep;
+  if (!ch.update({70'000, 30'000, {}})) return rep;
+
+  // B cheats with revoked state 0 (B held 40k there, 30k now) while A's
+  // monitor misses `offline_rounds` rounds after the publication.
+  const EndgameResult res =
+      run_cheat_endgame(env, ch, PartyId::kB, 0, offline_rounds, t_punish, delta);
+  rep.punished = res.punished;
+  rep.funds_lost = res.funds_lost;
+  rep.closed = res.closed;
+  rep.conservation_ok = conserved(env.ledger());
+  return rep;
+}
+
+}  // namespace daric::sim::faults

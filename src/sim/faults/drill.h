@@ -1,0 +1,68 @@
+// Chaos drills: run one protocol engine under a FaultSchedule and audit
+// the terminal on-chain state against the paper's funds-security claims.
+//
+// A drill drives create → updates → (crash-recovery | fraud | honest
+// close) with the schedule's message faults, adversarial ledger delays and
+// monitor blackouts applied, then audits the UTXO set:
+//   · conservation — no value appears or vanishes (minted = unspent + fees);
+//   · payout — the parties' P2WPKH credits match a state both signed
+//     (full capacity to the victim after a punishment).
+// Generated schedules respect Theorem 1's liveness precondition, so every
+// invariant must hold. Crafted schedules may set expect_loss: the drill
+// then demands the opposite — demonstrable funds loss — which pins the
+// T − Δ failure boundary instead of hand-waving it.
+#pragma once
+
+#include <string>
+
+#include "src/sim/faults/schedule.h"
+
+namespace daric::sim::faults {
+
+enum class Protocol { kDaric, kLightning, kGeneralized, kEltoo };
+
+const char* protocol_name(Protocol p);
+
+struct DrillReport {
+  Protocol protocol = Protocol::kDaric;
+  std::uint64_t seed = 0;
+  bool create_ok = false;
+  std::uint32_t updates_done = 0;
+  bool crashed = false;  // crash-recovery path exercised
+  bool cheated = false;  // fraud path exercised
+  bool closed = false;
+  bool punished = false;
+  bool funds_lost = false;
+  bool conservation_ok = false;
+  bool payout_ok = false;
+  /// The run behaved as the schedule demands: all invariants hold, or —
+  /// for expect_loss schedules — the funds loss actually materialized.
+  bool ok = false;
+  std::string detail;
+  std::uint64_t msg_total = 0;
+  std::uint64_t msg_dropped = 0;
+  std::uint64_t msg_delayed = 0;
+  std::uint64_t msg_duplicated = 0;
+};
+
+/// Replays `s` against one protocol engine. Deterministic: the report is a
+/// pure function of (proto, s).
+DrillReport run_drill(Protocol proto, const FaultSchedule& s);
+
+/// Daric watchtower/party-downtime boundary probe (Theorem 1): the cheater
+/// publishes a revoked commit with confirmation delay 1 and sweeps the
+/// matching revoked split the moment its CSV(T) matures, while the victim's
+/// monitor stays dark for `offline_rounds` after the publication and its
+/// own transactions suffer the worst-case ledger delay Δ. Safe iff
+/// offline_rounds ≤ T − Δ.
+struct BoundaryReport {
+  Round offline_rounds = 0;
+  bool punished = false;
+  bool funds_lost = false;
+  bool closed = false;
+  bool conservation_ok = false;
+};
+
+BoundaryReport run_downtime_boundary(Round offline_rounds, Round t_punish, Round delta);
+
+}  // namespace daric::sim::faults

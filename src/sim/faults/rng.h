@@ -1,0 +1,47 @@
+// Deterministic randomness for fault schedules and drills.
+//
+// Everything chaotic in a drill must be a pure function of the schedule's
+// seed so that a serialized schedule replays byte-for-byte. Two entry
+// points: a splitmix64 stream (schedule generation, where draws happen in
+// a fixed order) and a stateless mixer (runtime decisions, where call
+// order must not matter).
+#pragma once
+
+#include <cstdint>
+
+namespace daric::sim::faults {
+
+/// splitmix64 (Steele, Lea & Flood): full-period, trivially seedable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); 0 when n == 0.
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  /// True with probability permille/1000.
+  bool chance(std::uint32_t permille) { return below(1000) < permille; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Order-independent derived randomness: hash of (seed, label). Used for
+/// runtime choices (update amounts, adversarial ledger delays) so that the
+/// value depends only on the schedule, not on how many draws preceded it.
+inline std::uint64_t mix(std::uint64_t seed, std::uint64_t label) {
+  std::uint64_t z = seed ^ (label + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace daric::sim::faults

@@ -1,0 +1,206 @@
+#include "src/sim/faults/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/sim/faults/rng.h"
+
+namespace daric::sim::faults {
+
+namespace {
+
+const char kHeader[] = "daric-fault-schedule v1";
+
+const char* fate_token(MessageFate f) {
+  switch (f) {
+    case MessageFate::kDrop: return "drop";
+    case MessageFate::kDelay: return "delay";
+    case MessageFate::kDuplicate: return "dup";
+    case MessageFate::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+MessageFate parse_fate(const std::string& tok) {
+  if (tok == "drop") return MessageFate::kDrop;
+  if (tok == "delay") return MessageFate::kDelay;
+  if (tok == "dup") return MessageFate::kDuplicate;
+  if (tok == "deliver") return MessageFate::kDeliver;
+  throw std::runtime_error("fault schedule: unknown message fate '" + tok + "'");
+}
+
+const char* party_token(PartyId p) { return p == PartyId::kA ? "A" : "B"; }
+
+PartyId parse_party(const std::string& tok) {
+  if (tok == "A") return PartyId::kA;
+  if (tok == "B") return PartyId::kB;
+  throw std::runtime_error("fault schedule: unknown party '" + tok + "'");
+}
+
+std::uint64_t parse_u64(const std::string& tok, const char* what) {
+  if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos)
+    throw std::runtime_error(std::string("fault schedule: bad ") + what + " '" + tok + "'");
+  return std::stoull(tok);
+}
+
+}  // namespace
+
+FaultSchedule generate_schedule(std::uint64_t seed, Round delta, Round t_punish) {
+  Rng rng(seed);
+  FaultSchedule s;
+  s.seed = seed;
+  s.delta = delta;
+  s.t_punish = t_punish;
+  s.updates = 2 + static_cast<std::uint32_t>(rng.below(5));  // 2..6
+  s.delay_budget = 1 + static_cast<Round>(rng.below(3));     // 1..3
+  s.ledger_random = rng.chance(500);
+
+  // Message perturbations over the whole run. The engines send ~3 create
+  // messages, ≤ 6 per update and 2 at close; retries consume extra indices,
+  // so cover a generous range.
+  const std::uint32_t horizon = 8 + 8 * s.updates;
+  for (std::uint32_t i = 0; i < horizon; ++i) {
+    const std::uint64_t roll = rng.below(100);
+    if (roll < 12) {
+      s.messages.push_back({i, MessageFate::kDrop, 0});
+    } else if (roll < 24) {
+      s.messages.push_back({i, MessageFate::kDelay, 1 + static_cast<Round>(rng.below(
+                                   static_cast<std::uint64_t>(s.delay_budget)))});
+    } else if (roll < 32) {
+      s.messages.push_back({i, MessageFate::kDuplicate, 0});
+    }
+  }
+
+  // Monitor blackouts, each shorter than the liveness bound T − Δ.
+  const Round max_down = t_punish - delta;
+  const std::uint64_t windows = rng.below(3);
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    DowntimeWindow win;
+    win.start = 1 + static_cast<Round>(rng.below(10 + 4ull * s.updates));
+    win.length = 1 + static_cast<Round>(rng.below(static_cast<std::uint64_t>(
+        max_down > 0 ? max_down : 1)));
+    win.victim = rng.below(2) == 0 ? PartyId::kA : PartyId::kB;
+    s.downtime.push_back(win);
+  }
+  std::sort(s.downtime.begin(), s.downtime.end(), [](const auto& x, const auto& y) {
+    return x.start != y.start ? x.start < y.start : x.victim < y.victim;
+  });
+
+  // Crash-recovery and fraud are mutually exclusive per schedule to keep
+  // each run's expected terminal state unambiguous.
+  const bool crash = rng.chance(250);
+  const bool cheat = !crash && rng.chance(600);
+  if (crash && s.updates > 1) {
+    s.crashes.push_back({1 + static_cast<std::uint32_t>(rng.below(s.updates - 1)),
+                         rng.below(2) == 0 ? PartyId::kA : PartyId::kB});
+  }
+  if (cheat) {
+    s.cheat.enabled = true;
+    s.cheat.cheater = rng.below(2) == 0 ? PartyId::kA : PartyId::kB;
+    s.cheat.state = static_cast<std::uint32_t>(rng.below(s.updates));
+    // Stay within the liveness precondition: the victim always wakes in
+    // time, so every generated schedule must end in punishment.
+    s.cheat.victim_offline = static_cast<Round>(rng.below(
+        static_cast<std::uint64_t>(max_down > 0 ? max_down + 1 : 1)));
+    s.cheat.expect_loss = false;
+  }
+  return s;
+}
+
+std::string to_text(const FaultSchedule& s) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  out << "seed " << s.seed << '\n';
+  out << "delta " << s.delta << '\n';
+  out << "t-punish " << s.t_punish << '\n';
+  out << "updates " << s.updates << '\n';
+  out << "delay-budget " << s.delay_budget << '\n';
+  out << "ledger-random " << (s.ledger_random ? 1 : 0) << '\n';
+  for (const MessageRule& m : s.messages) {
+    out << "msg " << m.index << ' ' << fate_token(m.fate);
+    if (m.fate == MessageFate::kDelay) out << ' ' << m.delay;
+    out << '\n';
+  }
+  for (const DowntimeWindow& w : s.downtime)
+    out << "down " << w.start << ' ' << w.length << ' ' << party_token(w.victim) << '\n';
+  for (const CrashPoint& c : s.crashes)
+    out << "crash " << c.after_update << ' ' << party_token(c.victim) << '\n';
+  if (s.cheat.enabled) {
+    out << "cheat " << party_token(s.cheat.cheater) << ' ' << s.cheat.state << ' '
+        << s.cheat.victim_offline << ' ' << (s.cheat.expect_loss ? 1 : 0) << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+FaultSchedule parse_schedule(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader)
+    throw std::runtime_error("fault schedule: missing '" + std::string(kHeader) + "' header");
+
+  FaultSchedule s;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (ended)
+      throw std::runtime_error("fault schedule: content after 'end'");
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    auto rest = [&ls, &line](const char* what) {
+      std::string tok;
+      if (!(ls >> tok))
+        throw std::runtime_error(std::string("fault schedule: truncated ") + what +
+                                 " line '" + line + "'");
+      return tok;
+    };
+    if (key == "seed") {
+      s.seed = parse_u64(rest("seed"), "seed");
+    } else if (key == "delta") {
+      s.delta = static_cast<Round>(parse_u64(rest("delta"), "delta"));
+    } else if (key == "t-punish") {
+      s.t_punish = static_cast<Round>(parse_u64(rest("t-punish"), "t-punish"));
+    } else if (key == "updates") {
+      s.updates = static_cast<std::uint32_t>(parse_u64(rest("updates"), "updates"));
+    } else if (key == "delay-budget") {
+      s.delay_budget = static_cast<Round>(parse_u64(rest("delay-budget"), "delay-budget"));
+    } else if (key == "ledger-random") {
+      s.ledger_random = parse_u64(rest("ledger-random"), "ledger-random") != 0;
+    } else if (key == "msg") {
+      MessageRule m;
+      m.index = static_cast<std::uint32_t>(parse_u64(rest("msg"), "msg index"));
+      m.fate = parse_fate(rest("msg"));
+      if (m.fate == MessageFate::kDelay)
+        m.delay = static_cast<Round>(parse_u64(rest("msg"), "msg delay"));
+      s.messages.push_back(m);
+    } else if (key == "down") {
+      DowntimeWindow w;
+      w.start = static_cast<Round>(parse_u64(rest("down"), "down start"));
+      w.length = static_cast<Round>(parse_u64(rest("down"), "down length"));
+      w.victim = parse_party(rest("down"));
+      s.downtime.push_back(w);
+    } else if (key == "crash") {
+      CrashPoint c;
+      c.after_update = static_cast<std::uint32_t>(parse_u64(rest("crash"), "crash update"));
+      c.victim = parse_party(rest("crash"));
+      s.crashes.push_back(c);
+    } else if (key == "cheat") {
+      s.cheat.enabled = true;
+      s.cheat.cheater = parse_party(rest("cheat"));
+      s.cheat.state = static_cast<std::uint32_t>(parse_u64(rest("cheat"), "cheat state"));
+      s.cheat.victim_offline =
+          static_cast<Round>(parse_u64(rest("cheat"), "cheat offline"));
+      s.cheat.expect_loss = parse_u64(rest("cheat"), "cheat expect-loss") != 0;
+    } else if (key == "end") {
+      ended = true;
+    } else {
+      throw std::runtime_error("fault schedule: unknown directive '" + key + "'");
+    }
+  }
+  if (!ended) throw std::runtime_error("fault schedule: missing 'end'");
+  return s;
+}
+
+}  // namespace daric::sim::faults

@@ -1,0 +1,96 @@
+// Serializable fault schedules.
+//
+// A FaultSchedule is the complete input of one chaos drill: which protocol
+// messages are dropped/delayed/duplicated (by global send index), when the
+// ledger adversary stretches confirmation, when monitors go dark, where a
+// party crashes and restores from its persisted snapshot, and whether a
+// cheater publishes a revoked state. The text form is canonical — parsing
+// and re-serializing any canonical schedule is byte-for-byte identical,
+// which is what makes a failing sweep run reproducible from the artifact
+// alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/party.h"
+
+namespace daric::sim::faults {
+
+/// One perturbed message, addressed by its global transmit index (re-sends
+/// of a dropped message consume the following indices).
+struct MessageRule {
+  std::uint32_t index = 0;
+  MessageFate fate = MessageFate::kDrop;
+  Round delay = 0;  // only meaningful for kDelay
+
+  bool operator==(const MessageRule&) const = default;
+};
+
+/// A monitor blackout: `victim`'s punish/chain monitor misses the rounds
+/// [start, start + length). Generated schedules keep length ≤ T − Δ so
+/// Theorem 1's liveness precondition still holds.
+struct DowntimeWindow {
+  Round start = 0;
+  Round length = 1;
+  PartyId victim = PartyId::kA;
+
+  bool operator==(const DowntimeWindow&) const = default;
+};
+
+/// Crash-recovery drill point: after the `after_update`-th successful
+/// update, `victim` crashes; the drill serializes its snapshot, restores a
+/// standalone monitor from the blob, and finishes the channel with it.
+struct CrashPoint {
+  std::uint32_t after_update = 1;
+  PartyId victim = PartyId::kA;
+
+  bool operator==(const CrashPoint&) const = default;
+};
+
+/// Fraud injection: `cheater` publishes its revoked commit of `state`
+/// while the victim's monitor stays dark for `victim_offline` rounds after
+/// the publication. Offline ≤ T − Δ must end in punishment; the crafted
+/// regression schedule sets expect_loss with offline = T − Δ + 1 to pin
+/// the failure boundary.
+struct CheatPlan {
+  bool enabled = false;
+  PartyId cheater = PartyId::kB;
+  std::uint32_t state = 0;
+  Round victim_offline = 0;
+  bool expect_loss = false;
+
+  bool operator==(const CheatPlan&) const = default;
+};
+
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  Round delta = 2;        // ledger Δ
+  Round t_punish = 8;     // CSV/relative-timelock T
+  std::uint32_t updates = 4;
+  Round delay_budget = 3;      // max extra rounds a delayed message suffers
+  bool ledger_random = false;  // adversary picks τ ∈ [1, Δ] per post
+  std::vector<MessageRule> messages;
+  std::vector<DowntimeWindow> downtime;
+  std::vector<CrashPoint> crashes;
+  CheatPlan cheat;
+
+  bool operator==(const FaultSchedule&) const = default;
+};
+
+/// Derives a liveness-respecting schedule from a seed (same seed → same
+/// schedule, forever). Generated schedules never violate Theorem 1's
+/// precondition, so every invariant must hold when they are replayed.
+FaultSchedule generate_schedule(std::uint64_t seed, Round delta = 2, Round t_punish = 8);
+
+/// Canonical text form. parse_schedule(to_text(s)) == s, and
+/// to_text(parse_schedule(t)) == t for any canonical t.
+std::string to_text(const FaultSchedule& s);
+
+/// Parses the canonical text form; throws std::runtime_error on any
+/// malformed line, unknown directive, or missing header/terminator.
+FaultSchedule parse_schedule(const std::string& text);
+
+}  // namespace daric::sim::faults

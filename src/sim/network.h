@@ -1,9 +1,12 @@
-// Authenticated message channel with guaranteed 1-round delivery (the
-// F_GDC of Appendix C). The protocol engines call `exchange()` around each
-// message round so that off-chain latency is charged against the clock.
+// Authenticated message channel (the F_GDC of Appendix C) with an explicit
+// delivery queue. Delivery takes one round by default; a FaultInjector may
+// additionally drop, delay (within a bounded budget) or duplicate any
+// message. Without an injector the behavior is exactly the guaranteed
+// 1-round delivery the protocol engines were written against.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -12,24 +15,132 @@
 
 namespace daric::sim {
 
+/// What the adversary does to one transmitted message.
+enum class MessageFate : std::uint8_t { kDeliver, kDrop, kDelay, kDuplicate };
+
+const char* message_fate_name(MessageFate f);
+
+struct MessageAction {
+  MessageFate fate = MessageFate::kDeliver;
+  Round delay = 0;  // extra rounds on top of the 1-round transit (kDelay)
+};
+
+/// Per-run fault policy consulted by the environment. Implementations must
+/// be deterministic functions of their construction state so that a run is
+/// replayable from a serialized schedule.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  /// Called once per transmit attempt, in global send order (re-sends of a
+  /// dropped message consult the injector again under the next index).
+  virtual MessageAction on_message(Round now, PartyId from, const std::string& type) = 0;
+  /// Adversarial confirmation delay τ for an honest ledger post. Return
+  /// value is clamped to [0, Δ] by the ledger.
+  virtual Round post_delay(Round now, Round delta) = 0;
+};
+
 struct MessageRecord {
-  Round round = 0;
+  Round sent = 0;
+  Round delivered = 0;  // meaningful when copies > 0
   PartyId from = PartyId::kA;
   std::string type;
+  MessageFate fate = MessageFate::kDeliver;
+  int copies = 1;  // 0 = dropped, 2 = duplicated
+};
+
+/// Messages currently in transit (sent but not yet handed to the receiver).
+/// The environment drains entries as the clock passes their delivery round;
+/// the queue makes the delay explicit instead of implied by control flow.
+class DeliveryQueue {
+ public:
+  struct InFlight {
+    Round deliver_round = 0;
+    PartyId from = PartyId::kA;
+    std::string type;
+    int copies = 1;
+  };
+
+  void push(InFlight m) { in_flight_.push_back(std::move(m)); }
+
+  /// Removes and returns the number of copies of messages due at `now`
+  /// (0 if nothing is due yet).
+  int drain_due(Round now) {
+    int copies = 0;
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      if (it->deliver_round <= now) {
+        copies += it->copies;
+        it = in_flight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return copies;
+  }
+
+  std::size_t pending() const { return in_flight_.size(); }
+
+ private:
+  std::deque<InFlight> in_flight_;
 };
 
 /// Records protocol messages and their rounds; exposes traffic statistics.
+/// Long chaos sweeps would grow the record vector without bound, so an
+/// optional ring-buffer capacity evicts the oldest entries while keeping
+/// the counters exact.
 class MessageLog {
  public:
-  void record(Round round, PartyId from, std::string type) {
-    records_.push_back({round, from, std::move(type)});
+  void record(MessageRecord rec) {
+    ++total_;
+    switch (rec.fate) {
+      case MessageFate::kDeliver: break;
+      case MessageFate::kDrop: ++lost_; break;
+      case MessageFate::kDelay: ++delayed_; break;
+      case MessageFate::kDuplicate: ++duplicated_; break;
+    }
+    records_.push_back(std::move(rec));
+    while (capacity_ != 0 && records_.size() > capacity_) {
+      records_.pop_front();
+      ++evicted_;
+    }
   }
-  std::size_t count() const { return records_.size(); }
-  const std::vector<MessageRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  void record(Round round, PartyId from, std::string type) {
+    record({round, round + 1, from, std::move(type), MessageFate::kDeliver, 1});
+  }
+
+  /// Exact number of messages ever recorded (unaffected by eviction).
+  std::size_t count() const { return total_; }
+  std::size_t lost() const { return lost_; }
+  std::size_t delayed() const { return delayed_; }
+  std::size_t duplicated() const { return duplicated_; }
+  /// Records evicted by the ring-buffer cap (0 when unbounded).
+  std::size_t evicted() const { return evicted_; }
+
+  /// Retained window (the most recent `capacity()` records when capped).
+  const std::deque<MessageRecord>& records() const { return records_; }
+
+  /// 0 = unbounded. Shrinking evicts oldest records immediately.
+  void set_capacity(std::size_t cap) {
+    capacity_ = cap;
+    while (capacity_ != 0 && records_.size() > capacity_) {
+      records_.pop_front();
+      ++evicted_;
+    }
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    records_.clear();
+    total_ = lost_ = delayed_ = duplicated_ = evicted_ = 0;
+  }
 
  private:
-  std::vector<MessageRecord> records_;
+  std::deque<MessageRecord> records_;
+  std::size_t capacity_ = 0;
+  std::size_t total_ = 0;
+  std::size_t lost_ = 0;
+  std::size_t delayed_ = 0;
+  std::size_t duplicated_ = 0;
+  std::size_t evicted_ = 0;
 };
 
 }  // namespace daric::sim

@@ -62,6 +62,45 @@ TEST(Persistence, CorruptBlobRejected) {
   EXPECT_THROW(daricch::deserialize_snapshot(extended), std::invalid_argument);
 }
 
+TEST(Persistence, CorruptionFuzzNeverCrashesOrMisparses) {
+  sim::Environment env(kDelta, crypto::schnorr_scheme());
+  daricch::DaricChannel ch(env, make_params("persist-fuzz"));
+  ASSERT_TRUE(ch.create());
+  const auto h = channel::make_htlc_secret("fuzz-h");
+  ASSERT_TRUE(ch.update({390'000, 600'000, {{10'000, h.payment_hash, true, 4}}}));
+  const Bytes blob = daricch::serialize_snapshot(daricch::snapshot_party(ch.party(PartyId::kB)));
+
+  // Every truncation must throw (no partial reads past the end).
+  for (std::size_t len = 0; len < blob.size(); len += 7) {
+    Bytes cut(blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(daricch::deserialize_snapshot(cut), std::exception) << "len " << len;
+  }
+
+  // Single-byte corruption at every offset: the parser must either throw
+  // or return a snapshot that still round-trips — never crash, never hang
+  // allocating absurd counts.
+  int rejected = 0, absorbed = 0;
+  for (std::size_t pos = 0; pos < blob.size(); ++pos) {
+    for (std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0xff}}) {
+      Bytes mutated = blob;
+      mutated[pos] ^= flip;
+      try {
+        const daricch::ChannelSnapshot s = daricch::deserialize_snapshot(mutated);
+        // Accepted: the flipped byte must land in a value field, not
+        // structure — re-serializing must reproduce the mutated blob.
+        EXPECT_EQ(daricch::serialize_snapshot(s), mutated) << "pos " << pos;
+        ++absorbed;
+      } catch (const std::exception&) {
+        ++rejected;
+      }
+    }
+  }
+  // The format is mostly fixed-width values, but structural bytes (counts,
+  // opcodes, condition tags, lengths) must be validated.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(absorbed, 0);
+}
+
 TEST(Persistence, SnapshotSizeIsConstantInUpdates) {
   sim::Environment env(kDelta, crypto::schnorr_scheme());
   daricch::DaricChannel ch(env, make_params("persist-3"));

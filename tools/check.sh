@@ -3,18 +3,23 @@
 # ASan+UBSan, a bounded model-check run, the secret-hygiene lint, and —
 # when the binary is installed — clang-tidy over the library sources.
 #
-# Usage: tools/check.sh [--fast|--bench]
+# Usage: tools/check.sh [--fast|--bench|--chaos]
 #   --fast   skip the sanitizer rebuild (plain tests + model check + lint)
 #   --bench  build Release, run the crypto + update microbenches, and write
 #            BENCH_crypto.json / BENCH_update_microbench.json at the repo root
+#   --chaos  fixed-seed 200-schedule fault-injection sweep (Daric + all
+#            baselines) plus the downtime-boundary scan and the committed
+#            regression schedules, under ASan+UBSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 FAST=0
 BENCH=0
+CHAOS=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 [[ "${1:-}" == "--bench" ]] && BENCH=1
+[[ "${1:-}" == "--chaos" ]] && CHAOS=1
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
@@ -40,6 +45,27 @@ if [[ "$BENCH" == 1 ]]; then
     --in build-release/bench_update_raw.json --out BENCH_update_microbench.json
 
   echo; echo "check.sh --bench: BENCH files written"
+  exit 0
+fi
+
+if [[ "$CHAOS" == 1 ]]; then
+  step "ASan+UBSan build (chaos driver)"
+  cmake -B build-asan -S . -DDARIC_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j --target daric_chaos >/dev/null
+
+  step "fixed-seed 200-schedule sweep, all protocols"
+  ./build-asan/tools/daric_chaos --sweep 200 --seed 1
+
+  step "watchtower-downtime boundary scan (Theorem 1)"
+  ./build-asan/tools/daric_chaos --boundary
+
+  step "committed regression schedules"
+  for sched in tests/schedules/*.sched; do
+    echo "replay $sched"
+    ./build-asan/tools/daric_chaos --replay "$sched" --protocol daric
+  done
+
+  echo; echo "check.sh --chaos: all sweeps clean"
   exit 0
 fi
 

@@ -1,0 +1,178 @@
+// Chaos sweep driver: replays seeded fault schedules against the Daric
+// engine and the Lightning / generalized / eltoo baselines, asserting the
+// funds-security invariants after every run.
+//
+//   daric_chaos --sweep N [--seed S0] [--protocol P]   N seeded schedules
+//   daric_chaos --replay FILE [--protocol P]           replay one schedule
+//   daric_chaos --emit SEED                            print a schedule
+//   daric_chaos --boundary [--t-punish T] [--delta D]  downtime boundary scan
+//
+// Exit status is non-zero the moment any run misbehaves, and the offending
+// schedule is printed in its canonical text form so it can be replayed
+// byte-for-byte with --replay.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/faults/drill.h"
+#include "src/sim/faults/schedule.h"
+
+namespace {
+
+using namespace daric;
+using namespace daric::sim::faults;
+
+void print_report(const DrillReport& r) {
+  std::cout << "  " << protocol_name(r.protocol) << ": "
+            << (r.ok ? "ok" : "FAIL") << " (" << r.detail << ") updates=" << r.updates_done
+            << " msgs=" << r.msg_total << " drop=" << r.msg_dropped
+            << " delay=" << r.msg_delayed << " dup=" << r.msg_duplicated;
+  if (r.cheated) std::cout << (r.punished ? " punished" : " UNPUNISHED");
+  if (r.funds_lost) std::cout << " FUNDS-LOST";
+  std::cout << '\n';
+}
+
+int fail_with_schedule(const FaultSchedule& s, const DrillReport& r) {
+  std::cerr << "chaos: invariant violation on " << protocol_name(r.protocol) << " seed "
+            << s.seed << " (" << r.detail << ")\n"
+            << "Replay with: daric_chaos --replay <file> --protocol "
+            << protocol_name(r.protocol) << "\n--- schedule ---\n"
+            << to_text(s) << "----------------" << std::endl;
+  return 1;
+}
+
+std::vector<Protocol> protocols_for(const std::string& name) {
+  if (name == "daric") return {Protocol::kDaric};
+  if (name == "lightning") return {Protocol::kLightning};
+  if (name == "generalized") return {Protocol::kGeneralized};
+  if (name == "eltoo") return {Protocol::kEltoo};
+  if (name == "all")
+    return {Protocol::kDaric, Protocol::kLightning, Protocol::kGeneralized, Protocol::kEltoo};
+  throw std::runtime_error("unknown protocol '" + name + "'");
+}
+
+int run_sweep(std::uint64_t seed0, std::uint64_t count, const std::string& proto,
+              bool verbose) {
+  const std::vector<Protocol> protos = protocols_for(proto);
+  std::uint64_t runs = 0;
+  std::uint64_t cheats = 0, crashes = 0, aborts = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const FaultSchedule s = generate_schedule(seed0 + i);
+    for (Protocol p : protos) {
+      const DrillReport r = run_drill(p, s);
+      ++runs;
+      if (verbose) print_report(r);
+      if (!r.ok) return fail_with_schedule(s, r);
+      if (r.cheated) ++cheats;
+      if (r.crashed) ++crashes;
+      if (!r.create_ok || r.detail.find("aborted") != std::string::npos) ++aborts;
+    }
+    if (!verbose && (i + 1) % 50 == 0)
+      std::cout << "chaos: " << (i + 1) << "/" << count << " schedules clean" << std::endl;
+  }
+  std::cout << "chaos: " << runs << " runs over " << count << " schedules ("
+            << protos.size() << " protocol(s)), 0 violations; " << cheats
+            << " fraud drills punished, " << crashes << " crash recoveries, " << aborts
+            << " aborted runs closed safely" << std::endl;
+  return 0;
+}
+
+int run_replay(const std::string& path, const std::string& proto) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "chaos: cannot open '" << path << "'" << std::endl;
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const FaultSchedule s = parse_schedule(buf.str());
+  if (to_text(s) != buf.str())
+    std::cout << "chaos: note: input is not in canonical form (replay still exact)\n";
+  bool all_ok = true;
+  for (Protocol p : protocols_for(proto)) {
+    const DrillReport r = run_drill(p, s);
+    print_report(r);
+    all_ok = all_ok && r.ok;
+    if (!r.ok) return fail_with_schedule(s, r);
+  }
+  return all_ok ? 0 : 1;
+}
+
+int run_boundary(Round t_punish, Round delta) {
+  const Round safe_limit = t_punish - delta;
+  std::cout << "boundary: T=" << t_punish << " delta=" << delta << " => safe downtime <= "
+            << safe_limit << " rounds\n";
+  int rc = 0;
+  for (Round d = 0; d <= safe_limit + 2; ++d) {
+    const BoundaryReport r = run_downtime_boundary(d, t_punish, delta);
+    const bool expect_safe = d <= safe_limit;
+    const bool as_expected =
+        r.conservation_ok && (expect_safe ? (r.punished && !r.funds_lost)
+                                          : (r.funds_lost && !r.punished));
+    std::cout << "  offline=" << d << ": "
+              << (r.punished ? "punished" : r.funds_lost ? "funds lost" : "???")
+              << (as_expected ? "" : "  <-- UNEXPECTED") << '\n';
+    if (!as_expected) rc = 1;
+  }
+  std::cout << (rc == 0 ? "boundary: exact at T - delta, as Theorem 1 demands"
+                        : "boundary: MISMATCH with Theorem 1")
+            << std::endl;
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t sweep = 0, seed0 = 1, emit_seed = 0;
+  std::string replay_path, proto = "all";
+  Round t_punish = 8, delta = 2;
+  bool boundary = false, emit = false, verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "chaos: " << a << " needs a value" << std::endl;
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--sweep") sweep = std::stoull(next());
+    else if (a == "--seed") seed0 = std::stoull(next());
+    else if (a == "--protocol") proto = next();
+    else if (a == "--replay") replay_path = next();
+    else if (a == "--emit") { emit = true; emit_seed = std::stoull(next()); }
+    else if (a == "--boundary") boundary = true;
+    else if (a == "--t-punish") t_punish = static_cast<Round>(std::stoull(next()));
+    else if (a == "--delta") delta = static_cast<Round>(std::stoull(next()));
+    else if (a == "--verbose" || a == "-v") verbose = true;
+    else {
+      std::cerr << "usage: daric_chaos --sweep N [--seed S0] [--protocol "
+                   "daric|lightning|generalized|eltoo|all] [-v]\n"
+                   "       daric_chaos --replay FILE [--protocol P]\n"
+                   "       daric_chaos --emit SEED\n"
+                   "       daric_chaos --boundary [--t-punish T] [--delta D]"
+                << std::endl;
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+
+  try {
+    if (emit) {
+      std::cout << to_text(generate_schedule(emit_seed, delta, t_punish));
+      return 0;
+    }
+    if (!replay_path.empty()) return run_replay(replay_path, proto);
+    if (boundary) return run_boundary(t_punish, delta);
+    if (sweep > 0) return run_sweep(seed0, sweep, proto, verbose);
+    std::cerr << "chaos: nothing to do (try --sweep 200)" << std::endl;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "chaos: error: " << e.what() << std::endl;
+    return 2;
+  }
+}
