@@ -1,0 +1,41 @@
+#include "src/analyze/domain.h"
+
+#include "src/script/interpreter.h"
+
+namespace daric::analyze {
+
+Truth AbsVal::truth() const {
+  if (kind == Kind::kConst)
+    return script::cast_to_bool(bytes) ? Truth::kTrue : Truth::kFalse;
+  return Truth::kUnknown;
+}
+
+AbsVal AbsVal::constant(Bytes b) {
+  AbsVal v;
+  v.kind = Kind::kConst;
+  v.bytes = std::move(b);
+  return v;
+}
+
+AbsVal AbsVal::witness(int index) {
+  AbsVal v;
+  v.kind = Kind::kWitness;
+  v.witness_index = index;
+  return v;
+}
+
+AbsVal AbsVal::sig(int index, script::SighashFlag f) {
+  AbsVal v;
+  v.kind = Kind::kSig;
+  v.witness_index = index;
+  v.flag = f;
+  return v;
+}
+
+AbsVal AbsVal::of_kind(Kind k) {
+  AbsVal v;
+  v.kind = k;
+  return v;
+}
+
+}  // namespace daric::analyze

@@ -1,0 +1,83 @@
+// Abstract value domain of the symbolic stack machine.
+//
+// The analyzer tracks just enough structure to decide the properties the
+// lints need: constants stay concrete (so hash-locks and branch selectors
+// evaluate exactly), witness elements stay opaque, and the results of
+// signature checks / hash-preimage comparisons are distinguished values so
+// a path's acceptance condition can be classified as "gated" or
+// anyone-can-spend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/script/standard.h"
+#include "src/util/bytes.h"
+
+namespace daric::analyze {
+
+enum class Truth : std::uint8_t { kTrue, kFalse, kUnknown };
+
+struct AbsVal {
+  enum class Kind : std::uint8_t {
+    kConst,      // concrete byte string; truthiness and hashes computable
+    kWitness,    // opaque witness element (attacker-chosen)
+    kSig,        // witness element declared to be a signature (flag known)
+    kHash,       // hash of a witness-derived value
+    kSigResult,  // boolean produced by CHECKSIG/CHECKMULTISIG on witness sigs
+    kHashEq,     // boolean produced by EQUAL over a kHash and other data
+    kOpaque,     // any other symbolic value
+  };
+
+  Kind kind = Kind::kOpaque;
+  Bytes bytes;                 // kConst payload
+  int witness_index = -1;      // kWitness / kSig: origin slot in the witness stack
+  script::SighashFlag flag = script::SighashFlag::kAll;  // kSig only
+
+  Truth truth() const;
+  bool is_const() const { return kind == Kind::kConst; }
+  /// True for values whose content the witness provider controls or derives.
+  bool witness_derived() const {
+    return kind == Kind::kWitness || kind == Kind::kSig || kind == Kind::kHash ||
+           kind == Kind::kOpaque;
+  }
+
+  static AbsVal constant(Bytes b);
+  static AbsVal witness(int index);
+  static AbsVal sig(int index, script::SighashFlag f);
+  static AbsVal of_kind(Kind k);
+};
+
+/// Conditions a single execution path imposes on the spender and the
+/// spending transaction.
+struct PathGuards {
+  int sig_gates = 0;     // signature checks that must pass on this path
+  int hash_gates = 0;    // hash-preimage equalities that must hold
+  std::vector<std::uint32_t> cltv;  // CLTV demands on the spending tx's nLockTime
+  std::vector<std::uint32_t> csv;   // CSV demands on the spent output's age
+  bool symbolic_timelock = false;   // a CLTV/CSV operand was not a constant
+  bool symbolic_multisig = false;   // a CHECKMULTISIG arity was not a constant
+};
+
+/// Abstract shape of one witness-stack element in a transaction template.
+struct WitnessElem {
+  enum class Kind : std::uint8_t {
+    kConst,   // fixed bytes (branch selectors, pubkeys, preimages)
+    kSig,     // a signature carrying `flag`
+    kOpaque,  // attacker- or runtime-chosen bytes
+  };
+
+  Kind kind = Kind::kConst;
+  Bytes bytes;  // kConst payload
+  script::SighashFlag flag = script::SighashFlag::kAll;  // kSig only
+
+  static WitnessElem empty() { return {Kind::kConst, {}, script::SighashFlag::kAll}; }
+  static WitnessElem constant(BytesView b) {
+    return {Kind::kConst, Bytes(b.begin(), b.end()), script::SighashFlag::kAll};
+  }
+  static WitnessElem sig(script::SighashFlag f) { return {Kind::kSig, {}, f}; }
+  static WitnessElem opaque() { return {Kind::kOpaque, {}, script::SighashFlag::kAll}; }
+};
+
+}  // namespace daric::analyze

@@ -1,0 +1,48 @@
+#include "src/analyze/engines.h"
+
+#include <stdexcept>
+
+#include "src/daric/scripts.h"
+#include "src/eltoo/scripts.h"
+#include "src/generalized/scripts.h"
+#include "src/lightning/scripts.h"
+
+namespace daric::analyze {
+
+channel::ChannelParams params_for_model(const verify::Options& model, std::string id) {
+  channel::ChannelParams p;
+  p.id = std::move(id);
+  p.cash_a = model.to_a(0);
+  p.cash_b = model.to_b(0);
+  p.t_punish = model.t_punish;
+  return p;
+}
+
+std::vector<TxTemplate> engine_templates(const std::string& engine,
+                                         const channel::ChannelParams& p,
+                                         const verify::Options& model) {
+  if (engine == "daric") return daricch::enumerate_templates(p, model);
+  if (engine == "lightning") return lightning::enumerate_templates(p, model);
+  if (engine == "eltoo") return eltoo::enumerate_templates(p, model);
+  if (engine == "generalized") return generalized::enumerate_templates(p, model);
+  throw std::invalid_argument("unknown engine: " + engine);
+}
+
+std::vector<TxTemplate> all_engine_templates(const channel::ChannelParams& p,
+                                             const verify::Options& model) {
+  std::vector<TxTemplate> out;
+  for (const std::string& e : engine_names()) {
+    std::vector<TxTemplate> ts = engine_templates(e, p, model);
+    out.insert(out.end(), std::make_move_iterator(ts.begin()),
+               std::make_move_iterator(ts.end()));
+  }
+  return out;
+}
+
+const std::vector<std::string>& engine_names() {
+  static const std::vector<std::string> kNames = {"daric", "lightning", "eltoo",
+                                                  "generalized"};
+  return kNames;
+}
+
+}  // namespace daric::analyze

@@ -1,0 +1,34 @@
+// Aggregated template enumeration across all four channel engines.
+//
+// The analyzer proves properties of *templates* — the fixed transaction
+// shapes an engine can ever emit — so enumerating them from the same
+// builders the runtime uses (and the verify::Options state schedule the
+// model checker explores) is what ties the static proofs to the deployed
+// protocol.
+#pragma once
+
+#include "src/analyze/templates.h"
+#include "src/channel/params.h"
+#include "src/verify/model.h"
+
+namespace daric::analyze {
+
+/// Channel parameters matching the model's capacity and timing, suitable
+/// for template enumeration (id defaults to "analyze").
+channel::ChannelParams params_for_model(const verify::Options& model,
+                                        std::string id = "analyze");
+
+/// All templates of one engine by name ("daric", "lightning", "eltoo",
+/// "generalized"); throws std::invalid_argument on an unknown name.
+std::vector<TxTemplate> engine_templates(const std::string& engine,
+                                         const channel::ChannelParams& p,
+                                         const verify::Options& model);
+
+/// Concatenation over all four engines.
+std::vector<TxTemplate> all_engine_templates(const channel::ChannelParams& p,
+                                             const verify::Options& model);
+
+/// The engine names `engine_templates` accepts.
+const std::vector<std::string>& engine_names();
+
+}  // namespace daric::analyze

@@ -1,0 +1,439 @@
+#include "src/analyze/interp.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/crypto/ripemd160.h"
+#include "src/crypto/sha256.h"
+#include "src/script/interpreter.h"
+
+namespace daric::analyze {
+
+std::string PathResult::trace() const {
+  std::string out;
+  for (const auto& [ip, taken] : branches) {
+    if (!out.empty()) out += ',';
+    out += "if@" + std::to_string(ip) + (taken ? "=T" : "=F");
+  }
+  if (failed) {
+    if (!out.empty()) out += ' ';
+    out += "fail@" + std::to_string(fail_ip) + ":" + fail_reason;
+  }
+  return out;
+}
+
+bool ScriptAnalysis::any_accepting() const {
+  return std::any_of(paths.begin(), paths.end(),
+                     [](const PathResult& p) { return p.accepting(); });
+}
+
+namespace {
+
+constexpr std::size_t kMaxPaths = 256;
+
+Bytes num4_bytes(std::uint32_t v) {
+  Bytes b(4);
+  for (int i = 0; i < 4; ++i) b[static_cast<std::size_t>(i)] = static_cast<Byte>(v >> (i * 8));
+  return b;
+}
+
+AbsVal hash_abs(script::Op op, const AbsVal& a) {
+  if (a.is_const()) {
+    switch (op) {
+      case script::Op::OP_SHA256: {
+        const Hash256 h = crypto::Sha256::hash(a.bytes);
+        return AbsVal::constant(Bytes(h.view().begin(), h.view().end()));
+      }
+      case script::Op::OP_HASH256: {
+        const Hash256 h = crypto::Sha256::double_hash(a.bytes);
+        return AbsVal::constant(Bytes(h.view().begin(), h.view().end()));
+      }
+      default: {
+        const crypto::Hash160 h = crypto::hash160(a.bytes);
+        return AbsVal::constant(Bytes(h.view().begin(), h.view().end()));
+      }
+    }
+  }
+  return AbsVal::of_kind(AbsVal::Kind::kHash);
+}
+
+struct SymState {
+  std::size_t ip = 0;
+  std::vector<AbsVal> stack;
+  std::vector<bool> cond;  // one entry per open IF, like the interpreter
+  PathResult res;
+
+  bool executing() const {
+    for (bool b : cond)
+      if (!b) return false;
+    return true;
+  }
+};
+
+class Explorer {
+ public:
+  Explorer(const script::Script& s, const std::vector<WitnessElem>* witness)
+      : ins_(s.instructions()), lazy_(witness == nullptr) {
+    out_.wire_size = s.wire_size();
+    if (witness) {
+      initial_.reserve(witness->size());
+      int i = 0;
+      for (const WitnessElem& w : *witness) {
+        switch (w.kind) {
+          case WitnessElem::Kind::kConst:
+            initial_.push_back(AbsVal::constant(w.bytes));
+            break;
+          case WitnessElem::Kind::kSig:
+            initial_.push_back(AbsVal::sig(i, w.flag));
+            break;
+          case WitnessElem::Kind::kOpaque:
+            initial_.push_back(AbsVal::witness(i));
+            break;
+        }
+        ++i;
+      }
+    }
+  }
+
+  ScriptAnalysis run() {
+    if (!balanced()) return out_;
+    SymState first;
+    first.stack = initial_;
+    first.res.max_depth = first.stack.size();
+    work_.push_back(std::move(first));
+    while (!work_.empty()) {
+      if (out_.paths.size() + work_.size() > kMaxPaths) {
+        out_.path_limit_hit = true;
+        break;
+      }
+      SymState st = std::move(work_.back());
+      work_.pop_back();
+      step_to_end(std::move(st));
+    }
+    for (const PathResult& p : out_.paths)
+      out_.max_depth = std::max(out_.max_depth, p.max_depth);
+    return std::move(out_);
+  }
+
+ private:
+  bool balanced() {
+    std::size_t depth = 0;
+    for (std::size_t i = 0; i < ins_.size(); ++i) {
+      const script::Op op = ins_[i].op;
+      if (op == script::Op::OP_IF || op == script::Op::OP_NOTIF) {
+        ++depth;
+      } else if (op == script::Op::OP_ELSE || op == script::Op::OP_ENDIF) {
+        if (depth == 0) {
+          out_.unbalanced = true;
+          out_.unbalanced_ip = i;
+          return false;
+        }
+        if (op == script::Op::OP_ENDIF) --depth;
+      }
+    }
+    if (depth != 0) {
+      out_.unbalanced = true;
+      out_.unbalanced_ip = ins_.size();
+    }
+    return depth == 0;
+  }
+
+  CondInfo& cond_info(std::size_t ip) {
+    auto it = cond_index_.find(ip);
+    if (it == cond_index_.end()) {
+      out_.conditionals.push_back(CondInfo{ip, {false, false}, {false, false}});
+      it = cond_index_.emplace(ip, out_.conditionals.size() - 1).first;
+    }
+    return out_.conditionals[it->second];
+  }
+
+  // Pops the abstract top; in script mode the unconstrained witness supplies
+  // a fresh opaque element instead of underflowing.
+  bool pop(SymState& st, AbsVal& out) {
+    if (!st.stack.empty()) {
+      out = std::move(st.stack.back());
+      st.stack.pop_back();
+      return true;
+    }
+    if (lazy_) {
+      out = AbsVal::witness(st.res.witness_used++);
+      return true;
+    }
+    st.res.underflow = true;
+    return false;
+  }
+
+  void push(SymState& st, AbsVal v) {
+    st.stack.push_back(std::move(v));
+    st.res.max_depth =
+        std::max(st.res.max_depth,
+                 st.stack.size() + static_cast<std::size_t>(st.res.witness_used));
+  }
+
+  void fail(SymState& st, std::size_t ip, std::string reason) {
+    st.res.failed = true;
+    st.res.fail_ip = ip;
+    st.res.fail_reason = std::move(reason);
+    finalize(std::move(st));
+  }
+
+  void finalize(SymState st) {
+    PathResult& r = st.res;
+    r.stack_left = st.stack.size();
+    if (!r.failed) {
+      if (st.stack.empty()) {
+        r.accept = Truth::kFalse;
+      } else {
+        const AbsVal& top = st.stack.back();
+        r.accept = top.truth();
+        if (top.kind == AbsVal::Kind::kSigResult) r.gated = true;
+        if (top.kind == AbsVal::Kind::kHashEq) r.gated = true;
+      }
+    } else {
+      r.accept = Truth::kFalse;
+    }
+    if (r.guards.sig_gates > 0 || r.guards.hash_gates > 0) r.gated = true;
+    if (r.accepting()) {
+      for (const auto& [ip, taken] : r.branches) cond_info(ip).accepting[taken] = true;
+    }
+    out_.paths.push_back(std::move(r));
+  }
+
+  // Records a branch decision; `sig_backed` marks decisions whose underlying
+  // condition evaluating to true implies a signature/hash check passed.
+  void take_branch(SymState& st, std::size_t ip, bool value, bool cond_true,
+                   AbsVal::Kind cond_kind) {
+    CondInfo& ci = cond_info(ip);
+    ci.explored[value] = true;
+    st.res.branches.emplace_back(ip, value);
+    if (cond_true && cond_kind == AbsVal::Kind::kSigResult) ++st.res.guards.sig_gates;
+    if (cond_true && cond_kind == AbsVal::Kind::kHashEq) ++st.res.guards.hash_gates;
+    st.cond.push_back(value);
+  }
+
+  // Runs `st` forward, splitting at symbolic conditionals, until every
+  // descendant path is finalized.
+  void step_to_end(SymState st) {
+    using script::Op;
+    while (st.ip < ins_.size()) {
+      const script::Instr& in = ins_[st.ip];
+      const std::size_t ip = st.ip;
+      const bool exec = st.executing();
+      ++st.ip;
+
+      if (in.op == Op::OP_IF || in.op == Op::OP_NOTIF) {
+        if (!exec) {
+          st.cond.push_back(false);
+          continue;
+        }
+        AbsVal c;
+        if (!pop(st, c)) return fail(st, ip, "stack-underflow");
+        Truth t = c.truth();
+        if (in.op == Op::OP_NOTIF && t != Truth::kUnknown)
+          t = t == Truth::kTrue ? Truth::kFalse : Truth::kTrue;
+        if (t == Truth::kUnknown) {
+          // Fork: explore both directions of the conditional.
+          SymState other = st;
+          const bool true_dir_value = in.op == Op::OP_IF;  // NOTIF inverts
+          take_branch(st, ip, true, true == true_dir_value, c.kind);
+          take_branch(other, ip, false, false == true_dir_value, c.kind);
+          work_.push_back(std::move(other));
+          continue;
+        }
+        const bool value = t == Truth::kTrue;
+        const bool cond_true = in.op == Op::OP_IF ? value : !value;
+        take_branch(st, ip, value, cond_true, c.kind);
+        continue;
+      }
+      if (in.op == Op::OP_ELSE) {
+        st.cond.back() = !st.cond.back();  // balance pre-checked
+        continue;
+      }
+      if (in.op == Op::OP_ENDIF) {
+        st.cond.pop_back();
+        continue;
+      }
+      if (!exec) continue;
+
+      switch (in.op) {
+        case Op::PUSH:
+          push(st, AbsVal::constant(in.data));
+          break;
+        case Op::NUM4:
+          push(st, AbsVal::constant(num4_bytes(in.num)));
+          break;
+        case Op::OP_0:
+          push(st, AbsVal::constant({}));
+          break;
+        case Op::OP_DROP: {
+          AbsVal v;
+          if (!pop(st, v)) return fail(st, ip, "stack-underflow");
+          break;
+        }
+        case Op::OP_DUP: {
+          AbsVal v;
+          if (!pop(st, v)) return fail(st, ip, "stack-underflow");
+          push(st, v);
+          push(st, std::move(v));
+          break;
+        }
+        case Op::OP_VERIFY: {
+          AbsVal v;
+          if (!pop(st, v)) return fail(st, ip, "stack-underflow");
+          if (v.truth() == Truth::kFalse)
+            return fail(st, ip, "verify-on-false-constant");
+          if (v.kind == AbsVal::Kind::kSigResult) ++st.res.guards.sig_gates;
+          if (v.kind == AbsVal::Kind::kHashEq) ++st.res.guards.hash_gates;
+          break;
+        }
+        case Op::OP_RETURN:
+          return fail(st, ip, "op-return");
+        case Op::OP_EQUAL:
+        case Op::OP_EQUALVERIFY: {
+          AbsVal a, b;
+          if (!pop(st, a) || !pop(st, b)) return fail(st, ip, "stack-underflow");
+          const bool verify = in.op == Op::OP_EQUALVERIFY;
+          if (a.is_const() && b.is_const()) {
+            const bool eq = a.bytes == b.bytes;
+            if (verify) {
+              if (!eq) return fail(st, ip, "equalverify-constant-mismatch");
+            } else {
+              push(st, AbsVal::constant(eq ? Bytes{1} : Bytes{}));
+            }
+          } else if (a.kind == AbsVal::Kind::kHash || b.kind == AbsVal::Kind::kHash) {
+            // Hash-preimage condition: the spender must produce a preimage.
+            if (verify) {
+              ++st.res.guards.hash_gates;
+            } else {
+              push(st, AbsVal::of_kind(AbsVal::Kind::kHashEq));
+            }
+          } else {
+            // Equality over attacker-chosen values: satisfiable, not a gate.
+            if (!verify) push(st, AbsVal::of_kind(AbsVal::Kind::kOpaque));
+          }
+          break;
+        }
+        case Op::OP_SHA256:
+        case Op::OP_HASH256:
+        case Op::OP_HASH160: {
+          AbsVal a;
+          if (!pop(st, a)) return fail(st, ip, "stack-underflow");
+          push(st, hash_abs(in.op, a));
+          break;
+        }
+        case Op::OP_CHECKSIG:
+        case Op::OP_CHECKSIGVERIFY: {
+          AbsVal pk, sig;
+          if (!pop(st, pk) || !pop(st, sig))
+            return fail(st, ip, "stack-underflow");
+          const bool definite_fail = sig.is_const();  // fixed bytes are no signature
+          if (in.op == Op::OP_CHECKSIGVERIFY) {
+            if (definite_fail)
+              return fail(st, ip, "checksigverify-on-constant");
+            ++st.res.guards.sig_gates;
+          } else {
+            push(st, definite_fail ? AbsVal::constant({})
+                                   : AbsVal::of_kind(AbsVal::Kind::kSigResult));
+          }
+          break;
+        }
+        case Op::OP_CHECKMULTISIG:
+        case Op::OP_CHECKMULTISIGVERIFY: {
+          AbsVal n_elem;
+          if (!pop(st, n_elem)) return fail(st, ip, "stack-underflow");
+          if (!n_elem.is_const()) {
+            st.res.guards.symbolic_multisig = true;
+            return fail(st, ip, "symbolic-multisig-arity");
+          }
+          const std::uint64_t n = script::decode_number(n_elem.bytes);
+          if (n > 20) return fail(st, ip, "bad-multisig");
+          for (std::uint64_t i = 0; i < n; ++i) {
+            AbsVal key;
+            if (!pop(st, key)) return fail(st, ip, "stack-underflow");
+          }
+          AbsVal k_elem;
+          if (!pop(st, k_elem)) return fail(st, ip, "stack-underflow");
+          if (!k_elem.is_const()) {
+            st.res.guards.symbolic_multisig = true;
+            return fail(st, ip, "symbolic-multisig-arity");
+          }
+          const std::uint64_t k = script::decode_number(k_elem.bytes);
+          if (k > n) return fail(st, ip, "bad-multisig");
+          bool all_const = true;
+          for (std::uint64_t i = 0; i < k; ++i) {
+            AbsVal sig;
+            if (!pop(st, sig)) return fail(st, ip, "stack-underflow");
+            if (!sig.is_const()) all_const = false;
+          }
+          AbsVal dummy;
+          if (!pop(st, dummy)) return fail(st, ip, "stack-underflow");
+          // k = 0 succeeds vacuously — a genuine anyone-can-spend hazard the
+          // gate classification must see as a constant-true result.
+          AbsVal result = k == 0 ? AbsVal::constant(Bytes{1})
+                         : all_const ? AbsVal::constant({})
+                                     : AbsVal::of_kind(AbsVal::Kind::kSigResult);
+          if (in.op == Op::OP_CHECKMULTISIGVERIFY) {
+            if (result.truth() == Truth::kFalse)
+              return fail(st, ip, "checkmultisigverify-on-constant");
+            if (result.kind == AbsVal::Kind::kSigResult) ++st.res.guards.sig_gates;
+          } else {
+            push(st, std::move(result));
+          }
+          break;
+        }
+        case Op::OP_CHECKLOCKTIMEVERIFY:
+        case Op::OP_CHECKSEQUENCEVERIFY: {
+          if (st.stack.empty() && !lazy_)
+            return fail(st, ip, "stack-underflow");
+          AbsVal top;
+          if (st.stack.empty()) {
+            top = AbsVal::witness(st.res.witness_used++);
+            st.stack.push_back(top);  // CLTV/CSV peek without popping
+          } else {
+            top = st.stack.back();
+          }
+          if (top.is_const()) {
+            const auto v = static_cast<std::uint32_t>(script::decode_number(top.bytes));
+            if (in.op == Op::OP_CHECKLOCKTIMEVERIFY) {
+              st.res.guards.cltv.push_back(v);
+            } else {
+              st.res.guards.csv.push_back(v);
+            }
+          } else {
+            st.res.guards.symbolic_timelock = true;
+          }
+          break;
+        }
+        default: {
+          const auto raw = static_cast<unsigned>(in.op);
+          if (raw >= 0x51 && raw <= 0x60) {
+            push(st, AbsVal::constant(script::encode_number(raw - 0x50)));
+            break;
+          }
+          return fail(st, ip, "bad-opcode");
+        }
+      }
+    }
+    finalize(std::move(st));
+  }
+
+  const std::vector<script::Instr>& ins_;
+  const bool lazy_;
+  std::vector<AbsVal> initial_;
+  std::vector<SymState> work_;
+  std::map<std::size_t, std::size_t> cond_index_;
+  ScriptAnalysis out_;
+};
+
+}  // namespace
+
+ScriptAnalysis analyze_script(const script::Script& s) {
+  return Explorer(s, nullptr).run();
+}
+
+ScriptAnalysis analyze_with_witness(const script::Script& s,
+                                    const std::vector<WitnessElem>& witness) {
+  return Explorer(s, &witness).run();
+}
+
+}  // namespace daric::analyze

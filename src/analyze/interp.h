@@ -1,0 +1,75 @@
+// Symbolic execution of a script::Script over the abstract domain.
+//
+// Every IF/NOTIF with a non-constant condition forks the path; constant
+// conditions (script constants or template witness constants) select a
+// single branch, exactly as the concrete interpreter would. The walk
+// terminates because scripts have no loops; the path count is bounded by
+// 2^(#conditionals) and additionally capped.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/analyze/domain.h"
+#include "src/script/script.h"
+
+namespace daric::analyze {
+
+/// Outcome of one fully-explored execution path.
+struct PathResult {
+  /// Branch decisions in execution order: (instruction index, value taken).
+  std::vector<std::pair<std::size_t, bool>> branches;
+  PathGuards guards;
+
+  /// Truthiness of the final stack top (kFalse ⇒ the path rejects).
+  Truth accept = Truth::kUnknown;
+  bool failed = false;             // aborted before reaching the end
+  std::string fail_reason;
+  std::size_t fail_ip = 0;
+
+  bool underflow = false;          // template mode: popped past the witness
+  std::size_t stack_left = 0;      // elements remaining after the last op
+  std::size_t max_depth = 0;       // peak abstract stack depth on this path
+  int witness_used = 0;            // script mode: lazily materialized elements
+
+  /// Acceptance is conditioned on a signature or hash-preimage check.
+  bool gated = false;
+
+  /// True when the path can terminate with a truthy top element.
+  bool accepting() const { return !failed && accept != Truth::kFalse; }
+
+  /// "if@3=T,if@7=F" — branch decisions for diagnostics.
+  std::string trace() const;
+};
+
+/// Per-conditional exploration summary, for dead-branch detection.
+struct CondInfo {
+  std::size_t ip = 0;          // instruction index of the IF/NOTIF
+  bool explored[2] = {false, false};   // [false-dir, true-dir]
+  bool accepting[2] = {false, false};  // direction lies on some accepting path
+};
+
+struct ScriptAnalysis {
+  std::vector<PathResult> paths;
+  std::vector<CondInfo> conditionals;
+
+  bool unbalanced = false;       // ELSE/ENDIF imbalance (structural)
+  std::size_t unbalanced_ip = 0;
+  bool path_limit_hit = false;   // exploration truncated (should never happen)
+  std::size_t max_depth = 0;     // max over paths
+  std::size_t wire_size = 0;
+
+  bool any_accepting() const;
+};
+
+/// Script mode: the witness is unconstrained — elements materialize lazily
+/// as opaque unknowns, so every branch combination is explored.
+ScriptAnalysis analyze_script(const script::Script& s);
+
+/// Template mode: the witness stack is fixed (bottom..top, matching
+/// tx::Witness::stack order); popping past it is an underflow.
+ScriptAnalysis analyze_with_witness(const script::Script& s,
+                                    const std::vector<WitnessElem>& witness);
+
+}  // namespace daric::analyze

@@ -1,0 +1,254 @@
+#include "src/analyze/lints.h"
+
+#include <set>
+#include <string>
+
+#include "src/analyze/interp.h"
+#include "src/crypto/ripemd160.h"
+#include "src/script/interpreter.h"
+#include "src/tx/sighash.h"
+#include "src/util/hex.h"
+
+namespace daric::analyze {
+
+namespace {
+
+const std::vector<Lint> kCatalogue = {
+    {"DA001", Severity::kError, "stack underflow: witness too short for an executed path"},
+    {"DA002", Severity::kError, "unbalanced conditional (ELSE/ENDIF without matching IF)"},
+    {"DA003", Severity::kError, "dead branch: unreachable or has no accepting path"},
+    {"DA004", Severity::kError, "unspendable: no path can leave a truthy top element"},
+    {"DA005", Severity::kError, "anyone-can-spend: accepting path has no sig/hash gate"},
+    {"DA006", Severity::kError, "unclean stack: accepting path leaves extra elements"},
+    {"DA007", Severity::kWarning, "non-minimal push: use OP_0/OP_1..OP_16"},
+    {"DA008", Severity::kError, "exceeds interpreter stack-depth/script-size limit"},
+    {"DA009", Severity::kError, "CLTV demand exceeds the template's nLockTime"},
+    {"DA010", Severity::kError, "CSV demand exceeds the declared spend age"},
+    {"DA011", Severity::kError, "SIGHASH_SINGLE input without a matching output"},
+    {"DA012", Severity::kError, "rebindable input signed without ANYPREVOUT"},
+    {"DA013", Severity::kError, "witness program does not match the spent output"},
+    {"DA014", Severity::kWarning, "symbolic multisig arity / timelock operand"},
+    {"DA015", Severity::kError, "outputs exceed the value of the spent inputs"},
+    {"DA016", Severity::kError, "ANYPREVOUT digest changes when the input is rebound"},
+    {"DA017", Severity::kError, "template metadata inconsistent with transaction body"},
+};
+
+bool is_single_flag(script::SighashFlag f) {
+  return f == script::SighashFlag::kSingle || f == script::SighashFlag::kSingleAnyPrevOut;
+}
+
+struct Emitter {
+  Report& rep;
+  std::string where;
+
+  void operator()(LintId id, std::string message, std::string trace = "") const {
+    const Lint& info = lint_info(id);
+    rep.add(Finding{info.id, info.severity, where, std::move(message), std::move(trace)});
+  }
+};
+
+void lint_analysis_paths(const ScriptAnalysis& an, const Emitter& emit) {
+  if (an.path_limit_hit)
+    emit(LintId::kSymbolicOperand, "path limit hit; exploration truncated");
+  if (an.max_depth > script::kMaxStackDepth)
+    emit(LintId::kResourceLimit,
+         "abstract stack depth " + std::to_string(an.max_depth) + " exceeds limit " +
+             std::to_string(script::kMaxStackDepth));
+  bool symbolic = false;
+  for (const PathResult& p : an.paths)
+    symbolic |= p.guards.symbolic_timelock || p.guards.symbolic_multisig;
+  if (symbolic)
+    emit(LintId::kSymbolicOperand,
+         "multisig arity or timelock operand is not a compile-time constant");
+}
+
+}  // namespace
+
+const Lint& lint_info(LintId id) { return kCatalogue[static_cast<std::size_t>(id)]; }
+
+const std::vector<Lint>& lint_catalogue() { return kCatalogue; }
+
+void lint_script(const script::Script& s, const std::string& where, Report& rep) {
+  const Emitter emit{rep, where};
+
+  if (s.wire_size() > script::kMaxScriptSize)
+    emit(LintId::kResourceLimit,
+         "script wire size " + std::to_string(s.wire_size()) + " exceeds limit " +
+             std::to_string(script::kMaxScriptSize));
+
+  for (std::size_t i = 0; i < s.instructions().size(); ++i) {
+    const script::Instr& in = s.instructions()[i];
+    if (in.op != script::Op::PUSH) continue;
+    if (in.data.empty())
+      emit(LintId::kNonMinimalPush, "empty push at op " + std::to_string(i) + "; use OP_0");
+    else if (in.data.size() == 1 && in.data[0] >= 1 && in.data[0] <= 16)
+      emit(LintId::kNonMinimalPush,
+           "1-byte push of " + std::to_string(in.data[0]) + " at op " + std::to_string(i) +
+               "; use OP_" + std::to_string(in.data[0]));
+  }
+
+  const ScriptAnalysis an = analyze_script(s);
+  if (an.unbalanced) {
+    emit(LintId::kUnbalancedConditional,
+         "conditional imbalance at op " + std::to_string(an.unbalanced_ip));
+    return;
+  }
+  lint_analysis_paths(an, emit);
+
+  if (!an.any_accepting()) {
+    emit(LintId::kUnspendable, "no execution path accepts");
+    return;
+  }
+  for (const PathResult& p : an.paths) {
+    if (!p.accepting()) continue;
+    if (!p.gated)
+      emit(LintId::kAnyoneCanSpend, "path accepts without any signature or hash-preimage gate",
+           p.trace());
+    if (p.stack_left != 1)
+      emit(LintId::kUncleanStack,
+           "path accepts with " + std::to_string(p.stack_left) + " elements on the stack",
+           p.trace());
+  }
+  for (const CondInfo& c : an.conditionals) {
+    for (const bool dir : {false, true}) {
+      const std::size_t d = dir ? 1 : 0;
+      const char* dn = dir ? "true" : "false";
+      if (!c.explored[d])
+        emit(LintId::kDeadBranch, std::string(dn) + " branch of conditional at op " +
+                                      std::to_string(c.ip) +
+                                      " is unreachable (constant condition)");
+      else if (!c.accepting[d])
+        emit(LintId::kDeadBranch, std::string(dn) + " branch of conditional at op " +
+                                      std::to_string(c.ip) + " has no accepting path");
+    }
+  }
+}
+
+void lint_template(const TxTemplate& t, Report& rep) {
+  const Emitter emit{rep, t.label()};
+  if (t.body.inputs.size() != t.inputs.size()) {
+    emit(LintId::kTemplateShape,
+         "template declares " + std::to_string(t.inputs.size()) + " input specs for " +
+             std::to_string(t.body.inputs.size()) + " transaction inputs");
+    return;
+  }
+
+  Amount spent_total = 0;
+  for (std::size_t i = 0; i < t.inputs.size(); ++i) {
+    const TemplateInput& in = t.inputs[i];
+    const Emitter at{rep, t.label() + "#in" + std::to_string(i)};
+    spent_total += in.spent.cash;
+
+    // Sighash-flag obligations hold per input regardless of script path.
+    for (const WitnessElem& w : in.witness) {
+      if (w.kind != WitnessElem::Kind::kSig) continue;
+      const bool single = is_single_flag(w.flag);
+      if (single && i >= t.body.outputs.size()) {
+        at(LintId::kSingleNoOutput,
+           "SIGHASH_SINGLE signature on input " + std::to_string(i) + " but only " +
+               std::to_string(t.body.outputs.size()) + " outputs");
+        continue;  // the digest checks below would throw on this input
+      }
+      if (in.rebindable && !script::is_anyprevout(w.flag))
+        at(LintId::kRebindNotAnyprevout,
+           "input is rebound at publish time but a signature lacks ANYPREVOUT");
+      if (script::is_anyprevout(w.flag) && i < t.body.inputs.size() &&
+          !t.body.inputs.empty()) {
+        // The floating property itself: the digest must not move when the
+        // input is bound elsewhere, or every stored signature dies.
+        tx::Transaction alt = t.body;
+        alt.inputs[i].prevout = template_outpoint("apo-stability-probe", 7);
+        if (tx::sighash_digest(t.body, i, w.flag) != tx::sighash_digest(alt, i, w.flag))
+          at(LintId::kApoDigestUnstable,
+             "ANYPREVOUT digest depends on the bound outpoint");
+      }
+    }
+
+    if (in.spent.cond.type == tx::Condition::Type::kP2WPKH) {
+      if (in.witness.size() != 2 || in.witness[1].kind != WitnessElem::Kind::kConst) {
+        at(LintId::kTemplateShape, "P2WPKH spend needs witness [sig, pubkey]");
+        continue;
+      }
+      const crypto::Hash160 h = crypto::hash160(in.witness[1].bytes);
+      if (Bytes(h.view().begin(), h.view().end()) != in.spent.cond.program)
+        at(LintId::kWitnessProgramMismatch, "pubkey hash does not match the spent program");
+      if (in.witness[0].kind != WitnessElem::Kind::kSig)
+        at(LintId::kAnyoneCanSpend, "P2WPKH witness slot 0 is not a signature");
+      continue;
+    }
+
+    // P2WSH
+    if (!in.witness_script) {
+      at(LintId::kWitnessProgramMismatch, "P2WSH spend without a witness script");
+      continue;
+    }
+    const Hash256 prog = in.witness_script->wsh_program();
+    if (Bytes(prog.view().begin(), prog.view().end()) != in.spent.cond.program)
+      at(LintId::kWitnessProgramMismatch,
+         "witness script hash does not match the spent program");
+
+    const ScriptAnalysis an = analyze_with_witness(*in.witness_script, in.witness);
+    if (an.unbalanced) {
+      at(LintId::kUnbalancedConditional,
+         "conditional imbalance at op " + std::to_string(an.unbalanced_ip));
+      continue;
+    }
+    lint_analysis_paths(an, at);
+    bool underflowed = false;
+    for (const PathResult& p : an.paths) {
+      if (p.underflow && !underflowed) {
+        underflowed = true;
+        at(LintId::kStackUnderflow, "script pops past the template witness", p.trace());
+      }
+    }
+    if (!an.any_accepting()) {
+      if (!underflowed)
+        at(LintId::kUnspendable, "template witness cannot satisfy the script");
+      continue;
+    }
+    for (const PathResult& p : an.paths) {
+      if (!p.accepting()) continue;
+      if (p.stack_left != 1)
+        at(LintId::kUncleanStack,
+           "path accepts with " + std::to_string(p.stack_left) + " elements on the stack",
+           p.trace());
+      for (const std::uint32_t lock : p.guards.cltv) {
+        if (t.body.nlocktime < lock)
+          at(LintId::kCltvUnsatisfiable,
+             "script demands nLockTime >= " + std::to_string(lock) + " but template has " +
+                 std::to_string(t.body.nlocktime),
+             p.trace());
+      }
+      for (const std::uint32_t age : p.guards.csv) {
+        if (in.spend_age < static_cast<Round>(age))
+          at(LintId::kCsvUnsatisfiable,
+             "script demands age >= " + std::to_string(age) +
+                 " but the protocol posts after " + std::to_string(in.spend_age) + " rounds",
+             p.trace());
+      }
+    }
+  }
+
+  if (t.body.total_output_value() > spent_total)
+    emit(LintId::kValueOverflow,
+         "outputs carry " + std::to_string(t.body.total_output_value()) +
+             " but inputs spend only " + std::to_string(spent_total));
+}
+
+void lint_templates(const std::vector<TxTemplate>& set, Report& rep) {
+  // Each distinct script is proven once, under the first label that uses it.
+  std::set<std::string> seen;
+  for (const TxTemplate& t : set) {
+    for (std::size_t i = 0; i < t.inputs.size(); ++i) {
+      const TemplateInput& in = t.inputs[i];
+      if (!in.witness_script) continue;
+      const bool fresh = seen.insert(to_hex(in.witness_script->serialize())).second;
+      if (!fresh) continue;
+      lint_script(*in.witness_script,
+                  "script " + t.label() + "#in" + std::to_string(i), rep);
+    }
+    lint_template(t, rep);
+  }
+}
+
+}  // namespace daric::analyze

@@ -1,0 +1,51 @@
+// Lint catalogue and the two analysis drivers.
+//
+// `lint_script` proves per-script properties by exhaustive symbolic
+// execution (all IF/NOTIF combinations); `lint_template` checks one
+// concrete transaction template against the output it spends, including
+// the timelock and sighash-flag cross-checks the runtime only samples.
+// `lint_templates` runs both over a whole template set, deduplicating
+// scripts shared between templates.
+#pragma once
+
+#include <vector>
+
+#include "src/analyze/report.h"
+#include "src/analyze/templates.h"
+
+namespace daric::analyze {
+
+enum class LintId {
+  kStackUnderflow,          // DA001: witness too short for some path
+  kUnbalancedConditional,   // DA002: ELSE/ENDIF imbalance
+  kDeadBranch,              // DA003: branch unreachable or never accepting
+  kUnspendable,             // DA004: no accepting path at all
+  kAnyoneCanSpend,          // DA005: accepting path with no sig/hash gate
+  kUncleanStack,            // DA006: accepting path leaves extra elements
+  kNonMinimalPush,          // DA007: PUSH where OP_0/OP_1..16 is canonical
+  kResourceLimit,           // DA008: exceeds interpreter stack/size limits
+  kCltvUnsatisfiable,       // DA009: script CLTV demand > template nLockTime
+  kCsvUnsatisfiable,        // DA010: script CSV demand > declared spend age
+  kSingleNoOutput,          // DA011: SIGHASH_SINGLE input without output
+  kRebindNotAnyprevout,     // DA012: rebindable input signed without APO
+  kWitnessProgramMismatch,  // DA013: witness script/key hash ≠ spent program
+  kSymbolicOperand,         // DA014: arity/timelock operand not a constant
+  kValueOverflow,           // DA015: outputs exceed spent value
+  kApoDigestUnstable,       // DA016: APO digest changes under rebinding
+  kTemplateShape,           // DA017: template metadata inconsistent with body
+};
+
+struct Lint {
+  const char* id;        // "DAxxx"
+  Severity severity = Severity::kError;
+  const char* title;
+};
+
+const Lint& lint_info(LintId id);
+const std::vector<Lint>& lint_catalogue();
+
+void lint_script(const script::Script& s, const std::string& where, Report& rep);
+void lint_template(const TxTemplate& t, Report& rep);
+void lint_templates(const std::vector<TxTemplate>& set, Report& rep);
+
+}  // namespace daric::analyze

@@ -1,0 +1,43 @@
+#include "src/analyze/report.h"
+
+namespace daric::analyze {
+
+const char* severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string Finding::render() const {
+  std::string out = severity_name(severity);
+  out += " ";
+  out += id;
+  out += " [" + where + "]: " + message;
+  if (!trace.empty()) out += " (path " + trace + ")";
+  return out;
+}
+
+void Report::add(Finding f) {
+  if (suppressed_.count(f.id)) return;
+  if (f.severity == Severity::kError) {
+    ++errors_;
+  } else {
+    ++warnings_;
+  }
+  findings_.push_back(std::move(f));
+}
+
+bool Report::has(const std::string& id) const {
+  for (const Finding& f : findings_)
+    if (f.id == id) return true;
+  return false;
+}
+
+std::string Report::render() const {
+  std::string out;
+  for (const Finding& f : findings_) {
+    out += f.render();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace daric::analyze

@@ -1,0 +1,56 @@
+// Diagnostics emitted by the static script/transaction analyzer.
+//
+// Every finding carries a stable lint ID (DA001...), a severity, the
+// template or script it concerns, and — for path-sensitive lints — the
+// offending execution path so a reader can replay the trace by hand.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace daric::analyze {
+
+enum class Severity { kError, kWarning };
+
+const char* severity_name(Severity s);
+
+struct Finding {
+  std::string id;       // stable "DAxxx" identifier
+  Severity severity = Severity::kError;
+  std::string where;    // "engine/template#in0" or "script <name>"
+  std::string message;  // one-line statement of the defect
+  std::string trace;    // branch decisions of the offending path ("" if structural)
+
+  /// "error DA003 [daric/commit#in0]: message (path if@3=T)"
+  std::string render() const;
+};
+
+/// Accumulates findings across scripts and templates. IDs added to the
+/// suppression set are dropped at insertion time (the `--suppress` flag of
+/// tools/daric_analyze).
+class Report {
+ public:
+  void suppress(const std::string& id) { suppressed_.insert(id); }
+
+  void add(Finding f);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  bool has_errors() const { return errors_ > 0; }
+
+  /// True if any finding (of either severity) carries `id`.
+  bool has(const std::string& id) const;
+
+  /// Full multi-line rendering, one finding per line.
+  std::string render() const;
+
+ private:
+  std::vector<Finding> findings_;
+  std::set<std::string> suppressed_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+}  // namespace daric::analyze

@@ -1,0 +1,14 @@
+#include "src/analyze/templates.h"
+
+#include "src/crypto/sha256.h"
+
+namespace daric::analyze {
+
+tx::OutPoint template_outpoint(std::string_view label, std::uint32_t vout) {
+  const Hash256 h = crypto::Sha256::tagged(
+      "daric/analyze/outpoint",
+      {reinterpret_cast<const Byte*>(label.data()), label.size()});
+  return {h, vout};
+}
+
+}  // namespace daric::analyze

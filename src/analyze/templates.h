@@ -1,0 +1,40 @@
+// Transaction templates: the unit the DAG linter checks.
+//
+// A template is a concrete transaction body a protocol engine can emit,
+// plus per-input metadata the runtime layers keep implicit: which output
+// the input spends, the abstract shape of the witness stack, how many
+// rounds the protocol waits before posting (the nSequence analogue — CSV
+// in this codebase is enforced against the spent output's on-chain age),
+// and whether the input is (re)bound at publish time via ANYPREVOUT.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analyze/domain.h"
+#include "src/tx/transaction.h"
+
+namespace daric::analyze {
+
+struct TemplateInput {
+  tx::Output spent;                              // output this input consumes
+  std::optional<script::Script> witness_script;  // present for P2WSH spends
+  std::vector<WitnessElem> witness;              // bottom..top, tx::Witness order
+  Round spend_age = 0;   // rounds after prevout confirmation before posting
+  bool rebindable = false;  // floating: input is bound/rebound at publish time
+};
+
+struct TxTemplate {
+  std::string engine;  // "daric", "lightning", "eltoo", "generalized"
+  std::string name;    // e.g. "commit[A,2]", "split[2]"
+  tx::Transaction body;
+  std::vector<TemplateInput> inputs;  // parallel to body.inputs
+
+  std::string label() const { return engine + "/" + name; }
+};
+
+/// Deterministic dummy outpoint for wiring template DAGs together.
+tx::OutPoint template_outpoint(std::string_view label, std::uint32_t vout = 0);
+
+}  // namespace daric::analyze

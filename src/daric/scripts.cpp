@@ -1,5 +1,9 @@
 #include "src/daric/scripts.h"
 
+#include "src/crypto/keys.h"
+#include "src/daric/builders.h"
+#include "src/daric/wallet.h"
+
 namespace daric::daricch {
 
 script::Script commit_script(BytesView spl_a, BytesView spl_b, BytesView rev_a,
@@ -42,6 +46,177 @@ std::vector<tx::Output> state_outputs(const channel::StateVec& st, BytesView pk_
     outs.push_back({h.cash, tx::Condition::p2wsh(htlc_script(h, pk_a_main, pk_b_main))});
   }
   return outs;
+}
+
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model) {
+  using analyze::TemplateInput;
+  using analyze::TxTemplate;
+  using analyze::WitnessElem;
+  using script::SighashFlag;
+
+  std::vector<TxTemplate> out;
+  const DaricPubKeys pa = to_pub(DaricKeys::derive("A", p.id));
+  const DaricPubKeys pb = to_pub(DaricKeys::derive("B", p.id));
+  const Amount cap = p.capacity();
+  const auto n_latest = static_cast<std::uint32_t>(model.max_updates);
+  const SighashFlag rv_flag =
+      p.feeable_revocations ? SighashFlag::kSingleAnyPrevOut : SighashFlag::kAllAnyPrevOut;
+
+  const FundingTemplate fund =
+      gen_fund(analyze::template_outpoint(p.id + "/src/A"),
+               analyze::template_outpoint(p.id + "/src/B"), cap, pa, pb);
+  {
+    // Wallet sources use the same single-key labels as DaricChannel::create.
+    auto wallet_in = [&](Amount cash, const char* party) {
+      const crypto::KeyPair k =
+          crypto::derive_keypair(p.id + "/" + party + "/funding-source");
+      TemplateInput in;
+      in.spent = {cash, tx::Condition::p2wpkh(k.pk.compressed())};
+      in.witness = {WitnessElem::sig(SighashFlag::kAll),
+                    WitnessElem::constant(k.pk.compressed())};
+      return in;
+    };
+    out.push_back({"daric", "funding", fund.body,
+                   {wallet_in(p.cash_a, "A"), wallet_in(p.cash_b, "B")}});
+  }
+
+  auto fund_in = [&] {
+    TemplateInput in;
+    in.spent = {cap, tx::Condition::p2wsh(fund.fund_script)};
+    in.witness_script = fund.fund_script;
+    in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                  WitnessElem::sig(SighashFlag::kAll)};
+    return in;
+  };
+
+  std::vector<CommitPair> commits;
+  for (std::uint32_t j = 0; j <= n_latest; ++j) {
+    commits.push_back(gen_commit(fund.output(), cap, pa, pb, j, p));
+    const CommitPair& c = commits.back();
+    out.push_back({"daric", "commit[A," + std::to_string(j) + "]", c.body_a, {fund_in()}});
+    out.push_back({"daric", "commit[B," + std::to_string(j) + "]", c.body_b, {fund_in()}});
+  }
+
+  // One split per state, bound to either party's commit (the two commits
+  // share the state's CLTV but differ in revocation keys).
+  auto commit_in = [&](std::uint32_t j, bool party_a, SighashFlag flag,
+                       const WitnessElem& selector) {
+    TemplateInput in;
+    const script::Script& cs = party_a ? commits[j].script_a : commits[j].script_b;
+    in.spent = {cap, tx::Condition::p2wsh(cs)};
+    in.witness_script = cs;
+    in.witness = {WitnessElem::empty(), WitnessElem::sig(flag), WitnessElem::sig(flag),
+                  selector};
+    in.rebindable = true;
+    return in;
+  };
+  for (std::uint32_t j = 0; j <= n_latest; ++j) {
+    const channel::StateVec st{model.to_a(static_cast<int>(j)),
+                               cap - model.to_a(static_cast<int>(j)),
+                               {}};
+    const tx::Transaction split = gen_split(st, j, p, pa, pb);
+    for (const bool party_a : {true, false}) {
+      tx::Transaction bound = split;
+      bind_floating(bound, {(party_a ? commits[j].body_a : commits[j].body_b).txid(), 0});
+      TemplateInput in = commit_in(j, party_a, SighashFlag::kAllAnyPrevOut,
+                                   WitnessElem::empty());  // ELSE: split branch
+      in.spend_age = p.t_punish;
+      out.push_back({"daric",
+                     std::string("split[") + (party_a ? "A," : "B,") + std::to_string(j) + "]",
+                     bound,
+                     {std::move(in)}});
+    }
+  }
+
+  // The single stored revocation (nLT = S0 + sn−1) punishes every commit
+  // with state < sn via ANYPREVOUT rebinding (Appendix B).
+  for (std::uint32_t j = 0; j < n_latest; ++j) {
+    for (const bool party_a : {true, false}) {
+      tx::Transaction rv =
+          gen_revoke(party_a ? pb.main : pa.main, cap, n_latest - 1, p);
+      bind_floating(rv, {(party_a ? commits[j].body_a : commits[j].body_b).txid(), 0});
+      out.push_back({"daric",
+                     std::string("revoke[") + (party_a ? "A," : "B,") + std::to_string(j) + "]",
+                     rv,
+                     {commit_in(j, party_a, rv_flag,
+                                WitnessElem::constant(Bytes{1}))}});  // IF: revocation
+    }
+  }
+
+  // Sec. 8 fee handling: a SINGLE|ANYPREVOUT-signed revocation with a fee
+  // input and change output grafted on at publish time (daric/fees.h).
+  if (n_latest > 0) {
+    tx::Transaction rv = gen_revoke(pb.main, cap, n_latest - 1, p);
+    bind_floating(rv, {commits[0].body_a.txid(), 0});
+    const crypto::KeyPair fee_key = crypto::derive_keypair(p.id + "/A/fee-source");
+    const Amount fee_value = 1000;
+    const Amount fee = 400;
+    rv.inputs.push_back({analyze::template_outpoint(p.id + "/fee-source")});
+    rv.outputs.push_back({fee_value - fee, tx::Condition::p2wpkh(fee_key.pk.compressed())});
+    TemplateInput fee_in;
+    fee_in.spent = {fee_value, tx::Condition::p2wpkh(fee_key.pk.compressed())};
+    fee_in.witness = {WitnessElem::sig(SighashFlag::kAll),
+                      WitnessElem::constant(fee_key.pk.compressed())};
+    out.push_back({"daric", "revoke+fee[A,0]", rv,
+                   {commit_in(0, true, SighashFlag::kSingleAnyPrevOut,
+                              WitnessElem::constant(Bytes{1})),
+                    std::move(fee_in)}});
+  }
+
+  const channel::StateVec st_latest{model.to_a(static_cast<int>(n_latest)),
+                                    cap - model.to_a(static_cast<int>(n_latest)),
+                                    {}};
+  out.push_back({"daric", "final-split",
+                 gen_fin_split(fund.output(), st_latest, pa, pb), {fund_in()}});
+
+  // Multi-hop extension (Sec. 8): a state carrying one in-flight HTLC, plus
+  // the payee claim (preimage path) and payer clawback (timeout path).
+  {
+    const channel::HtlcSecret secret = channel::make_htlc_secret(p.id + "/analyze/htlc");
+    channel::Htlc h;
+    h.cash = cap / 10;
+    h.payment_hash = secret.payment_hash;
+    h.offered_by_a = true;
+    h.timeout = static_cast<std::uint32_t>(p.t_punish);
+    const channel::StateVec st{st_latest.to_a - h.cash, st_latest.to_b, {h}};
+    tx::Transaction split = gen_split(st, n_latest, p, pa, pb);
+    bind_floating(split, {commits[n_latest].body_a.txid(), 0});
+    TemplateInput in =
+        commit_in(n_latest, true, SighashFlag::kAllAnyPrevOut, WitnessElem::empty());
+    in.spend_age = p.t_punish;
+    const Hash256 split_txid = split.txid();
+    out.push_back({"daric", "split+htlc[A," + std::to_string(n_latest) + "]", split,
+                   {std::move(in)}});
+
+    const script::Script hs = htlc_script(h, pa.main, pb.main);
+    auto htlc_in = [&](std::vector<WitnessElem> witness, Round spend_age) {
+      TemplateInput hin;
+      hin.spent = {h.cash, tx::Condition::p2wsh(hs)};
+      hin.witness_script = hs;
+      hin.witness = std::move(witness);
+      hin.spend_age = spend_age;
+      return hin;
+    };
+    tx::Transaction claim;
+    claim.inputs = {{{split_txid, 2}}};
+    claim.nlocktime = 0;
+    claim.outputs = {{h.cash, tx::Condition::p2wpkh(pb.main)}};  // payee B
+    out.push_back({"daric", "htlc-claim", claim,
+                   {htlc_in({WitnessElem::sig(SighashFlag::kAll),
+                             WitnessElem::constant(secret.preimage)},
+                            0)}});
+    tx::Transaction timeout;
+    timeout.inputs = {{{split_txid, 2}}};
+    timeout.nlocktime = 0;
+    timeout.outputs = {{h.cash, tx::Condition::p2wpkh(pa.main)}};  // payer A
+    // An empty top element misses the hash lock, forcing the timeout branch.
+    out.push_back({"daric", "htlc-timeout", timeout,
+                   {htlc_in({WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
+                            h.timeout)}});
+  }
+
+  return out;
 }
 
 }  // namespace daric::daricch

@@ -1,9 +1,12 @@
 // On-chain scripts of Appendix B plus the state-vector → outputs mapping.
 #pragma once
 
+#include "src/analyze/templates.h"
+#include "src/channel/params.h"
 #include "src/channel/state.h"
 #include "src/script/standard.h"
 #include "src/tx/output.h"
+#include "src/verify/model.h"
 
 namespace daric::daricch {
 
@@ -24,5 +27,14 @@ std::vector<tx::Output> state_outputs(const channel::StateVec& st, BytesView pk_
 /// The HTLC witness script used inside state outputs (payer/payee resolved
 /// from the HTLC's direction).
 script::Script htlc_script(const channel::Htlc& h, BytesView pk_a_main, BytesView pk_b_main);
+
+/// Enumerates every transaction template the Daric engine can emit for the
+/// model's state schedule — funding, per-state commits and splits, the
+/// floating revocation (plain and Sec. 8 feeable variants), the final split
+/// and the HTLC claim/timeout spends — for the static analyzer
+/// (src/analyze). Balances follow `model.to_a`; `p.capacity()` should equal
+/// `model.capacity` or the value lints will flag the mismatch.
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model);
 
 }  // namespace daric::daricch

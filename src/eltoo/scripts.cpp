@@ -1,5 +1,9 @@
 #include "src/eltoo/scripts.h"
 
+#include "src/crypto/keys.h"
+#include "src/daric/scripts.h"
+#include "src/daric/wallet.h"
+
 namespace daric::eltoo {
 
 script::Script funding_script(BytesView upd_a, BytesView upd_b) {
@@ -30,6 +34,104 @@ script::Script update_script(BytesView set_a_i, BytesView set_b_i, BytesView upd
       .op(script::Op::OP_CHECKMULTISIG)
       .op(script::Op::OP_ENDIF);
   return s;
+}
+
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model) {
+  using analyze::TemplateInput;
+  using analyze::TxTemplate;
+  using analyze::WitnessElem;
+  using script::SighashFlag;
+
+  std::vector<TxTemplate> out;
+  // Key derivations mirror EltooChannel's constructor / settlement_keys.
+  const daricch::DaricPubKeys pub_a =
+      to_pub(daricch::DaricKeys::derive("A", p.id + "/eltoo"));
+  const daricch::DaricPubKeys pub_b =
+      to_pub(daricch::DaricKeys::derive("B", p.id + "/eltoo"));
+  const crypto::KeyPair upd_a = crypto::derive_keypair(p.id + "/eltoo/A/upd");
+  const crypto::KeyPair upd_b = crypto::derive_keypair(p.id + "/eltoo/B/upd");
+  const Amount cap = p.capacity();
+  const auto n_latest = static_cast<std::uint32_t>(model.max_updates);
+
+  const script::Script fund_script =
+      funding_script(upd_a.pk.compressed(), upd_b.pk.compressed());
+  const tx::OutPoint fund_op = analyze::template_outpoint(p.id + "/eltoo/fund");
+  auto out_script = [&](std::uint32_t j) {
+    const std::string base = p.id + "/eltoo/set/" + std::to_string(j);
+    return update_script(crypto::derive_keypair(base + "/A").pk.compressed(),
+                         crypto::derive_keypair(base + "/B").pk.compressed(),
+                         upd_a.pk.compressed(), upd_b.pk.compressed(), p.s0 + j + 1,
+                         static_cast<std::uint32_t>(p.t_punish));
+  };
+  auto build_update = [&](std::uint32_t j) {
+    tx::Transaction t;
+    t.nlocktime = p.s0 + j;
+    t.outputs = {{cap, tx::Condition::p2wsh(out_script(j))}};
+    return t;
+  };
+  auto multisig_in = [&](const tx::Output& spent, const script::Script& ws,
+                         SighashFlag flag, std::vector<WitnessElem> extra) {
+    TemplateInput in;
+    in.spent = spent;
+    in.witness_script = ws;
+    in.witness = {WitnessElem::empty(), WitnessElem::sig(flag), WitnessElem::sig(flag)};
+    for (WitnessElem& e : extra) in.witness.push_back(std::move(e));
+    in.rebindable = script::is_anyprevout(flag);
+    return in;
+  };
+  const tx::Output fund_out{cap, tx::Condition::p2wsh(fund_script)};
+
+  for (std::uint32_t j = 0; j <= n_latest; ++j) {
+    // Update j bound to the funding output (floating, ANYPREVOUT).
+    tx::Transaction upd = build_update(j);
+    tx::Transaction on_fund = upd;
+    on_fund.inputs = {{fund_op}};
+    on_fund.witnesses.resize(1);
+    out.push_back({"eltoo", "update[" + std::to_string(j) + "]", on_fund,
+                   {multisig_in(fund_out, fund_script, SighashFlag::kAllAnyPrevOut, {})}});
+
+    // The latest update overriding stale update j (ELSE branch: CLTV floor
+    // S0+j+1 ≤ nLT = S0+n only for j < n — eltoo's versioning).
+    if (j < n_latest) {
+      tx::Transaction latest = build_update(n_latest);
+      latest.inputs = {{{upd.txid(), 0}}};
+      latest.witnesses.resize(1);
+      out.push_back({"eltoo", "override[" + std::to_string(n_latest) + ">" +
+                                  std::to_string(j) + "]",
+                     latest,
+                     {multisig_in(upd.outputs[0], out_script(j),
+                                  SighashFlag::kAllAnyPrevOut, {WitnessElem::empty()})}});
+    }
+
+    // Settlement for state j (IF branch, after the CSV delay).
+    const channel::StateVec st{model.to_a(static_cast<int>(j)),
+                               cap - model.to_a(static_cast<int>(j)),
+                               {}};
+    tx::Transaction settle;
+    settle.inputs = {{{upd.txid(), 0}}};
+    settle.nlocktime = 0;
+    settle.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+    TemplateInput in = multisig_in(upd.outputs[0], out_script(j),
+                                   SighashFlag::kAllAnyPrevOut,
+                                   {WitnessElem::constant(Bytes{1})});
+    in.spend_age = p.t_punish;
+    out.push_back({"eltoo", "settle[" + std::to_string(j) + "]", settle, {std::move(in)}});
+  }
+
+  {
+    tx::Transaction close;
+    close.inputs = {{fund_op}};
+    close.nlocktime = 0;
+    const channel::StateVec st{model.to_a(static_cast<int>(n_latest)),
+                               cap - model.to_a(static_cast<int>(n_latest)),
+                               {}};
+    close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+    TemplateInput in = multisig_in(fund_out, fund_script, SighashFlag::kAll, {});
+    out.push_back({"eltoo", "coop-close", close, {std::move(in)}});
+  }
+
+  return out;
 }
 
 }  // namespace daric::eltoo

@@ -2,8 +2,11 @@
 // the paper's Appendix H.4.
 #pragma once
 
+#include "src/analyze/templates.h"
+#include "src/channel/params.h"
 #include "src/script/standard.h"
 #include "src/tx/output.h"
+#include "src/verify/model.h"
 
 namespace daric::eltoo {
 
@@ -20,5 +23,13 @@ script::Script funding_script(BytesView upd_a, BytesView upd_b);
 script::Script update_script(BytesView set_a_i, BytesView set_b_i, BytesView upd_a,
                              BytesView upd_b, std::uint32_t next_state_cltv,
                              std::uint32_t csv_rel);
+
+/// Enumerates the eltoo engine's transaction templates for the model's
+/// state schedule — floating updates bound to the funding output, the
+/// latest update overriding each stale one (the CLTV versioning path),
+/// per-state settlements and the cooperative close — for the static
+/// analyzer (src/analyze).
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model);
 
 }  // namespace daric::eltoo

@@ -1,5 +1,10 @@
 #include "src/generalized/scripts.h"
 
+#include "src/crypto/keys.h"
+#include "src/crypto/sha256.h"
+#include "src/daric/scripts.h"
+#include "src/daric/wallet.h"
+
 namespace daric::generalized {
 
 script::Script commit_output_script(BytesView pk_a, BytesView pk_b, BytesView statement_a,
@@ -39,6 +44,121 @@ script::Script commit_output_script(BytesView pk_a, BytesView pk_b, BytesView st
       .op(Op::OP_ENDIF)
       .op(Op::OP_ENDIF);
   return s;
+}
+
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model) {
+  using analyze::TemplateInput;
+  using analyze::TxTemplate;
+  using analyze::WitnessElem;
+  using script::SighashFlag;
+
+  std::vector<TxTemplate> out;
+  // Key / secret derivations mirror GeneralizedChannel's state_secrets.
+  const daricch::DaricPubKeys pub_a = to_pub(daricch::DaricKeys::derive("A", p.id + "/gc"));
+  const daricch::DaricPubKeys pub_b = to_pub(daricch::DaricKeys::derive("B", p.id + "/gc"));
+  const crypto::KeyPair main_a = crypto::derive_keypair(p.id + "/gc/A/main");
+  const crypto::KeyPair main_b = crypto::derive_keypair(p.id + "/gc/B/main");
+  const Amount cap = p.capacity();
+  const auto n_latest = static_cast<std::uint32_t>(model.max_updates);
+
+  const script::Script fund_script =
+      script::multisig_2of2(main_a.pk.compressed(), main_b.pk.compressed());
+  const tx::OutPoint fund_op = analyze::template_outpoint(p.id + "/gc/fund");
+  auto fund_in = [&] {
+    TemplateInput in;
+    in.spent = {cap, tx::Condition::p2wsh(fund_script)};
+    in.witness_script = fund_script;
+    in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                  WitnessElem::sig(SighashFlag::kAll)};
+    return in;
+  };
+
+  auto preimage = [](const std::string& label) {
+    const Hash256 h = crypto::Sha256::tagged(
+        "daric/gc-rev", {reinterpret_cast<const Byte*>(label.data()), label.size()});
+    return Bytes(h.view().begin(), h.view().end());
+  };
+  auto output_script = [&](std::uint32_t j) {
+    const std::string base = p.id + "/gc/state/" + std::to_string(j);
+    const Hash256 ha = crypto::Sha256::double_hash(preimage(base + "/rA"));
+    const Hash256 hb = crypto::Sha256::double_hash(preimage(base + "/rB"));
+    return commit_output_script(pub_a.main, pub_b.main,
+                                crypto::derive_keypair(base + "/yA").pk.compressed(),
+                                crypto::derive_keypair(base + "/yB").pk.compressed(),
+                                ha.view(), hb.view(),
+                                static_cast<std::uint32_t>(p.t_punish));
+  };
+
+  for (std::uint32_t j = 0; j <= n_latest; ++j) {
+    const script::Script os = output_script(j);
+    tx::Transaction commit;
+    commit.inputs = {{fund_op}};
+    commit.nlocktime = p.s0 + j;
+    commit.outputs = {{cap, tx::Condition::p2wsh(os)}};
+    out.push_back({"generalized", "commit[" + std::to_string(j) + "]", commit, {fund_in()}});
+    const tx::OutPoint commit_op{commit.txid(), 0};
+
+    auto spend_in = [&](std::vector<WitnessElem> witness, Round age) {
+      TemplateInput in;
+      in.spent = commit.outputs[0];
+      in.witness_script = os;
+      in.witness = std::move(witness);
+      in.spend_age = age;
+      return in;
+    };
+
+    if (j == n_latest) {
+      // Latest state: both parties split after the dispute delay (IF branch).
+      const channel::StateVec st{model.to_a(static_cast<int>(j)),
+                                 cap - model.to_a(static_cast<int>(j)),
+                                 {}};
+      tx::Transaction split;
+      split.inputs = {{commit_op}};
+      split.nlocktime = 0;
+      split.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+      out.push_back({"generalized", "split[" + std::to_string(j) + "]", split,
+                     {spend_in({WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                                WitnessElem::sig(SighashFlag::kAll),
+                                WitnessElem::constant(Bytes{1})},
+                               p.t_punish)}});
+    } else {
+      // Revoked state: the victim punishes with the adaptor-extracted y-sig
+      // plus the publisher's revealed revocation preimage.
+      const std::string base = p.id + "/gc/state/" + std::to_string(j);
+      for (const bool a_published : {true, false}) {
+        tx::Transaction punish;
+        punish.inputs = {{commit_op}};
+        punish.nlocktime = 0;
+        punish.outputs = {
+            {cap, tx::Condition::p2wpkh(a_published ? pub_b.main : pub_a.main)}};
+        // Selectors: outer ε (punish side), inner 1 = punish A / ε = punish B.
+        out.push_back(
+            {"generalized",
+             std::string("punish[") + (a_published ? "A," : "B,") + std::to_string(j) + "]",
+             punish,
+             {spend_in({WitnessElem::sig(SighashFlag::kAll),
+                        WitnessElem::constant(preimage(base + (a_published ? "/rA" : "/rB"))),
+                        WitnessElem::sig(SighashFlag::kAll),
+                        a_published ? WitnessElem::constant(Bytes{1}) : WitnessElem::empty(),
+                        WitnessElem::empty()},
+                       0)}});
+      }
+    }
+  }
+
+  {
+    tx::Transaction close;
+    close.inputs = {{fund_op}};
+    close.nlocktime = 0;
+    const channel::StateVec st{model.to_a(static_cast<int>(n_latest)),
+                               cap - model.to_a(static_cast<int>(n_latest)),
+                               {}};
+    close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+    out.push_back({"generalized", "coop-close", close, {fund_in()}});
+  }
+
+  return out;
 }
 
 }  // namespace daric::generalized

@@ -10,13 +10,23 @@
 // counts come from the cost model, which uses the paper's exact sizes.
 #pragma once
 
+#include "src/analyze/templates.h"
+#include "src/channel/params.h"
 #include "src/script/standard.h"
 #include "src/tx/output.h"
+#include "src/verify/model.h"
 
 namespace daric::generalized {
 
 script::Script commit_output_script(BytesView pk_a, BytesView pk_b, BytesView statement_a,
                                     BytesView statement_b, BytesView rev_hash_a,
                                     BytesView rev_hash_b, std::uint32_t csv_delay);
+
+/// Enumerates the generalized-channel engine's transaction templates for the
+/// model's state schedule — per-state commits, the delayed split, the punish
+/// path against either publisher and the cooperative close — for the static
+/// analyzer (src/analyze).
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model);
 
 }  // namespace daric::generalized

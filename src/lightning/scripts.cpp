@@ -1,5 +1,9 @@
 #include "src/lightning/scripts.h"
 
+#include "src/crypto/keys.h"
+#include "src/daric/scripts.h"
+#include "src/daric/wallet.h"
+
 namespace daric::lightning {
 
 script::Script to_local_script(BytesView revocation_pk, std::uint32_t to_self_delay,
@@ -15,6 +19,120 @@ script::Script to_local_script(BytesView revocation_pk, std::uint32_t to_self_de
       .op(script::Op::OP_ENDIF)
       .op(script::Op::OP_CHECKSIG);
   return s;
+}
+
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model) {
+  using analyze::TemplateInput;
+  using analyze::TxTemplate;
+  using analyze::WitnessElem;
+  using script::SighashFlag;
+
+  std::vector<TxTemplate> out;
+  // Key derivations mirror LightningChannel's constructor.
+  const daricch::DaricPubKeys pub_a = to_pub(daricch::DaricKeys::derive("A", p.id + "/ln"));
+  const daricch::DaricPubKeys pub_b = to_pub(daricch::DaricKeys::derive("B", p.id + "/ln"));
+  const crypto::KeyPair main_a = crypto::derive_keypair(p.id + "/ln/A/main");
+  const crypto::KeyPair main_b = crypto::derive_keypair(p.id + "/ln/B/main");
+  const crypto::KeyPair delayed_a = crypto::derive_keypair(p.id + "/ln/A/delayed");
+  const crypto::KeyPair delayed_b = crypto::derive_keypair(p.id + "/ln/B/delayed");
+  const Amount cap = p.capacity();
+  const auto n_latest = static_cast<std::uint32_t>(model.max_updates);
+
+  const script::Script fund_script =
+      script::multisig_2of2(main_a.pk.compressed(), main_b.pk.compressed());
+  const tx::OutPoint fund_op = analyze::template_outpoint(p.id + "/ln/fund");
+  auto fund_in = [&] {
+    TemplateInput in;
+    in.spent = {cap, tx::Condition::p2wsh(fund_script)};
+    in.witness_script = fund_script;
+    in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                  WitnessElem::sig(SighashFlag::kAll)};
+    return in;
+  };
+  auto rev_pk = [&](bool owner_a, std::uint32_t state) {
+    return crypto::derive_keypair(p.id + "/ln/rev/" + (owner_a ? "A" : "B") + "/" +
+                                  std::to_string(state))
+        .pk.compressed();
+  };
+
+  struct CommitRec {
+    tx::Transaction body;
+    script::Script to_local;
+  };
+  auto build_commit = [&](bool owner_a, std::uint32_t j) {
+    const Amount to_a = model.to_a(static_cast<int>(j));
+    const Amount to_b = cap - to_a;
+    CommitRec r;
+    r.to_local = to_local_script(rev_pk(owner_a, j),
+                                 static_cast<std::uint32_t>(p.t_punish),
+                                 (owner_a ? delayed_a : delayed_b).pk.compressed());
+    r.body.inputs = {{fund_op}};
+    r.body.nlocktime = p.s0 + j;
+    r.body.outputs = {{owner_a ? to_a : to_b, tx::Condition::p2wsh(r.to_local)},
+                      {owner_a ? to_b : to_a,
+                       tx::Condition::p2wpkh(owner_a ? pub_b.main : pub_a.main)}};
+    return r;
+  };
+  auto to_local_in = [&](const CommitRec& c, const WitnessElem& selector, Round age) {
+    TemplateInput in;
+    in.spent = c.body.outputs[0];
+    in.witness_script = c.to_local;
+    in.witness = {WitnessElem::sig(SighashFlag::kAll), selector};
+    in.spend_age = age;
+    return in;
+  };
+
+  for (std::uint32_t j = 0; j <= n_latest; ++j) {
+    for (const bool owner_a : {true, false}) {
+      const CommitRec c = build_commit(owner_a, j);
+      const std::string tag = std::string(owner_a ? "A," : "B,") + std::to_string(j);
+      out.push_back({"lightning", "commit[" + tag + "]", c.body, {fund_in()}});
+
+      tx::Transaction spend;
+      spend.inputs = {{{c.body.txid(), 0}}};
+      spend.nlocktime = 0;
+      if (j == n_latest) {
+        // Latest state: the owner sweeps its to_local after the CSV delay.
+        spend.outputs = {{c.body.outputs[0].cash,
+                          tx::Condition::p2wpkh(owner_a ? pub_a.main : pub_b.main)}};
+        out.push_back({"lightning", "sweep[" + tag + "]", spend,
+                       {to_local_in(c, WitnessElem::empty(), p.t_punish)}});
+      } else {
+        // Revoked state: the victim claims instantly with the revealed secret.
+        spend.outputs = {{c.body.outputs[0].cash,
+                          tx::Condition::p2wpkh(owner_a ? pub_b.main : pub_a.main)}};
+        out.push_back({"lightning", "breach-claim[" + tag + "]", spend,
+                       {to_local_in(c, WitnessElem::constant(Bytes{1}), 0)}});
+      }
+    }
+  }
+
+  {
+    // The counterparty's direct balance on the latest commit.
+    const CommitRec c = build_commit(true, n_latest);
+    tx::Transaction sweep;
+    sweep.inputs = {{{c.body.txid(), 1}}};
+    sweep.nlocktime = 0;
+    sweep.outputs = {{c.body.outputs[1].cash, tx::Condition::p2wpkh(pub_b.main)}};
+    TemplateInput in;
+    in.spent = c.body.outputs[1];
+    in.witness = {WitnessElem::sig(SighashFlag::kAll), WitnessElem::constant(pub_b.main)};
+    out.push_back({"lightning", "to-remote-sweep", sweep, {std::move(in)}});
+  }
+
+  {
+    tx::Transaction close;
+    close.inputs = {{fund_op}};
+    close.nlocktime = 0;
+    const channel::StateVec st{model.to_a(static_cast<int>(n_latest)),
+                               cap - model.to_a(static_cast<int>(n_latest)),
+                               {}};
+    close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+    out.push_back({"lightning", "coop-close", close, {fund_in()}});
+  }
+
+  return out;
 }
 
 }  // namespace daric::lightning

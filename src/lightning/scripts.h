@@ -1,8 +1,11 @@
 // Lightning (BOLT-3 style) scripts used by the baseline engine.
 #pragma once
 
+#include "src/analyze/templates.h"
+#include "src/channel/params.h"
 #include "src/script/standard.h"
 #include "src/tx/output.h"
+#include "src/verify/model.h"
 
 namespace daric::lightning {
 
@@ -11,5 +14,12 @@ namespace daric::lightning {
 ///   IF <revocation_pk> ELSE <to_self_delay> CSV DROP <delayed_pk> ENDIF CHECKSIG
 script::Script to_local_script(BytesView revocation_pk, std::uint32_t to_self_delay,
                                BytesView delayed_pk);
+
+/// Enumerates the Lightning engine's transaction templates for the model's
+/// state schedule — per-party commits, the delayed to_local sweep, the
+/// breach claim on every revoked state, the to_remote sweep and the
+/// cooperative close — for the static analyzer (src/analyze).
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model);
 
 }  // namespace daric::lightning

@@ -19,6 +19,8 @@ const char* script_error_name(ScriptError e) {
     case ScriptError::kUnbalancedConditional: return "unbalanced-conditional";
     case ScriptError::kBadMultisig: return "bad-multisig";
     case ScriptError::kFalseTopOfStack: return "false-top-of-stack";
+    case ScriptError::kStackOverflow: return "stack-overflow";
+    case ScriptError::kScriptTooLarge: return "script-too-large";
   }
   return "unknown";
 }
@@ -101,9 +103,11 @@ ScriptError do_checkmultisig(Machine& m, bool& result) {
 }  // namespace
 
 ScriptError eval_script(const Script& s, std::vector<Bytes>& stack, const SigChecker& checker) {
+  if (s.wire_size() > kMaxScriptSize) return ScriptError::kScriptTooLarge;
   Machine m{stack, checker, {}};
 
   for (const Instr& in : s.instructions()) {
+    if (stack.size() > kMaxStackDepth) return ScriptError::kStackOverflow;
     const bool exec = m.executing();
 
     // Conditionals are tracked even in non-executing branches.
@@ -245,6 +249,7 @@ ScriptError eval_script(const Script& s, std::vector<Bytes>& stack, const SigChe
     }
   }
 
+  if (stack.size() > kMaxStackDepth) return ScriptError::kStackOverflow;
   if (!m.cond.empty()) return ScriptError::kUnbalancedConditional;
   if (stack.empty() || !cast_to_bool(stack.back())) return ScriptError::kFalseTopOfStack;
   return ScriptError::kOk;

@@ -8,6 +8,12 @@
 
 namespace daric::script {
 
+/// Interpreter resource limits (Bitcoin consensus values). Shared with the
+/// static analyzer (src/analyze), which proves templates stay within them;
+/// eval_script enforces them dynamically as a second line of defense.
+inline constexpr std::size_t kMaxStackDepth = 1000;
+inline constexpr std::size_t kMaxScriptSize = 10'000;
+
 enum class ScriptError {
   kOk,
   kStackUnderflow,
@@ -21,6 +27,8 @@ enum class ScriptError {
   kUnbalancedConditional,
   kBadMultisig,
   kFalseTopOfStack,
+  kStackOverflow,          // stack grew past kMaxStackDepth
+  kScriptTooLarge,         // wire size past kMaxScriptSize
 };
 
 const char* script_error_name(ScriptError e);

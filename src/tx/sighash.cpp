@@ -91,6 +91,10 @@ bool TxSigChecker::check_sig(BytesView wire_sig, BytesView pubkey) const {
   if (!decoded) return false;
   const auto pk = crypto::Point::from_compressed(pubkey);
   if (!pk) return false;
+  // SIGHASH_SINGLE with no matching output has no digest. An adversarial
+  // witness must fail validation here, not throw out of it (the historic
+  // Bitcoin "SIGHASH_SINGLE bug" surface the static analyzer lints as DA011).
+  if (is_single(decoded->flag) && input_index_ >= tx_.outputs.size()) return false;
   const Hash256 digest = cache_ ? cache_->digest(input_index_, decoded->flag)
                                 : sighash_digest(tx_, input_index_, decoded->flag);
   return scheme_.verify(*pk, digest, decoded->raw);

@@ -1,0 +1,312 @@
+// Static analyzer tests: every engine's template set must prove clean, and
+// each lint must fire on a crafted broken fixture.
+#include <gtest/gtest.h>
+
+#include "src/analyze/engines.h"
+#include "src/analyze/interp.h"
+#include "src/analyze/lints.h"
+#include "src/analyze/report.h"
+#include "src/crypto/keys.h"
+#include "src/daric/scripts.h"
+#include "src/script/interpreter.h"
+#include "src/script/standard.h"
+
+namespace daric {
+namespace {
+
+using analyze::Report;
+using analyze::TemplateInput;
+using analyze::TxTemplate;
+using analyze::WitnessElem;
+using script::Op;
+using script::Script;
+using script::SighashFlag;
+
+const auto kA = crypto::derive_keypair("analyze-test/A");
+const auto kB = crypto::derive_keypair("analyze-test/B");
+
+// --- Positive: the real protocol templates are sound ----------------------
+
+TEST(AnalyzeEngines, AllFourEnginesLintClean) {
+  const verify::Options model;
+  const channel::ChannelParams params = analyze::params_for_model(model);
+  for (const std::string& engine : analyze::engine_names()) {
+    const std::vector<TxTemplate> templates =
+        analyze::engine_templates(engine, params, model);
+    ASSERT_FALSE(templates.empty()) << engine;
+    Report rep;
+    analyze::lint_templates(templates, rep);
+    EXPECT_EQ(rep.error_count(), 0u) << engine << ":\n" << rep.render();
+    EXPECT_EQ(rep.warning_count(), 0u) << engine << ":\n" << rep.render();
+  }
+}
+
+TEST(AnalyzeEngines, FeeableRevocationVariantLintsClean) {
+  const verify::Options model;
+  channel::ChannelParams params = analyze::params_for_model(model);
+  params.feeable_revocations = true;
+  Report rep;
+  analyze::lint_templates(daricch::enumerate_templates(params, model), rep);
+  EXPECT_EQ(rep.error_count(), 0u) << rep.render();
+}
+
+TEST(AnalyzeEngines, MoreStatesStayClean) {
+  verify::Options model;
+  model.max_updates = 6;
+  const channel::ChannelParams params = analyze::params_for_model(model);
+  Report rep;
+  analyze::lint_templates(analyze::all_engine_templates(params, model), rep);
+  EXPECT_EQ(rep.error_count(), 0u) << rep.render();
+}
+
+// --- Fixture helpers ------------------------------------------------------
+
+TxTemplate p2wsh_fixture(const Script& ws, std::vector<WitnessElem> witness,
+                         Amount in_cash = 100, Amount out_cash = 100) {
+  TxTemplate t;
+  t.engine = "fixture";
+  t.name = "case";
+  t.body.inputs = {{analyze::template_outpoint("fixture")}};
+  t.body.nlocktime = 0;
+  t.body.outputs = {{out_cash, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  TemplateInput in;
+  in.spent = {in_cash, tx::Condition::p2wsh(ws)};
+  in.witness_script = ws;
+  in.witness = std::move(witness);
+  t.inputs = {std::move(in)};
+  return t;
+}
+
+Report lint_one(const TxTemplate& t) {
+  Report rep;
+  analyze::lint_templates({t}, rep);
+  return rep;
+}
+
+Report lint_script_only(const Script& s) {
+  Report rep;
+  analyze::lint_script(s, "fixture", rep);
+  return rep;
+}
+
+// --- Negative: each lint fires on its broken fixture ----------------------
+
+TEST(AnalyzeLints, StackUnderflowDA001) {
+  // 2-of-2 multisig needs [dummy, sigA, sigB]; the template only carries two.
+  const Script ws = script::multisig_2of2(kA.pk.compressed(), kB.pk.compressed());
+  const Report rep = lint_one(p2wsh_fixture(
+      ws, {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll)}));
+  EXPECT_TRUE(rep.has("DA001")) << rep.render();
+}
+
+TEST(AnalyzeLints, UnbalancedConditionalDA002) {
+  Script s;
+  s.push(kA.pk.compressed()).op(Op::OP_CHECKSIG).op(Op::OP_ENDIF);
+  EXPECT_TRUE(lint_script_only(s).has("DA002"));
+
+  Script open_if;
+  open_if.op(Op::OP_IF).push(kA.pk.compressed()).op(Op::OP_CHECKSIG);
+  EXPECT_TRUE(lint_script_only(open_if).has("DA002"));
+}
+
+TEST(AnalyzeLints, DeadBranchDA003) {
+  // Constant condition: the false branch of OP_1 IF can never execute.
+  Script constant_selector;
+  constant_selector.op(Op::OP_1)
+      .op(Op::OP_IF)
+      .push(kA.pk.compressed())
+      .op(Op::OP_CHECKSIG)
+      .op(Op::OP_ELSE)
+      .push(kB.pk.compressed())
+      .op(Op::OP_CHECKSIG)
+      .op(Op::OP_ENDIF);
+  EXPECT_TRUE(lint_script_only(constant_selector).has("DA003"));
+
+  // Reachable but never accepting: the ELSE arm always aborts.
+  Script return_else;
+  return_else.op(Op::OP_IF)
+      .push(kA.pk.compressed())
+      .op(Op::OP_CHECKSIG)
+      .op(Op::OP_ELSE)
+      .op(Op::OP_RETURN)
+      .op(Op::OP_ENDIF);
+  EXPECT_TRUE(lint_script_only(return_else).has("DA003"));
+}
+
+TEST(AnalyzeLints, UnspendableDA004) {
+  Script s;
+  s.op(Op::OP_RETURN);
+  EXPECT_TRUE(lint_script_only(s).has("DA004"));
+
+  // Constant EQUALVERIFY that can never hold.
+  Script mismatch;
+  mismatch.op(Op::OP_1).op(Op::OP_0).op(Op::OP_EQUALVERIFY).op(Op::OP_1);
+  EXPECT_TRUE(lint_script_only(mismatch).has("DA004"));
+}
+
+TEST(AnalyzeLints, AnyoneCanSpendDA005) {
+  Script s;
+  s.op(Op::OP_1);
+  EXPECT_TRUE(lint_script_only(s).has("DA005"));
+
+  // A protocol script with a real signature gate must not trip the lint.
+  const Report rep = lint_script_only(script::single_key(kA.pk.compressed()));
+  EXPECT_FALSE(rep.has("DA005")) << rep.render();
+}
+
+TEST(AnalyzeLints, UncleanStackDA006) {
+  Script s;
+  s.push(kA.pk.compressed()).op(Op::OP_CHECKSIG).op(Op::OP_1);
+  EXPECT_TRUE(lint_script_only(s).has("DA006"));
+}
+
+TEST(AnalyzeLints, NonMinimalPushDA007) {
+  Script s;
+  s.push(Bytes{5}).op(Op::OP_DROP).push(kA.pk.compressed()).op(Op::OP_CHECKSIG);
+  const Report rep = lint_script_only(s);
+  EXPECT_TRUE(rep.has("DA007")) << rep.render();
+}
+
+TEST(AnalyzeLints, ResourceLimitDA008) {
+  // Static: wire size past script::kMaxScriptSize.
+  Script big;
+  while (big.wire_size() <= script::kMaxScriptSize) big.push(Bytes(255, 0xab));
+  EXPECT_TRUE(lint_script_only(big).has("DA008"));
+
+  // Static: abstract stack depth past script::kMaxStackDepth.
+  Script deep;
+  for (std::size_t i = 0; i <= script::kMaxStackDepth; ++i) deep.op(Op::OP_1);
+  EXPECT_TRUE(lint_script_only(deep).has("DA008"));
+}
+
+TEST(AnalyzeLints, CltvMismatchDA009) {
+  Script s;
+  s.num4(50)
+      .op(Op::OP_CHECKLOCKTIMEVERIFY)
+      .op(Op::OP_DROP)
+      .push(kA.pk.compressed())
+      .op(Op::OP_CHECKSIG);
+  TxTemplate t = p2wsh_fixture(s, {WitnessElem::sig(SighashFlag::kAll)});
+  t.body.nlocktime = 10;  // < 50: the template can never satisfy its script
+  EXPECT_TRUE(lint_one(t).has("DA009"));
+  t.body.nlocktime = 50;
+  EXPECT_FALSE(lint_one(t).has("DA009"));
+}
+
+TEST(AnalyzeLints, CsvMismatchDA010) {
+  Script s;
+  s.num4(5)
+      .op(Op::OP_CHECKSEQUENCEVERIFY)
+      .op(Op::OP_DROP)
+      .push(kA.pk.compressed())
+      .op(Op::OP_CHECKSIG);
+  TxTemplate t = p2wsh_fixture(s, {WitnessElem::sig(SighashFlag::kAll)});
+  t.inputs[0].spend_age = 2;  // the protocol posts before the CSV matures
+  EXPECT_TRUE(lint_one(t).has("DA010"));
+  t.inputs[0].spend_age = 5;
+  EXPECT_FALSE(lint_one(t).has("DA010"));
+}
+
+TEST(AnalyzeLints, SingleWithoutOutputDA011) {
+  // Two inputs, one output: a SINGLE signature on input 1 has no digest.
+  TxTemplate t;
+  t.engine = "fixture";
+  t.name = "single";
+  t.body.inputs = {{analyze::template_outpoint("in0")},
+                   {analyze::template_outpoint("in1")}};
+  t.body.nlocktime = 0;
+  t.body.outputs = {{100, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  auto p2wpkh_in = [&](const crypto::KeyPair& k, SighashFlag flag) {
+    TemplateInput in;
+    in.spent = {50, tx::Condition::p2wpkh(k.pk.compressed())};
+    in.witness = {WitnessElem::sig(flag), WitnessElem::constant(k.pk.compressed())};
+    return in;
+  };
+  t.inputs = {p2wpkh_in(kA, SighashFlag::kAll), p2wpkh_in(kB, SighashFlag::kSingle)};
+  EXPECT_TRUE(lint_one(t).has("DA011"));
+  t.inputs[1].witness[0] = WitnessElem::sig(SighashFlag::kAll);
+  EXPECT_FALSE(lint_one(t).has("DA011"));
+}
+
+TEST(AnalyzeLints, RebindWithoutAnyprevoutDA012) {
+  const Script ws = script::multisig_2of2(kA.pk.compressed(), kB.pk.compressed());
+  TxTemplate t = p2wsh_fixture(ws, {WitnessElem::empty(),
+                                    WitnessElem::sig(SighashFlag::kAll),
+                                    WitnessElem::sig(SighashFlag::kAll)});
+  t.inputs[0].rebindable = true;  // floating, but the signatures pin the outpoint
+  EXPECT_TRUE(lint_one(t).has("DA012"));
+  t.inputs[0].witness[1] = WitnessElem::sig(SighashFlag::kAllAnyPrevOut);
+  t.inputs[0].witness[2] = WitnessElem::sig(SighashFlag::kAllAnyPrevOut);
+  EXPECT_FALSE(lint_one(t).has("DA012"));
+}
+
+TEST(AnalyzeLints, WitnessProgramMismatchDA013) {
+  const Script real = script::multisig_2of2(kA.pk.compressed(), kB.pk.compressed());
+  const Script wrong = script::single_key(kA.pk.compressed());
+  TxTemplate t = p2wsh_fixture(real, {WitnessElem::empty(),
+                                      WitnessElem::sig(SighashFlag::kAll),
+                                      WitnessElem::sig(SighashFlag::kAll)});
+  t.inputs[0].witness_script = wrong;  // hash no longer matches the spent program
+  EXPECT_TRUE(lint_one(t).has("DA013"));
+}
+
+TEST(AnalyzeLints, ValueOverflowDA015) {
+  const Script ws = script::single_key(kA.pk.compressed());
+  const TxTemplate t = p2wsh_fixture(ws, {WitnessElem::sig(SighashFlag::kAll)},
+                                     /*in_cash=*/100, /*out_cash=*/200);
+  EXPECT_TRUE(lint_one(t).has("DA015"));
+}
+
+TEST(AnalyzeLints, TemplateShapeDA017) {
+  TxTemplate t = p2wsh_fixture(script::single_key(kA.pk.compressed()),
+                               {WitnessElem::sig(SighashFlag::kAll)});
+  t.body.inputs.push_back({analyze::template_outpoint("extra")});  // no input spec
+  EXPECT_TRUE(lint_one(t).has("DA017"));
+}
+
+TEST(AnalyzeLints, SuppressionDropsFindings) {
+  Script s;
+  s.op(Op::OP_1);
+  Report rep;
+  rep.suppress("DA005");
+  analyze::lint_script(s, "fixture", rep);
+  EXPECT_FALSE(rep.has("DA005"));
+  EXPECT_EQ(rep.error_count(), 0u);
+}
+
+// --- Interpreter limits: static constants are enforced dynamically too ----
+
+class PermissiveChecker : public script::SigChecker {
+ public:
+  bool check_sig(BytesView, BytesView) const override { return true; }
+  bool check_locktime(std::uint32_t) const override { return true; }
+  bool check_sequence(std::uint32_t) const override { return true; }
+};
+
+TEST(InterpreterLimits, StackOverflowCaughtAtRuntime) {
+  Script deep;
+  for (std::size_t i = 0; i <= script::kMaxStackDepth; ++i) deep.op(Op::OP_1);
+  std::vector<Bytes> stack;
+  const PermissiveChecker checker;
+  EXPECT_EQ(script::eval_script(deep, stack, checker), script::ScriptError::kStackOverflow);
+}
+
+TEST(InterpreterLimits, OversizedScriptRejectedAtRuntime) {
+  Script big;
+  while (big.wire_size() <= script::kMaxScriptSize) big.push(Bytes(255, 0xab));
+  std::vector<Bytes> stack;
+  const PermissiveChecker checker;
+  EXPECT_EQ(script::eval_script(big, stack, checker), script::ScriptError::kScriptTooLarge);
+}
+
+TEST(InterpreterLimits, RealProtocolScriptsFitWithinLimits) {
+  // The analyzer proves these statically; spot-check the shared constants.
+  const Script commit = daricch::commit_script(kA.pk.compressed(), kB.pk.compressed(),
+                                               kA.pk.compressed(), kB.pk.compressed(), 42, 10);
+  EXPECT_LE(commit.wire_size(), script::kMaxScriptSize);
+  const analyze::ScriptAnalysis an = analyze::analyze_script(commit);
+  EXPECT_LE(an.max_depth, script::kMaxStackDepth);
+}
+
+}  // namespace
+}  // namespace daric

@@ -371,6 +371,77 @@ TEST(SighashCache, SinglePreservesMissingOutputThrow) {
   EXPECT_THROW(cache.digest(1, SighashFlag::kSingleAnyPrevOut), std::out_of_range);
 }
 
+TEST(Sighash, SingleWithoutMatchingOutputFailsValidationCleanly) {
+  // Input 1 of a two-input, one-output tx has no SIGHASH_SINGLE digest: the
+  // digest function throws (the caller asked an unanswerable question), but
+  // an adversarial witness carrying a SINGLE flag there must make validation
+  // return an error, not propagate an exception (the historic Bitcoin
+  // "SIGHASH_SINGLE bug" surface; the analyzer flags templates as DA011).
+  tx::Transaction t;
+  t.inputs = {{{dummy_txid(40), 0}}, {{dummy_txid(41), 0}}};
+  t.outputs = {{100, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  EXPECT_THROW(tx::sighash_digest(t, 1, SighashFlag::kSingle), std::out_of_range);
+  EXPECT_THROW(tx::sighash_digest(t, 1, SighashFlag::kSingleAnyPrevOut),
+               std::out_of_range);
+
+  // P2WSH script path: <pkB> CHECKSIG fed a SINGLE-flagged signature.
+  const Script ws = script::single_key(kB.pk.compressed());
+  const tx::Output spent_wsh{100, tx::Condition::p2wsh(ws)};
+  t.witnesses.resize(2);
+  t.witnesses[1].witness_script = ws;
+  t.witnesses[1].stack = {
+      script::encode_wire_sig(Bytes(64, 0x5a), SighashFlag::kSingle)};
+  EXPECT_EQ(tx::verify_input(t, 1, spent_wsh, crypto::schnorr_scheme(), 0),
+            ScriptError::kFalseTopOfStack);  // CHECKSIG pushed false
+
+  // P2WPKH key path with the same out-of-range SINGLE signature.
+  const tx::Output spent_wpkh{100, tx::Condition::p2wpkh(kB.pk.compressed())};
+  t.witnesses[1].witness_script.reset();
+  t.witnesses[1].stack = {
+      script::encode_wire_sig(Bytes(64, 0x5a), SighashFlag::kSingleAnyPrevOut),
+      kB.pk.compressed()};
+  EXPECT_EQ(tx::verify_input(t, 1, spent_wpkh, crypto::schnorr_scheme(), 0),
+            ScriptError::kBadSignature);
+}
+
+TEST(Sighash, AnyPrevOutSignatureSurvivesRebinding) {
+  // A floating transaction's signature must stay valid when the input is
+  // rebound to a different outpoint — the Daric split/revocation property.
+  const Script ws = script::single_key(kA.pk.compressed());
+  const tx::Output spent{1000, tx::Condition::p2wsh(ws)};
+  for (const auto flag :
+       {SighashFlag::kAllAnyPrevOut, SighashFlag::kSingleAnyPrevOut}) {
+    tx::Transaction t;
+    t.inputs = {{{dummy_txid(42), 0}}};
+    t.outputs = {{1000, tx::Condition::p2wpkh(kA.pk.compressed())}};
+    const Bytes sig = tx::sign_input(t, 0, kA.sk, crypto::schnorr_scheme(), flag);
+    t.witnesses.resize(1);
+    t.witnesses[0].witness_script = ws;
+    t.witnesses[0].stack = {sig};
+    ASSERT_EQ(tx::verify_input(t, 0, spent, crypto::schnorr_scheme(), 0),
+              ScriptError::kOk);
+    t.inputs[0].prevout = {dummy_txid(43), 7};  // rebind
+    EXPECT_EQ(tx::verify_input(t, 0, spent, crypto::schnorr_scheme(), 0),
+              ScriptError::kOk)
+        << "flag=" << static_cast<int>(flag);
+  }
+
+  // Without ANYPREVOUT the same rebinding invalidates the signature.
+  tx::Transaction t;
+  t.inputs = {{{dummy_txid(42), 0}}};
+  t.outputs = {{1000, tx::Condition::p2wpkh(kA.pk.compressed())}};
+  const Bytes sig =
+      tx::sign_input(t, 0, kA.sk, crypto::schnorr_scheme(), SighashFlag::kAll);
+  t.witnesses.resize(1);
+  t.witnesses[0].witness_script = ws;
+  t.witnesses[0].stack = {sig};
+  ASSERT_EQ(tx::verify_input(t, 0, spent, crypto::schnorr_scheme(), 0),
+            ScriptError::kOk);
+  t.inputs[0].prevout = {dummy_txid(43), 7};
+  EXPECT_EQ(tx::verify_input(t, 0, spent, crypto::schnorr_scheme(), 0),
+            ScriptError::kFalseTopOfStack);  // digest moved; CHECKSIG fails
+}
+
 TEST(SighashCache, VerifyInputAcceptsCachedDigests) {
   const Spend s = make_p2wpkh_spend(kA, 1000);
   const tx::SighashCache cache(s.tx);

@@ -3,13 +3,15 @@
 # ASan+UBSan, a bounded model-check run, the secret-hygiene lint, and —
 # when the binary is installed — clang-tidy over the library sources.
 #
-# Usage: tools/check.sh [--fast|--bench|--chaos]
-#   --fast   skip the sanitizer rebuild (plain tests + model check + lint)
-#   --bench  build Release, run the crypto + update microbenches, and write
-#            BENCH_crypto.json / BENCH_update_microbench.json at the repo root
-#   --chaos  fixed-seed 200-schedule fault-injection sweep (Daric + all
-#            baselines) plus the downtime-boundary scan and the committed
-#            regression schedules, under ASan+UBSan
+# Usage: tools/check.sh [--fast|--bench|--chaos|--analyze|--tsan]
+#   --fast    skip the sanitizer rebuild (plain tests + model check + lint)
+#   --bench   build Release, run the crypto + update microbenches, and write
+#             BENCH_crypto.json / BENCH_update_microbench.json at the repo root
+#   --chaos   fixed-seed 200-schedule fault-injection sweep (Daric + all
+#             baselines) plus the downtime-boundary scan and the committed
+#             regression schedules, under ASan+UBSan
+#   --analyze run only the static script/transaction analyzer gate
+#   --tsan    build with ThreadSanitizer and run the tier-1 suite under it
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,11 +19,33 @@ cd "$(dirname "$0")/.."
 FAST=0
 BENCH=0
 CHAOS=0
+ANALYZE=0
+TSAN=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 [[ "${1:-}" == "--bench" ]] && BENCH=1
 [[ "${1:-}" == "--chaos" ]] && CHAOS=1
+[[ "${1:-}" == "--analyze" ]] && ANALYZE=1
+[[ "${1:-}" == "--tsan" ]] && TSAN=1
 
 step() { printf '\n=== %s ===\n' "$*"; }
+
+if [[ "$ANALYZE" == 1 ]]; then
+  step "static script/transaction analyzer"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target daric_analyze >/dev/null
+  ./build/tools/daric_analyze
+  echo; echo "check.sh --analyze: all templates sound"
+  exit 0
+fi
+
+if [[ "$TSAN" == 1 ]]; then
+  step "TSan build + tier-1 tests"
+  cmake -B build-tsan -S . -DDARIC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j >/dev/null
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
+  echo; echo "check.sh --tsan: OK"
+  exit 0
+fi
 
 if [[ "$BENCH" == 1 ]]; then
   step "Release build for benchmarks"
@@ -73,6 +97,9 @@ step "plain build + tier-1 tests"
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+step "static script/transaction analyzer (all engines)"
+./build/tools/daric_analyze
 
 step "bounded model check (default safe config)"
 ./build/tools/daric_modelcheck
