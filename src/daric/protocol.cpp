@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "src/daric/fees.h"
+#include "src/obs/event.h"
 #include "src/tx/sighash.h"
+#include "src/tx/weight.h"
 
 namespace daric::daricch {
 
@@ -31,6 +33,24 @@ bool verify_wire(const tx::Transaction& body, SighashFlag flag, BytesView pubkey
   const auto pk = crypto::Point::from_compressed(pubkey33);
   if (!pk) return false;
   return scheme.verify(*pk, tx::sighash_digest(body, 0, flag), decoded->raw);
+}
+
+/// Records the on-chain weight of an engine-originated transaction in the
+/// always-on metrics registry (events stay behind tracer().enabled()).
+void observe_weight(sim::Environment& env, const tx::Transaction& t) {
+  env.metrics()
+      .histogram("daric.onchain_weight", obs::weight_buckets())
+      .observe(static_cast<std::int64_t>(tx::measure(t).weight()));
+}
+
+void emit_closed(sim::Environment& env, const channel::ChannelParams& params, PartyId id,
+                 CloseOutcome outcome) {
+  env.metrics().counter("daric.closed").inc();
+  if (env.tracer().enabled())
+    env.tracer().emit(env.now(), obs::EventKind::kChannelState, "daric", params.id,
+                      sim::party_name(id),
+                      {obs::Attr::s("phase", "closed"),
+                       obs::Attr::s("outcome", close_outcome_name(outcome))});
 }
 
 }  // namespace
@@ -142,6 +162,13 @@ void DaricParty::try_punish(const tx::Transaction& spender) {
   }
   env_.ledger().post(rv);
   pending_revocation_txid_ = rv.txid();
+  env_.metrics().counter("daric.punish.posted").inc();
+  observe_weight(env_, rv);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kPunish, "daric", params_.id,
+                       sim::party_name(id_),
+                       {obs::Attr::i("revoked_state", j),
+                        obs::Attr::i("latest_sn", static_cast<std::int64_t>(sn_))});
 }
 
 void DaricParty::on_round() {
@@ -153,6 +180,7 @@ void DaricParty::on_round() {
       outcome_ = CloseOutcome::kPunished;
       closed_round_ = env_.now();
       open_ = false;
+      emit_closed(env_, params_, id_, outcome_);
     }
     return;
   }
@@ -161,10 +189,15 @@ void DaricParty::on_round() {
     if (!pending_split_->posted && env_.now() >= pending_split_->post_round) {
       ledger.post(pending_split_->bound);
       pending_split_->posted = true;
+      observe_weight(env_, pending_split_->bound);
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id,
+                           sim::party_name(id_), {obs::Attr::s("phase", "split_posted")});
     } else if (pending_split_->posted && ledger.is_confirmed(pending_split_->bound.txid())) {
       outcome_ = CloseOutcome::kNonCollaborative;
       closed_round_ = env_.now();
       open_ = false;
+      emit_closed(env_, params_, id_, outcome_);
     }
     return;
   }
@@ -177,6 +210,7 @@ void DaricParty::on_round() {
     outcome_ = CloseOutcome::kCooperative;
     closed_round_ = env_.now();
     open_ = false;
+    emit_closed(env_, params_, id_, outcome_);
     return;
   }
 
@@ -214,13 +248,22 @@ void DaricParty::on_round() {
     outcome_ = CloseOutcome::kPunished;
     closed_round_ = env_.now();
     open_ = false;
+    emit_closed(env_, params_, id_, outcome_);
   }
 }
 
 void DaricParty::force_close() {
   if (!open_) return;
   const bool use_new = flag_ == channel::ChannelFlag::kUpdating && cm_own_new_.has_value();
-  env_.ledger().post(use_new ? *cm_own_new_ : cm_own_);
+  const tx::Transaction& cm = use_new ? *cm_own_new_ : cm_own_;
+  env_.metrics().counter("daric.force_close").inc();
+  observe_weight(env_, cm);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "daric", params_.id,
+                       sim::party_name(id_),
+                       {obs::Attr::i("sn", static_cast<std::int64_t>(use_new ? sn_ + 1 : sn_)),
+                        obs::Attr::i("revoked", 0)});
+  env_.ledger().post(cm);
   // The Punish monitor picks it up once confirmed and schedules the split.
 }
 
@@ -249,6 +292,13 @@ constexpr int kMaxSendAttempts = 3;
 
 int DaricChannel::send_reliable(DaricParty& sender, const char* type) {
   for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+    if (attempt > 0) {
+      env_.metrics().counter("daric.msg.retries").inc();
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kMsgRetry, "daric", params_.id,
+                           sim::party_name(sender.id_),
+                           {obs::Attr::s("type", type), obs::Attr::i("attempt", attempt)});
+    }
     const auto d = env_.transmit(sender.id_, type);
     if (d.copies > 0) return d.copies;
     // Dropped: the sender's ack timeout fires and it re-sends.
@@ -360,6 +410,11 @@ bool DaricChannel::create() {
   archive_a_.push_back(a_.cm_own_);
   archive_b_.push_back(b_.cm_own_);
   archive_splits_.push_back({split0, sp_sig_a, sp_sig_b, commits.script_a, commits.script_b});
+  env_.metrics().counter("daric.channels_opened").inc();
+  observe_weight(env_, tx_fu);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id, {},
+                       {obs::Attr::s("phase", "open"), obs::Attr::i("sn", 0)});
   return true;
 }
 
@@ -376,6 +431,12 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   DaricParty& q = party(other(proposer));
   const std::uint32_t i = a_.sn_;
   const Amount cash = params_.capacity();
+
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id,
+                       sim::party_name(proposer),
+                       {obs::Attr::s("phase", "updating"),
+                        obs::Attr::i("sn", static_cast<std::int64_t>(i) + 1)});
 
   auto abort_by = [&](DaricParty& silent, DaricParty& honest, int msg) {
     if (silent.behavior.abort_update_before_msg == msg) {
@@ -533,6 +594,12 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   archive_b_.push_back(b_.cm_own_);
   archive_splits_.push_back(
       {split_body, split_sig_a, split_sig_b, commits.script_a, commits.script_b});
+  env_.metrics().counter("daric.updates").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id,
+                       sim::party_name(proposer),
+                       {obs::Attr::s("phase", "updated"),
+                        obs::Attr::i("sn", static_cast<std::int64_t>(i) + 1)});
   return true;
 }
 
@@ -564,6 +631,10 @@ bool DaricChannel::cooperative_close(PartyId initiator) {
   attach_funding_witness(fin, 0, p.fund_script_, sig_a, sig_b);
   a_.expected_coop_txid_ = fin.txid();
   b_.expected_coop_txid_ = fin.txid();
+  observe_weight(env_, fin);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id,
+                       sim::party_name(initiator), {obs::Attr::s("phase", "coop_close_posted")});
   env_.ledger().post(fin);
   return run_until_closed();
 }
@@ -571,6 +642,13 @@ bool DaricChannel::cooperative_close(PartyId initiator) {
 void DaricChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   const auto& archive = who == PartyId::kA ? archive_a_ : archive_b_;
   if (state >= archive.size()) throw std::out_of_range("no archived commit for that state");
+  env_.metrics().counter("daric.disputes").inc();
+  observe_weight(env_, archive[state]);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "daric", params_.id,
+                       sim::party_name(who),
+                       {obs::Attr::i("sn", static_cast<std::int64_t>(state)),
+                        obs::Attr::i("revoked", state < a_.sn_ ? 1 : 0)});
   env_.ledger().post(archive[state]);
 }
 

@@ -5,7 +5,9 @@
 #include "src/channel/storage.h"
 #include "src/daric/builders.h"
 #include "src/daric/scripts.h"
+#include "src/obs/event.h"
 #include "src/tx/sighash.h"
+#include "src/tx/weight.h"
 
 namespace daric::eltoo {
 
@@ -15,10 +17,33 @@ using sim::PartyId;
 namespace {
 std::size_t idx(PartyId p) { return p == PartyId::kA ? 0 : 1; }
 constexpr int kMaxSendAttempts = 3;
+
+void observe_weight(sim::Environment& env, const tx::Transaction& t) {
+  env.metrics()
+      .histogram("eltoo.onchain_weight", obs::weight_buckets())
+      .observe(static_cast<std::int64_t>(tx::measure(t).weight()));
+}
+
+void emit_closed(sim::Environment& env, const channel::ChannelParams& params,
+                 std::uint32_t settled_state, const char* how) {
+  env.metrics().counter("eltoo.closed").inc();
+  if (env.tracer().enabled())
+    env.tracer().emit(env.now(), obs::EventKind::kChannelState, "eltoo", params.id, {},
+                      {obs::Attr::s("phase", "closed"), obs::Attr::s("outcome", how),
+                       obs::Attr::i("settled_state", static_cast<std::int64_t>(settled_state))});
+}
+
 }  // namespace
 
 int EltooChannel::send_reliable(PartyId from, const char* type) {
   for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+    if (attempt > 0) {
+      env_.metrics().counter("eltoo.msg.retries").inc();
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kMsgRetry, "eltoo", params_.id,
+                           sim::party_name(from),
+                           {obs::Attr::s("type", type), obs::Attr::i("attempt", attempt)});
+    }
     const auto d = env_.transmit(from, type);
     if (d.copies > 0) return d.copies;
   }
@@ -101,6 +126,10 @@ bool EltooChannel::create() {
   fund_txid_ = fund_op_.txid;
   sign_state(0, st_);
   open_ = true;
+  env_.metrics().counter("eltoo.channels_opened").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "eltoo", params_.id, {},
+                       {obs::Attr::s("phase", "open"), obs::Attr::i("sn", 0)});
   return true;
 }
 
@@ -121,6 +150,11 @@ bool EltooChannel::update(const channel::StateVec& next) {
   sign_state(sn_ + 1, next);
   ++sn_;
   st_ = next;
+  env_.metrics().counter("eltoo.updates").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "eltoo", params_.id, {},
+                       {obs::Attr::s("phase", "updated"),
+                        obs::Attr::i("sn", static_cast<std::int64_t>(sn_))});
   return true;
 }
 
@@ -139,6 +173,10 @@ bool EltooChannel::cooperative_close() {
     run_until_closed();
     return false;
   }
+  observe_weight(env_, close);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "eltoo", params_.id, {},
+                       {obs::Attr::s("phase", "coop_close_posted")});
   env_.ledger().post(close);
   expected_close_txid_ = close.txid();
   return run_until_closed();
@@ -157,12 +195,18 @@ void EltooChannel::post_update_bound(std::uint32_t state, const tx::OutPoint& op
     t.witnesses[0].stack = {Bytes{}, s.upd_sig_a, s.upd_sig_b, Bytes{}};
     t.witnesses[0].witness_script = prev_script;
   }
+  observe_weight(env_, t);
   env_.ledger().post(t);
 }
 
 void EltooChannel::publish_old_update(PartyId who, std::uint32_t state) {
-  (void)who;
   if (state >= archive_.size()) throw std::out_of_range("no such archived state");
+  env_.metrics().counter("eltoo.disputes").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "eltoo", params_.id,
+                       sim::party_name(who),
+                       {obs::Attr::i("sn", static_cast<std::int64_t>(state)),
+                        obs::Attr::i("revoked", state < sn_ ? 1 : 0)});
   if (env_.ledger().is_unspent(fund_op_)) {
     post_update_bound(state, fund_op_, {}, true);
     return;
@@ -188,8 +232,13 @@ void EltooChannel::attacker_settle(PartyId who, std::uint32_t state) {
 void EltooChannel::set_reacting(PartyId who, bool reacts) { reacts_[idx(who)] = reacts; }
 
 void EltooChannel::force_close(PartyId who) {
-  (void)who;
   if (!open_) return;
+  env_.metrics().counter("eltoo.force_close").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "eltoo", params_.id,
+                       sim::party_name(who),
+                       {obs::Attr::i("sn", static_cast<std::int64_t>(sn_)),
+                        obs::Attr::i("revoked", 0)});
   if (env_.ledger().is_unspent(fund_op_)) post_update_bound(sn_, fund_op_, {}, true);
   // Settlement is scheduled by the monitor once the update confirms.
 }
@@ -204,6 +253,7 @@ void EltooChannel::on_round() {
   if (expected_close_txid_ && spender->txid() == *expected_close_txid_) {
     settled_state_ = sn_;
     open_ = false;
+    emit_closed(env_, params_, *settled_state_, "cooperative");
     return;
   }
 
@@ -215,6 +265,8 @@ void EltooChannel::on_round() {
       // A settlement (two or more outputs) finalized the channel.
       settled_state_ = cur_state;
       open_ = false;
+      emit_closed(env_, params_, *settled_state_,
+                  cur_state < sn_ ? "stale-settled" : "settled");
       return;
     }
     holder = *spender;
@@ -237,6 +289,14 @@ void EltooChannel::on_round() {
     // Stale state on-chain: a reacting honest party overrides it with the
     // latest update (eltoo's only defence — no punishment available).
     if ((reacts_[0] || reacts_[1]) && !reacted_for_tip_) {
+      // The override is eltoo's stand-in for punishment: record it under the
+      // same punish counter/event so cross-engine dashboards line up.
+      env_.metrics().counter("eltoo.override.posted").inc();
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kPunish, "eltoo", params_.id, {},
+                           {obs::Attr::s("kind", "override"),
+                            obs::Attr::i("stale_state", static_cast<std::int64_t>(cur_state)),
+                            obs::Attr::i("latest_sn", static_cast<std::int64_t>(sn_))});
       post_update_bound(sn_, {holder.txid(), 0}, archive_.at(cur_state).out_script, false);
       reacted_for_tip_ = true;
     }
@@ -251,6 +311,11 @@ void EltooChannel::on_round() {
     t.witnesses.resize(1);
     t.witnesses[0].stack = {Bytes{}, s.set_sig_a, s.set_sig_b, Bytes{1}};
     t.witnesses[0].witness_script = s.out_script;
+    observe_weight(env_, t);
+    if (env_.tracer().enabled())
+      env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "eltoo", params_.id, {},
+                         {obs::Attr::s("phase", "settlement_posted"),
+                          obs::Attr::i("sn", static_cast<std::int64_t>(sn_))});
     ledger.post(t);
     settlement_posted_ = true;
   }

@@ -6,7 +6,9 @@
 #include "src/crypto/sha256.h"
 #include "src/daric/builders.h"
 #include "src/daric/scripts.h"
+#include "src/obs/event.h"
 #include "src/tx/sighash.h"
+#include "src/tx/weight.h"
 
 namespace daric::generalized {
 
@@ -15,10 +17,42 @@ using sim::PartyId;
 
 namespace {
 constexpr int kMaxSendAttempts = 3;
+
+const char* gc_outcome_name(GcOutcome o) {
+  switch (o) {
+    case GcOutcome::kNone: return "none";
+    case GcOutcome::kCooperative: return "cooperative";
+    case GcOutcome::kNonCollaborative: return "non-collaborative";
+    case GcOutcome::kPunished: return "punished";
+  }
+  return "unknown";
+}
+
+void observe_weight(sim::Environment& env, const tx::Transaction& t) {
+  env.metrics()
+      .histogram("generalized.onchain_weight", obs::weight_buckets())
+      .observe(static_cast<std::int64_t>(tx::measure(t).weight()));
+}
+
+}  // namespace
+
+void GeneralizedChannel::note_closed(GcOutcome outcome) {
+  env_.metrics().counter("generalized.closed").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized", params_.id, {},
+                       {obs::Attr::s("phase", "closed"),
+                        obs::Attr::s("outcome", gc_outcome_name(outcome))});
 }
 
 int GeneralizedChannel::send_reliable(PartyId from, const char* type) {
   for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+    if (attempt > 0) {
+      env_.metrics().counter("generalized.msg.retries").inc();
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kMsgRetry, "generalized", params_.id,
+                           sim::party_name(from),
+                           {obs::Attr::s("type", type), obs::Attr::i("attempt", attempt)});
+    }
     const auto d = env_.transmit(from, type);
     if (d.copies > 0) return d.copies;
   }
@@ -117,6 +151,10 @@ bool GeneralizedChannel::create() {
   fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
   sign_state(0, st_);
   open_ = true;
+  env_.metrics().counter("generalized.channels_opened").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized", params_.id, {},
+                       {obs::Attr::s("phase", "open"), obs::Attr::i("sn", 0)});
   return true;
 }
 
@@ -151,6 +189,11 @@ bool GeneralizedChannel::update(const channel::StateVec& next) {
   revealed_r_b_.push_back(old.r_b);
   ++sn_;
   st_ = next;
+  env_.metrics().counter("generalized.updates").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized", params_.id, {},
+                       {obs::Attr::s("phase", "updated"),
+                        obs::Attr::i("sn", static_cast<std::int64_t>(sn_))});
   return true;
 }
 
@@ -187,6 +230,10 @@ bool GeneralizedChannel::cooperative_close() {
     run_until_closed();
     return false;
   }
+  observe_weight(env_, close);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized", params_.id, {},
+                       {obs::Attr::s("phase", "coop_close_posted")});
   env_.ledger().post(close);
   expected_close_txid_ = close.txid();
   return run_until_closed();
@@ -194,12 +241,28 @@ bool GeneralizedChannel::cooperative_close() {
 
 void GeneralizedChannel::force_close(PartyId who) {
   if (!open_) return;
-  env_.ledger().post(assemble_commit(who, sn_));
+  const tx::Transaction cm = assemble_commit(who, sn_);
+  env_.metrics().counter("generalized.force_close").inc();
+  observe_weight(env_, cm);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "generalized", params_.id,
+                       sim::party_name(who),
+                       {obs::Attr::i("sn", static_cast<std::int64_t>(sn_)),
+                        obs::Attr::i("revoked", 0)});
+  env_.ledger().post(cm);
 }
 
 void GeneralizedChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   if (state >= archive_.size()) throw std::out_of_range("no archived commit for that state");
-  env_.ledger().post(assemble_commit(who, state));
+  const tx::Transaction cm = assemble_commit(who, state);
+  env_.metrics().counter("generalized.disputes").inc();
+  observe_weight(env_, cm);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "generalized", params_.id,
+                       sim::party_name(who),
+                       {obs::Attr::i("sn", static_cast<std::int64_t>(state)),
+                        obs::Attr::i("revoked", state < sn_ ? 1 : 0)});
+  env_.ledger().post(cm);
 }
 
 void GeneralizedChannel::on_round() {
@@ -212,16 +275,22 @@ void GeneralizedChannel::on_round() {
     if (ledger.is_confirmed(*pending_punish_txid_)) {
       outcome_ = GcOutcome::kPunished;
       open_ = false;
+      note_closed(outcome_);
     }
     return;
   }
   if (pending_split_) {
     if (!pending_split_->posted && env_.now() >= pending_split_->post_round) {
+      observe_weight(env_, pending_split_->bound);
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized",
+                           params_.id, {}, {obs::Attr::s("phase", "split_posted")});
       ledger.post(pending_split_->bound);
       pending_split_->posted = true;
     } else if (pending_split_->posted && ledger.is_confirmed(pending_split_->bound.txid())) {
       outcome_ = GcOutcome::kNonCollaborative;
       open_ = false;
+      note_closed(outcome_);
     }
     return;
   }
@@ -232,6 +301,7 @@ void GeneralizedChannel::on_round() {
   if (expected_close_txid_ && id == *expected_close_txid_) {
     outcome_ = GcOutcome::kCooperative;
     open_ = false;
+    note_closed(outcome_);
     return;
   }
 
@@ -298,6 +368,13 @@ void GeneralizedChannel::on_round() {
     punish.witnesses[0].stack = {sig_main, r, sig_y,
                                  a_published ? Bytes{1} : Bytes{}, Bytes{}};
     punish.witnesses[0].witness_script = rec->out_script;
+    env_.metrics().counter("generalized.punish.posted").inc();
+    observe_weight(env_, punish);
+    if (env_.tracer().enabled())
+      env_.tracer().emit(env_.now(), obs::EventKind::kPunish, "generalized", params_.id,
+                         sim::party_name(a_published ? PartyId::kB : PartyId::kA),
+                         {obs::Attr::i("revoked_state", static_cast<std::int64_t>(state)),
+                          obs::Attr::i("latest_sn", static_cast<std::int64_t>(sn_))});
     ledger.post(punish);
     pending_punish_txid_ = punish.txid();
     return true;

@@ -59,6 +59,8 @@ class GeneralizedChannel {
   void sign_state(std::uint32_t state, const channel::StateVec& st);
   int send_reliable(sim::PartyId from, const char* type);
   void on_round();
+  /// Bumps the closed counter and emits the closed lifecycle event.
+  void note_closed(GcOutcome outcome);
 
   sim::Environment& env_;
   channel::ChannelParams params_;

@@ -3,9 +3,31 @@
 #include <stdexcept>
 
 #include "src/crypto/sha256.h"
+#include "src/tx/weight.h"
 #include "src/util/serialize.h"
 
 namespace daric::ledger {
+
+namespace {
+
+/// Short txid label for trace attributes (first 8 hex chars).
+std::string txid_label(const Hash256& id) { return id.hex().substr(0, 8); }
+
+}  // namespace
+
+void Ledger::set_obs(obs::Tracer* tracer, obs::Registry* metrics) {
+  tracer_ = tracer;
+  if (metrics) {
+    txs_posted_ = &metrics->counter("ledger.tx.posted");
+    txs_confirmed_ = &metrics->counter("ledger.tx.confirmed");
+    txs_rejected_ = &metrics->counter("ledger.tx.rejected");
+    confirm_delay_ = &metrics->histogram("ledger.confirm_delay_rounds", obs::round_buckets());
+    txs_per_round_ = &metrics->histogram("ledger.txs_per_round", obs::count_buckets());
+  } else {
+    txs_posted_ = txs_confirmed_ = txs_rejected_ = nullptr;
+    confirm_delay_ = txs_per_round_ = nullptr;
+  }
+}
 
 void Ledger::post(const tx::Transaction& t) {
   Round delay = delta_;
@@ -21,6 +43,11 @@ void Ledger::post_with_delay(const tx::Transaction& t, Round delay) {
   if (delay < 0 || delay > delta_) throw std::invalid_argument("delay must be in [0, Δ]");
   records_.push_back({t.txid(), now_, now_ + delay, false, TxError::kOk});
   queue_.push_back({t, now_ + delay, records_.size() - 1});
+  if (txs_posted_) txs_posted_->inc();
+  if (tracer_ && tracer_->enabled())
+    tracer_->emit(now_, obs::EventKind::kTxPost, "ledger", {}, {},
+                  {obs::Attr::s("txid", txid_label(t.txid())),
+                   obs::Attr::i("due", now_ + delay)});
 }
 
 void Ledger::advance_round() {
@@ -34,6 +61,7 @@ void Ledger::advance_rounds(Round n) {
 
 void Ledger::process_due() {
   // FIFO over the queue; entries due now (or earlier) are processed.
+  std::uint64_t confirmed_this_round = 0;
   std::deque<Pending> keep;
   while (!queue_.empty()) {
     Pending p = std::move(queue_.front());
@@ -45,7 +73,23 @@ void Ledger::process_due() {
     const TxError err = validate_transaction(p.tx, {utxos_, seen_txids_, now_, scheme_});
     records_[p.record_index].processed = true;
     records_[p.record_index].result = err;
-    if (err != TxError::kOk) continue;
+    if (err != TxError::kOk) {
+      if (txs_rejected_) txs_rejected_->inc();
+      if (tracer_ && tracer_->enabled())
+        tracer_->emit(now_, obs::EventKind::kTxReject, "ledger", {}, {},
+                      {obs::Attr::s("txid", txid_label(p.tx.txid())),
+                       obs::Attr::s("error", tx_error_name(err))});
+      continue;
+    }
+    ++confirmed_this_round;
+    if (txs_confirmed_) txs_confirmed_->inc();
+    if (confirm_delay_) confirm_delay_->observe(now_ - records_[p.record_index].posted_round);
+    if (tracer_ && tracer_->enabled())
+      tracer_->emit(now_, obs::EventKind::kTxConfirm, "ledger", {}, {},
+                    {obs::Attr::s("txid", txid_label(p.tx.txid())),
+                     obs::Attr::i("weight",
+                                  static_cast<std::int64_t>(tx::measure(p.tx).weight())),
+                     obs::Attr::i("posted", records_[p.record_index].posted_round)});
 
     const Hash256 id = p.tx.txid();
     fees_total_ += transaction_fee(p.tx, utxos_);
@@ -62,6 +106,7 @@ void Ledger::process_due() {
     accepted_.push_back({now_, p.tx});
   }
   queue_ = std::move(keep);
+  if (txs_per_round_) txs_per_round_->observe(static_cast<std::int64_t>(confirmed_this_round));
 }
 
 tx::OutPoint Ledger::mint(Amount value, const tx::Condition& cond) {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/ledger/validation.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 
 namespace daric::ledger {
 
@@ -34,6 +36,11 @@ class Ledger {
   Round now() const { return now_; }
   Round delta() const { return delta_; }
   const crypto::SignatureScheme& scheme() const { return scheme_; }
+
+  /// Wires the environment's observability surface (non-owning; both may
+  /// be nullptr). Posts/confirmations/rejections then emit trace events
+  /// and update the `ledger.*` counters and histograms.
+  void set_obs(obs::Tracer* tracer, obs::Registry* metrics);
 
   /// Posts a transaction; it will be processed `delay` rounds from now
   /// (delay defaults to Δ, or to the installed delay policy's choice;
@@ -83,6 +90,13 @@ class Ledger {
   std::deque<Pending> queue_;
   std::vector<PostRecord> records_;
   DelayPolicy delay_policy_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* txs_posted_ = nullptr;
+  obs::Counter* txs_confirmed_ = nullptr;
+  obs::Counter* txs_rejected_ = nullptr;
+  obs::Histogram* confirm_delay_ = nullptr;
+  obs::Histogram* txs_per_round_ = nullptr;
 
   UtxoSet utxos_;
   std::unordered_set<Hash256, Hash256Hasher> seen_txids_;

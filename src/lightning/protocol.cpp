@@ -6,7 +6,9 @@
 #include "src/crypto/sha256.h"
 #include "src/daric/builders.h"
 #include "src/daric/scripts.h"
+#include "src/obs/event.h"
 #include "src/tx/sighash.h"
+#include "src/tx/weight.h"
 
 namespace daric::lightning {
 
@@ -15,10 +17,42 @@ using sim::PartyId;
 
 namespace {
 constexpr int kMaxSendAttempts = 3;
+
+const char* ln_outcome_name(LnOutcome o) {
+  switch (o) {
+    case LnOutcome::kNone: return "none";
+    case LnOutcome::kCooperative: return "cooperative";
+    case LnOutcome::kNonCollaborative: return "non-collaborative";
+    case LnOutcome::kPunished: return "punished";
+  }
+  return "unknown";
+}
+
+void observe_weight(sim::Environment& env, const tx::Transaction& t) {
+  env.metrics()
+      .histogram("lightning.onchain_weight", obs::weight_buckets())
+      .observe(static_cast<std::int64_t>(tx::measure(t).weight()));
+}
+
+}  // namespace
+
+void LightningChannel::note_closed(LnOutcome outcome) {
+  env_.metrics().counter("lightning.closed").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id, {},
+                       {obs::Attr::s("phase", "closed"),
+                        obs::Attr::s("outcome", ln_outcome_name(outcome))});
 }
 
 int LightningChannel::send_reliable(PartyId from, const char* type) {
   for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
+    if (attempt > 0) {
+      env_.metrics().counter("lightning.msg.retries").inc();
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kMsgRetry, "lightning", params_.id,
+                           sim::party_name(from),
+                           {obs::Attr::s("type", type), obs::Attr::i("attempt", attempt)});
+    }
     const auto d = env_.transmit(from, type);
     if (d.copies > 0) return d.copies;
   }
@@ -107,6 +141,10 @@ bool LightningChannel::create() {
   fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
   sign_state(0, st_);
   open_ = true;
+  env_.metrics().counter("lightning.channels_opened").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id, {},
+                       {obs::Attr::s("phase", "open"), obs::Attr::i("sn", 0)});
   return true;
 }
 
@@ -134,6 +172,11 @@ bool LightningChannel::update(const channel::StateVec& next) {
   secrets_of_b_.push_back(revocation_keypair(PartyId::kB, sn_).sk.to_be_bytes());
   ++sn_;
   st_ = next;
+  env_.metrics().counter("lightning.updates").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id, {},
+                       {obs::Attr::s("phase", "updated"),
+                        obs::Attr::i("sn", static_cast<std::int64_t>(sn_))});
   return true;
 }
 
@@ -152,6 +195,10 @@ bool LightningChannel::cooperative_close() {
     run_until_closed();
     return false;
   }
+  observe_weight(env_, close);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id, {},
+                       {obs::Attr::s("phase", "coop_close_posted")});
   env_.ledger().post(close);
   expected_close_txid_ = close.txid();
   return run_until_closed();
@@ -159,12 +206,27 @@ bool LightningChannel::cooperative_close() {
 
 void LightningChannel::force_close(PartyId who) {
   if (!open_) return;
-  env_.ledger().post(who == PartyId::kA ? commit_a_ : commit_b_);
+  const tx::Transaction& cm = who == PartyId::kA ? commit_a_ : commit_b_;
+  env_.metrics().counter("lightning.force_close").inc();
+  observe_weight(env_, cm);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "lightning", params_.id,
+                       sim::party_name(who),
+                       {obs::Attr::i("sn", static_cast<std::int64_t>(sn_)),
+                        obs::Attr::i("revoked", 0)});
+  env_.ledger().post(cm);
 }
 
 void LightningChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   for (const CommitRecord& r : archive_) {
     if (r.owner == who && r.state == state) {
+      env_.metrics().counter("lightning.disputes").inc();
+      observe_weight(env_, r.tx);
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "lightning", params_.id,
+                           sim::party_name(who),
+                           {obs::Attr::i("sn", static_cast<std::int64_t>(state)),
+                            obs::Attr::i("revoked", state < sn_ ? 1 : 0)});
       env_.ledger().post(r.tx);
       return;
     }
@@ -181,6 +243,7 @@ void LightningChannel::on_round() {
     if (ledger.is_confirmed(*pending_claim_txid_)) {
       outcome_ = LnOutcome::kPunished;
       open_ = false;
+      note_closed(outcome_);
     }
     return;
   }
@@ -197,12 +260,18 @@ void LightningChannel::on_round() {
       sweep.witnesses.resize(1);
       sweep.witnesses[0].stack = {sig, Bytes{}};  // ELSE (delayed) branch
       sweep.witnesses[0].witness_script = pending_sweep_->script;
+      observe_weight(env_, sweep);
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id,
+                           sim::party_name(pending_sweep_->owner),
+                           {obs::Attr::s("phase", "sweep_posted")});
       ledger.post(sweep);
       pending_sweep_->posted = true;
       pending_sweep_->txid = sweep.txid();
     } else if (pending_sweep_->posted && ledger.is_confirmed(pending_sweep_->txid)) {
       outcome_ = LnOutcome::kNonCollaborative;
       open_ = false;
+      note_closed(outcome_);
     }
     return;
   }
@@ -213,6 +282,7 @@ void LightningChannel::on_round() {
   if (expected_close_txid_ && id == *expected_close_txid_) {
     outcome_ = LnOutcome::kCooperative;
     open_ = false;
+    note_closed(outcome_);
     return;
   }
 
@@ -239,6 +309,13 @@ void LightningChannel::on_round() {
     claim.witnesses.resize(1);
     claim.witnesses[0].stack = {sig, Bytes{1}};  // IF (revocation) branch
     claim.witnesses[0].witness_script = rec->to_local;
+    env_.metrics().counter("lightning.punish.posted").inc();
+    observe_weight(env_, claim);
+    if (env_.tracer().enabled())
+      env_.tracer().emit(env_.now(), obs::EventKind::kPunish, "lightning", params_.id,
+                         sim::party_name(victim_is_a ? PartyId::kA : PartyId::kB),
+                         {obs::Attr::i("revoked_state", static_cast<std::int64_t>(rec->state)),
+                          obs::Attr::i("latest_sn", static_cast<std::int64_t>(sn_))});
     ledger.post(claim);
     pending_claim_txid_ = claim.txid();
     return;

@@ -65,6 +65,8 @@ class LightningChannel {
   void sign_state(std::uint32_t state, const channel::StateVec& st);
   int send_reliable(sim::PartyId from, const char* type);
   void on_round();
+  /// Bumps the closed counter and emits the closed lifecycle event.
+  void note_closed(LnOutcome outcome);
 
   sim::Environment& env_;
   channel::ChannelParams params_;

@@ -1,0 +1,74 @@
+#include "src/obs/event.h"
+
+namespace daric::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kRoundAdvance: return "round_advance";
+    case EventKind::kMsgSend: return "msg_send";
+    case EventKind::kMsgDeliver: return "msg_deliver";
+    case EventKind::kMsgDrop: return "msg_drop";
+    case EventKind::kMsgRetry: return "msg_retry";
+    case EventKind::kTxPost: return "tx_post";
+    case EventKind::kTxConfirm: return "tx_confirm";
+    case EventKind::kTxReject: return "tx_reject";
+    case EventKind::kChannelState: return "channel_state";
+    case EventKind::kHtlcLock: return "htlc_lock";
+    case EventKind::kHtlcSettle: return "htlc_settle";
+    case EventKind::kHtlcRollback: return "htlc_rollback";
+    case EventKind::kPunish: return "punish";
+    case EventKind::kForceClose: return "force_close";
+    case EventKind::kFaultInject: return "fault_inject";
+    case EventKind::kPaymentBegin: return "payment_begin";
+    case EventKind::kPaymentSettle: return "payment_settle";
+    case EventKind::kPaymentAbort: return "payment_abort";
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Event& e) {
+  std::string out = "{\"seq\":" + std::to_string(e.seq) +
+                    ",\"round\":" + std::to_string(e.round) + ",\"kind\":\"" +
+                    event_kind_name(e.kind) + "\",\"engine\":\"" + json_escape(e.engine) +
+                    "\",\"channel\":\"" + json_escape(e.channel) + "\",\"party\":\"" +
+                    json_escape(e.party) + "\",\"attrs\":{";
+  bool first = true;
+  for (const Attr& a : e.attrs) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(a.key) + "\":";
+    if (a.is_int) {
+      out += std::to_string(a.num);
+    } else {
+      out += '"' + json_escape(a.str) + '"';
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace daric::obs

@@ -1,0 +1,79 @@
+// Structured trace events: the unit of the observability layer.
+//
+// Every event carries the simulation round it happened in, a tracer-assigned
+// monotone sequence number, and the (engine, channel, party) coordinates of
+// the emitter, plus a small list of typed key/value attributes. Events are
+// plain data — no behavior lives here — so sinks (src/obs/sinks.h) can
+// serialize them without knowing who emitted them.
+//
+// The obs core deliberately depends on nothing above the standard library:
+// sim, ledger, the channel engines and the PCN all include it, never the
+// other way around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace daric::obs {
+
+/// The event taxonomy. One value per observable lifecycle edge; new engine
+/// code paths must emit an existing kind (or extend this enum + name table)
+/// rather than invent ad-hoc logging.
+enum class EventKind : std::uint8_t {
+  kRoundAdvance,   // sim clock ticked
+  kMsgSend,        // protocol message handed to the network
+  kMsgDeliver,     // message copies arrived at the receiver
+  kMsgDrop,        // all copies lost (retry budget decides what's next)
+  kMsgRetry,       // sender re-sent after a drop
+  kTxPost,         // transaction submitted to the ledger
+  kTxConfirm,      // transaction validated and accepted
+  kTxReject,       // transaction failed validation
+  kChannelState,   // channel lifecycle edge (open/updating/updated/closed)
+  kHtlcLock,       // HTLC added to a channel state
+  kHtlcSettle,     // HTLC resolved toward the payee
+  kHtlcRollback,   // HTLC unwound toward the payer
+  kPunish,         // revocation/penalty transaction posted or confirmed
+  kForceClose,     // unilateral commit posted (attr revoked=1 marks fraud)
+  kFaultInject,    // chaos injector acted on a message or post
+  kPaymentBegin,   // multi-hop payment locked along its route
+  kPaymentSettle,  // multi-hop payment settled end to end
+  kPaymentAbort,   // multi-hop payment unwound
+};
+
+const char* event_kind_name(EventKind k);
+
+/// One key/value attribute: either an integer or a string payload.
+struct Attr {
+  std::string key;
+  std::string str;
+  std::int64_t num = 0;
+  bool is_int = false;
+
+  static Attr s(std::string key, std::string value) {
+    return {std::move(key), std::move(value), 0, false};
+  }
+  static Attr i(std::string key, std::int64_t value) {
+    return {std::move(key), {}, value, true};
+  }
+};
+
+struct Event {
+  std::uint64_t seq = 0;  // assigned by the Tracer; strictly increasing
+  std::int64_t round = 0;
+  EventKind kind = EventKind::kRoundAdvance;
+  std::string engine;   // "sim", "ledger", "daric", "lightning", ...
+  std::string channel;  // channel id or payment network edge; may be empty
+  std::string party;    // "A", "B" or a PCN node name; may be empty
+  std::vector<Attr> attrs;
+};
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string json_escape(const std::string& s);
+
+/// One JSONL line (no trailing newline):
+/// {"seq":3,"round":7,"kind":"tx_confirm","engine":"ledger",...,"attrs":{...}}
+std::string to_json(const Event& e);
+
+}  // namespace daric::obs

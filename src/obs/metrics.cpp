@@ -1,0 +1,174 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/event.h"  // json_escape
+
+namespace daric::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("histogram needs at least one bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument("histogram bounds must be strictly increasing");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  min_.store(std::numeric_limits<std::int64_t>::max(), std::memory_order_relaxed);
+  max_.store(std::numeric_limits<std::int64_t>::min(), std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::int64_t v) {
+  // First bucket with bound >= v; overflow bucket past the last bound.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // Racy min/max update is fine: metrics tolerate torn extremes under
+  // contention, and the sim is effectively single-threaded anyway.
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<std::int64_t> round_buckets() { return {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32}; }
+std::vector<std::int64_t> weight_buckets() {
+  return {250, 500, 750, 1000, 1500, 2000, 3000, 4000, 8000};
+}
+std::vector<std::int64_t> count_buckets() { return {0, 1, 2, 3, 4, 8, 16, 32}; }
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<std::int64_t> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string Registry::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{\"bounds\":[";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(bounds[i]);
+    }
+    out += "],\"counts\":[";
+    const auto counts = h->counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(counts[i]);
+    }
+    out += "],\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + std::to_string(h->sum());
+    if (h->count() > 0) {
+      out += ",\"min\":" + std::to_string(h->min()) + ",\"max\":" + std::to_string(h->max());
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Registry::summary_text() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t width = 8;
+  for (const auto& [name, c] : counters_) {
+    (void)c;
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, g] : gauges_) {
+    (void)g;
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, h] : histograms_) {
+    (void)h;
+    width = std::max(width, name.size());
+  }
+
+  std::ostringstream os;
+  auto pad = [&](const std::string& s) {
+    os << s << std::string(width - s.size() + 2, ' ');
+  };
+  if (!counters_.empty()) {
+    os << "-- counters --\n";
+    for (const auto& [name, c] : counters_) {
+      pad(name);
+      os << c->value() << '\n';
+    }
+  }
+  if (!gauges_.empty()) {
+    os << "-- gauges --\n";
+    for (const auto& [name, g] : gauges_) {
+      pad(name);
+      os << g->value() << '\n';
+    }
+  }
+  if (!histograms_.empty()) {
+    os << "-- histograms --\n";
+    for (const auto& [name, h] : histograms_) {
+      pad(name);
+      os << "count=" << h->count() << " sum=" << h->sum();
+      if (h->count() > 0) os << " min=" << h->min() << " max=" << h->max();
+      os << "  [";
+      const auto& bounds = h->bounds();
+      const auto counts = h->counts();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i) os << ' ';
+        if (i < bounds.size()) {
+          os << "<=" << bounds[i] << ':' << counts[i];
+        } else {
+          os << ">" << bounds.back() << ':' << counts[i];
+        }
+      }
+      os << "]\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace daric::obs

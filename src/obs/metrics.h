@@ -1,0 +1,99 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Unlike the tracer (off by default), metrics are always on: increments are
+// single relaxed atomics, cheap enough for every hot path, and the chaos
+// drills read their per-run statistics out of the registry instead of
+// keeping bespoke counters. Lookup by name takes a mutex — hot paths cache
+// the returned reference once (references stay valid for the registry's
+// lifetime; instruments are never removed).
+//
+// snapshot_json() emits the machine-readable form tools/bench_to_json.py
+// and tools/validate_trace.py understand; summary_text() renders the same
+// data as an aligned plain-text table for terminals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace daric::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed upper-bound buckets. A sample lands in the first bucket whose
+/// bound is >= the value (inclusive upper bounds); values above the last
+/// bound land in the implicit overflow bucket. Bounds are fixed at
+/// registration — histograms never resize.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v);
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size == bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const { return min_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<std::int64_t> bounds_;  // strictly increasing
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Default bucket ladders for the instrumentation baked into the repo.
+std::vector<std::int64_t> round_buckets();   // latencies/delays in rounds
+std::vector<std::int64_t> weight_buckets();  // on-chain tx weight units
+std::vector<std::int64_t> count_buckets();   // small cardinalities (txs/round)
+
+class Registry {
+ public:
+  /// Returns the named instrument, creating it on first use. The reference
+  /// stays valid for the registry's lifetime. A histogram's bounds are set
+  /// by the first caller; later callers get the existing instance.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<std::int64_t> bounds);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+  ///  "counts":[...],"count":N,"sum":S,"min":m,"max":M}}}
+  std::string snapshot_json() const;
+
+  /// Aligned plain-text table of every instrument (sorted by name).
+  std::string summary_text() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace daric::obs

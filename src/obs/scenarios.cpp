@@ -1,0 +1,167 @@
+#include "src/obs/scenarios.h"
+
+#include "src/crypto/sig_scheme.h"
+#include "src/daric/protocol.h"
+#include "src/eltoo/protocol.h"
+#include "src/generalized/protocol.h"
+#include "src/lightning/protocol.h"
+#include "src/pcn/network.h"
+#include "src/sim/environment.h"
+
+namespace daric::obs {
+
+namespace {
+
+using sim::PartyId;
+
+constexpr Round kDelta = 2;
+constexpr Round kTPunish = 8;
+
+channel::ChannelParams make_params(const std::string& engine) {
+  channel::ChannelParams p;
+  p.id = "obs/" + engine;
+  p.cash_a = 50;
+  p.cash_b = 50;
+  p.t_punish = kTPunish;
+  return p;
+}
+
+channel::StateVec shifted(Amount to_a, Amount to_b) { return {to_a, to_b, {}}; }
+
+ScenarioRun finish(sim::Environment& env, bool ok, std::string detail) {
+  ScenarioRun r;
+  r.ok = ok;
+  r.detail = std::move(detail);
+  r.events = env.tracer().ring_snapshot();
+  r.metrics_json = env.metrics().snapshot_json();
+  r.metrics_text = env.metrics().summary_text();
+  return r;
+}
+
+ScenarioRun run_daric(sim::Environment& env, const std::string& scenario) {
+  if (scenario == "htlc") {
+    pcn::PaymentNetwork net(env);
+    net.add_node("A");
+    net.add_node("B");
+    net.add_node("C");
+    net.open_channel("A", "B", 50, 50, kTPunish);
+    net.open_channel("B", "C", 50, 50, kTPunish);
+    const bool ok = net.pay("A", "C", 10);
+    return finish(env, ok && net.payments_completed() == 1,
+                  ok ? "multi-hop payment settled" : "multi-hop payment failed");
+  }
+
+  daricch::DaricChannel ch(env, make_params("daric"));
+  if (!ch.create()) return finish(env, false, "create failed");
+  if (scenario == "update") {
+    if (!ch.update(shifted(45, 55)) || !ch.update(shifted(40, 60)) ||
+        !ch.update(shifted(48, 52)))
+      return finish(env, false, "update failed");
+    const bool ok = ch.cooperative_close() &&
+                    ch.party(PartyId::kA).outcome() == daricch::CloseOutcome::kCooperative;
+    return finish(env, ok, ok ? "cooperative close" : "cooperative close failed");
+  }
+  if (scenario == "force-close") {
+    if (!ch.update(shifted(45, 55)) || !ch.update(shifted(40, 60)))
+      return finish(env, false, "update failed");
+    // B publishes the revoked state-0 commit; A's monitor must post the
+    // revocation within T − Δ of the dispute (Theorem 1).
+    ch.publish_old_commit(PartyId::kB, 0);
+    const bool closed = ch.run_until_closed();
+    const bool ok = closed &&
+                    ch.party(PartyId::kA).outcome() == daricch::CloseOutcome::kPunished;
+    return finish(env, ok, ok ? "cheater punished" : "punishment did not land");
+  }
+  return finish(env, false, "unknown scenario: " + scenario);
+}
+
+ScenarioRun run_lightning(sim::Environment& env, const std::string& scenario) {
+  lightning::LightningChannel ch(env, make_params("lightning"));
+  if (!ch.create()) return finish(env, false, "create failed");
+  if (scenario == "update") {
+    if (!ch.update(shifted(45, 55)) || !ch.update(shifted(40, 60)) ||
+        !ch.update(shifted(48, 52)))
+      return finish(env, false, "update failed");
+    const bool ok =
+        ch.cooperative_close() && ch.outcome() == lightning::LnOutcome::kCooperative;
+    return finish(env, ok, ok ? "cooperative close" : "cooperative close failed");
+  }
+  if (scenario == "force-close") {
+    if (!ch.update(shifted(45, 55)) || !ch.update(shifted(40, 60)))
+      return finish(env, false, "update failed");
+    ch.publish_old_commit(PartyId::kB, 0);
+    const bool ok =
+        ch.run_until_closed() && ch.outcome() == lightning::LnOutcome::kPunished;
+    return finish(env, ok, ok ? "cheater punished" : "punishment did not land");
+  }
+  return finish(env, false, "unknown scenario: " + scenario);
+}
+
+ScenarioRun run_eltoo(sim::Environment& env, const std::string& scenario) {
+  eltoo::EltooChannel ch(env, make_params("eltoo"));
+  if (!ch.create()) return finish(env, false, "create failed");
+  if (scenario == "update") {
+    if (!ch.update(shifted(45, 55)) || !ch.update(shifted(40, 60)) ||
+        !ch.update(shifted(48, 52)))
+      return finish(env, false, "update failed");
+    const bool ok = ch.cooperative_close() && ch.settled_state() == ch.state_number();
+    return finish(env, ok, ok ? "cooperative close" : "cooperative close failed");
+  }
+  if (scenario == "force-close") {
+    if (!ch.update(shifted(45, 55)) || !ch.update(shifted(40, 60)))
+      return finish(env, false, "update failed");
+    // eltoo has no punishment: the honest side can only override the stale
+    // update with the latest one and settle there.
+    ch.publish_old_update(PartyId::kB, 0);
+    const bool ok = ch.run_until_closed() && ch.settled_state() == ch.state_number();
+    return finish(env, ok, ok ? "stale update overridden" : "override did not land");
+  }
+  return finish(env, false, "unknown scenario: " + scenario);
+}
+
+ScenarioRun run_generalized(sim::Environment& env, const std::string& scenario) {
+  generalized::GeneralizedChannel ch(env, make_params("generalized"));
+  if (!ch.create()) return finish(env, false, "create failed");
+  if (scenario == "update") {
+    if (!ch.update(shifted(45, 55)) || !ch.update(shifted(40, 60)) ||
+        !ch.update(shifted(48, 52)))
+      return finish(env, false, "update failed");
+    const bool ok =
+        ch.cooperative_close() && ch.outcome() == generalized::GcOutcome::kCooperative;
+    return finish(env, ok, ok ? "cooperative close" : "cooperative close failed");
+  }
+  if (scenario == "force-close") {
+    if (!ch.update(shifted(45, 55)) || !ch.update(shifted(40, 60)))
+      return finish(env, false, "update failed");
+    ch.publish_old_commit(PartyId::kB, 0);
+    const bool ok =
+        ch.run_until_closed() && ch.outcome() == generalized::GcOutcome::kPunished;
+    return finish(env, ok, ok ? "cheater punished" : "punishment did not land");
+  }
+  return finish(env, false, "unknown scenario: " + scenario);
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_engines() {
+  return {"daric", "lightning", "eltoo", "generalized"};
+}
+
+std::vector<std::string> scenario_names() { return {"update", "force-close", "htlc"}; }
+
+ScenarioRun run_scenario(const std::string& engine, const std::string& scenario) {
+  sim::Environment env(kDelta, crypto::schnorr_scheme());
+  env.tracer().set_enabled(true);
+
+  if (scenario == "htlc" && engine != "daric") {
+    return finish(env, false, "htlc scenario rides on the Daric PCN; use --engine daric");
+  }
+  if (engine == "daric") return run_daric(env, scenario);
+  if (engine == "lightning") return run_lightning(env, scenario);
+  if (engine == "eltoo") return run_eltoo(env, scenario);
+  if (engine == "generalized") return run_generalized(env, scenario);
+  ScenarioRun r = finish(env, false, "unknown engine: " + engine);
+  return r;
+}
+
+}  // namespace daric::obs

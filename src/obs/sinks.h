@@ -1,0 +1,60 @@
+// Concrete sinks and exporters for the tracer.
+//
+//   CollectSink     — appends events to an in-memory vector (tests, tools).
+//   JsonlSink       — streams one JSON object per line to an ostream/file.
+//   ChromeTraceSink — buffers events and writes a Chrome `trace_event`
+//                     JSON object on flush, loadable in Perfetto
+//                     (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Chrome-trace mapping: one instant event per trace event, ts = round in
+// milliseconds of trace time (1 round = 1 ms so Perfetto's timeline shows
+// round numbers directly), pid 1, one tid lane per (engine, party) pair
+// named via thread_name metadata. Attributes ride in "args".
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/tracer.h"
+
+namespace daric::obs {
+
+class CollectSink : public Sink {
+ public:
+  void on_event(const Event& e) override { events.push_back(e); }
+  std::vector<Event> events;
+};
+
+class JsonlSink : public Sink {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlSink(const std::string& path);
+  void on_event(const Event& e) override;
+  void flush() override;
+
+ private:
+  std::ofstream out_;
+};
+
+class ChromeTraceSink : public Sink {
+ public:
+  explicit ChromeTraceSink(std::string path) : path_(std::move(path)) {}
+  void on_event(const Event& e) override { events_.push_back(e); }
+  /// Writes the complete trace JSON; throws std::runtime_error on failure.
+  void flush() override;
+
+ private:
+  std::string path_;
+  std::vector<Event> events_;
+};
+
+/// The Chrome trace_event JSON for a batch of events (what ChromeTraceSink
+/// writes); exposed separately so tests can validate the string in memory.
+std::string chrome_trace_json(const std::vector<Event>& events);
+
+/// Whole-batch writers for code that captured events via the tracer ring.
+void write_jsonl(const std::string& path, const std::vector<Event>& events);
+void write_chrome_trace(const std::string& path, const std::vector<Event>& events);
+
+}  // namespace daric::obs

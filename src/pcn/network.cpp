@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "src/obs/event.h"
+
 namespace daric::pcn {
 
 using channel::StateVec;
@@ -108,7 +110,15 @@ bool PaymentNetwork::resolve_hop(const RouteHop& hop, const Bytes& payment_hash,
   } else {
     st.to_a += cash;
   }
-  return e.ch->update(st);
+  const bool ok = e.ch->update(st);
+  if (ok) {
+    env_.metrics().counter(settle ? "pcn.htlc.settled" : "pcn.htlc.rolled_back").inc();
+    if (env_.tracer().enabled())
+      env_.tracer().emit(env_.now(),
+                         settle ? obs::EventKind::kHtlcSettle : obs::EventKind::kHtlcRollback,
+                         "pcn", e.ch->params().id, {}, {obs::Attr::i("amount", cash)});
+  }
+  return ok;
 }
 
 std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
@@ -119,6 +129,14 @@ std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
 
   const auto invoice = channel::make_htlc_secret(
       "pcn/" + from + "->" + to + "/" + std::to_string(payment_counter_));
+
+  env_.metrics().counter("pcn.payments.begun").inc();
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kPaymentBegin, "pcn",
+                       "pay/" + std::to_string(payment_counter_), {},
+                       {obs::Attr::s("from", from), obs::Attr::s("to", to),
+                        obs::Attr::i("amount", amount),
+                        obs::Attr::i("hops", static_cast<std::int64_t>(route->size()))});
 
   // Lock HTLCs payer-ward with decreasing timelocks so every intermediary
   // can recover upstream after enforcing downstream.
@@ -146,6 +164,11 @@ std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
       failed = true;
       break;
     }
+    env_.metrics().counter("pcn.htlc.locked").inc();
+    if (env_.tracer().enabled())
+      env_.tracer().emit(env_.now(), obs::EventKind::kHtlcLock, "pcn", e.ch->params().id, {},
+                         {obs::Attr::i("amount", amount),
+                          obs::Attr::i("timeout", htlc.timeout)});
     locked.push_back(hop);
   }
 
@@ -153,11 +176,16 @@ std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
     // Roll back the locked hops cooperatively (timeout path, off-chain).
     for (auto it = locked.rbegin(); it != locked.rend(); ++it)
       resolve_hop(*it, invoice.payment_hash, /*settle=*/false);
+    env_.metrics().counter("pcn.payments.aborted").inc();
+    if (env_.tracer().enabled())
+      env_.tracer().emit(env_.now(), obs::EventKind::kPaymentAbort, "pcn",
+                         "pay/" + std::to_string(payment_counter_), {},
+                         {obs::Attr::s("reason", "lock-failed")});
     return std::nullopt;
   }
 
   const PaymentId id = payment_counter_++;
-  pending_.emplace(id, PendingPayment{*route, invoice.payment_hash});
+  pending_.emplace(id, PendingPayment{*route, invoice.payment_hash, from, to, env_.now()});
   return id;
 }
 
@@ -167,10 +195,25 @@ bool PaymentNetwork::settle_payment(PaymentId id) {
   const PendingPayment payment = std::move(it->second);
   pending_.erase(it);
   for (auto hop = payment.route.rbegin(); hop != payment.route.rend(); ++hop) {
-    if (!resolve_hop(*hop, payment.payment_hash, /*settle=*/true))
+    if (!resolve_hop(*hop, payment.payment_hash, /*settle=*/true)) {
+      env_.metrics().counter("pcn.payments.failed").inc();
+      if (env_.tracer().enabled())
+        env_.tracer().emit(env_.now(), obs::EventKind::kPaymentAbort, "pcn",
+                           "pay/" + std::to_string(id), {},
+                           {obs::Attr::s("reason", "settle-failed")});
       return false;  // falls back to on-chain enforcement
+    }
   }
   ++payments_completed_;
+  env_.metrics().counter("pcn.payments.settled").inc();
+  env_.metrics()
+      .histogram("pcn.htlc_hold_rounds", obs::round_buckets())
+      .observe(env_.now() - payment.locked_round);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kPaymentSettle, "pcn",
+                       "pay/" + std::to_string(id), {},
+                       {obs::Attr::s("from", payment.from), obs::Attr::s("to", payment.to),
+                        obs::Attr::i("hold_rounds", env_.now() - payment.locked_round)});
   return true;
 }
 
@@ -182,6 +225,15 @@ bool PaymentNetwork::abort_payment(PaymentId id) {
   bool ok = true;
   for (auto hop = payment.route.rbegin(); hop != payment.route.rend(); ++hop)
     ok = resolve_hop(*hop, payment.payment_hash, /*settle=*/false) && ok;
+  env_.metrics().counter("pcn.payments.aborted").inc();
+  env_.metrics()
+      .histogram("pcn.htlc_hold_rounds", obs::round_buckets())
+      .observe(env_.now() - payment.locked_round);
+  if (env_.tracer().enabled())
+    env_.tracer().emit(env_.now(), obs::EventKind::kPaymentAbort, "pcn",
+                       "pay/" + std::to_string(id), {},
+                       {obs::Attr::s("reason", "aborted"), obs::Attr::s("from", payment.from),
+                        obs::Attr::s("to", payment.to)});
   return ok;
 }
 

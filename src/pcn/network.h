@@ -83,6 +83,8 @@ class PaymentNetwork {
   struct PendingPayment {
     std::vector<RouteHop> route;
     Bytes payment_hash;
+    std::string from, to;
+    Round locked_round = 0;  // when the last hop's HTLC locked (hold-time base)
   };
 
   Amount spendable(const Edge& e, bool forward) const;

@@ -6,12 +6,19 @@
 // reports how many copies arrived (0 when the fault injector dropped it).
 // Without an injector every message is delivered exactly once after one
 // round — the guaranteed F_GDC behavior the engines were written against.
+//
+// The environment also owns the observability surface for a run: an
+// obs::Tracer (disabled by default — attach a sink or set_enabled to start
+// capturing) and an always-on obs::Registry of counters/histograms that
+// the chaos drills and tools read instead of keeping bespoke statistics.
 #pragma once
 
 #include <functional>
 #include <memory>
 
 #include "src/ledger/ledger.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/sim/network.h"
 
 namespace daric::sim {
@@ -21,7 +28,16 @@ class Environment {
   /// T must exceed Δ for every channel built on this environment
   /// (Theorem 1's precondition); enforced by the channel engines.
   Environment(Round delta, const crypto::SignatureScheme& scheme)
-      : ledger_(delta, scheme) {}
+      : ledger_(delta, scheme),
+        msg_sent_(&metrics_.counter("sim.msg.sent")),
+        msg_delivered_(&metrics_.counter("sim.msg.delivered")),
+        msg_dropped_(&metrics_.counter("sim.msg.dropped")),
+        msg_delayed_(&metrics_.counter("sim.msg.delayed")),
+        msg_duplicated_(&metrics_.counter("sim.msg.duplicated")),
+        rounds_(&metrics_.counter("sim.rounds")),
+        msg_latency_(&metrics_.histogram("sim.msg.latency_rounds", obs::round_buckets())) {
+    ledger_.set_obs(&tracer_, &metrics_);
+  }
 
   ledger::Ledger& ledger() { return ledger_; }
   const ledger::Ledger& ledger() const { return ledger_; }
@@ -30,6 +46,15 @@ class Environment {
   const crypto::SignatureScheme& scheme() const { return ledger_.scheme(); }
   MessageLog& log() { return log_; }
   const DeliveryQueue& delivery_queue() const { return queue_; }
+
+  /// The run's event tracer (null/disabled by default). Instrumentation
+  /// that builds attribute strings must guard on tracer().enabled().
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
+  /// The run's always-on metrics registry.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
 
   /// Installs the chaos policy for messages (non-owning; nullptr = none).
   /// The injector's post_delay is NOT wired here — the caller decides
@@ -48,6 +73,9 @@ class Environment {
   /// Advances one round: ledger processing first, then monitoring hooks.
   void advance_round() {
     ledger_.advance_round();
+    rounds_->inc();
+    if (tracer_.enabled())
+      tracer_.emit(now(), obs::EventKind::kRoundAdvance, "sim", {}, {});
     for (const auto& hook : hooks_) hook();
   }
   void advance_rounds(Round n) {
@@ -74,15 +102,41 @@ class Environment {
                                                              : 1;
     const Round sent = now();
     const Round deliver = sent + 1 + extra;
+    const MessageFate fate = extra > 0 ? MessageFate::kDelay : act.fate;
+    msg_sent_->inc();
+    switch (fate) {
+      case MessageFate::kDeliver: break;
+      case MessageFate::kDrop: msg_dropped_->inc(); break;
+      case MessageFate::kDelay: msg_delayed_->inc(); break;
+      case MessageFate::kDuplicate: msg_duplicated_->inc(); break;
+    }
+    if (tracer_.enabled()) {
+      tracer_.emit(sent, obs::EventKind::kMsgSend, "sim", {}, party_name(from),
+                   {obs::Attr::s("type", type), obs::Attr::s("fate", message_fate_name(fate)),
+                    obs::Attr::i("copies", copies), obs::Attr::i("extra_delay", extra)});
+      if (fate != MessageFate::kDeliver)
+        tracer_.emit(sent, obs::EventKind::kFaultInject, "sim", {}, party_name(from),
+                     {obs::Attr::s("fate", message_fate_name(fate)),
+                      obs::Attr::s("type", type)});
+    }
     if (copies > 0) queue_.push({deliver, from, type, copies});
-    log_.record({sent, deliver, from, std::move(type),
-                 extra > 0 ? MessageFate::kDelay : act.fate, copies});
+    log_.record({sent, deliver, from, type, fate, copies});
     int arrived = 0;
     while (now() < deliver) {
       advance_round();
       arrived += queue_.drain_due(now());
     }
-    if (copies == 0) return {0, extra};
+    if (copies == 0) {
+      if (tracer_.enabled())
+        tracer_.emit(now(), obs::EventKind::kMsgDrop, "sim", {}, party_name(from),
+                     {obs::Attr::s("type", type)});
+      return {0, extra};
+    }
+    msg_delivered_->inc(static_cast<std::uint64_t>(arrived));
+    msg_latency_->observe(1 + extra);
+    if (tracer_.enabled())
+      tracer_.emit(now(), obs::EventKind::kMsgDeliver, "sim", {}, party_name(from),
+                   {obs::Attr::s("type", std::move(type)), obs::Attr::i("copies", arrived)});
     return {arrived, extra};
   }
 
@@ -98,6 +152,15 @@ class Environment {
   FaultInjector* injector_ = nullptr;
   Round message_delay_budget_ = 3;
   std::vector<std::function<void()>> hooks_;
+  obs::Tracer tracer_;
+  obs::Registry metrics_;
+  obs::Counter* msg_sent_;
+  obs::Counter* msg_delivered_;
+  obs::Counter* msg_dropped_;
+  obs::Counter* msg_delayed_;
+  obs::Counter* msg_duplicated_;
+  obs::Counter* rounds_;
+  obs::Histogram* msg_latency_;
 };
 
 }  // namespace daric::sim

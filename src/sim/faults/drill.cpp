@@ -9,6 +9,7 @@
 #include "src/eltoo/protocol.h"
 #include "src/generalized/protocol.h"
 #include "src/lightning/protocol.h"
+#include "src/obs/sinks.h"
 #include "src/sim/faults/chaos.h"
 #include "src/sim/faults/rng.h"
 
@@ -56,11 +57,18 @@ Amount update_to_a(std::uint64_t seed, std::uint32_t i) {
                                      static_cast<std::uint64_t>(kCapacity - 2'000));
 }
 
-void finish_report(DrillReport& rep, const ChaosInjector& inj, const MessageLog& log) {
-  rep.msg_total = log.count();
-  rep.msg_dropped = inj.dropped();
-  rep.msg_delayed = inj.delayed();
-  rep.msg_duplicated = inj.duplicated();
+/// Counters come straight from the environment's metrics registry — the
+/// same `sim.msg.*` series every tool reads — instead of the bespoke
+/// ChaosInjector/MessageLog tallies this replaced.
+void finish_report(DrillReport& rep, Environment& env, const DrillObs& o) {
+  obs::Registry& m = env.metrics();
+  rep.msg_total = m.counter("sim.msg.sent").value();
+  rep.msg_dropped = m.counter("sim.msg.dropped").value();
+  rep.msg_delayed = m.counter("sim.msg.delayed").value();
+  rep.msg_duplicated = m.counter("sim.msg.duplicated").value();
+  if (o.metrics_json) *o.metrics_json = m.snapshot_json();
+  if (o.metrics_text) *o.metrics_text = m.summary_text();
+  env.tracer().flush_sinks();
 }
 
 // ---------------------------------------------------------------------------
@@ -122,7 +130,7 @@ EndgameResult run_cheat_endgame(Environment& env, daricch::DaricChannel& ch, Par
   return res;
 }
 
-DrillReport run_daric(const FaultSchedule& s) {
+DrillReport run_daric(const FaultSchedule& s, const DrillObs& o) {
   DrillReport rep;
   rep.protocol = Protocol::kDaric;
   rep.seed = s.seed;
@@ -133,6 +141,7 @@ DrillReport run_daric(const FaultSchedule& s) {
   env.set_fault_injector(&inj);
   env.ledger().set_delay_policy(
       [&inj](const tx::Transaction&, Round d) { return inj.post_delay(0, d); });
+  if (o.sink) env.tracer().add_sink(o.sink);
 
   channel::ChannelParams params;
   params.id = "chaos-daric-" + std::to_string(s.seed);
@@ -171,7 +180,7 @@ DrillReport run_daric(const FaultSchedule& s) {
                     credited(env.ledger(), key(PartyId::kB).pk.compressed()) == kCashB;
     rep.ok = rep.conservation_ok && rep.payout_ok && !s.cheat.expect_loss;
     rep.detail = "create aborted";
-    finish_report(rep, inj, env.log());
+    finish_report(rep, env, o);
     return rep;
   }
 
@@ -269,7 +278,7 @@ DrillReport run_daric(const FaultSchedule& s) {
     rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && !s.cheat.expect_loss;
     rep.detail = coop ? "cooperative close" : "force close";
   }
-  finish_report(rep, inj, env.log());
+  finish_report(rep, env, o);
   return rep;
 }
 
@@ -277,7 +286,7 @@ DrillReport run_daric(const FaultSchedule& s) {
 // Lightning
 // ---------------------------------------------------------------------------
 
-DrillReport run_lightning(const FaultSchedule& s) {
+DrillReport run_lightning(const FaultSchedule& s, const DrillObs& o) {
   DrillReport rep;
   rep.protocol = Protocol::kLightning;
   rep.seed = s.seed;
@@ -288,6 +297,7 @@ DrillReport run_lightning(const FaultSchedule& s) {
   env.set_fault_injector(&inj);
   env.ledger().set_delay_policy(
       [&inj](const tx::Transaction&, Round d) { return inj.post_delay(0, d); });
+  if (o.sink) env.tracer().add_sink(o.sink);
 
   channel::ChannelParams params;
   params.id = "chaos-ln-" + std::to_string(s.seed);
@@ -316,7 +326,7 @@ DrillReport run_lightning(const FaultSchedule& s) {
     rep.payout_ok = true;
     rep.ok = rep.conservation_ok && !s.cheat.expect_loss;
     rep.detail = "create aborted";
-    finish_report(rep, inj, env.log());
+    finish_report(rep, env, o);
     return rep;
   }
 
@@ -380,7 +390,7 @@ DrillReport run_lightning(const FaultSchedule& s) {
     rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok;
     rep.detail = coop ? "cooperative close" : "force close";
   }
-  finish_report(rep, inj, env.log());
+  finish_report(rep, env, o);
   return rep;
 }
 
@@ -388,7 +398,7 @@ DrillReport run_lightning(const FaultSchedule& s) {
 // Generalized channels
 // ---------------------------------------------------------------------------
 
-DrillReport run_generalized(const FaultSchedule& s) {
+DrillReport run_generalized(const FaultSchedule& s, const DrillObs& o) {
   DrillReport rep;
   rep.protocol = Protocol::kGeneralized;
   rep.seed = s.seed;
@@ -399,6 +409,7 @@ DrillReport run_generalized(const FaultSchedule& s) {
   env.set_fault_injector(&inj);
   env.ledger().set_delay_policy(
       [&inj](const tx::Transaction&, Round d) { return inj.post_delay(0, d); });
+  if (o.sink) env.tracer().add_sink(o.sink);
 
   channel::ChannelParams params;
   params.id = "chaos-gc-" + std::to_string(s.seed);
@@ -432,7 +443,7 @@ DrillReport run_generalized(const FaultSchedule& s) {
     rep.payout_ok = true;
     rep.ok = rep.conservation_ok && !s.cheat.expect_loss;
     rep.detail = "create aborted";
-    finish_report(rep, inj, env.log());
+    finish_report(rep, env, o);
     return rep;
   }
 
@@ -493,7 +504,7 @@ DrillReport run_generalized(const FaultSchedule& s) {
     rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok;
     rep.detail = coop ? "cooperative close" : "force close";
   }
-  finish_report(rep, inj, env.log());
+  finish_report(rep, env, o);
   return rep;
 }
 
@@ -501,7 +512,7 @@ DrillReport run_generalized(const FaultSchedule& s) {
 // eltoo
 // ---------------------------------------------------------------------------
 
-DrillReport run_eltoo(const FaultSchedule& s) {
+DrillReport run_eltoo(const FaultSchedule& s, const DrillObs& o) {
   DrillReport rep;
   rep.protocol = Protocol::kEltoo;
   rep.seed = s.seed;
@@ -512,6 +523,7 @@ DrillReport run_eltoo(const FaultSchedule& s) {
   env.set_fault_injector(&inj);
   env.ledger().set_delay_policy(
       [&inj](const tx::Transaction&, Round d) { return inj.post_delay(0, d); });
+  if (o.sink) env.tracer().add_sink(o.sink);
 
   channel::ChannelParams params;
   params.id = "chaos-eltoo-" + std::to_string(s.seed);
@@ -543,7 +555,7 @@ DrillReport run_eltoo(const FaultSchedule& s) {
     rep.payout_ok = true;
     rep.ok = rep.conservation_ok && !s.cheat.expect_loss;
     rep.detail = "create aborted";
-    finish_report(rep, inj, env.log());
+    finish_report(rep, env, o);
     return rep;
   }
 
@@ -606,7 +618,7 @@ DrillReport run_eltoo(const FaultSchedule& s) {
     rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok;
     rep.detail = coop ? "cooperative close" : "force close";
   }
-  finish_report(rep, inj, env.log());
+  finish_report(rep, env, o);
   return rep;
 }
 
@@ -622,12 +634,12 @@ const char* protocol_name(Protocol p) {
   return "?";
 }
 
-DrillReport run_drill(Protocol proto, const FaultSchedule& s) {
+DrillReport run_drill(Protocol proto, const FaultSchedule& s, const DrillObs& obs) {
   switch (proto) {
-    case Protocol::kDaric: return run_daric(s);
-    case Protocol::kLightning: return run_lightning(s);
-    case Protocol::kGeneralized: return run_generalized(s);
-    case Protocol::kEltoo: return run_eltoo(s);
+    case Protocol::kDaric: return run_daric(s, obs);
+    case Protocol::kLightning: return run_lightning(s, obs);
+    case Protocol::kGeneralized: return run_generalized(s, obs);
+    case Protocol::kEltoo: return run_eltoo(s, obs);
   }
   return {};
 }

@@ -17,6 +17,10 @@
 
 #include "src/sim/faults/schedule.h"
 
+namespace daric::obs {
+class Sink;
+}
+
 namespace daric::sim::faults {
 
 enum class Protocol { kDaric, kLightning, kGeneralized, kEltoo };
@@ -45,9 +49,21 @@ struct DrillReport {
   std::uint64_t msg_duplicated = 0;
 };
 
+/// Optional observability attachment for one drill run. Everything is
+/// non-owning / output-only, so the default-constructed value keeps the
+/// drill's tracer disabled (null sink) and skips the snapshots.
+struct DrillObs {
+  /// Receives every trace event of the run (attaching enables tracing).
+  obs::Sink* sink = nullptr;
+  /// Filled with Registry::snapshot_json() / summary_text() at drill end.
+  std::string* metrics_json = nullptr;
+  std::string* metrics_text = nullptr;
+};
+
 /// Replays `s` against one protocol engine. Deterministic: the report is a
-/// pure function of (proto, s).
-DrillReport run_drill(Protocol proto, const FaultSchedule& s);
+/// pure function of (proto, s); the obs attachment only observes the run
+/// and never perturbs it.
+DrillReport run_drill(Protocol proto, const FaultSchedule& s, const DrillObs& obs = {});
 
 /// Daric watchtower/party-downtime boundary probe (Theorem 1): the cheater
 /// publishes a revoked commit with confirmation delay 1 and sweeps the

@@ -85,10 +85,18 @@ class DeliveryQueue {
 
 /// Records protocol messages and their rounds; exposes traffic statistics.
 /// Long chaos sweeps would grow the record vector without bound, so an
-/// optional ring-buffer capacity evicts the oldest entries while keeping
+/// optional ring-buffer capacity caps the retained window while keeping
 /// the counters exact.
+///
+/// Ring-cap semantics: with capacity C != 0 the log retains exactly the C
+/// most recent records in arrival order. record() evicts the single oldest
+/// entry once the cap is reached (set_capacity restores the invariant after
+/// a shrink), so eviction order is deterministic: records leave in the same
+/// global send order they entered, never mid-window.
 class MessageLog {
  public:
+  using const_iterator = std::deque<MessageRecord>::const_iterator;
+
   void record(MessageRecord rec) {
     ++total_;
     switch (rec.fate) {
@@ -97,11 +105,13 @@ class MessageLog {
       case MessageFate::kDelay: ++delayed_; break;
       case MessageFate::kDuplicate: ++duplicated_; break;
     }
-    records_.push_back(std::move(rec));
-    while (capacity_ != 0 && records_.size() > capacity_) {
+    // Evict-then-push keeps the deque at <= capacity_ entries at all times;
+    // record() removes at most the one oldest entry per insertion.
+    if (capacity_ != 0 && records_.size() >= capacity_) {
       records_.pop_front();
       ++evicted_;
     }
+    records_.push_back(std::move(rec));
   }
   void record(Round round, PartyId from, std::string type) {
     record({round, round + 1, from, std::move(type), MessageFate::kDeliver, 1});
@@ -117,6 +127,15 @@ class MessageLog {
 
   /// Retained window (the most recent `capacity()` records when capped).
   const std::deque<MessageRecord>& records() const { return records_; }
+
+  /// Iteration over the retained window, oldest first.
+  const_iterator begin() const { return records_.begin(); }
+  const_iterator end() const { return records_.end(); }
+
+  /// One JSON object per retained record, newline-terminated — the same
+  /// shape the obs tracer's msg_send events use, for offline diffing:
+  /// {"sent":..,"delivered":..,"from":"A","type":"..","fate":"..","copies":N}
+  std::string to_jsonl() const;
 
   /// 0 = unbounded. Shrinking evicts oldest records immediately.
   void set_capacity(std::size_t cap) {

@@ -1,0 +1,194 @@
+// Observability layer: tracer/sink contracts, histogram bucket math, the
+// Chrome trace export, and the exact Daric force-close event sequence that
+// tools/daric_trace audits against Theorem 1.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sig_scheme.h"
+#include "src/obs/metrics.h"
+#include "src/obs/scenarios.h"
+#include "src/obs/sinks.h"
+#include "src/obs/tracer.h"
+#include "src/sim/environment.h"
+#include "src/sim/network.h"
+
+namespace daric {
+namespace {
+
+using obs::Event;
+using obs::EventKind;
+
+std::optional<std::string> attr_s(const Event& e, const std::string& key) {
+  for (const auto& a : e.attrs)
+    if (a.key == key && !a.is_int) return a.str;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> attr_i(const Event& e, const std::string& key) {
+  for (const auto& a : e.attrs)
+    if (a.key == key && a.is_int) return a.num;
+  return std::nullopt;
+}
+
+TEST(Histogram, BucketBoundariesInclusive) {
+  obs::Histogram h({0, 10, 20});
+  // A sample lands in the first bucket whose bound is >= the value.
+  for (std::int64_t v : {-1, 0, 1, 10, 11, 20, 21}) h.observe(v);
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);      // -1, 0   (<= 0)
+  EXPECT_EQ(counts[1], 2u);      // 1, 10   (<= 10)
+  EXPECT_EQ(counts[2], 2u);      // 11, 20  (<= 20)
+  EXPECT_EQ(counts[3], 1u);      // 21      (overflow)
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 62);
+  EXPECT_EQ(h.min(), -1);
+  EXPECT_EQ(h.max(), 21);
+}
+
+TEST(Tracer, DisabledByDefaultEmitsNothing) {
+  obs::Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.emit(3, EventKind::kRoundAdvance, "sim", "", "");
+  EXPECT_EQ(t.emitted(), 0u);
+  EXPECT_TRUE(t.ring_snapshot().empty());
+
+  // Attaching a sink enables tracing; disabling again silences the sink.
+  obs::CollectSink sink;
+  t.add_sink(&sink);
+  EXPECT_TRUE(t.enabled());
+  t.emit(4, EventKind::kRoundAdvance, "sim", "", "");
+  ASSERT_EQ(sink.events.size(), 1u);
+  t.set_enabled(false);
+  t.emit(5, EventKind::kRoundAdvance, "sim", "", "");
+  EXPECT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(t.emitted(), 1u);
+}
+
+TEST(Tracer, EnvironmentDefaultsToNullSink) {
+  sim::Environment env(2, crypto::schnorr_scheme());
+  env.advance_round();
+  env.advance_round();
+  EXPECT_FALSE(env.tracer().enabled());
+  EXPECT_EQ(env.tracer().emitted(), 0u);
+  // Metrics stay on even with tracing off.
+  EXPECT_EQ(env.metrics().counter("sim.rounds").value(), 2u);
+}
+
+TEST(Scenario, EventOrderingMonotone) {
+  const obs::ScenarioRun r = obs::run_scenario("daric", "update");
+  ASSERT_TRUE(r.ok) << r.detail;
+  ASSERT_FALSE(r.events.empty());
+  for (std::size_t i = 1; i < r.events.size(); ++i) {
+    EXPECT_GT(r.events[i].seq, r.events[i - 1].seq) << "at index " << i;
+    EXPECT_GE(r.events[i].round, r.events[i - 1].round) << "at index " << i;
+  }
+}
+
+TEST(Sinks, ChromeTraceExportIsValidJson) {
+  const obs::ScenarioRun r = obs::run_scenario("daric", "force-close");
+  ASSERT_TRUE(r.ok) << r.detail;
+  const std::string json = obs::chrome_trace_json(r.events);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // Braces balance (attrs are flat, so no string ever contains a brace).
+  std::ptrdiff_t open = 0, close = 0;
+  for (char c : json) {
+    if (c == '{') ++open;
+    if (c == '}') ++close;
+  }
+  EXPECT_EQ(open, close);
+}
+
+TEST(Scenario, DaricForceCloseExactSequence) {
+  const obs::ScenarioRun r = obs::run_scenario("daric", "force-close");
+  ASSERT_TRUE(r.ok) << r.detail;
+
+  std::vector<Event> daric_events;
+  for (const Event& e : r.events)
+    if (e.engine == "daric") daric_events.push_back(e);
+
+  const std::vector<EventKind> expected = {
+      EventKind::kChannelState,  // open sn=0
+      EventKind::kChannelState,  // updating sn=1
+      EventKind::kChannelState,  // updated  sn=1
+      EventKind::kChannelState,  // updating sn=2
+      EventKind::kChannelState,  // updated  sn=2
+      EventKind::kForceClose,    // B publishes revoked state-0 commit
+      EventKind::kPunish,        // A posts the revocation
+      EventKind::kChannelState,  // closed (A, punished)
+      EventKind::kChannelState,  // closed (B, punished)
+  };
+  ASSERT_EQ(daric_events.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(daric_events[i].kind, expected[i]) << "at index " << i;
+
+  EXPECT_EQ(attr_s(daric_events[0], "phase"), "open");
+  EXPECT_EQ(attr_i(daric_events[0], "sn"), 0);
+  EXPECT_EQ(attr_s(daric_events[4], "phase"), "updated");
+  EXPECT_EQ(attr_i(daric_events[4], "sn"), 2);
+
+  const Event& dispute = daric_events[5];
+  EXPECT_EQ(dispute.party, "B");
+  EXPECT_EQ(attr_i(dispute, "sn"), 0);
+  EXPECT_EQ(attr_i(dispute, "revoked"), 1);
+
+  const Event& punish = daric_events[6];
+  EXPECT_EQ(punish.party, "A");
+  EXPECT_EQ(attr_i(punish, "revoked_state"), 0);
+  EXPECT_EQ(attr_i(punish, "latest_sn"), 2);
+
+  EXPECT_EQ(attr_s(daric_events[7], "outcome"), "punished");
+  EXPECT_EQ(attr_s(daric_events[8], "outcome"), "punished");
+
+  // Theorem 1: the punishment lands within T - delta rounds of the dispute
+  // publication (scenario constants: T = 8, delta = 2).
+  const std::int64_t gap = punish.round - dispute.round;
+  EXPECT_GE(gap, 0);
+  EXPECT_LE(gap, 8 - 2);
+}
+
+TEST(Metrics, RegistrySnapshotStructure) {
+  obs::Registry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("a.level").set(-7);
+  reg.histogram("a.lat", {1, 2, 4}).observe(3);
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"a.level\":-7"), std::string::npos);
+  EXPECT_NE(json.find("\"a.lat\""), std::string::npos);
+  const std::string text = reg.summary_text();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("a.lat"), std::string::npos);
+}
+
+TEST(MessageLog, RingCapEvictsOldestDeterministically) {
+  sim::MessageLog log;
+  log.set_capacity(3);
+  for (int i = 0; i < 5; ++i)
+    log.record(static_cast<Round>(i), sim::PartyId::kA, "m" + std::to_string(i));
+  EXPECT_EQ(log.count(), 5u);      // total is eviction-proof
+  EXPECT_EQ(log.evicted(), 2u);
+  ASSERT_EQ(log.records().size(), 3u);
+  // Oldest-first iteration over the retained window: m2, m3, m4.
+  int expect = 2;
+  for (const auto& rec : log) EXPECT_EQ(rec.type, "m" + std::to_string(expect++));
+
+  const std::string jsonl = log.to_jsonl();
+  std::size_t lines = 0;
+  for (char c : jsonl)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(jsonl.find("\"type\":\"m2\""), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"type\":\"m0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace daric

@@ -19,12 +19,33 @@ computed from real time (``time(BM_SLOW) / time(BM_FAST)``), so a speedup
 ratio names the baseline first. For parameterized benchmarks pass the full
 name including the argument suffix (``BM_Foo/8``).
 
+Two optional enrichments:
+
+``--metrics FILE`` embeds an obs metrics-registry snapshot (the
+``metrics.json`` written by daric_trace) under an ``out["metrics"]`` key, so
+a BENCH file can carry the instrumentation counters of the run it measured.
+
+``--baseline FILE --overhead name=BM_X`` compares this run against a prior
+BENCH_*.json: the overhead ratio is ``real_time(now) / real_time(baseline)``
+for benchmark ``BM_X`` (1.0 = unchanged, 1.02 = 2% slower). Used by
+check.sh --bench to prove the disabled tracer costs <2% on the update path.
+
+``--anchor BM_Y`` (repeatable, with --baseline) corrects the overhead
+ratios for machine-speed drift between the two runs: anchors must be
+benchmarks untouched by the change being measured (e.g. pure-crypto
+kernels), the geometric mean of their now/baseline ratios is reported as
+``anchor_factor``, and every overhead ratio is divided by it. On shared
+hosts raw cross-run wall time moves 20%+ with CPU steal; the ratio of
+ratios cancels that while preserving any real slowdown in the measured
+benchmarks.
+
 Usage:
     bench_to_json.py --name crypto --in raw.json --out BENCH_crypto.json \
         [--ratio schnorr_verify_speedup_vs_naive_ladder=BM_SchnorrVerifyNaiveLadder/BM_SchnorrVerify] ...
 
-Exit: 0 on success, 2 on usage/IO error or a ratio referencing a missing
-benchmark (so check.sh fails loudly instead of committing a hollow file).
+Exit: 0 on success, 2 on usage/IO error or a ratio/overhead referencing a
+missing benchmark (so check.sh fails loudly instead of committing a hollow
+file).
 """
 
 from __future__ import annotations
@@ -61,7 +82,17 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--out", required=True, help="BENCH_*.json to write")
     ap.add_argument("--ratio", action="append", default=[],
                     help="name=BM_SLOW/BM_FAST, computed from real time")
+    ap.add_argument("--metrics", help="obs registry snapshot JSON to embed")
+    ap.add_argument("--baseline", help="prior BENCH_*.json to compare against")
+    ap.add_argument("--overhead", action="append", default=[],
+                    help="name=BM_X: real_time(now)/real_time(baseline)")
+    ap.add_argument("--anchor", action="append", default=[],
+                    help="untouched benchmark used to cancel machine drift")
     args = ap.parse_args(argv[1:])
+
+    if (args.overhead or args.anchor) and not args.baseline:
+        print("error: --overhead/--anchor require --baseline", file=sys.stderr)
+        return 2
 
     try:
         with open(args.raw, encoding="utf-8") as f:
@@ -107,6 +138,61 @@ def main(argv: list[str]) -> int:
         ratios[name] = round(
             results[slow]["real_time_ns"] / results[fast]["real_time_ns"], 3)
 
+    overheads: dict[str, float] = {}
+    anchor_factor = None
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as f:
+                base = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read {args.baseline}: {e}", file=sys.stderr)
+            return 2
+        base_results = base.get("results", {})
+        if args.anchor:
+            import math
+            log_sum = 0.0
+            for bm in args.anchor:
+                if bm not in results or bm not in base_results:
+                    where = "this run" if bm not in results else args.baseline
+                    print(f"error: anchor {bm} missing from {where}",
+                          file=sys.stderr)
+                    return 2
+                log_sum += math.log(
+                    results[bm]["real_time_ns"] / base_results[bm]["real_time_ns"])
+            anchor_factor = round(math.exp(log_sum / len(args.anchor)), 4)
+        for spec in args.overhead:
+            name, _, bm = spec.partition("=")
+            if not name or not bm:
+                print(f"error: bad --overhead {spec!r}; expected name=BM_X",
+                      file=sys.stderr)
+                return 2
+            if bm not in results:
+                print(f"error: overhead {name!r}: {bm} missing from this run",
+                      file=sys.stderr)
+                return 2
+            if bm not in base_results:
+                print(f"error: overhead {name!r}: {bm} missing from baseline "
+                      f"{args.baseline}", file=sys.stderr)
+                return 2
+            ratio = results[bm]["real_time_ns"] / base_results[bm]["real_time_ns"]
+            if anchor_factor:
+                ratio /= anchor_factor
+            overheads[name] = round(ratio, 4)
+
+    metrics = None
+    if args.metrics:
+        try:
+            with open(args.metrics, encoding="utf-8") as f:
+                metrics = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read {args.metrics}: {e}", file=sys.stderr)
+            return 2
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                print(f"error: {args.metrics} is not a registry snapshot "
+                      f"(missing {section!r})", file=sys.stderr)
+                return 2
+
     out = {
         "bench": args.name,
         "context": {
@@ -120,6 +206,13 @@ def main(argv: list[str]) -> int:
     }
     if ratios:
         out["ratios"] = ratios
+    if overheads:
+        out["overhead_vs_baseline"] = overheads
+    if anchor_factor is not None:
+        out["anchor_factor"] = anchor_factor
+        out["anchors"] = args.anchor
+    if metrics is not None:
+        out["metrics"] = metrics
 
     try:
         with open(args.out, "w", encoding="utf-8") as f:
@@ -129,7 +222,9 @@ def main(argv: list[str]) -> int:
         print(f"error: cannot write {args.out}: {e}", file=sys.stderr)
         return 2
 
-    summary = ", ".join(f"{k}={v}x" for k, v in ratios.items()) or f"{len(results)} results"
+    parts = [f"{k}={v}x" for k, v in ratios.items()]
+    parts += [f"{k}={v:.4f}" for k, v in overheads.items()]
+    summary = ", ".join(parts) or f"{len(results)} results"
     print(f"bench_to_json: wrote {args.out} ({summary})")
     return 0
 

@@ -3,15 +3,20 @@
 # ASan+UBSan, a bounded model-check run, the secret-hygiene lint, and —
 # when the binary is installed — clang-tidy over the library sources.
 #
-# Usage: tools/check.sh [--fast|--bench|--chaos|--analyze|--tsan]
+# Usage: tools/check.sh [--fast|--bench|--chaos|--analyze|--tsan|--trace]
 #   --fast    skip the sanitizer rebuild (plain tests + model check + lint)
-#   --bench   build Release, run the crypto + update microbenches, and write
-#             BENCH_crypto.json / BENCH_update_microbench.json at the repo root
+#   --bench   build Release, run the crypto + update microbenches, write
+#             BENCH_crypto.json / BENCH_update_microbench.json at the repo
+#             root, and regenerate BENCH_trace_overhead.json (disabled-tracer
+#             cost vs the previously committed update microbench)
 #   --chaos   fixed-seed 200-schedule fault-injection sweep (Daric + all
 #             baselines) plus the downtime-boundary scan and the committed
 #             regression schedules, under ASan+UBSan
 #   --analyze run only the static script/transaction analyzer gate
 #   --tsan    build with ThreadSanitizer and run the tier-1 suite under it
+#   --trace   observability gate: run daric_trace on canned scenarios and a
+#             chaos schedule replay, then validate every artifact with
+#             tools/validate_trace.py
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,11 +26,13 @@ BENCH=0
 CHAOS=0
 ANALYZE=0
 TSAN=0
+TRACE=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 [[ "${1:-}" == "--bench" ]] && BENCH=1
 [[ "${1:-}" == "--chaos" ]] && CHAOS=1
 [[ "${1:-}" == "--analyze" ]] && ANALYZE=1
 [[ "${1:-}" == "--tsan" ]] && TSAN=1
+[[ "${1:-}" == "--trace" ]] && TRACE=1
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
@@ -35,6 +42,41 @@ if [[ "$ANALYZE" == 1 ]]; then
   cmake --build build -j --target daric_analyze >/dev/null
   ./build/tools/daric_analyze
   echo; echo "check.sh --analyze: all templates sound"
+  exit 0
+fi
+
+if [[ "$TRACE" == 1 ]]; then
+  step "build trace tooling"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target daric_trace daric_chaos >/dev/null
+
+  step "daric force-close scenario (Theorem 1 timeline)"
+  ./build/tools/daric_trace --engine daric --scenario force-close \
+    --out build/trace-forceclose
+  python3 tools/validate_trace.py \
+    --jsonl build/trace-forceclose/trace.jsonl \
+    --require-kind force_close --require-kind punish \
+    --chrome build/trace-forceclose/trace_chrome.json \
+    --metrics build/trace-forceclose/metrics.json
+
+  step "daric multi-hop HTLC scenario"
+  ./build/tools/daric_trace --engine daric --scenario htlc --out build/trace-htlc
+  python3 tools/validate_trace.py \
+    --jsonl build/trace-htlc/trace.jsonl \
+    --require-kind htlc_lock --require-kind payment_settle \
+    --chrome build/trace-htlc/trace_chrome.json \
+    --metrics build/trace-htlc/metrics.json
+
+  step "chaos schedule replay with tracer attached"
+  ./build/tools/daric_chaos --emit 7 > build/trace-seed7.sched
+  ./build/tools/daric_trace --replay build/trace-seed7.sched --protocol daric \
+    --out build/trace-replay
+  python3 tools/validate_trace.py \
+    --jsonl build/trace-replay/trace.jsonl \
+    --chrome build/trace-replay/trace_chrome.json \
+    --metrics build/trace-replay/metrics.json
+
+  echo; echo "check.sh --trace: all trace artifacts valid"
   exit 0
 fi
 
@@ -62,11 +104,60 @@ if [[ "$BENCH" == 1 ]]; then
     --ratio mul_var_point_speedup_vs_naive_ladder=BM_MulVarPointNaiveLadder/BM_MulVarPointWnaf
 
   step "bench_update_microbench -> BENCH_update_microbench.json"
-  ./build-release/bench/bench_update_microbench \
-    --benchmark_out=build-release/bench_update_raw.json \
-    --benchmark_out_format=json
+  # The committed file is the previous PR's baseline; keep it aside before
+  # overwriting so the disabled-tracer overhead can be computed against it.
+  cp BENCH_update_microbench.json build-release/BENCH_update_baseline.json
+  # Shared-host VMs suffer bursty CPU steal that can inflate a single run by
+  # 30%+; the per-benchmark minimum over three runs is the robust statistic
+  # (noise only ever adds time), so both the committed file and the overhead
+  # comparison use it.
+  for i in 1 2 3; do
+    ./build-release/bench/bench_update_microbench \
+      --benchmark_out="build-release/bench_update_raw$i.json" \
+      --benchmark_out_format=json
+  done
+  python3 - <<'PY'
+import json
+runs = [json.load(open(f"build-release/bench_update_raw{i}.json")) for i in (1, 2, 3)]
+merged = runs[0]
+best = {}
+for run in runs:
+    for b in run["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        cur = best.get(b["name"])
+        if cur is None or b["real_time"] < cur["real_time"]:
+            best[b["name"]] = b
+merged["benchmarks"] = [best[b["name"]] for b in runs[0]["benchmarks"]
+                        if b.get("run_type") != "aggregate"]
+json.dump(merged, open("build-release/bench_update_raw.json", "w"), indent=1)
+PY
   python3 tools/bench_to_json.py --name update_microbench \
     --in build-release/bench_update_raw.json --out BENCH_update_microbench.json
+
+  step "disabled-tracer overhead -> BENCH_trace_overhead.json"
+  # The pure-crypto kernels are untouched by the obs layer, so they anchor
+  # out machine-speed drift between this run and the committed baseline.
+  python3 tools/bench_to_json.py --name trace_overhead \
+    --in build-release/bench_update_raw.json --out BENCH_trace_overhead.json \
+    --baseline build-release/BENCH_update_baseline.json \
+    --anchor BM_Sha256_1k --anchor BM_SchnorrSign --anchor BM_SchnorrVerify \
+    --anchor BM_EcdsaSign --anchor BM_EcdsaVerify \
+    --overhead daric_update=BM_DaricUpdate \
+    --overhead lightning_update=BM_LightningUpdate \
+    --overhead eltoo_update=BM_EltooUpdate \
+    --overhead generalized_update=BM_GeneralizedUpdate
+  python3 - <<'PY'
+import json, sys
+ov = json.load(open("BENCH_trace_overhead.json"))["overhead_vs_baseline"]
+worst = max(ov, key=ov.get)
+print(f"trace overhead vs baseline: worst {worst} = {ov[worst]:.4f}x")
+if ov[worst] > 1.05:
+    sys.exit(f"ERROR: disabled tracer costs >5% on {worst} ({ov[worst]:.4f}x)")
+if ov[worst] > 1.02:
+    print(f"WARNING: overhead above the 2% budget on {worst} "
+          f"(may be machine noise; re-run to confirm)")
+PY
 
   echo; echo "check.sh --bench: BENCH files written"
   exit 0

@@ -9,15 +9,19 @@
 //
 // Exit status is non-zero the moment any run misbehaves, and the offending
 // schedule is printed in its canonical text form so it can be replayed
-// byte-for-byte with --replay.
+// byte-for-byte with --replay. With --trace-out DIR, any failing drill is
+// re-run deterministically with the tracer attached and its full event
+// trace + metrics snapshot are written under DIR (first 5 failures).
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/obs/sinks.h"
 #include "src/sim/faults/drill.h"
 #include "src/sim/faults/schedule.h"
 
@@ -36,12 +40,37 @@ void print_report(const DrillReport& r) {
   std::cout << '\n';
 }
 
+// --trace-out DIR: failing drills are re-run with the tracer attached and
+// dumped as fail-<protocol>-<seed>.jsonl (+ .metrics.json), capped so a
+// systematically broken engine cannot flood the disk.
+std::string g_trace_out;
+int g_failure_traces = 0;
+constexpr int kMaxFailureTraces = 5;
+
+void dump_failure_trace(Protocol p, const FaultSchedule& s) {
+  if (g_trace_out.empty() || g_failure_traces >= kMaxFailureTraces) return;
+  ++g_failure_traces;
+  using namespace daric;
+  obs::CollectSink sink;
+  std::string metrics_json;
+  run_drill(p, s, DrillObs{&sink, &metrics_json, nullptr});  // deterministic re-run
+  std::filesystem::create_directories(g_trace_out);
+  const std::string stem = std::string("fail-") + protocol_name(p) + "-" +
+                           std::to_string(s.seed);
+  const auto base = std::filesystem::path(g_trace_out) / stem;
+  obs::write_jsonl(base.string() + ".jsonl", sink.events);
+  std::ofstream mout(base.string() + ".metrics.json");
+  mout << metrics_json << '\n';
+  std::cerr << "chaos: failure trace written to " << base.string() << ".jsonl" << std::endl;
+}
+
 int fail_with_schedule(const FaultSchedule& s, const DrillReport& r) {
   std::cerr << "chaos: invariant violation on " << protocol_name(r.protocol) << " seed "
             << s.seed << " (" << r.detail << ")\n"
             << "Replay with: daric_chaos --replay <file> --protocol "
             << protocol_name(r.protocol) << "\n--- schedule ---\n"
             << to_text(s) << "----------------" << std::endl;
+  dump_failure_trace(r.protocol, s);
   return 1;
 }
 
@@ -150,9 +179,10 @@ int main(int argc, char** argv) {
     else if (a == "--t-punish") t_punish = static_cast<Round>(std::stoull(next()));
     else if (a == "--delta") delta = static_cast<Round>(std::stoull(next()));
     else if (a == "--verbose" || a == "-v") verbose = true;
+    else if (a == "--trace-out") g_trace_out = next();
     else {
       std::cerr << "usage: daric_chaos --sweep N [--seed S0] [--protocol "
-                   "daric|lightning|generalized|eltoo|all] [-v]\n"
+                   "daric|lightning|generalized|eltoo|all] [-v] [--trace-out DIR]\n"
                    "       daric_chaos --replay FILE [--protocol P]\n"
                    "       daric_chaos --emit SEED\n"
                    "       daric_chaos --boundary [--t-punish T] [--delta D]"

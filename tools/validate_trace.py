@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts emitted by daric_trace / daric_chaos.
+
+Checks are structural, not semantic: the goal is to catch a sink whose
+output format drifted (bad JSON, missing keys, non-monotone ordering)
+before a human tries to load it in Perfetto or a notebook.
+
+  validate_trace.py --jsonl FILE [--require-kind K]...   JSONL event stream
+  validate_trace.py --chrome FILE                        Chrome trace_event
+  validate_trace.py --metrics FILE                       registry snapshot
+
+Any number of the three may be combined in one invocation; exit is
+non-zero on the first failed check.
+"""
+import argparse
+import json
+import sys
+
+EVENT_KINDS = {
+    "round_advance", "msg_send", "msg_deliver", "msg_drop", "msg_retry",
+    "tx_post", "tx_confirm", "tx_reject", "channel_state",
+    "htlc_lock", "htlc_settle", "htlc_rollback",
+    "punish", "force_close", "fault_inject",
+    "payment_begin", "payment_settle", "payment_abort",
+}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_jsonl(path, require_kinds):
+    seen_kinds = set()
+    last_seq = -1
+    last_round = None
+    n = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                e = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(f"{path}:{lineno}: not valid JSON ({err})")
+            for key in ("seq", "round", "kind", "engine", "attrs"):
+                if key not in e:
+                    fail(f"{path}:{lineno}: missing key '{key}'")
+            if e["kind"] not in EVENT_KINDS:
+                fail(f"{path}:{lineno}: unknown kind '{e['kind']}'")
+            if e["seq"] <= last_seq:
+                fail(f"{path}:{lineno}: seq {e['seq']} not strictly increasing "
+                     f"(previous {last_seq})")
+            if last_round is not None and e["round"] < last_round:
+                fail(f"{path}:{lineno}: round {e['round']} went backwards "
+                     f"(previous {last_round})")
+            last_seq = e["seq"]
+            last_round = e["round"]
+            seen_kinds.add(e["kind"])
+            n += 1
+    if n == 0:
+        fail(f"{path}: no events")
+    for k in require_kinds:
+        if k not in seen_kinds:
+            fail(f"{path}: required kind '{k}' never emitted "
+                 f"(saw: {', '.join(sorted(seen_kinds))})")
+    print(f"validate_trace: {path}: {n} events ok "
+          f"({len(seen_kinds)} kinds, seq/round monotone)")
+
+
+def check_chrome(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as err:
+            fail(f"{path}: not valid JSON ({err})")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    lanes = set()
+    instants = 0
+    for i, e in enumerate(events):
+        for key in ("ph", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: traceEvents[{i}] missing '{key}'")
+        if e["ph"] == "M":
+            continue  # metadata (thread_name) has no ts
+        for key in ("ts", "name"):
+            if key not in e:
+                fail(f"{path}: traceEvents[{i}] missing '{key}'")
+        lanes.add((e["pid"], e["tid"]))
+        instants += 1
+    if instants == 0:
+        fail(f"{path}: only metadata events, no trace content")
+    print(f"validate_trace: {path}: {instants} trace events ok "
+          f"({len(lanes)} lanes)")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as err:
+            fail(f"{path}: not valid JSON ({err})")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc or not isinstance(doc[section], dict):
+            fail(f"{path}: missing '{section}' object")
+    for name, v in doc["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"{path}: counter '{name}' not a non-negative integer")
+    for name, h in doc["histograms"].items():
+        for key in ("bounds", "counts", "count", "sum", "min", "max"):
+            if key not in h:
+                fail(f"{path}: histogram '{name}' missing '{key}'")
+        if len(h["counts"]) != len(h["bounds"]) + 1:
+            fail(f"{path}: histogram '{name}': counts must have "
+                 f"len(bounds)+1 entries (overflow bucket)")
+        if sum(h["counts"]) != h["count"]:
+            fail(f"{path}: histogram '{name}': counts sum {sum(h['counts'])} "
+                 f"!= count {h['count']}")
+        if any(b2 <= b1 for b1, b2 in zip(h["bounds"], h["bounds"][1:])):
+            fail(f"{path}: histogram '{name}': bounds not strictly increasing")
+    print(f"validate_trace: {path}: metrics snapshot ok "
+          f"({len(doc['counters'])} counters, {len(doc['histograms'])} histograms)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--jsonl", action="append", default=[])
+    ap.add_argument("--chrome", action="append", default=[])
+    ap.add_argument("--metrics", action="append", default=[])
+    ap.add_argument("--require-kind", action="append", default=[],
+                    help="kind that must appear in every --jsonl file")
+    args = ap.parse_args()
+    if not (args.jsonl or args.chrome or args.metrics):
+        ap.error("nothing to validate")
+    for k in args.require_kind:
+        if k not in EVENT_KINDS:
+            fail(f"--require-kind '{k}' is not a known event kind")
+    for p in args.jsonl:
+        check_jsonl(p, args.require_kind)
+    for p in args.chrome:
+        check_chrome(p)
+    for p in args.metrics:
+        check_metrics(p)
+    print("validate_trace: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
