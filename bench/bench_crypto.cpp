@@ -7,6 +7,8 @@
 // still per signature.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <array>
 #include <mutex>
 #include <vector>
@@ -319,4 +321,4 @@ BENCHMARK(BM_SchnorrVerifyBatch)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DARIC_BENCHMARK_MAIN();

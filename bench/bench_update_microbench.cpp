@@ -3,6 +3,8 @@
 // per second" claim — a full Daric update must take far less than 1 s.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "src/crypto/ecdsa.h"
 #include "src/crypto/schnorr.h"
 #include "src/crypto/sha256.h"
@@ -120,4 +122,4 @@ BENCHMARK(BM_DaricUpdateWithHtlcs)->Arg(0)->Arg(4)->Arg(16)->Unit(benchmark::kMi
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DARIC_BENCHMARK_MAIN();

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "src/cerberus/scripts.h"
 #include "src/daric/scripts.h"
 #include "src/eltoo/scripts.h"
+#include "src/fppw/scripts.h"
 #include "src/generalized/scripts.h"
 #include "src/lightning/scripts.h"
 
@@ -25,6 +27,8 @@ std::vector<TxTemplate> engine_templates(const std::string& engine,
   if (engine == "lightning") return lightning::enumerate_templates(p, model);
   if (engine == "eltoo") return eltoo::enumerate_templates(p, model);
   if (engine == "generalized") return generalized::enumerate_templates(p, model);
+  if (engine == "cerberus") return cerberus::enumerate_templates(p, model);
+  if (engine == "fppw") return fppw::enumerate_templates(p, model);
   throw std::invalid_argument("unknown engine: " + engine);
 }
 
@@ -41,7 +45,7 @@ std::vector<TxTemplate> all_engine_templates(const channel::ChannelParams& p,
 
 const std::vector<std::string>& engine_names() {
   static const std::vector<std::string> kNames = {"daric", "lightning", "eltoo",
-                                                  "generalized"};
+                                                  "generalized", "cerberus", "fppw"};
   return kNames;
 }
 

@@ -1,0 +1,192 @@
+#include "src/analyze/graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "src/analyze/interp.h"
+
+namespace daric::analyze {
+
+namespace {
+
+/// Timelock summary of one input, shared by every edge that input spawns.
+struct InputGuards {
+  Round csv_age = 0;
+  std::uint32_t cltv_floor = 0;
+  bool satisfiable = false;
+};
+
+InputGuards summarize_input(const TxTemplate& t, std::size_t i) {
+  const TemplateInput& in = t.inputs[i];
+  InputGuards g;
+  if (!in.witness_script) {
+    // P2WPKH / keypath spend: no script conditions beyond the signature.
+    g.satisfiable = true;
+    return g;
+  }
+  const ScriptAnalysis sa = analyze_with_witness(*in.witness_script, in.witness);
+  Round best_csv = std::numeric_limits<Round>::max();
+  std::uint32_t worst_cltv = 0;
+  for (const PathResult& p : sa.paths) {
+    if (!p.accepting() || p.underflow) continue;
+    std::uint32_t cltv = 0;
+    for (std::uint32_t c : p.guards.cltv) cltv = std::max(cltv, c);
+    worst_cltv = std::max(worst_cltv, cltv);
+    // CLTV requires nLockTime >= operand; a path whose demand exceeds the
+    // template's committed nLockTime can never be taken with this witness.
+    if (cltv > t.body.nlocktime) continue;
+    Round csv = 0;
+    for (std::uint32_t c : p.guards.csv) csv = std::max<Round>(csv, c);
+    if (csv < best_csv) {
+      best_csv = csv;
+      g.cltv_floor = cltv;
+    }
+  }
+  if (best_csv != std::numeric_limits<Round>::max()) {
+    g.satisfiable = true;
+    g.csv_age = best_csv;
+  } else {
+    g.cltv_floor = worst_cltv;  // diagnostic: the demand that blocked us
+  }
+  return g;
+}
+
+}  // namespace
+
+std::size_t SpendGraph::root_count() const {
+  std::size_t n = 0;
+  for (const OutputNode& o : outputs)
+    if (o.producer < 0) ++n;
+  return n;
+}
+
+SpendGraph build_spend_graph(std::vector<TxTemplate> templates) {
+  SpendGraph g;
+  g.templates = std::move(templates);
+  g.template_edges.resize(g.templates.size());
+  g.produced_by.resize(g.templates.size());
+
+  std::map<tx::OutPoint, int> by_outpoint;
+  for (std::size_t t = 0; t < g.templates.size(); ++t) {
+    const tx::Transaction& body = g.templates[t].body;
+    const Hash256 txid = body.txid();
+    for (std::uint32_t v = 0; v < body.outputs.size(); ++v) {
+      SpendGraph::OutputNode node;
+      node.op = tx::OutPoint{txid, v};
+      node.out = body.outputs[v];
+      node.producer = static_cast<int>(t);
+      node.vout = v;
+      const int idx = static_cast<int>(g.outputs.size());
+      g.outputs.push_back(std::move(node));
+      g.produced_by[t].push_back(idx);
+      by_outpoint.emplace(g.outputs.back().op, idx);
+    }
+  }
+
+  auto synthesize_root = [&](const tx::OutPoint& op, const tx::Output& out) -> int {
+    auto it = by_outpoint.find(op);
+    if (it != by_outpoint.end()) return it->second;
+    SpendGraph::OutputNode node;
+    node.op = op;
+    node.out = out;
+    node.producer = -1;
+    const int idx = static_cast<int>(g.outputs.size());
+    g.outputs.push_back(std::move(node));
+    by_outpoint.emplace(op, idx);
+    return idx;
+  };
+
+  for (std::size_t t = 0; t < g.templates.size(); ++t) {
+    const TxTemplate& tmpl = g.templates[t];
+    for (std::size_t i = 0; i < tmpl.inputs.size(); ++i) {
+      const TemplateInput& in = tmpl.inputs[i];
+      const InputGuards guards = summarize_input(tmpl, i);
+      const tx::OutPoint declared = i < tmpl.body.inputs.size()
+                                        ? tmpl.body.inputs[i].prevout
+                                        : tx::OutPoint{};
+
+      // Candidate sources: the declared prevout when some template produces
+      // it, plus — for ANYPREVOUT inputs — every output carrying the witness
+      // program the floating signature commits to.
+      std::vector<std::pair<int, bool>> sources;  // (node, via_rebind)
+      auto exact = by_outpoint.find(declared);
+      if (exact != by_outpoint.end()) sources.emplace_back(exact->second, false);
+      if (in.rebindable) {
+        for (std::size_t n = 0; n < g.outputs.size(); ++n) {
+          if (g.outputs[n].producer < 0) continue;
+          if (!(g.outputs[n].out.cond == in.spent.cond)) continue;
+          if (exact != by_outpoint.end() && static_cast<int>(n) == exact->second)
+            continue;
+          sources.emplace_back(static_cast<int>(n), true);
+        }
+      }
+      if (sources.empty())
+        sources.emplace_back(synthesize_root(declared, in.spent), false);
+
+      for (const auto& [node, rebound] : sources) {
+        SpendGraph::Edge e;
+        e.spender = static_cast<int>(t);
+        e.input = i;
+        e.source = node;
+        e.via_rebind = rebound;
+        e.declared_age = in.spend_age;
+        e.csv_age = guards.csv_age;
+        e.cltv_floor = guards.cltv_floor;
+        e.satisfiable = guards.satisfiable;
+        const int idx = static_cast<int>(g.edges.size());
+        g.edges.push_back(e);
+        g.template_edges[t].push_back(idx);
+        g.outputs[static_cast<std::size_t>(node)].spenders.push_back(idx);
+      }
+    }
+  }
+  return g;
+}
+
+std::string to_dot(const SpendGraph& g) {
+  std::ostringstream os;
+  os << "digraph spend_graph {\n  rankdir=LR;\n  node [fontsize=10];\n";
+
+  // Cluster templates by engine so multi-engine dumps stay readable.
+  std::map<std::string, std::vector<int>> by_engine;
+  for (std::size_t t = 0; t < g.templates.size(); ++t)
+    by_engine[g.templates[t].engine].push_back(static_cast<int>(t));
+
+  int cluster = 0;
+  for (const auto& [engine, ids] : by_engine) {
+    os << "  subgraph cluster_" << cluster++ << " {\n    label=\"" << engine
+       << "\";\n";
+    for (int t : ids) {
+      const TxTemplate& tmpl = g.tmpl(t);
+      const char* color = tmpl.tag == TemplateTag::kCommit    ? "lightyellow"
+                          : tmpl.tag == TemplateTag::kPunish ? "lightpink"
+                                                             : "white";
+      os << "    t" << t << " [shape=box, style=filled, fillcolor=" << color
+         << ", label=\"" << tmpl.name << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  for (std::size_t n = 0; n < g.outputs.size(); ++n) {
+    if (g.outputs[n].producer >= 0) continue;
+    os << "  r" << n << " [shape=ellipse, label=\"external\"];\n";
+  }
+  for (const SpendGraph::Edge& e : g.edges) {
+    const SpendGraph::OutputNode& src = g.outputs[static_cast<std::size_t>(e.source)];
+    if (src.producer >= 0)
+      os << "  t" << src.producer;
+    else
+      os << "  r" << e.source;
+    os << " -> t" << e.spender << " [label=\"" << src.vout << "@"
+       << e.honest_age() << "\"";
+    if (e.csv_age > 0) os << ", style=dashed";
+    if (e.via_rebind) os << ", color=blue";
+    if (!e.satisfiable) os << ", color=red";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace daric::analyze

@@ -1,0 +1,84 @@
+// Whole-protocol spend graph over a template set.
+//
+// Nodes are outputs: every output a template creates, plus synthesized
+// external roots (funding sources, ledger-minted outpoints) for inputs no
+// template produces. Edges are (template input → spent output) relations.
+// An input binds to its source either by declared prevout (the common
+// case — enumerators bind floating transactions before emitting them) or,
+// for ANYPREVOUT-rebindable inputs, to every output carrying the same
+// witness program (`via_rebind`) — which is exactly the consensus rule for
+// where a floating signature can land.
+//
+// Each edge carries the symbolic timelock summary the race analysis
+// (reach.h) needs: the script's CSV demand on the best accepting path, its
+// CLTV floor, the protocol's declared posting age, and whether the
+// template witness can satisfy the script at all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analyze/templates.h"
+
+namespace daric::analyze {
+
+struct SpendGraph {
+  struct OutputNode {
+    tx::OutPoint op;
+    tx::Output out;
+    int producer = -1;        // index into templates; -1 = external root
+    std::uint32_t vout = 0;   // position within the producer (0 for roots)
+    std::vector<int> spenders;  // edge indices consuming this output
+
+    bool terminal_payout() const {
+      return out.cond.type == tx::Condition::Type::kP2WPKH;
+    }
+  };
+
+  struct Edge {
+    int spender = -1;          // template index
+    std::size_t input = 0;     // input position within the spender
+    int source = -1;           // OutputNode index
+    bool via_rebind = false;   // bound by witness-program match, not prevout
+
+    Round declared_age = 0;    // TemplateInput::spend_age (protocol behavior)
+    Round csv_age = 0;         // script CSV demand on the best accepting path
+    std::uint32_t cltv_floor = 0;  // script CLTV demand on that path
+    bool satisfiable = false;  // witness has an accepting, CLTV-feasible path
+
+    /// Earliest post round (after source confirmation) for an honest
+    /// spender that follows the protocol schedule.
+    Round honest_age() const {
+      return declared_age > csv_age ? declared_age : csv_age;
+    }
+    /// Earliest inclusion round for an adversary bound only by consensus.
+    Round adversary_age() const { return csv_age; }
+  };
+
+  std::vector<TxTemplate> templates;
+  std::vector<OutputNode> outputs;
+  std::vector<Edge> edges;
+
+  /// Edge indices whose spender is template t (parallel to templates). A
+  /// rebindable input contributes one edge per candidate source, so this can
+  /// be longer than the template's input list.
+  std::vector<std::vector<int>> template_edges;
+
+  /// Output-node indices produced by template t.
+  std::vector<std::vector<int>> produced_by;
+
+  const TxTemplate& tmpl(int i) const { return templates[static_cast<std::size_t>(i)]; }
+  std::size_t root_count() const;
+};
+
+/// Builds the graph; resolves every input to concrete sources, rebind
+/// candidates, or a synthesized root. Never fails — unsatisfiable edges are
+/// recorded as such and judged by the reachability pass.
+SpendGraph build_spend_graph(std::vector<TxTemplate> templates);
+
+/// Graphviz export: one cluster per engine, templates as boxes (colored by
+/// tag), roots as ellipses, edges labeled `vout@age` (CSV-delayed edges
+/// dashed). The result is a complete `digraph` document.
+std::string to_dot(const SpendGraph& g);
+
+}  // namespace daric::analyze

@@ -31,6 +31,11 @@ const std::vector<Lint> kCatalogue = {
     {"DA015", Severity::kError, "outputs exceed the value of the spent inputs"},
     {"DA016", Severity::kError, "ANYPREVOUT digest changes when the input is rebound"},
     {"DA017", Severity::kError, "template metadata inconsistent with transaction body"},
+    {"DA018", Severity::kError, "punish path missing or confirms later than T-delta"},
+    {"DA019", Severity::kError, "reachable non-terminal output has no spender (stuck funds)"},
+    {"DA020", Severity::kError, "revocation/punish template is unreachable (dead edge)"},
+    {"DA021", Severity::kError, "honest spender does not strictly win a contested output"},
+    {"DA022", Severity::kError, "spend-graph cycle (ANYPREVOUT rebinding loop)"},
 };
 
 bool is_single_flag(script::SighashFlag f) {

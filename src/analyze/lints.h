@@ -33,6 +33,11 @@ enum class LintId {
   kValueOverflow,           // DA015: outputs exceed spent value
   kApoDigestUnstable,       // DA016: APO digest changes under rebinding
   kTemplateShape,           // DA017: template metadata inconsistent with body
+  kPunishBound,             // DA018: punish path missing or slower than T-Δ
+  kStuckOutput,             // DA019: reachable P2WSH output with no spender
+  kDeadPunishEdge,          // DA020: revocation/punish template unreachable
+  kRaceLost,                // DA021: honest path does not strictly win a race
+  kRebindCycle,             // DA022: spend-graph cycle (ANYPREVOUT loop)
 };
 
 struct Lint {

@@ -1,0 +1,243 @@
+#include "src/analyze/reach.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "src/analyze/lints.h"
+
+namespace daric::analyze {
+
+namespace {
+
+constexpr Round kUnreachable = std::numeric_limits<Round>::max();
+
+void emit(Report& rep, LintId id, std::string where, std::string message) {
+  const Lint& info = lint_info(id);
+  rep.add(Finding{info.id, info.severity, std::move(where), std::move(message), ""});
+}
+
+/// Fixpoint executability: a template is executable when every input has at
+/// least one satisfiable edge whose source is an external root or an output
+/// of an executable template. Templates on cycles never become executable
+/// unless fed from outside the cycle — exactly the semantics we want for
+/// dead-edge detection.
+std::vector<bool> compute_executable(const SpendGraph& g) {
+  std::vector<bool> exec(g.templates.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t t = 0; t < g.templates.size(); ++t) {
+      if (exec[t]) continue;
+      bool all_inputs_ok = true;
+      for (std::size_t i = 0; i < g.templates[t].inputs.size(); ++i) {
+        bool input_ok = false;
+        for (int ei : g.template_edges[t]) {
+          const SpendGraph::Edge& e = g.edges[static_cast<std::size_t>(ei)];
+          if (e.input != i || !e.satisfiable) continue;
+          const int prod = g.outputs[static_cast<std::size_t>(e.source)].producer;
+          if (prod < 0 || exec[static_cast<std::size_t>(prod)]) {
+            input_ok = true;
+            break;
+          }
+        }
+        if (!input_ok) {
+          all_inputs_ok = false;
+          break;
+        }
+      }
+      if (all_inputs_ok) {
+        exec[t] = true;
+        changed = true;
+      }
+    }
+  }
+  return exec;
+}
+
+/// DFS cycle detection over the template adjacency relation (producer →
+/// spender, concrete and rebind edges alike). Returns the label path of the
+/// first cycle found, empty if the graph is acyclic.
+std::string find_cycle(const SpendGraph& g) {
+  const std::size_t n = g.templates.size();
+  std::vector<std::vector<int>> adj(n);
+  for (const SpendGraph::Edge& e : g.edges) {
+    const int prod = g.outputs[static_cast<std::size_t>(e.source)].producer;
+    if (prod >= 0) adj[static_cast<std::size_t>(prod)].push_back(e.spender);
+  }
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<int> stack;  // current DFS path, for the diagnostic
+
+  // Iterative DFS; (node, next-child) frames.
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<std::pair<int, std::size_t>> frames{{static_cast<int>(start), 0}};
+    color[start] = Color::kGray;
+    stack.push_back(static_cast<int>(start));
+    while (!frames.empty()) {
+      auto& [node, child] = frames.back();
+      const auto& out = adj[static_cast<std::size_t>(node)];
+      if (child < out.size()) {
+        const int next = out[child++];
+        if (color[static_cast<std::size_t>(next)] == Color::kGray) {
+          std::string path;
+          auto it = std::find(stack.begin(), stack.end(), next);
+          for (; it != stack.end(); ++it)
+            path += g.tmpl(*it).name + " -> ";
+          return path + g.tmpl(next).name;
+        }
+        if (color[static_cast<std::size_t>(next)] == Color::kWhite) {
+          color[static_cast<std::size_t>(next)] = Color::kGray;
+          stack.push_back(next);
+          frames.emplace_back(next, 0);
+        }
+      } else {
+        color[static_cast<std::size_t>(node)] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return "";
+}
+
+/// Worst input age of punish template `p` when applied to commit `c`: every
+/// input must be servable from `c`'s outputs or an external root (the punish
+/// response cannot wait on a third transaction), and at least one input must
+/// actually come from `c`. Returns kUnreachable when not applicable.
+Round punish_age_for(const SpendGraph& g, std::size_t p, int c) {
+  bool touches_commit = false;
+  Round worst = 0;
+  for (std::size_t i = 0; i < g.templates[p].inputs.size(); ++i) {
+    Round best = kUnreachable;
+    for (int ei : g.template_edges[p]) {
+      const SpendGraph::Edge& e = g.edges[static_cast<std::size_t>(ei)];
+      if (e.input != i || !e.satisfiable) continue;
+      const int prod = g.outputs[static_cast<std::size_t>(e.source)].producer;
+      if (prod != c && prod >= 0) continue;
+      if (prod == c) touches_commit = true;
+      best = std::min(best, e.honest_age());
+    }
+    if (best == kUnreachable) return kUnreachable;
+    worst = std::max(worst, best);
+  }
+  return touches_commit ? worst : kUnreachable;
+}
+
+}  // namespace
+
+std::size_t ReachReport::races_won() const {
+  std::size_t n = 0;
+  for (const Race& r : races)
+    if (r.honest_wins) ++n;
+  return n;
+}
+
+ReachReport analyze_reachability(const SpendGraph& g, const ReachParams& params,
+                                 Report& rep) {
+  ReachReport out;
+  out.engine = g.templates.empty() ? "" : g.templates.front().engine;
+  out.delta = params.delta;
+  out.t_punish = params.t_punish;
+  out.bound_limit = params.t_punish - params.delta;
+  out.templates = g.templates.size();
+
+  const std::vector<bool> exec = compute_executable(g);
+
+  // DA022: a spend cycle means some template can (transitively) feed its own
+  // input — with ANYPREVOUT a signature could rebind forever.
+  if (const std::string cycle = find_cycle(g); !cycle.empty())
+    emit(rep, LintId::kRebindCycle, out.engine, "spend-graph cycle: " + cycle);
+
+  // DA020: a punish template nobody can ever post is a dead safety valve.
+  for (std::size_t t = 0; t < g.templates.size(); ++t) {
+    if (g.templates[t].tag != TemplateTag::kPunish) continue;
+    if (exec[t]) continue;
+    emit(rep, LintId::kDeadPunishEdge, g.tmpl(static_cast<int>(t)).label(),
+         "punish template is unreachable under the round model");
+  }
+
+  // DA019: an output a reachable template creates must be spendable onward
+  // or be a terminal wallet payout; otherwise funds can strand there.
+  for (const SpendGraph::OutputNode& o : g.outputs) {
+    if (o.producer < 0) continue;  // roots exist only because something spends them
+    if (!exec[static_cast<std::size_t>(o.producer)]) continue;
+    if (o.terminal_payout()) continue;
+    if (!o.spenders.empty()) continue;
+    emit(rep, LintId::kStuckOutput,
+         g.tmpl(o.producer).label() + "#out" + std::to_string(o.vout),
+         "no template spends this output and it is not a payout");
+  }
+
+  // Stale commits: every commit below the highest enumerated state.
+  std::int32_t latest = -1;
+  for (const TxTemplate& t : g.templates)
+    if (t.tag == TemplateTag::kCommit) latest = std::max(latest, t.state);
+
+  Round worst_bound = -1;
+  for (std::size_t c = 0; c < g.templates.size(); ++c) {
+    const TxTemplate& commit = g.templates[c];
+    if (commit.tag != TemplateTag::kCommit || commit.state < 0 ||
+        commit.state >= latest)
+      continue;
+    ++out.stale_commits;
+    const Round confirm = params.delta;  // stale commit confirmed by round Δ
+
+    // Theorem 1: the cheapest applicable punish response and its bound.
+    Round best_age = kUnreachable;
+    for (std::size_t p = 0; p < g.templates.size(); ++p) {
+      if (g.templates[p].tag != TemplateTag::kPunish) continue;
+      best_age = std::min(best_age, punish_age_for(g, p, static_cast<int>(c)));
+    }
+    if (best_age == kUnreachable) {
+      out.punish_reachable = false;
+      emit(rep, LintId::kPunishBound, commit.label(),
+           "no punish template can spend this stale commit");
+    } else {
+      const Round bound = confirm + best_age + params.delta;
+      worst_bound = std::max(worst_bound, bound);
+      if (bound > out.bound_limit) {
+        emit(rep, LintId::kPunishBound, commit.label(),
+             "punish confirms by round " + std::to_string(bound) +
+                 " > bound T-delta = " + std::to_string(out.bound_limit));
+      }
+    }
+
+    // Races: every contested output of this stale commit where a punish
+    // spender competes with a consensus-only rival.
+    for (int oi : g.produced_by[c]) {
+      const SpendGraph::OutputNode& o = g.outputs[static_cast<std::size_t>(oi)];
+      Round honest_age = kUnreachable;
+      Round rival_csv = kUnreachable;
+      for (int ei : o.spenders) {
+        const SpendGraph::Edge& e = g.edges[static_cast<std::size_t>(ei)];
+        if (!e.satisfiable) continue;
+        if (g.tmpl(e.spender).tag == TemplateTag::kPunish)
+          honest_age = std::min(honest_age, e.honest_age());
+        else
+          rival_csv = std::min(rival_csv, e.adversary_age());
+      }
+      if (honest_age == kUnreachable || rival_csv == kUnreachable) continue;
+      Race race;
+      race.commit = commit.label();
+      race.vout = o.vout;
+      race.honest_confirm = confirm + honest_age + params.delta;
+      race.rival_include = confirm + rival_csv;
+      race.honest_wins = race.honest_confirm < race.rival_include;
+      if (!race.honest_wins) {
+        emit(rep, LintId::kRaceLost,
+             race.commit + "#out" + std::to_string(o.vout),
+             "honest punish confirms at round " +
+                 std::to_string(race.honest_confirm) +
+                 " but a rival is includable from round " +
+                 std::to_string(race.rival_include));
+      }
+      out.races.push_back(std::move(race));
+    }
+  }
+  out.theorem1_bound = worst_bound;
+  return out;
+}
+
+}  // namespace daric::analyze

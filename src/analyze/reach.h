@@ -1,0 +1,70 @@
+// Reachability and race analysis over a SpendGraph (lints DA018..DA022).
+//
+// Round model. Rounds are abstract block heights with confirmation latency
+// Δ: a transaction posted at round r is confirmed by round r+Δ (worst
+// case). The adversary publishes a stale commit at round 0; it confirms by
+// round Δ. From then on:
+//
+//   * The honest party follows the protocol schedule — an edge with honest
+//     age a (max of declared spend_age and the script's CSV demand) is
+//     posted at round Δ+a and confirmed by round Δ+a+Δ.
+//   * The adversary is bound only by consensus — an edge with CSV demand c
+//     is includable from round Δ+c onward (age 0 demands race in the very
+//     next block).
+//
+// A contested output (≥2 spender templates) is a race. The honest punish
+// side strictly wins iff its confirmation round is strictly below every
+// rival's earliest inclusion round: min_h(a_h) + Δ < min_r(c_r).
+//
+// Theorem 1 (DA018): for every stale commit there must be a punish
+// template whose inputs all come from that commit or from external roots,
+// and whose worst input age a gives Δ + a + Δ ≤ T − Δ ... the punish
+// confirmation bound `2Δ + a` is reported per engine and compared against
+// the engine's bound limit T − Δ.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analyze/graph.h"
+#include "src/analyze/report.h"
+
+namespace daric::analyze {
+
+struct ReachParams {
+  Round delta = 1;     // confirmation latency Δ
+  Round t_punish = 3;  // the engine's punishment window T
+};
+
+/// One contested stale-commit output and its resolution.
+struct Race {
+  std::string commit;     // template label of the stale commit
+  std::uint32_t vout = 0;
+  Round honest_confirm = 0;   // earliest honest confirmation round
+  Round rival_include = 0;    // earliest adversary inclusion round
+  bool honest_wins = false;
+};
+
+/// Machine-readable result of one engine's graph pass.
+struct ReachReport {
+  std::string engine;
+  Round delta = 0;
+  Round t_punish = 0;
+  Round bound_limit = 0;     // T − Δ
+  Round theorem1_bound = -1; // max punish-confirmation bound over stale
+                             // commits; −1 when there is nothing to punish
+  bool punish_reachable = true;  // every stale commit has a punish path
+  std::size_t templates = 0;
+  std::size_t stale_commits = 0;
+  std::vector<Race> races;
+
+  std::size_t races_won() const;
+};
+
+/// Runs the full reachability analysis, appending DA018..DA022 findings to
+/// `rep`. The graph is expected to hold a single engine's templates (the
+/// per-engine bound would otherwise be meaningless).
+ReachReport analyze_reachability(const SpendGraph& g, const ReachParams& params,
+                                 Report& rep);
+
+}  // namespace daric::analyze

@@ -25,11 +25,22 @@ struct TemplateInput {
   bool rebindable = false;  // floating: input is bound/rebound at publish time
 };
 
+/// Protocol role of a template in the spend-graph round model (graph.h).
+/// `kCommit` marks a unilateral state publication (the transaction an
+/// adversary can replay when stale); `kPunish` marks the honest response —
+/// revocation, breach claim, eltoo override, FPPW penalty — whose
+/// reachability and race timing Theorem 1 is about. Everything else
+/// (funding, splits, sweeps, cooperative closes, HTLC claims) is neutral.
+enum class TemplateTag : std::uint8_t { kNeutral, kCommit, kPunish };
+
 struct TxTemplate {
-  std::string engine;  // "daric", "lightning", "eltoo", "generalized"
+  std::string engine;  // "daric", "lightning", "eltoo", "generalized", ...
   std::string name;    // e.g. "commit[A,2]", "split[2]"
   tx::Transaction body;
   std::vector<TemplateInput> inputs;  // parallel to body.inputs
+
+  TemplateTag tag = TemplateTag::kNeutral;
+  std::int32_t state = -1;  // state number for kCommit templates; -1 = n/a
 
   std::string label() const { return engine + "/" + name; }
 };

@@ -1,0 +1,136 @@
+#include "src/cerberus/scripts.h"
+
+#include "src/cerberus/protocol.h"
+#include "src/crypto/keys.h"
+#include "src/daric/scripts.h"
+#include "src/daric/wallet.h"
+
+namespace daric::cerberus {
+
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model) {
+  using analyze::TemplateInput;
+  using analyze::TemplateTag;
+  using analyze::TxTemplate;
+  using analyze::WitnessElem;
+  using script::SighashFlag;
+
+  std::vector<TxTemplate> out;
+  // Key derivations mirror CerberusChannel's constructor.
+  const daricch::DaricPubKeys pub_a = to_pub(daricch::DaricKeys::derive("A", p.id + "/cb"));
+  const daricch::DaricPubKeys pub_b = to_pub(daricch::DaricKeys::derive("B", p.id + "/cb"));
+  const crypto::KeyPair main_a = crypto::derive_keypair(p.id + "/cb/A/main");
+  const crypto::KeyPair main_b = crypto::derive_keypair(p.id + "/cb/B/main");
+  const crypto::KeyPair delayed_a = crypto::derive_keypair(p.id + "/cb/A/delayed");
+  const crypto::KeyPair delayed_b = crypto::derive_keypair(p.id + "/cb/B/delayed");
+  const crypto::KeyPair tower_key = crypto::derive_keypair(p.id + "/cb/tower");
+  const Amount cap = p.capacity();
+  const Amount reward = cap / 100;  // the tower's incentive carve-out
+  const auto n_latest = static_cast<std::uint32_t>(model.max_updates);
+  const auto csv = static_cast<std::uint32_t>(p.t_punish);
+
+  auto rev_pk = [&](bool owner_a, std::uint32_t state, int leg) {
+    return crypto::derive_keypair(p.id + "/cb/rev/" + (owner_a ? "A" : "B") + "/" +
+                                  std::to_string(state) + "/" + std::to_string(leg))
+        .pk.compressed();
+  };
+
+  const script::Script fund_script =
+      script::multisig_2of2(main_a.pk.compressed(), main_b.pk.compressed());
+  const tx::OutPoint fund_op = analyze::template_outpoint(p.id + "/cb/fund");
+  auto fund_in = [&] {
+    TemplateInput in;
+    in.spent = {cap, tx::Condition::p2wsh(fund_script)};
+    in.witness_script = fund_script;
+    in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                  WitnessElem::sig(SighashFlag::kAll)};
+    return in;
+  };
+
+  for (std::uint32_t j = 0; j <= n_latest; ++j) {
+    const Amount to_a = model.to_a(static_cast<int>(j));
+    const Amount to_b = cap - to_a;
+    for (const bool owner_a : {true, false}) {
+      const std::string tag = std::string(owner_a ? "A," : "B,") + std::to_string(j);
+      // H.6's duplicated commit: both outputs carry a revocation path.
+      const script::Script local = cerberus_output_script(
+          rev_pk(owner_a, j, 0), rev_pk(owner_a, j, 1), csv,
+          (owner_a ? delayed_a : delayed_b).pk.compressed());
+      const script::Script remote = cerberus_output_script(
+          rev_pk(owner_a, j, 2), rev_pk(owner_a, j, 3), csv,
+          (owner_a ? delayed_b : delayed_a).pk.compressed());
+      tx::Transaction commit;
+      commit.inputs = {{fund_op}};
+      commit.nlocktime = p.s0 + j;
+      commit.outputs = {{owner_a ? to_a : to_b, tx::Condition::p2wsh(local)},
+                        {owner_a ? to_b : to_a, tx::Condition::p2wsh(remote)}};
+      out.push_back({"cerberus", "commit[" + tag + "]", commit, {fund_in()},
+                     TemplateTag::kCommit, static_cast<std::int32_t>(j)});
+      const Hash256 commit_txid = commit.txid();
+
+      auto output_in = [&](std::uint32_t vout, const script::Script& ws,
+                           std::vector<WitnessElem> witness, Round age) {
+        TemplateInput in;
+        in.spent = commit.outputs[vout];
+        in.witness_script = ws;
+        in.witness = std::move(witness);
+        in.spend_age = age;
+        return in;
+      };
+
+      if (j < n_latest) {
+        // The tower's pre-signed revocation: claims both outputs, pays the
+        // victim everything minus the reward that keeps the tower honest.
+        tx::Transaction rv;
+        rv.inputs = {{{commit_txid, 0}}, {{commit_txid, 1}}};
+        rv.nlocktime = 0;
+        rv.outputs = {{cap - reward, tx::Condition::p2wpkh(owner_a ? pub_b.main : pub_a.main)},
+                      {reward, tx::Condition::p2wpkh(tower_key.pk.compressed())}};
+        const std::vector<WitnessElem> rev_wit = {
+            WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+            WitnessElem::sig(SighashFlag::kAll), WitnessElem::constant(Bytes{1})};
+        out.push_back({"cerberus", "revocation[" + tag + "]", rv,
+                       {output_in(0, local, rev_wit, 0), output_in(1, remote, rev_wit, 0)},
+                       TemplateTag::kPunish});
+      }
+
+      // Delayed sweeps (ELSE branch). On the latest state these are the
+      // honest non-collaborative close; on a revoked state they are the
+      // cheater's race attempt the tower's revocation must beat.
+      tx::Transaction sweep;
+      sweep.inputs = {{{commit_txid, 0}}};
+      sweep.nlocktime = 0;
+      sweep.outputs = {{commit.outputs[0].cash,
+                        tx::Condition::p2wpkh(owner_a ? pub_a.main : pub_b.main)}};
+      out.push_back({"cerberus", "sweep[" + tag + "]", sweep,
+                     {output_in(0, local,
+                                {WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
+                                p.t_punish)}});
+
+      tx::Transaction rsweep;
+      rsweep.inputs = {{{commit_txid, 1}}};
+      rsweep.nlocktime = 0;
+      rsweep.outputs = {{commit.outputs[1].cash,
+                         tx::Condition::p2wpkh(owner_a ? pub_b.main : pub_a.main)}};
+      out.push_back({"cerberus", "remote-sweep[" + tag + "]", rsweep,
+                     {output_in(1, remote,
+                                {WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
+                                p.t_punish)}});
+    }
+  }
+
+  {
+    tx::Transaction close;
+    close.inputs = {{fund_op}};
+    close.nlocktime = 0;
+    const channel::StateVec st{model.to_a(static_cast<int>(n_latest)),
+                               cap - model.to_a(static_cast<int>(n_latest)),
+                               {}};
+    close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+    out.push_back({"cerberus", "coop-close", close, {fund_in()}});
+  }
+
+  return out;
+}
+
+}  // namespace daric::cerberus

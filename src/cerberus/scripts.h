@@ -1,0 +1,20 @@
+// Template enumeration for the Cerberus engine (src/cerberus/protocol.h),
+// promoting it from a cost model to a first-class analyzable engine.
+#pragma once
+
+#include "src/analyze/templates.h"
+#include "src/channel/params.h"
+#include "src/verify/model.h"
+
+namespace daric::cerberus {
+
+/// Enumerates every transaction template the Cerberus engine can emit for
+/// the model's state schedule: per-state duplicated commits (two P2WSH
+/// outputs each), the tower-held revocations claiming both outputs with a
+/// reward carve-out, the owner/remote delayed sweeps (the cheater's race on
+/// revoked states), and the cooperative close. Key derivations mirror
+/// CerberusChannel's constructor; the tower reward is capacity/100.
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model);
+
+}  // namespace daric::cerberus

@@ -51,6 +51,7 @@ std::vector<tx::Output> state_outputs(const channel::StateVec& st, BytesView pk_
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
                                                      const verify::Options& model) {
   using analyze::TemplateInput;
+  using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
@@ -94,8 +95,10 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
   for (std::uint32_t j = 0; j <= n_latest; ++j) {
     commits.push_back(gen_commit(fund.output(), cap, pa, pb, j, p));
     const CommitPair& c = commits.back();
-    out.push_back({"daric", "commit[A," + std::to_string(j) + "]", c.body_a, {fund_in()}});
-    out.push_back({"daric", "commit[B," + std::to_string(j) + "]", c.body_b, {fund_in()}});
+    out.push_back({"daric", "commit[A," + std::to_string(j) + "]", c.body_a, {fund_in()},
+                   TemplateTag::kCommit, static_cast<std::int32_t>(j)});
+    out.push_back({"daric", "commit[B," + std::to_string(j) + "]", c.body_b, {fund_in()},
+                   TemplateTag::kCommit, static_cast<std::int32_t>(j)});
   }
 
   // One split per state, bound to either party's commit (the two commits
@@ -140,7 +143,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                      std::string("revoke[") + (party_a ? "A," : "B,") + std::to_string(j) + "]",
                      rv,
                      {commit_in(j, party_a, rv_flag,
-                                WitnessElem::constant(Bytes{1}))}});  // IF: revocation
+                                WitnessElem::constant(Bytes{1}))},  // IF: revocation
+                     TemplateTag::kPunish});
     }
   }
 
@@ -161,7 +165,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     out.push_back({"daric", "revoke+fee[A,0]", rv,
                    {commit_in(0, true, SighashFlag::kSingleAnyPrevOut,
                               WitnessElem::constant(Bytes{1})),
-                    std::move(fee_in)}});
+                    std::move(fee_in)},
+                   TemplateTag::kPunish});
   }
 
   const channel::StateVec st_latest{model.to_a(static_cast<int>(n_latest)),

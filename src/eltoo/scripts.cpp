@@ -39,6 +39,7 @@ script::Script update_script(BytesView set_a_i, BytesView set_b_i, BytesView upd
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
                                                      const verify::Options& model) {
   using analyze::TemplateInput;
+  using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
@@ -89,7 +90,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     on_fund.inputs = {{fund_op}};
     on_fund.witnesses.resize(1);
     out.push_back({"eltoo", "update[" + std::to_string(j) + "]", on_fund,
-                   {multisig_in(fund_out, fund_script, SighashFlag::kAllAnyPrevOut, {})}});
+                   {multisig_in(fund_out, fund_script, SighashFlag::kAllAnyPrevOut, {})},
+                   TemplateTag::kCommit, static_cast<std::int32_t>(j)});
 
     // The latest update overriding stale update j (ELSE branch: CLTV floor
     // S0+j+1 ≤ nLT = S0+n only for j < n — eltoo's versioning).
@@ -101,7 +103,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                   std::to_string(j) + "]",
                      latest,
                      {multisig_in(upd.outputs[0], out_script(j),
-                                  SighashFlag::kAllAnyPrevOut, {WitnessElem::empty()})}});
+                                  SighashFlag::kAllAnyPrevOut, {WitnessElem::empty()})},
+                     TemplateTag::kPunish});
     }
 
     // Settlement for state j (IF branch, after the CSV delay).

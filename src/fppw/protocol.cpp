@@ -5,6 +5,7 @@
 #include "src/channel/storage.h"
 #include "src/daric/builders.h"
 #include "src/daric/scripts.h"
+#include "src/fppw/scripts.h"
 #include "src/tx/sighash.h"
 
 namespace daric::fppw {
@@ -39,54 +40,21 @@ FppwChannel::StateSecrets FppwChannel::state_secrets(std::uint32_t state) const 
   return {crypto::derive_keypair(base + "/yA"), crypto::derive_keypair(base + "/yB")};
 }
 
-namespace {
-void multisig3(script::Script& s, BytesView k1, BytesView k2, BytesView k3) {
-  s.small_int(3).push(k1).push(k2).push(k3).small_int(3).op(Op::OP_CHECKMULTISIG);
-}
-}  // namespace
-
 script::Script FppwChannel::out0_script(std::uint32_t state) const {
   (void)state;  // revocation keys are per-channel; state identified via nLT
-  script::Script s;
-  s.op(Op::OP_IF);
-  multisig3(s, rev_a_.pk.compressed(), rev_b_.pk.compressed(), rev_w_.pk.compressed());
-  s.op(Op::OP_ELSE)
-      .num4(static_cast<std::uint32_t>(params_.t_punish))
-      .op(Op::OP_CHECKSEQUENCEVERIFY)
-      .op(Op::OP_DROP)
-      .small_int(2)
-      .push(main_a_.pk.compressed())
-      .push(main_b_.pk.compressed())
-      .small_int(2)
-      .op(Op::OP_CHECKMULTISIG)
-      .op(Op::OP_ENDIF);
-  return s;
+  return fppw_out0_script(rev_a_.pk.compressed(), rev_b_.pk.compressed(),
+                          rev_w_.pk.compressed(),
+                          static_cast<std::uint32_t>(params_.t_punish),
+                          main_a_.pk.compressed(), main_b_.pk.compressed());
 }
 
 script::Script FppwChannel::out1_script(std::uint32_t state) const {
   const StateSecrets sec = state_secrets(state);
-  script::Script s;
-  s.op(Op::OP_IF);
-  multisig3(s, rev_a_.pk.compressed(), rev_b_.pk.compressed(), rev_w_.pk.compressed());
-  s.op(Op::OP_ELSE)
-      .num4(static_cast<std::uint32_t>(params_.t_punish))
-      .op(Op::OP_CHECKSEQUENCEVERIFY)
-      .op(Op::OP_DROP)
-      .op(Op::OP_IF)
-      .small_int(2)
-      .push(pen_b_.pk.compressed())
-      .push(sec.y_a.pk.compressed())
-      .small_int(2)
-      .op(Op::OP_CHECKMULTISIG)
-      .op(Op::OP_ELSE)
-      .small_int(2)
-      .push(pen_a_.pk.compressed())
-      .push(sec.y_b.pk.compressed())
-      .small_int(2)
-      .op(Op::OP_CHECKMULTISIG)
-      .op(Op::OP_ENDIF)
-      .op(Op::OP_ENDIF);
-  return s;
+  return fppw_out1_script(rev_a_.pk.compressed(), rev_b_.pk.compressed(),
+                          rev_w_.pk.compressed(),
+                          static_cast<std::uint32_t>(params_.t_punish),
+                          pen_a_.pk.compressed(), pen_b_.pk.compressed(),
+                          sec.y_a.pk.compressed(), sec.y_b.pk.compressed());
 }
 
 tx::Transaction FppwChannel::build_commit_body(std::uint32_t state) const {

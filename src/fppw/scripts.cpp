@@ -1,0 +1,218 @@
+#include "src/fppw/scripts.h"
+
+#include "src/crypto/keys.h"
+#include "src/daric/scripts.h"
+#include "src/daric/wallet.h"
+
+namespace daric::fppw {
+
+using script::Op;
+
+namespace {
+void multisig3(script::Script& s, BytesView k1, BytesView k2, BytesView k3) {
+  s.small_int(3).push(k1).push(k2).push(k3).small_int(3).op(Op::OP_CHECKMULTISIG);
+}
+}  // namespace
+
+script::Script fppw_out0_script(BytesView rev_a, BytesView rev_b, BytesView rev_w,
+                                std::uint32_t csv, BytesView spl_a, BytesView spl_b) {
+  script::Script s;
+  s.op(Op::OP_IF);
+  multisig3(s, rev_a, rev_b, rev_w);
+  s.op(Op::OP_ELSE)
+      .num4(csv)
+      .op(Op::OP_CHECKSEQUENCEVERIFY)
+      .op(Op::OP_DROP)
+      .small_int(2)
+      .push(spl_a)
+      .push(spl_b)
+      .small_int(2)
+      .op(Op::OP_CHECKMULTISIG)
+      .op(Op::OP_ENDIF);
+  return s;
+}
+
+script::Script fppw_out1_script(BytesView rev_a, BytesView rev_b, BytesView rev_w,
+                                std::uint32_t csv, BytesView pen_a, BytesView pen_b,
+                                BytesView y_a, BytesView y_b) {
+  script::Script s;
+  s.op(Op::OP_IF);
+  multisig3(s, rev_a, rev_b, rev_w);
+  s.op(Op::OP_ELSE)
+      .num4(csv)
+      .op(Op::OP_CHECKSEQUENCEVERIFY)
+      .op(Op::OP_DROP)
+      .op(Op::OP_IF)
+      .small_int(2)
+      .push(pen_b)
+      .push(y_a)
+      .small_int(2)
+      .op(Op::OP_CHECKMULTISIG)
+      .op(Op::OP_ELSE)
+      .small_int(2)
+      .push(pen_a)
+      .push(y_b)
+      .small_int(2)
+      .op(Op::OP_CHECKMULTISIG)
+      .op(Op::OP_ENDIF)
+      .op(Op::OP_ENDIF);
+  return s;
+}
+
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model) {
+  using analyze::TemplateInput;
+  using analyze::TemplateTag;
+  using analyze::TxTemplate;
+  using analyze::WitnessElem;
+  using script::SighashFlag;
+
+  std::vector<TxTemplate> out;
+  // Key derivations mirror FppwChannel's constructor.
+  const daricch::DaricPubKeys pub_a = to_pub(daricch::DaricKeys::derive("A", p.id + "/fppw"));
+  const daricch::DaricPubKeys pub_b = to_pub(daricch::DaricKeys::derive("B", p.id + "/fppw"));
+  const std::string base = p.id + "/fppw/";
+  const crypto::KeyPair main_a = crypto::derive_keypair(base + "A/main");
+  const crypto::KeyPair main_b = crypto::derive_keypair(base + "B/main");
+  const crypto::KeyPair rev_a = crypto::derive_keypair(base + "A/rev");
+  const crypto::KeyPair rev_b = crypto::derive_keypair(base + "B/rev");
+  const crypto::KeyPair rev_w = crypto::derive_keypair(base + "W/rev");
+  const crypto::KeyPair pen_a = crypto::derive_keypair(base + "A/pen");
+  const crypto::KeyPair pen_b = crypto::derive_keypair(base + "B/pen");
+  const crypto::KeyPair tower_payout = crypto::derive_keypair(base + "W/payout");
+  const Amount cap = p.capacity();
+  const Amount collateral = cap;  // the tower escrows the full capacity
+  const auto n_latest = static_cast<std::uint32_t>(model.max_updates);
+  const auto csv = static_cast<std::uint32_t>(p.t_punish);
+
+  const script::Script fund_script =
+      script::multisig_2of2(main_a.pk.compressed(), main_b.pk.compressed());
+  const tx::OutPoint fund_op = analyze::template_outpoint(base + "fund");
+  auto fund_in = [&] {
+    TemplateInput in;
+    in.spent = {cap + collateral, tx::Condition::p2wsh(fund_script)};
+    in.witness_script = fund_script;
+    in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                  WitnessElem::sig(SighashFlag::kAll)};
+    return in;
+  };
+  auto y_pk = [&](std::uint32_t j, const char* who) {
+    return crypto::derive_keypair(base + "state/" + std::to_string(j) + "/" + who)
+        .pk.compressed();
+  };
+
+  for (std::uint32_t j = 0; j <= n_latest; ++j) {
+    const script::Script s0 = fppw_out0_script(
+        rev_a.pk.compressed(), rev_b.pk.compressed(), rev_w.pk.compressed(), csv,
+        main_a.pk.compressed(), main_b.pk.compressed());
+    const script::Script s1 = fppw_out1_script(
+        rev_a.pk.compressed(), rev_b.pk.compressed(), rev_w.pk.compressed(), csv,
+        pen_a.pk.compressed(), pen_b.pk.compressed(), y_pk(j, "yA"), y_pk(j, "yB"));
+    tx::Transaction commit;
+    commit.inputs = {{fund_op}};
+    commit.nlocktime = p.s0 + j;
+    commit.outputs = {{cap, tx::Condition::p2wsh(s0)},
+                      {collateral, tx::Condition::p2wsh(s1)}};
+    out.push_back({"fppw", "commit[" + std::to_string(j) + "]", commit, {fund_in()},
+                   TemplateTag::kCommit, static_cast<std::int32_t>(j)});
+    const Hash256 commit_txid = commit.txid();
+
+    auto output_in = [&](std::uint32_t vout, const script::Script& ws,
+                         std::vector<WitnessElem> witness, Round age) {
+      TemplateInput in;
+      in.spent = commit.outputs[vout];
+      in.witness_script = ws;
+      in.witness = std::move(witness);
+      in.spend_age = age;
+      return in;
+    };
+    const std::vector<WitnessElem> rev_wit = {
+        WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+        WitnessElem::sig(SighashFlag::kAll), WitnessElem::sig(SighashFlag::kAll),
+        WitnessElem::constant(Bytes{1})};
+
+    if (j < n_latest) {
+      // The tower's 3-of-3 revocation: funds to the victim, collateral back
+      // to the tower. One variant per possible victim.
+      for (const bool victim_a : {true, false}) {
+        tx::Transaction rv;
+        rv.inputs = {{{commit_txid, 0}}, {{commit_txid, 1}}};
+        rv.nlocktime = 0;
+        rv.outputs = {{cap, tx::Condition::p2wpkh(victim_a ? pub_a.main : pub_b.main)},
+                      {collateral, tx::Condition::p2wpkh(tower_payout.pk.compressed())}};
+        out.push_back({"fppw",
+                       std::string("revocation[") + (victim_a ? "A," : "B,") +
+                           std::to_string(j) + "]",
+                       rv,
+                       {output_in(0, s0, rev_wit, 0), output_in(1, s1, rev_wit, 0)},
+                       TemplateTag::kPunish});
+      }
+
+      // Tower-failure path: the victim claims the collateral through the
+      // penalty branch, proving who published via the adaptor-extracted y.
+      for (const bool a_published : {true, false}) {
+        tx::Transaction pen;
+        pen.inputs = {{{commit_txid, 1}}};
+        pen.nlocktime = 0;
+        pen.outputs = {{collateral,
+                        tx::Condition::p2wpkh(a_published ? pub_b.main : pub_a.main)}};
+        out.push_back({"fppw",
+                       std::string("penalty[") + (a_published ? "B," : "A,") +
+                           std::to_string(j) + "]",
+                       pen,
+                       {output_in(1, s1,
+                                  {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                                   WitnessElem::sig(SighashFlag::kAll),
+                                   a_published ? WitnessElem::constant(Bytes{1})
+                                               : WitnessElem::empty(),
+                                   WitnessElem::empty()},
+                                  p.t_punish)},
+                       TemplateTag::kPunish});
+      }
+    }
+
+    // The split (ELSE branch of out0). For the latest state this is the
+    // honest close; for a revoked state it is the publisher's race attempt.
+    {
+      const channel::StateVec st{model.to_a(static_cast<int>(j)),
+                                 cap - model.to_a(static_cast<int>(j)),
+                                 {}};
+      tx::Transaction split;
+      split.inputs = {{{commit_txid, 0}}};
+      split.nlocktime = 0;
+      split.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+      out.push_back({"fppw", "split[" + std::to_string(j) + "]", split,
+                     {output_in(0, s0,
+                                {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                                 WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
+                                p.t_punish)}});
+    }
+
+    if (j == n_latest) {
+      // Latest state: the tower exits by co-signing the collateral release
+      // through the 3-of-3 branch (part of the cooperative teardown).
+      tx::Transaction release;
+      release.inputs = {{{commit_txid, 1}}};
+      release.nlocktime = 0;
+      release.outputs = {{collateral, tx::Condition::p2wpkh(tower_payout.pk.compressed())}};
+      out.push_back({"fppw", "collateral-release[" + std::to_string(j) + "]", release,
+                     {output_in(1, s1, rev_wit, 0)}});
+    }
+  }
+
+  {
+    tx::Transaction close;
+    close.inputs = {{fund_op}};
+    close.nlocktime = 0;
+    const channel::StateVec st{model.to_a(static_cast<int>(n_latest)),
+                               cap - model.to_a(static_cast<int>(n_latest)),
+                               {}};
+    close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+    close.outputs.push_back({collateral, tx::Condition::p2wpkh(tower_payout.pk.compressed())});
+    out.push_back({"fppw", "coop-close", close, {fund_in()}});
+  }
+
+  return out;
+}
+
+}  // namespace daric::fppw

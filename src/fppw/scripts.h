@@ -1,0 +1,34 @@
+// FPPW commit-output scripts (Appendix H.5) as free functions, shared by
+// the runtime channel (src/fppw/protocol.cpp) and the template enumeration
+// below, plus the enumeration itself.
+#pragma once
+
+#include "src/analyze/templates.h"
+#include "src/channel/params.h"
+#include "src/verify/model.h"
+
+namespace daric::fppw {
+
+/// out0 — channel funds:
+///   IF 3 RevA RevB RevW 3 CMS ELSE <T> CSV DROP 2 SplA SplB 2 CMS ENDIF
+script::Script fppw_out0_script(BytesView rev_a, BytesView rev_b, BytesView rev_w,
+                                std::uint32_t csv, BytesView spl_a, BytesView spl_b);
+
+/// out1 — collateral:
+///   IF 3 RevA RevB RevW 3 CMS
+///   ELSE <T> CSV DROP IF 2 PenB Y_A 2 CMS ELSE 2 PenA Y_B 2 CMS ENDIF ENDIF
+script::Script fppw_out1_script(BytesView rev_a, BytesView rev_b, BytesView rev_w,
+                                std::uint32_t csv, BytesView pen_a, BytesView pen_b,
+                                BytesView y_a, BytesView y_b);
+
+/// Enumerates every transaction template the FPPW engine can emit for the
+/// model's state schedule: per-state commits (channel funds + collateral
+/// outputs), the 3-of-3 tower revocations, splits (the publisher's race on
+/// revoked states), the penalty spends that compensate the victim from the
+/// collateral when the tower fails, the latest state's collateral release
+/// and the cooperative close. Key derivations mirror FppwChannel's
+/// constructor.
+std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
+                                                     const verify::Options& model);
+
+}  // namespace daric::fppw

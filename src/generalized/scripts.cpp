@@ -49,6 +49,7 @@ script::Script commit_output_script(BytesView pk_a, BytesView pk_b, BytesView st
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
                                                      const verify::Options& model) {
   using analyze::TemplateInput;
+  using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
@@ -96,7 +97,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     commit.inputs = {{fund_op}};
     commit.nlocktime = p.s0 + j;
     commit.outputs = {{cap, tx::Condition::p2wsh(os)}};
-    out.push_back({"generalized", "commit[" + std::to_string(j) + "]", commit, {fund_in()}});
+    out.push_back({"generalized", "commit[" + std::to_string(j) + "]", commit, {fund_in()},
+                   TemplateTag::kCommit, static_cast<std::int32_t>(j)});
     const tx::OutPoint commit_op{commit.txid(), 0};
 
     auto spend_in = [&](std::vector<WitnessElem> witness, Round age) {
@@ -108,8 +110,10 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
       return in;
     };
 
-    if (j == n_latest) {
-      // Latest state: both parties split after the dispute delay (IF branch).
+    // Split after the dispute delay (IF branch). For the latest state this
+    // is the honest close; for a revoked state it is the publisher's race
+    // attempt the punish transactions must beat.
+    {
       const channel::StateVec st{model.to_a(static_cast<int>(j)),
                                  cap - model.to_a(static_cast<int>(j)),
                                  {}};
@@ -122,7 +126,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                 WitnessElem::sig(SighashFlag::kAll),
                                 WitnessElem::constant(Bytes{1})},
                                p.t_punish)}});
-    } else {
+    }
+    if (j < n_latest) {
       // Revoked state: the victim punishes with the adaptor-extracted y-sig
       // plus the publisher's revealed revocation preimage.
       const std::string base = p.id + "/gc/state/" + std::to_string(j);
@@ -142,7 +147,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                         WitnessElem::sig(SighashFlag::kAll),
                         a_published ? WitnessElem::constant(Bytes{1}) : WitnessElem::empty(),
                         WitnessElem::empty()},
-                       0)}});
+                       0)},
+             TemplateTag::kPunish});
       }
     }
   }

@@ -24,6 +24,7 @@ script::Script to_local_script(BytesView revocation_pk, std::uint32_t to_self_de
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
                                                      const verify::Options& model) {
   using analyze::TemplateInput;
+  using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
@@ -87,7 +88,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     for (const bool owner_a : {true, false}) {
       const CommitRec c = build_commit(owner_a, j);
       const std::string tag = std::string(owner_a ? "A," : "B,") + std::to_string(j);
-      out.push_back({"lightning", "commit[" + tag + "]", c.body, {fund_in()}});
+      out.push_back({"lightning", "commit[" + tag + "]", c.body, {fund_in()},
+                     TemplateTag::kCommit, static_cast<std::int32_t>(j)});
 
       tx::Transaction spend;
       spend.inputs = {{{c.body.txid(), 0}}};
@@ -103,7 +105,15 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
         spend.outputs = {{c.body.outputs[0].cash,
                           tx::Condition::p2wpkh(owner_a ? pub_b.main : pub_a.main)}};
         out.push_back({"lightning", "breach-claim[" + tag + "]", spend,
-                       {to_local_in(c, WitnessElem::constant(Bytes{1}), 0)}});
+                       {to_local_in(c, WitnessElem::constant(Bytes{1}), 0)},
+                       TemplateTag::kPunish});
+        // The cheater's own sweep attempt on the revoked commit — the race
+        // the breach claim must win (CSV delay vs. instant revocation).
+        tx::Transaction cheat = spend;
+        cheat.outputs = {{c.body.outputs[0].cash,
+                          tx::Condition::p2wpkh(owner_a ? pub_a.main : pub_b.main)}};
+        out.push_back({"lightning", "cheat-sweep[" + tag + "]", cheat,
+                       {to_local_in(c, WitnessElem::empty(), p.t_punish)}});
       }
     }
   }

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "src/analyze/engines.h"
+#include "src/analyze/graph.h"
 #include "src/analyze/interp.h"
+#include "src/analyze/reach.h"
 #include "src/analyze/lints.h"
 #include "src/analyze/report.h"
 #include "src/crypto/keys.h"
@@ -306,6 +308,223 @@ TEST(InterpreterLimits, RealProtocolScriptsFitWithinLimits) {
   EXPECT_LE(commit.wire_size(), script::kMaxScriptSize);
   const analyze::ScriptAnalysis an = analyze::analyze_script(commit);
   EXPECT_LE(an.max_depth, script::kMaxStackDepth);
+}
+
+// --- Spend graph: reachability, races, Theorem-1 bounds (DA018..DA022) ----
+
+using analyze::ReachParams;
+using analyze::ReachReport;
+using analyze::SpendGraph;
+using analyze::TemplateTag;
+
+ReachReport graph_pass(std::vector<TxTemplate> templates, Report& rep,
+                       ReachParams params = {}) {
+  const SpendGraph g = analyze::build_spend_graph(std::move(templates));
+  return analyze::analyze_reachability(g, params, rep);
+}
+
+/// Asserts that exactly `id` fired among the graph lints.
+void expect_only(const Report& rep, const std::string& id) {
+  for (const char* lint : {"DA018", "DA019", "DA020", "DA021", "DA022"}) {
+    if (id == lint)
+      EXPECT_TRUE(rep.has(lint)) << rep.render();
+    else
+      EXPECT_FALSE(rep.has(lint)) << rep.render();
+  }
+}
+
+Script csv_key_script(std::uint32_t csv, const crypto::KeyPair& k) {
+  Script s;
+  s.num4(csv)
+      .op(Op::OP_CHECKSEQUENCEVERIFY)
+      .op(Op::OP_DROP)
+      .push(k.pk.compressed())
+      .op(Op::OP_CHECKSIG);
+  return s;
+}
+
+Script cltv_key_script(std::uint32_t cltv, const crypto::KeyPair& k) {
+  Script s;
+  s.num4(cltv)
+      .op(Op::OP_CHECKLOCKTIMEVERIFY)
+      .op(Op::OP_DROP)
+      .push(k.pk.compressed())
+      .op(Op::OP_CHECKSIG);
+  return s;
+}
+
+/// Template spending one prior output through a single-sig P2WSH script.
+TxTemplate spender(const std::string& name, tx::OutPoint prev,
+                   const tx::Output& spent, const Script& ws, Round age,
+                   std::vector<tx::Output> outs,
+                   TemplateTag tag = TemplateTag::kNeutral, int state = -1) {
+  TxTemplate t;
+  t.engine = "gfx";
+  t.name = name;
+  t.body.inputs = {{prev}};
+  t.body.nlocktime = 0;
+  t.body.outputs = std::move(outs);
+  TemplateInput in;
+  in.spent = spent;
+  in.witness_script = ws;
+  in.witness = {WitnessElem::sig(SighashFlag::kAll)};
+  in.spend_age = age;
+  t.inputs = {std::move(in)};
+  t.tag = tag;
+  t.state = state;
+  return t;
+}
+
+/// A stale commit (state 0) + a latest commit (state 1) with terminal
+/// outputs, both drawn from the same external funding root. The stale
+/// commit's single output carries `out_ws`.
+std::vector<TxTemplate> two_commits(const Script& out_ws) {
+  const Script fund_ws = script::single_key(kA.pk.compressed());
+  const tx::OutPoint fund = analyze::template_outpoint("gfx/fund");
+  const tx::Output fund_out{100, tx::Condition::p2wsh(fund_ws)};
+  std::vector<TxTemplate> ts;
+  ts.push_back(spender("commit[0]", fund, fund_out, fund_ws, 0,
+                       {{100, tx::Condition::p2wsh(out_ws)}}, TemplateTag::kCommit, 0));
+  ts.push_back(spender("commit[1]", fund, fund_out, fund_ws, 0,
+                       {{100, tx::Condition::p2wpkh(kB.pk.compressed())}},
+                       TemplateTag::kCommit, 1));
+  return ts;
+}
+
+tx::OutPoint out0(const TxTemplate& t) { return {t.body.txid(), 0}; }
+
+TEST(AnalyzeGraph, AllSixEnginesGraphClean) {
+  const verify::Options model;  // Δ=1, T=3 → bound limit 2
+  const channel::ChannelParams params = analyze::params_for_model(model);
+  for (const std::string& engine : analyze::engine_names()) {
+    Report rep;
+    ReachReport rr =
+        graph_pass(analyze::engine_templates(engine, params, model), rep,
+                   {model.delta, model.t_punish});
+    EXPECT_EQ(rep.error_count(), 0u) << engine << ":\n" << rep.render();
+    EXPECT_TRUE(rr.punish_reachable) << engine;
+    EXPECT_GT(rr.stale_commits, 0u) << engine;
+    EXPECT_EQ(rr.races_won(), rr.races.size()) << engine;
+    EXPECT_GE(rr.theorem1_bound, 0) << engine;
+    EXPECT_LE(rr.theorem1_bound, rr.bound_limit) << engine;
+  }
+}
+
+TEST(AnalyzeGraph, DaricBoundMatchesTheorem1) {
+  const verify::Options model;
+  const channel::ChannelParams params = analyze::params_for_model(model);
+  Report rep;
+  const ReachReport rr =
+      graph_pass(analyze::engine_templates("daric", params, model), rep,
+                 {model.delta, model.t_punish});
+  // Revocation posts immediately (age 0): bound 2Δ = 2, limit T − Δ = 2.
+  EXPECT_EQ(rr.theorem1_bound, 2);
+  EXPECT_EQ(rr.bound_limit, 2);
+}
+
+TEST(AnalyzeGraph, CerberusAndFppwEnumerateNonEmpty) {
+  const verify::Options model;
+  const channel::ChannelParams params = analyze::params_for_model(model);
+  for (const std::string engine : {"cerberus", "fppw"}) {
+    const auto templates = analyze::engine_templates(engine, params, model);
+    ASSERT_FALSE(templates.empty()) << engine;
+    Report rep;
+    analyze::lint_templates(templates, rep);
+    EXPECT_EQ(rep.error_count(), 0u) << engine << ":\n" << rep.render();
+    EXPECT_EQ(rep.warning_count(), 0u) << engine << ":\n" << rep.render();
+  }
+}
+
+TEST(AnalyzeGraph, LatePunishTripsDA018) {
+  // The only punish response waits 10 rounds: bound 1+10+1 = 12 > T−Δ = 2.
+  const Script ws = script::single_key(kA.pk.compressed());
+  std::vector<TxTemplate> ts = two_commits(ws);
+  ts.push_back(spender("punish", out0(ts[0]), ts[0].body.outputs[0], ws, 10,
+                       {{100, tx::Condition::p2wpkh(kA.pk.compressed())}},
+                       TemplateTag::kPunish));
+  Report rep;
+  const ReachReport rr = graph_pass(std::move(ts), rep);
+  expect_only(rep, "DA018");
+  EXPECT_EQ(rr.theorem1_bound, 12);
+}
+
+TEST(AnalyzeGraph, MissingPunishTripsDA018) {
+  const Script ws = script::single_key(kA.pk.compressed());
+  std::vector<TxTemplate> ts = two_commits(ws);
+  // No punish template at all; the stale commit's output must still have a
+  // spender or DA019 would (rightly) fire too — give it a neutral sweep.
+  ts.push_back(spender("sweep", out0(ts[0]), ts[0].body.outputs[0], ws, 0,
+                       {{100, tx::Condition::p2wpkh(kA.pk.compressed())}}));
+  Report rep;
+  const ReachReport rr = graph_pass(std::move(ts), rep);
+  expect_only(rep, "DA018");
+  EXPECT_FALSE(rr.punish_reachable);
+}
+
+TEST(AnalyzeGraph, StrandedOutputTripsDA019) {
+  // A reachable template leaves a P2WSH output nothing ever spends.
+  const Script fund_ws = script::single_key(kA.pk.compressed());
+  const tx::OutPoint fund = analyze::template_outpoint("gfx/fund");
+  std::vector<TxTemplate> ts;
+  ts.push_back(spender("strand", fund, {100, tx::Condition::p2wsh(fund_ws)},
+                       fund_ws, 0,
+                       {{100, tx::Condition::p2wsh(script::single_key(
+                                  kB.pk.compressed()))}}));
+  Report rep;
+  graph_pass(std::move(ts), rep);
+  expect_only(rep, "DA019");
+}
+
+TEST(AnalyzeGraph, DeadPunishTripsDA020) {
+  // Two punish responses: a live one (keeps DA018 quiet) and one whose
+  // script demands CLTV 50 that its nLockTime 0 body can never satisfy.
+  const Script ws = script::single_key(kA.pk.compressed());
+  std::vector<TxTemplate> ts = two_commits(ws);
+  ts.push_back(spender("punish-live", out0(ts[0]), ts[0].body.outputs[0], ws, 0,
+                       {{100, tx::Condition::p2wpkh(kA.pk.compressed())}},
+                       TemplateTag::kPunish));
+  ts.push_back(spender("punish-dead", out0(ts[0]), ts[0].body.outputs[0],
+                       cltv_key_script(50, kA), 0,
+                       {{100, tx::Condition::p2wpkh(kA.pk.compressed())}},
+                       TemplateTag::kPunish));
+  Report rep;
+  graph_pass(std::move(ts), rep);
+  expect_only(rep, "DA020");
+}
+
+TEST(AnalyzeGraph, LostRaceTripsDA021) {
+  // Punish waits 2 rounds but a consensus-only rival is includable after a
+  // 1-round CSV: honest confirms at 1+2+1 = 4, rival includable from 1+1 = 2.
+  // T = 10 keeps the DA018 bound (4 ≤ 9) quiet so only the race fires.
+  const Script ws = script::single_key(kA.pk.compressed());
+  std::vector<TxTemplate> ts = two_commits(ws);
+  ts.push_back(spender("punish", out0(ts[0]), ts[0].body.outputs[0], ws, 2,
+                       {{100, tx::Condition::p2wpkh(kA.pk.compressed())}},
+                       TemplateTag::kPunish));
+  ts.push_back(spender("rival-sweep", out0(ts[0]), ts[0].body.outputs[0],
+                       csv_key_script(1, kB), 1,
+                       {{100, tx::Condition::p2wpkh(kB.pk.compressed())}}));
+  Report rep;
+  const ReachReport rr = graph_pass(std::move(ts), rep, {1, 10});
+  expect_only(rep, "DA021");
+  ASSERT_EQ(rr.races.size(), 1u);
+  EXPECT_FALSE(rr.races[0].honest_wins);
+  EXPECT_EQ(rr.races[0].honest_confirm, 4);
+  EXPECT_EQ(rr.races[0].rival_include, 2);
+}
+
+TEST(AnalyzeGraph, RebindLoopTripsDA022) {
+  // A floating input whose witness program matches the template's own
+  // output: with ANYPREVOUT the signature could rebind to what it creates.
+  const Script ws = script::single_key(kA.pk.compressed());
+  const tx::Output looped{100, tx::Condition::p2wsh(ws)};
+  TxTemplate t = spender("loop", analyze::template_outpoint("gfx/loop"), looped,
+                         ws, 0, {looped});
+  t.inputs[0].rebindable = true;
+  t.inputs[0].witness = {WitnessElem::sig(SighashFlag::kAllAnyPrevOut)};
+  Report rep;
+  graph_pass({std::move(t)}, rep);
+  expect_only(rep, "DA022");
 }
 
 }  // namespace

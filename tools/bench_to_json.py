@@ -199,7 +199,12 @@ def main(argv: list[str]) -> int:
             "host": ctx.get("host_name", "unknown"),
             "num_cpus": ctx.get("num_cpus"),
             "mhz_per_cpu": ctx.get("mhz_per_cpu"),
-            "build_type": ctx.get("library_build_type", "unknown"),
+            # daric_build_type (from DARIC_BENCHMARK_MAIN) reflects the
+            # bench binary itself; library_build_type only describes the
+            # system-installed benchmark library and can say "debug" for a
+            # Release binary.
+            "build_type": ctx.get("daric_build_type",
+                                  ctx.get("library_build_type", "unknown")),
             "date": ctx.get("date", "unknown"),
         },
         "results": results,

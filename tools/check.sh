@@ -37,11 +37,12 @@ TRACE=0
 step() { printf '\n=== %s ===\n' "$*"; }
 
 if [[ "$ANALYZE" == 1 ]]; then
-  step "static script/transaction analyzer"
+  step "static script/transaction analyzer (lints + spend graph)"
   cmake -B build -S . >/dev/null
   cmake --build build -j --target daric_analyze >/dev/null
-  ./build/tools/daric_analyze
-  echo; echo "check.sh --analyze: all templates sound"
+  ./build/tools/daric_analyze --graph --json build/analyze_report.json
+  python3 tools/validate_trace.py --analyzer build/analyze_report.json
+  echo; echo "check.sh --analyze: all templates sound, Theorem-1 bounds hold"
   exit 0
 fi
 
@@ -53,11 +54,18 @@ if [[ "$TRACE" == 1 ]]; then
   step "daric force-close scenario (Theorem 1 timeline)"
   ./build/tools/daric_trace --engine daric --scenario force-close \
     --out build/trace-forceclose
+  # Static cross-check: the spend-graph bound at the trace scenario's
+  # parameters (Δ=2, T=8) must cover the punish gap the trace observed.
+  cmake --build build -j --target daric_analyze >/dev/null
+  ./build/tools/daric_analyze --graph --engine daric --tpunish 8 --delta 2 \
+    --quiet --json build/trace-forceclose/analyze_report.json
   python3 tools/validate_trace.py \
     --jsonl build/trace-forceclose/trace.jsonl \
     --require-kind force_close --require-kind punish \
     --chrome build/trace-forceclose/trace_chrome.json \
-    --metrics build/trace-forceclose/metrics.json
+    --metrics build/trace-forceclose/metrics.json \
+    --analyzer build/trace-forceclose/analyze_report.json \
+    --theorem1-engine daric
 
   step "daric multi-hop HTLC scenario"
   ./build/tools/daric_trace --engine daric --scenario htlc --out build/trace-htlc
@@ -159,6 +167,17 @@ if ov[worst] > 1.02:
           f"(may be machine noise; re-run to confirm)")
 PY
 
+  step "BENCH build-type sanity"
+  python3 - <<'PY'
+import json, sys
+for f in ("BENCH_crypto.json", "BENCH_update_microbench.json",
+          "BENCH_trace_overhead.json"):
+    bt = json.load(open(f))["context"]["build_type"]
+    if bt != "release":
+        sys.exit(f"ERROR: {f} records build_type={bt!r}, expected 'release'")
+    print(f"{f}: build_type=release ok")
+PY
+
   echo; echo "check.sh --bench: BENCH files written"
   exit 0
 fi
@@ -189,8 +208,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-step "static script/transaction analyzer (all engines)"
-./build/tools/daric_analyze
+step "static script/transaction analyzer (all engines, lints + spend graph)"
+./build/tools/daric_analyze --graph --json build/analyze_report.json
+python3 tools/validate_trace.py --analyzer build/analyze_report.json
 
 step "bounded model check (default safe config)"
 ./build/tools/daric_modelcheck

@@ -1,32 +1,41 @@
 // Static script/transaction analyzer CI gate.
 //
-// Enumerates every transaction template the four channel engines (daric,
-// lightning, eltoo, generalized) can emit for the bounded model's state
-// schedule, then proves each witness script sound by exhaustive symbolic
-// execution and cross-checks each template's timelocks, sighash flags and
-// value balance (lint catalogue DA001..DA017, see src/analyze/lints.h).
+// Enumerates every transaction template the six channel engines (daric,
+// lightning, eltoo, generalized, cerberus, fppw) can emit for the bounded
+// model's state schedule, then proves each witness script sound by
+// exhaustive symbolic execution and cross-checks each template's timelocks,
+// sighash flags and value balance (lint catalogue DA001..DA017, see
+// src/analyze/lints.h). With --graph it additionally builds the
+// whole-protocol spend graph and runs the reachability/race analysis
+// (DA018..DA022, src/analyze/reach.h), reporting each engine's concrete
+// Theorem-1 punish-confirmation bound against the limit T−Δ.
 //
 // Usage:
 //   daric_analyze [--engine NAME] [--suppress DA001,DA007] [--updates N]
-//                 [--tpunish T] [--list] [--quiet]
+//                 [--tpunish T] [--delta D] [--graph] [--dot FILE]
+//                 [--json FILE] [--list] [--quiet]
 //
 // Exit status: 0 = no unsuppressed errors, 1 = errors found, 2 = bad usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/analyze/engines.h"
+#include "src/analyze/graph.h"
 #include "src/analyze/lints.h"
+#include "src/analyze/reach.h"
 #include "src/analyze/report.h"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--engine daric|lightning|eltoo|generalized]\n"
+               "usage: %s [--engine daric|lightning|eltoo|generalized|cerberus|fppw]\n"
                "          [--suppress DAxxx[,DAxxx...]] [--updates N] [--tpunish T]\n"
+               "          [--delta D] [--graph] [--dot FILE] [--json FILE]\n"
                "          [--list] [--quiet]\n",
                argv0);
 }
@@ -44,6 +53,19 @@ std::vector<std::string> split_commas(const std::string& s) {
   return out;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,6 +75,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> engines = analyze::engine_names();
   analyze::Report report;
   bool quiet = false;
+  bool graph = false;
+  std::string dot_path, json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +95,16 @@ int main(int argc, char** argv) {
       model.max_updates = std::atoi(next());
     } else if (arg == "--tpunish") {
       model.t_punish = std::atol(next());
+    } else if (arg == "--delta") {
+      model.delta = std::atol(next());
+    } else if (arg == "--graph") {
+      graph = true;
+    } else if (arg == "--dot") {
+      graph = true;
+      dot_path = next();
+    } else if (arg == "--json") {
+      graph = true;
+      json_path = next();
     } else if (arg == "--list") {
       for (const analyze::Lint& l : analyze::lint_catalogue())
         std::printf("%s  %-7s  %s\n", l.id, analyze::severity_name(l.severity), l.title);
@@ -88,6 +122,16 @@ int main(int argc, char** argv) {
 
   const channel::ChannelParams params = analyze::params_for_model(model);
   std::size_t total_templates = 0;
+  std::vector<analyze::ReachReport> bounds;
+  std::ofstream dot_out;
+  if (!dot_path.empty()) {
+    dot_out.open(dot_path);
+    if (!dot_out) {
+      std::fprintf(stderr, "daric_analyze: cannot write %s\n", dot_path.c_str());
+      return 2;
+    }
+  }
+
   for (const std::string& engine : engines) {
     std::vector<analyze::TxTemplate> templates;
     try {
@@ -101,6 +145,54 @@ int main(int argc, char** argv) {
     if (!quiet)
       std::printf("daric_analyze: %-12s %3zu templates\n", engine.c_str(),
                   templates.size());
+    if (graph) {
+      const analyze::SpendGraph g = analyze::build_spend_graph(std::move(templates));
+      const analyze::ReachParams rp{model.delta, model.t_punish};
+      bounds.push_back(analyze::analyze_reachability(g, rp, report));
+      const analyze::ReachReport& r = bounds.back();
+      if (!quiet) {
+        std::printf(
+            "daric_analyze: %-12s graph: %zu outputs, %zu edges, %zu roots; "
+            "%zu stale commits, %zu/%zu races won; theorem1 bound %lld <= %lld\n",
+            engine.c_str(), g.outputs.size(), g.edges.size(), g.root_count(),
+            r.stale_commits, r.races_won(), r.races.size(),
+            static_cast<long long>(r.theorem1_bound),
+            static_cast<long long>(r.bound_limit));
+      }
+      if (dot_out.is_open()) dot_out << analyze::to_dot(g);
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    if (!js) {
+      std::fprintf(stderr, "daric_analyze: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    js << "{\n  \"params\": {\"delta\": " << model.delta
+       << ", \"t_punish\": " << model.t_punish
+       << ", \"max_updates\": " << model.max_updates << "},\n  \"engines\": [";
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      const analyze::ReachReport& r = bounds[i];
+      js << (i ? ",\n    " : "\n    ") << "{\"engine\": \"" << r.engine
+         << "\", \"templates\": " << r.templates
+         << ", \"stale_commits\": " << r.stale_commits
+         << ", \"races\": " << r.races.size()
+         << ", \"races_won\": " << r.races_won()
+         << ", \"theorem1_bound\": " << r.theorem1_bound
+         << ", \"bound_limit\": " << r.bound_limit << ", \"punish_reachable\": "
+         << (r.punish_reachable ? "true" : "false") << "}";
+    }
+    js << "\n  ],\n  \"findings\": [";
+    const auto& fs = report.findings();
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      js << (i ? ",\n    " : "\n    ") << "{\"id\": \"" << fs[i].id
+         << "\", \"severity\": \"" << analyze::severity_name(fs[i].severity)
+         << "\", \"where\": \"" << json_escape(fs[i].where)
+         << "\", \"message\": \"" << json_escape(fs[i].message) << "\"}";
+    }
+    js << (fs.empty() ? "" : "\n  ") << "],\n  \"errors\": " << report.error_count()
+       << ",\n  \"warnings\": " << report.warning_count() << "\n}\n";
   }
 
   if (!quiet && !report.findings().empty()) std::printf("%s", report.render().c_str());

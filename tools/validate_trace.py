@@ -8,8 +8,14 @@ before a human tries to load it in Perfetto or a notebook.
   validate_trace.py --jsonl FILE [--require-kind K]...   JSONL event stream
   validate_trace.py --chrome FILE                        Chrome trace_event
   validate_trace.py --metrics FILE                       registry snapshot
+  validate_trace.py --analyzer FILE                      daric_analyze --json report
 
-Any number of the three may be combined in one invocation; exit is
+With --analyzer, --theorem1-engine NAME additionally cross-checks the
+static Theorem-1 bound against the traced punishment timeline: the gap
+between the force_close and punish events in the --jsonl stream must not
+exceed the engine's statically proven theorem1_bound.
+
+Any number of the checks may be combined in one invocation; exit is
 non-zero on the first failed check.
 """
 import argparse
@@ -125,16 +131,105 @@ def check_metrics(path):
           f"({len(doc['counters'])} counters, {len(doc['histograms'])} histograms)")
 
 
+def check_analyzer(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as err:
+            fail(f"{path}: not valid JSON ({err})")
+    params = doc.get("params")
+    if not isinstance(params, dict):
+        fail(f"{path}: missing 'params' object")
+    for key in ("delta", "t_punish", "max_updates"):
+        if not isinstance(params.get(key), int):
+            fail(f"{path}: params.{key} not an integer")
+    engines = doc.get("engines")
+    if not isinstance(engines, list) or not engines:
+        fail(f"{path}: 'engines' missing or empty")
+    for i, e in enumerate(engines):
+        for key in ("engine", "templates", "stale_commits", "races",
+                    "races_won", "theorem1_bound", "bound_limit"):
+            if key not in e:
+                fail(f"{path}: engines[{i}] missing '{key}'")
+        for key in ("templates", "stale_commits", "races", "races_won",
+                    "theorem1_bound", "bound_limit"):
+            if not isinstance(e[key], int):
+                fail(f"{path}: engines[{i}].{key} not an integer")
+        if not isinstance(e.get("punish_reachable"), bool):
+            fail(f"{path}: engines[{i}].punish_reachable not a bool")
+        name = e["engine"]
+        if e["stale_commits"] > 0 and not e["punish_reachable"]:
+            fail(f"{path}: {name}: stale commits exist but punish unreachable")
+        if e["punish_reachable"] and e["stale_commits"] > 0:
+            if e["theorem1_bound"] < 0:
+                fail(f"{path}: {name}: punish reachable but no bound computed")
+            if e["theorem1_bound"] > e["bound_limit"]:
+                fail(f"{path}: {name}: theorem1_bound {e['theorem1_bound']} "
+                     f"exceeds limit {e['bound_limit']}")
+        if e["races_won"] != e["races"]:
+            fail(f"{path}: {name}: only {e['races_won']}/{e['races']} races won")
+    if not isinstance(doc.get("findings"), list):
+        fail(f"{path}: 'findings' missing")
+    if doc.get("errors", 0) != 0:
+        fail(f"{path}: analyzer reported {doc['errors']} errors")
+    print(f"validate_trace: {path}: analyzer report ok "
+          f"({len(engines)} engines, bounds within limits)")
+    return doc
+
+
+def traced_punish_gap(path):
+    """Rounds from the first force_close event to the first later punish."""
+    force_round = punish_round = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            e = json.loads(line)
+            if e["kind"] == "force_close" and force_round is None:
+                force_round = e["round"]
+            if (e["kind"] == "punish" and punish_round is None
+                    and force_round is not None):
+                punish_round = e["round"]
+    if force_round is None or punish_round is None:
+        fail(f"{path}: no force_close/punish pair to measure the punish gap")
+    return punish_round - force_round
+
+
+def check_theorem1(analyzer_doc, analyzer_path, engine, jsonl_paths):
+    entry = next((e for e in analyzer_doc["engines"] if e["engine"] == engine),
+                 None)
+    if entry is None:
+        fail(f"{analyzer_path}: no engine '{engine}' in analyzer report")
+    if entry["theorem1_bound"] < 0:
+        fail(f"{analyzer_path}: {engine}: no static bound to cross-check")
+    if not jsonl_paths:
+        fail("--theorem1-engine needs at least one --jsonl trace")
+    for p in jsonl_paths:
+        gap = traced_punish_gap(p)
+        if gap > entry["theorem1_bound"]:
+            fail(f"{p}: traced punish gap {gap} exceeds static "
+                 f"theorem1_bound {entry['theorem1_bound']} for {engine}")
+        print(f"validate_trace: {p}: traced punish gap {gap} <= static "
+              f"bound {entry['theorem1_bound']} ({engine}) ok")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--jsonl", action="append", default=[])
     ap.add_argument("--chrome", action="append", default=[])
     ap.add_argument("--metrics", action="append", default=[])
+    ap.add_argument("--analyzer", action="append", default=[])
     ap.add_argument("--require-kind", action="append", default=[],
                     help="kind that must appear in every --jsonl file")
+    ap.add_argument("--theorem1-engine", default=None,
+                    help="cross-check this engine's static bound against "
+                         "the traced punish gap in the --jsonl files")
     args = ap.parse_args()
-    if not (args.jsonl or args.chrome or args.metrics):
+    if not (args.jsonl or args.chrome or args.metrics or args.analyzer):
         ap.error("nothing to validate")
+    if args.theorem1_engine and not args.analyzer:
+        ap.error("--theorem1-engine requires --analyzer")
     for k in args.require_kind:
         if k not in EVENT_KINDS:
             fail(f"--require-kind '{k}' is not a known event kind")
@@ -144,6 +239,10 @@ def main():
         check_chrome(p)
     for p in args.metrics:
         check_metrics(p)
+    for p in args.analyzer:
+        doc = check_analyzer(p)
+        if args.theorem1_engine:
+            check_theorem1(doc, p, args.theorem1_engine, args.jsonl)
     print("validate_trace: all checks passed")
 
 
