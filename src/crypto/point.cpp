@@ -113,13 +113,17 @@ bool on_curve(const Fe& x, const Fe& y) { return y.sqr() == x.sqr() * x + Fe(7);
 // for the worst case keeps the code uniform (stack space is cheap).
 constexpr int kMaxNafLen = 257;
 
-// Window sizes: 5 for variable points (8-entry table built per call), 11 for
-// the generator halves (512-entry tables built once per process). A width-w
-// NAF has odd digits |d| <= 2^(w-1) - 1, so a table holds 2^(w-2) entries.
+// Window sizes: 5 for variable points (8-entry table built per call), 7 for
+// precomputed points (32-entry table built once, amortized over many
+// verifies), 11 for the generator halves (512-entry tables built once per
+// process). A width-w NAF has odd digits |d| <= 2^(w-1) - 1, so a table
+// holds 2^(w-2) entries.
 constexpr unsigned kWnafWindowP = 5;
+constexpr unsigned kWnafWindowPre = 7;
 constexpr unsigned kWnafWindowG = 11;
-constexpr int kTableSizeP = 1 << (kWnafWindowP - 2);  // odd multiples 1..15
-constexpr int kTableSizeG = 1 << (kWnafWindowG - 2);  // odd multiples 1..1023
+constexpr int kTableSizeP = 1 << (kWnafWindowP - 2);    // odd multiples 1..15
+constexpr int kTableSizePre = 1 << (kWnafWindowPre - 2);  // odd multiples 1..63
+constexpr int kTableSizeG = 1 << (kWnafWindowG - 2);    // odd multiples 1..1023
 
 // Computes the width-w NAF of k: k = Σ naf[i]·2^i with every nonzero digit
 // odd and |digit| < 2^(w-1), at most one nonzero in any w consecutive
@@ -374,6 +378,51 @@ Jac strauss_jac(const Scalar& a, const Point& p, const Scalar& b) {
   return acc;
 }
 
+// Backing store of a PrecomputedPoint: wide odd-multiples tables for P and
+// phi(P) in true affine coordinates (so results need no frame correction and
+// the entries mix freely with the generator tables and with per-call tables
+// normalized by multi_mul's batched inversion).
+struct PreTablesData {
+  Point p;
+  AffGe tab[kTableSizePre];
+  AffGe ltab[kTableSizePre];
+};
+
+// a·(±P) + b·G over a precomputed true-affine table: same interleaved ladder
+// as strauss_jac minus the per-call table build and the isomorphic-frame
+// bookkeeping. `sign` is +1 when the target equals the table's base point
+// and -1 for its negation (a·(−P) = (−a)·P, so both GLV digit streams flip).
+Jac strauss_pre_jac(const Scalar& a, const PreTablesData& pt, int sign, const Scalar& b) {
+  std::int16_t naf_p1[kMaxNafLen], naf_p2[kMaxNafLen];
+  std::int16_t naf_g1[kMaxNafLen], naf_g2[kMaxNafLen];
+  int len_p1 = 0, len_p2 = 0, len_g1 = 0, len_g2 = 0;
+  if (!a.is_zero()) {
+    GlvSplit sp = glv_split(a);
+    if (sign < 0) {
+      sp.neg1 = !sp.neg1;
+      sp.neg2 = !sp.neg2;
+    }
+    len_p1 = signed_wnaf(naf_p1, sp.k1, sp.neg1, kWnafWindowPre);
+    len_p2 = signed_wnaf(naf_p2, sp.k2, sp.neg2, kWnafWindowPre);
+  }
+  if (!b.is_zero()) {
+    const U256& bv = b.raw();
+    len_g1 = wnaf(naf_g1, U256{bv.limb[0], bv.limb[1], 0, 0}, kWnafWindowG);
+    len_g2 = wnaf(naf_g2, U256{bv.limb[2], bv.limb[3], 0, 0}, kWnafWindowG);
+  }
+  const GenTables* gt = (len_g1 > 0 || len_g2 > 0) ? &gen_wnaf_tables() : nullptr;
+  Jac acc;
+  const int top = std::max(std::max(len_p1, len_p2), std::max(len_g1, len_g2));
+  for (int i = top - 1; i >= 0; --i) {
+    acc = jac_dbl(acc);
+    if (i < len_p1 && naf_p1[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(pt.tab, naf_p1[i]));
+    if (i < len_p2 && naf_p2[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(pt.ltab, naf_p2[i]));
+    if (i < len_g1 && naf_g1[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(gt->lo, naf_g1[i]));
+    if (i < len_g2 && naf_g2[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(gt->hi, naf_g2[i]));
+  }
+  return acc;
+}
+
 // vartime: end
 
 Jac jac_scalar_mul_ladder(const Jac& base, const Scalar& k) {
@@ -387,32 +436,63 @@ Jac jac_scalar_mul_ladder(const Jac& base, const Scalar& k) {
   return acc;
 }
 
-// Precomputed 4-bit-window table for k*G: table[w][j-1] = j * 16^w * G.
-// Signing side: every window is visited in order regardless of k, so the
-// access pattern itself does not depend on the scalar.
+// Precomputed 8-bit-window table for k*G: win[w][j-1] = j * 256^w * G, in
+// true affine coordinates (one batched inversion normalizes all 32·255
+// entries at build time). Signing then needs only 32 mixed additions (8M+3S
+// each) and zero doublings. Every window is visited in order regardless of
+// k, so the window sequence does not depend on the scalar; as with the old
+// 4-bit table, the entry index within a window does (acceptable here — see
+// keys.h on the simulation's threat model).
 struct GenTable {
-  std::array<std::array<Jac, 15>, 64> win;
+  std::array<std::array<AffGe, 255>, 32> win;
 };
 
 const GenTable& gen_table() {
   static GenTable table;
   static std::once_flag once;
   std::call_once(once, [] {
+    std::vector<Jac> entries(32 * 255);
     Jac base = to_jac(Point::generator());
-    for (int w = 0; w < 64; ++w) {
+    for (int w = 0; w < 32; ++w) {
       Jac acc;
-      for (int j = 0; j < 15; ++j) {
+      for (int j = 0; j < 255; ++j) {
         acc = jac_add(acc, base);
-        table.win[static_cast<std::size_t>(w)][static_cast<std::size_t>(j)] = acc;
+        entries[static_cast<std::size_t>(w * 255 + j)] = acc;
       }
-      // base <<= 4 bits
-      for (int d = 0; d < 4; ++d) base = jac_dbl(base);
+      // base <<= 8 bits
+      for (int d = 0; d < 8; ++d) base = jac_dbl(base);
+    }
+    std::vector<Fe> zs(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) zs[i] = entries[i].z;
+    batch_inverse(zs);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const Fe zi2 = zs[i].sqr();
+      table.win[i / 255][i % 255] = {entries[i].x * zi2, entries[i].y * zi2 * zs[i]};
     }
   });
   return table;
 }
 
 }  // namespace
+
+struct PrecomputedPoint::Impl {
+  PreTablesData d;
+};
+
+PrecomputedPoint::PrecomputedPoint(const Point& p) : impl_(std::make_unique<Impl>()) {
+  if (p.is_infinity()) throw std::invalid_argument("PrecomputedPoint of infinity");
+  impl_->d.p = p;
+  build_odd_multiples(to_jac(p), impl_->d.tab, kTableSizePre);
+  const Fe& beta = glv_beta();
+  for (int i = 0; i < kTableSizePre; ++i)
+    impl_->d.ltab[i] = {beta * impl_->d.tab[i].x, impl_->d.tab[i].y};
+}
+
+PrecomputedPoint::~PrecomputedPoint() = default;
+PrecomputedPoint::PrecomputedPoint(PrecomputedPoint&&) noexcept = default;
+PrecomputedPoint& PrecomputedPoint::operator=(PrecomputedPoint&&) noexcept = default;
+
+const Point& PrecomputedPoint::point() const { return impl_->d.p; }
 
 Point Point::generator() {
   static const Point g = from_affine(
@@ -465,38 +545,85 @@ Point Point::mul_add_vartime(const Scalar& a, const Point& p, const Scalar& b) {
   return from_jac(strauss_jac(a, p, b));
 }
 
-bool Point::mul_add_equals_vartime(const Scalar& a, const Point& p, const Scalar& b,
-                                   const Point& expect) {
-  const Jac res = strauss_jac(a, p, b);
+namespace {
+
+// Shared tail of the mul_add_equals variants: expect == (X/Z², Y/Z³)
+// without computing 1/Z.
+bool jac_equals_affine(const Jac& res, const Point& expect) {
   if (res.infinity || expect.is_infinity()) return res.infinity == expect.is_infinity();
-  // expect == (X/Z², Y/Z³) without computing 1/Z.
   const Fe z2 = res.z.sqr();
   return expect.x() * z2 == res.x && expect.y() * z2 * res.z == res.y;
+}
+
+}  // namespace
+
+bool Point::mul_add_equals_vartime(const Scalar& a, const Point& p, const Scalar& b,
+                                   const Point& expect) {
+  return jac_equals_affine(strauss_jac(a, p, b), expect);
+}
+
+bool Point::mul_add_equals_vartime(const Scalar& a, const PrecomputedPoint& p, const Scalar& b,
+                                   const Point& expect) {
+  return jac_equals_affine(strauss_pre_jac(a, p.impl_->d, 1, b), expect);
 }
 
 // vartime: begin (batch verification — signatures and randomizers are public)
 bool Point::multi_mul_is_infinity_vartime(std::span<const Scalar> coeffs,
                                           std::span<const Point> points,
                                           const Scalar& gen_coeff) {
+  return multi_mul_is_infinity_vartime(coeffs, points, {}, gen_coeff);
+}
+
+bool Point::multi_mul_is_infinity_vartime(std::span<const Scalar> coeffs,
+                                          std::span<const Point> points,
+                                          std::span<const PrecomputedPoint* const> pres,
+                                          const Scalar& gen_coeff) {
   if (coeffs.size() != points.size())
     throw std::invalid_argument("multi_mul: size mismatch");
-  // Collect the active (nonzero) terms.
-  std::vector<std::size_t> active;
-  active.reserve(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i)
-    if (!points[i].is_infinity() && !coeffs[i].is_zero()) active.push_back(i);
+  if (!pres.empty() && pres.size() != points.size())
+    throw std::invalid_argument("multi_mul: pres size mismatch");
+  // One ladder term per active (nonzero) input. A term walks either a
+  // caller-supplied precomputed table (width-7, possibly with flipped digit
+  // signs when the input is the table base's negation) or a fresh width-5
+  // table built below.
+  struct LadderTerm {
+    const AffGe* tab = nullptr;   // odd multiples of the base point
+    const AffGe* ltab = nullptr;  // beta-transformed (GLV lambda stream)
+    unsigned w = kWnafWindowP;
+    int sign = 1;
+    std::size_t input = 0;  // index into coeffs/points
+  };
+  std::vector<LadderTerm> terms;
+  std::vector<std::size_t> fresh;  // active inputs without a usable table
+  terms.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].is_infinity() || coeffs[i].is_zero()) continue;
+    LadderTerm t;
+    t.input = i;
+    const PrecomputedPoint* pre = pres.empty() ? nullptr : pres[i];
+    if (pre != nullptr && pre->impl_->d.p.x() == points[i].x() &&
+        (pre->impl_->d.p.y() == points[i].y() || pre->impl_->d.p.y() == points[i].y().neg())) {
+      t.tab = pre->impl_->d.tab;
+      t.ltab = pre->impl_->d.ltab;
+      t.w = kWnafWindowPre;
+      t.sign = pre->impl_->d.p.y() == points[i].y() ? 1 : -1;
+    } else {
+      fresh.push_back(terms.size());
+    }
+    terms.push_back(t);
+  }
 
-  // Per-point odd-multiples tables, converted to true affine with a single
-  // batched inversion across the whole call; each point also gets the
+  // Fresh per-point odd-multiples tables, converted to true affine with a
+  // single batched inversion across the whole call; each point also gets the
   // beta-transformed table for its GLV lambda-stream.
-  std::vector<std::array<AffGe, kTableSizeP>> tables(active.size());
-  std::vector<std::array<AffGe, kTableSizeP>> ltables(active.size());
-  std::vector<Fe> zs(active.size());
-  for (std::size_t j = 0; j < active.size(); ++j)
-    zs[j] = effective_affine_table(tables[j].data(), points[active[j]]);
+  std::vector<std::array<AffGe, kTableSizeP>> tables(fresh.size());
+  std::vector<std::array<AffGe, kTableSizeP>> ltables(fresh.size());
+  std::vector<Fe> zs(fresh.size());
+  for (std::size_t j = 0; j < fresh.size(); ++j)
+    zs[j] = effective_affine_table(tables[j].data(), points[terms[fresh[j]].input]);
   batch_inverse(zs);
   const Fe& beta = glv_beta();
-  for (std::size_t j = 0; j < active.size(); ++j) {
+  for (std::size_t j = 0; j < fresh.size(); ++j) {
     const Fe zi2 = zs[j].sqr();
     const Fe zi3 = zi2 * zs[j];
     for (std::size_t t = 0; t < tables[j].size(); ++t) {
@@ -505,18 +632,24 @@ bool Point::multi_mul_is_infinity_vartime(std::span<const Scalar> coeffs,
       e.y = e.y * zi3;
       ltables[j][t] = {beta * e.x, e.y};
     }
+    terms[fresh[j]].tab = tables[j].data();
+    terms[fresh[j]].ltab = ltables[j].data();
   }
 
-  // Two half-length wNAF streams per point (GLV split).
-  std::vector<std::array<std::int16_t, kMaxNafLen>> nafs1(active.size());
-  std::vector<std::array<std::int16_t, kMaxNafLen>> nafs2(active.size());
-  std::vector<int> lens1(active.size());
-  std::vector<int> lens2(active.size());
+  // Two half-length wNAF streams per term (GLV split).
+  std::vector<std::array<std::int16_t, kMaxNafLen>> nafs1(terms.size());
+  std::vector<std::array<std::int16_t, kMaxNafLen>> nafs2(terms.size());
+  std::vector<int> lens1(terms.size());
+  std::vector<int> lens2(terms.size());
   int max_len = 0;
-  for (std::size_t j = 0; j < active.size(); ++j) {
-    const GlvSplit sp = glv_split(coeffs[active[j]]);
-    lens1[j] = signed_wnaf(nafs1[j].data(), sp.k1, sp.neg1, kWnafWindowP);
-    lens2[j] = signed_wnaf(nafs2[j].data(), sp.k2, sp.neg2, kWnafWindowP);
+  for (std::size_t j = 0; j < terms.size(); ++j) {
+    GlvSplit sp = glv_split(coeffs[terms[j].input]);
+    if (terms[j].sign < 0) {
+      sp.neg1 = !sp.neg1;
+      sp.neg2 = !sp.neg2;
+    }
+    lens1[j] = signed_wnaf(nafs1[j].data(), sp.k1, sp.neg1, terms[j].w);
+    lens2[j] = signed_wnaf(nafs2[j].data(), sp.k2, sp.neg2, terms[j].w);
     max_len = std::max({max_len, lens1[j], lens2[j]});
   }
   std::int16_t naf_g1[kMaxNafLen];
@@ -533,11 +666,11 @@ bool Point::multi_mul_is_infinity_vartime(std::span<const Scalar> coeffs,
   Jac acc;
   for (int i = max_len - 1; i >= 0; --i) {
     acc = jac_dbl(acc);
-    for (std::size_t j = 0; j < active.size(); ++j) {
+    for (std::size_t j = 0; j < terms.size(); ++j) {
       if (i < lens1[j] && nafs1[j][static_cast<std::size_t>(i)] != 0)
-        acc = jac_add_aff(acc, wnaf_lookup(tables[j].data(), nafs1[j][static_cast<std::size_t>(i)]));
+        acc = jac_add_aff(acc, wnaf_lookup(terms[j].tab, nafs1[j][static_cast<std::size_t>(i)]));
       if (i < lens2[j] && nafs2[j][static_cast<std::size_t>(i)] != 0)
-        acc = jac_add_aff(acc, wnaf_lookup(ltables[j].data(), nafs2[j][static_cast<std::size_t>(i)]));
+        acc = jac_add_aff(acc, wnaf_lookup(terms[j].ltab, nafs2[j][static_cast<std::size_t>(i)]));
     }
     if (i < len_g1 && naf_g1[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(gt->lo, naf_g1[i]));
     if (i < len_g2 && naf_g2[i] != 0) acc = jac_add_aff(acc, wnaf_lookup(gt->hi, naf_g2[i]));
@@ -556,11 +689,11 @@ Point Point::mul_gen(const Scalar& k) {
   const GenTable& t = gen_table();
   Jac acc;
   const U256& v = k.raw();
-  for (int w = 0; w < 64; ++w) {
-    const unsigned nib =
-        static_cast<unsigned>(v.limb[static_cast<std::size_t>(w / 16)] >> (w % 16 * 4) & 0xf);
-    if (nib != 0)
-      acc = jac_add(acc, t.win[static_cast<std::size_t>(w)][static_cast<std::size_t>(nib - 1)]);
+  for (int w = 0; w < 32; ++w) {
+    const unsigned byte =
+        static_cast<unsigned>(v.limb[static_cast<std::size_t>(w / 8)] >> (w % 8 * 8) & 0xff);
+    if (byte != 0)
+      acc = jac_add_aff(acc, t.win[static_cast<std::size_t>(w)][static_cast<std::size_t>(byte - 1)]);
   }
   return from_jac(acc);
 }

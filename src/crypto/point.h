@@ -13,6 +13,7 @@
 // scalars, public keys).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 
@@ -20,6 +21,8 @@
 #include "src/crypto/scalar.h"
 
 namespace daric::crypto {
+
+class PrecomputedPoint;
 
 class Point {
  public:
@@ -53,12 +56,27 @@ class Point {
   static bool mul_add_equals_vartime(const Scalar& a, const Point& p, const Scalar& b,
                                      const Point& expect);
 
+  /// Same check against a key whose odd-multiples table was precomputed
+  /// once (e.g. a channel counterparty's fixed key). Skips the per-call
+  /// table build entirely. Variable time.
+  static bool mul_add_equals_vartime(const Scalar& a, const PrecomputedPoint& p,
+                                     const Scalar& b, const Point& expect);
+
   /// Whether Σ coeffs[i]·points[i] + gen_coeff·G is the point at infinity —
   /// the core of batch signature verification. One shared doubling chain,
   /// per-point wNAF tables normalized with a single batched inversion.
   /// Variable time; requires coeffs.size() == points.size().
   static bool multi_mul_is_infinity_vartime(std::span<const Scalar> coeffs,
                                             std::span<const Point> points,
+                                            const Scalar& gen_coeff);
+
+  /// Batch MSM variant taking an optional precomputed table per point
+  /// (`pres` empty, or one entry per point, nullptr where none exists; a
+  /// table also serves the point's negation). Points with a table skip both
+  /// the per-call table build and the shared normalization inversion.
+  static bool multi_mul_is_infinity_vartime(std::span<const Scalar> coeffs,
+                                            std::span<const Point> points,
+                                            std::span<const PrecomputedPoint* const> pres,
                                             const Scalar& gen_coeff);
 
   /// Naive left-to-right double-and-add ladder. Kept as the benchmark
@@ -73,6 +91,28 @@ class Point {
  private:
   Fe x_{}, y_{};
   bool infinity_ = true;
+};
+
+/// A point with a wide (width-7) true-affine odd-multiples wNAF table built
+/// once up front. Worth building for keys that verify many signatures over
+/// their lifetime — a channel counterparty's fixed keys — where it removes
+/// the per-verify effective-affine table construction from the ladder.
+/// Movable, not copyable (the table is large and sharing is intentional).
+class PrecomputedPoint {
+ public:
+  explicit PrecomputedPoint(const Point& p);
+  ~PrecomputedPoint();
+  PrecomputedPoint(PrecomputedPoint&&) noexcept;
+  PrecomputedPoint& operator=(PrecomputedPoint&&) noexcept;
+  PrecomputedPoint(const PrecomputedPoint&) = delete;
+  PrecomputedPoint& operator=(const PrecomputedPoint&) = delete;
+
+  const Point& point() const;
+
+ private:
+  friend class Point;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace daric::crypto

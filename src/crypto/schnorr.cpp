@@ -1,5 +1,6 @@
 #include "src/crypto/schnorr.h"
 
+#include <optional>
 #include <vector>
 
 #include "src/crypto/rfc6979.h"
@@ -12,26 +13,61 @@ Scalar schnorr_challenge(const Point& r, const Point& pk, const Hash256& msg) {
   return Scalar::from_be_bytes_reduce(Sha256::tagged("daric/schnorr", data).view());
 }
 
-Bytes schnorr_sign(const Scalar& sk, const Hash256& msg) {
-  static const Byte kDomain[] = {'s', 'c', 'h', 'n', 'o', 'r', 'r'};
-  const Scalar k = rfc6979_nonce(sk, msg, {kDomain, sizeof(kDomain)});
+namespace {
+
+Bytes sign_with_nonce(const Scalar& k, const Scalar& sk, const Point& pk, const Hash256& msg) {
   const Point r = Point::mul_gen(k);
-  const Point pk = Point::mul_gen(sk);
   const Scalar e = schnorr_challenge(r, pk, msg);
   const Scalar s = k + e * sk;
   return concat({r.compressed(), s.to_be_bytes()});
 }
 
-bool schnorr_verify(const Point& pk, const Hash256& msg, BytesView sig) {
-  if (sig.size() != kSchnorrSigSize || pk.is_infinity()) return false;
-  const auto r = Point::from_compressed(sig.subspan(0, 33));
+// Parses the (R, s) wire form; false on any malformed component.
+bool parse_sig(BytesView sig, std::optional<Point>& r, Scalar& s) {
+  if (sig.size() != kSchnorrSigSize) return false;
+  r = Point::from_compressed(sig.subspan(0, 33));
   if (!r) return false;
   const U256 sv = U256::from_be_bytes(sig.subspan(33));
   if (sv >= Scalar::order()) return false;
-  const Scalar s = Scalar::from_u256(sv);
+  s = Scalar::from_u256(sv);
+  return true;
+}
+
+}  // namespace
+
+Bytes schnorr_sign(const Scalar& sk, const Hash256& msg) {
+  static const Byte kDomain[] = {'s', 'c', 'h', 'n', 'o', 'r', 'r'};
+  const Scalar k = rfc6979_nonce(sk, msg, {kDomain, sizeof(kDomain)});
+  return sign_with_nonce(k, sk, Point::mul_gen(sk), msg);
+}
+
+Bytes schnorr_sign(const KeyPair& kp, const Hash256& msg) {
+  // BIP340-style synthetic nonce: one tagged hash binding the secret key,
+  // the public key and the message. Deterministic; distinct messages give
+  // independent nonces. k = 0 has probability ~2^-256 but the scheme must
+  // not emit R = infinity, so fall back to the RFC 6979 path if it happens.
+  const Bytes data = concat({kp.sk.to_be_bytes(), kp.pk.compressed(), msg.view()});
+  const Scalar k =
+      Scalar::from_be_bytes_reduce(Sha256::tagged("daric/schnorr-nonce", data).view());
+  if (k.is_zero()) return schnorr_sign(kp.sk, msg);
+  return sign_with_nonce(k, kp.sk, kp.pk, msg);
+}
+
+bool schnorr_verify(const Point& pk, const Hash256& msg, BytesView sig) {
+  std::optional<Point> r;
+  Scalar s(0);
+  if (pk.is_infinity() || !parse_sig(sig, r, s)) return false;
   const Scalar e = schnorr_challenge(*r, pk, msg);
   // s·G == R + e·P  ⟺  (−e)·P + s·G == R, one Strauss–Shamir ladder with
   // the comparison done in Jacobian coordinates (no field inversion).
+  return Point::mul_add_equals_vartime(e.neg(), pk, s, *r);
+}
+
+bool schnorr_verify(const PrecomputedPoint& pk, const Hash256& msg, BytesView sig) {
+  std::optional<Point> r;
+  Scalar s(0);
+  if (!parse_sig(sig, r, s)) return false;
+  const Scalar e = schnorr_challenge(*r, pk.point(), msg);
   return Point::mul_add_equals_vartime(e.neg(), pk, s, *r);
 }
 
@@ -55,7 +91,11 @@ Scalar batch_randomizer(const Hash256& seed, std::uint32_t index) {
 
 bool schnorr_verify_batch(std::span<const SigBatchItem> items) {
   if (items.empty()) return true;
-  if (items.size() == 1) return schnorr_verify(items[0].pk, items[0].msg, items[0].sig);
+  if (items.size() == 1) {
+    const SigBatchItem& it = items[0];
+    if (it.pre != nullptr) return schnorr_verify(*it.pre, it.msg, it.sig);
+    return schnorr_verify(it.pk, it.msg, it.sig);
+  }
 
   Sha256 seed_hash;
   for (const SigBatchItem& it : items) {
@@ -68,8 +108,10 @@ bool schnorr_verify_batch(std::span<const SigBatchItem> items) {
 
   std::vector<Scalar> coeffs;
   std::vector<Point> points;
+  std::vector<const PrecomputedPoint*> pres;
   coeffs.reserve(2 * items.size());
   points.reserve(2 * items.size());
+  pres.reserve(2 * items.size());
   Scalar g_coeff(0);
   for (std::size_t i = 0; i < items.size(); ++i) {
     const SigBatchItem& it = items[i];
@@ -81,13 +123,17 @@ bool schnorr_verify_batch(std::span<const SigBatchItem> items) {
     const Scalar e = schnorr_challenge(*r, it.pk, it.msg);
     const Scalar a = i == 0 ? Scalar(1) : batch_randomizer(seed, static_cast<std::uint32_t>(i));
     g_coeff = g_coeff + a * s;
-    // Negate the points, not the coefficients: aᵢ stays 128 bits wide.
+    // Negate the points, not the coefficients: aᵢ stays 128 bits wide. A
+    // precomputed table still serves the negated key — the MSM flips the
+    // digit signs.
     coeffs.push_back(a);
     points.push_back(r->neg());
+    pres.push_back(nullptr);
     coeffs.push_back(a * e);
     points.push_back(it.pk.neg());
+    pres.push_back(it.pre);
   }
-  return Point::multi_mul_is_infinity_vartime(coeffs, points, g_coeff);
+  return Point::multi_mul_is_infinity_vartime(coeffs, points, pres, g_coeff);
 }
 
 }  // namespace daric::crypto

@@ -13,7 +13,20 @@ namespace daric::crypto {
 inline constexpr std::size_t kSchnorrSigSize = 65;
 
 Bytes schnorr_sign(const Scalar& sk, const Hash256& msg);
+
+/// Keypair variant: reuses the cached public key (schnorr_sign(sk, ...) must
+/// recompute P = sk·G just to hash it into the challenge) and derives the
+/// nonce with one tagged hash over sk‖P‖m instead of the HMAC-DRBG chain of
+/// RFC 6979 — deterministic like the scalar variant but ~10 SHA-256
+/// compressions and one generator multiplication cheaper. The two variants
+/// produce different (equally valid) signatures for the same message.
+Bytes schnorr_sign(const KeyPair& kp, const Hash256& msg);
+
 bool schnorr_verify(const Point& pk, const Hash256& msg, BytesView sig);
+
+/// Verifies against a key with a precomputed multiplication table (a channel
+/// counterparty's fixed key); skips the per-verify wNAF table build.
+bool schnorr_verify(const PrecomputedPoint& pk, const Hash256& msg, BytesView sig);
 
 /// Batch verification via a random linear combination: with per-item
 /// randomizers aᵢ (a₀ = 1), all signatures are valid iff

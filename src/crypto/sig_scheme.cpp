@@ -17,6 +17,13 @@ class SchnorrScheme final : public SignatureScheme {
   bool verify(const Point& pk, const Hash256& msg, BytesView sig) const override {
     return schnorr_verify(pk, msg, sig);
   }
+  Bytes sign_with(const KeyPair& kp, const Hash256& msg) const override {
+    return schnorr_sign(kp, msg);
+  }
+  bool verify_cached(const PrecomputedPoint& pre, const Hash256& msg,
+                     BytesView sig) const override {
+    return schnorr_verify(pre, msg, sig);
+  }
   bool supports_adaptor() const override { return true; }
   bool supports_batch_verify() const override { return true; }
   bool verify_batch(std::span<const SigBatchItem> items) const override {
@@ -52,6 +59,15 @@ OpCounters& op_counters() {
   return c;
 }
 
+Bytes SignatureScheme::sign_with(const KeyPair& kp, const Hash256& msg) const {
+  return sign(kp.sk, msg);
+}
+
+bool SignatureScheme::verify_cached(const PrecomputedPoint& pre, const Hash256& msg,
+                                    BytesView sig) const {
+  return verify(pre.point(), msg, sig);
+}
+
 bool SignatureScheme::verify_batch(std::span<const SigBatchItem> items) const {
   for (const SigBatchItem& it : items)
     if (!verify(it.pk, it.msg, it.sig)) return false;
@@ -66,6 +82,17 @@ Bytes CountingScheme::sign(const Scalar& sk, const Hash256& msg) const {
 bool CountingScheme::verify(const Point& pk, const Hash256& msg, BytesView sig) const {
   op_counters().verifies.fetch_add(1, std::memory_order_relaxed);
   return inner_.verify(pk, msg, sig);
+}
+
+Bytes CountingScheme::sign_with(const KeyPair& kp, const Hash256& msg) const {
+  op_counters().signs.fetch_add(1, std::memory_order_relaxed);
+  return inner_.sign_with(kp, msg);
+}
+
+bool CountingScheme::verify_cached(const PrecomputedPoint& pre, const Hash256& msg,
+                                   BytesView sig) const {
+  op_counters().verifies.fetch_add(1, std::memory_order_relaxed);
+  return inner_.verify_cached(pre, msg, sig);
 }
 
 bool CountingScheme::verify_batch(std::span<const SigBatchItem> items) const {

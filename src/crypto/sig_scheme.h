@@ -17,10 +17,14 @@
 namespace daric::crypto {
 
 /// One (public key, message, raw signature) item of a batch verification.
+/// `pre`, when set, is a precomputed multiplication table for `pk` (non-owning;
+/// must outlive the batch call) that lets the scheme skip the per-key wNAF
+/// table build inside the shared ladder.
 struct SigBatchItem {
   Point pk;
   Hash256 msg;
   Bytes sig;
+  const PrecomputedPoint* pre = nullptr;
 };
 
 class SignatureScheme {
@@ -31,6 +35,16 @@ class SignatureScheme {
   virtual std::size_t signature_size() const = 0;
   virtual Bytes sign(const Scalar& sk, const Hash256& msg) const = 0;
   virtual bool verify(const Point& pk, const Hash256& msg, BytesView sig) const = 0;
+  /// Signing with the whole keypair: schemes whose Sign needs the public key
+  /// (Schnorr hashes P into both nonce and challenge) override this to avoid
+  /// recomputing P = sk·G per signature. Semantically identical to
+  /// sign(kp.sk, msg) — any valid signature for the key — though the exact
+  /// bytes may differ. The default forwards to sign().
+  virtual Bytes sign_with(const KeyPair& kp, const Hash256& msg) const;
+  /// Verification against a per-key precomputed table; the default ignores
+  /// the table and forwards to verify(pre.point(), ...).
+  virtual bool verify_cached(const PrecomputedPoint& pre, const Hash256& msg,
+                             BytesView sig) const;
   /// Whether Schnorr-style adaptor signatures exist for this scheme.
   virtual bool supports_adaptor() const = 0;
 
@@ -71,6 +85,9 @@ class CountingScheme : public SignatureScheme {
   std::size_t signature_size() const override { return inner_.signature_size(); }
   Bytes sign(const Scalar& sk, const Hash256& msg) const override;
   bool verify(const Point& pk, const Hash256& msg, BytesView sig) const override;
+  Bytes sign_with(const KeyPair& kp, const Hash256& msg) const override;
+  bool verify_cached(const PrecomputedPoint& pre, const Hash256& msg,
+                     BytesView sig) const override;
   bool supports_adaptor() const override { return inner_.supports_adaptor(); }
   bool supports_batch_verify() const override { return inner_.supports_batch_verify(); }
   /// Counts one Vrfy per item (batching is an implementation detail; the

@@ -26,13 +26,29 @@ const char* close_outcome_name(CloseOutcome o) {
 
 namespace {
 
-bool verify_wire(const tx::Transaction& body, SighashFlag flag, BytesView pubkey33,
-                 BytesView wire, const crypto::SignatureScheme& scheme) {
+/// Verifies a wire signature against a precomputed counterparty key, reusing
+/// `cache`'s digest for the body it was built over. Replaces the old
+/// verify_wire, which recomputed the sighash digest and decompressed the
+/// 33-byte pubkey on every call.
+bool verify_wire_cached(const tx::SighashCache& cache, SighashFlag flag,
+                        const crypto::PrecomputedPoint& pre, BytesView wire,
+                        const crypto::SignatureScheme& scheme) {
   const auto decoded = script::decode_wire_sig(wire, scheme.signature_size());
   if (!decoded || decoded->flag != flag) return false;
-  const auto pk = crypto::Point::from_compressed(pubkey33);
-  if (!pk) return false;
-  return scheme.verify(*pk, tx::sighash_digest(body, 0, flag), decoded->raw);
+  return scheme.verify_cached(pre, cache.digest(0, flag), decoded->raw);
+}
+
+/// Structurally decodes `wire` and queues the claim it asserts for deferred
+/// batch verification against `pre`'s key. Returns false on a malformed
+/// signature or flag mismatch — callers treat that exactly like a failed
+/// verification. The curve check happens when the batch is flushed.
+bool queue_wire(std::vector<crypto::SigBatchItem>& batch, const tx::SighashCache& cache,
+                SighashFlag flag, const crypto::PrecomputedPoint& pre, BytesView wire,
+                const crypto::SignatureScheme& scheme) {
+  const auto decoded = script::decode_wire_sig(wire, scheme.signature_size());
+  if (!decoded || decoded->flag != flag) return false;
+  batch.push_back({pre.point(), cache.digest(0, flag), decoded->raw, &pre});
+  return true;
 }
 
 /// Records the on-chain weight of an engine-originated transaction in the
@@ -100,8 +116,21 @@ SighashFlag revocation_flag(const channel::ChannelParams& p) {
 
 Bytes DaricParty::sign_own_revocation(const tx::Transaction& body) const {
   // TX^A_RV spends TX^B_CM (rv2 keys); TX^B_RV spends TX^A_CM (rv keys).
-  const crypto::Scalar& sk = id_ == PartyId::kA ? keys_.rv2.sk : keys_.rv.sk;
-  return tx::sign_input(body, 0, sk, env_.scheme(), revocation_flag(params_));
+  const crypto::KeyPair& kp = id_ == PartyId::kA ? keys_.rv2 : keys_.rv;
+  return tx::sign_input(body, 0, kp, env_.scheme(), revocation_flag(params_));
+}
+
+const DaricParty::PeerTables& DaricParty::peer_tables() const {
+  if (!peer_) {
+    auto table = [](BytesView pk33) {
+      const auto p = crypto::Point::from_compressed(pk33);
+      if (!p) throw std::logic_error("counterparty public key is not on the curve");
+      return crypto::PrecomputedPoint(*p);
+    };
+    peer_.emplace(PeerTables{table(pub_other_.main), table(pub_other_.sp),
+                             table(pub_other_.rv), table(pub_other_.rv2)});
+  }
+  return *peer_;
 }
 
 void DaricParty::set_fee_source(const FeeSource& source, Amount fee) {
@@ -323,7 +352,8 @@ DaricChannel::DaricChannel(sim::Environment& env, channel::ChannelParams params)
          funding_keypair(params_, PartyId::kA)),
       b_(PartyId::kB, params_, env,
          mint_funding_source(env, params_.cash_b, funding_keypair(params_, PartyId::kB)),
-         funding_keypair(params_, PartyId::kB)) {
+         funding_keypair(params_, PartyId::kB)),
+      tcache_(params_, a_.pub_own_, b_.pub_own_) {
   params_.validate(env_.delta());
   env_.add_round_hook([this] { a_.on_round(); });
   env_.add_round_hook([this] { b_.on_round(); });
@@ -339,43 +369,57 @@ bool DaricChannel::create() {
   a_.pub_other_ = b_.pub_own_;
   b_.pub_other_ = a_.pub_own_;
 
-  // Step 2: both construct the funding, commit and split bodies.
+  // Step 2: both construct the funding, commit and split bodies (template
+  // skeletons: create seeds the caches that update() then patches).
   const FundingTemplate fund =
       gen_fund(a_.funding_source_, b_.funding_source_, cash, a_.pub_own_, b_.pub_own_);
   const tx::OutPoint fund_op = fund.output();
-  const CommitPair commits = gen_commit(fund_op, cash, a_.pub_own_, b_.pub_own_, 0, params_);
+  const CommitPair& commits = tcache_.commit(fund_op, cash, 0);
   const channel::StateVec st0{params_.cash_a, params_.cash_b, {}};
-  const tx::Transaction split0 = gen_split(st0, 0, params_, a_.pub_own_, b_.pub_own_);
+  const tx::Transaction& split0 = tcache_.split(st0, 0);
+  tx::SighashCache sh_split(split0), sh_cm_a(commits.body_a), sh_cm_b(commits.body_b);
 
   // Step 3: createCom — exchange split (ANYPREVOUT) and cross-commit sigs.
   if (send_reliable(a_, "createCom") == 0) return false;
   const Bytes sp_sig_a =
-      tx::sign_input(split0, 0, a_.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+      tx::sign_input(split0, 0, a_.keys_.sp, scheme, SighashFlag::kAllAnyPrevOut, &sh_split);
   const Bytes sp_sig_b =
-      tx::sign_input(split0, 0, b_.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+      tx::sign_input(split0, 0, b_.keys_.sp, scheme, SighashFlag::kAllAnyPrevOut, &sh_split);
   const Bytes cm_b_sig_a =  // A's signature on [TX^B_CM,0]
-      tx::sign_input(commits.body_b, 0, a_.keys_.main.sk, scheme, SighashFlag::kAll);
+      tx::sign_input(commits.body_b, 0, a_.keys_.main, scheme, SighashFlag::kAll, &sh_cm_b);
   const Bytes cm_a_sig_b =  // B's signature on [TX^A_CM,0]
-      tx::sign_input(commits.body_a, 0, b_.keys_.main.sk, scheme, SighashFlag::kAll);
+      tx::sign_input(commits.body_a, 0, b_.keys_.main, scheme, SighashFlag::kAll, &sh_cm_a);
 
-  // Step 4: both verify what they received.
-  if (!verify_wire(split0, SighashFlag::kAllAnyPrevOut, b_.pub_own_.sp, sp_sig_b, scheme) ||
-      !verify_wire(commits.body_a, SighashFlag::kAll, b_.pub_own_.main, cm_a_sig_b, scheme))
+  // Step 4: both verify what they received — each party batches its two
+  // checks (one multi-scalar multiplication instead of two when the scheme
+  // supports batching; the default falls back to sequential verifies).
+  std::vector<crypto::SigBatchItem> batch_a, batch_b;
+  if (!queue_wire(batch_a, sh_split, SighashFlag::kAllAnyPrevOut, a_.peer_tables().sp, sp_sig_b,
+                  scheme) ||
+      !queue_wire(batch_a, sh_cm_a, SighashFlag::kAll, a_.peer_tables().main, cm_a_sig_b,
+                  scheme) ||
+      !scheme.verify_batch(batch_a))
     return false;
-  if (!verify_wire(split0, SighashFlag::kAllAnyPrevOut, a_.pub_own_.sp, sp_sig_a, scheme) ||
-      !verify_wire(commits.body_b, SighashFlag::kAll, a_.pub_own_.main, cm_b_sig_a, scheme))
+  if (!queue_wire(batch_b, sh_split, SighashFlag::kAllAnyPrevOut, b_.peer_tables().sp, sp_sig_a,
+                  scheme) ||
+      !queue_wire(batch_b, sh_cm_b, SighashFlag::kAll, b_.peer_tables().main, cm_b_sig_a,
+                  scheme) ||
+      !scheme.verify_batch(batch_b))
     return false;
 
   // Step 5: exchange funding signatures and post TX_FU.
   if (send_reliable(a_, "createFund") == 0) return false;
   tx::Transaction tx_fu = fund.body;
   // Each input is a P2WPKH funding source: input 0 = A's, input 1 = B's.
-  attach_p2wpkh_witness(tx_fu, 0,
-                        tx::sign_input(tx_fu, 0, a_.funding_key_.sk, scheme, SighashFlag::kAll),
-                        a_.funding_key_.pk.compressed());
-  attach_p2wpkh_witness(tx_fu, 1,
-                        tx::sign_input(tx_fu, 1, b_.funding_key_.sk, scheme, SighashFlag::kAll),
-                        b_.funding_key_.pk.compressed());
+  // The ALL-family digest is input-index independent, so one cache serves
+  // both signatures (attached witnesses are outside the base serialization).
+  tx::SighashCache sh_fu(tx_fu);
+  attach_p2wpkh_witness(
+      tx_fu, 0, tx::sign_input(tx_fu, 0, a_.funding_key_, scheme, SighashFlag::kAll, &sh_fu),
+      a_.funding_key_.pk.compressed());
+  attach_p2wpkh_witness(
+      tx_fu, 1, tx::sign_input(tx_fu, 1, b_.funding_key_, scheme, SighashFlag::kAll, &sh_fu),
+      b_.funding_key_.pk.compressed());
   env_.ledger().post(tx_fu);
 
   // Step 6: wait ≤ Δ for confirmation, then finalize both Γ stores.
@@ -385,13 +429,14 @@ bool DaricChannel::create() {
 
   auto finalize = [&](DaricParty& p, const tx::Transaction& body_own,
                       const script::Script& script_own, const tx::Transaction& body_other,
-                      const script::Script& script_other, const Bytes& own_commit_counter_sig) {
+                      const script::Script& script_other, const Bytes& own_commit_counter_sig,
+                      const tx::SighashCache& sh_own) {
     p.tx_fu_ = tx_fu;
     p.fund_op_ = fund_op;
     p.fund_script_ = fund.fund_script;
     p.cm_own_ = body_own;
     const Bytes own_sig =
-        tx::sign_input(body_own, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
+        tx::sign_input(body_own, 0, p.keys_.main, scheme, SighashFlag::kAll, &sh_own);
     const Bytes& sig_a = p.id_ == PartyId::kA ? own_sig : own_commit_counter_sig;
     const Bytes& sig_b = p.id_ == PartyId::kA ? own_commit_counter_sig : own_sig;
     attach_funding_witness(p.cm_own_, 0, fund.fund_script, sig_a, sig_b);
@@ -405,8 +450,10 @@ bool DaricChannel::create() {
     p.theta_sig_.clear();
     p.open_ = true;
   };
-  finalize(a_, commits.body_a, commits.script_a, commits.body_b, commits.script_b, cm_a_sig_b);
-  finalize(b_, commits.body_b, commits.script_b, commits.body_a, commits.script_a, cm_b_sig_a);
+  finalize(a_, commits.body_a, commits.script_a, commits.body_b, commits.script_b, cm_a_sig_b,
+           sh_cm_a);
+  finalize(b_, commits.body_b, commits.script_b, commits.body_a, commits.script_a, cm_b_sig_a,
+           sh_cm_b);
   archive_a_.push_back(a_.cm_own_);
   archive_b_.push_back(b_.cm_own_);
   archive_splits_.push_back({split0, sp_sig_a, sp_sig_b, commits.script_a, commits.script_b});
@@ -452,31 +499,55 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   if (abort_by(p, q, 1)) return false;
   if (send_or_close(p, "updateReq") == 0) return false;
 
-  // Q builds the new bodies and its ANYPREVOUT split signature.
-  const CommitPair commits =
-      gen_commit(a_.fund_op_, cash, a_.pub_own_, b_.pub_own_, i + 1, params_);
-  const tx::Transaction split_body = gen_split(next, i + 1, params_, a_.pub_own_, b_.pub_own_);
+  // Q builds the new bodies and its ANYPREVOUT split signature. The bodies
+  // are patched template skeletons; the references stay valid (and
+  // unchanged) until the next update()'s patch pass.
+  const CommitPair& commits = tcache_.commit(a_.fund_op_, cash, i + 1);
+  const tx::Transaction& split_body = tcache_.split(next, i + 1);
   const tx::Transaction& body_p = p.id_ == PartyId::kA ? commits.body_a : commits.body_b;
   const tx::Transaction& body_q = p.id_ == PartyId::kA ? commits.body_b : commits.body_a;
   const script::Script& script_p = p.id_ == PartyId::kA ? commits.script_a : commits.script_b;
   const script::Script& script_q = p.id_ == PartyId::kA ? commits.script_b : commits.script_a;
+  // One digest cache per body signed/verified this update. Each serialized
+  // body is hashed once here instead of once per signature operation.
+  tx::SighashCache sh_split(split_body), sh_p(body_p), sh_q(body_q);
+
+  // Deferred verification queues. Signatures are structurally checked on
+  // receipt but their curve equations are batched and flushed at the latest
+  // safe point: P flushes before sending its revocation (message 5), Q
+  // before acting on P's revocation (promotion after message 5). Between
+  // queueing and flushing each party only ever sends signatures on the
+  // agreed next state — material the counterparty is entitled to anyway —
+  // so a forged incoming signature still cannot cost the verifier anything:
+  // the batch fails, Γ' is discarded and the verifier closes at the last
+  // fully-verified state.
+  std::vector<crypto::SigBatchItem> batch_p, batch_q;  // sigs P / Q checks
+  auto reset_gamma_prime = [](DaricParty& x) {
+    // Γ' holds signatures whose batch just failed; drop it so force_close
+    // posts the last fully-verified commit instead of an invalid witness.
+    x.flag_ = channel::ChannelFlag::kStable;
+    x.cm_own_new_.reset();
+    x.st_prime_ = {};
+  };
 
   // Message 2: updateInfo (Q → P).
   if (abort_by(q, p, 2)) return false;
   const Bytes sp_sig_q =
-      tx::sign_input(split_body, 0, q.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+      tx::sign_input(split_body, 0, q.keys_.sp, scheme, SighashFlag::kAllAnyPrevOut, &sh_split);
   const int n2 = send_or_close(q, "updateInfo");
   if (n2 == 0) return false;
 
-  // P verifies and stores Γ'^P (flag := 2); re-applied per delivered copy,
-  // so a duplicated updateInfo leaves the same Γ'^P (idempotent handler).
-  if (!verify_wire(split_body, SighashFlag::kAllAnyPrevOut, q.pub_own_.sp, sp_sig_q, scheme)) {
+  // P queues Q's split signature and stores Γ'^P (flag := 2); re-applied per
+  // delivered copy, so a duplicated updateInfo leaves the same Γ'^P
+  // (idempotent handler).
+  if (!queue_wire(batch_p, sh_split, SighashFlag::kAllAnyPrevOut, p.peer_tables().sp, sp_sig_q,
+                  scheme)) {
     p.force_close();
     run_until_closed();
     return false;
   }
   const Bytes sp_sig_p =
-      tx::sign_input(split_body, 0, p.keys_.sp.sk, scheme, SighashFlag::kAllAnyPrevOut);
+      tx::sign_input(split_body, 0, p.keys_.sp, scheme, SighashFlag::kAllAnyPrevOut, &sh_split);
   const Bytes split_sig_a = p.id_ == PartyId::kA ? sp_sig_p : sp_sig_q;
   const Bytes split_sig_b = p.id_ == PartyId::kA ? sp_sig_q : sp_sig_p;
   for (int copy = 0; copy < n2; ++copy) {
@@ -491,23 +562,27 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
 
   // Message 3: updateComP (P → Q) with σ̃^P_SP and σ^P on [TX^Q_CM,i+1].
   if (abort_by(p, q, 3)) return false;
-  const Bytes cm_q_sig_p = tx::sign_input(body_q, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
+  const Bytes cm_q_sig_p =
+      tx::sign_input(body_q, 0, p.keys_.main, scheme, SighashFlag::kAll, &sh_q);
   const int n3 = send_or_close(p, "updateComP");
   if (n3 == 0) return false;
 
-  if (!verify_wire(split_body, SighashFlag::kAllAnyPrevOut, p.pub_own_.sp, sp_sig_p, scheme) ||
-      !verify_wire(body_q, SighashFlag::kAll, p.pub_own_.main, cm_q_sig_p, scheme)) {
+  if (!queue_wire(batch_q, sh_split, SighashFlag::kAllAnyPrevOut, q.peer_tables().sp, sp_sig_p,
+                  scheme) ||
+      !queue_wire(batch_q, sh_q, SighashFlag::kAll, q.peer_tables().main, cm_q_sig_p, scheme)) {
     q.force_close();
     run_until_closed();
     return false;
   }
   // Q assembles its own new commit and stores Γ'^Q (idempotent per copy:
-  // the witness is rebuilt from the fresh body every time).
+  // the witness is rebuilt from the fresh body every time). cm_q_sig_p is
+  // still only structurally checked here; if its queued curve check fails
+  // at message 5, reset_gamma_prime discards this witness before closing.
   for (int copy = 0; copy < n3; ++copy) {
     q.flag_ = channel::ChannelFlag::kUpdating;
     q.st_prime_ = next;
     q.cm_own_new_ = body_q;
-    const Bytes own = tx::sign_input(body_q, 0, q.keys_.main.sk, scheme, SighashFlag::kAll);
+    const Bytes own = tx::sign_input(body_q, 0, q.keys_.main, scheme, SighashFlag::kAll, &sh_q);
     const Bytes& sig_a = q.id_ == PartyId::kA ? own : cm_q_sig_p;
     const Bytes& sig_b = q.id_ == PartyId::kA ? cm_q_sig_p : own;
     attach_funding_witness(*q.cm_own_new_, 0, q.fund_script_, sig_a, sig_b);
@@ -519,42 +594,55 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
 
   // Message 4: updateComQ (Q → P) with σ^Q on [TX^P_CM,i+1].
   if (abort_by(q, p, 4)) return false;
-  const Bytes cm_p_sig_q = tx::sign_input(body_p, 0, q.keys_.main.sk, scheme, SighashFlag::kAll);
+  const Bytes cm_p_sig_q =
+      tx::sign_input(body_p, 0, q.keys_.main, scheme, SighashFlag::kAll, &sh_p);
   const int n4 = send_or_close(q, "updateComQ");
   if (n4 == 0) return false;
 
-  if (!verify_wire(body_p, SighashFlag::kAll, q.pub_own_.main, cm_p_sig_q, scheme)) {
+  // P's flush point: past this message P reveals its revocation of state i,
+  // so everything P has received for state i+1 must be verified NOW.
+  if (!queue_wire(batch_p, sh_p, SighashFlag::kAll, p.peer_tables().main, cm_p_sig_q, scheme) ||
+      !scheme.verify_batch(batch_p)) {
+    reset_gamma_prime(p);
     p.force_close();
     run_until_closed();
     return false;
   }
   for (int copy = 0; copy < n4; ++copy) {
     p.cm_own_new_ = body_p;
-    const Bytes own = tx::sign_input(body_p, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
+    const Bytes own = tx::sign_input(body_p, 0, p.keys_.main, scheme, SighashFlag::kAll, &sh_p);
     const Bytes& sig_a = p.id_ == PartyId::kA ? own : cm_p_sig_q;
     const Bytes& sig_b = p.id_ == PartyId::kA ? cm_p_sig_q : own;
     attach_funding_witness(*p.cm_own_new_, 0, p.fund_script_, sig_a, sig_b);
   }
 
-  // Revocation bodies for state i (both floating, nLT = S0 + i).
-  const tx::Transaction rv_p = gen_revoke(p.pub_own_.main, cash, i, params_);
-  const tx::Transaction rv_q = gen_revoke(q.pub_own_.main, cash, i, params_);
+  // Revocation bodies for state i (both floating, nLT = S0 + i). Separate
+  // skeleton slots per payout key, so both references stay valid.
+  const tx::Transaction& rv_p = tcache_.revoke(p.id_ == PartyId::kA, cash, i);
+  const tx::Transaction& rv_q = tcache_.revoke(q.id_ == PartyId::kA, cash, i);
+  tx::SighashCache sh_rv_p(rv_p), sh_rv_q(rv_q);
   // TX^A_RV is guarded by rv2 keys, TX^B_RV by rv keys (Appendix B).
-  auto rv_sign_key = [&](const DaricParty& signer, const DaricParty& owner) {
-    return owner.id_ == PartyId::kA ? signer.keys_.rv2.sk : signer.keys_.rv.sk;
+  auto rv_sign_key = [&](const DaricParty& signer,
+                         const DaricParty& owner) -> const crypto::KeyPair& {
+    return owner.id_ == PartyId::kA ? signer.keys_.rv2 : signer.keys_.rv;
   };
-  auto rv_verify_key = [&](const DaricParty& signer, const DaricParty& owner) {
-    return owner.id_ == PartyId::kA ? signer.pub_own_.rv2 : signer.pub_own_.rv;
+  auto rv_verify_pre = [&](const DaricParty& verifier,
+                           const DaricParty& owner) -> const crypto::PrecomputedPoint& {
+    return owner.id_ == PartyId::kA ? verifier.peer_tables().rv2 : verifier.peer_tables().rv;
   };
 
   // Message 5: revokeP (P → Q): P's signature on [TX^Q_RV,i].
   const SighashFlag rv_flag = revocation_flag(params_);
   if (abort_by(p, q, 5)) return false;
-  const Bytes rv_q_sig_p = tx::sign_input(rv_q, 0, rv_sign_key(p, q), scheme, rv_flag);
+  const Bytes rv_q_sig_p = tx::sign_input(rv_q, 0, rv_sign_key(p, q), scheme, rv_flag, &sh_rv_q);
   const int n5 = send_or_close(p, "revokeP");
   if (n5 == 0) return false;
 
-  if (!verify_wire(rv_q, rv_flag, rv_verify_key(p, q), rv_q_sig_p, scheme)) {
+  // Q's flush point: promotion Γ' → Γ (and message 6, Q's own revocation)
+  // must only happen on fully verified material.
+  if (!queue_wire(batch_q, sh_rv_q, rv_flag, rv_verify_pre(q, q), rv_q_sig_p, scheme) ||
+      !scheme.verify_batch(batch_q)) {
+    reset_gamma_prime(q);
     q.force_close();
     run_until_closed();
     return false;
@@ -579,11 +667,13 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
 
   // Message 6: revokeQ (Q → P): Q's signature on [TX^P_RV,i].
   if (abort_by(q, p, 6)) return false;
-  const Bytes rv_p_sig_q = tx::sign_input(rv_p, 0, rv_sign_key(q, p), scheme, rv_flag);
+  const Bytes rv_p_sig_q = tx::sign_input(rv_p, 0, rv_sign_key(q, p), scheme, rv_flag, &sh_rv_p);
   const int n6 = send_or_close(q, "revokeQ");
   if (n6 == 0) return false;
 
-  if (!verify_wire(rv_p, rv_flag, rv_verify_key(q, p), rv_p_sig_q, scheme)) {
+  // P's batch flushed at message 4, so Γ'^P is fully verified: on failure
+  // here force_close correctly posts the new commit (agreed state i+1).
+  if (!verify_wire_cached(sh_rv_p, rv_flag, rv_verify_pre(p, p), rv_p_sig_q, scheme)) {
     p.force_close();
     run_until_closed();
     return false;
@@ -610,7 +700,8 @@ bool DaricChannel::cooperative_close(PartyId initiator) {
   DaricParty& q = party(other(initiator));
 
   tx::Transaction fin = gen_fin_split(p.fund_op_, p.st_, a_.pub_own_, b_.pub_own_);
-  const Bytes sig_p = tx::sign_input(fin, 0, p.keys_.main.sk, scheme, SighashFlag::kAll);
+  const tx::SighashCache sh_fin(fin);
+  const Bytes sig_p = tx::sign_input(fin, 0, p.keys_.main, scheme, SighashFlag::kAll, &sh_fin);
   if (send_or_close(p, "closeP") == 0) return false;
 
   if (q.behavior.refuse_close) {
@@ -618,10 +709,10 @@ bool DaricChannel::cooperative_close(PartyId initiator) {
     run_until_closed();
     return false;
   }
-  const Bytes sig_q = tx::sign_input(fin, 0, q.keys_.main.sk, scheme, SighashFlag::kAll);
+  const Bytes sig_q = tx::sign_input(fin, 0, q.keys_.main, scheme, SighashFlag::kAll, &sh_fin);
   if (send_or_close(q, "closeQ") == 0) return false;
 
-  if (!verify_wire(fin, SighashFlag::kAll, q.pub_own_.main, sig_q, scheme)) {
+  if (!verify_wire_cached(sh_fin, SighashFlag::kAll, p.peer_tables().main, sig_q, scheme)) {
     p.force_close();
     run_until_closed();
     return false;
@@ -692,7 +783,7 @@ tx::Transaction build_htlc_spend(const tx::Transaction& split, std::size_t htlc_
   t.nlocktime = 0;
   t.outputs = {{h.cash, tx::Condition::p2wpkh(claimer.pub().main)}};
 
-  const Bytes sig = tx::sign_input(t, 0, claimer.keys().main.sk,
+  const Bytes sig = tx::sign_input(t, 0, claimer.keys().main,
                                    claimer.environment().scheme(), SighashFlag::kAll);
   t.witnesses.resize(1);
   t.witnesses[0].stack = {sig, second_element};

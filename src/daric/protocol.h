@@ -13,7 +13,9 @@
 
 #include "src/channel/params.h"
 #include "src/channel/state.h"
+#include "src/crypto/point.h"
 #include "src/daric/builders.h"
+#include "src/daric/skeleton.h"
 #include "src/sim/environment.h"
 #include "src/sim/party.h"
 
@@ -85,6 +87,16 @@ class DaricParty {
     bool complete() const { return !sig_a.empty() && !sig_b.empty(); }
   };
 
+  /// Precomputed wNAF tables for the counterparty's four fixed keys. Every
+  /// update-path verification targets one of these, so the per-verification
+  /// table build (and the 33-byte point decompression) amortizes to zero.
+  struct PeerTables {
+    crypto::PrecomputedPoint main, sp, rv, rv2;
+  };
+  /// Lazily built from pub_other_ on first use (pub_other_ is only known
+  /// after createInfo).
+  const PeerTables& peer_tables() const;
+
   // Appendix-D helpers executed locally.
   void commit_to_published_split(const tx::Transaction& spender, const FloatingSplit& split,
                                  const script::Script& commit_script);
@@ -104,6 +116,7 @@ class DaricParty {
   DaricKeys keys_;
   DaricPubKeys pub_own_;
   DaricPubKeys pub_other_;
+  mutable std::optional<PeerTables> peer_;
 
   // Γ^P.
   bool open_ = false;
@@ -201,6 +214,9 @@ class DaricChannel {
   sim::Environment& env_;
   channel::ChannelParams params_;
   DaricParty a_, b_;
+  /// Per-channel template skeletons (declared after a_/b_: initialized from
+  /// their derived public keys).
+  TemplateCache tcache_;
   std::vector<tx::Transaction> archive_a_, archive_b_;
 
   // What a dishonest party would also keep: every state's floating split

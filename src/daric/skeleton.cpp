@@ -1,0 +1,66 @@
+#include "src/daric/skeleton.h"
+
+namespace daric::daricch {
+
+const CommitPair& TemplateCache::commit(const tx::OutPoint& fund_outpoint, Amount cash,
+                                        std::uint32_t state) {
+  if (!commit_) {
+    commit_ = gen_commit(fund_outpoint, cash, a_, b_, state, params_);
+    commit_state_ = state;
+    return *commit_;
+  }
+  CommitPair& c = *commit_;
+  c.body_a.inputs[0].prevout = fund_outpoint;
+  c.body_b.inputs[0].prevout = fund_outpoint;
+  c.body_a.outputs[0].cash = cash;
+  c.body_b.outputs[0].cash = cash;
+  if (state != commit_state_) {
+    // The CLTV operand lives in two places: nLockTime and the commit
+    // script's leading NUM4 (commit_script builds `<S0+i> CLTV DROP ...`).
+    // Patching the script changes the P2WSH program, so the output
+    // condition is recomputed from it.
+    const std::uint32_t cltv = params_.s0 + state;
+    c.body_a.nlocktime = cltv;
+    c.body_b.nlocktime = cltv;
+    c.script_a.set_num4(0, cltv);
+    c.script_b.set_num4(0, cltv);
+    c.body_a.outputs[0].cond = tx::Condition::p2wsh(c.script_a);
+    c.body_b.outputs[0].cond = tx::Condition::p2wsh(c.script_b);
+    commit_state_ = state;
+  }
+  return c;
+}
+
+const tx::Transaction& TemplateCache::split(const channel::StateVec& st, std::uint32_t state) {
+  if (!split_) {
+    split_ = gen_split(st, state, params_, a_, b_);
+    split_htlcs_ = st.htlcs;
+    return *split_;
+  }
+  tx::Transaction& t = *split_;
+  t.nlocktime = params_.s0 + state;
+  if (st.htlcs == split_htlcs_) {
+    // state_outputs puts the two P2WPKH balances first; their conditions
+    // depend only on the (fixed) main keys, so only the amounts move.
+    t.outputs[0].cash = st.to_a;
+    t.outputs[1].cash = st.to_b;
+  } else {
+    t.outputs = state_outputs(st, a_.main, b_.main);
+    split_htlcs_ = st.htlcs;
+  }
+  return t;
+}
+
+const tx::Transaction& TemplateCache::revoke(bool payout_a, Amount cash,
+                                             std::uint32_t revoked_state) {
+  std::optional<tx::Transaction>& slot = payout_a ? revoke_a_ : revoke_b_;
+  if (!slot) {
+    slot = gen_revoke(payout_a ? a_.main : b_.main, cash, revoked_state, params_);
+  } else {
+    slot->nlocktime = params_.s0 + revoked_state;
+    slot->outputs[0].cash = cash;
+  }
+  return *slot;
+}
+
+}  // namespace daric::daricch

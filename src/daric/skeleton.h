@@ -1,0 +1,52 @@
+// Per-channel template skeleton cache.
+//
+// GenCommit / GenSplit / GenRevoke rebuild identical transaction bodies from
+// scratch on every update even though only a handful of fields change between
+// states: the CLTV operand (nLockTime plus the commit script's first
+// instruction), the state number and the balance split. TemplateCache keeps
+// one prebuilt body per template kind and patches those fields in place,
+// producing bytes identical to the fresh builders (tests/test_skeleton_cache
+// holds that equivalence across states, balances and HTLC counts).
+//
+// References returned by the accessors point into the cache and are
+// overwritten by the next call for the same kind — callers copy what they
+// keep, exactly as they already copy the by-value results of gen_*.
+#pragma once
+
+#include <optional>
+
+#include "src/daric/builders.h"
+
+namespace daric::daricch {
+
+class TemplateCache {
+ public:
+  TemplateCache(channel::ChannelParams params, DaricPubKeys a, DaricPubKeys b)
+      : params_(params), a_(std::move(a)), b_(std::move(b)) {}
+
+  /// Same contents as gen_commit(fund_outpoint, cash, a, b, state, params).
+  const CommitPair& commit(const tx::OutPoint& fund_outpoint, Amount cash, std::uint32_t state);
+
+  /// Same contents as gen_split(st, state, params, a, b). The two balance
+  /// outputs are patched in place; HTLC outputs are rebuilt only when the
+  /// HTLC vector differs from the previous call's.
+  const tx::Transaction& split(const channel::StateVec& st, std::uint32_t state);
+
+  /// Same contents as gen_revoke(payout main key, cash, revoked_state,
+  /// params); `payout_a` selects whose main key collects the penalty.
+  const tx::Transaction& revoke(bool payout_a, Amount cash, std::uint32_t revoked_state);
+
+ private:
+  channel::ChannelParams params_;
+  DaricPubKeys a_, b_;
+
+  std::optional<CommitPair> commit_;
+  std::uint32_t commit_state_ = 0;
+
+  std::optional<tx::Transaction> split_;
+  std::vector<channel::Htlc> split_htlcs_;
+
+  std::optional<tx::Transaction> revoke_a_, revoke_b_;
+};
+
+}  // namespace daric::daricch

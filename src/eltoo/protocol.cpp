@@ -93,24 +93,36 @@ tx::Transaction EltooChannel::build_settlement_body(const channel::StateVec& st,
 void EltooChannel::sign_state(std::uint32_t state, const channel::StateVec& st) {
   const auto& scheme = env_.scheme();
   upd_body_ = build_update_body(state);
-  upd_sig_a_ = tx::sign_input(upd_body_, 0, upd_a_.sk, scheme, SighashFlag::kAllAnyPrevOut);
-  upd_sig_b_ = tx::sign_input(upd_body_, 0, upd_b_.sk, scheme, SighashFlag::kAllAnyPrevOut);
+  const tx::SighashCache sh_upd(upd_body_);
+  upd_sig_a_ =
+      tx::sign_input(upd_body_, 0, upd_a_, scheme, SighashFlag::kAllAnyPrevOut, &sh_upd);
+  upd_sig_b_ =
+      tx::sign_input(upd_body_, 0, upd_b_, scheme, SighashFlag::kAllAnyPrevOut, &sh_upd);
   set_body_ = build_settlement_body(st, state);
+  const tx::SighashCache sh_set(set_body_);
   const PerStateKeys ks = settlement_keys(state);
-  set_sig_a_ = tx::sign_input(set_body_, 0, ks.set_a.sk, scheme, SighashFlag::kAllAnyPrevOut);
-  set_sig_b_ = tx::sign_input(set_body_, 0, ks.set_b.sk, scheme, SighashFlag::kAllAnyPrevOut);
-  // Each party verifies the two signatures it received (Table 3: 2 per party).
-  const Hash256 upd_digest = tx::sighash_digest(upd_body_, 0, SighashFlag::kAllAnyPrevOut);
-  const Hash256 set_digest = tx::sighash_digest(set_body_, 0, SighashFlag::kAllAnyPrevOut);
-  auto check = [&](const crypto::Point& pk, const Hash256& digest, const Bytes& wire) {
+  set_sig_a_ =
+      tx::sign_input(set_body_, 0, ks.set_a, scheme, SighashFlag::kAllAnyPrevOut, &sh_set);
+  set_sig_b_ =
+      tx::sign_input(set_body_, 0, ks.set_b, scheme, SighashFlag::kAllAnyPrevOut, &sh_set);
+  // Each party verifies the two signatures it received (Table 3: 2 per
+  // party), batched into one check per party. The sighash caches share the
+  // serialized bodies with the signing side above.
+  const Hash256 upd_digest = sh_upd.digest(0, SighashFlag::kAllAnyPrevOut);
+  const Hash256 set_digest = sh_set.digest(0, SighashFlag::kAllAnyPrevOut);
+  auto claim = [&](std::vector<crypto::SigBatchItem>& batch, const crypto::Point& pk,
+                   const Hash256& digest, const Bytes& wire) {
     const auto dec = script::decode_wire_sig(wire, scheme.signature_size());
-    if (!dec || !scheme.verify(pk, digest, dec->raw))
-      throw std::logic_error("counterparty signature invalid");
+    if (!dec) throw std::logic_error("counterparty signature invalid");
+    batch.push_back({pk, digest, dec->raw});
   };
-  check(upd_b_.pk, upd_digest, upd_sig_b_);  // A checks B
-  check(upd_a_.pk, upd_digest, upd_sig_a_);  // B checks A
-  check(ks.set_b.pk, set_digest, set_sig_b_);
-  check(ks.set_a.pk, set_digest, set_sig_a_);
+  std::vector<crypto::SigBatchItem> batch_a, batch_b;
+  claim(batch_a, upd_b_.pk, upd_digest, upd_sig_b_);  // A checks B
+  claim(batch_b, upd_a_.pk, upd_digest, upd_sig_a_);  // B checks A
+  claim(batch_a, ks.set_b.pk, set_digest, set_sig_b_);
+  claim(batch_b, ks.set_a.pk, set_digest, set_sig_a_);
+  if (!scheme.verify_batch(batch_a) || !scheme.verify_batch(batch_b))
+    throw std::logic_error("counterparty signature invalid");
   archive_.push_back({upd_body_, set_body_, upd_sig_a_, upd_sig_b_, set_sig_a_, set_sig_b_,
                       update_output_script(state), st});
 }
@@ -165,8 +177,9 @@ bool EltooChannel::cooperative_close() {
   close.inputs = {{fund_op_}};
   close.nlocktime = 0;
   close.outputs = daricch::state_outputs(st_, pub_a_.main, pub_b_.main);
-  const Bytes sa = tx::sign_input(close, 0, upd_a_.sk, scheme, SighashFlag::kAll);
-  const Bytes sb = tx::sign_input(close, 0, upd_b_.sk, scheme, SighashFlag::kAll);
+  const tx::SighashCache sh_close(close);
+  const Bytes sa = tx::sign_input(close, 0, upd_a_, scheme, SighashFlag::kAll, &sh_close);
+  const Bytes sb = tx::sign_input(close, 0, upd_b_, scheme, SighashFlag::kAll, &sh_close);
   daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
   if (send_reliable(PartyId::kA, "eltoo/close") == 0) {
     force_close(PartyId::kA);

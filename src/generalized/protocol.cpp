@@ -119,8 +119,9 @@ void GeneralizedChannel::sign_state(std::uint32_t state, const channel::StateVec
   split_body_.inputs = {{{commit_body_.txid(), 0}}};
   split_body_.nlocktime = 0;
   split_body_.outputs = daricch::state_outputs(st, pub_a_.main, pub_b_.main);
-  split_sig_a_ = tx::sign_input(split_body_, 0, main_a_.sk, scheme, SighashFlag::kAll);
-  split_sig_b_ = tx::sign_input(split_body_, 0, main_b_.sk, scheme, SighashFlag::kAll);
+  const tx::SighashCache sh_split(split_body_);
+  split_sig_a_ = tx::sign_input(split_body_, 0, main_a_, scheme, SighashFlag::kAll, &sh_split);
+  split_sig_b_ = tx::sign_input(split_body_, 0, main_b_, scheme, SighashFlag::kAll, &sh_split);
 
   // Each party verifies the counterparty's pre-signature (counted through
   // the op hook, as adaptor verification bypasses the scheme interface)
@@ -129,7 +130,7 @@ void GeneralizedChannel::sign_state(std::uint32_t state, const channel::StateVec
   if (!crypto::adaptor_pre_verify(main_a_.pk, digest, sec.y_b.pk, pre_a_) ||
       !crypto::adaptor_pre_verify(main_b_.pk, digest, sec.y_a.pk, pre_b_))
     throw std::logic_error("adaptor pre-signature invalid");
-  const Hash256 split_digest = tx::sighash_digest(split_body_, 0, SighashFlag::kAll);
+  const Hash256 split_digest = sh_split.digest(0, SighashFlag::kAll);
   auto check = [&](const crypto::Point& pk, const Bytes& wire) {
     const auto dec = script::decode_wire_sig(wire, scheme.signature_size());
     if (!dec || !scheme.verify(pk, split_digest, dec->raw))
@@ -222,8 +223,9 @@ bool GeneralizedChannel::cooperative_close() {
   close.inputs = {{fund_op_}};
   close.nlocktime = 0;
   close.outputs = daricch::state_outputs(st_, pub_a_.main, pub_b_.main);
-  const Bytes sa = tx::sign_input(close, 0, main_a_.sk, scheme, SighashFlag::kAll);
-  const Bytes sb = tx::sign_input(close, 0, main_b_.sk, scheme, SighashFlag::kAll);
+  const tx::SighashCache sh_close(close);
+  const Bytes sa = tx::sign_input(close, 0, main_a_, scheme, SighashFlag::kAll, &sh_close);
+  const Bytes sb = tx::sign_input(close, 0, main_b_, scheme, SighashFlag::kAll, &sh_close);
   daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
   if (send_reliable(PartyId::kA, "gc/close") == 0) {
     force_close(PartyId::kA);

@@ -111,20 +111,22 @@ void LightningChannel::sign_state(std::uint32_t state, const channel::StateVec& 
 
   commit_a_ = build_commit(PartyId::kA, state, st, &to_local_a_);
   commit_b_ = build_commit(PartyId::kB, state, st, &to_local_b_);
-  const Bytes sa_on_a = tx::sign_input(commit_a_, 0, main_a_.sk, scheme, SighashFlag::kAll);
-  const Bytes sb_on_a = tx::sign_input(commit_a_, 0, main_b_.sk, scheme, SighashFlag::kAll);
-  const Bytes sa_on_b = tx::sign_input(commit_b_, 0, main_a_.sk, scheme, SighashFlag::kAll);
-  const Bytes sb_on_b = tx::sign_input(commit_b_, 0, main_b_.sk, scheme, SighashFlag::kAll);
+  // One digest cache per commit body, shared between the two signatures on
+  // it and the verification below.
+  const tx::SighashCache sh_a(commit_a_), sh_b(commit_b_);
+  const Bytes sa_on_a = tx::sign_input(commit_a_, 0, main_a_, scheme, SighashFlag::kAll, &sh_a);
+  const Bytes sb_on_a = tx::sign_input(commit_a_, 0, main_b_, scheme, SighashFlag::kAll, &sh_a);
+  const Bytes sa_on_b = tx::sign_input(commit_b_, 0, main_a_, scheme, SighashFlag::kAll, &sh_b);
+  const Bytes sb_on_b = tx::sign_input(commit_b_, 0, main_b_, scheme, SighashFlag::kAll, &sh_b);
   // Each party verifies the counterparty's signature on its own commit
   // (Table 3: 1 verification per party at m = 0).
-  auto check = [&](const tx::Transaction& body, const crypto::Point& pk, const Bytes& wire) {
+  auto check = [&](const tx::SighashCache& sh, const crypto::Point& pk, const Bytes& wire) {
     const auto dec = script::decode_wire_sig(wire, scheme.signature_size());
-    if (!dec ||
-        !scheme.verify(pk, tx::sighash_digest(body, 0, SighashFlag::kAll), dec->raw))
+    if (!dec || !scheme.verify(pk, sh.digest(0, SighashFlag::kAll), dec->raw))
       throw std::logic_error("counterparty signature invalid");
   };
-  check(commit_a_, main_b_.pk, sb_on_a);  // A checks B's sig on TX^A
-  check(commit_b_, main_a_.pk, sa_on_b);  // B checks A's sig on TX^B
+  check(sh_a, main_b_.pk, sb_on_a);  // A checks B's sig on TX^A
+  check(sh_b, main_a_.pk, sa_on_b);  // B checks A's sig on TX^B
   daricch::attach_funding_witness(commit_a_, 0, fund_script_, sa_on_a, sb_on_a);
   daricch::attach_funding_witness(commit_b_, 0, fund_script_, sa_on_b, sb_on_b);
   archive_.push_back({commit_a_, to_local_a_, PartyId::kA, state});
@@ -187,8 +189,9 @@ bool LightningChannel::cooperative_close() {
   close.inputs = {{fund_op_}};
   close.nlocktime = 0;
   close.outputs = daricch::state_outputs(st_, pub_a_.main, pub_b_.main);
-  const Bytes sa = tx::sign_input(close, 0, main_a_.sk, scheme, SighashFlag::kAll);
-  const Bytes sb = tx::sign_input(close, 0, main_b_.sk, scheme, SighashFlag::kAll);
+  const tx::SighashCache sh_close(close);
+  const Bytes sa = tx::sign_input(close, 0, main_a_, scheme, SighashFlag::kAll, &sh_close);
+  const Bytes sb = tx::sign_input(close, 0, main_b_, scheme, SighashFlag::kAll, &sh_close);
   daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
   if (send_reliable(PartyId::kA, "ln/close") == 0) {
     force_close(PartyId::kA);

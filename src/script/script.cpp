@@ -22,6 +22,13 @@ Script& Script::num4(std::uint32_t v) {
   return *this;
 }
 
+Script& Script::set_num4(std::size_t index, std::uint32_t v) {
+  if (index >= ins_.size() || ins_[index].op != Op::NUM4)
+    throw std::logic_error("set_num4: instruction is not a NUM4");
+  ins_[index].num = v;
+  return *this;
+}
+
 Script& Script::small_int(unsigned n) {
   if (n > 16) throw std::invalid_argument("small_int out of range");
   if (n == 0) return op(Op::OP_0);

@@ -28,6 +28,11 @@ class Script {
   /// Small-int push: n in [0, 16] encoded as OP_0 / OP_1..OP_16.
   Script& small_int(unsigned n);
 
+  /// Rewrites the operand of an existing NUM4 instruction in place (the
+  /// template-skeleton caches patch CLTV operands this way). Throws
+  /// std::logic_error if `index` is out of range or not a NUM4.
+  Script& set_num4(std::size_t index, std::uint32_t v);
+
   const std::vector<Instr>& instructions() const { return ins_; }
   bool empty() const { return ins_.empty(); }
 

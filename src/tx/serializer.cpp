@@ -6,6 +6,13 @@ namespace daric::tx {
 
 namespace {
 
+// Upper-bound byte estimate for pre-sizing the writer: fixed header/locktime
+// plus 41 bytes per input and ~43 per output (8 value + varint + a P2WSH
+// script-pubkey, the largest standard kind here).
+std::size_t base_size_estimate(const Transaction& tx) {
+  return 16 + 41 * tx.inputs.size() + 43 * tx.outputs.size();
+}
+
 void write_inputs(Writer& w, const Transaction& tx) {
   w.varint(tx.inputs.size());
   for (const TxIn& in : tx.inputs) {
@@ -39,6 +46,7 @@ Bytes serialize_witness(const Witness& wit) {
 
 Bytes serialize_base(const Transaction& tx) {
   Writer w;
+  w.reserve(base_size_estimate(tx));
   w.u32le(tx.version);
   write_inputs(w, tx);
   write_outputs(w, tx);
@@ -49,6 +57,7 @@ Bytes serialize_base(const Transaction& tx) {
 Bytes serialize_full(const Transaction& tx) {
   if (!tx.has_witness()) return serialize_base(tx);
   Writer w;
+  w.reserve(base_size_estimate(tx) + 2 + 128 * tx.witnesses.size());
   w.u32le(tx.version);
   w.u8(0x00);  // SegWit marker
   w.u8(0x01);  // SegWit flag

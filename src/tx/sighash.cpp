@@ -1,5 +1,7 @@
 #include "src/tx/sighash.h"
 
+#include <stdexcept>
+
 #include "src/crypto/ripemd160.h"
 #include "src/crypto/sha256.h"
 #include "src/util/serialize.h"
@@ -64,6 +66,7 @@ Hash256 SighashCache::digest(std::size_t input_index, script::SighashFlag flag) 
   if (it == entries_.end()) {
     Entry e;
     Writer w;
+    w.reserve(128);
     write_prefix(w, tx_, flag);
     if (is_single(flag)) {
       e.midstate = crypto::Sha256::tagged_init(kSighashTag);
@@ -77,12 +80,24 @@ Hash256 SighashCache::digest(std::size_t input_index, script::SighashFlag flag) 
     it = entries_.emplace(flag, std::move(e)).first;
   }
   const Entry& e = it->second;
-  if (e.whole) return e.full;
-  Writer w;
-  write_single_output(w, tx_, input_index);
-  crypto::Sha256 h = e.midstate;  // copy: the cached midstate stays pristine
-  h.update(w.data());
-  return h.finalize();
+  Hash256 result;
+  if (e.whole) {
+    result = e.full;
+  } else {
+    Writer w;
+    write_single_output(w, tx_, input_index);
+    crypto::Sha256 h = e.midstate;  // copy: the cached midstate stays pristine
+    h.update(w.data());
+    result = h.finalize();
+  }
+#ifndef NDEBUG
+  // Staleness tripwire: a cached entry must always agree with a from-scratch
+  // serialization of the transaction as it is NOW. Trips when a caller
+  // mutated the transaction without invalidate().
+  if (!(result == sighash_digest(tx_, input_index, flag)))
+    throw std::logic_error("SighashCache: stale entry (missing invalidate()?)");
+#endif
+  return result;
 }
 
 bool TxSigChecker::check_sig(BytesView wire_sig, BytesView pubkey) const {
@@ -166,6 +181,14 @@ Bytes sign_input(const Transaction& tx, std::size_t input_index, const crypto::S
                  const crypto::SignatureScheme& scheme, script::SighashFlag flag) {
   const Hash256 digest = sighash_digest(tx, input_index, flag);
   return script::encode_wire_sig(scheme.sign(sk, digest), flag);
+}
+
+Bytes sign_input(const Transaction& tx, std::size_t input_index, const crypto::KeyPair& kp,
+                 const crypto::SignatureScheme& scheme, script::SighashFlag flag,
+                 const SighashCache* cache) {
+  const Hash256 digest = cache ? cache->digest(input_index, flag)
+                               : sighash_digest(tx, input_index, flag);
+  return script::encode_wire_sig(scheme.sign_with(kp, digest), flag);
 }
 
 }  // namespace daric::tx

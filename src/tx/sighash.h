@@ -27,6 +27,12 @@ Hash256 sighash_digest(const Transaction& tx, std::size_t input_index,
 /// digests share their serialized prefix (flag byte, inputs, nLockTime), so
 /// a SHA-256 midstate is cached and only the matching output is hashed per
 /// input. Not thread-safe — use one cache per validation pass.
+///
+/// The cache holds a reference to the transaction and does NOT observe
+/// mutations: callers that patch the transaction (the per-channel template
+/// skeletons do, every update) must call invalidate() before the next
+/// digest. Debug builds cross-check every cached digest against a fresh
+/// serialization and assert on staleness; release builds trust the caller.
 class SighashCache {
  public:
   explicit SighashCache(const Transaction& tx) : tx_(tx) {}
@@ -35,6 +41,18 @@ class SighashCache {
   /// for SIGHASH_SINGLE with no matching output.
   Hash256 digest(std::size_t input_index, script::SighashFlag flag) const;
 
+  /// Drops every cached digest/midstate. Required after any mutation of the
+  /// underlying transaction; bumps the generation so mixed-version reuse is
+  /// observable.
+  void invalidate() {
+    entries_.clear();
+    ++generation_;
+  }
+
+  /// Monotone counter of invalidations — lets a caller that caches derived
+  /// state (witnesses, signatures) notice it is out of date.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   struct Entry {
     bool whole = false;       // true: `full` is the digest for every input
@@ -42,6 +60,7 @@ class SighashCache {
     crypto::Sha256 midstate;  // prefix midstate, used when !whole
   };
   const Transaction& tx_;
+  std::uint64_t generation_ = 0;
   mutable std::map<script::SighashFlag, Entry> entries_;
 };
 
@@ -89,5 +108,13 @@ std::optional<crypto::SigBatchItem> p2wpkh_sig_claim(const Transaction& tx,
 /// Convenience: sign `tx`'s digest under `flag` and wrap as a wire signature.
 Bytes sign_input(const Transaction& tx, std::size_t input_index, const crypto::Scalar& sk,
                  const crypto::SignatureScheme& scheme, script::SighashFlag flag);
+
+/// Keypair variant: lets the scheme reuse the cached public key (Schnorr
+/// needs P for both nonce and challenge), and reuses `cache`'s digest when
+/// one is supplied (it must have been built over `tx` and invalidated after
+/// any mutation).
+Bytes sign_input(const Transaction& tx, std::size_t input_index, const crypto::KeyPair& kp,
+                 const crypto::SignatureScheme& scheme, script::SighashFlag flag,
+                 const SighashCache* cache = nullptr);
 
 }  // namespace daric::tx

@@ -10,6 +10,10 @@ namespace daric {
 /// Appends primitives to a growing byte buffer using Bitcoin wire encodings.
 class Writer {
  public:
+  /// Pre-sizes the buffer; one allocation instead of the vector's growth
+  /// doublings when the final size is known (or cheaply estimated) up front.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void u8(std::uint8_t v);
   void u16le(std::uint16_t v);
   void u32le(std::uint32_t v);

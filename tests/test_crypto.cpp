@@ -1,6 +1,9 @@
 // Unit tests for the from-scratch crypto substrate.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <span>
+
 #include "src/crypto/adaptor.h"
 #include "src/crypto/ct.h"
 #include "src/crypto/ecdsa.h"
@@ -596,6 +599,51 @@ TEST(SchnorrBatch, RejectsWrongMessageAndSwappedKeys) {
   auto swapped = items;
   std::swap(swapped[0].pk, swapped[1].pk);
   EXPECT_FALSE(crypto::schnorr_verify_batch(swapped));
+}
+
+TEST(Schnorr, KeyPairSignVerifies) {
+  const auto kp = crypto::derive_keypair("kp-fast-sign");
+  const Hash256 msg = crypto::Sha256::hash(str_bytes("keypair nonce path"));
+  // The keypair variant uses a different (synthetic) nonce than the sk
+  // variant, so the bytes differ — but both must verify under the same key.
+  const Bytes fast = crypto::schnorr_sign(kp, msg);
+  const Bytes slow = crypto::schnorr_sign(kp.sk, msg);
+  EXPECT_TRUE(crypto::schnorr_verify(kp.pk, msg, fast));
+  EXPECT_TRUE(crypto::schnorr_verify(kp.pk, msg, slow));
+  const Hash256 other = crypto::Sha256::hash(str_bytes("other message"));
+  EXPECT_FALSE(crypto::schnorr_verify(kp.pk, other, fast));
+}
+
+TEST(Schnorr, PrecomputedVerifyMatchesPlain) {
+  const auto kp = crypto::derive_keypair("precomp-verify");
+  const crypto::PrecomputedPoint pre(kp.pk);
+  for (int i = 0; i < 4; ++i) {
+    const Hash256 msg = crypto::Sha256::hash(str_bytes("pv" + std::to_string(i)));
+    const Bytes sig = crypto::schnorr_sign(kp, msg);
+    EXPECT_TRUE(crypto::schnorr_verify(pre, msg, sig));
+    EXPECT_EQ(crypto::schnorr_verify(pre, msg, sig),
+              crypto::schnorr_verify(kp.pk, msg, sig));
+    Bytes bad = sig;
+    bad[10] ^= 0x04;
+    EXPECT_FALSE(crypto::schnorr_verify(pre, msg, bad));
+  }
+}
+
+TEST(SchnorrBatch, PrecomputedTablesGiveSameVerdict) {
+  auto items = make_batch(5);
+  // Attach tables to a subset of the keys — the batch path must serve mixed
+  // precomputed/fresh entries (and the negated-key lookup inside).
+  std::vector<std::unique_ptr<crypto::PrecomputedPoint>> tables;
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+    tables.push_back(std::make_unique<crypto::PrecomputedPoint>(items[i].pk));
+    items[i].pre = tables.back().get();
+  }
+  EXPECT_TRUE(crypto::schnorr_verify_batch(items));
+  auto tampered = items;
+  tampered[2].sig[17] ^= 0x20;
+  EXPECT_FALSE(crypto::schnorr_verify_batch(tampered));
+  const std::span<const crypto::SigBatchItem> one(items.data() + 2, 1);
+  EXPECT_TRUE(crypto::schnorr_verify_batch(one));  // n==1 precomputed path
 }
 
 TEST(SchnorrBatch, SchemeInterfaceRoutesBatches) {
