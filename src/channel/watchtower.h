@@ -9,6 +9,7 @@
 #pragma once
 
 #include "src/ledger/ledger.h"
+#include "src/obs/metrics.h"
 #include "src/sim/party.h"
 
 namespace daric::channel {
@@ -17,9 +18,19 @@ class Watchtower {
  public:
   virtual ~Watchtower() = default;
 
-  /// Called at the end of every round; does nothing while offline.
+  /// Called at the end of every round; an offline round only widens the
+  /// missed-round accounting (Theorem 1's T − Δ gap is read off of it).
   void on_round(ledger::Ledger& l) {
-    if (online_) monitor(l);
+    if (!online_) {
+      ++missed_rounds_;
+      ++offline_gap_;
+      if (offline_gap_ > max_gap_) max_gap_ = offline_gap_;
+      if (missed_gauge_) missed_gauge_->set(missed_rounds_);
+      if (gap_gauge_) gap_gauge_->set(max_gap_);
+      return;
+    }
+    offline_gap_ = 0;
+    monitor(l);
   }
   /// Bytes this watchtower must persist for the channel it watches.
   virtual std::size_t storage_bytes() const = 0;
@@ -29,12 +40,27 @@ class Watchtower {
   void set_online(bool online) { online_ = online; }
   bool online() const { return online_; }
 
+  /// Optional registry instruments (e.g. "tower.missed_rounds.<name>" and
+  /// "tower.max_gap.<name>"); downtime sweeps assert the T − Δ boundary
+  /// straight from these instead of re-deriving gaps from schedules.
+  void bind_missed_metrics(obs::Gauge* missed, obs::Gauge* max_gap) {
+    missed_gauge_ = missed;
+    gap_gauge_ = max_gap;
+  }
+  std::int64_t missed_rounds() const { return missed_rounds_; }
+  std::int64_t max_offline_gap() const { return max_gap_; }
+
  protected:
   /// The actual per-round ledger inspection.
   virtual void monitor(ledger::Ledger& l) = 0;
 
  private:
   bool online_ = true;
+  std::int64_t missed_rounds_ = 0;
+  std::int64_t offline_gap_ = 0;
+  std::int64_t max_gap_ = 0;
+  obs::Gauge* missed_gauge_ = nullptr;
+  obs::Gauge* gap_gauge_ = nullptr;
 };
 
 }  // namespace daric::channel

@@ -1,5 +1,6 @@
 #include "src/daric/persistence.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/tx/sighash.h"
@@ -72,6 +73,11 @@ bool read_bool(Reader& r, const char* what) {
   if (v > 1) corrupt(std::string("bad ") + what + " flag");
   return v == 1;
 }
+
+}  // namespace
+
+// Shared with the durable store (declared in persistence.h).
+namespace snapio {
 
 void write_script(Writer& w, const script::Script& s) {
   w.varint(s.instructions().size());
@@ -159,6 +165,28 @@ tx::Transaction read_tx(Reader& r) {
   return t;
 }
 
+void write_pubkeys(Writer& w, const DaricPubKeys& p) {
+  w.var_bytes(p.main);
+  w.var_bytes(p.sp);
+  w.var_bytes(p.rv);
+  w.var_bytes(p.rv2);
+}
+
+DaricPubKeys read_pubkeys(Reader& r) {
+  DaricPubKeys p;
+  p.main = r.var_bytes();
+  p.sp = r.var_bytes();
+  p.rv = r.var_bytes();
+  p.rv2 = r.var_bytes();
+  return p;
+}
+
+}  // namespace snapio
+
+using namespace snapio;
+
+namespace {
+
 void write_state(Writer& w, const channel::StateVec& st) {
   w.u64le(static_cast<std::uint64_t>(st.to_a));
   w.u64le(static_cast<std::uint64_t>(st.to_b));
@@ -187,22 +215,6 @@ channel::StateVec read_state(Reader& r) {
   return st;
 }
 
-void write_pubkeys(Writer& w, const DaricPubKeys& p) {
-  w.var_bytes(p.main);
-  w.var_bytes(p.sp);
-  w.var_bytes(p.rv);
-  w.var_bytes(p.rv2);
-}
-
-DaricPubKeys read_pubkeys(Reader& r) {
-  DaricPubKeys p;
-  p.main = r.var_bytes();
-  p.sp = r.var_bytes();
-  p.rv = r.var_bytes();
-  p.rv2 = r.var_bytes();
-  return p;
-}
-
 }  // namespace
 
 ChannelSnapshot snapshot_party(const DaricParty& p) {
@@ -213,6 +225,7 @@ ChannelSnapshot snapshot_party(const DaricParty& p) {
   s.params = p.params_;
   s.id = p.id();
   s.sn = p.state_number();
+  s.theta_state = p.state_number();  // stable: Θ covers everything below sn
   s.st = p.state();
   s.fund_op = p.fund_op_;
   s.cm_own = p.cm_own_;
@@ -226,8 +239,37 @@ ChannelSnapshot snapshot_party(const DaricParty& p) {
   return s;
 }
 
+ChannelSnapshot snapshot_party_durable(const DaricParty& p) {
+  if (p.flag_ != channel::ChannelFlag::kUpdating) return snapshot_party(p);
+  if (!p.channel_open()) throw std::logic_error("channel not open");
+  if (!p.cm_own_new_ || !p.split_new_.complete())
+    throw std::logic_error("durable mid-update snapshot needs the post-message-4 state");
+  // Post-message-4 window: the party holds a fully-signed commit for sn+1
+  // and the complete floating split, but its own revocation of sn has not
+  // yet been externalized — so the snapshot advances Γ while Θ's coverage
+  // stays at the old sn.
+  ChannelSnapshot s;
+  s.params = p.params_;
+  s.id = p.id();
+  s.sn = p.sn_ + 1;
+  s.theta_state = p.sn_;
+  s.st = p.st_prime_;
+  s.fund_op = p.fund_op_;
+  s.cm_own = *p.cm_own_new_;
+  s.cm_own_script = p.cm_own_new_script_;
+  s.cm_other_script = p.cm_other_new_script_;
+  s.split_body = p.split_new_.body;
+  s.split_sig_a = p.split_new_.sig_a;
+  s.split_sig_b = p.split_new_.sig_b;
+  s.theta_sig = p.theta_sig_;
+  s.pub_other = p.pub_other_;
+  return s;
+}
+
 Bytes serialize_snapshot(const ChannelSnapshot& s) {
   Writer w;
+  w.bytes({kSnapshotMagic, sizeof(kSnapshotMagic)});
+  w.u8(kSnapshotVersion);
   w.var_bytes(Bytes(s.params.id.begin(), s.params.id.end()));
   w.u64le(static_cast<std::uint64_t>(s.params.cash_a));
   w.u64le(static_cast<std::uint64_t>(s.params.cash_b));
@@ -236,6 +278,7 @@ Bytes serialize_snapshot(const ChannelSnapshot& s) {
   w.u8(s.params.feeable_revocations ? 1 : 0);
   w.u8(s.id == PartyId::kA ? 0 : 1);
   w.u32le(s.sn);
+  w.u32le(s.theta_state);
   write_state(w, s.st);
   write_outpoint(w, s.fund_op);
   write_tx(w, s.cm_own);
@@ -252,6 +295,11 @@ Bytes serialize_snapshot(const ChannelSnapshot& s) {
 ChannelSnapshot deserialize_snapshot(BytesView data) {
   Reader r(data);
   ChannelSnapshot s;
+  const Bytes magic = r.bytes(sizeof(kSnapshotMagic));
+  if (!std::equal(magic.begin(), magic.end(), kSnapshotMagic)) corrupt("bad snapshot magic");
+  const std::uint8_t version = r.u8();
+  if (version != kSnapshotVersion)
+    throw std::invalid_argument("unsupported snapshot version " + std::to_string(version));
   const Bytes id = r.var_bytes();
   s.params.id.assign(id.begin(), id.end());
   s.params.cash_a = static_cast<Amount>(r.u64le());
@@ -261,6 +309,8 @@ ChannelSnapshot deserialize_snapshot(BytesView data) {
   s.params.feeable_revocations = read_bool(r, "feeable-revocations");
   s.id = read_bool(r, "party id") ? PartyId::kB : PartyId::kA;
   s.sn = r.u32le();
+  s.theta_state = r.u32le();
+  if (s.theta_state > s.sn) corrupt("theta coverage past sn");
   s.st = read_state(r);
   s.fund_op = read_outpoint(r);
   s.cm_own = read_tx(r);
@@ -324,7 +374,10 @@ void RestoredParty::on_round() {
 
   // Anything else spending the funding output is a revoked counterparty
   // commit: rebuild its script from the nLockTime-encoded state and punish.
-  if (s_.sn == 0 || s_.theta_sig.empty()) return;
+  // Θ only covers states below theta_state (for a mid-update snapshot that
+  // is one behind sn — the own revocation of sn-1 was never sent, so the
+  // counterparty's sn-1 commit is NOT revoked and must not be punished).
+  if (s_.theta_state == 0 || s_.theta_sig.empty()) return;
   if (spender->nlocktime < s_.params.s0) return;
   const std::uint32_t j = spender->nlocktime - s_.params.s0;
   const auto csv = static_cast<std::uint32_t>(s_.params.t_punish);
@@ -336,10 +389,11 @@ void RestoredParty::on_round() {
           ? commit_script(pa.sp, pb.sp, pa.rv2, pb.rv2, s_.params.s0 + j, csv)
           : commit_script(pa.sp, pb.sp, pa.rv, pb.rv, s_.params.s0 + j, csv);
   if (spender->outputs.size() != 1 ||
-      spender->outputs[0].cond != tx::Condition::p2wsh(guess) || j >= s_.sn)
+      spender->outputs[0].cond != tx::Condition::p2wsh(guess) || j >= s_.theta_state)
     return;
 
-  tx::Transaction rv = gen_revoke(pub_own.main, s_.params.capacity(), s_.sn - 1, s_.params);
+  tx::Transaction rv =
+      gen_revoke(pub_own.main, s_.params.capacity(), s_.theta_state - 1, s_.params);
   bind_floating(rv, {id, 0});
   const SighashFlag flag = s_.params.feeable_revocations ? SighashFlag::kSingleAnyPrevOut
                                                          : SighashFlag::kAllAnyPrevOut;

@@ -8,14 +8,28 @@
 #pragma once
 
 #include "src/daric/protocol.h"
+#include "src/util/serialize.h"
 
 namespace daric::daricch {
+
+/// Snapshot blob framing: 4-byte magic + a format-version byte, so a
+/// store can reject foreign blobs and future formats cleanly instead of
+/// misparsing them. Version 2 added theta_state (version 1 never carried
+/// a magic and is not readable).
+inline constexpr Byte kSnapshotMagic[4] = {'D', 'S', 'N', 'P'};
+inline constexpr std::uint8_t kSnapshotVersion = 2;
 
 /// Snapshot of a party's persistent channel state (Γ^P, Θ^P and keys).
 struct ChannelSnapshot {
   channel::ChannelParams params;
   sim::PartyId id = sim::PartyId::kA;
   std::uint32_t sn = 0;
+  /// Θ coverage: states j < theta_state are punishable with theta_sig
+  /// (which signs [TX_RV, theta_state-1]). Equal to sn for a stable
+  /// snapshot; equal to the *previous* sn for a mid-update snapshot taken
+  /// after message 4, where the new commit is signed but the own
+  /// revocation has not yet been externalized.
+  std::uint32_t theta_state = 0;
   channel::StateVec st;
   tx::OutPoint fund_op;
   tx::Transaction cm_own;          // fully signed
@@ -27,8 +41,14 @@ struct ChannelSnapshot {
   DaricPubKeys pub_other;
 };
 
-/// Extracts the persistable state from a live party.
+/// Extracts the persistable state from a live party (stable flag only).
 ChannelSnapshot snapshot_party(const DaricParty& p);
+
+/// Like snapshot_party, but also handles the mid-update window after
+/// message 4 (new commit fully signed, new split complete): the snapshot
+/// then carries state sn+1 with theta_state still at the old sn. This is
+/// the form the DurabilityHook persists at the protocol's fsync points.
+ChannelSnapshot snapshot_party_durable(const DaricParty& p);
 
 /// Serialization (the blob a wallet would write to disk).
 Bytes serialize_snapshot(const ChannelSnapshot& s);
@@ -57,5 +77,19 @@ class RestoredParty {
   std::optional<std::pair<Round, tx::Transaction>> pending_split_;
   CloseOutcome outcome_ = CloseOutcome::kNone;
 };
+
+/// Hardened codec helpers shared with the durable store's watchtower
+/// entries (src/store/tower.cpp). The readers never trust a length or enum
+/// byte; they throw std::invalid_argument on malformed input.
+namespace snapio {
+void write_tx(Writer& w, const tx::Transaction& t);
+tx::Transaction read_tx(Reader& r);
+void write_outpoint(Writer& w, const tx::OutPoint& op);
+tx::OutPoint read_outpoint(Reader& r);
+void write_script(Writer& w, const script::Script& s);
+script::Script read_script(Reader& r);
+void write_pubkeys(Writer& w, const DaricPubKeys& p);
+DaricPubKeys read_pubkeys(Reader& r);
+}  // namespace snapio
 
 }  // namespace daric::daricch

@@ -200,17 +200,31 @@ void DaricParty::try_punish(const tx::Transaction& spender) {
                         obs::Attr::i("latest_sn", static_cast<std::int64_t>(sn_))});
 }
 
+void DaricParty::close_with(CloseOutcome outcome, Round round) {
+  outcome_ = outcome;
+  closed_round_ = round;
+  open_ = false;
+  emit_closed(env_, params_, id_, outcome_);
+  if (durability_) durability_->closed(*this);
+}
+
 void DaricParty::on_round() {
-  if (!open_ || !online_) return;
+  if (!open_) return;
+  if (!online_) {
+    // Theorem 1 accounting: every missed monitor round widens the gap the
+    // T−Δ bound must cover. Sweeps read these straight off the registry.
+    ++missed_rounds_;
+    ++offline_gap_;
+    if (offline_gap_ > max_gap_) max_gap_ = offline_gap_;
+    if (missed_counter_) missed_counter_->inc();
+    if (max_gap_gauge_) max_gap_gauge_->set(max_gap_);
+    return;
+  }
+  offline_gap_ = 0;
   auto& ledger = env_.ledger();
 
   if (pending_revocation_txid_) {
-    if (ledger.is_confirmed(*pending_revocation_txid_)) {
-      outcome_ = CloseOutcome::kPunished;
-      closed_round_ = env_.now();
-      open_ = false;
-      emit_closed(env_, params_, id_, outcome_);
-    }
+    if (ledger.is_confirmed(*pending_revocation_txid_)) close_with(CloseOutcome::kPunished, env_.now());
     return;
   }
 
@@ -223,10 +237,7 @@ void DaricParty::on_round() {
         env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id,
                            sim::party_name(id_), {obs::Attr::s("phase", "split_posted")});
     } else if (pending_split_->posted && ledger.is_confirmed(pending_split_->bound.txid())) {
-      outcome_ = CloseOutcome::kNonCollaborative;
-      closed_round_ = env_.now();
-      open_ = false;
-      emit_closed(env_, params_, id_, outcome_);
+      close_with(CloseOutcome::kNonCollaborative, env_.now());
     }
     return;
   }
@@ -236,10 +247,7 @@ void DaricParty::on_round() {
   const Hash256 id = spender->txid();
 
   if (expected_coop_txid_ && id == *expected_coop_txid_) {
-    outcome_ = CloseOutcome::kCooperative;
-    closed_round_ = env_.now();
-    open_ = false;
-    emit_closed(env_, params_, id_, outcome_);
+    close_with(CloseOutcome::kCooperative, env_.now());
     return;
   }
 
@@ -273,12 +281,7 @@ void DaricParty::on_round() {
   // Otherwise it is one of *our own* revoked commits (republished by a
   // dishonest self in tests): the channel resolves once the counterparty's
   // revocation claims its output.
-  if (ledger.spender_of({id, 0})) {
-    outcome_ = CloseOutcome::kPunished;
-    closed_round_ = env_.now();
-    open_ = false;
-    emit_closed(env_, params_, id_, outcome_);
-  }
+  if (ledger.spender_of({id, 0})) close_with(CloseOutcome::kPunished, env_.now());
 }
 
 void DaricParty::force_close() {
@@ -454,6 +457,8 @@ bool DaricChannel::create() {
            sh_cm_a);
   finalize(b_, commits.body_b, commits.script_b, commits.body_a, commits.script_a, cm_b_sig_a,
            sh_cm_b);
+  if (a_.durability_) a_.durability_->persist(a_);
+  if (b_.durability_) b_.durability_->persist(b_);
   archive_a_.push_back(a_.cm_own_);
   archive_b_.push_back(b_.cm_own_);
   archive_splits_.push_back({split0, sp_sig_a, sp_sig_b, commits.script_a, commits.script_b});
@@ -632,7 +637,13 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   };
 
   // Message 5: revokeP (P → Q): P's signature on [TX^Q_RV,i].
+  //
+  // Fsync-before-externalize: once message 5 leaves, P's revocation of
+  // state i is out in the world, so P's Γ' (the fully-signed i+1 commit and
+  // complete floating split) must already be durable — a crash after the
+  // send may never post a commit the counterparty can now punish.
   const SighashFlag rv_flag = revocation_flag(params_);
+  if (p.durability_) p.durability_->persist(p);
   if (abort_by(p, q, 5)) return false;
   const Bytes rv_q_sig_p = tx::sign_input(rv_q, 0, rv_sign_key(p, q), scheme, rv_flag, &sh_rv_q);
   const int n5 = send_or_close(p, "revokeP");
@@ -665,7 +676,10 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   };
   for (int copy = 0; copy < n5; ++copy) promote(q, rv_q_sig_p);
 
-  // Message 6: revokeQ (Q → P): Q's signature on [TX^P_RV,i].
+  // Message 6: revokeQ (Q → P): Q's signature on [TX^P_RV,i]. Same barrier
+  // for Q: its promotion to i+1 must be durable before its revocation of i
+  // is externalized.
+  if (q.durability_) q.durability_->persist(q);
   if (abort_by(q, p, 6)) return false;
   const Bytes rv_p_sig_q = tx::sign_input(rv_p, 0, rv_sign_key(q, p), scheme, rv_flag, &sh_rv_p);
   const int n6 = send_or_close(q, "revokeQ");
@@ -679,6 +693,7 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
     return false;
   }
   for (int copy = 0; copy < n6; ++copy) promote(p, rv_p_sig_q);
+  if (p.durability_) p.durability_->persist(p);
 
   archive_a_.push_back(a_.cm_own_);
   archive_b_.push_back(b_.cm_own_);

@@ -16,6 +16,7 @@
 #include "src/crypto/point.h"
 #include "src/daric/builders.h"
 #include "src/daric/skeleton.h"
+#include "src/obs/metrics.h"
 #include "src/sim/environment.h"
 #include "src/sim/party.h"
 
@@ -25,8 +26,23 @@ enum class CloseOutcome { kNone, kCooperative, kNonCollaborative, kPunished };
 
 struct WatchtowerPackage;  // defined in daric/watchtower.h
 struct ChannelSnapshot;    // defined in daric/persistence.h
+class DaricParty;
 
 const char* close_outcome_name(CloseOutcome o);
+
+/// Durability callback wired into the protocol's fsync points. persist() is
+/// invoked at every moment the party's state is about to become binding —
+/// right before a revocation signature is externalized, and after a state
+/// promotion — and must make the snapshot durable before returning (the
+/// chaos drills crash parties immediately after these calls and recover
+/// from whatever the hook synced). closed() fires once the channel resolves
+/// so the store can drop the channel's records.
+class DurabilityHook {
+ public:
+  virtual ~DurabilityHook() = default;
+  virtual void persist(const DaricParty& p) = 0;
+  virtual void closed(const DaricParty& /*p*/) {}
+};
 
 /// Misbehavior knobs (all zero/false = honest).
 struct Behavior {
@@ -45,6 +61,7 @@ class DaricParty {
   const DaricKeys& keys() const { return keys_; }
   const DaricPubKeys& pub() const { return pub_own_; }
   const sim::Environment& environment() const { return env_; }
+  const channel::ChannelParams& params() const { return params_; }
 
   // --- observable state -------------------------------------------------
   std::uint32_t state_number() const { return sn_; }
@@ -66,6 +83,20 @@ class DaricParty {
   void set_online(bool online) { online_ = online; }
   bool online() const { return online_; }
 
+  /// Durable-store hook; nullptr (the default) keeps the party ephemeral.
+  void set_durability_hook(DurabilityHook* hook) { durability_ = hook; }
+  DurabilityHook* durability_hook() const { return durability_; }
+
+  /// Offline-gap accounting for Theorem 1's T−Δ bound: while the channel is
+  /// open and the party offline, every round counts as missed. The metrics
+  /// instruments are optional (sweeps bind them per party; see obs).
+  void bind_monitor_metrics(obs::Counter* missed, obs::Gauge* max_gap) {
+    missed_counter_ = missed;
+    max_gap_gauge_ = max_gap;
+  }
+  std::int64_t missed_rounds() const { return missed_rounds_; }
+  std::int64_t max_offline_gap() const { return max_gap_; }
+
   /// ForceClose^P(id): posts the newest fully-signed own commit.
   void force_close();
 
@@ -80,6 +111,7 @@ class DaricParty {
   friend class DaricWatchtower;
   friend WatchtowerPackage make_watchtower_package(const DaricParty&);
   friend ChannelSnapshot snapshot_party(const DaricParty&);
+  friend ChannelSnapshot snapshot_party_durable(const DaricParty&);
 
   struct FloatingSplit {
     tx::Transaction body;  // [TX_SP,i]‾ — unbound
@@ -145,9 +177,19 @@ class DaricParty {
   Bytes theta_sig_;
 
   // Close bookkeeping.
+  /// Records the outcome and notifies the durability hook (store cleanup).
+  void close_with(CloseOutcome outcome, Round round);
   CloseOutcome outcome_ = CloseOutcome::kNone;
   std::optional<Round> closed_round_;
   std::optional<Hash256> expected_coop_txid_;
+
+  // Durability + monitor-gap instrumentation.
+  DurabilityHook* durability_ = nullptr;
+  obs::Counter* missed_counter_ = nullptr;
+  obs::Gauge* max_gap_gauge_ = nullptr;
+  std::int64_t missed_rounds_ = 0;
+  std::int64_t offline_gap_ = 0;
+  std::int64_t max_gap_ = 0;
 
   // Pending split publication (non-collaborative close in progress).
   struct PendingSplit {

@@ -1,11 +1,13 @@
 #include "src/sim/faults/drill.h"
 
+#include <algorithm>
 #include <initializer_list>
 #include <optional>
 
 #include "src/crypto/sig_scheme.h"
 #include "src/daric/persistence.h"
 #include "src/daric/protocol.h"
+#include "src/store/channel_store.h"
 #include "src/eltoo/protocol.h"
 #include "src/generalized/protocol.h"
 #include "src/lightning/protocol.h"
@@ -168,6 +170,16 @@ DrillReport run_daric(const FaultSchedule& s, const DrillObs& o) {
   daricch::DaricChannel ch(env, params);
   chp = &ch;
 
+  // Every drill runs both parties over a durable channel store so the
+  // engine's fsync points fire on every schedule, not only crashing ones.
+  // Crash recovery reads the victim's state back from its backend image.
+  store::MemoryBackend backend_a;
+  store::MemoryBackend backend_b;
+  store::ChannelStore store_a(backend_a, &env.metrics());
+  store::ChannelStore store_b(backend_b, &env.metrics());
+  ch.party(PartyId::kA).set_durability_hook(&store_a);
+  ch.party(PartyId::kB).set_durability_hook(&store_b);
+
   rep.create_ok = ch.create();
   if (!rep.create_ok) {
     // Abandoned open: both funding sources must still sit untouched.
@@ -189,11 +201,29 @@ DrillReport run_daric(const FaultSchedule& s, const DrillObs& o) {
   bool update_aborted = false;
   const std::optional<CrashPoint> crash =
       s.crashes.empty() ? std::nullopt : std::optional<CrashPoint>(s.crashes[0]);
+  // A mid-update crash only makes sense for a message the victim actually
+  // sends (the proposer — always A here — sends 1/3/5, the responder
+  // 2/4/6); a mismatched pairing degrades to the legacy post-update crash.
+  const bool mid_crash =
+      crash && crash->at_msg != 0 &&
+      (crash->victim == PartyId::kA) == (crash->at_msg % 2 == 1);
+  bool crashed_mid = false;
   for (std::uint32_t i = 0; i < s.updates; ++i) {
     const Amount to_a = update_to_a(s.seed, i);
     const StateVec next{to_a, kCapacity - to_a, {}};
     attempted = next;
+    if (mid_crash && rep.updates_done + 1 == crash->after_update) {
+      // The victim dies immediately before sending message at_msg of this
+      // update: everything after the engine's last fsync is gone, and the
+      // counterparty sees only silence and force-closes.
+      windows_active = false;
+      daricch::DaricParty& victim = ch.party(crash->victim);
+      victim.set_online(false);
+      victim.behavior.abort_update_before_msg = static_cast<int>(crash->at_msg);
+      crashed_mid = true;
+    }
     if (!ch.update(next)) {
+      if (crashed_mid) break;
       update_aborted = true;
       break;
     }
@@ -219,22 +249,57 @@ DrillReport run_daric(const FaultSchedule& s, const DrillObs& o) {
     audit({got_stable, Payout{attempted->to_a, attempted->to_b}});
     rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && !s.cheat.expect_loss;
     rep.detail = "update aborted to force-close";
-  } else if (crash && rep.updates_done == crash->after_update) {
-    // Crash-recovery: snapshot → serialize → restore → the restored
-    // monitor finishes the channel on its own.
+  } else if (crashed_mid || (crash && rep.updates_done == crash->after_update)) {
+    // Crash-recovery off the durable store: the victim's surviving state is
+    // exactly what its ChannelStore synced, plus whatever fragment of the
+    // in-flight write the disk kept. Recovery truncates that tail and
+    // restores a standalone monitor from the last durable snapshot.
     rep.crashed = true;
     windows_active = false;
     daricch::DaricParty& victim = ch.party(crash->victim);
-    const Bytes blob = daricch::serialize_snapshot(daricch::snapshot_party(victim));
-    daricch::RestoredParty restored(env, daricch::deserialize_snapshot(blob));
     victim.set_online(false);  // the crashed process never comes back
-    env.add_round_hook([&restored] { restored.on_round(); });
-    restored.force_close();
-    for (int r = 0; r < 400 && !restored.done(); ++r) env.advance_round();
-    rep.closed = restored.done();
-    audit({got_stable});
+
+    Bytes image =
+        (crash->victim == PartyId::kA ? backend_a : backend_b).durable_image();
+    if (crash->torn_bytes != 0) {
+      if (crash->corrupt_tail) {
+        // Bit rot in the unsynced tail: garbage after the synced prefix.
+        for (std::uint32_t k = 0; k < crash->torn_bytes; ++k)
+          image.push_back(static_cast<Byte>(mix(s.seed, 0x7042ull + k)));
+      } else {
+        // Torn write: a strict prefix of a record that never hit the sync
+        // barrier, so recovery must drop it without touching earlier ones.
+        const Bytes frame = store::encode_record(store::encode_put(
+            store::ChannelStore::channel_key(victim), Bytes(48, 0xab)));
+        const std::size_t take =
+            std::min<std::size_t>(crash->torn_bytes, frame.size() - 1);
+        image.insert(image.end(), frame.begin(),
+                     frame.begin() + static_cast<std::ptrdiff_t>(take));
+      }
+    }
+    store::MemoryBackend crashed_disk;
+    crashed_disk.replace(image);
+    store::ChannelStore recovered_store(crashed_disk);
+    const Bytes* blob =
+        recovered_store.get(store::ChannelStore::channel_key(victim));
+    rep.closed = false;
+    if (blob) {
+      daricch::RestoredParty restored(env, daricch::deserialize_snapshot(*blob));
+      env.add_round_hook([&restored] { restored.on_round(); });
+      restored.force_close();
+      for (int r = 0; r < 400 && !restored.done(); ++r) env.advance_round();
+      rep.closed = restored.done();
+    }
+    if (crashed_mid && attempted) {
+      // A mid-update crash may settle at either fully-signed state: the old
+      // one (crash before the victim saw the new commit fully signed) or
+      // the attempted one (counterparty already promoted it).
+      audit({got_stable, Payout{attempted->to_a, attempted->to_b}});
+    } else {
+      audit({got_stable});
+    }
     rep.ok = rep.closed && rep.conservation_ok && rep.payout_ok && !s.cheat.expect_loss;
-    rep.detail = "crash-recovery close";
+    rep.detail = crashed_mid ? "mid-update crash recovery" : "crash-recovery close";
   } else if (s.cheat.enabled && s.cheat.state < rep.updates_done) {
     rep.cheated = true;
     windows_active = false;
@@ -669,6 +734,7 @@ BoundaryReport run_downtime_boundary(Round offline_rounds, Round t_punish, Round
   rep.funds_lost = res.funds_lost;
   rep.closed = res.closed;
   rep.conservation_ok = conserved(env.ledger());
+  rep.observed_gap = static_cast<Round>(ch.party(PartyId::kA).max_offline_gap());
   return rep;
 }
 

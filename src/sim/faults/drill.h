@@ -77,6 +77,11 @@ struct BoundaryReport {
   bool funds_lost = false;
   bool closed = false;
   bool conservation_ok = false;
+  /// Longest contiguous run of rounds the victim's monitor actually missed,
+  /// read back from the party's own downtime accounting (the same series
+  /// the obs registry exports). Sweeps assert the T − Δ boundary against
+  /// this observed gap, not just the requested offline_rounds.
+  Round observed_gap = 0;
 };
 
 BoundaryReport run_downtime_boundary(Round offline_rounds, Round t_punish, Round delta);

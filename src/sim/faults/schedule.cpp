@@ -105,6 +105,19 @@ FaultSchedule generate_schedule(std::uint64_t seed, Round delta, Round t_punish)
         static_cast<std::uint64_t>(max_down > 0 ? max_down + 1 : 1)));
     s.cheat.expect_loss = false;
   }
+
+  // Extended crash shape. These draws come after every legacy draw, so
+  // every seed's schedule is unchanged in all fields that existed before —
+  // only crash points (rare by construction) gain the new dimensions.
+  if (!s.crashes.empty()) {
+    CrashPoint& c = s.crashes.front();
+    if (rng.chance(500)) c.at_msg = 1 + static_cast<std::uint32_t>(rng.below(6));
+    const std::uint64_t tail = rng.below(3);  // 0 = clean, 1 = torn, 2 = garbage
+    if (tail != 0) {
+      c.torn_bytes = 1 + static_cast<std::uint32_t>(rng.below(48));
+      c.corrupt_tail = tail == 2;
+    }
+  }
   return s;
 }
 
@@ -124,8 +137,13 @@ std::string to_text(const FaultSchedule& s) {
   }
   for (const DowntimeWindow& w : s.downtime)
     out << "down " << w.start << ' ' << w.length << ' ' << party_token(w.victim) << '\n';
-  for (const CrashPoint& c : s.crashes)
-    out << "crash " << c.after_update << ' ' << party_token(c.victim) << '\n';
+  for (const CrashPoint& c : s.crashes) {
+    out << "crash " << c.after_update << ' ' << party_token(c.victim);
+    // Extended fields only when set, so legacy schedules stay byte-canonical.
+    if (c.at_msg != 0 || c.torn_bytes != 0 || c.corrupt_tail)
+      out << ' ' << c.at_msg << ' ' << c.torn_bytes << ' ' << (c.corrupt_tail ? 1 : 0);
+    out << '\n';
+  }
   if (s.cheat.enabled) {
     out << "cheat " << party_token(s.cheat.cheater) << ' ' << s.cheat.state << ' '
         << s.cheat.victim_offline << ' ' << (s.cheat.expect_loss ? 1 : 0) << '\n';
@@ -185,6 +203,15 @@ FaultSchedule parse_schedule(const std::string& text) {
       CrashPoint c;
       c.after_update = static_cast<std::uint32_t>(parse_u64(rest("crash"), "crash update"));
       c.victim = parse_party(rest("crash"));
+      std::string tok;
+      if (ls >> tok) {  // extended form: at_msg torn_bytes corrupt
+        c.at_msg = static_cast<std::uint32_t>(parse_u64(tok, "crash at-msg"));
+        if (c.at_msg > 6) throw std::runtime_error("fault schedule: crash at-msg > 6");
+        c.torn_bytes = static_cast<std::uint32_t>(parse_u64(rest("crash"), "crash torn"));
+        c.corrupt_tail = parse_u64(rest("crash"), "crash corrupt") != 0;
+        if (c.at_msg == 0 && c.torn_bytes == 0 && !c.corrupt_tail)
+          throw std::runtime_error("fault schedule: extended crash form with default fields");
+      }
       s.crashes.push_back(c);
     } else if (key == "cheat") {
       s.cheat.enabled = true;

@@ -41,11 +41,27 @@ struct DowntimeWindow {
 };
 
 /// Crash-recovery drill point: after the `after_update`-th successful
-/// update, `victim` crashes; the drill serializes its snapshot, restores a
-/// standalone monitor from the blob, and finishes the channel with it.
+/// update, `victim` crashes; the drill recovers the victim's durable store
+/// image (truncated at the last synced write), restores a standalone
+/// monitor from it, and finishes the channel with it.
+///
+/// `at_msg` moves the crash *inside* the next update: the victim dies
+/// immediately before sending the at_msg-th protocol message (1..6), i.e.
+/// right after the engine's last fsync for that boundary. 0 keeps the
+/// legacy semantics (crash after the update completes). A victim that does
+/// not send message at_msg (the proposer sends 1/3/5, the responder
+/// 2/4/6) degrades to the legacy post-update crash.
+///
+/// `torn_bytes` / `corrupt_tail` model the write that was in flight when
+/// the machine died: a fragment of a never-synced record (torn write) or
+/// garbage bytes (bit rot in the unsynced tail) appended to the surviving
+/// image. Recovery must truncate either without harming synced records.
 struct CrashPoint {
   std::uint32_t after_update = 1;
   PartyId victim = PartyId::kA;
+  std::uint32_t at_msg = 0;       // 0 = after the update; 1..6 = before msg k
+  std::uint32_t torn_bytes = 0;   // bytes of a partial record appended
+  bool corrupt_tail = false;      // garbage tail instead of a clean fragment
 
   bool operator==(const CrashPoint&) const = default;
 };

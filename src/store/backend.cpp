@@ -1,0 +1,150 @@
+#include "src/store/backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace daric::store {
+
+// ---------------------------------------------------------------------------
+// MemoryBackend
+// ---------------------------------------------------------------------------
+
+void MemoryBackend::append(BytesView data) {
+  data_.insert(data_.end(), data.begin(), data.end());
+}
+
+Bytes MemoryBackend::read(std::size_t off, std::size_t len) const {
+  if (off > data_.size() || len > data_.size() - off)
+    throw std::out_of_range("MemoryBackend::read past end");
+  return {data_.begin() + static_cast<std::ptrdiff_t>(off),
+          data_.begin() + static_cast<std::ptrdiff_t>(off + len)};
+}
+
+void MemoryBackend::truncate(std::size_t new_size) {
+  if (new_size < data_.size()) data_.resize(new_size);
+  if (synced_ > data_.size()) synced_ = data_.size();
+}
+
+void MemoryBackend::replace(BytesView contents) {
+  data_.assign(contents.begin(), contents.end());
+  synced_ = data_.size();
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::system_error(errno, std::generic_category(), what + " '" + path + "'");
+}
+
+void write_fully(int fd, const Byte* p, std::size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write", path);
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;  // best effort; some filesystems refuse dir fds
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+FileBackend::FileBackend(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) io_fail("open", path_);
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) io_fail("lseek", path_);
+  size_ = static_cast<std::size_t>(end);
+}
+
+FileBackend::~FileBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileBackend::append(BytesView data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  size_ += data.size();
+  // Bound the write buffer during bulk loads. Flushing early is safe: only
+  // sync() promises durability, the kernel may hold flushed bytes anyway.
+  if (buffer_.size() >= (4u << 20)) flush_buffer();
+}
+
+void FileBackend::flush_buffer() {
+  if (buffer_.empty()) return;
+  if (::lseek(fd_, 0, SEEK_END) < 0) io_fail("lseek", path_);
+  write_fully(fd_, buffer_.data(), buffer_.size(), path_);
+  buffer_.clear();
+}
+
+void FileBackend::sync() {
+  flush_buffer();
+  if (::fsync(fd_) < 0) io_fail("fsync", path_);
+}
+
+Bytes FileBackend::read(std::size_t off, std::size_t len) const {
+  if (off > size_ || len > size_ - off) throw std::out_of_range("FileBackend::read past end");
+  const_cast<FileBackend*>(this)->flush_buffer();
+  Bytes out(len);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::pread(fd_, out.data() + got, len - got,
+                              static_cast<off_t>(off + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_fail("pread", path_);
+    }
+    if (r == 0) throw std::out_of_range("FileBackend::read: short file");
+    got += static_cast<std::size_t>(r);
+  }
+  return out;
+}
+
+void FileBackend::truncate(std::size_t new_size) {
+  if (new_size >= size_) return;
+  flush_buffer();
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) < 0) io_fail("ftruncate", path_);
+  if (::fsync(fd_) < 0) io_fail("fsync", path_);
+  size_ = new_size;
+}
+
+void FileBackend::replace(BytesView contents) {
+  const std::string tmp = path_ + ".tmp";
+  const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) io_fail("open", tmp);
+  write_fully(tfd, contents.data(), contents.size(), tmp);
+  if (::fsync(tfd) < 0) {
+    ::close(tfd);
+    io_fail("fsync", tmp);
+  }
+  ::close(tfd);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) io_fail("rename", tmp);
+  fsync_parent_dir(path_);
+  // Reopen so the fd points at the new inode.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR, 0644);
+  if (fd_ < 0) io_fail("open", path_);
+  buffer_.clear();
+  size_ = contents.size();
+}
+
+}  // namespace daric::store

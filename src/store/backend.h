@@ -1,0 +1,94 @@
+// Pluggable storage backends for the durable channel store.
+//
+// A backend is a single growable byte image with an explicit durability
+// barrier: append() buffers, sync() promises everything appended so far
+// survives a crash. The distinction is the whole point — the protocol
+// engines call sync() exactly at the fsync-before-externalize points, and
+// the chaos drills model a crash as "only the synced prefix (plus possibly
+// a torn fragment of the in-flight write) survives".
+//
+// Two implementations: MemoryBackend (simulation/tests, tracks the synced
+// watermark so drills can compute the surviving image) and FileBackend
+// (a real file with fsync(2) and atomic whole-image replacement via
+// write-temp + rename for snapshot compaction).
+#pragma once
+
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace daric::store {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Total bytes in the image (including not-yet-synced appends).
+  virtual std::size_t size() const = 0;
+  /// Appends `data` at the end of the image (buffered until sync()).
+  virtual void append(BytesView data) = 0;
+  /// Durability barrier: everything appended before this call survives a
+  /// crash after it returns.
+  virtual void sync() = 0;
+  /// Reads [off, off+len); throws std::out_of_range past the end.
+  virtual Bytes read(std::size_t off, std::size_t len) const = 0;
+  /// Drops everything at and after `new_size` (recovery truncates the torn
+  /// tail with this). No-op if the image is already that short.
+  virtual void truncate(std::size_t new_size) = 0;
+  /// Atomically replaces the whole image (snapshot compaction). Durable on
+  /// return — a crash observes either the old image or the new one, never
+  /// a mix.
+  virtual void replace(BytesView contents) = 0;
+
+  Bytes read_all() const { return read(0, size()); }
+};
+
+/// In-memory backend with an explicit synced watermark.
+class MemoryBackend : public StorageBackend {
+ public:
+  std::size_t size() const override { return data_.size(); }
+  void append(BytesView data) override;
+  void sync() override { synced_ = data_.size(); }
+  Bytes read(std::size_t off, std::size_t len) const override;
+  void truncate(std::size_t new_size) override;
+  void replace(BytesView contents) override;
+
+  /// Bytes guaranteed durable (advanced by sync()/replace()).
+  std::size_t synced_size() const { return synced_; }
+  /// What a crash right now would leave on disk: the synced prefix.
+  Bytes durable_image() const { return {data_.begin(), data_.begin() + synced_}; }
+
+ private:
+  Bytes data_;
+  std::size_t synced_ = 0;
+};
+
+/// File-backed backend. append() uses buffered writes; sync() flushes the
+/// buffer and fsyncs. replace() writes `<path>.tmp`, fsyncs it, renames it
+/// over the live file and fsyncs the directory, so compaction is atomic.
+class FileBackend : public StorageBackend {
+ public:
+  explicit FileBackend(std::string path);
+  ~FileBackend() override;
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  std::size_t size() const override { return size_; }
+  void append(BytesView data) override;
+  void sync() override;
+  Bytes read(std::size_t off, std::size_t len) const override;
+  void truncate(std::size_t new_size) override;
+  void replace(BytesView contents) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void flush_buffer();
+
+  std::string path_;
+  int fd_ = -1;
+  std::size_t size_ = 0;     // logical size = file size + buffered bytes
+  Bytes buffer_;             // appended but not yet written to the fd
+};
+
+}  // namespace daric::store

@@ -1,0 +1,55 @@
+#include "src/store/crc32c.h"
+
+#include <array>
+
+namespace daric::store {
+
+namespace {
+
+// Slice-by-4 tables for the reflected Castagnoli polynomial. Built once at
+// static-init time; 4 KiB total, fast enough for the log's record sizes
+// (hundreds of bytes) without pulling in SSE4.2 intrinsics.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+
+  Tables() {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, BytesView data) {
+  const Tables& tb = tables();
+  crc = ~crc;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    crc ^= static_cast<std::uint32_t>(data[i]) |
+           (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    crc = tb.t[3][crc & 0xffu] ^ tb.t[2][(crc >> 8) & 0xffu] ^ tb.t[1][(crc >> 16) & 0xffu] ^
+          tb.t[0][crc >> 24];
+  }
+  for (; i < data.size(); ++i) crc = (crc >> 8) ^ tb.t[0][(crc ^ data[i]) & 0xffu];
+  return ~crc;
+}
+
+std::uint32_t crc32c(BytesView data) { return crc32c_extend(0, data); }
+
+}  // namespace daric::store

@@ -1,0 +1,19 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum framing every record in the durable log. Chosen over CRC-32
+// (IEEE) for its better error-detection properties on storage payloads —
+// the same choice LevelDB/RocksDB and ext4 metadata made.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace daric::store {
+
+/// One-shot CRC-32C of `data` (initial crc = 0).
+std::uint32_t crc32c(BytesView data);
+
+/// Streaming form: feed the previous return value back in as `crc`.
+std::uint32_t crc32c_extend(std::uint32_t crc, BytesView data);
+
+}  // namespace daric::store

@@ -1,0 +1,123 @@
+#include "src/store/log.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/store/crc32c.h"
+
+namespace daric::store {
+
+namespace {
+
+std::uint32_t load_u32le(const Byte* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_u32le(Byte* p, std::uint32_t v) {
+  p[0] = static_cast<Byte>(v & 0xffu);
+  p[1] = static_cast<Byte>((v >> 8) & 0xffu);
+  p[2] = static_cast<Byte>((v >> 16) & 0xffu);
+  p[3] = static_cast<Byte>((v >> 24) & 0xffu);
+}
+
+Bytes fresh_header() {
+  Bytes h(kLogHeaderSize);
+  std::memcpy(h.data(), kLogMagic, sizeof(kLogMagic));
+  h[4] = kLogVersion;
+  return h;
+}
+
+bool header_ok(BytesView image) {
+  return image.size() >= kLogHeaderSize &&
+         std::memcmp(image.data(), kLogMagic, sizeof(kLogMagic)) == 0 &&
+         image[4] == kLogVersion;
+}
+
+// Core scanner over a full in-memory image. Returns the scan result; calls
+// `fn` for each intact record.
+ScanResult scan_image(BytesView image,
+                      const std::function<void(std::size_t, BytesView)>& fn) {
+  ScanResult r;
+  if (image.empty()) {
+    // A log that was never initialized: nothing valid, nothing dropped.
+    r.status = LogStatus::kBadHeader;
+    return r;
+  }
+  if (!header_ok(image)) {
+    r.status = LogStatus::kBadHeader;
+    r.dropped_bytes = image.size();
+    return r;
+  }
+  std::size_t off = kLogHeaderSize;
+  while (off < image.size()) {
+    if (image.size() - off < kRecordFrameOverhead) break;  // torn frame header
+    const std::uint32_t len = load_u32le(image.data() + off);
+    const std::uint32_t want_crc = load_u32le(image.data() + off + 4);
+    if (len > kMaxRecordPayload) break;                       // absurd length
+    if (image.size() - off - kRecordFrameOverhead < len) break;  // torn payload
+    const BytesView payload{image.data() + off + kRecordFrameOverhead, len};
+    if (crc32c(payload) != want_crc) break;  // corrupt payload
+    if (fn) fn(off + kRecordFrameOverhead, payload);
+    ++r.records;
+    off += kRecordFrameOverhead + len;
+  }
+  r.valid_bytes = off;
+  r.dropped_bytes = image.size() - off;
+  r.status = r.dropped_bytes == 0 ? LogStatus::kOk : LogStatus::kTornTail;
+  return r;
+}
+
+}  // namespace
+
+void init_log(StorageBackend& backend) {
+  if (backend.size() != 0) throw std::invalid_argument("init_log: backend not empty");
+  backend.append(fresh_header());
+}
+
+Bytes encode_record(BytesView payload) {
+  if (payload.size() > kMaxRecordPayload)
+    throw std::invalid_argument("encode_record: payload too large");
+  Bytes frame(kRecordFrameOverhead + payload.size());
+  store_u32le(frame.data(), static_cast<std::uint32_t>(payload.size()));
+  store_u32le(frame.data() + 4, crc32c(payload));
+  if (!payload.empty())
+    std::memcpy(frame.data() + kRecordFrameOverhead, payload.data(), payload.size());
+  return frame;
+}
+
+void append_record(StorageBackend& backend, BytesView payload) {
+  backend.append(encode_record(payload));
+}
+
+ScanResult scan_log(const StorageBackend& backend,
+                    const std::function<void(std::size_t, BytesView)>& fn) {
+  const Bytes image = backend.read_all();
+  return scan_image(image, fn);
+}
+
+ScanResult recover_log(StorageBackend& backend,
+                       const std::function<void(std::size_t, BytesView)>& fn) {
+  const Bytes image = backend.read_all();
+  ScanResult r = scan_image(image, fn);
+  if (r.status == LogStatus::kBadHeader) {
+    // Nothing salvageable without the framing: reset to a fresh, durable log.
+    backend.replace(fresh_header());
+    return r;
+  }
+  if (r.dropped_bytes > 0) {
+    backend.truncate(r.valid_bytes);
+    backend.sync();
+  }
+  return r;
+}
+
+RecoveredLog recover_records(StorageBackend& backend) {
+  RecoveredLog out;
+  out.result = recover_log(backend, [&out](std::size_t, BytesView payload) {
+    out.records.emplace_back(payload.begin(), payload.end());
+  });
+  return out;
+}
+
+}  // namespace daric::store

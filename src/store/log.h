@@ -1,0 +1,75 @@
+// Append-only record log with CRC32C framing and torn-tail recovery.
+//
+// Image layout:
+//   header:  "DRLG" magic (4 bytes) + format-version byte
+//   record:  u32le payload_length | u32le crc32c(payload) | payload
+//
+// Recovery scans from the start and accepts the longest prefix of intact
+// records: a record whose length field runs past the end of the image, or
+// whose payload fails its CRC, is a torn tail — it and everything after it
+// are dropped (and, with recover(), physically truncated). This is exactly
+// the write-ahead-log contract: an append interrupted mid-write never
+// yields a half-applied record, only a shorter valid log.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/store/backend.h"
+
+namespace daric::store {
+
+inline constexpr Byte kLogMagic[4] = {'D', 'R', 'L', 'G'};
+inline constexpr std::uint8_t kLogVersion = 1;
+inline constexpr std::size_t kLogHeaderSize = 5;
+inline constexpr std::size_t kRecordFrameOverhead = 8;  // length + crc
+/// Upper bound on one record's payload; a corrupted length field almost
+/// always lands above it, so the scanner rejects it without allocating.
+inline constexpr std::size_t kMaxRecordPayload = 16u << 20;
+
+enum class LogStatus {
+  kOk,           // every byte accounted for
+  kTornTail,     // trailing bytes failed validation and were dropped
+  kBadHeader,    // image is non-empty but the magic/version is wrong
+};
+
+struct ScanResult {
+  LogStatus status = LogStatus::kOk;
+  std::size_t valid_bytes = 0;    // header + intact records
+  std::size_t dropped_bytes = 0;  // torn tail (or whole image on kBadHeader)
+  std::uint64_t records = 0;
+};
+
+/// Writes the log header onto an empty backend (throws if non-empty).
+void init_log(StorageBackend& backend);
+
+/// Frames one payload (length + CRC + bytes) without touching a backend —
+/// the unit the drills use to synthesize torn/corrupt tails.
+Bytes encode_record(BytesView payload);
+
+/// Appends one framed record. Durability is the caller's business: call
+/// backend.sync() at the protocol's fsync points, not per record.
+void append_record(StorageBackend& backend, BytesView payload);
+
+/// Walks the image, invoking `fn(offset, payload)` for every intact record
+/// (offset is the payload's position in the image, usable with
+/// backend.read later). Stops at the first torn record. Never throws on
+/// corruption — corruption is a return status, not an error.
+ScanResult scan_log(const StorageBackend& backend,
+                    const std::function<void(std::size_t, BytesView)>& fn);
+
+/// scan_log + physical truncation of the torn tail, so the next append
+/// lands after the last valid record. On kBadHeader the image is reset to
+/// a fresh header (nothing salvageable without the framing).
+ScanResult recover_log(StorageBackend& backend,
+                       const std::function<void(std::size_t, BytesView)>& fn);
+
+/// Convenience: recover_log collecting the payloads.
+struct RecoveredLog {
+  ScanResult result;
+  std::vector<Bytes> records;
+};
+RecoveredLog recover_records(StorageBackend& backend);
+
+}  // namespace daric::store

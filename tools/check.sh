@@ -3,7 +3,7 @@
 # ASan+UBSan, a bounded model-check run, the secret-hygiene lint, and —
 # when the binary is installed — clang-tidy over the library sources.
 #
-# Usage: tools/check.sh [--fast|--bench|--chaos|--analyze|--tsan|--trace]
+# Usage: tools/check.sh [--fast|--bench|--chaos|--durable|--analyze|--tsan|--trace]
 #   --fast    skip the sanitizer rebuild (plain tests + model check + lint)
 #   --bench   build Release, run the crypto + update microbenches, write
 #             BENCH_crypto.json / BENCH_update_microbench.json at the repo
@@ -12,6 +12,9 @@
 #   --chaos   fixed-seed 200-schedule fault-injection sweep (Daric + all
 #             baselines) plus the downtime-boundary scan and the committed
 #             regression schedules, under ASan+UBSan
+#   --durable crash-replay gate under ASan+UBSan: 200 schedules that kill a
+#             party at a message boundary (with torn/garbage log tails) and
+#             recover it from the durable store, plus the store unit tests
 #   --analyze run only the static script/transaction analyzer gate
 #   --tsan    build with ThreadSanitizer and run the tier-1 suite under it
 #   --trace   observability gate: run daric_trace on canned scenarios and a
@@ -24,12 +27,14 @@ cd "$(dirname "$0")/.."
 FAST=0
 BENCH=0
 CHAOS=0
+DURABLE=0
 ANALYZE=0
 TSAN=0
 TRACE=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 [[ "${1:-}" == "--bench" ]] && BENCH=1
 [[ "${1:-}" == "--chaos" ]] && CHAOS=1
+[[ "${1:-}" == "--durable" ]] && DURABLE=1
 [[ "${1:-}" == "--analyze" ]] && ANALYZE=1
 [[ "${1:-}" == "--tsan" ]] && TSAN=1
 [[ "${1:-}" == "--trace" ]] && TRACE=1
@@ -222,6 +227,21 @@ if [[ "$CHAOS" == 1 ]]; then
   done
 
   echo; echo "check.sh --chaos: all sweeps clean"
+  exit 0
+fi
+
+if [[ "$DURABLE" == 1 ]]; then
+  step "ASan+UBSan build (chaos driver + store tests)"
+  cmake -B build-asan -S . -DDARIC_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j --target daric_chaos test_store >/dev/null
+
+  step "durable store unit + torn-tail fuzz tests"
+  ./build-asan/tests/test_store
+
+  step "crash-replay sweep: 200 schedules, every message boundary"
+  ./build-asan/tools/daric_chaos --durable-sweep 200 --seed 1
+
+  echo; echo "check.sh --durable: crash recovery never violates Theorem 1"
   exit 0
 fi
 
