@@ -4,6 +4,39 @@
 
 namespace daric::analyze {
 
+const char* principal_name(Principal p) {
+  switch (p) {
+    case Principal::kPartyP: return "P";
+    case Principal::kPartyQ: return "Q";
+    case Principal::kTower: return "Tower";
+    case Principal::kAdversary: return "Adversary";
+    case Principal::kAnyone: return "Anyone";
+  }
+  return "?";
+}
+
+std::size_t PrincipalSet::size() const {
+  std::size_t n = 0;
+  for (std::uint8_t b = bits_; b != 0; b &= static_cast<std::uint8_t>(b - 1)) ++n;
+  return n;
+}
+
+std::string PrincipalSet::render() const {
+  static constexpr Principal kOrder[] = {Principal::kPartyP, Principal::kPartyQ,
+                                         Principal::kTower, Principal::kAdversary,
+                                         Principal::kAnyone};
+  std::string out = "{";
+  bool first = true;
+  for (Principal p : kOrder) {
+    if (!has(p)) continue;
+    if (!first) out += ",";
+    out += principal_name(p);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
 Truth AbsVal::truth() const {
   if (kind == Kind::kConst)
     return script::cast_to_bool(bytes) ? Truth::kTrue : Truth::kFalse;

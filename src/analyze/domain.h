@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,65 @@
 namespace daric::analyze {
 
 enum class Truth : std::uint8_t { kTrue, kFalse, kUnknown };
+
+/// Protocol principals for the authorization analysis (auth.h). kPartyP and
+/// kPartyQ are the channel parties ("A" and "B" in the engine enumerators),
+/// kTower the watchtower. kAnyone is the empty-knowledge spender — it can
+/// only take paths with no gate at all. kAdversary is a *classification*,
+/// not a knowledge holder: a finding is adversarial when a principal can
+/// satisfy a path the protocol never intended for it.
+enum class Principal : std::uint8_t { kPartyP, kPartyQ, kTower, kAdversary, kAnyone };
+
+const char* principal_name(Principal p);
+
+/// Small fixed bitset over Principal.
+class PrincipalSet {
+ public:
+  constexpr PrincipalSet() = default;
+  constexpr PrincipalSet(std::initializer_list<Principal> ps) {
+    for (Principal p : ps) bits_ |= bit(p);
+  }
+
+  void add(Principal p) { bits_ |= bit(p); }
+  void remove(Principal p) { bits_ &= static_cast<std::uint8_t>(~bit(p)); }
+  bool has(Principal p) const { return (bits_ & bit(p)) != 0; }
+  bool empty() const { return bits_ == 0; }
+  std::size_t size() const;
+
+  bool subset_of(const PrincipalSet& o) const { return (bits_ & ~o.bits_) == 0; }
+  bool intersects(const PrincipalSet& o) const { return (bits_ & o.bits_) != 0; }
+  PrincipalSet minus(const PrincipalSet& o) const {
+    PrincipalSet r;
+    r.bits_ = bits_ & static_cast<std::uint8_t>(~o.bits_);
+    return r;
+  }
+
+  PrincipalSet& operator|=(const PrincipalSet& o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+
+  bool operator==(const PrincipalSet& o) const { return bits_ == o.bits_; }
+  bool operator!=(const PrincipalSet& o) const { return bits_ != o.bits_; }
+
+  /// "{P,Q,Tower}" — stable order, "{}" when empty.
+  std::string render() const;
+
+ private:
+  static constexpr std::uint8_t bit(Principal p) {
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(p));
+  }
+  std::uint8_t bits_ = 0;
+};
+
+/// A fully-signed transaction exchanged off-chain: whoever holds it can post
+/// the input's complete witness without producing any signature themselves.
+/// `from_time` is the state index at which the exchange happens (state j is
+/// created at time j; its revocation material moves at time j+1).
+struct Presign {
+  PrincipalSet holders;
+  std::int32_t from_time = 0;
+};
 
 struct AbsVal {
   enum class Kind : std::uint8_t {
@@ -31,9 +91,17 @@ struct AbsVal {
   };
 
   Kind kind = Kind::kOpaque;
-  Bytes bytes;                 // kConst payload
+  Bytes bytes;                 // kConst payload; kHashEq: the constant hash image compared
   int witness_index = -1;      // kWitness / kSig: origin slot in the witness stack
   script::SighashFlag flag = script::SighashFlag::kAll;  // kSig only
+  // kSigResult only: the constant pubkeys the check was made against and the
+  // signature threshold (1 for CHECKSIG, k for k-of-n CHECKMULTISIG). When a
+  // key operand was not a constant, `opaque_keys` is set and `keys` may be
+  // incomplete — the authorization analysis then treats the gate as
+  // unsatisfiable-by-knowledge.
+  std::vector<Bytes> keys;
+  int threshold = 0;
+  bool opaque_keys = false;
 
   Truth truth() const;
   bool is_const() const { return kind == Kind::kConst; }
@@ -49,6 +117,15 @@ struct AbsVal {
   static AbsVal of_kind(Kind k);
 };
 
+/// One signature check that must pass on a path: `threshold` signatures under
+/// keys drawn from `keys`. `opaque` marks a gate whose key material was not a
+/// script constant — no principal can be proven able to satisfy it.
+struct SigGate {
+  std::vector<Bytes> keys;
+  int threshold = 1;
+  bool opaque = false;
+};
+
 /// Conditions a single execution path imposes on the spender and the
 /// spending transaction.
 struct PathGuards {
@@ -58,6 +135,8 @@ struct PathGuards {
   std::vector<std::uint32_t> csv;   // CSV demands on the spent output's age
   bool symbolic_timelock = false;   // a CLTV/CSV operand was not a constant
   bool symbolic_multisig = false;   // a CHECKMULTISIG arity was not a constant
+  std::vector<SigGate> sig_reqs;    // key material behind each sig gate
+  std::vector<Bytes> hash_images;   // constant image behind each hash gate
 };
 
 /// Abstract shape of one witness-stack element in a transaction template.

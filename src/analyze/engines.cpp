@@ -22,13 +22,14 @@ channel::ChannelParams params_for_model(const verify::Options& model, std::strin
 
 std::vector<TxTemplate> engine_templates(const std::string& engine,
                                          const channel::ChannelParams& p,
-                                         const verify::Options& model) {
-  if (engine == "daric") return daricch::enumerate_templates(p, model);
-  if (engine == "lightning") return lightning::enumerate_templates(p, model);
-  if (engine == "eltoo") return eltoo::enumerate_templates(p, model);
-  if (engine == "generalized") return generalized::enumerate_templates(p, model);
-  if (engine == "cerberus") return cerberus::enumerate_templates(p, model);
-  if (engine == "fppw") return fppw::enumerate_templates(p, model);
+                                         const verify::Options& model,
+                                         KnowledgeBase* kb) {
+  if (engine == "daric") return daricch::enumerate_templates(p, model, kb);
+  if (engine == "lightning") return lightning::enumerate_templates(p, model, kb);
+  if (engine == "eltoo") return eltoo::enumerate_templates(p, model, kb);
+  if (engine == "generalized") return generalized::enumerate_templates(p, model, kb);
+  if (engine == "cerberus") return cerberus::enumerate_templates(p, model, kb);
+  if (engine == "fppw") return fppw::enumerate_templates(p, model, kb);
   throw std::invalid_argument("unknown engine: " + engine);
 }
 

@@ -7,6 +7,7 @@
 // protocol.
 #pragma once
 
+#include "src/analyze/auth.h"
 #include "src/analyze/templates.h"
 #include "src/channel/params.h"
 #include "src/verify/model.h"
@@ -19,12 +20,15 @@ channel::ChannelParams params_for_model(const verify::Options& model,
                                         std::string id = "analyze");
 
 /// All templates of one engine by name ("daric", "lightning", "eltoo",
-/// "generalized"); throws std::invalid_argument on an unknown name.
+/// "generalized"); throws std::invalid_argument on an unknown name. When
+/// `kb` is given, the enumerator also registers every signing key and hash
+/// preimage its templates depend on (the authorization analysis input).
 std::vector<TxTemplate> engine_templates(const std::string& engine,
                                          const channel::ChannelParams& p,
-                                         const verify::Options& model);
+                                         const verify::Options& model,
+                                         KnowledgeBase* kb = nullptr);
 
-/// Concatenation over all four engines.
+/// Concatenation over all engines.
 std::vector<TxTemplate> all_engine_templates(const channel::ChannelParams& p,
                                              const verify::Options& model);
 

@@ -57,6 +57,14 @@ AbsVal hash_abs(script::Op op, const AbsVal& a) {
   return AbsVal::of_kind(AbsVal::Kind::kHash);
 }
 
+SigGate gate_of(const AbsVal& v) {
+  SigGate g;
+  g.keys = v.keys;
+  g.threshold = v.threshold > 0 ? v.threshold : 1;
+  g.opaque = v.opaque_keys || v.keys.empty();
+  return g;
+}
+
 struct SymState {
   std::size_t ip = 0;
   std::vector<AbsVal> stack;
@@ -186,8 +194,14 @@ class Explorer {
       } else {
         const AbsVal& top = st.stack.back();
         r.accept = top.truth();
-        if (top.kind == AbsVal::Kind::kSigResult) r.gated = true;
-        if (top.kind == AbsVal::Kind::kHashEq) r.gated = true;
+        if (top.kind == AbsVal::Kind::kSigResult) {
+          r.gated = true;
+          r.guards.sig_reqs.push_back(gate_of(top));
+        }
+        if (top.kind == AbsVal::Kind::kHashEq) {
+          r.gated = true;
+          r.guards.hash_images.push_back(top.bytes);
+        }
       }
     } else {
       r.accept = Truth::kFalse;
@@ -199,15 +213,21 @@ class Explorer {
     out_.paths.push_back(std::move(r));
   }
 
-  // Records a branch decision; `sig_backed` marks decisions whose underlying
-  // condition evaluating to true implies a signature/hash check passed.
+  // Records a branch decision; conditions whose true direction implies a
+  // signature/hash check passed contribute a gate on that direction.
   void take_branch(SymState& st, std::size_t ip, bool value, bool cond_true,
-                   AbsVal::Kind cond_kind) {
+                   const AbsVal& c) {
     CondInfo& ci = cond_info(ip);
     ci.explored[value] = true;
     st.res.branches.emplace_back(ip, value);
-    if (cond_true && cond_kind == AbsVal::Kind::kSigResult) ++st.res.guards.sig_gates;
-    if (cond_true && cond_kind == AbsVal::Kind::kHashEq) ++st.res.guards.hash_gates;
+    if (cond_true && c.kind == AbsVal::Kind::kSigResult) {
+      ++st.res.guards.sig_gates;
+      st.res.guards.sig_reqs.push_back(gate_of(c));
+    }
+    if (cond_true && c.kind == AbsVal::Kind::kHashEq) {
+      ++st.res.guards.hash_gates;
+      st.res.guards.hash_images.push_back(c.bytes);
+    }
     st.cond.push_back(value);
   }
 
@@ -235,14 +255,14 @@ class Explorer {
           // Fork: explore both directions of the conditional.
           SymState other = st;
           const bool true_dir_value = in.op == Op::OP_IF;  // NOTIF inverts
-          take_branch(st, ip, true, true == true_dir_value, c.kind);
-          take_branch(other, ip, false, false == true_dir_value, c.kind);
+          take_branch(st, ip, true, true == true_dir_value, c);
+          take_branch(other, ip, false, false == true_dir_value, c);
           work_.push_back(std::move(other));
           continue;
         }
         const bool value = t == Truth::kTrue;
         const bool cond_true = in.op == Op::OP_IF ? value : !value;
-        take_branch(st, ip, value, cond_true, c.kind);
+        take_branch(st, ip, value, cond_true, c);
         continue;
       }
       if (in.op == Op::OP_ELSE) {
@@ -282,8 +302,14 @@ class Explorer {
           if (!pop(st, v)) return fail(st, ip, "stack-underflow");
           if (v.truth() == Truth::kFalse)
             return fail(st, ip, "verify-on-false-constant");
-          if (v.kind == AbsVal::Kind::kSigResult) ++st.res.guards.sig_gates;
-          if (v.kind == AbsVal::Kind::kHashEq) ++st.res.guards.hash_gates;
+          if (v.kind == AbsVal::Kind::kSigResult) {
+            ++st.res.guards.sig_gates;
+            st.res.guards.sig_reqs.push_back(gate_of(v));
+          }
+          if (v.kind == AbsVal::Kind::kHashEq) {
+            ++st.res.guards.hash_gates;
+            st.res.guards.hash_images.push_back(v.bytes);
+          }
           break;
         }
         case Op::OP_RETURN:
@@ -302,10 +328,15 @@ class Explorer {
             }
           } else if (a.kind == AbsVal::Kind::kHash || b.kind == AbsVal::Kind::kHash) {
             // Hash-preimage condition: the spender must produce a preimage.
+            // The constant side (if any) is the required image.
+            const Bytes image = a.is_const() ? a.bytes : b.is_const() ? b.bytes : Bytes{};
             if (verify) {
               ++st.res.guards.hash_gates;
+              st.res.guards.hash_images.push_back(image);
             } else {
-              push(st, AbsVal::of_kind(AbsVal::Kind::kHashEq));
+              AbsVal eq = AbsVal::of_kind(AbsVal::Kind::kHashEq);
+              eq.bytes = image;
+              push(st, std::move(eq));
             }
           } else {
             // Equality over attacker-chosen values: satisfiable, not a gate.
@@ -327,13 +358,20 @@ class Explorer {
           if (!pop(st, pk) || !pop(st, sig))
             return fail(st, ip, "stack-underflow");
           const bool definite_fail = sig.is_const();  // fixed bytes are no signature
+          AbsVal result = AbsVal::of_kind(AbsVal::Kind::kSigResult);
+          result.threshold = 1;
+          if (pk.is_const()) {
+            result.keys.push_back(pk.bytes);
+          } else {
+            result.opaque_keys = true;
+          }
           if (in.op == Op::OP_CHECKSIGVERIFY) {
             if (definite_fail)
               return fail(st, ip, "checksigverify-on-constant");
             ++st.res.guards.sig_gates;
+            st.res.guards.sig_reqs.push_back(gate_of(result));
           } else {
-            push(st, definite_fail ? AbsVal::constant({})
-                                   : AbsVal::of_kind(AbsVal::Kind::kSigResult));
+            push(st, definite_fail ? AbsVal::constant({}) : std::move(result));
           }
           break;
         }
@@ -347,9 +385,16 @@ class Explorer {
           }
           const std::uint64_t n = script::decode_number(n_elem.bytes);
           if (n > 20) return fail(st, ip, "bad-multisig");
+          std::vector<Bytes> keys;
+          bool opaque_keys = false;
           for (std::uint64_t i = 0; i < n; ++i) {
             AbsVal key;
             if (!pop(st, key)) return fail(st, ip, "stack-underflow");
+            if (key.is_const()) {
+              keys.push_back(std::move(key.bytes));
+            } else {
+              opaque_keys = true;
+            }
           }
           AbsVal k_elem;
           if (!pop(st, k_elem)) return fail(st, ip, "stack-underflow");
@@ -372,10 +417,20 @@ class Explorer {
           AbsVal result = k == 0 ? AbsVal::constant(Bytes{1})
                          : all_const ? AbsVal::constant({})
                                      : AbsVal::of_kind(AbsVal::Kind::kSigResult);
+          if (result.kind == AbsVal::Kind::kSigResult) {
+            // Keys were popped top-first; restore script order.
+            std::reverse(keys.begin(), keys.end());
+            result.keys = std::move(keys);
+            result.threshold = static_cast<int>(k);
+            result.opaque_keys = opaque_keys;
+          }
           if (in.op == Op::OP_CHECKMULTISIGVERIFY) {
             if (result.truth() == Truth::kFalse)
               return fail(st, ip, "checkmultisigverify-on-constant");
-            if (result.kind == AbsVal::Kind::kSigResult) ++st.res.guards.sig_gates;
+            if (result.kind == AbsVal::Kind::kSigResult) {
+              ++st.res.guards.sig_gates;
+              st.res.guards.sig_reqs.push_back(gate_of(result));
+            }
           } else {
             push(st, std::move(result));
           }

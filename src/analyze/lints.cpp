@@ -36,6 +36,12 @@ const std::vector<Lint> kCatalogue = {
     {"DA020", Severity::kError, "revocation/punish template is unreachable (dead edge)"},
     {"DA021", Severity::kError, "honest spender does not strictly win a contested output"},
     {"DA022", Severity::kError, "spend-graph cycle (ANYPREVOUT rebinding loop)"},
+    {"DA023", Severity::kError, "latest-state path satisfiable outside the protocol edges"},
+    {"DA024", Severity::kError, "punish path satisfiable beyond its intended principals"},
+    {"DA025", Severity::kError, "accepting path binds no principal (no key behind the gate)"},
+    {"DA026", Severity::kError, "punish satisfiable by one principal before revocation"},
+    {"DA027", Severity::kError, "pubkey reused across roles or missing a key registration"},
+    {"DA028", Severity::kError, "intended spender requires a secret not yet revealed"},
 };
 
 bool is_single_flag(script::SighashFlag f) {
@@ -48,7 +54,7 @@ struct Emitter {
 
   void operator()(LintId id, std::string message, std::string trace = "") const {
     const Lint& info = lint_info(id);
-    rep.add(Finding{info.id, info.severity, where, std::move(message), std::move(trace)});
+    rep.add(Finding{info.id, info.severity, where, std::move(message), std::move(trace), ""});
   }
 };
 

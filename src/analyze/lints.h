@@ -38,6 +38,12 @@ enum class LintId {
   kDeadPunishEdge,          // DA020: revocation/punish template unreachable
   kRaceLost,                // DA021: honest path does not strictly win a race
   kRebindCycle,             // DA022: spend-graph cycle (ANYPREVOUT loop)
+  kUnauthorizedSpend,       // DA023: latest-state path satisfiable outside protocol
+  kOverAuthorizedPunish,    // DA024: punish path satisfiable beyond intended set
+  kUnderConstrainedWitness, // DA025: accepting path with no principal-binding check
+  kPrematurePunish,         // DA026: punish satisfiable before the revocation event
+  kKeyRoleReuse,            // DA027: one pubkey serving two roles / unregistered key
+  kSecretBeforeReveal,      // DA028: intended spender blocked on an unrevealed secret
 };
 
 struct Lint {

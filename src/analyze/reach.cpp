@@ -14,7 +14,7 @@ constexpr Round kUnreachable = std::numeric_limits<Round>::max();
 
 void emit(Report& rep, LintId id, std::string where, std::string message) {
   const Lint& info = lint_info(id);
-  rep.add(Finding{info.id, info.severity, std::move(where), std::move(message), ""});
+  rep.add(Finding{info.id, info.severity, std::move(where), std::move(message), "", ""});
 }
 
 /// Fixpoint executability: a template is executable when every input has at
@@ -135,7 +135,7 @@ std::size_t ReachReport::races_won() const {
 }
 
 ReachReport analyze_reachability(const SpendGraph& g, const ReachParams& params,
-                                 Report& rep) {
+                                 Report& rep, const AuthReport* auth) {
   ReachReport out;
   out.engine = g.templates.empty() ? "" : g.templates.front().engine;
   out.delta = params.delta;
@@ -213,10 +213,22 @@ ReachReport analyze_reachability(const SpendGraph& g, const ReachParams& params,
       for (int ei : o.spenders) {
         const SpendGraph::Edge& e = g.edges[static_cast<std::size_t>(ei)];
         if (!e.satisfiable) continue;
-        if (g.tmpl(e.spender).tag == TemplateTag::kPunish)
+        if (g.tmpl(e.spender).tag == TemplateTag::kPunish) {
           honest_age = std::min(honest_age, e.honest_age());
-        else
+        } else {
+          // Authorization-aware racing: only a rival edge the stale commit's
+          // publisher can actually sign competes against the punish side
+          // (an anyone-can-spend rival always competes).
+          if (auth && ei < static_cast<int>(auth->edges.size()) &&
+              c < auth->publishers.size()) {
+            const PrincipalSet& able =
+                auth->edges[static_cast<std::size_t>(ei)].authorized;
+            if (!able.has(Principal::kAnyone) &&
+                !able.intersects(auth->publishers[c]))
+              continue;
+          }
           rival_csv = std::min(rival_csv, e.adversary_age());
+        }
       }
       if (honest_age == kUnreachable || rival_csv == kUnreachable) continue;
       Race race;

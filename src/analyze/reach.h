@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analyze/auth.h"
 #include "src/analyze/graph.h"
 #include "src/analyze/report.h"
 
@@ -64,7 +65,11 @@ struct ReachReport {
 /// Runs the full reachability analysis, appending DA018..DA022 findings to
 /// `rep`. The graph is expected to hold a single engine's templates (the
 /// per-engine bound would otherwise be meaningless).
+///
+/// When `auth` (from analyze_authorization over the same graph) is given,
+/// races are resolved only among principals who can actually sign: a rival
+/// edge no publisher of the stale commit can satisfy is not a race.
 ReachReport analyze_reachability(const SpendGraph& g, const ReachParams& params,
-                                 Report& rep);
+                                 Report& rep, const AuthReport* auth = nullptr);
 
 }  // namespace daric::analyze

@@ -11,6 +11,7 @@ std::string Finding::render() const {
   out += " ";
   out += id;
   out += " [" + where + "]: " + message;
+  if (!principals.empty()) out += " principals=" + principals;
   if (!trace.empty()) out += " (path " + trace + ")";
   return out;
 }

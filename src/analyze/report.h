@@ -21,6 +21,7 @@ struct Finding {
   std::string where;    // "engine/template#in0" or "script <name>"
   std::string message;  // one-line statement of the defect
   std::string trace;    // branch decisions of the offending path ("" if structural)
+  std::string principals;  // rendered principal set for authorization lints ("" if n/a)
 
   /// "error DA003 [daric/commit#in0]: message (path if@3=T)"
   std::string render() const;

@@ -23,6 +23,15 @@ struct TemplateInput {
   std::vector<WitnessElem> witness;              // bottom..top, tx::Witness order
   Round spend_age = 0;   // rounds after prevout confirmation before posting
   bool rebindable = false;  // floating: input is bound/rebound at publish time
+
+  // Authorization annotations (auth.h). `intended` is the full set of
+  // principals the protocol *permits* to post this input's witness — not
+  // merely the expected poster. Empty means "unannotated"; the authorization
+  // analysis then skips the intended-vs-computed cross-checks for the input.
+  PrincipalSet intended;
+  // Set when the complete witness was exchanged as a fully-signed
+  // transaction: holders can post it without signing anything themselves.
+  std::optional<Presign> presigned;
 };
 
 /// Protocol role of a template in the spend-graph round model (graph.h).

@@ -8,12 +8,21 @@
 namespace daric::cerberus {
 
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model) {
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb) {
+  using analyze::Presign;
+  using analyze::Principal;
+  using analyze::PrincipalSet;
   using analyze::TemplateInput;
   using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
+
+  const PrincipalSet kP{Principal::kPartyP};
+  const PrincipalSet kQ{Principal::kPartyQ};
+  const PrincipalSet kT{Principal::kTower};
+  const PrincipalSet kPQ{Principal::kPartyP, Principal::kPartyQ};
 
   std::vector<TxTemplate> out;
   // Key derivations mirror CerberusChannel's constructor.
@@ -38,14 +47,41 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
   const script::Script fund_script =
       script::multisig_2of2(main_a.pk.compressed(), main_b.pk.compressed());
   const tx::OutPoint fund_op = analyze::template_outpoint(p.id + "/cb/fund");
-  auto fund_in = [&] {
+  auto fund_in = [&](PrincipalSet who, std::int32_t from) {
     TemplateInput in;
     in.spent = {cap, tx::Condition::p2wsh(fund_script)};
     in.witness_script = fund_script;
     in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
                   WitnessElem::sig(SighashFlag::kAll)};
+    in.intended = who;
+    in.presigned = Presign{who, from};
     return in;
   };
+
+  if (kb) {
+    kb->add_key(main_a.pk.compressed(), "cb/A/fund", kP);
+    kb->add_key(main_b.pk.compressed(), "cb/B/fund", kQ);
+    kb->add_key(delayed_a.pk.compressed(), "cb/A/delayed", kP);
+    kb->add_key(delayed_b.pk.compressed(), "cb/B/delayed", kQ);
+    kb->add_key(tower_key.pk.compressed(), "cb/tower", kT);
+    // pub_{a,b}.main alias the funding keys (same derivation path).
+    // Revocation legs are split across the parties (even legs owner, odd
+    // legs counterparty), so the 2-of-2 revocation branch is never
+    // satisfiable from one party's key knowledge alone — the tower acts
+    // through the pre-signed revocation transaction, not raw keys.
+    for (std::uint32_t j = 0; j <= n_latest; ++j) {
+      for (const bool owner_a : {true, false}) {
+        for (int leg = 0; leg < 4; ++leg) {
+          const PrincipalSet owner = owner_a ? kP : kQ;
+          const PrincipalSet other = owner_a ? kQ : kP;
+          kb->add_key(rev_pk(owner_a, j, leg),
+                      std::string("cb/rev/") + (owner_a ? "A/" : "B/") +
+                          std::to_string(j) + "/" + std::to_string(leg),
+                      leg % 2 == 0 ? owner : other);
+        }
+      }
+    }
+  }
 
   for (std::uint32_t j = 0; j <= n_latest; ++j) {
     const Amount to_a = model.to_a(static_cast<int>(j));
@@ -64,7 +100,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
       commit.nlocktime = p.s0 + j;
       commit.outputs = {{owner_a ? to_a : to_b, tx::Condition::p2wsh(local)},
                         {owner_a ? to_b : to_a, tx::Condition::p2wsh(remote)}};
-      out.push_back({"cerberus", "commit[" + tag + "]", commit, {fund_in()},
+      out.push_back({"cerberus", "commit[" + tag + "]", commit,
+                     {fund_in(owner_a ? kP : kQ, static_cast<std::int32_t>(j))},
                      TemplateTag::kCommit, static_cast<std::int32_t>(j)});
       const Hash256 commit_txid = commit.txid();
 
@@ -89,8 +126,17 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
         const std::vector<WitnessElem> rev_wit = {
             WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
             WitnessElem::sig(SighashFlag::kAll), WitnessElem::constant(Bytes{1})};
+        // Victim and tower hold the fully signed revocation once state j is
+        // revoked at j+1.
+        const PrincipalSet avengers{owner_a ? Principal::kPartyQ : Principal::kPartyP,
+                                    Principal::kTower};
+        TemplateInput rv0 = output_in(0, local, rev_wit, 0);
+        TemplateInput rv1 = output_in(1, remote, rev_wit, 0);
+        rv0.intended = rv1.intended = avengers;
+        rv0.presigned = rv1.presigned =
+            Presign{avengers, static_cast<std::int32_t>(j) + 1};
         out.push_back({"cerberus", "revocation[" + tag + "]", rv,
-                       {output_in(0, local, rev_wit, 0), output_in(1, remote, rev_wit, 0)},
+                       {std::move(rv0), std::move(rv1)},
                        TemplateTag::kPunish});
       }
 
@@ -102,20 +148,23 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
       sweep.nlocktime = 0;
       sweep.outputs = {{commit.outputs[0].cash,
                         tx::Condition::p2wpkh(owner_a ? pub_a.main : pub_b.main)}};
-      out.push_back({"cerberus", "sweep[" + tag + "]", sweep,
-                     {output_in(0, local,
-                                {WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
-                                p.t_punish)}});
+      TemplateInput sweep_in = output_in(
+          0, local, {WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
+          p.t_punish);
+      sweep_in.intended = owner_a ? kP : kQ;
+      out.push_back({"cerberus", "sweep[" + tag + "]", sweep, {std::move(sweep_in)}});
 
       tx::Transaction rsweep;
       rsweep.inputs = {{{commit_txid, 1}}};
       rsweep.nlocktime = 0;
       rsweep.outputs = {{commit.outputs[1].cash,
                          tx::Condition::p2wpkh(owner_a ? pub_b.main : pub_a.main)}};
+      TemplateInput rsweep_in = output_in(
+          1, remote, {WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
+          p.t_punish);
+      rsweep_in.intended = owner_a ? kQ : kP;
       out.push_back({"cerberus", "remote-sweep[" + tag + "]", rsweep,
-                     {output_in(1, remote,
-                                {WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
-                                p.t_punish)}});
+                     {std::move(rsweep_in)}});
     }
   }
 
@@ -127,7 +176,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                cap - model.to_a(static_cast<int>(n_latest)),
                                {}};
     close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
-    out.push_back({"cerberus", "coop-close", close, {fund_in()}});
+    out.push_back({"cerberus", "coop-close", close,
+                   {fund_in(kPQ, static_cast<std::int32_t>(n_latest))}});
   }
 
   return out;

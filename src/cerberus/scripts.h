@@ -2,6 +2,7 @@
 // promoting it from a cost model to a first-class analyzable engine.
 #pragma once
 
+#include "src/analyze/auth.h"
 #include "src/analyze/templates.h"
 #include "src/channel/params.h"
 #include "src/verify/model.h"
@@ -13,8 +14,12 @@ namespace daric::cerberus {
 /// outputs each), the tower-held revocations claiming both outputs with a
 /// reward carve-out, the owner/remote delayed sweeps (the cheater's race on
 /// revoked states), and the cooperative close. Key derivations mirror
-/// CerberusChannel's constructor; the tower reward is capacity/100.
+/// CerberusChannel's constructor; the tower reward is capacity/100. When
+/// `kb` is given, every signing key (including the tower's reward key and
+/// the per-state revocation legs, split across the parties) is registered
+/// for the authorization analysis.
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model);
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb = nullptr);
 
 }  // namespace daric::cerberus

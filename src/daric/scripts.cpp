@@ -49,20 +49,49 @@ std::vector<tx::Output> state_outputs(const channel::StateVec& st, BytesView pk_
 }
 
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model) {
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb) {
+  using analyze::Presign;
+  using analyze::Principal;
+  using analyze::PrincipalSet;
   using analyze::TemplateInput;
   using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
 
+  const PrincipalSet kP{Principal::kPartyP};
+  const PrincipalSet kQ{Principal::kPartyQ};
+  const PrincipalSet kPQ{Principal::kPartyP, Principal::kPartyQ};
+  const PrincipalSet kPQT{Principal::kPartyP, Principal::kPartyQ, Principal::kTower};
+
   std::vector<TxTemplate> out;
   const DaricPubKeys pa = to_pub(DaricKeys::derive("A", p.id));
   const DaricPubKeys pb = to_pub(DaricKeys::derive("B", p.id));
   const Amount cap = p.capacity();
   const auto n_latest = static_cast<std::uint32_t>(model.max_updates);
+  const auto n_time = static_cast<std::int32_t>(n_latest);
   const SighashFlag rv_flag =
       p.feeable_revocations ? SighashFlag::kSingleAnyPrevOut : SighashFlag::kAllAnyPrevOut;
+
+  if (kb) {
+    // A's keys are P's, B's are Q's; the revocation 2-of-2s deliberately
+    // split across the parties so neither can punish alone.
+    kb->add_key(pa.main, "A/main", kP);
+    kb->add_key(pb.main, "B/main", kQ);
+    kb->add_key(pa.sp, "A/split", kP);
+    kb->add_key(pb.sp, "B/split", kQ);
+    kb->add_key(pa.rv, "A/rev", kP);
+    kb->add_key(pb.rv, "B/rev", kQ);
+    kb->add_key(pa.rv2, "A/rev2", kP);
+    kb->add_key(pb.rv2, "B/rev2", kQ);
+    kb->add_key(crypto::derive_keypair(p.id + "/A/funding-source").pk.compressed(),
+                "A/wallet", kP);
+    kb->add_key(crypto::derive_keypair(p.id + "/B/funding-source").pk.compressed(),
+                "B/wallet", kQ);
+    kb->add_key(crypto::derive_keypair(p.id + "/A/fee-source").pk.compressed(),
+                "A/fee", kP);
+  }
 
   const FundingTemplate fund =
       gen_fund(analyze::template_outpoint(p.id + "/src/A"),
@@ -76,18 +105,22 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
       in.spent = {cash, tx::Condition::p2wpkh(k.pk.compressed())};
       in.witness = {WitnessElem::sig(SighashFlag::kAll),
                     WitnessElem::constant(k.pk.compressed())};
+      in.intended = party[0] == 'A' ? kP : kQ;
       return in;
     };
     out.push_back({"daric", "funding", fund.body,
                    {wallet_in(p.cash_a, "A"), wallet_in(p.cash_b, "B")}});
   }
 
-  auto fund_in = [&] {
+  // `who` holds the fully countersigned transaction from state `from` on.
+  auto fund_in = [&](PrincipalSet who, std::int32_t from) {
     TemplateInput in;
     in.spent = {cap, tx::Condition::p2wsh(fund.fund_script)};
     in.witness_script = fund.fund_script;
     in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
                   WitnessElem::sig(SighashFlag::kAll)};
+    in.intended = who;
+    in.presigned = Presign{who, from};
     return in;
   };
 
@@ -95,16 +128,18 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
   for (std::uint32_t j = 0; j <= n_latest; ++j) {
     commits.push_back(gen_commit(fund.output(), cap, pa, pb, j, p));
     const CommitPair& c = commits.back();
-    out.push_back({"daric", "commit[A," + std::to_string(j) + "]", c.body_a, {fund_in()},
-                   TemplateTag::kCommit, static_cast<std::int32_t>(j)});
-    out.push_back({"daric", "commit[B," + std::to_string(j) + "]", c.body_b, {fund_in()},
-                   TemplateTag::kCommit, static_cast<std::int32_t>(j)});
+    const auto jt = static_cast<std::int32_t>(j);
+    out.push_back({"daric", "commit[A," + std::to_string(j) + "]", c.body_a,
+                   {fund_in(kP, jt)}, TemplateTag::kCommit, jt});
+    out.push_back({"daric", "commit[B," + std::to_string(j) + "]", c.body_b,
+                   {fund_in(kQ, jt)}, TemplateTag::kCommit, jt});
   }
 
   // One split per state, bound to either party's commit (the two commits
   // share the state's CLTV but differ in revocation keys).
   auto commit_in = [&](std::uint32_t j, bool party_a, SighashFlag flag,
-                       const WitnessElem& selector) {
+                       const WitnessElem& selector, PrincipalSet who,
+                       std::int32_t from) {
     TemplateInput in;
     const script::Script& cs = party_a ? commits[j].script_a : commits[j].script_b;
     in.spent = {cap, tx::Condition::p2wsh(cs)};
@@ -112,6 +147,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     in.witness = {WitnessElem::empty(), WitnessElem::sig(flag), WitnessElem::sig(flag),
                   selector};
     in.rebindable = true;
+    in.intended = who;
+    in.presigned = Presign{who, from};
     return in;
   };
   for (std::uint32_t j = 0; j <= n_latest; ++j) {
@@ -123,7 +160,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
       tx::Transaction bound = split;
       bind_floating(bound, {(party_a ? commits[j].body_a : commits[j].body_b).txid(), 0});
       TemplateInput in = commit_in(j, party_a, SighashFlag::kAllAnyPrevOut,
-                                   WitnessElem::empty());  // ELSE: split branch
+                                   WitnessElem::empty(),  // ELSE: split branch
+                                   kPQ, static_cast<std::int32_t>(j));
       in.spend_age = p.t_punish;
       out.push_back({"daric",
                      std::string("split[") + (party_a ? "A," : "B,") + std::to_string(j) + "]",
@@ -139,11 +177,14 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
       tx::Transaction rv =
           gen_revoke(party_a ? pb.main : pa.main, cap, n_latest - 1, p);
       bind_floating(rv, {(party_a ? commits[j].body_a : commits[j].body_b).txid(), 0});
+      // The revocation of state j is exchanged (and handed to the tower) at
+      // the update that replaces it — time j+1.
       out.push_back({"daric",
                      std::string("revoke[") + (party_a ? "A," : "B,") + std::to_string(j) + "]",
                      rv,
                      {commit_in(j, party_a, rv_flag,
-                                WitnessElem::constant(Bytes{1}))},  // IF: revocation
+                                WitnessElem::constant(Bytes{1}),  // IF: revocation
+                                kPQT, static_cast<std::int32_t>(j) + 1)},
                      TemplateTag::kPunish});
     }
   }
@@ -162,9 +203,10 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     fee_in.spent = {fee_value, tx::Condition::p2wpkh(fee_key.pk.compressed())};
     fee_in.witness = {WitnessElem::sig(SighashFlag::kAll),
                       WitnessElem::constant(fee_key.pk.compressed())};
+    fee_in.intended = kP;  // the fee wallet is A's; its sig is fresh
     out.push_back({"daric", "revoke+fee[A,0]", rv,
                    {commit_in(0, true, SighashFlag::kSingleAnyPrevOut,
-                              WitnessElem::constant(Bytes{1})),
+                              WitnessElem::constant(Bytes{1}), kPQT, 1),
                     std::move(fee_in)},
                    TemplateTag::kPunish});
   }
@@ -173,12 +215,17 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                     cap - model.to_a(static_cast<int>(n_latest)),
                                     {}};
   out.push_back({"daric", "final-split",
-                 gen_fin_split(fund.output(), st_latest, pa, pb), {fund_in()}});
+                 gen_fin_split(fund.output(), st_latest, pa, pb),
+                 {fund_in(kPQ, n_time)}});
 
   // Multi-hop extension (Sec. 8): a state carrying one in-flight HTLC, plus
   // the payee claim (preimage path) and payer clawback (timeout path).
   {
     const channel::HtlcSecret secret = channel::make_htlc_secret(p.id + "/analyze/htlc");
+    if (kb) {
+      // The payee (B) holds the preimage; A learns nothing until B claims.
+      kb->add_preimage(secret.payment_hash, secret.preimage, "htlc-preimage", kQ);
+    }
     channel::Htlc h;
     h.cash = cap / 10;
     h.payment_hash = secret.payment_hash;
@@ -187,8 +234,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     const channel::StateVec st{st_latest.to_a - h.cash, st_latest.to_b, {h}};
     tx::Transaction split = gen_split(st, n_latest, p, pa, pb);
     bind_floating(split, {commits[n_latest].body_a.txid(), 0});
-    TemplateInput in =
-        commit_in(n_latest, true, SighashFlag::kAllAnyPrevOut, WitnessElem::empty());
+    TemplateInput in = commit_in(n_latest, true, SighashFlag::kAllAnyPrevOut,
+                                 WitnessElem::empty(), kPQ, n_time);
     in.spend_age = p.t_punish;
     const Hash256 split_txid = split.txid();
     out.push_back({"daric", "split+htlc[A," + std::to_string(n_latest) + "]", split,
@@ -207,18 +254,20 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     claim.inputs = {{{split_txid, 2}}};
     claim.nlocktime = 0;
     claim.outputs = {{h.cash, tx::Condition::p2wpkh(pb.main)}};  // payee B
-    out.push_back({"daric", "htlc-claim", claim,
-                   {htlc_in({WitnessElem::sig(SighashFlag::kAll),
-                             WitnessElem::constant(secret.preimage)},
-                            0)}});
+    TemplateInput claim_in = htlc_in({WitnessElem::sig(SighashFlag::kAll),
+                                      WitnessElem::constant(secret.preimage)},
+                                     0);
+    claim_in.intended = kQ;
+    out.push_back({"daric", "htlc-claim", claim, {std::move(claim_in)}});
     tx::Transaction timeout;
     timeout.inputs = {{{split_txid, 2}}};
     timeout.nlocktime = 0;
     timeout.outputs = {{h.cash, tx::Condition::p2wpkh(pa.main)}};  // payer A
     // An empty top element misses the hash lock, forcing the timeout branch.
-    out.push_back({"daric", "htlc-timeout", timeout,
-                   {htlc_in({WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
-                            h.timeout)}});
+    TemplateInput timeout_in =
+        htlc_in({WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()}, h.timeout);
+    timeout_in.intended = kP;
+    out.push_back({"daric", "htlc-timeout", timeout, {std::move(timeout_in)}});
   }
 
   return out;

@@ -1,6 +1,7 @@
 // On-chain scripts of Appendix B plus the state-vector → outputs mapping.
 #pragma once
 
+#include "src/analyze/auth.h"
 #include "src/analyze/templates.h"
 #include "src/channel/params.h"
 #include "src/channel/state.h"
@@ -33,8 +34,11 @@ script::Script htlc_script(const channel::Htlc& h, BytesView pk_a_main, BytesVie
 /// floating revocation (plain and Sec. 8 feeable variants), the final split
 /// and the HTLC claim/timeout spends — for the static analyzer
 /// (src/analyze). Balances follow `model.to_a`; `p.capacity()` should equal
-/// `model.capacity` or the value lints will flag the mismatch.
+/// `model.capacity` or the value lints will flag the mismatch. When `kb` is
+/// given, every signing key and the HTLC preimage are registered for the
+/// authorization analysis.
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model);
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb = nullptr);
 
 }  // namespace daric::daricch

@@ -37,12 +37,20 @@ script::Script update_script(BytesView set_a_i, BytesView set_b_i, BytesView upd
 }
 
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model) {
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb) {
+  using analyze::Presign;
+  using analyze::Principal;
+  using analyze::PrincipalSet;
   using analyze::TemplateInput;
   using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
+
+  const PrincipalSet kP{Principal::kPartyP};
+  const PrincipalSet kQ{Principal::kPartyQ};
+  const PrincipalSet kPQ{Principal::kPartyP, Principal::kPartyQ};
 
   std::vector<TxTemplate> out;
   // Key derivations mirror EltooChannel's constructor / settlement_keys.
@@ -65,20 +73,40 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                          upd_a.pk.compressed(), upd_b.pk.compressed(), p.s0 + j + 1,
                          static_cast<std::uint32_t>(p.t_punish));
   };
+  if (kb) {
+    kb->add_key(upd_a.pk.compressed(), "eltoo/A/upd", kP);
+    kb->add_key(upd_b.pk.compressed(), "eltoo/B/upd", kQ);
+    kb->add_key(pub_a.main, "eltoo/A/main", kP);
+    kb->add_key(pub_b.main, "eltoo/B/main", kQ);
+    for (std::uint32_t j = 0; j <= n_latest; ++j) {
+      const std::string base = p.id + "/eltoo/set/" + std::to_string(j);
+      kb->add_key(crypto::derive_keypair(base + "/A").pk.compressed(),
+                  "eltoo/A/set/" + std::to_string(j), kP);
+      kb->add_key(crypto::derive_keypair(base + "/B").pk.compressed(),
+                  "eltoo/B/set/" + std::to_string(j), kQ);
+    }
+  }
+
   auto build_update = [&](std::uint32_t j) {
     tx::Transaction t;
     t.nlocktime = p.s0 + j;
     t.outputs = {{cap, tx::Condition::p2wsh(out_script(j))}};
     return t;
   };
+  // Every eltoo transaction is symmetric: both parties co-sign and hold a
+  // fully signed copy, so each one is presigned for {P,Q} from the time its
+  // state was negotiated.
   auto multisig_in = [&](const tx::Output& spent, const script::Script& ws,
-                         SighashFlag flag, std::vector<WitnessElem> extra) {
+                         SighashFlag flag, std::vector<WitnessElem> extra,
+                         std::int32_t from) {
     TemplateInput in;
     in.spent = spent;
     in.witness_script = ws;
     in.witness = {WitnessElem::empty(), WitnessElem::sig(flag), WitnessElem::sig(flag)};
     for (WitnessElem& e : extra) in.witness.push_back(std::move(e));
     in.rebindable = script::is_anyprevout(flag);
+    in.intended = kPQ;
+    in.presigned = Presign{kPQ, from};
     return in;
   };
   const tx::Output fund_out{cap, tx::Condition::p2wsh(fund_script)};
@@ -90,7 +118,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     on_fund.inputs = {{fund_op}};
     on_fund.witnesses.resize(1);
     out.push_back({"eltoo", "update[" + std::to_string(j) + "]", on_fund,
-                   {multisig_in(fund_out, fund_script, SighashFlag::kAllAnyPrevOut, {})},
+                   {multisig_in(fund_out, fund_script, SighashFlag::kAllAnyPrevOut, {},
+                                static_cast<std::int32_t>(j))},
                    TemplateTag::kCommit, static_cast<std::int32_t>(j)});
 
     // The latest update overriding stale update j (ELSE branch: CLTV floor
@@ -103,7 +132,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                   std::to_string(j) + "]",
                      latest,
                      {multisig_in(upd.outputs[0], out_script(j),
-                                  SighashFlag::kAllAnyPrevOut, {WitnessElem::empty()})},
+                                  SighashFlag::kAllAnyPrevOut, {WitnessElem::empty()},
+                                  static_cast<std::int32_t>(n_latest))},
                      TemplateTag::kPunish});
     }
 
@@ -117,7 +147,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     settle.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
     TemplateInput in = multisig_in(upd.outputs[0], out_script(j),
                                    SighashFlag::kAllAnyPrevOut,
-                                   {WitnessElem::constant(Bytes{1})});
+                                   {WitnessElem::constant(Bytes{1})},
+                                   static_cast<std::int32_t>(j));
     in.spend_age = p.t_punish;
     out.push_back({"eltoo", "settle[" + std::to_string(j) + "]", settle, {std::move(in)}});
   }
@@ -130,7 +161,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                cap - model.to_a(static_cast<int>(n_latest)),
                                {}};
     close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
-    TemplateInput in = multisig_in(fund_out, fund_script, SighashFlag::kAll, {});
+    TemplateInput in = multisig_in(fund_out, fund_script, SighashFlag::kAll, {},
+                                   static_cast<std::int32_t>(n_latest));
     out.push_back({"eltoo", "coop-close", close, {std::move(in)}});
   }
 

@@ -2,6 +2,7 @@
 // the paper's Appendix H.4.
 #pragma once
 
+#include "src/analyze/auth.h"
 #include "src/analyze/templates.h"
 #include "src/channel/params.h"
 #include "src/script/standard.h"
@@ -28,8 +29,10 @@ script::Script update_script(BytesView set_a_i, BytesView set_b_i, BytesView upd
 /// state schedule — floating updates bound to the funding output, the
 /// latest update overriding each stale one (the CLTV versioning path),
 /// per-state settlements and the cooperative close — for the static
-/// analyzer (src/analyze).
+/// analyzer (src/analyze). When `kb` is given, the update and per-state
+/// settlement keys are registered for the authorization analysis.
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model);
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb = nullptr);
 
 }  // namespace daric::eltoo

@@ -60,12 +60,22 @@ script::Script fppw_out1_script(BytesView rev_a, BytesView rev_b, BytesView rev_
 }
 
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model) {
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb) {
+  using analyze::Presign;
+  using analyze::Principal;
+  using analyze::PrincipalSet;
   using analyze::TemplateInput;
   using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
+
+  const PrincipalSet kP{Principal::kPartyP};
+  const PrincipalSet kQ{Principal::kPartyQ};
+  const PrincipalSet kT{Principal::kTower};
+  const PrincipalSet kPQ{Principal::kPartyP, Principal::kPartyQ};
+  const PrincipalSet kPQT{Principal::kPartyP, Principal::kPartyQ, Principal::kTower};
 
   std::vector<TxTemplate> out;
   // Key derivations mirror FppwChannel's constructor.
@@ -88,18 +98,39 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
   const script::Script fund_script =
       script::multisig_2of2(main_a.pk.compressed(), main_b.pk.compressed());
   const tx::OutPoint fund_op = analyze::template_outpoint(base + "fund");
-  auto fund_in = [&] {
+  auto fund_in = [&](PrincipalSet who, std::int32_t from) {
     TemplateInput in;
     in.spent = {cap + collateral, tx::Condition::p2wsh(fund_script)};
     in.witness_script = fund_script;
     in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
                   WitnessElem::sig(SighashFlag::kAll)};
+    in.intended = who;
+    in.presigned = Presign{who, from};
     return in;
   };
   auto y_pk = [&](std::uint32_t j, const char* who) {
     return crypto::derive_keypair(base + "state/" + std::to_string(j) + "/" + who)
         .pk.compressed();
   };
+
+  if (kb) {
+    kb->add_key(main_a.pk.compressed(), "fppw/A/fund", kP);
+    kb->add_key(main_b.pk.compressed(), "fppw/B/fund", kQ);
+    kb->add_key(rev_a.pk.compressed(), "fppw/A/rev", kP);
+    kb->add_key(rev_b.pk.compressed(), "fppw/B/rev", kQ);
+    kb->add_key(rev_w.pk.compressed(), "fppw/W/rev", kT);
+    kb->add_key(pen_a.pk.compressed(), "fppw/A/pen", kP);
+    kb->add_key(pen_b.pk.compressed(), "fppw/B/pen", kQ);
+    kb->add_key(tower_payout.pk.compressed(), "fppw/W/payout", kT);
+    // pub_{a,b}.main alias the funding keys (same derivation path).
+    // The counterparty extracts the publisher's statement witness y from the
+    // adaptor-completed commit signature — modeled at the revocation event.
+    for (std::uint32_t j = 0; j <= n_latest; ++j) {
+      const auto jt = static_cast<std::int32_t>(j);
+      kb->add_key(y_pk(j, "yA"), "fppw/yA/" + std::to_string(j), kP, kQ, jt + 1);
+      kb->add_key(y_pk(j, "yB"), "fppw/yB/" + std::to_string(j), kQ, kP, jt + 1);
+    }
+  }
 
   for (std::uint32_t j = 0; j <= n_latest; ++j) {
     const script::Script s0 = fppw_out0_script(
@@ -113,7 +144,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     commit.nlocktime = p.s0 + j;
     commit.outputs = {{cap, tx::Condition::p2wsh(s0)},
                       {collateral, tx::Condition::p2wsh(s1)}};
-    out.push_back({"fppw", "commit[" + std::to_string(j) + "]", commit, {fund_in()},
+    out.push_back({"fppw", "commit[" + std::to_string(j) + "]", commit,
+                   {fund_in(kPQ, static_cast<std::int32_t>(j))},
                    TemplateTag::kCommit, static_cast<std::int32_t>(j)});
     const Hash256 commit_txid = commit.txid();
 
@@ -140,11 +172,16 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
         rv.nlocktime = 0;
         rv.outputs = {{cap, tx::Condition::p2wpkh(victim_a ? pub_a.main : pub_b.main)},
                       {collateral, tx::Condition::p2wpkh(tower_payout.pk.compressed())}};
+        // Only the tower holds this fully signed 3-of-3 revocation, from
+        // the revocation event of state j.
+        TemplateInput rv0 = output_in(0, s0, rev_wit, 0);
+        TemplateInput rv1 = output_in(1, s1, rev_wit, 0);
+        rv0.intended = rv1.intended = kT;
+        rv0.presigned = rv1.presigned = Presign{kT, static_cast<std::int32_t>(j) + 1};
         out.push_back({"fppw",
                        std::string("revocation[") + (victim_a ? "A," : "B,") +
                            std::to_string(j) + "]",
-                       rv,
-                       {output_in(0, s0, rev_wit, 0), output_in(1, s1, rev_wit, 0)},
+                       rv, {std::move(rv0), std::move(rv1)},
                        TemplateTag::kPunish});
       }
 
@@ -156,18 +193,20 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
         pen.nlocktime = 0;
         pen.outputs = {{collateral,
                         tx::Condition::p2wpkh(a_published ? pub_b.main : pub_a.main)}};
+        // The victim alone can pair its penalty key with the extracted y.
+        TemplateInput pen_in =
+            output_in(1, s1,
+                      {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                       WitnessElem::sig(SighashFlag::kAll),
+                       a_published ? WitnessElem::constant(Bytes{1})
+                                   : WitnessElem::empty(),
+                       WitnessElem::empty()},
+                      p.t_punish);
+        pen_in.intended = a_published ? kQ : kP;
         out.push_back({"fppw",
                        std::string("penalty[") + (a_published ? "B," : "A,") +
                            std::to_string(j) + "]",
-                       pen,
-                       {output_in(1, s1,
-                                  {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
-                                   WitnessElem::sig(SighashFlag::kAll),
-                                   a_published ? WitnessElem::constant(Bytes{1})
-                                               : WitnessElem::empty(),
-                                   WitnessElem::empty()},
-                                  p.t_punish)},
-                       TemplateTag::kPunish});
+                       pen, {std::move(pen_in)}, TemplateTag::kPunish});
       }
     }
 
@@ -181,11 +220,15 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
       split.inputs = {{{commit_txid, 0}}};
       split.nlocktime = 0;
       split.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+      TemplateInput split_in =
+          output_in(0, s0,
+                    {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                     WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
+                    p.t_punish);
+      split_in.intended = kPQ;
+      split_in.presigned = Presign{kPQ, static_cast<std::int32_t>(j)};
       out.push_back({"fppw", "split[" + std::to_string(j) + "]", split,
-                     {output_in(0, s0,
-                                {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
-                                 WitnessElem::sig(SighashFlag::kAll), WitnessElem::empty()},
-                                p.t_punish)}});
+                     {std::move(split_in)}});
     }
 
     if (j == n_latest) {
@@ -195,8 +238,11 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
       release.inputs = {{{commit_txid, 1}}};
       release.nlocktime = 0;
       release.outputs = {{collateral, tx::Condition::p2wpkh(tower_payout.pk.compressed())}};
+      TemplateInput rel_in = output_in(1, s1, rev_wit, 0);
+      rel_in.intended = kPQT;
+      rel_in.presigned = Presign{kPQT, static_cast<std::int32_t>(j)};
       out.push_back({"fppw", "collateral-release[" + std::to_string(j) + "]", release,
-                     {output_in(1, s1, rev_wit, 0)}});
+                     {std::move(rel_in)}});
     }
   }
 
@@ -209,7 +255,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                {}};
     close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
     close.outputs.push_back({collateral, tx::Condition::p2wpkh(tower_payout.pk.compressed())});
-    out.push_back({"fppw", "coop-close", close, {fund_in()}});
+    out.push_back({"fppw", "coop-close", close,
+                   {fund_in(kPQ, static_cast<std::int32_t>(n_latest))}});
   }
 
   return out;

@@ -3,6 +3,7 @@
 // below, plus the enumeration itself.
 #pragma once
 
+#include "src/analyze/auth.h"
 #include "src/analyze/templates.h"
 #include "src/channel/params.h"
 #include "src/verify/model.h"
@@ -27,8 +28,12 @@ script::Script fppw_out1_script(BytesView rev_a, BytesView rev_b, BytesView rev_
 /// revoked states), the penalty spends that compensate the victim from the
 /// collateral when the tower fails, the latest state's collateral release
 /// and the cooperative close. Key derivations mirror FppwChannel's
-/// constructor.
+/// constructor. When `kb` is given, the revocation/penalty/tower keys and
+/// the per-state statement keys Y (whose extraction is folded into the
+/// revocation event at state+1 — see src/analyze/auth.h) are registered
+/// for the authorization analysis.
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model);
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb = nullptr);
 
 }  // namespace daric::fppw

@@ -47,12 +47,20 @@ script::Script commit_output_script(BytesView pk_a, BytesView pk_b, BytesView st
 }
 
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model) {
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb) {
+  using analyze::Presign;
+  using analyze::Principal;
+  using analyze::PrincipalSet;
   using analyze::TemplateInput;
   using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
+
+  const PrincipalSet kP{Principal::kPartyP};
+  const PrincipalSet kQ{Principal::kPartyQ};
+  const PrincipalSet kPQ{Principal::kPartyP, Principal::kPartyQ};
 
   std::vector<TxTemplate> out;
   // Key / secret derivations mirror GeneralizedChannel's state_secrets.
@@ -66,12 +74,14 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
   const script::Script fund_script =
       script::multisig_2of2(main_a.pk.compressed(), main_b.pk.compressed());
   const tx::OutPoint fund_op = analyze::template_outpoint(p.id + "/gc/fund");
-  auto fund_in = [&] {
+  auto fund_in = [&](PrincipalSet who, std::int32_t from) {
     TemplateInput in;
     in.spent = {cap, tx::Condition::p2wsh(fund_script)};
     in.witness_script = fund_script;
     in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
                   WitnessElem::sig(SighashFlag::kAll)};
+    in.intended = who;
+    in.presigned = Presign{who, from};
     return in;
   };
 
@@ -91,13 +101,39 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                 static_cast<std::uint32_t>(p.t_punish));
   };
 
+  if (kb) {
+    // pub_{a,b}.main alias main_{a,b} (same derivation path): one key, one
+    // role covering both the funding multisig and the split/punish gates.
+    kb->add_key(main_a.pk.compressed(), "gc/A/fund", kP);
+    kb->add_key(main_b.pk.compressed(), "gc/B/fund", kQ);
+    for (std::uint32_t j = 0; j <= n_latest; ++j) {
+      const std::string base = p.id + "/gc/state/" + std::to_string(j);
+      const auto jt = static_cast<std::int32_t>(j);
+      // The victim learns the publisher's statement witness y and revocation
+      // preimage r when state j is revoked — both modeled at time j+1.
+      kb->add_key(crypto::derive_keypair(base + "/yA").pk.compressed(),
+                  "gc/yA/" + std::to_string(j), kP, kQ, jt + 1);
+      kb->add_key(crypto::derive_keypair(base + "/yB").pk.compressed(),
+                  "gc/yB/" + std::to_string(j), kQ, kP, jt + 1);
+      const Bytes ra = preimage(base + "/rA");
+      const Bytes rb = preimage(base + "/rB");
+      const Hash256 ha = crypto::Sha256::double_hash(ra);
+      const Hash256 hb = crypto::Sha256::double_hash(rb);
+      kb->add_preimage(Bytes(ha.view().begin(), ha.view().end()), ra,
+                       "gc/rA/" + std::to_string(j), kP, kQ, jt + 1);
+      kb->add_preimage(Bytes(hb.view().begin(), hb.view().end()), rb,
+                       "gc/rB/" + std::to_string(j), kQ, kP, jt + 1);
+    }
+  }
+
   for (std::uint32_t j = 0; j <= n_latest; ++j) {
     const script::Script os = output_script(j);
     tx::Transaction commit;
     commit.inputs = {{fund_op}};
     commit.nlocktime = p.s0 + j;
     commit.outputs = {{cap, tx::Condition::p2wsh(os)}};
-    out.push_back({"generalized", "commit[" + std::to_string(j) + "]", commit, {fund_in()},
+    out.push_back({"generalized", "commit[" + std::to_string(j) + "]", commit,
+                   {fund_in(kPQ, static_cast<std::int32_t>(j))},
                    TemplateTag::kCommit, static_cast<std::int32_t>(j)});
     const tx::OutPoint commit_op{commit.txid(), 0};
 
@@ -121,11 +157,15 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
       split.inputs = {{commit_op}};
       split.nlocktime = 0;
       split.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
+      TemplateInput split_in =
+          spend_in({WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
+                    WitnessElem::sig(SighashFlag::kAll),
+                    WitnessElem::constant(Bytes{1})},
+                   p.t_punish);
+      split_in.intended = kPQ;
+      split_in.presigned = Presign{kPQ, static_cast<std::int32_t>(j)};
       out.push_back({"generalized", "split[" + std::to_string(j) + "]", split,
-                     {spend_in({WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
-                                WitnessElem::sig(SighashFlag::kAll),
-                                WitnessElem::constant(Bytes{1})},
-                               p.t_punish)}});
+                     {std::move(split_in)}});
     }
     if (j < n_latest) {
       // Revoked state: the victim punishes with the adaptor-extracted y-sig
@@ -138,17 +178,19 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
         punish.outputs = {
             {cap, tx::Condition::p2wpkh(a_published ? pub_b.main : pub_a.main)}};
         // Selectors: outer ε (punish side), inner 1 = punish A / ε = punish B.
+        TemplateInput punish_in =
+            spend_in({WitnessElem::sig(SighashFlag::kAll),
+                      WitnessElem::constant(preimage(base + (a_published ? "/rA" : "/rB"))),
+                      WitnessElem::sig(SighashFlag::kAll),
+                      a_published ? WitnessElem::constant(Bytes{1}) : WitnessElem::empty(),
+                      WitnessElem::empty()},
+                     0);
+        // Only the victim can produce the y-signature + revealed preimage.
+        punish_in.intended = a_published ? kQ : kP;
         out.push_back(
             {"generalized",
              std::string("punish[") + (a_published ? "A," : "B,") + std::to_string(j) + "]",
-             punish,
-             {spend_in({WitnessElem::sig(SighashFlag::kAll),
-                        WitnessElem::constant(preimage(base + (a_published ? "/rA" : "/rB"))),
-                        WitnessElem::sig(SighashFlag::kAll),
-                        a_published ? WitnessElem::constant(Bytes{1}) : WitnessElem::empty(),
-                        WitnessElem::empty()},
-                       0)},
-             TemplateTag::kPunish});
+             punish, {std::move(punish_in)}, TemplateTag::kPunish});
       }
     }
   }
@@ -161,7 +203,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                cap - model.to_a(static_cast<int>(n_latest)),
                                {}};
     close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
-    out.push_back({"generalized", "coop-close", close, {fund_in()}});
+    out.push_back({"generalized", "coop-close", close,
+                   {fund_in(kPQ, static_cast<std::int32_t>(n_latest))}});
   }
 
   return out;

@@ -10,6 +10,7 @@
 // counts come from the cost model, which uses the paper's exact sizes.
 #pragma once
 
+#include "src/analyze/auth.h"
 #include "src/analyze/templates.h"
 #include "src/channel/params.h"
 #include "src/script/standard.h"
@@ -25,8 +26,12 @@ script::Script commit_output_script(BytesView pk_a, BytesView pk_b, BytesView st
 /// Enumerates the generalized-channel engine's transaction templates for the
 /// model's state schedule — per-state commits, the delayed split, the punish
 /// path against either publisher and the cooperative close — for the static
-/// analyzer (src/analyze).
+/// analyzer (src/analyze). When `kb` is given, the funding keys, per-state
+/// statement keys Y and revocation preimages r are registered for the
+/// authorization analysis (y-extraction is folded into the revocation event
+/// at state+1 — see src/analyze/auth.h).
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model);
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb = nullptr);
 
 }  // namespace daric::generalized

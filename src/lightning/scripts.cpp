@@ -22,12 +22,20 @@ script::Script to_local_script(BytesView revocation_pk, std::uint32_t to_self_de
 }
 
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model) {
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb) {
+  using analyze::Presign;
+  using analyze::Principal;
+  using analyze::PrincipalSet;
   using analyze::TemplateInput;
   using analyze::TemplateTag;
   using analyze::TxTemplate;
   using analyze::WitnessElem;
   using script::SighashFlag;
+
+  const PrincipalSet kP{Principal::kPartyP};
+  const PrincipalSet kQ{Principal::kPartyQ};
+  const PrincipalSet kPQ{Principal::kPartyP, Principal::kPartyQ};
 
   std::vector<TxTemplate> out;
   // Key derivations mirror LightningChannel's constructor.
@@ -43,12 +51,14 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
   const script::Script fund_script =
       script::multisig_2of2(main_a.pk.compressed(), main_b.pk.compressed());
   const tx::OutPoint fund_op = analyze::template_outpoint(p.id + "/ln/fund");
-  auto fund_in = [&] {
+  auto fund_in = [&](PrincipalSet who, std::int32_t from) {
     TemplateInput in;
     in.spent = {cap, tx::Condition::p2wsh(fund_script)};
     in.witness_script = fund_script;
     in.witness = {WitnessElem::empty(), WitnessElem::sig(SighashFlag::kAll),
                   WitnessElem::sig(SighashFlag::kAll)};
+    in.intended = who;
+    in.presigned = Presign{who, from};
     return in;
   };
   auto rev_pk = [&](bool owner_a, std::uint32_t state) {
@@ -56,6 +66,24 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                   std::to_string(state))
         .pk.compressed();
   };
+
+  if (kb) {
+    kb->add_key(main_a.pk.compressed(), "ln/A/fund", kP);
+    kb->add_key(main_b.pk.compressed(), "ln/B/fund", kQ);
+    kb->add_key(delayed_a.pk.compressed(), "ln/A/delayed", kP);
+    kb->add_key(delayed_b.pk.compressed(), "ln/B/delayed", kQ);
+    // pub_{a,b}.main alias the funding keys (same derivation path), so the
+    // registrations above already cover the P2WPKH payout spends.
+    // BOLT-3 combined revocation secret: neither side can sign alone; the
+    // victim learns the full secret when state j is revoked at time j+1.
+    for (std::uint32_t j = 0; j <= n_latest; ++j) {
+      for (const bool owner_a : {true, false}) {
+        kb->add_key(rev_pk(owner_a, j),
+                    std::string("ln/rev/") + (owner_a ? "A/" : "B/") + std::to_string(j),
+                    {}, owner_a ? kQ : kP, static_cast<std::int32_t>(j) + 1);
+      }
+    }
+  }
 
   struct CommitRec {
     tx::Transaction body;
@@ -88,7 +116,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     for (const bool owner_a : {true, false}) {
       const CommitRec c = build_commit(owner_a, j);
       const std::string tag = std::string(owner_a ? "A," : "B,") + std::to_string(j);
-      out.push_back({"lightning", "commit[" + tag + "]", c.body, {fund_in()},
+      out.push_back({"lightning", "commit[" + tag + "]", c.body,
+                     {fund_in(owner_a ? kP : kQ, static_cast<std::int32_t>(j))},
                      TemplateTag::kCommit, static_cast<std::int32_t>(j)});
 
       tx::Transaction spend;
@@ -98,22 +127,28 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
         // Latest state: the owner sweeps its to_local after the CSV delay.
         spend.outputs = {{c.body.outputs[0].cash,
                           tx::Condition::p2wpkh(owner_a ? pub_a.main : pub_b.main)}};
+        TemplateInput sweep_in = to_local_in(c, WitnessElem::empty(), p.t_punish);
+        sweep_in.intended = owner_a ? kP : kQ;
         out.push_back({"lightning", "sweep[" + tag + "]", spend,
-                       {to_local_in(c, WitnessElem::empty(), p.t_punish)}});
+                       {std::move(sweep_in)}});
       } else {
         // Revoked state: the victim claims instantly with the revealed secret.
         spend.outputs = {{c.body.outputs[0].cash,
                           tx::Condition::p2wpkh(owner_a ? pub_b.main : pub_a.main)}};
+        TemplateInput breach_in = to_local_in(c, WitnessElem::constant(Bytes{1}), 0);
+        breach_in.intended = owner_a ? kQ : kP;
         out.push_back({"lightning", "breach-claim[" + tag + "]", spend,
-                       {to_local_in(c, WitnessElem::constant(Bytes{1}), 0)},
+                       {std::move(breach_in)},
                        TemplateTag::kPunish});
         // The cheater's own sweep attempt on the revoked commit — the race
         // the breach claim must win (CSV delay vs. instant revocation).
         tx::Transaction cheat = spend;
         cheat.outputs = {{c.body.outputs[0].cash,
                           tx::Condition::p2wpkh(owner_a ? pub_a.main : pub_b.main)}};
+        TemplateInput cheat_in = to_local_in(c, WitnessElem::empty(), p.t_punish);
+        cheat_in.intended = owner_a ? kP : kQ;
         out.push_back({"lightning", "cheat-sweep[" + tag + "]", cheat,
-                       {to_local_in(c, WitnessElem::empty(), p.t_punish)}});
+                       {std::move(cheat_in)}});
       }
     }
   }
@@ -128,6 +163,7 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
     TemplateInput in;
     in.spent = c.body.outputs[1];
     in.witness = {WitnessElem::sig(SighashFlag::kAll), WitnessElem::constant(pub_b.main)};
+    in.intended = kQ;
     out.push_back({"lightning", "to-remote-sweep", sweep, {std::move(in)}});
   }
 
@@ -139,7 +175,8 @@ std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParam
                                cap - model.to_a(static_cast<int>(n_latest)),
                                {}};
     close.outputs = daricch::state_outputs(st, pub_a.main, pub_b.main);
-    out.push_back({"lightning", "coop-close", close, {fund_in()}});
+    out.push_back({"lightning", "coop-close", close,
+                   {fund_in(kPQ, static_cast<std::int32_t>(n_latest))}});
   }
 
   return out;

@@ -1,6 +1,7 @@
 // Lightning (BOLT-3 style) scripts used by the baseline engine.
 #pragma once
 
+#include "src/analyze/auth.h"
 #include "src/analyze/templates.h"
 #include "src/channel/params.h"
 #include "src/script/standard.h"
@@ -20,6 +21,7 @@ script::Script to_local_script(BytesView revocation_pk, std::uint32_t to_self_de
 /// breach claim on every revoked state, the to_remote sweep and the
 /// cooperative close — for the static analyzer (src/analyze).
 std::vector<analyze::TxTemplate> enumerate_templates(const channel::ChannelParams& p,
-                                                     const verify::Options& model);
+                                                     const verify::Options& model,
+                                                     analyze::KnowledgeBase* kb = nullptr);
 
 }  // namespace daric::lightning

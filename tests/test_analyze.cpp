@@ -2,6 +2,7 @@
 // each lint must fire on a crafted broken fixture.
 #include <gtest/gtest.h>
 
+#include "src/analyze/auth.h"
 #include "src/analyze/engines.h"
 #include "src/analyze/graph.h"
 #include "src/analyze/interp.h"
@@ -9,6 +10,7 @@
 #include "src/analyze/lints.h"
 #include "src/analyze/report.h"
 #include "src/crypto/keys.h"
+#include "src/crypto/sha256.h"
 #include "src/daric/scripts.h"
 #include "src/script/interpreter.h"
 #include "src/script/standard.h"
@@ -511,6 +513,277 @@ TEST(AnalyzeGraph, LostRaceTripsDA021) {
   EXPECT_FALSE(rr.races[0].honest_wins);
   EXPECT_EQ(rr.races[0].honest_confirm, 4);
   EXPECT_EQ(rr.races[0].rival_include, 2);
+}
+
+// --- Authorization: who can spend every path (DA023..DA028) ---------------
+
+using analyze::AuthParams;
+using analyze::AuthReport;
+using analyze::KnowledgeBase;
+using analyze::Principal;
+using analyze::PrincipalSet;
+
+const PrincipalSet kSetP{Principal::kPartyP};
+const PrincipalSet kSetQ{Principal::kPartyQ};
+const PrincipalSet kSetPQ{Principal::kPartyP, Principal::kPartyQ};
+
+AuthReport auth_pass(std::vector<TxTemplate> templates, const KnowledgeBase& kb,
+                     Report& rep, AuthParams params = {}) {
+  const SpendGraph g = analyze::build_spend_graph(std::move(templates));
+  return analyze::analyze_authorization(g, kb, params, rep);
+}
+
+/// Asserts that exactly `id` fired among the authorization lints.
+void expect_only_auth(const Report& rep, const std::string& id) {
+  for (const char* lint : {"DA023", "DA024", "DA025", "DA026", "DA027", "DA028"}) {
+    if (id == lint)
+      EXPECT_TRUE(rep.has(lint)) << rep.render();
+    else
+      EXPECT_FALSE(rep.has(lint)) << rep.render();
+  }
+}
+
+TEST(AnalyzeAuth, AllSixEnginesAuthClean) {
+  const verify::Options model;
+  const channel::ChannelParams params = analyze::params_for_model(model);
+  for (const std::string& engine : analyze::engine_names()) {
+    KnowledgeBase kb;
+    std::vector<TxTemplate> templates =
+        analyze::engine_templates(engine, params, model, &kb);
+    ASSERT_FALSE(kb.keys().empty()) << engine;
+    const SpendGraph g = analyze::build_spend_graph(std::move(templates));
+    Report rep;
+    const AuthReport ar = analyze::analyze_authorization(
+        g, kb, {model.delta, model.t_punish, -1}, rep);
+    EXPECT_EQ(rep.error_count(), 0u) << engine << ":\n" << rep.render();
+    EXPECT_EQ(ar.edges.size(), g.edges.size()) << engine;
+    // Every satisfiable edge must bind at least one principal — no edge in
+    // any engine is anyone-can-spend or orphaned from all key knowledge.
+    for (std::size_t i = 0; i < g.edges.size(); ++i) {
+      if (!g.edges[i].satisfiable) continue;
+      EXPECT_FALSE(ar.edges[i].authorized.empty())
+          << engine << " edge " << i;
+      EXPECT_FALSE(ar.edges[i].authorized.has(Principal::kAnyone))
+          << engine << " edge " << i;
+    }
+    // The races the reachability pass resolves survive the authorization
+    // filter: every rival that can actually be signed still loses.
+    const analyze::ReachReport rr =
+        analyze::analyze_reachability(g, {model.delta, model.t_punish}, rep, &ar);
+    EXPECT_EQ(rr.races_won(), rr.races.size()) << engine << ":\n" << rep.render();
+    EXPECT_EQ(rep.error_count(), 0u) << engine << ":\n" << rep.render();
+  }
+}
+
+TEST(AnalyzeAuth, DaricRevocationAuthorizedSet) {
+  const verify::Options model;
+  const channel::ChannelParams params = analyze::params_for_model(model);
+  KnowledgeBase kb;
+  const SpendGraph g = analyze::build_spend_graph(
+      analyze::engine_templates("daric", params, model, &kb));
+  Report rep;
+  const AuthReport ar = analyze::analyze_authorization(
+      g, kb, {model.delta, model.t_punish, -1}, rep);
+  ASSERT_EQ(rep.error_count(), 0u) << rep.render();
+
+  const PrincipalSet kRevokers{Principal::kPartyP, Principal::kPartyQ,
+                               Principal::kTower};
+  std::size_t revokes = 0, splits = 0;
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    if (!g.edges[i].satisfiable) continue;
+    const std::string& name = g.tmpl(g.edges[i].spender).name;
+    if (name.rfind("revoke[", 0) == 0) {
+      ++revokes;
+      // Either party or the watchtower can post the floating revocation of
+      // a revoked state — the exact set the paper's penalization needs.
+      EXPECT_EQ(ar.edges[i].authorized, kRevokers) << name;
+    } else if (name.rfind("split[", 0) == 0) {
+      ++splits;
+      EXPECT_EQ(ar.edges[i].authorized, kSetPQ) << name;
+    } else if (name == "htlc-claim") {
+      EXPECT_EQ(ar.edges[i].authorized, kSetQ) << name;
+    } else if (name == "htlc-timeout") {
+      EXPECT_EQ(ar.edges[i].authorized, kSetP) << name;
+    }
+  }
+  EXPECT_GT(revokes, 0u);
+  EXPECT_GT(splits, 0u);
+}
+
+TEST(AnalyzeAuth, LeakedLatestPathTripsDA023) {
+  // The latest commit's P2WSH output has an accepting path gated by a key
+  // the counterparty holds, and no protocol edge takes that path.
+  const auto leak = crypto::derive_keypair("analyze-test/leak");
+  const Script fund_ws = script::single_key(kA.pk.compressed());
+  const Script leak_ws = script::single_key(leak.pk.compressed());
+  const tx::OutPoint fund = analyze::template_outpoint("gfx/fund");
+  const tx::Output fund_out{100, tx::Condition::p2wsh(fund_ws)};
+  std::vector<TxTemplate> ts;
+  ts.push_back(spender("commit[0]", fund, fund_out, fund_ws, 0,
+                       {{100, tx::Condition::p2wpkh(kB.pk.compressed())}},
+                       TemplateTag::kCommit, 0));
+  ts.push_back(spender("commit[1]", fund, fund_out, fund_ws, 0,
+                       {{100, tx::Condition::p2wsh(leak_ws)}},
+                       TemplateTag::kCommit, 1));
+  // The only spender carries no signature, so its edge cannot satisfy the
+  // script: the path stays uncovered while the script itself is known.
+  TxTemplate sweep = spender("sweep", out0(ts[1]), ts[1].body.outputs[0],
+                             leak_ws, 0,
+                             {{100, tx::Condition::p2wpkh(kA.pk.compressed())}});
+  sweep.inputs[0].witness = {WitnessElem::empty()};
+  ts.push_back(std::move(sweep));
+
+  KnowledgeBase kb;
+  kb.add_key(kA.pk.compressed(), "fund", kSetP);
+  kb.add_key(leak.pk.compressed(), "leaked", kSetQ);
+  Report rep;
+  const AuthReport ar = auth_pass(std::move(ts), kb, rep);
+  expect_only_auth(rep, "DA023");
+  ASSERT_FALSE(ar.latest_paths.empty());
+  EXPECT_FALSE(ar.latest_paths[0].covered);
+  EXPECT_EQ(ar.latest_paths[0].principals, kSetQ);
+}
+
+TEST(AnalyzeAuth, OverAuthorizedPunishTripsDA024) {
+  // The punish gate key becomes known to BOTH parties at the revocation
+  // event, but the annotation claims only Q may punish.
+  const auto rev = crypto::derive_keypair("analyze-test/rev24");
+  const Script rev_ws = script::single_key(rev.pk.compressed());
+  std::vector<TxTemplate> ts = two_commits(rev_ws);
+  TxTemplate punish = spender("punish", out0(ts[0]), ts[0].body.outputs[0],
+                              rev_ws, 0,
+                              {{100, tx::Condition::p2wpkh(kA.pk.compressed())}},
+                              TemplateTag::kPunish);
+  punish.inputs[0].intended = kSetQ;
+  ts.push_back(std::move(punish));
+
+  KnowledgeBase kb;
+  kb.add_key(kA.pk.compressed(), "fund", kSetP);
+  kb.add_key(rev.pk.compressed(), "rev", {}, kSetPQ, /*reveal_time=*/1);
+  Report rep;
+  auth_pass(std::move(ts), kb, rep);
+  expect_only_auth(rep, "DA024");
+}
+
+TEST(AnalyzeAuth, HashOnlyGateTripsDA025) {
+  // An accepting path gated only by a hash preimage binds no principal.
+  const Bytes preimg(32, 0x5a);
+  const Hash256 img = crypto::Sha256::double_hash(preimg);
+  Script hs;
+  hs.op(Op::OP_HASH256).push(img.view()).op(Op::OP_EQUAL);
+  TxTemplate t = spender("hash-spend", analyze::template_outpoint("gfx/h"),
+                         {100, tx::Condition::p2wsh(hs)}, hs, 0,
+                         {{100, tx::Condition::p2wpkh(kA.pk.compressed())}});
+  t.inputs[0].witness = {WitnessElem::constant(preimg)};
+  KnowledgeBase kb;
+  Report rep;
+  auth_pass({std::move(t)}, kb, rep);
+  expect_only_auth(rep, "DA025");
+}
+
+TEST(AnalyzeAuth, PrematurePunishTripsDA026) {
+  // Q holds the punish key outright, so Q could punish commit state 0 at
+  // time 0 — before its revocation event at time 1.
+  const auto rev = crypto::derive_keypair("analyze-test/rev26");
+  const Script rev_ws = script::single_key(rev.pk.compressed());
+  std::vector<TxTemplate> ts = two_commits(rev_ws);
+  TxTemplate punish = spender("punish", out0(ts[0]), ts[0].body.outputs[0],
+                              rev_ws, 0,
+                              {{100, tx::Condition::p2wpkh(kA.pk.compressed())}},
+                              TemplateTag::kPunish);
+  punish.inputs[0].intended = kSetQ;
+  ts.push_back(std::move(punish));
+
+  KnowledgeBase kb;
+  kb.add_key(kA.pk.compressed(), "fund", kSetP);
+  kb.add_key(rev.pk.compressed(), "rev", kSetQ);  // held from t=0, not revealed
+  Report rep;
+  auth_pass(std::move(ts), kb, rep);
+  expect_only_auth(rep, "DA026");
+}
+
+TEST(AnalyzeAuth, KeyRoleHygieneTripsDA027) {
+  // Same pubkey registered under two roles, plus a gate key with no
+  // registration at all — both are DA027.
+  const Script ws_a = script::single_key(kA.pk.compressed());
+  const Script ws_b = script::single_key(kB.pk.compressed());
+  std::vector<TxTemplate> ts;
+  ts.push_back(spender("spend-a", analyze::template_outpoint("gfx/a"),
+                       {100, tx::Condition::p2wsh(ws_a)}, ws_a, 0,
+                       {{100, tx::Condition::p2wpkh(kA.pk.compressed())}}));
+  ts.push_back(spender("spend-b", analyze::template_outpoint("gfx/b"),
+                       {100, tx::Condition::p2wsh(ws_b)}, ws_b, 0,
+                       {{100, tx::Condition::p2wpkh(kB.pk.compressed())}}));
+  KnowledgeBase kb;
+  kb.add_key(kA.pk.compressed(), "role-one", kSetP);
+  kb.add_key(kA.pk.compressed(), "role-two", kSetP);  // conflict
+  // kB deliberately unregistered.
+  Report rep;
+  auth_pass(std::move(ts), kb, rep);
+  expect_only_auth(rep, "DA027");
+  EXPECT_EQ(rep.error_count(), 2u) << rep.render();
+}
+
+TEST(AnalyzeAuth, SecretBeforeRevealTripsDA028) {
+  // The intended spender needs a preimage that is only revealed at t=99,
+  // far past the analysis time: no intended principal can satisfy the edge.
+  const auto rev = crypto::derive_keypair("analyze-test/rev28");
+  const Bytes preimg(32, 0x77);
+  const Hash256 img = crypto::Sha256::double_hash(preimg);
+  Script ws;
+  ws.op(Op::OP_HASH256)
+      .push(img.view())
+      .op(Op::OP_EQUALVERIFY)
+      .push(rev.pk.compressed())
+      .op(Op::OP_CHECKSIG);
+  std::vector<TxTemplate> ts = two_commits(ws);
+  TxTemplate punish = spender("punish", out0(ts[0]), ts[0].body.outputs[0], ws, 0,
+                              {{100, tx::Condition::p2wpkh(kA.pk.compressed())}},
+                              TemplateTag::kPunish);
+  punish.inputs[0].witness = {WitnessElem::sig(SighashFlag::kAll),
+                              WitnessElem::constant(preimg)};
+  punish.inputs[0].intended = kSetQ;
+  ts.push_back(std::move(punish));
+
+  KnowledgeBase kb;
+  kb.add_key(kA.pk.compressed(), "fund", kSetP);
+  kb.add_key(rev.pk.compressed(), "rev", kSetQ);
+  kb.add_preimage(Bytes(img.view().begin(), img.view().end()), preimg,
+                  "late-secret", {}, kSetQ, /*reveal_time=*/99);
+  Report rep;
+  auth_pass(std::move(ts), kb, rep);
+  expect_only_auth(rep, "DA028");
+}
+
+TEST(AnalyzeAuth, RaceFilterSkipsUnsignableRivals) {
+  // A rival sweep gated by a key nobody who can publish the stale commit
+  // holds: with the auth filter the race disappears; without it, it is lost.
+  const Script ws = script::single_key(kA.pk.compressed());
+  std::vector<TxTemplate> ts = two_commits(ws);
+  ts.push_back(spender("punish", out0(ts[0]), ts[0].body.outputs[0], ws, 2,
+                       {{100, tx::Condition::p2wpkh(kA.pk.compressed())}},
+                       TemplateTag::kPunish));
+  const auto stranger = crypto::derive_keypair("analyze-test/stranger");
+  ts.push_back(spender("rival-sweep", out0(ts[0]), ts[0].body.outputs[0],
+                       csv_key_script(1, stranger), 1,
+                       {{100, tx::Condition::p2wpkh(kB.pk.compressed())}}));
+
+  KnowledgeBase kb;
+  kb.add_key(kA.pk.compressed(), "fund", kSetP);
+  kb.add_key(stranger.pk.compressed(), "stranger", {});  // nobody can sign it
+  const SpendGraph g = analyze::build_spend_graph(std::move(ts));
+  Report auth_rep;
+  const AuthReport ar = analyze::analyze_authorization(g, kb, {}, auth_rep);
+
+  Report unfiltered;
+  const ReachReport r0 = analyze::analyze_reachability(g, {1, 10}, unfiltered);
+  ASSERT_EQ(r0.races.size(), 1u);
+  EXPECT_FALSE(r0.races[0].honest_wins);
+
+  Report filtered;
+  const ReachReport r1 = analyze::analyze_reachability(g, {1, 10}, filtered, &ar);
+  EXPECT_TRUE(r1.races.empty()) << filtered.render();
+  EXPECT_FALSE(filtered.has("DA021")) << filtered.render();
 }
 
 TEST(AnalyzeGraph, RebindLoopTripsDA022) {

@@ -3,7 +3,7 @@
 # ASan+UBSan, a bounded model-check run, the secret-hygiene lint, and —
 # when the binary is installed — clang-tidy over the library sources.
 #
-# Usage: tools/check.sh [--fast|--bench|--chaos|--durable|--analyze|--tsan|--trace]
+# Usage: tools/check.sh [--fast|--bench|--chaos|--durable|--analyze|--tsan|--trace|--tidy]
 #   --fast    skip the sanitizer rebuild (plain tests + model check + lint)
 #   --bench   build Release, run the crypto + update microbenches, write
 #             BENCH_crypto.json / BENCH_update_microbench.json at the repo
@@ -16,6 +16,9 @@
 #             party at a message boundary (with torn/garbage log tails) and
 #             recover it from the durable store, plus the store unit tests
 #   --analyze run only the static script/transaction analyzer gate
+#   --tidy    run only clang-tidy, and FAIL if the binary is missing
+#             (the default flow skips it with a note unless
+#             DARIC_REQUIRE_TIDY=1 makes the missing binary fatal there too)
 #   --tsan    build with ThreadSanitizer and run the tier-1 suite under it
 #   --trace   observability gate: run daric_trace on canned scenarios and a
 #             chaos schedule replay, then validate every artifact with
@@ -31,6 +34,7 @@ DURABLE=0
 ANALYZE=0
 TSAN=0
 TRACE=0
+TIDY=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 [[ "${1:-}" == "--bench" ]] && BENCH=1
 [[ "${1:-}" == "--chaos" ]] && CHAOS=1
@@ -38,16 +42,33 @@ TRACE=0
 [[ "${1:-}" == "--analyze" ]] && ANALYZE=1
 [[ "${1:-}" == "--tsan" ]] && TSAN=1
 [[ "${1:-}" == "--trace" ]] && TRACE=1
+[[ "${1:-}" == "--tidy" ]] && TIDY=1
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "ERROR: clang-tidy is required but not installed (config: .clang-tidy)" >&2
+    return 1
+  fi
+  step "clang-tidy (src/)"
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  git ls-files 'src/*.cpp' | xargs clang-tidy -p build --quiet
+}
+
+if [[ "$TIDY" == 1 ]]; then
+  run_tidy
+  echo; echo "check.sh --tidy: clean"
+  exit 0
+fi
+
 if [[ "$ANALYZE" == 1 ]]; then
-  step "static script/transaction analyzer (lints + spend graph)"
+  step "static script/transaction analyzer (lints + spend graph + authorization)"
   cmake -B build -S . >/dev/null
   cmake --build build -j --target daric_analyze >/dev/null
-  ./build/tools/daric_analyze --graph --json build/analyze_report.json
+  ./build/tools/daric_analyze --auth --json build/analyze_report.json
   python3 tools/validate_trace.py --analyzer build/analyze_report.json
-  echo; echo "check.sh --analyze: all templates sound, Theorem-1 bounds hold"
+  echo; echo "check.sh --analyze: all templates sound, spenders authorized, Theorem-1 bounds hold"
   exit 0
 fi
 
@@ -250,7 +271,7 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-step "static script/transaction analyzer (all engines, lints + spend graph)"
+step "static script/transaction analyzer (all engines, lints + spend graph + auth)"
 ./build/tools/daric_analyze --graph --json build/analyze_report.json
 python3 tools/validate_trace.py --analyzer build/analyze_report.json
 
@@ -268,11 +289,13 @@ step "secret-hygiene lint (src/crypto)"
 python3 tools/lint_secrets.py
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  step "clang-tidy (src/)"
-  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  git ls-files 'src/*.cpp' | xargs clang-tidy -p build --quiet
+  run_tidy
+elif [[ "${DARIC_REQUIRE_TIDY:-0}" == 1 ]]; then
+  echo "ERROR: DARIC_REQUIRE_TIDY=1 but clang-tidy is not installed" >&2
+  exit 1
 else
-  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+  echo "clang-tidy not installed; skipping (config: .clang-tidy," \
+       "enforce with --tidy or DARIC_REQUIRE_TIDY=1)"
 fi
 
 if [[ "$FAST" == 1 ]]; then

@@ -6,23 +6,29 @@
 // exhaustive symbolic execution and cross-checks each template's timelocks,
 // sighash flags and value balance (lint catalogue DA001..DA017, see
 // src/analyze/lints.h). With --graph it additionally builds the
-// whole-protocol spend graph and runs the reachability/race analysis
-// (DA018..DA022, src/analyze/reach.h), reporting each engine's concrete
-// Theorem-1 punish-confirmation bound against the limit T−Δ.
+// whole-protocol spend graph, runs the knowledge-based authorization
+// analysis (DA023..DA028, src/analyze/auth.h) and the reachability/race
+// analysis (DA018..DA022, src/analyze/reach.h), reporting each engine's
+// concrete Theorem-1 punish-confirmation bound against the limit T−Δ.
+// --auth additionally prints, per engine, the exact principal set able to
+// satisfy every spend-graph edge at the analysis time.
 //
 // Usage:
 //   daric_analyze [--engine NAME] [--suppress DA001,DA007] [--updates N]
-//                 [--tpunish T] [--delta D] [--graph] [--dot FILE]
+//                 [--tpunish T] [--delta D] [--graph] [--auth] [--dot FILE]
 //                 [--json FILE] [--list] [--quiet]
 //
 // Exit status: 0 = no unsuppressed errors, 1 = errors found, 2 = bad usage.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/analyze/auth.h"
 #include "src/analyze/engines.h"
 #include "src/analyze/graph.h"
 #include "src/analyze/lints.h"
@@ -35,7 +41,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--engine daric|lightning|eltoo|generalized|cerberus|fppw]\n"
                "          [--suppress DAxxx[,DAxxx...]] [--updates N] [--tpunish T]\n"
-               "          [--delta D] [--graph] [--dot FILE] [--json FILE]\n"
+               "          [--delta D] [--graph] [--auth] [--dot FILE] [--json FILE]\n"
                "          [--list] [--quiet]\n",
                argv0);
 }
@@ -66,6 +72,27 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+std::string json_principals(const daric::analyze::PrincipalSet& s) {
+  using daric::analyze::Principal;
+  std::string out = "[";
+  for (Principal p : {Principal::kPartyP, Principal::kPartyQ, Principal::kTower,
+                      Principal::kAdversary, Principal::kAnyone}) {
+    if (!s.has(p)) continue;
+    if (out.size() > 1) out += ", ";
+    out += '"';
+    out += daric::analyze::principal_name(p);
+    out += '"';
+  }
+  return out + "]";
+}
+
+std::string edge_source(const daric::analyze::SpendGraph& g,
+                        const daric::analyze::SpendGraph::Edge& e) {
+  const auto& node = g.outputs[static_cast<std::size_t>(e.source)];
+  if (node.producer < 0) return "root.out" + std::to_string(node.vout);
+  return g.tmpl(node.producer).label() + ".out" + std::to_string(node.vout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +103,7 @@ int main(int argc, char** argv) {
   analyze::Report report;
   bool quiet = false;
   bool graph = false;
+  bool auth_report = false;
   std::string dot_path, json_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -90,7 +118,20 @@ int main(int argc, char** argv) {
     if (arg == "--engine") {
       engines = {next()};
     } else if (arg == "--suppress") {
-      for (const std::string& id : split_commas(next())) report.suppress(id);
+      for (const std::string& id : split_commas(next())) {
+        bool known = false;
+        for (const analyze::Lint& l : analyze::lint_catalogue())
+          if (id == l.id) {
+            known = true;
+            break;
+          }
+        if (!known) {
+          std::fprintf(stderr, "daric_analyze: unknown lint id '%s' (see --list)\n",
+                       id.c_str());
+          return 2;
+        }
+        report.suppress(id);
+      }
     } else if (arg == "--updates") {
       model.max_updates = std::atoi(next());
     } else if (arg == "--tpunish") {
@@ -99,6 +140,9 @@ int main(int argc, char** argv) {
       model.delta = std::atol(next());
     } else if (arg == "--graph") {
       graph = true;
+    } else if (arg == "--auth") {
+      graph = true;
+      auth_report = true;
     } else if (arg == "--dot") {
       graph = true;
       dot_path = next();
@@ -123,6 +167,7 @@ int main(int argc, char** argv) {
   const channel::ChannelParams params = analyze::params_for_model(model);
   std::size_t total_templates = 0;
   std::vector<analyze::ReachReport> bounds;
+  std::vector<std::string> auth_json;  // one pre-rendered object per engine
   std::ofstream dot_out;
   if (!dot_path.empty()) {
     dot_out.open(dot_path);
@@ -134,8 +179,10 @@ int main(int argc, char** argv) {
 
   for (const std::string& engine : engines) {
     std::vector<analyze::TxTemplate> templates;
+    analyze::KnowledgeBase kb;
     try {
-      templates = analyze::engine_templates(engine, params, model);
+      templates = analyze::engine_templates(engine, params, model,
+                                            graph ? &kb : nullptr);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "daric_analyze: %s\n", e.what());
       return 2;
@@ -147,9 +194,58 @@ int main(int argc, char** argv) {
                   templates.size());
     if (graph) {
       const analyze::SpendGraph g = analyze::build_spend_graph(std::move(templates));
+      const analyze::AuthParams ap{model.delta, model.t_punish, -1};
+      const analyze::AuthReport auth = analyze::analyze_authorization(g, kb, ap, report);
       const analyze::ReachParams rp{model.delta, model.t_punish};
-      bounds.push_back(analyze::analyze_reachability(g, rp, report));
+      bounds.push_back(analyze::analyze_reachability(g, rp, report, &auth));
       const analyze::ReachReport& r = bounds.back();
+
+      if (auth_report && !quiet) {
+        std::printf("daric_analyze: %-12s auth: now=%d, %zu satisfiable edges\n",
+                    engine.c_str(), auth.now,
+                    static_cast<std::size_t>(std::count_if(
+                        g.edges.begin(), g.edges.end(),
+                        [](const analyze::SpendGraph::Edge& e) { return e.satisfiable; })));
+        for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+          const analyze::SpendGraph::Edge& e = g.edges[ei];
+          if (!e.satisfiable) continue;
+          std::printf("  %s <- %s: %s\n",
+                      (g.tmpl(e.spender).label() + "#in" + std::to_string(e.input)).c_str(),
+                      edge_source(g, e).c_str(),
+                      auth.edges[ei].authorized.render().c_str());
+        }
+        for (const analyze::LatestPath& lp : auth.latest_paths) {
+          std::printf("  latest %s %s: %s\n", lp.where.c_str(),
+                      lp.covered ? "[covered]" : "[uncovered]",
+                      lp.principals.render().c_str());
+        }
+      }
+
+      {
+        std::ostringstream a;
+        a << "{\"engine\": \"" << auth.engine << "\", \"now\": " << auth.now
+          << ", \"edges\": " << auth.edges.size() << ", \"spenders\": [";
+        bool first = true;
+        for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+          const analyze::SpendGraph::Edge& e = g.edges[ei];
+          if (!e.satisfiable) continue;
+          a << (first ? "" : ", ") << "{\"edge\": \""
+            << json_escape(g.tmpl(e.spender).label() + "#in" + std::to_string(e.input))
+            << "\", \"source\": \"" << json_escape(edge_source(g, e))
+            << "\", \"principals\": " << json_principals(auth.edges[ei].authorized)
+            << "}";
+          first = false;
+        }
+        a << "], \"latest_paths\": [";
+        for (std::size_t li = 0; li < auth.latest_paths.size(); ++li) {
+          const analyze::LatestPath& lp = auth.latest_paths[li];
+          a << (li ? ", " : "") << "{\"where\": \"" << json_escape(lp.where)
+            << "\", \"covered\": " << (lp.covered ? "true" : "false")
+            << ", \"principals\": " << json_principals(lp.principals) << "}";
+        }
+        a << "]}";
+        auth_json.push_back(a.str());
+      }
       if (!quiet) {
         std::printf(
             "daric_analyze: %-12s graph: %zu outputs, %zu edges, %zu roots; "
@@ -183,13 +279,19 @@ int main(int argc, char** argv) {
          << ", \"bound_limit\": " << r.bound_limit << ", \"punish_reachable\": "
          << (r.punish_reachable ? "true" : "false") << "}";
     }
-    js << "\n  ],\n  \"findings\": [";
+    js << "\n  ],\n  \"auth\": [";
+    for (std::size_t i = 0; i < auth_json.size(); ++i)
+      js << (i ? ",\n    " : "\n    ") << auth_json[i];
+    js << (auth_json.empty() ? "" : "\n  ") << "],\n  \"findings\": [";
     const auto& fs = report.findings();
     for (std::size_t i = 0; i < fs.size(); ++i) {
       js << (i ? ",\n    " : "\n    ") << "{\"id\": \"" << fs[i].id
          << "\", \"severity\": \"" << analyze::severity_name(fs[i].severity)
          << "\", \"where\": \"" << json_escape(fs[i].where)
-         << "\", \"message\": \"" << json_escape(fs[i].message) << "\"}";
+         << "\", \"message\": \"" << json_escape(fs[i].message) << "\"";
+      if (!fs[i].principals.empty())
+        js << ", \"principals\": \"" << json_escape(fs[i].principals) << "\"";
+      js << "}";
     }
     js << (fs.empty() ? "" : "\n  ") << "],\n  \"errors\": " << report.error_count()
        << ",\n  \"warnings\": " << report.warning_count() << "\n}\n";

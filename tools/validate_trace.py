@@ -168,12 +168,40 @@ def check_analyzer(path):
                      f"exceeds limit {e['bound_limit']}")
         if e["races_won"] != e["races"]:
             fail(f"{path}: {name}: only {e['races_won']}/{e['races']} races won")
+    auth = doc.get("auth")
+    if not isinstance(auth, list):
+        fail(f"{path}: 'auth' missing (authorization section)")
+    known = {"P", "Q", "Tower", "Adversary", "Anyone"}
+    for i, a in enumerate(auth):
+        if not isinstance(a.get("engine"), str):
+            fail(f"{path}: auth[{i}].engine not a string")
+        for key in ("now", "edges"):
+            if not isinstance(a.get(key), int):
+                fail(f"{path}: auth[{i}].{key} not an integer")
+        for section in ("spenders", "latest_paths"):
+            rows = a.get(section)
+            if not isinstance(rows, list):
+                fail(f"{path}: auth[{i}].{section} missing")
+            for j, row in enumerate(rows):
+                ps = row.get("principals")
+                if not isinstance(ps, list) or not set(ps) <= known:
+                    fail(f"{path}: auth[{i}].{section}[{j}].principals invalid: {ps}")
+        for j, lp in enumerate(a["latest_paths"]):
+            if not isinstance(lp.get("covered"), bool):
+                fail(f"{path}: auth[{i}].latest_paths[{j}].covered not a bool")
+            if not lp["covered"] and lp["principals"]:
+                fail(f"{path}: auth[{i}].latest_paths[{j}]: uncovered latest-state "
+                     f"path satisfiable by {lp['principals']}")
     if not isinstance(doc.get("findings"), list):
         fail(f"{path}: 'findings' missing")
+    for i, fnd in enumerate(doc["findings"]):
+        if "principals" in fnd and not isinstance(fnd["principals"], str):
+            fail(f"{path}: findings[{i}].principals not a string")
     if doc.get("errors", 0) != 0:
         fail(f"{path}: analyzer reported {doc['errors']} errors")
     print(f"validate_trace: {path}: analyzer report ok "
-          f"({len(engines)} engines, bounds within limits)")
+          f"({len(engines)} engines, bounds within limits, "
+          f"{len(auth)} auth reports)")
     return doc
 
 
