@@ -1,0 +1,133 @@
+// Metrics-registry scaling benchmark: the thread-sharded instruments
+// against the two designs they replaced, across 1/2/4/8 threads.
+//
+//   BM_CounterMutexRegistry  the pre-PR-10 design: every event takes a
+//                            mutex and a map<string,...> name lookup
+//   BM_CounterSharedAtomic   one shared atomic cell — no lock, but every
+//                            thread contends on the same cache line
+//   BM_CounterSharded        obs::Counter via a cached handle: one relaxed
+//                            fetch_add on the thread's own padded stripe
+//   BM_HistogramObserve      sharded log-linear histogram observe()
+//   BM_SpanDisabled/Enabled  OBS_SPAN cost with profiling off (one relaxed
+//                            load) and on (two clock reads + an observe)
+//   BM_RegistrySnapshotJson  full snapshot cost at a realistic instrument
+//                            population (the aggregation the hot path defers)
+//
+// check.sh --bench turns this into BENCH_obs_scale.json and gates on it:
+// sharded must beat the mutex registry at >= 2 threads and must not
+// collapse as threads double. Thread counts above the machine's cores
+// still run (google-benchmark multiplexes); on a 1-core container the
+// sharded aggregate stays flat while the mutex registry collapses, which
+// is exactly the contrast the gate checks.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "bench/bench_main.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+
+namespace {
+
+using namespace daric;
+
+// --- baselines -------------------------------------------------------------
+
+/// The old registry design, reduced to its cost model: a mutex around a
+/// name-keyed map, taken on every single event.
+class MutexRegistry {
+ public:
+  void inc(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_[name];
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+MutexRegistry g_mutex_registry;
+std::atomic<std::uint64_t> g_shared_atomic{0};
+obs::Registry g_registry;
+obs::Counter& g_sharded = g_registry.counter("bench.sharded");
+obs::Histogram& g_hist = g_registry.histogram("bench.hist");
+
+void BM_CounterMutexRegistry(benchmark::State& state) {
+  for (auto _ : state) g_mutex_registry.inc("bench.mutex");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterMutexRegistry)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_CounterSharedAtomic(benchmark::State& state) {
+  for (auto _ : state)
+    g_shared_atomic.fetch_add(1, std::memory_order_relaxed);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterSharedAtomic)->ThreadRange(1, 8)->UseRealTime();
+
+// --- the sharded design ----------------------------------------------------
+
+void BM_CounterSharded(benchmark::State& state) {
+  for (auto _ : state) g_sharded.inc();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterSharded)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_HistogramObserve(benchmark::State& state) {
+  std::int64_t v = static_cast<std::int64_t>(state.thread_index());
+  for (auto _ : state) g_hist.observe((v = (v * 2862933555777941757 + 3037000493) & 0xfffff));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve)->ThreadRange(1, 8)->UseRealTime();
+
+// --- spans -----------------------------------------------------------------
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::set_spans_enabled(false);
+  for (auto _ : state) {
+    OBS_SPAN("bench.span");
+    int sink = 0;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::set_spans_enabled(true);
+  for (auto _ : state) {
+    OBS_SPAN("bench.span");
+    int sink = 0;
+    benchmark::DoNotOptimize(sink);
+  }
+  obs::set_spans_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
+
+// --- snapshot cost ---------------------------------------------------------
+
+void BM_RegistrySnapshotJson(benchmark::State& state) {
+  obs::Registry reg;
+  for (int i = 0; i < 48; ++i) reg.counter("c." + std::to_string(i)).inc(i);
+  for (int i = 0; i < 8; ++i) reg.gauge("g." + std::to_string(i)).set(i);
+  for (int i = 0; i < 8; ++i) {
+    obs::Histogram& h = reg.histogram("h." + std::to_string(i));
+    for (std::int64_t v = 1; v <= 512; ++v) h.observe(v * (i + 1));
+  }
+  for (auto _ : state) {
+    std::string json = reg.snapshot_json();
+    benchmark::DoNotOptimize(json);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistrySnapshotJson);
+
+}  // namespace
+
+DARIC_BENCHMARK_MAIN();

@@ -4,6 +4,8 @@
 
 #include "src/channel/storage.h"
 #include "src/daric/builders.h"
+#include "src/obs/span.h"
+#include "src/tx/weight.h"
 #include "src/tx/sighash.h"
 
 namespace daric::cerberus {
@@ -60,7 +62,10 @@ std::size_t CerberusWatchtower::storage_bytes() const {
 
 CerberusChannel::CerberusChannel(sim::Environment& env, channel::ChannelParams params,
                                  Amount tower_reward)
-    : env_(env), params_(std::move(params)), tower_reward_(tower_reward) {
+    : env_(env),
+      params_(std::move(params)),
+      obs_(obs::EngineHandles::bind(env.metrics(), "cerberus")),
+      tower_reward_(tower_reward) {
   params_.validate(env_.delta());
   if (tower_reward_ <= 0 || tower_reward_ >= params_.capacity())
     throw std::invalid_argument("tower reward must be positive and below the capacity");
@@ -157,10 +162,12 @@ bool CerberusChannel::create() {
   env_.message_round(PartyId::kA, "cb/create");
   sign_state(0, st_);
   open_ = true;
+  obs_.opened->inc();
   return true;
 }
 
 bool CerberusChannel::update(const channel::StateVec& next) {
+  OBS_SPAN("cerberus.update.total");
   if (!open_) throw std::logic_error("channel not open");
   if (next.total() != params_.capacity())
     throw std::invalid_argument("state must preserve capacity");
@@ -181,6 +188,7 @@ bool CerberusChannel::update(const channel::StateVec& next) {
   sign_state(old + 1, next);
   ++sn_;
   st_ = next;
+  obs_.updates->inc();
   return true;
 }
 
@@ -195,6 +203,7 @@ bool CerberusChannel::cooperative_close() {
   const Bytes sb = tx::sign_input(close, 0, main_b_.sk, scheme, SighashFlag::kAll);
   daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
   env_.message_round(PartyId::kA, "cb/close");
+  obs_.weight->observe(static_cast<std::int64_t>(tx::measure(close).weight()));
   env_.ledger().post(close);
   expected_close_txid_ = close.txid();
   return run_until_closed();
@@ -202,12 +211,17 @@ bool CerberusChannel::cooperative_close() {
 
 void CerberusChannel::force_close(PartyId who) {
   if (!open_) return;
-  env_.ledger().post(who == PartyId::kA ? commit_a_ : commit_b_);
+  const tx::Transaction& cm = who == PartyId::kA ? commit_a_ : commit_b_;
+  obs_.force_close->inc();
+  obs_.weight->observe(static_cast<std::int64_t>(tx::measure(cm).weight()));
+  env_.ledger().post(cm);
 }
 
 void CerberusChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   for (const CommitRecord& r : archive_) {
     if (r.owner == who && r.state == state) {
+      obs_.disputes->inc();
+      obs_.weight->observe(static_cast<std::int64_t>(tx::measure(r.tx).weight()));
       env_.ledger().post(r.tx);
       return;
     }
@@ -215,15 +229,18 @@ void CerberusChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   throw std::out_of_range("no archived commit");
 }
 
+void CerberusChannel::note_closed(CbOutcome outcome) {
+  outcome_ = outcome;
+  open_ = false;
+  obs_.closed->inc();
+}
+
 void CerberusChannel::on_round() {
   if (!open_ || outcome_ != CbOutcome::kNone) return;
   auto& ledger = env_.ledger();
 
   if (pending_txid_) {
-    if (ledger.is_confirmed(*pending_txid_)) {
-      outcome_ = CbOutcome::kPunished;
-      open_ = false;
-    }
+    if (ledger.is_confirmed(*pending_txid_)) note_closed(CbOutcome::kPunished);
     return;
   }
   if (pending_sweep_) {
@@ -242,8 +259,7 @@ void CerberusChannel::on_round() {
       pending_sweep_->posted = true;
       pending_sweep_->txid = sweep.txid();
     } else if (pending_sweep_->posted && ledger.is_confirmed(pending_sweep_->txid)) {
-      outcome_ = CbOutcome::kNonCollaborative;
-      open_ = false;
+      note_closed(CbOutcome::kNonCollaborative);
     }
     return;
   }
@@ -252,8 +268,7 @@ void CerberusChannel::on_round() {
   if (!spender) return;
   const Hash256 id = spender->txid();
   if (expected_close_txid_ && id == *expected_close_txid_) {
-    outcome_ = CbOutcome::kCooperative;
-    open_ = false;
+    note_closed(CbOutcome::kCooperative);
     return;
   }
   const CommitRecord* rec = nullptr;
@@ -270,10 +285,8 @@ void CerberusChannel::on_round() {
     const auto taker = ledger.spender_of({id, 0});
     if (taker) {
       pending_txid_ = taker->txid();
-      if (ledger.is_confirmed(*pending_txid_)) {
-        outcome_ = CbOutcome::kPunished;
-        open_ = false;
-      }
+      obs_.punish_posted->inc();
+      if (ledger.is_confirmed(*pending_txid_)) note_closed(CbOutcome::kPunished);
     }
     return;
   }

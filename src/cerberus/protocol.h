@@ -12,6 +12,7 @@
 #include "src/channel/state.h"
 #include "src/channel/watchtower.h"
 #include "src/daric/wallet.h"
+#include "src/obs/handles.h"
 #include "src/sim/environment.h"
 #include "src/sim/party.h"
 #include "src/tx/transaction.h"
@@ -93,9 +94,12 @@ class CerberusChannel {
   tx::Transaction build_revocation(const CommitRecord& rec, sim::PartyId victim) const;
   void sign_state(std::uint32_t state, const channel::StateVec& st);
   void on_round();
+  /// Records the outcome and bumps the closed counter.
+  void note_closed(CbOutcome outcome);
 
   sim::Environment& env_;
   channel::ChannelParams params_;
+  obs::EngineHandles obs_;  // bound once in the constructor
   Amount tower_reward_;
   daricch::DaricPubKeys pub_a_, pub_b_;
   crypto::KeyPair main_a_, main_b_, delayed_a_, delayed_b_, tower_key_;

@@ -6,6 +6,7 @@
 
 #include "src/daric/fees.h"
 #include "src/obs/event.h"
+#include "src/obs/span.h"
 #include "src/tx/sighash.h"
 #include "src/tx/weight.h"
 
@@ -51,17 +52,15 @@ bool queue_wire(std::vector<crypto::SigBatchItem>& batch, const tx::SighashCache
   return true;
 }
 
-/// Records the on-chain weight of an engine-originated transaction in the
-/// always-on metrics registry (events stay behind tracer().enabled()).
-void observe_weight(sim::Environment& env, const tx::Transaction& t) {
-  env.metrics()
-      .histogram("daric.onchain_weight", obs::weight_buckets())
-      .observe(static_cast<std::int64_t>(tx::measure(t).weight()));
+/// Records the on-chain weight of an engine-originated transaction through a
+/// cached histogram handle (events stay behind tracer().enabled()).
+void observe_weight(obs::Histogram* h, const tx::Transaction& t) {
+  h->observe(static_cast<std::int64_t>(tx::measure(t).weight()));
 }
 
-void emit_closed(sim::Environment& env, const channel::ChannelParams& params, PartyId id,
-                 CloseOutcome outcome) {
-  env.metrics().counter("daric.closed").inc();
+void emit_closed(sim::Environment& env, obs::Counter* closed,
+                 const channel::ChannelParams& params, PartyId id, CloseOutcome outcome) {
+  closed->inc();
   if (env.tracer().enabled())
     env.tracer().emit(env.now(), obs::EventKind::kChannelState, "daric", params.id,
                       sim::party_name(id),
@@ -83,7 +82,13 @@ DaricParty::DaricParty(PartyId id, const channel::ChannelParams& params, sim::En
       funding_source_(funding_source),
       funding_key_(std::move(funding_key)),
       keys_(DaricKeys::derive(sim::party_name(id), params.id)),
-      pub_own_(to_pub(keys_)) {}
+      pub_own_(to_pub(keys_)) {
+  auto& m = env.metrics();
+  closed_counter_ = &m.counter("daric.closed");
+  punish_counter_ = &m.counter("daric.punish.posted");
+  force_close_counter_ = &m.counter("daric.force_close");
+  weight_hist_ = &m.histogram("daric.onchain_weight");
+}
 
 std::size_t DaricParty::storage_bytes() const {
   if (!open_) return 0;
@@ -191,8 +196,8 @@ void DaricParty::try_punish(const tx::Transaction& spender) {
   }
   env_.ledger().post(rv);
   pending_revocation_txid_ = rv.txid();
-  env_.metrics().counter("daric.punish.posted").inc();
-  observe_weight(env_, rv);
+  punish_counter_->inc();
+  observe_weight(weight_hist_, rv);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kPunish, "daric", params_.id,
                        sim::party_name(id_),
@@ -204,7 +209,7 @@ void DaricParty::close_with(CloseOutcome outcome, Round round) {
   outcome_ = outcome;
   closed_round_ = round;
   open_ = false;
-  emit_closed(env_, params_, id_, outcome_);
+  emit_closed(env_, closed_counter_, params_, id_, outcome_);
   if (durability_) durability_->closed(*this);
 }
 
@@ -232,7 +237,7 @@ void DaricParty::on_round() {
     if (!pending_split_->posted && env_.now() >= pending_split_->post_round) {
       ledger.post(pending_split_->bound);
       pending_split_->posted = true;
-      observe_weight(env_, pending_split_->bound);
+      observe_weight(weight_hist_, pending_split_->bound);
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id,
                            sim::party_name(id_), {obs::Attr::s("phase", "split_posted")});
@@ -288,8 +293,8 @@ void DaricParty::force_close() {
   if (!open_) return;
   const bool use_new = flag_ == channel::ChannelFlag::kUpdating && cm_own_new_.has_value();
   const tx::Transaction& cm = use_new ? *cm_own_new_ : cm_own_;
-  env_.metrics().counter("daric.force_close").inc();
-  observe_weight(env_, cm);
+  force_close_counter_->inc();
+  observe_weight(weight_hist_, cm);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "daric", params_.id,
                        sim::party_name(id_),
@@ -325,7 +330,7 @@ constexpr int kMaxSendAttempts = 3;
 int DaricChannel::send_reliable(DaricParty& sender, const char* type) {
   for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
     if (attempt > 0) {
-      env_.metrics().counter("daric.msg.retries").inc();
+      retries_counter_->inc();
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kMsgRetry, "daric", params_.id,
                            sim::party_name(sender.id_),
@@ -357,6 +362,12 @@ DaricChannel::DaricChannel(sim::Environment& env, channel::ChannelParams params)
          mint_funding_source(env, params_.cash_b, funding_keypair(params_, PartyId::kB)),
          funding_keypair(params_, PartyId::kB)),
       tcache_(params_, a_.pub_own_, b_.pub_own_) {
+  auto& m = env_.metrics();
+  retries_counter_ = &m.counter("daric.msg.retries");
+  opened_counter_ = &m.counter("daric.channels_opened");
+  updates_counter_ = &m.counter("daric.updates");
+  disputes_counter_ = &m.counter("daric.disputes");
+  weight_hist_ = &m.histogram("daric.onchain_weight");
   params_.validate(env_.delta());
   env_.add_round_hook([this] { a_.on_round(); });
   env_.add_round_hook([this] { b_.on_round(); });
@@ -462,8 +473,8 @@ bool DaricChannel::create() {
   archive_a_.push_back(a_.cm_own_);
   archive_b_.push_back(b_.cm_own_);
   archive_splits_.push_back({split0, sp_sig_a, sp_sig_b, commits.script_a, commits.script_b});
-  env_.metrics().counter("daric.channels_opened").inc();
-  observe_weight(env_, tx_fu);
+  opened_counter_->inc();
+  observe_weight(weight_hist_, tx_fu);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id, {},
                        {obs::Attr::s("phase", "open"), obs::Attr::i("sn", 0)});
@@ -478,11 +489,29 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   if (next.to_a < params_.min_balance() || next.to_b < params_.min_balance())
     throw std::invalid_argument("state violates the minimum-balance reserve");
 
+  OBS_SPAN("daric.update.total");
   const auto& scheme = env_.scheme();
   DaricParty& p = party(proposer);
   DaricParty& q = party(other(proposer));
   const std::uint32_t i = a_.sn_;
   const Amount cash = params_.capacity();
+
+  // Phase timers for the update pipeline (span.h taxonomy). Each wrapper
+  // times one operation; all of them vanish to a relaxed load when spans
+  // are disabled.
+  auto timed_cache = [](const tx::Transaction& body) {
+    OBS_SPAN("daric.update.sighash");
+    return tx::SighashCache(body);
+  };
+  auto timed_sign = [&scheme](const tx::Transaction& body, const crypto::KeyPair& kp,
+                              SighashFlag flag, const tx::SighashCache* cache) {
+    OBS_SPAN("daric.update.sign");
+    return tx::sign_input(body, 0, kp, scheme, flag, cache);
+  };
+  auto timed_flush = [&scheme](const std::vector<crypto::SigBatchItem>& batch) {
+    OBS_SPAN("daric.update.batch_flush");
+    return scheme.verify_batch(batch);
+  };
 
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id,
@@ -507,15 +536,23 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   // Q builds the new bodies and its ANYPREVOUT split signature. The bodies
   // are patched template skeletons; the references stay valid (and
   // unchanged) until the next update()'s patch pass.
-  const CommitPair& commits = tcache_.commit(a_.fund_op_, cash, i + 1);
-  const tx::Transaction& split_body = tcache_.split(next, i + 1);
+  const CommitPair* commits_ptr = nullptr;
+  const tx::Transaction* split_ptr = nullptr;
+  {
+    OBS_SPAN("daric.update.skeleton");
+    commits_ptr = &tcache_.commit(a_.fund_op_, cash, i + 1);
+    split_ptr = &tcache_.split(next, i + 1);
+  }
+  const CommitPair& commits = *commits_ptr;
+  const tx::Transaction& split_body = *split_ptr;
   const tx::Transaction& body_p = p.id_ == PartyId::kA ? commits.body_a : commits.body_b;
   const tx::Transaction& body_q = p.id_ == PartyId::kA ? commits.body_b : commits.body_a;
   const script::Script& script_p = p.id_ == PartyId::kA ? commits.script_a : commits.script_b;
   const script::Script& script_q = p.id_ == PartyId::kA ? commits.script_b : commits.script_a;
   // One digest cache per body signed/verified this update. Each serialized
   // body is hashed once here instead of once per signature operation.
-  tx::SighashCache sh_split(split_body), sh_p(body_p), sh_q(body_q);
+  const tx::SighashCache sh_split = timed_cache(split_body), sh_p = timed_cache(body_p),
+                         sh_q = timed_cache(body_q);
 
   // Deferred verification queues. Signatures are structurally checked on
   // receipt but their curve equations are batched and flushed at the latest
@@ -537,8 +574,7 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
 
   // Message 2: updateInfo (Q → P).
   if (abort_by(q, p, 2)) return false;
-  const Bytes sp_sig_q =
-      tx::sign_input(split_body, 0, q.keys_.sp, scheme, SighashFlag::kAllAnyPrevOut, &sh_split);
+  const Bytes sp_sig_q = timed_sign(split_body, q.keys_.sp, SighashFlag::kAllAnyPrevOut, &sh_split);
   const int n2 = send_or_close(q, "updateInfo");
   if (n2 == 0) return false;
 
@@ -551,8 +587,7 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
     run_until_closed();
     return false;
   }
-  const Bytes sp_sig_p =
-      tx::sign_input(split_body, 0, p.keys_.sp, scheme, SighashFlag::kAllAnyPrevOut, &sh_split);
+  const Bytes sp_sig_p = timed_sign(split_body, p.keys_.sp, SighashFlag::kAllAnyPrevOut, &sh_split);
   const Bytes split_sig_a = p.id_ == PartyId::kA ? sp_sig_p : sp_sig_q;
   const Bytes split_sig_b = p.id_ == PartyId::kA ? sp_sig_q : sp_sig_p;
   for (int copy = 0; copy < n2; ++copy) {
@@ -567,8 +602,7 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
 
   // Message 3: updateComP (P → Q) with σ̃^P_SP and σ^P on [TX^Q_CM,i+1].
   if (abort_by(p, q, 3)) return false;
-  const Bytes cm_q_sig_p =
-      tx::sign_input(body_q, 0, p.keys_.main, scheme, SighashFlag::kAll, &sh_q);
+  const Bytes cm_q_sig_p = timed_sign(body_q, p.keys_.main, SighashFlag::kAll, &sh_q);
   const int n3 = send_or_close(p, "updateComP");
   if (n3 == 0) return false;
 
@@ -587,7 +621,7 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
     q.flag_ = channel::ChannelFlag::kUpdating;
     q.st_prime_ = next;
     q.cm_own_new_ = body_q;
-    const Bytes own = tx::sign_input(body_q, 0, q.keys_.main, scheme, SighashFlag::kAll, &sh_q);
+    const Bytes own = timed_sign(body_q, q.keys_.main, SighashFlag::kAll, &sh_q);
     const Bytes& sig_a = q.id_ == PartyId::kA ? own : cm_q_sig_p;
     const Bytes& sig_b = q.id_ == PartyId::kA ? cm_q_sig_p : own;
     attach_funding_witness(*q.cm_own_new_, 0, q.fund_script_, sig_a, sig_b);
@@ -599,15 +633,14 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
 
   // Message 4: updateComQ (Q → P) with σ^Q on [TX^P_CM,i+1].
   if (abort_by(q, p, 4)) return false;
-  const Bytes cm_p_sig_q =
-      tx::sign_input(body_p, 0, q.keys_.main, scheme, SighashFlag::kAll, &sh_p);
+  const Bytes cm_p_sig_q = timed_sign(body_p, q.keys_.main, SighashFlag::kAll, &sh_p);
   const int n4 = send_or_close(q, "updateComQ");
   if (n4 == 0) return false;
 
   // P's flush point: past this message P reveals its revocation of state i,
   // so everything P has received for state i+1 must be verified NOW.
   if (!queue_wire(batch_p, sh_p, SighashFlag::kAll, p.peer_tables().main, cm_p_sig_q, scheme) ||
-      !scheme.verify_batch(batch_p)) {
+      !timed_flush(batch_p)) {
     reset_gamma_prime(p);
     p.force_close();
     run_until_closed();
@@ -615,7 +648,7 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   }
   for (int copy = 0; copy < n4; ++copy) {
     p.cm_own_new_ = body_p;
-    const Bytes own = tx::sign_input(body_p, 0, p.keys_.main, scheme, SighashFlag::kAll, &sh_p);
+    const Bytes own = timed_sign(body_p, p.keys_.main, SighashFlag::kAll, &sh_p);
     const Bytes& sig_a = p.id_ == PartyId::kA ? own : cm_p_sig_q;
     const Bytes& sig_b = p.id_ == PartyId::kA ? cm_p_sig_q : own;
     attach_funding_witness(*p.cm_own_new_, 0, p.fund_script_, sig_a, sig_b);
@@ -625,7 +658,7 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   // skeleton slots per payout key, so both references stay valid.
   const tx::Transaction& rv_p = tcache_.revoke(p.id_ == PartyId::kA, cash, i);
   const tx::Transaction& rv_q = tcache_.revoke(q.id_ == PartyId::kA, cash, i);
-  tx::SighashCache sh_rv_p(rv_p), sh_rv_q(rv_q);
+  const tx::SighashCache sh_rv_p = timed_cache(rv_p), sh_rv_q = timed_cache(rv_q);
   // TX^A_RV is guarded by rv2 keys, TX^B_RV by rv keys (Appendix B).
   auto rv_sign_key = [&](const DaricParty& signer,
                          const DaricParty& owner) -> const crypto::KeyPair& {
@@ -645,14 +678,14 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   const SighashFlag rv_flag = revocation_flag(params_);
   if (p.durability_) p.durability_->persist(p);
   if (abort_by(p, q, 5)) return false;
-  const Bytes rv_q_sig_p = tx::sign_input(rv_q, 0, rv_sign_key(p, q), scheme, rv_flag, &sh_rv_q);
+  const Bytes rv_q_sig_p = timed_sign(rv_q, rv_sign_key(p, q), rv_flag, &sh_rv_q);
   const int n5 = send_or_close(p, "revokeP");
   if (n5 == 0) return false;
 
   // Q's flush point: promotion Γ' → Γ (and message 6, Q's own revocation)
   // must only happen on fully verified material.
   if (!queue_wire(batch_q, sh_rv_q, rv_flag, rv_verify_pre(q, q), rv_q_sig_p, scheme) ||
-      !scheme.verify_batch(batch_q)) {
+      !timed_flush(batch_q)) {
     reset_gamma_prime(q);
     q.force_close();
     run_until_closed();
@@ -681,7 +714,7 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   // is externalized.
   if (q.durability_) q.durability_->persist(q);
   if (abort_by(q, p, 6)) return false;
-  const Bytes rv_p_sig_q = tx::sign_input(rv_p, 0, rv_sign_key(q, p), scheme, rv_flag, &sh_rv_p);
+  const Bytes rv_p_sig_q = timed_sign(rv_p, rv_sign_key(q, p), rv_flag, &sh_rv_p);
   const int n6 = send_or_close(q, "revokeQ");
   if (n6 == 0) return false;
 
@@ -699,7 +732,7 @@ bool DaricChannel::update(const channel::StateVec& next, PartyId proposer) {
   archive_b_.push_back(b_.cm_own_);
   archive_splits_.push_back(
       {split_body, split_sig_a, split_sig_b, commits.script_a, commits.script_b});
-  env_.metrics().counter("daric.updates").inc();
+  updates_counter_->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id,
                        sim::party_name(proposer),
@@ -737,7 +770,7 @@ bool DaricChannel::cooperative_close(PartyId initiator) {
   attach_funding_witness(fin, 0, p.fund_script_, sig_a, sig_b);
   a_.expected_coop_txid_ = fin.txid();
   b_.expected_coop_txid_ = fin.txid();
-  observe_weight(env_, fin);
+  observe_weight(weight_hist_, fin);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "daric", params_.id,
                        sim::party_name(initiator), {obs::Attr::s("phase", "coop_close_posted")});
@@ -748,8 +781,8 @@ bool DaricChannel::cooperative_close(PartyId initiator) {
 void DaricChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   const auto& archive = who == PartyId::kA ? archive_a_ : archive_b_;
   if (state >= archive.size()) throw std::out_of_range("no archived commit for that state");
-  env_.metrics().counter("daric.disputes").inc();
-  observe_weight(env_, archive[state]);
+  disputes_counter_->inc();
+  observe_weight(weight_hist_, archive[state]);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "daric", params_.id,
                        sim::party_name(who),

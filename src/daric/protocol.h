@@ -141,6 +141,13 @@ class DaricParty {
   channel::ChannelParams params_;
   sim::Environment& env_;
 
+  // Cached registry handles (one name lookup at construction; the punish
+  // monitor and close paths then never touch the registry mutex).
+  obs::Counter* closed_counter_;
+  obs::Counter* punish_counter_;
+  obs::Counter* force_close_counter_;
+  obs::Histogram* weight_hist_;
+
   // Funding source (the paper's tid_P) and its key.
   tx::OutPoint funding_source_;
   crypto::KeyPair funding_key_;
@@ -255,6 +262,14 @@ class DaricChannel {
 
   sim::Environment& env_;
   channel::ChannelParams params_;
+
+  // Cached registry handles for the channel-level paths (update/create).
+  obs::Counter* retries_counter_;
+  obs::Counter* opened_counter_;
+  obs::Counter* updates_counter_;
+  obs::Counter* disputes_counter_;
+  obs::Histogram* weight_hist_;
+
   DaricParty a_, b_;
   /// Per-channel template skeletons (declared after a_/b_: initialized from
   /// their derived public keys).

@@ -6,6 +6,7 @@
 #include "src/daric/builders.h"
 #include "src/daric/scripts.h"
 #include "src/obs/event.h"
+#include "src/obs/span.h"
 #include "src/tx/sighash.h"
 #include "src/tx/weight.h"
 
@@ -18,15 +19,14 @@ namespace {
 std::size_t idx(PartyId p) { return p == PartyId::kA ? 0 : 1; }
 constexpr int kMaxSendAttempts = 3;
 
-void observe_weight(sim::Environment& env, const tx::Transaction& t) {
-  env.metrics()
-      .histogram("eltoo.onchain_weight", obs::weight_buckets())
-      .observe(static_cast<std::int64_t>(tx::measure(t).weight()));
+void observe_weight(obs::Histogram* h, const tx::Transaction& t) {
+  h->observe(static_cast<std::int64_t>(tx::measure(t).weight()));
 }
 
-void emit_closed(sim::Environment& env, const channel::ChannelParams& params,
-                 std::uint32_t settled_state, const char* how) {
-  env.metrics().counter("eltoo.closed").inc();
+void emit_closed(sim::Environment& env, obs::Counter* closed,
+                 const channel::ChannelParams& params, std::uint32_t settled_state,
+                 const char* how) {
+  closed->inc();
   if (env.tracer().enabled())
     env.tracer().emit(env.now(), obs::EventKind::kChannelState, "eltoo", params.id, {},
                       {obs::Attr::s("phase", "closed"), obs::Attr::s("outcome", how),
@@ -38,7 +38,7 @@ void emit_closed(sim::Environment& env, const channel::ChannelParams& params,
 int EltooChannel::send_reliable(PartyId from, const char* type) {
   for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
     if (attempt > 0) {
-      env_.metrics().counter("eltoo.msg.retries").inc();
+      obs_.retries->inc();
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kMsgRetry, "eltoo", params_.id,
                            sim::party_name(from),
@@ -51,7 +51,8 @@ int EltooChannel::send_reliable(PartyId from, const char* type) {
 }
 
 EltooChannel::EltooChannel(sim::Environment& env, channel::ChannelParams params)
-    : env_(env), params_(std::move(params)) {
+    : env_(env), params_(std::move(params)),
+      obs_(obs::EngineHandles::bind(env.metrics(), "eltoo", "override.posted")) {
   params_.validate(env_.delta());
   const daricch::DaricKeys ka = daricch::DaricKeys::derive("A", params_.id + "/eltoo");
   const daricch::DaricKeys kb = daricch::DaricKeys::derive("B", params_.id + "/eltoo");
@@ -138,7 +139,7 @@ bool EltooChannel::create() {
   fund_txid_ = fund_op_.txid;
   sign_state(0, st_);
   open_ = true;
-  env_.metrics().counter("eltoo.channels_opened").inc();
+  obs_.opened->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "eltoo", params_.id, {},
                        {obs::Attr::s("phase", "open"), obs::Attr::i("sn", 0)});
@@ -146,6 +147,7 @@ bool EltooChannel::create() {
 }
 
 bool EltooChannel::update(const channel::StateVec& next) {
+  OBS_SPAN("eltoo.update.total");
   if (!open_) throw std::logic_error("channel not open");
   if (next.total() != params_.capacity())
     throw std::invalid_argument("state must preserve capacity");
@@ -162,7 +164,7 @@ bool EltooChannel::update(const channel::StateVec& next) {
   sign_state(sn_ + 1, next);
   ++sn_;
   st_ = next;
-  env_.metrics().counter("eltoo.updates").inc();
+  obs_.updates->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "eltoo", params_.id, {},
                        {obs::Attr::s("phase", "updated"),
@@ -186,7 +188,7 @@ bool EltooChannel::cooperative_close() {
     run_until_closed();
     return false;
   }
-  observe_weight(env_, close);
+  observe_weight(obs_.weight, close);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "eltoo", params_.id, {},
                        {obs::Attr::s("phase", "coop_close_posted")});
@@ -208,13 +210,13 @@ void EltooChannel::post_update_bound(std::uint32_t state, const tx::OutPoint& op
     t.witnesses[0].stack = {Bytes{}, s.upd_sig_a, s.upd_sig_b, Bytes{}};
     t.witnesses[0].witness_script = prev_script;
   }
-  observe_weight(env_, t);
+  observe_weight(obs_.weight, t);
   env_.ledger().post(t);
 }
 
 void EltooChannel::publish_old_update(PartyId who, std::uint32_t state) {
   if (state >= archive_.size()) throw std::out_of_range("no such archived state");
-  env_.metrics().counter("eltoo.disputes").inc();
+  obs_.disputes->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "eltoo", params_.id,
                        sim::party_name(who),
@@ -246,7 +248,7 @@ void EltooChannel::set_reacting(PartyId who, bool reacts) { reacts_[idx(who)] = 
 
 void EltooChannel::force_close(PartyId who) {
   if (!open_) return;
-  env_.metrics().counter("eltoo.force_close").inc();
+  obs_.force_close->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "eltoo", params_.id,
                        sim::party_name(who),
@@ -266,7 +268,7 @@ void EltooChannel::on_round() {
   if (expected_close_txid_ && spender->txid() == *expected_close_txid_) {
     settled_state_ = sn_;
     open_ = false;
-    emit_closed(env_, params_, *settled_state_, "cooperative");
+    emit_closed(env_, obs_.closed, params_, *settled_state_, "cooperative");
     return;
   }
 
@@ -278,7 +280,7 @@ void EltooChannel::on_round() {
       // A settlement (two or more outputs) finalized the channel.
       settled_state_ = cur_state;
       open_ = false;
-      emit_closed(env_, params_, *settled_state_,
+      emit_closed(env_, obs_.closed, params_, *settled_state_,
                   cur_state < sn_ ? "stale-settled" : "settled");
       return;
     }
@@ -304,7 +306,7 @@ void EltooChannel::on_round() {
     if ((reacts_[0] || reacts_[1]) && !reacted_for_tip_) {
       // The override is eltoo's stand-in for punishment: record it under the
       // same punish counter/event so cross-engine dashboards line up.
-      env_.metrics().counter("eltoo.override.posted").inc();
+      obs_.punish_posted->inc();
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kPunish, "eltoo", params_.id, {},
                            {obs::Attr::s("kind", "override"),
@@ -324,7 +326,7 @@ void EltooChannel::on_round() {
     t.witnesses.resize(1);
     t.witnesses[0].stack = {Bytes{}, s.set_sig_a, s.set_sig_b, Bytes{1}};
     t.witnesses[0].witness_script = s.out_script;
-    observe_weight(env_, t);
+    observe_weight(obs_.weight, t);
     if (env_.tracer().enabled())
       env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "eltoo", params_.id, {},
                          {obs::Attr::s("phase", "settlement_posted"),

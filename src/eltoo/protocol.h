@@ -9,6 +9,7 @@
 #include "src/channel/state.h"
 #include "src/daric/wallet.h"
 #include "src/eltoo/scripts.h"
+#include "src/obs/handles.h"
 #include "src/sim/environment.h"
 #include "src/sim/party.h"
 #include "src/tx/transaction.h"
@@ -68,6 +69,7 @@ class EltooChannel {
 
   sim::Environment& env_;
   channel::ChannelParams params_;
+  obs::EngineHandles obs_;  // bound once in the constructor
   daricch::DaricPubKeys pub_a_, pub_b_;  // only .main used for balances
   crypto::KeyPair upd_a_, upd_b_;
 

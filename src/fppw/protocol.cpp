@@ -6,7 +6,9 @@
 #include "src/daric/builders.h"
 #include "src/daric/scripts.h"
 #include "src/fppw/scripts.h"
+#include "src/obs/span.h"
 #include "src/tx/sighash.h"
+#include "src/tx/weight.h"
 
 namespace daric::fppw {
 
@@ -15,7 +17,9 @@ using script::SighashFlag;
 using sim::PartyId;
 
 FppwChannel::FppwChannel(sim::Environment& env, channel::ChannelParams params)
-    : env_(env), params_(std::move(params)) {
+    : env_(env),
+      params_(std::move(params)),
+      obs_(obs::EngineHandles::bind(env.metrics(), "fppw")) {
   params_.validate(env_.delta());
   if (!env_.scheme().supports_adaptor())
     throw std::invalid_argument("FPPW needs adaptor signatures (publisher identification)");
@@ -119,10 +123,12 @@ bool FppwChannel::create() {
   env_.message_round(PartyId::kA, "fppw/create");
   sign_state(0, st_);
   open_ = true;
+  obs_.opened->inc();
   return true;
 }
 
 bool FppwChannel::update(const channel::StateVec& next) {
+  OBS_SPAN("fppw.update.total");
   if (!open_) throw std::logic_error("channel not open");
   if (next.total() != params_.capacity())
     throw std::invalid_argument("state must preserve capacity");
@@ -140,6 +146,7 @@ bool FppwChannel::update(const channel::StateVec& next) {
   sign_state(old + 1, next);
   ++sn_;
   st_ = next;
+  obs_.updates->inc();
   return true;
 }
 
@@ -174,6 +181,7 @@ bool FppwChannel::cooperative_close() {
   const Bytes sb = tx::sign_input(close, 0, main_b_.sk, scheme, SighashFlag::kAll);
   daricch::attach_funding_witness(close, 0, fund_script_, sa, sb);
   env_.message_round(PartyId::kA, "fppw/close");
+  obs_.weight->observe(static_cast<std::int64_t>(tx::measure(close).weight()));
   env_.ledger().post(close);
   expected_close_txid_ = close.txid();
   return run_until_closed();
@@ -181,12 +189,24 @@ bool FppwChannel::cooperative_close() {
 
 void FppwChannel::force_close(PartyId who) {
   if (!open_) return;
-  env_.ledger().post(assemble_commit(who, sn_));
+  const tx::Transaction cm = assemble_commit(who, sn_);
+  obs_.force_close->inc();
+  obs_.weight->observe(static_cast<std::int64_t>(tx::measure(cm).weight()));
+  env_.ledger().post(cm);
 }
 
 void FppwChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   if (state >= archive_.size()) throw std::out_of_range("no archived commit");
-  env_.ledger().post(assemble_commit(who, state));
+  const tx::Transaction cm = assemble_commit(who, state);
+  obs_.disputes->inc();
+  obs_.weight->observe(static_cast<std::int64_t>(tx::measure(cm).weight()));
+  env_.ledger().post(cm);
+}
+
+void FppwChannel::note_closed(FppwOutcome outcome) {
+  outcome_ = outcome;
+  open_ = false;
+  obs_.closed->inc();
 }
 
 void FppwChannel::on_round() {
@@ -195,10 +215,9 @@ void FppwChannel::on_round() {
   const auto& scheme = env_.scheme();
 
   if (pending_txid_) {
-    if (ledger.is_confirmed(*pending_txid_)) {
-      outcome_ = pending_is_compensation_ ? FppwOutcome::kCompensated : FppwOutcome::kPunished;
-      open_ = false;
-    }
+    if (ledger.is_confirmed(*pending_txid_))
+      note_closed(pending_is_compensation_ ? FppwOutcome::kCompensated
+                                           : FppwOutcome::kPunished);
     return;
   }
   if (pending_split_) {
@@ -207,8 +226,7 @@ void FppwChannel::on_round() {
       ledger.post(bound);
       post_round = -1;
     } else if (post_round == -1 && ledger.is_confirmed(bound.txid())) {
-      outcome_ = FppwOutcome::kNonCollaborative;
-      open_ = false;
+      note_closed(FppwOutcome::kNonCollaborative);
     }
     return;
   }
@@ -260,6 +278,7 @@ void FppwChannel::on_round() {
                                   a_pub ? Bytes{1} : Bytes{}, Bytes{}};
         pen.witnesses[0].witness_script = rec->out1;
         ledger.post(pen);
+        obs_.punish_posted->inc();
         pending_txid_ = pen.txid();
         pending_is_compensation_ = true;
         return;
@@ -272,8 +291,7 @@ void FppwChannel::on_round() {
   if (!spender) return;
   const Hash256 id = spender->txid();
   if (expected_close_txid_ && id == *expected_close_txid_) {
-    outcome_ = FppwOutcome::kCooperative;
-    open_ = false;
+    note_closed(FppwOutcome::kCooperative);
     return;
   }
   std::uint32_t state = 0;
@@ -315,6 +333,7 @@ void FppwChannel::on_round() {
       const bool pays_a = payout == tx::Condition::p2wpkh(pub_a_.main);
       if ((victim == PartyId::kA) == pays_a) {
         ledger.post(rv.revocation);
+        obs_.punish_posted->inc();
         pending_txid_ = rv.revocation.txid();
         pending_is_compensation_ = false;
         return;

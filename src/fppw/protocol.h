@@ -24,6 +24,7 @@
 #include "src/channel/state.h"
 #include "src/crypto/adaptor.h"
 #include "src/daric/wallet.h"
+#include "src/obs/handles.h"
 #include "src/sim/environment.h"
 #include "src/sim/party.h"
 #include "src/tx/transaction.h"
@@ -74,9 +75,12 @@ class FppwChannel {
   tx::Transaction build_revocation(std::uint32_t state, sim::PartyId victim) const;
   void sign_state(std::uint32_t state, const channel::StateVec& st);
   void on_round();
+  /// Records the outcome and bumps the closed counter.
+  void note_closed(FppwOutcome outcome);
 
   sim::Environment& env_;
   channel::ChannelParams params_;
+  obs::EngineHandles obs_;  // bound once in the constructor
   daricch::DaricPubKeys pub_a_, pub_b_;
   crypto::KeyPair main_a_, main_b_;             // funding / split keys
   crypto::KeyPair rev_a_, rev_b_, rev_w_;       // revocation (3-of-3)

@@ -7,6 +7,7 @@
 #include "src/daric/builders.h"
 #include "src/daric/scripts.h"
 #include "src/obs/event.h"
+#include "src/obs/span.h"
 #include "src/tx/sighash.h"
 #include "src/tx/weight.h"
 
@@ -28,16 +29,14 @@ const char* gc_outcome_name(GcOutcome o) {
   return "unknown";
 }
 
-void observe_weight(sim::Environment& env, const tx::Transaction& t) {
-  env.metrics()
-      .histogram("generalized.onchain_weight", obs::weight_buckets())
-      .observe(static_cast<std::int64_t>(tx::measure(t).weight()));
+void observe_weight(obs::Histogram* h, const tx::Transaction& t) {
+  h->observe(static_cast<std::int64_t>(tx::measure(t).weight()));
 }
 
 }  // namespace
 
 void GeneralizedChannel::note_closed(GcOutcome outcome) {
-  env_.metrics().counter("generalized.closed").inc();
+  obs_.closed->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized", params_.id, {},
                        {obs::Attr::s("phase", "closed"),
@@ -47,7 +46,7 @@ void GeneralizedChannel::note_closed(GcOutcome outcome) {
 int GeneralizedChannel::send_reliable(PartyId from, const char* type) {
   for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
     if (attempt > 0) {
-      env_.metrics().counter("generalized.msg.retries").inc();
+      obs_.retries->inc();
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kMsgRetry, "generalized", params_.id,
                            sim::party_name(from),
@@ -60,7 +59,9 @@ int GeneralizedChannel::send_reliable(PartyId from, const char* type) {
 }
 
 GeneralizedChannel::GeneralizedChannel(sim::Environment& env, channel::ChannelParams params)
-    : env_(env), params_(std::move(params)) {
+    : env_(env),
+      params_(std::move(params)),
+      obs_(obs::EngineHandles::bind(env.metrics(), "generalized")) {
   params_.validate(env_.delta());
   if (!env_.scheme().supports_adaptor())
     throw std::invalid_argument(
@@ -152,7 +153,7 @@ bool GeneralizedChannel::create() {
   fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
   sign_state(0, st_);
   open_ = true;
-  env_.metrics().counter("generalized.channels_opened").inc();
+  obs_.opened->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized", params_.id, {},
                        {obs::Attr::s("phase", "open"), obs::Attr::i("sn", 0)});
@@ -160,6 +161,7 @@ bool GeneralizedChannel::create() {
 }
 
 bool GeneralizedChannel::update(const channel::StateVec& next) {
+  OBS_SPAN("generalized.update.total");
   if (!open_) throw std::logic_error("channel not open");
   if (next.total() != params_.capacity())
     throw std::invalid_argument("state must preserve capacity");
@@ -190,7 +192,7 @@ bool GeneralizedChannel::update(const channel::StateVec& next) {
   revealed_r_b_.push_back(old.r_b);
   ++sn_;
   st_ = next;
-  env_.metrics().counter("generalized.updates").inc();
+  obs_.updates->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized", params_.id, {},
                        {obs::Attr::s("phase", "updated"),
@@ -232,7 +234,7 @@ bool GeneralizedChannel::cooperative_close() {
     run_until_closed();
     return false;
   }
-  observe_weight(env_, close);
+  observe_weight(obs_.weight, close);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized", params_.id, {},
                        {obs::Attr::s("phase", "coop_close_posted")});
@@ -244,8 +246,8 @@ bool GeneralizedChannel::cooperative_close() {
 void GeneralizedChannel::force_close(PartyId who) {
   if (!open_) return;
   const tx::Transaction cm = assemble_commit(who, sn_);
-  env_.metrics().counter("generalized.force_close").inc();
-  observe_weight(env_, cm);
+  obs_.force_close->inc();
+  observe_weight(obs_.weight, cm);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "generalized", params_.id,
                        sim::party_name(who),
@@ -257,8 +259,8 @@ void GeneralizedChannel::force_close(PartyId who) {
 void GeneralizedChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   if (state >= archive_.size()) throw std::out_of_range("no archived commit for that state");
   const tx::Transaction cm = assemble_commit(who, state);
-  env_.metrics().counter("generalized.disputes").inc();
-  observe_weight(env_, cm);
+  obs_.disputes->inc();
+  observe_weight(obs_.weight, cm);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "generalized", params_.id,
                        sim::party_name(who),
@@ -283,7 +285,7 @@ void GeneralizedChannel::on_round() {
   }
   if (pending_split_) {
     if (!pending_split_->posted && env_.now() >= pending_split_->post_round) {
-      observe_weight(env_, pending_split_->bound);
+      observe_weight(obs_.weight, pending_split_->bound);
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "generalized",
                            params_.id, {}, {obs::Attr::s("phase", "split_posted")});
@@ -370,8 +372,8 @@ void GeneralizedChannel::on_round() {
     punish.witnesses[0].stack = {sig_main, r, sig_y,
                                  a_published ? Bytes{1} : Bytes{}, Bytes{}};
     punish.witnesses[0].witness_script = rec->out_script;
-    env_.metrics().counter("generalized.punish.posted").inc();
-    observe_weight(env_, punish);
+    obs_.punish_posted->inc();
+    observe_weight(obs_.weight, punish);
     if (env_.tracer().enabled())
       env_.tracer().emit(env_.now(), obs::EventKind::kPunish, "generalized", params_.id,
                          sim::party_name(a_published ? PartyId::kB : PartyId::kA),

@@ -11,6 +11,7 @@
 #include "src/crypto/adaptor.h"
 #include "src/daric/wallet.h"
 #include "src/generalized/scripts.h"
+#include "src/obs/handles.h"
 #include "src/sim/environment.h"
 #include "src/sim/party.h"
 #include "src/tx/transaction.h"
@@ -64,6 +65,7 @@ class GeneralizedChannel {
 
   sim::Environment& env_;
   channel::ChannelParams params_;
+  obs::EngineHandles obs_;  // bound once in the constructor
   daricch::DaricPubKeys pub_a_, pub_b_;
   crypto::KeyPair main_a_, main_b_;
 

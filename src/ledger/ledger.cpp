@@ -21,8 +21,8 @@ void Ledger::set_obs(obs::Tracer* tracer, obs::Registry* metrics) {
     txs_posted_ = &metrics->counter("ledger.tx.posted");
     txs_confirmed_ = &metrics->counter("ledger.tx.confirmed");
     txs_rejected_ = &metrics->counter("ledger.tx.rejected");
-    confirm_delay_ = &metrics->histogram("ledger.confirm_delay_rounds", obs::round_buckets());
-    txs_per_round_ = &metrics->histogram("ledger.txs_per_round", obs::count_buckets());
+    confirm_delay_ = &metrics->histogram("ledger.confirm_delay_rounds");
+    txs_per_round_ = &metrics->histogram("ledger.txs_per_round");
   } else {
     txs_posted_ = txs_confirmed_ = txs_rejected_ = nullptr;
     confirm_delay_ = txs_per_round_ = nullptr;

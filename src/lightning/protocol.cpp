@@ -7,6 +7,7 @@
 #include "src/daric/builders.h"
 #include "src/daric/scripts.h"
 #include "src/obs/event.h"
+#include "src/obs/span.h"
 #include "src/tx/sighash.h"
 #include "src/tx/weight.h"
 
@@ -28,16 +29,14 @@ const char* ln_outcome_name(LnOutcome o) {
   return "unknown";
 }
 
-void observe_weight(sim::Environment& env, const tx::Transaction& t) {
-  env.metrics()
-      .histogram("lightning.onchain_weight", obs::weight_buckets())
-      .observe(static_cast<std::int64_t>(tx::measure(t).weight()));
+void observe_weight(obs::Histogram* h, const tx::Transaction& t) {
+  h->observe(static_cast<std::int64_t>(tx::measure(t).weight()));
 }
 
 }  // namespace
 
 void LightningChannel::note_closed(LnOutcome outcome) {
-  env_.metrics().counter("lightning.closed").inc();
+  obs_.closed->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id, {},
                        {obs::Attr::s("phase", "closed"),
@@ -47,7 +46,7 @@ void LightningChannel::note_closed(LnOutcome outcome) {
 int LightningChannel::send_reliable(PartyId from, const char* type) {
   for (int attempt = 0; attempt < kMaxSendAttempts; ++attempt) {
     if (attempt > 0) {
-      env_.metrics().counter("lightning.msg.retries").inc();
+      obs_.retries->inc();
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kMsgRetry, "lightning", params_.id,
                            sim::party_name(from),
@@ -60,7 +59,8 @@ int LightningChannel::send_reliable(PartyId from, const char* type) {
 }
 
 LightningChannel::LightningChannel(sim::Environment& env, channel::ChannelParams params)
-    : env_(env), params_(std::move(params)) {
+    : env_(env), params_(std::move(params)),
+      obs_(obs::EngineHandles::bind(env.metrics(), "lightning")) {
   params_.validate(env_.delta());
   const daricch::DaricKeys ka = daricch::DaricKeys::derive("A", params_.id + "/ln");
   const daricch::DaricKeys kb = daricch::DaricKeys::derive("B", params_.id + "/ln");
@@ -143,7 +143,7 @@ bool LightningChannel::create() {
   fund_op_ = env_.ledger().mint(params_.capacity(), tx::Condition::p2wsh(fund_script_));
   sign_state(0, st_);
   open_ = true;
-  env_.metrics().counter("lightning.channels_opened").inc();
+  obs_.opened->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id, {},
                        {obs::Attr::s("phase", "open"), obs::Attr::i("sn", 0)});
@@ -151,6 +151,7 @@ bool LightningChannel::create() {
 }
 
 bool LightningChannel::update(const channel::StateVec& next) {
+  OBS_SPAN("lightning.update.total");
   if (!open_) throw std::logic_error("channel not open");
   if (next.total() != params_.capacity())
     throw std::invalid_argument("state must preserve capacity");
@@ -174,7 +175,7 @@ bool LightningChannel::update(const channel::StateVec& next) {
   secrets_of_b_.push_back(revocation_keypair(PartyId::kB, sn_).sk.to_be_bytes());
   ++sn_;
   st_ = next;
-  env_.metrics().counter("lightning.updates").inc();
+  obs_.updates->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id, {},
                        {obs::Attr::s("phase", "updated"),
@@ -198,7 +199,7 @@ bool LightningChannel::cooperative_close() {
     run_until_closed();
     return false;
   }
-  observe_weight(env_, close);
+  observe_weight(obs_.weight, close);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id, {},
                        {obs::Attr::s("phase", "coop_close_posted")});
@@ -210,8 +211,8 @@ bool LightningChannel::cooperative_close() {
 void LightningChannel::force_close(PartyId who) {
   if (!open_) return;
   const tx::Transaction& cm = who == PartyId::kA ? commit_a_ : commit_b_;
-  env_.metrics().counter("lightning.force_close").inc();
-  observe_weight(env_, cm);
+  obs_.force_close->inc();
+  observe_weight(obs_.weight, cm);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "lightning", params_.id,
                        sim::party_name(who),
@@ -223,8 +224,8 @@ void LightningChannel::force_close(PartyId who) {
 void LightningChannel::publish_old_commit(PartyId who, std::uint32_t state) {
   for (const CommitRecord& r : archive_) {
     if (r.owner == who && r.state == state) {
-      env_.metrics().counter("lightning.disputes").inc();
-      observe_weight(env_, r.tx);
+      obs_.disputes->inc();
+      observe_weight(obs_.weight, r.tx);
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kForceClose, "lightning", params_.id,
                            sim::party_name(who),
@@ -263,7 +264,7 @@ void LightningChannel::on_round() {
       sweep.witnesses.resize(1);
       sweep.witnesses[0].stack = {sig, Bytes{}};  // ELSE (delayed) branch
       sweep.witnesses[0].witness_script = pending_sweep_->script;
-      observe_weight(env_, sweep);
+      observe_weight(obs_.weight, sweep);
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kChannelState, "lightning", params_.id,
                            sim::party_name(pending_sweep_->owner),
@@ -312,8 +313,8 @@ void LightningChannel::on_round() {
     claim.witnesses.resize(1);
     claim.witnesses[0].stack = {sig, Bytes{1}};  // IF (revocation) branch
     claim.witnesses[0].witness_script = rec->to_local;
-    env_.metrics().counter("lightning.punish.posted").inc();
-    observe_weight(env_, claim);
+    obs_.punish_posted->inc();
+    observe_weight(obs_.weight, claim);
     if (env_.tracer().enabled())
       env_.tracer().emit(env_.now(), obs::EventKind::kPunish, "lightning", params_.id,
                          sim::party_name(victim_is_a ? PartyId::kA : PartyId::kB),

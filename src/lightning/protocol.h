@@ -8,6 +8,7 @@
 #include "src/channel/state.h"
 #include "src/daric/wallet.h"
 #include "src/lightning/scripts.h"
+#include "src/obs/handles.h"
 #include "src/sim/environment.h"
 #include "src/sim/party.h"
 #include "src/tx/transaction.h"
@@ -70,6 +71,7 @@ class LightningChannel {
 
   sim::Environment& env_;
   channel::ChannelParams params_;
+  obs::EngineHandles obs_;  // bound once in the constructor
   daricch::DaricPubKeys pub_a_, pub_b_;
   crypto::KeyPair main_a_, main_b_;       // funding / commit keys
   crypto::KeyPair delayed_a_, delayed_b_;

@@ -1,0 +1,45 @@
+// Cached per-engine instrument handles.
+//
+// Every channel engine exports the same instrument family
+// ("<engine>.closed", "<engine>.updates", "<engine>.onchain_weight", ...).
+// Registry lookups take the registry mutex, so engines resolve the whole
+// family ONCE at channel construction and keep these stable pointers —
+// the per-update and per-round paths never see the mutex again
+// (Registry::lookup_count() lets tests pin that).
+#pragma once
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace daric::obs {
+
+struct EngineHandles {
+  Counter* closed = nullptr;
+  Counter* retries = nullptr;
+  Counter* opened = nullptr;
+  Counter* updates = nullptr;
+  Counter* disputes = nullptr;
+  Counter* force_close = nullptr;
+  Counter* punish_posted = nullptr;
+  Histogram* weight = nullptr;
+
+  /// Resolves the standard family under `engine` ("lightning", "eltoo", ...).
+  /// `punish` names the engine's reaction counter suffix — "punish.posted"
+  /// for revocation-based engines, "override.posted" for eltoo.
+  static EngineHandles bind(Registry& r, const std::string& engine,
+                            const std::string& punish = "punish.posted") {
+    EngineHandles h;
+    h.closed = &r.counter(engine + ".closed");
+    h.retries = &r.counter(engine + ".msg.retries");
+    h.opened = &r.counter(engine + ".channels_opened");
+    h.updates = &r.counter(engine + ".updates");
+    h.disputes = &r.counter(engine + ".disputes");
+    h.force_close = &r.counter(engine + ".force_close");
+    h.punish_posted = &r.counter(engine + "." + punish);
+    h.weight = &r.histogram(engine + ".onchain_weight");
+    return h;
+  }
+};
+
+}  // namespace daric::obs

@@ -1,96 +1,187 @@
-// Metrics registry: named counters, gauges and fixed-bucket histograms.
+// Metrics registry: named counters, gauges and log-linear quantile
+// histograms, built for multi-threaded production use.
 //
-// Unlike the tracer (off by default), metrics are always on: increments are
-// single relaxed atomics, cheap enough for every hot path, and the chaos
-// drills read their per-run statistics out of the registry instead of
-// keeping bespoke counters. Lookup by name takes a mutex — hot paths cache
-// the returned reference once (references stay valid for the registry's
-// lifetime; instruments are never removed).
+// Unlike the tracer (off by default), metrics are always on, so every
+// instrument is designed around one rule: the hot path never takes a lock
+// and never contends on a shared cache line.
+//
+//   * Counters and gauges are THREAD-SHARDED: each instrument owns a small
+//     array of cache-line-padded cells, each thread is assigned a stripe on
+//     first use (round-robin), and inc()/add() is one relaxed fetch_add on
+//     the thread's own cell. value() aggregates the stripes — aggregation
+//     happens at snapshot time, not on the write path.
+//   * Histograms are HDR-style log-linear: values 1..63 get exact unit
+//     buckets, larger values get 32 sub-buckets per power of two, so any
+//     reported bound (and therefore any quantile) is within a relative
+//     error of 1/32 ≈ 3.2% of the true value (kRelativeError). observe()
+//     is a relaxed fetch_add on the value's bucket plus a striped
+//     sum/count update; quantile extraction walks the buckets at read time.
+//   * Lookup by name takes a mutex — hot paths MUST cache the returned
+//     reference once (references stay valid for the registry's lifetime;
+//     instruments are never removed). Registry::lookup_count() counts every
+//     name lookup so tests can assert steady-state code paths stopped
+//     doing per-event lookups.
 //
 // snapshot_json() emits the machine-readable form tools/bench_to_json.py
-// and tools/validate_trace.py understand; summary_text() renders the same
-// data as an aligned plain-text table for terminals.
+// and tools/validate_trace.py understand (histograms are emitted sparsely:
+// only non-empty buckets, plus exact-count p50/p90/p99/p999 quantiles);
+// summary_text() renders the same data as an aligned plain-text table;
+// expose_text() renders the Prometheus text exposition format.
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace daric::obs {
 
+namespace detail {
+
+/// Number of per-instrument cells. Threads beyond this share stripes (the
+/// assignment is round-robin), which degrades gracefully to the old
+/// single-atomic behavior instead of failing.
+inline constexpr std::size_t kStripes = 16;
+
+/// The calling thread's stripe, assigned round-robin on first use and
+/// stable for the thread's lifetime.
+std::size_t stripe_index() noexcept;
+
+/// One cache-line-padded counter cell.
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// One cache-line-padded signed cell (gauges, histogram sum/count pairs).
+struct alignas(64) AccumCell {
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<std::uint64_t> count{0};
+};
+
+}  // namespace detail
+
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
-  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void inc(std::uint64_t n = 1) {
+    cells_[detail::stripe_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Aggregates the stripes. Exact once writers quiesce; a concurrent read
+  /// sees some interleaving of in-flight increments (never a torn value).
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
 
  private:
-  std::atomic<std::uint64_t> v_{0};
+  detail::CounterCell cells_[detail::kStripes];
 };
 
 class Gauge {
  public:
-  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
-  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
-  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Last-writer-wins: zeroes every stripe and stores v in the first.
+  /// add()s racing a concurrent set() may be absorbed into the new level —
+  /// the documented gauge semantics (level, not ledger).
+  void set(std::int64_t v) {
+    cells_[0].sum.store(v, std::memory_order_relaxed);
+    for (std::size_t i = 1; i < detail::kStripes; ++i)
+      cells_[i].sum.store(0, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) {
+    cells_[detail::stripe_index()].sum.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const auto& c : cells_) total += c.sum.load(std::memory_order_relaxed);
+    return total;
+  }
 
  private:
-  std::atomic<std::int64_t> v_{0};
+  detail::AccumCell cells_[detail::kStripes];
 };
 
-/// Fixed upper-bound buckets. A sample lands in the first bucket whose
-/// bound is >= the value (inclusive upper bounds); values above the last
-/// bound land in the implicit overflow bucket. Bounds are fixed at
-/// registration — histograms never resize.
+/// Log-linear (HDR-style) histogram over non-negative int64 values.
+/// Negative and zero samples land in bucket 0 (bound 0); 1..63 get exact
+/// unit buckets; each further power of two is split into 32 sub-buckets.
+/// Every bucket's inclusive upper bound is therefore within kRelativeError
+/// of any value it contains, which bounds the error of quantile().
 class Histogram {
  public:
-  explicit Histogram(std::vector<std::int64_t> bounds);
+  /// Relative-error bound of bucket bounds and quantiles (1/32).
+  static constexpr double kRelativeError = 0.03125;
+
+  Histogram();
 
   void observe(std::int64_t v);
 
-  const std::vector<std::int64_t>& bounds() const { return bounds_; }
-  /// Per-bucket counts; size == bounds().size() + 1 (last = overflow).
-  std::vector<std::uint64_t> counts() const;
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const;
+  std::int64_t sum() const;
   std::int64_t min() const { return min_.load(std::memory_order_relaxed); }
   std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
 
- private:
-  std::vector<std::int64_t> bounds_;  // strictly increasing
-  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::int64_t> sum_{0};
-  std::atomic<std::int64_t> min_{0};
-  std::atomic<std::int64_t> max_{0};
-};
+  /// Upper bound of the bucket holding the q-quantile sample (by exact
+  /// rank over the recorded counts); 0 for an empty histogram. The result
+  /// is >= the true sample and within kRelativeError of it.
+  std::int64_t quantile(double q) const;
 
-/// Default bucket ladders for the instrumentation baked into the repo.
-std::vector<std::int64_t> round_buckets();   // latencies/delays in rounds
-std::vector<std::int64_t> weight_buckets();  // on-chain tx weight units
-std::vector<std::int64_t> count_buckets();   // small cardinalities (txs/round)
+  struct Quantiles {
+    std::int64_t p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+  };
+  /// All four standard quantiles in one bucket walk.
+  Quantiles quantiles() const;
+
+  /// Sparse snapshot: (inclusive upper bound, count) for every non-empty
+  /// bucket, in increasing bound order.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> nonempty_buckets() const;
+
+  /// Bucket math, exposed for tests and for deriving quantiles offline.
+  static std::size_t bucket_index(std::int64_t v);
+  static std::int64_t bucket_bound(std::size_t idx);
+  static constexpr std::size_t kBucketCount = 64 + 57 * 32;
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  detail::AccumCell cells_[detail::kStripes];  // striped (sum, count)
+  std::atomic<std::int64_t> min_;
+  std::atomic<std::int64_t> max_;
+};
 
 class Registry {
  public:
   /// Returns the named instrument, creating it on first use. The reference
-  /// stays valid for the registry's lifetime. A histogram's bounds are set
-  /// by the first caller; later callers get the existing instance.
+  /// stays valid for the registry's lifetime. Takes the registry mutex —
+  /// hot paths cache the reference (see lookup_count()).
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name, std::vector<std::int64_t> bounds);
+  Histogram& histogram(const std::string& name);
+
+  /// Total name lookups served (counter/gauge/histogram calls). Steady-state
+  /// hot paths must not grow this — tests pin it after a warm-up.
+  std::uint64_t lookup_count() const;
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
-  ///  "counts":[...],"count":N,"sum":S,"min":m,"max":M}}}
+  ///  "counts":[...],"count":N,"sum":S,"min":m,"max":M,
+  ///  "quantiles":{"p50":..,"p90":..,"p99":..,"p999":..}}}}
+  /// Histogram bounds/counts are sparse (non-empty buckets only) with a
+  /// trailing zero overflow bucket, so counts has len(bounds)+1 entries and
+  /// sums to count — the invariants tools/validate_trace.py checks.
   std::string snapshot_json() const;
 
   /// Aligned plain-text table of every instrument (sorted by name).
   std::string summary_text() const;
 
+  /// Prometheus text exposition format ('.' in names becomes '_';
+  /// histograms emit cumulative le-buckets plus _sum/_count).
+  std::string expose_text() const;
+
  private:
   mutable std::mutex mu_;
+  std::uint64_t lookups_ = 0;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -28,13 +28,43 @@ class CollectSink : public Sink {
 
 class JsonlSink : public Sink {
  public:
+  /// Long-run controls. Defaults reproduce the original sink: one unbounded
+  /// file, every event written.
+  struct Options {
+    /// Rotate once the current file reaches this many bytes (0 = never).
+    /// Rotation renames path → path-derived `.1`, `.2`, ... backups
+    /// (trace.jsonl → trace.1.jsonl) and reopens a fresh file, so each file
+    /// stays a valid JSONL stream — tools/validate_trace.py accepts any
+    /// rotation boundary because no line is ever split.
+    std::size_t max_bytes = 0;
+    /// Backups kept when rotating; the oldest is deleted beyond this.
+    std::size_t keep = 3;
+    /// Write only every N-th event (1 = all). Sampling is deterministic
+    /// (a simple modulo counter), so repeated runs produce identical files.
+    std::size_t sample_every = 1;
+  };
+
   /// Opens `path` for writing; throws std::runtime_error on failure.
   explicit JsonlSink(const std::string& path);
+  JsonlSink(const std::string& path, Options opts);
   void on_event(const Event& e) override;
   void flush() override;
 
+  /// Rotations performed so far (tests and monitors).
+  std::size_t rotations() const { return rotations_; }
+  /// Backup path for rotation slot `n` ("dir/trace.jsonl", 2 →
+  /// "dir/trace.2.jsonl"); exposed for tests and log collectors.
+  static std::string rotated_path(const std::string& path, std::size_t n);
+
  private:
+  void rotate();
+
+  std::string path_;
+  Options opts_;
   std::ofstream out_;
+  std::size_t written_ = 0;   // bytes in the current file
+  std::size_t seen_ = 0;      // events offered (sampling counter)
+  std::size_t rotations_ = 0;
 };
 
 class ChromeTraceSink : public Sink {

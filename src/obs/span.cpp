@@ -1,0 +1,24 @@
+#include "src/obs/span.h"
+
+namespace daric::obs {
+
+namespace detail {
+std::atomic<bool> g_spans_enabled{false};
+}  // namespace detail
+
+void set_spans_enabled(bool on) {
+  detail::g_spans_enabled.store(on, std::memory_order_relaxed);
+}
+
+Registry& profile_registry() {
+  // Leaked on purpose: span destructors may run during static teardown of
+  // other translation units; a never-destroyed registry cannot dangle.
+  static Registry* reg = new Registry();
+  return *reg;
+}
+
+Histogram& span_histogram(const std::string& name) {
+  return profile_registry().histogram("span." + name + "_ns");
+}
+
+}  // namespace daric::obs

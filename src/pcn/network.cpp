@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/obs/event.h"
+#include "src/obs/span.h"
 
 namespace daric::pcn {
 
@@ -112,7 +113,7 @@ bool PaymentNetwork::resolve_hop(const RouteHop& hop, const Bytes& payment_hash,
   }
   const bool ok = e.ch->update(st);
   if (ok) {
-    env_.metrics().counter(settle ? "pcn.htlc.settled" : "pcn.htlc.rolled_back").inc();
+    (settle ? htlc_settled_ : htlc_rolled_back_)->inc();
     if (env_.tracer().enabled())
       env_.tracer().emit(env_.now(),
                          settle ? obs::EventKind::kHtlcSettle : obs::EventKind::kHtlcRollback,
@@ -123,6 +124,7 @@ bool PaymentNetwork::resolve_hop(const RouteHop& hop, const Bytes& payment_hash,
 
 std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
                                                        const std::string& to, Amount amount) {
+  OBS_SPAN("pcn.pay.lock");
   if (amount <= 0) return std::nullopt;
   const auto route = find_route(from, to, amount);
   if (!route) return std::nullopt;
@@ -130,7 +132,7 @@ std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
   const auto invoice = channel::make_htlc_secret(
       "pcn/" + from + "->" + to + "/" + std::to_string(payment_counter_));
 
-  env_.metrics().counter("pcn.payments.begun").inc();
+  payments_begun_->inc();
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kPaymentBegin, "pcn",
                        "pay/" + std::to_string(payment_counter_), {},
@@ -164,7 +166,7 @@ std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
       failed = true;
       break;
     }
-    env_.metrics().counter("pcn.htlc.locked").inc();
+    htlc_locked_->inc();
     if (env_.tracer().enabled())
       env_.tracer().emit(env_.now(), obs::EventKind::kHtlcLock, "pcn", e.ch->params().id, {},
                          {obs::Attr::i("amount", amount),
@@ -176,7 +178,7 @@ std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
     // Roll back the locked hops cooperatively (timeout path, off-chain).
     for (auto it = locked.rbegin(); it != locked.rend(); ++it)
       resolve_hop(*it, invoice.payment_hash, /*settle=*/false);
-    env_.metrics().counter("pcn.payments.aborted").inc();
+    payments_aborted_->inc();
     if (env_.tracer().enabled())
       env_.tracer().emit(env_.now(), obs::EventKind::kPaymentAbort, "pcn",
                          "pay/" + std::to_string(payment_counter_), {},
@@ -190,13 +192,14 @@ std::optional<PaymentId> PaymentNetwork::begin_payment(const std::string& from,
 }
 
 bool PaymentNetwork::settle_payment(PaymentId id) {
+  OBS_SPAN("pcn.pay.settle");
   const auto it = pending_.find(id);
   if (it == pending_.end()) return false;
   const PendingPayment payment = std::move(it->second);
   pending_.erase(it);
   for (auto hop = payment.route.rbegin(); hop != payment.route.rend(); ++hop) {
     if (!resolve_hop(*hop, payment.payment_hash, /*settle=*/true)) {
-      env_.metrics().counter("pcn.payments.failed").inc();
+      payments_failed_->inc();
       if (env_.tracer().enabled())
         env_.tracer().emit(env_.now(), obs::EventKind::kPaymentAbort, "pcn",
                            "pay/" + std::to_string(id), {},
@@ -205,10 +208,8 @@ bool PaymentNetwork::settle_payment(PaymentId id) {
     }
   }
   ++payments_completed_;
-  env_.metrics().counter("pcn.payments.settled").inc();
-  env_.metrics()
-      .histogram("pcn.htlc_hold_rounds", obs::round_buckets())
-      .observe(env_.now() - payment.locked_round);
+  payments_settled_->inc();
+  hold_rounds_->observe(env_.now() - payment.locked_round);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kPaymentSettle, "pcn",
                        "pay/" + std::to_string(id), {},
@@ -225,10 +226,8 @@ bool PaymentNetwork::abort_payment(PaymentId id) {
   bool ok = true;
   for (auto hop = payment.route.rbegin(); hop != payment.route.rend(); ++hop)
     ok = resolve_hop(*hop, payment.payment_hash, /*settle=*/false) && ok;
-  env_.metrics().counter("pcn.payments.aborted").inc();
-  env_.metrics()
-      .histogram("pcn.htlc_hold_rounds", obs::round_buckets())
-      .observe(env_.now() - payment.locked_round);
+  payments_aborted_->inc();
+  hold_rounds_->observe(env_.now() - payment.locked_round);
   if (env_.tracer().enabled())
     env_.tracer().emit(env_.now(), obs::EventKind::kPaymentAbort, "pcn",
                        "pay/" + std::to_string(id), {},
@@ -238,6 +237,7 @@ bool PaymentNetwork::abort_payment(PaymentId id) {
 }
 
 bool PaymentNetwork::pay(const std::string& from, const std::string& to, Amount amount) {
+  OBS_SPAN("pcn.pay.total");
   const auto id = begin_payment(from, to, amount);
   if (!id) return false;
   return settle_payment(*id);

@@ -30,7 +30,16 @@ using PaymentId = int;
 
 class PaymentNetwork {
  public:
-  explicit PaymentNetwork(sim::Environment& env) : env_(env) {}
+  explicit PaymentNetwork(sim::Environment& env)
+      : env_(env),
+        htlc_settled_(&env.metrics().counter("pcn.htlc.settled")),
+        htlc_rolled_back_(&env.metrics().counter("pcn.htlc.rolled_back")),
+        htlc_locked_(&env.metrics().counter("pcn.htlc.locked")),
+        payments_begun_(&env.metrics().counter("pcn.payments.begun")),
+        payments_settled_(&env.metrics().counter("pcn.payments.settled")),
+        payments_failed_(&env.metrics().counter("pcn.payments.failed")),
+        payments_aborted_(&env.metrics().counter("pcn.payments.aborted")),
+        hold_rounds_(&env.metrics().histogram("pcn.htlc_hold_rounds")) {}
 
   void add_node(const std::string& name);
   bool has_node(const std::string& name) const { return nodes_.contains(name); }
@@ -95,6 +104,16 @@ class PaymentNetwork {
   bool resolve_hop(const RouteHop& hop, const Bytes& payment_hash, bool settle);
 
   sim::Environment& env_;
+  // Cached registry handles (bound once above; payment paths stay off the
+  // registry mutex).
+  obs::Counter* htlc_settled_;
+  obs::Counter* htlc_rolled_back_;
+  obs::Counter* htlc_locked_;
+  obs::Counter* payments_begun_;
+  obs::Counter* payments_settled_;
+  obs::Counter* payments_failed_;
+  obs::Counter* payments_aborted_;
+  obs::Histogram* hold_rounds_;
   std::map<std::string, bool> nodes_;  // name -> offline?
   std::vector<Edge> channels_;
   // Channel indices touching each node, maintained by open_channel, so

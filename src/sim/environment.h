@@ -35,7 +35,7 @@ class Environment {
         msg_delayed_(&metrics_.counter("sim.msg.delayed")),
         msg_duplicated_(&metrics_.counter("sim.msg.duplicated")),
         rounds_(&metrics_.counter("sim.rounds")),
-        msg_latency_(&metrics_.histogram("sim.msg.latency_rounds", obs::round_buckets())) {
+        msg_latency_(&metrics_.histogram("sim.msg.latency_rounds")) {
     ledger_.set_obs(&tracer_, &metrics_);
   }
 

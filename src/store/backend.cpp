@@ -1,5 +1,7 @@
 #include "src/store/backend.h"
 
+#include "src/obs/span.h"
+
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -97,6 +99,7 @@ void FileBackend::flush_buffer() {
 }
 
 void FileBackend::sync() {
+  OBS_SPAN("store.fsync");
   flush_buffer();
   if (::fsync(fd_) < 0) io_fail("fsync", path_);
 }
@@ -128,6 +131,7 @@ void FileBackend::truncate(std::size_t new_size) {
 }
 
 void FileBackend::replace(BytesView contents) {
+  OBS_SPAN("store.replace");
   const std::string tmp = path_ + ".tmp";
   const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (tfd < 0) io_fail("open", tmp);

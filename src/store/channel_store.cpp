@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/obs/span.h"
 #include "src/sim/party.h"
 #include "src/util/serialize.h"
 
@@ -124,6 +125,7 @@ const Bytes* ChannelStore::get(const std::string& key) const {
 }
 
 void ChannelStore::compact() {
+  OBS_SPAN("store.compact");
   Bytes image(kLogHeaderSize);
   std::memcpy(image.data(), kLogMagic, sizeof(kLogMagic));
   image[4] = kLogVersion;

@@ -1,0 +1,66 @@
+#include "src/store/metrics_log.h"
+
+#include <cstring>
+
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/store/log.h"
+
+namespace daric::store {
+
+namespace {
+
+std::string payload_to_string(BytesView payload) {
+  return {reinterpret_cast<const char*>(payload.data()),
+          reinterpret_cast<const char*>(payload.data()) + payload.size()};
+}
+
+BytesView string_to_payload(const std::string& s) {
+  return {reinterpret_cast<const Byte*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+MetricsLog::MetricsLog(StorageBackend& backend, std::size_t keep)
+    : backend_(backend), keep_(keep == 0 ? 1 : keep) {
+  if (backend_.size() == 0) {
+    init_log(backend_);
+    backend_.sync();
+    return;
+  }
+  recover_log(backend_, [this](std::size_t, BytesView payload) {
+    payloads_.push_back(payload_to_string(payload));
+  });
+}
+
+void MetricsLog::snapshot(const obs::Registry& registry, std::uint64_t round) {
+  const std::string json =
+      "{\"round\":" + std::to_string(round) + ",\"metrics\":" + registry.snapshot_json() + "}";
+  append_record(backend_, string_to_payload(json));
+  backend_.sync();
+  payloads_.push_back(json);
+  if (payloads_.size() > 2 * keep_) compact();
+}
+
+void MetricsLog::compact() {
+  OBS_SPAN("store.compact");
+  payloads_.erase(payloads_.begin(),
+                  payloads_.end() - static_cast<std::ptrdiff_t>(keep_));
+  Bytes image(kLogHeaderSize);
+  std::memcpy(image.data(), kLogMagic, sizeof(kLogMagic));
+  image[4] = kLogVersion;
+  for (const std::string& p : payloads_)
+    append(image, encode_record(string_to_payload(p)));
+  backend_.replace(image);
+  ++compactions_;
+}
+
+std::vector<std::string> MetricsLog::recover(StorageBackend& backend) {
+  std::vector<std::string> out;
+  scan_log(backend, [&out](std::size_t, BytesView payload) {
+    out.push_back(payload_to_string(payload));
+  });
+  return out;
+}
+
+}  // namespace daric::store

@@ -1,0 +1,60 @@
+// Durable metrics snapshots on the CRC32C record log.
+//
+// Long-running nodes (daric_monitor, the watchtower service) periodically
+// persist a full registry snapshot so an operator can reconstruct the
+// metric history after a crash — same torn-tail-tolerant log as the
+// channel store, so a snapshot interrupted mid-write simply vanishes on
+// recovery instead of corrupting the history.
+//
+// Each record is one self-contained JSON object:
+//   {"round":<r>,"metrics":<Registry::snapshot_json()>}
+// The log self-compacts: once it holds more than 2*keep snapshots the
+// oldest are dropped in one atomic replace(), bounding disk at O(keep)
+// regardless of run length (the same O(1)-storage discipline the paper
+// demands of the channel state itself).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/store/backend.h"
+
+namespace daric::obs {
+class Registry;
+}
+
+namespace daric::store {
+
+class MetricsLog {
+ public:
+  /// Binds to `backend` (initialising a fresh log if empty; recovering the
+  /// valid prefix otherwise). `keep` bounds retained snapshots.
+  MetricsLog(StorageBackend& backend, std::size_t keep = 16);
+
+  /// Appends one snapshot of `registry` stamped with `round`, syncs, and
+  /// compacts if the log has outgrown the retention bound.
+  void snapshot(const obs::Registry& registry, std::uint64_t round);
+
+  /// Snapshots currently retained in the log.
+  std::size_t retained() const { return payloads_.size(); }
+  std::size_t compactions() const { return compactions_; }
+
+  /// The retained snapshot JSON strings, oldest first (in-memory mirror of
+  /// the log; what recover() on a fresh MetricsLog would return).
+  const std::vector<std::string>& history() const { return payloads_; }
+
+  /// Reads back every intact snapshot record from a backend without
+  /// constructing a MetricsLog (post-crash inspection tools).
+  static std::vector<std::string> recover(StorageBackend& backend);
+
+ private:
+  void compact();
+
+  StorageBackend& backend_;
+  std::size_t keep_;
+  std::vector<std::string> payloads_;  // retained snapshots, oldest first
+  std::size_t compactions_ = 0;
+};
+
+}  // namespace daric::store

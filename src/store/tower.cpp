@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/daric/persistence.h"
+#include "src/obs/span.h"
 #include "src/util/serialize.h"
 
 namespace daric::store {
@@ -98,6 +99,7 @@ TowerService::TowerService(StorageBackend& backend, obs::Registry* metrics)
   // Records replay in offset order, so bulk keep-last-per-outpoint
   // semantics reproduces the apply order exactly (a retire becomes a
   // len-0 generation that supersedes the watch records before it).
+  OBS_SPAN("tower.restore");
   bulk_load_ = true;
   recovery_ = recover_log(backend_, [this](std::size_t off, BytesView payload) {
     if (payload.empty()) return;
@@ -222,6 +224,7 @@ void TowerService::end_bulk_load() {
 }
 
 void TowerService::on_round(ledger::Ledger& l) {
+  OBS_SPAN("tower.round");
   const auto& accepted = l.accepted();
   if (cursor_ > accepted.size()) cursor_ = 0;  // fresh ledger (tests)
   for (; cursor_ < accepted.size(); ++cursor_) {
@@ -239,6 +242,7 @@ void TowerService::on_round(ledger::Ledger& l) {
 
 void TowerService::react(ledger::Ledger& l, const IndexEntry& slot,
                          const tx::Transaction& spender) {
+  OBS_SPAN("tower.react");
   const Bytes payload = backend_.read(slot.offset, slot.len);
   Reader r(payload);
   if (static_cast<TowerRecordKind>(r.u8()) != TowerRecordKind::kWatch) return;
@@ -269,6 +273,7 @@ void TowerService::react(ledger::Ledger& l, const IndexEntry& slot,
 }
 
 void TowerService::compact() {
+  OBS_SPAN("tower.compact");
   ensure_sorted();
   Bytes image(kLogHeaderSize);
   std::memcpy(image.data(), kLogMagic, sizeof(kLogMagic));

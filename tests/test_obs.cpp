@@ -3,14 +3,18 @@
 // tools/daric_trace audits against Theorem 1.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/crypto/sig_scheme.h"
 #include "src/obs/metrics.h"
 #include "src/obs/scenarios.h"
 #include "src/obs/sinks.h"
+#include "src/obs/span.h"
 #include "src/obs/tracer.h"
 #include "src/sim/environment.h"
 #include "src/sim/network.h"
@@ -33,20 +37,78 @@ std::optional<std::int64_t> attr_i(const Event& e, const std::string& key) {
   return std::nullopt;
 }
 
-TEST(Histogram, BucketBoundariesInclusive) {
-  obs::Histogram h({0, 10, 20});
-  // A sample lands in the first bucket whose bound is >= the value.
+TEST(Histogram, LogLinearBucketMath) {
+  // Values 0..63 get exact unit buckets: the bound IS the value.
+  for (std::int64_t v = 0; v <= 63; ++v)
+    EXPECT_EQ(obs::Histogram::bucket_bound(obs::Histogram::bucket_index(v)), v);
+  // Negative values collapse into bucket 0.
+  EXPECT_EQ(obs::Histogram::bucket_index(-5), 0u);
+  // Beyond 63 every value's bucket bound is >= the value and within the
+  // documented relative error of it.
+  for (std::int64_t v : {std::int64_t{64}, std::int64_t{65}, std::int64_t{100},
+                         std::int64_t{127}, std::int64_t{128}, std::int64_t{1000},
+                         std::int64_t{4096}, std::int64_t{1} << 20,
+                         (std::int64_t{1} << 40) + 12345}) {
+    const auto idx = obs::Histogram::bucket_index(v);
+    const std::int64_t bound = obs::Histogram::bucket_bound(idx);
+    EXPECT_GE(bound, v);
+    EXPECT_LE(bound - v, static_cast<std::int64_t>(
+                             static_cast<double>(v) * obs::Histogram::kRelativeError) +
+                             1)
+        << "v=" << v;
+  }
+  // Bounds are strictly increasing across the whole index range.
+  for (std::size_t i = 1; i < obs::Histogram::kBucketCount; ++i)
+    ASSERT_GT(obs::Histogram::bucket_bound(i), obs::Histogram::bucket_bound(i - 1))
+        << "at index " << i;
+}
+
+TEST(Histogram, AggregatesAndSparseSnapshot) {
+  obs::Histogram h;
   for (std::int64_t v : {-1, 0, 1, 10, 11, 20, 21}) h.observe(v);
-  const auto counts = h.counts();
-  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
-  EXPECT_EQ(counts[0], 2u);      // -1, 0   (<= 0)
-  EXPECT_EQ(counts[1], 2u);      // 1, 10   (<= 10)
-  EXPECT_EQ(counts[2], 2u);      // 11, 20  (<= 20)
-  EXPECT_EQ(counts[3], 1u);      // 21      (overflow)
   EXPECT_EQ(h.count(), 7u);
   EXPECT_EQ(h.sum(), 62);
   EXPECT_EQ(h.min(), -1);
   EXPECT_EQ(h.max(), 21);
+  const auto buckets = h.nonempty_buckets();
+  // All values <= 63: exact unit buckets, -1 shares bucket 0 with 0.
+  ASSERT_EQ(buckets.size(), 6u);
+  EXPECT_EQ(buckets[0], (std::pair<std::int64_t, std::uint64_t>{0, 2}));
+  EXPECT_EQ(buckets[1], (std::pair<std::int64_t, std::uint64_t>{1, 1}));
+  EXPECT_EQ(buckets.back(), (std::pair<std::int64_t, std::uint64_t>{21, 1}));
+  std::uint64_t total = 0;
+  for (const auto& [bound, n] : buckets) total += n;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, QuantileAccuracyAgainstExactRanks) {
+  obs::Histogram h;
+  for (std::int64_t v = 1; v <= 10000; ++v) h.observe(v);
+  const obs::Histogram::Quantiles qs = h.quantiles();
+  const auto check = [](std::int64_t got, std::int64_t exact) {
+    EXPECT_GE(got, exact);
+    EXPECT_LE(static_cast<double>(got - exact),
+              static_cast<double>(exact) * obs::Histogram::kRelativeError + 1.0)
+        << "got=" << got << " exact=" << exact;
+  };
+  check(qs.p50, 5000);
+  check(qs.p90, 9000);
+  check(qs.p99, 9900);
+  check(qs.p999, 9990);
+  EXPECT_EQ(h.quantile(1.0), h.quantile(0.9999));
+  // Quantiles are monotone and bracketed by min/max's buckets.
+  EXPECT_LE(qs.p50, qs.p90);
+  EXPECT_LE(qs.p90, qs.p99);
+  EXPECT_LE(qs.p99, qs.p999);
+}
+
+TEST(Histogram, EmptyQuantilesAreZero) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  const auto qs = h.quantiles();
+  EXPECT_EQ(qs.p999, 0);
+  EXPECT_TRUE(h.nonempty_buckets().empty());
 }
 
 TEST(Tracer, DisabledByDefaultEmitsNothing) {
@@ -158,15 +220,136 @@ TEST(Metrics, RegistrySnapshotStructure) {
   obs::Registry reg;
   reg.counter("a.count").inc(3);
   reg.gauge("a.level").set(-7);
-  reg.histogram("a.lat", {1, 2, 4}).observe(3);
+  reg.histogram("a.lat").observe(3);
   const std::string json = reg.snapshot_json();
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
   EXPECT_NE(json.find("\"a.level\":-7"), std::string::npos);
   EXPECT_NE(json.find("\"a.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
   const std::string text = reg.summary_text();
   EXPECT_NE(text.find("a.count"), std::string::npos);
   EXPECT_NE(text.find("a.lat"), std::string::npos);
+}
+
+TEST(Metrics, LookupCountPinsSteadyStateHotPaths) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("hot.counter");
+  obs::Histogram& h = reg.histogram("hot.hist");
+  const std::uint64_t warm = reg.lookup_count();
+  EXPECT_EQ(warm, 2u);
+  // The cached-handle discipline: a million events, zero further lookups.
+  for (int i = 0; i < 1000; ++i) {
+    c.inc();
+    h.observe(i);
+  }
+  EXPECT_EQ(reg.lookup_count(), warm);
+  // A repeated name lookup is counted (that is what the tests pin).
+  reg.counter("hot.counter").inc();
+  EXPECT_EQ(reg.lookup_count(), warm + 1);
+  EXPECT_EQ(c.value(), 1001u);
+}
+
+TEST(Metrics, GaugeSetIsLastWriterWinsAfterAdds) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.gauge("g");
+  g.add(5);
+  g.add(7);
+  EXPECT_EQ(g.value(), 12);
+  g.set(3);  // set() resets every stripe, not just the caller's
+  EXPECT_EQ(g.value(), 3);
+  g.add(-4);
+  EXPECT_EQ(g.value(), -1);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  obs::Registry reg;
+  reg.counter("daric.updates").inc(2);
+  reg.gauge("tower.channels").set(9);
+  reg.histogram("daric.onchain_weight").observe(100);
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("# TYPE daric_updates counter"), std::string::npos);
+  EXPECT_NE(text.find("daric_updates 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tower_channels gauge"), std::string::npos);
+  EXPECT_NE(text.find("tower_channels 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE daric_onchain_weight histogram"), std::string::npos);
+  EXPECT_NE(text.find("daric_onchain_weight_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("daric_onchain_weight_sum 100"), std::string::npos);
+  EXPECT_NE(text.find("daric_onchain_weight_count 1"), std::string::npos);
+  // Names are sanitized: no '.' survives into the exposition.
+  EXPECT_EQ(text.find("daric.updates"), std::string::npos);
+}
+
+TEST(Spans, DisabledByDefaultRecordsNothing) {
+  obs::set_spans_enabled(false);
+  EXPECT_FALSE(obs::spans_enabled());
+  {
+    OBS_SPAN("test.disabled_span");
+  }
+  const std::string json = obs::profile_registry().snapshot_json();
+  EXPECT_EQ(json.find("test.disabled_span"), std::string::npos);
+}
+
+TEST(Spans, EnabledSpansRecordDurations) {
+  obs::set_spans_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    OBS_SPAN("test.enabled_span");
+  }
+  obs::set_spans_enabled(false);
+  obs::Histogram& h = obs::span_histogram("test.enabled_span");
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GE(h.sum(), 0);
+  const std::string json = obs::profile_registry().snapshot_json();
+  EXPECT_NE(json.find("span.test.enabled_span_ns"), std::string::npos);
+}
+
+TEST(Sinks, RotatedPathNaming) {
+  using obs::JsonlSink;
+  EXPECT_EQ(JsonlSink::rotated_path("trace.jsonl", 1), "trace.1.jsonl");
+  EXPECT_EQ(JsonlSink::rotated_path("dir/run.trace.jsonl", 2), "dir/run.trace.2.jsonl");
+  EXPECT_EQ(JsonlSink::rotated_path("dir.v2/trace", 3), "dir.v2/trace.3");
+  EXPECT_EQ(JsonlSink::rotated_path("trace", 1), "trace.1");
+}
+
+TEST(Sinks, JsonlRotationAndSampling) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/rot.jsonl";
+  obs::Event e;
+  e.kind = EventKind::kRoundAdvance;
+  e.engine = "sim";
+  e.seq = 15;  // widest seq the loop produces, so 3 lines always fit
+  const std::size_t line_len = obs::to_json(e).size() + 1;
+  {
+    obs::JsonlSink::Options opts;
+    opts.max_bytes = 3 * line_len;  // 3 lines per file
+    opts.keep = 2;
+    opts.sample_every = 2;  // every other event
+    obs::JsonlSink sink(path, opts);
+    for (int i = 0; i < 16; ++i) {  // 16 offered -> 8 written -> 2 rotations
+      e.seq = static_cast<std::uint64_t>(i);
+      sink.on_event(e);
+    }
+    sink.flush();
+    EXPECT_EQ(sink.rotations(), 2u);
+  }
+  // Every surviving file is a self-contained JSONL stream: whole lines only.
+  for (const std::string& p :
+       {path, obs::JsonlSink::rotated_path(path, 1), obs::JsonlSink::rotated_path(path, 2)}) {
+    std::ifstream in(p);
+    ASSERT_TRUE(in.good()) << p;
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      ++lines;
+      EXPECT_EQ(line.front(), '{') << p;
+      EXPECT_EQ(line.back(), '}') << p;
+    }
+    EXPECT_GT(lines, 0u) << p;
+    EXPECT_LE(lines, 3u) << p;
+  }
+  std::remove(path.c_str());
+  std::remove(obs::JsonlSink::rotated_path(path, 1).c_str());
+  std::remove(obs::JsonlSink::rotated_path(path, 2).c_str());
 }
 
 TEST(MessageLog, RingCapEvictsOldestDeterministically) {

@@ -16,6 +16,7 @@
 #include "src/store/channel_store.h"
 #include "src/store/crc32c.h"
 #include "src/store/log.h"
+#include "src/store/metrics_log.h"
 #include "src/store/tower.h"
 
 namespace daric {
@@ -458,6 +459,48 @@ TEST(MonitorGap, BoundaryReportsObservedGap) {
 }
 
 // --- TowerService ---------------------------------------------------------
+
+TEST(MetricsLog, SnapshotsPersistRecoverAndSelfCompact) {
+  store::MemoryBackend backend;
+  {
+    store::MetricsLog mlog(backend, /*keep=*/4);
+    obs::Registry reg;
+    obs::Counter& updates = reg.counter("daric.updates");
+    obs::Histogram& weight = reg.histogram("daric.onchain_weight");
+    for (std::uint64_t round = 1; round <= 12; ++round) {
+      updates.inc();
+      weight.observe(static_cast<std::int64_t>(100 * round));
+      mlog.snapshot(reg, round);
+    }
+    // keep=4: the log compacts once it holds more than 8 snapshots, so
+    // retention stays bounded no matter how long the node runs.
+    EXPECT_GE(mlog.compactions(), 1u);
+    EXPECT_LE(mlog.retained(), 8u);
+    ASSERT_FALSE(mlog.history().empty());
+    EXPECT_NE(mlog.history().back().find("\"round\":12"), std::string::npos);
+    EXPECT_NE(mlog.history().back().find("\"daric.updates\":12"), std::string::npos);
+  }
+  // Recovery: a fresh MetricsLog (and the static reader) see the same tail.
+  const std::vector<std::string> recovered = store::MetricsLog::recover(backend);
+  ASSERT_FALSE(recovered.empty());
+  EXPECT_NE(recovered.back().find("\"round\":12"), std::string::npos);
+  store::MetricsLog reopened(backend);
+  EXPECT_EQ(reopened.history(), recovered);
+}
+
+TEST(MetricsLog, TornTailDropsOnlyTheLastSnapshot) {
+  store::MemoryBackend backend;
+  store::MetricsLog mlog(backend, 8);
+  obs::Registry reg;
+  reg.counter("c").inc();
+  mlog.snapshot(reg, 1);
+  mlog.snapshot(reg, 2);
+  // Torn write: chop bytes off the final record.
+  backend.truncate(backend.size() - 3);
+  const std::vector<std::string> recovered = store::MetricsLog::recover(backend);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_NE(recovered[0].find("\"round\":1"), std::string::npos);
+}
 
 TEST(Tower, WatchEntryRoundTrips) {
   ChannelFixture f("tower-rt");

@@ -24,6 +24,9 @@ Two optional enrichments:
 ``--metrics FILE`` embeds an obs metrics-registry snapshot (the
 ``metrics.json`` written by daric_trace) under an ``out["metrics"]`` key, so
 a BENCH file can carry the instrumentation counters of the run it measured.
+Histogram quantiles (p50/p90/p99/p999) are required on every non-empty
+histogram and additionally lifted to a flat ``out["histogram_quantiles"]``
+map so EXPERIMENTS.md tables can cite p99s without digging through buckets.
 
 ``--baseline FILE --overhead name=BM_X`` compares this run against a prior
 BENCH_*.json: the overhead ratio is ``real_time(now) / real_time(baseline)``
@@ -180,6 +183,7 @@ def main(argv: list[str]) -> int:
             overheads[name] = round(ratio, 4)
 
     metrics = None
+    quantiles: dict[str, dict[str, int]] = {}
     if args.metrics:
         try:
             with open(args.metrics, encoding="utf-8") as f:
@@ -192,6 +196,17 @@ def main(argv: list[str]) -> int:
                 print(f"error: {args.metrics} is not a registry snapshot "
                       f"(missing {section!r})", file=sys.stderr)
                 return 2
+        for hname, h in metrics["histograms"].items():
+            if h.get("count", 0) == 0:
+                continue
+            qs = h.get("quantiles")
+            if not isinstance(qs, dict) or any(
+                    k not in qs for k in ("p50", "p90", "p99", "p999")):
+                print(f"error: {args.metrics}: histogram {hname!r} is "
+                      f"non-empty but carries no quantiles (stale snapshot "
+                      f"format?)", file=sys.stderr)
+                return 2
+            quantiles[hname] = {k: qs[k] for k in ("p50", "p90", "p99", "p999")}
 
     out = {
         "bench": args.name,
@@ -218,6 +233,8 @@ def main(argv: list[str]) -> int:
         out["anchors"] = args.anchor
     if metrics is not None:
         out["metrics"] = metrics
+        if quantiles:
+            out["histogram_quantiles"] = quantiles
 
     try:
         with open(args.out, "w", encoding="utf-8") as f:

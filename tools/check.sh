@@ -3,7 +3,7 @@
 # ASan+UBSan, a bounded model-check run, the secret-hygiene lint, and —
 # when the binary is installed — clang-tidy over the library sources.
 #
-# Usage: tools/check.sh [--fast|--bench|--chaos|--durable|--analyze|--tsan|--trace|--tidy]
+# Usage: tools/check.sh [--fast|--bench|--chaos|--durable|--analyze|--tsan|--trace|--obs|--tidy]
 #   --fast    skip the sanitizer rebuild (plain tests + model check + lint)
 #   --bench   build Release, run the crypto + update microbenches, write
 #             BENCH_crypto.json / BENCH_update_microbench.json at the repo
@@ -23,6 +23,10 @@
 #   --trace   observability gate: run daric_trace on canned scenarios and a
 #             chaos schedule replay, then validate every artifact with
 #             tools/validate_trace.py
+#   --obs     telemetry gate: the sharded-registry torture tests under
+#             ThreadSanitizer, a daric_monitor --once smoke run (Theorem-1
+#             SLO must hold), and a Prometheus-exposition lint of the
+#             monitor's output via tools/validate_trace.py --prom
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,6 +38,7 @@ DURABLE=0
 ANALYZE=0
 TSAN=0
 TRACE=0
+OBS=0
 TIDY=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 [[ "${1:-}" == "--bench" ]] && BENCH=1
@@ -42,6 +47,7 @@ TIDY=0
 [[ "${1:-}" == "--analyze" ]] && ANALYZE=1
 [[ "${1:-}" == "--tsan" ]] && TSAN=1
 [[ "${1:-}" == "--trace" ]] && TRACE=1
+[[ "${1:-}" == "--obs" ]] && OBS=1
 [[ "${1:-}" == "--tidy" ]] && TIDY=1
 
 step() { printf '\n=== %s ===\n' "$*"; }
@@ -111,6 +117,27 @@ if [[ "$TRACE" == 1 ]]; then
     --metrics build/trace-replay/metrics.json
 
   echo; echo "check.sh --trace: all trace artifacts valid"
+  exit 0
+fi
+
+if [[ "$OBS" == 1 ]]; then
+  step "TSan build: sharded-registry torture tests"
+  cmake -B build-tsan -S . -DDARIC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target test_obs test_obs_concurrency >/dev/null
+  ./build-tsan/tests/test_obs_concurrency
+  ./build-tsan/tests/test_obs
+
+  step "daric_monitor --once smoke (Theorem-1 SLO gate)"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target daric_monitor >/dev/null
+  ./build/tools/daric_monitor --once --cheat-every 1 \
+    --out build/monitor_metrics.log --prom build/monitor.prom
+
+  step "Prometheus exposition lint + durable snapshot sanity"
+  python3 tools/validate_trace.py --prom build/monitor.prom
+  test -s build/monitor_metrics.log
+
+  echo; echo "check.sh --obs: sharded registry race-free, monitor SLO holds"
   exit 0
 fi
 
@@ -215,11 +242,45 @@ if ratio < 0.90:
              f"({ratio:.3f}x of baseline after anchor correction)")
 PY
 
+  step "bench_obs_scale -> BENCH_obs_scale.json"
+  cmake --build build-release -j --target bench_obs_scale >/dev/null
+  ./build-release/bench/bench_obs_scale \
+    --benchmark_out=build-release/bench_obs_raw.json \
+    --benchmark_out_format=json
+  python3 tools/bench_to_json.py --name obs_scale \
+    --in build-release/bench_obs_raw.json --out BENCH_obs_scale.json \
+    --ratio span_enabled_vs_disabled=BM_SpanEnabled/BM_SpanDisabled
+
+  step "sharded-registry scaling gate"
+  # Sharded counters must beat the mutex registry at every thread count
+  # >= 2, and aggregate throughput must not collapse as threads double
+  # (flat is acceptable: on a 1-core host ideal scaling IS flat — the
+  # mutex registry, by contrast, loses throughput to contention).
+  python3 - <<'PY'
+import json, sys
+res = json.load(open("BENCH_obs_scale.json"))["results"]
+def ips(bm, n):
+    return res[f"{bm}/real_time/threads:{n}"]["items_per_second"]
+for n in (2, 4, 8):
+    sharded, mutexed = ips("BM_CounterSharded", n), ips("BM_CounterMutexRegistry", n)
+    print(f"threads={n}: sharded {sharded/1e6:.1f}M/s vs mutex {mutexed/1e6:.1f}M/s")
+    if sharded < mutexed:
+        sys.exit(f"ERROR: sharded registry slower than mutex registry at {n} threads")
+for n in (2, 4, 8):
+    if ips("BM_CounterSharded", n) < 0.70 * ips("BM_CounterSharded", n // 2):
+        sys.exit(f"ERROR: sharded counter throughput collapsed "
+                 f"{n//2}->{n} threads (>30% drop)")
+span = json.load(open("BENCH_obs_scale.json"))["results"]["BM_SpanDisabled"]
+print(f"disabled span: {span['real_time_ns']:.2f} ns/op")
+if span["real_time_ns"] > 5.0:
+    sys.exit("ERROR: disabled OBS_SPAN costs >5ns — not one relaxed load")
+PY
+
   step "BENCH build-type sanity"
   python3 - <<'PY'
 import json, sys
 for f in ("BENCH_crypto.json", "BENCH_update_microbench.json",
-          "BENCH_trace_overhead.json"):
+          "BENCH_trace_overhead.json", "BENCH_obs_scale.json"):
     bt = json.load(open(f))["context"]["build_type"]
     if bt != "release":
         sys.exit(f"ERROR: {f} records build_type={bt!r}, expected 'release'")

@@ -1,0 +1,287 @@
+// Live node monitor: drives a long-running Daric deployment (N channels, a
+// watchtower service, periodic off-chain updates, periodic fraud attempts)
+// and renders a refreshing operator view of the telemetry registry —
+// counters, quantile histograms (p50/p90/p99/p999), span profiles, and a
+// Theorem-1 SLO gauge tracking the worst observed punish gap against the
+// T − Δ budget.
+//
+//   daric_monitor [--ticks N] [--channels N] [--cheat-every K]
+//                 [--interval-ms M] [--once] [--out FILE] [--prom FILE]
+//
+//   --ticks N        run N monitor ticks (default 20)
+//   --channels N     open N concurrent Daric channels (default 4)
+//   --cheat-every K  publish a revoked commit every K ticks (default 5)
+//   --interval-ms M  sleep between renders (default 250; 0 = no sleep)
+//   --once           single tick, single render, no screen clearing (CI)
+//   --out FILE       persist a durable metrics snapshot per tick (record
+//                    log via store::MetricsLog; survives crashes)
+//   --prom FILE      write the Prometheus exposition on every render
+//
+// Exit status: 0 when every attempted fraud was punished within the
+// Theorem-1 budget (T − Δ rounds), 1 on any SLO breach — so CI can gate on
+// the monitor itself (tools/check.sh --obs).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/crypto/sig_scheme.h"
+#include "src/daric/protocol.h"
+#include "src/daric/watchtower.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/sim/environment.h"
+#include "src/store/backend.h"
+#include "src/store/metrics_log.h"
+#include "src/store/tower.h"
+
+namespace {
+
+using namespace daric;
+using sim::PartyId;
+
+constexpr Round kDelta = 2;
+constexpr Round kTPunish = 8;
+constexpr std::int64_t kSloBudget = kTPunish - kDelta;  // Theorem 1: T - delta
+
+struct Options {
+  int ticks = 20;
+  int channels = 4;
+  int cheat_every = 5;
+  int interval_ms = 250;
+  bool once = false;
+  std::string out;
+  std::string prom;
+};
+
+channel::ChannelParams monitor_params(int n) {
+  channel::ChannelParams p;
+  p.id = "mon-" + std::to_string(n);
+  p.cash_a = 500'000;
+  p.cash_b = 500'000;
+  p.t_punish = kTPunish;
+  return p;
+}
+
+class MonitorNode {
+ public:
+  explicit MonitorNode(sim::Environment& env, store::TowerService& tower, int channels)
+      : env_(env),
+        tower_(tower),
+        punish_gap_(&env.metrics().histogram("monitor.punish_gap_rounds")),
+        worst_gap_(&env.metrics().gauge("monitor.punish_gap_worst")),
+        cheats_(&env.metrics().counter("monitor.cheats_attempted")),
+        breaches_(&env.metrics().counter("monitor.slo_breaches")) {
+    for (int i = 0; i < channels; ++i) open_channel();
+  }
+
+  /// One monitor tick: an update on every open channel, refreshed tower
+  /// packages, and one ledger round.
+  void tick() {
+    ++tick_;
+    for (auto& slot : channels_) {
+      if (!slot.ch) continue;
+      // Deterministic balance walk, bounced off the deposit bounds.
+      const Amount shift = 10'000 * ((tick_ + slot.index) % 7 + 1);
+      Amount a = slot.ch->params().cash_a + ((tick_ % 2 == 0) ? shift : -shift);
+      const Amount total = slot.ch->params().cash_a + slot.ch->params().cash_b;
+      if (a < 50'000) a = 50'000;
+      if (a > total - 50'000) a = total - 50'000;
+      if (slot.ch->update({a, total - a, {}})) rewatch(slot);
+    }
+    env_.advance_round();
+  }
+
+  /// Publishes a revoked state-0 commit on the next channel in rotation,
+  /// with both parties dark — only the tower can react — then measures the
+  /// dispute-to-punish gap against the Theorem-1 budget.
+  void cheat() {
+    if (channels_.empty()) return;
+    Slot& slot = channels_[next_cheat_ % channels_.size()];
+    ++next_cheat_;
+    if (!slot.ch) return;
+    cheats_->inc();
+    slot.ch->party(PartyId::kA).set_online(false);
+    slot.ch->party(PartyId::kB).set_online(false);
+    const Round posted = env_.now();
+    const std::uint64_t before = tower_.reactions();
+    slot.ch->publish_old_commit(PartyId::kA, 0);
+    std::int64_t gap = -1;
+    for (Round r = 0; r <= kSloBudget + 2; ++r) {
+      if (tower_.reactions() > before) {
+        gap = static_cast<std::int64_t>(env_.now() - posted);
+        break;
+      }
+      env_.advance_round();
+    }
+    if (gap < 0) gap = kSloBudget + 2;  // never punished: counted as breach
+    punish_gap_->observe(gap);
+    if (gap > worst_) {
+      worst_ = gap;
+      worst_gap_->set(worst_);
+    }
+    if (gap > kSloBudget) breaches_->inc();
+    // The cheat spends the funding outpoint either way; replace the channel
+    // so the monitored population stays constant.
+    slot.ch.reset();
+    open_channel(slot.index);
+  }
+
+  std::int64_t worst_gap() const { return worst_; }
+  std::uint64_t breaches() const { return breaches_->value(); }
+  std::uint64_t cheats() const { return cheats_->value(); }
+  int tick_count() const { return tick_; }
+  std::size_t open_channels() const {
+    std::size_t n = 0;
+    for (const auto& s : channels_)
+      if (s.ch) ++n;
+    return n;
+  }
+
+ private:
+  struct Slot {
+    std::unique_ptr<daricch::DaricChannel> ch;
+    int index = 0;
+  };
+
+  void open_channel(int reuse_index = -1) {
+    const int index = reuse_index >= 0 ? reuse_index : static_cast<int>(channels_.size());
+    auto ch = std::make_unique<daricch::DaricChannel>(env_, monitor_params(serial_++));
+    if (!ch->create() || !ch->update({450'000, 550'000, {}}) ||
+        !ch->update({400'000, 600'000, {}}))
+      throw std::runtime_error("monitor: channel bring-up failed");
+    if (reuse_index >= 0) {
+      channels_[static_cast<std::size_t>(reuse_index)].ch = std::move(ch);
+    } else {
+      channels_.push_back({std::move(ch), index});
+    }
+    rewatch(channels_[static_cast<std::size_t>(index)]);
+  }
+
+  /// Refreshes the tower's package so the latest revoked state is covered
+  /// (the tower keeps one O(1) entry per funding outpoint).
+  void rewatch(Slot& slot) {
+    tower_.watch(store::make_watch_entry(
+        slot.ch->params(), PartyId::kB, slot.ch->funding_outpoint(),
+        slot.ch->party(PartyId::kA).pub(), slot.ch->party(PartyId::kB).pub(),
+        daricch::make_watchtower_package(slot.ch->party(PartyId::kB))));
+  }
+
+  sim::Environment& env_;
+  store::TowerService& tower_;
+  obs::Histogram* punish_gap_;
+  obs::Gauge* worst_gap_;
+  obs::Counter* cheats_;
+  obs::Counter* breaches_;
+  std::vector<Slot> channels_;
+  int tick_ = 0;
+  int serial_ = 0;
+  std::size_t next_cheat_ = 0;
+  std::int64_t worst_ = 0;
+};
+
+/// One-line bar gauge: worst observed punish gap against the T − Δ budget.
+std::string slo_gauge(std::int64_t worst, std::uint64_t breaches) {
+  std::ostringstream out;
+  out << "theorem-1 SLO  [";
+  for (std::int64_t i = 1; i <= kSloBudget; ++i) out << (i <= worst ? '#' : '-');
+  out << "] worst punish gap " << worst << "/" << kSloBudget << " rounds  "
+      << (breaches == 0 ? "OK" : "BREACHED");
+  return out.str();
+}
+
+void render(const sim::Environment& env, const MonitorNode& node, const Options& opt) {
+  std::ostringstream out;
+  if (!opt.once) out << "\x1b[2J\x1b[H";  // clear + home (live refresh)
+  out << "daric_monitor  tick " << node.tick_count() << "  round " << env.now()
+      << "  channels " << node.open_channels() << "  cheats " << node.cheats()
+      << "  breaches " << node.breaches() << "\n"
+      << slo_gauge(node.worst_gap(), node.breaches()) << "\n\n"
+      << "== metrics ==\n"
+      << env.metrics().summary_text() << "\n== span profile (ns) ==\n"
+      << obs::profile_registry().summary_text();
+  std::cout << out.str() << std::flush;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::stoi(argv[++i]);
+      return true;
+    };
+    if (a == "--once") {
+      opt.once = true;
+    } else if (a == "--ticks" && next(opt.ticks)) {
+    } else if (a == "--channels" && next(opt.channels)) {
+    } else if (a == "--cheat-every" && next(opt.cheat_every)) {
+    } else if (a == "--interval-ms" && next(opt.interval_ms)) {
+    } else if (a == "--out" && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else if (a == "--prom" && i + 1 < argc) {
+      opt.prom = argv[++i];
+    } else {
+      std::cerr << "daric_monitor: unknown or incomplete flag '" << a << "'\n"
+                << "usage: daric_monitor [--ticks N] [--channels N] [--cheat-every K]\n"
+                << "                     [--interval-ms M] [--once] [--out FILE] [--prom FILE]"
+                << std::endl;
+      return false;
+    }
+  }
+  if (opt.channels < 1) opt.channels = 1;
+  if (opt.cheat_every < 1) opt.cheat_every = 1;
+  if (opt.once) opt.ticks = 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  obs::set_spans_enabled(true);  // the span table is the point of the tool
+
+  sim::Environment env(kDelta, crypto::schnorr_scheme());
+  store::MemoryBackend tower_disk;
+  store::TowerService tower(tower_disk, &env.metrics());
+  env.add_round_hook([&] { tower.on_round(env.ledger()); });
+
+  std::unique_ptr<store::FileBackend> snap_disk;
+  std::unique_ptr<store::MetricsLog> snaps;
+  if (!opt.out.empty()) {
+    snap_disk = std::make_unique<store::FileBackend>(opt.out);
+    snaps = std::make_unique<store::MetricsLog>(*snap_disk, /*keep=*/32);
+  }
+
+  try {
+    MonitorNode node(env, tower, opt.channels);
+    for (int t = 1; t <= opt.ticks; ++t) {
+      node.tick();
+      if (t % opt.cheat_every == 0) node.cheat();
+      if (snaps) snaps->snapshot(env.metrics(), static_cast<std::uint64_t>(env.now()));
+      render(env, node, opt);
+      if (!opt.prom.empty()) {
+        std::ofstream prom(opt.prom);
+        if (!prom) throw std::runtime_error("cannot open " + opt.prom);
+        prom << env.metrics().expose_text() << obs::profile_registry().expose_text();
+      }
+      if (!opt.once && opt.interval_ms > 0 && t < opt.ticks)
+        std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+    }
+    const bool ok = node.breaches() == 0;
+    std::cout << "\ndaric_monitor: " << node.cheats() << " frauds attempted, worst gap "
+              << node.worst_gap() << "/" << kSloBudget << " rounds, "
+              << node.breaches() << " SLO breach(es) -> " << (ok ? "OK" : "FAIL")
+              << std::endl;
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "daric_monitor: " << e.what() << std::endl;
+    return 2;
+  }
+}

@@ -8,6 +8,7 @@ before a human tries to load it in Perfetto or a notebook.
   validate_trace.py --jsonl FILE [--require-kind K]...   JSONL event stream
   validate_trace.py --chrome FILE                        Chrome trace_event
   validate_trace.py --metrics FILE                       registry snapshot
+  validate_trace.py --prom FILE                          Prometheus exposition
   validate_trace.py --analyzer FILE                      daric_analyze --json report
 
 With --analyzer, --theorem1-engine NAME additionally cross-checks the
@@ -127,8 +128,100 @@ def check_metrics(path):
                  f"!= count {h['count']}")
         if any(b2 <= b1 for b1, b2 in zip(h["bounds"], h["bounds"][1:])):
             fail(f"{path}: histogram '{name}': bounds not strictly increasing")
+        if h["count"] > 0:
+            qs = h.get("quantiles")
+            if not isinstance(qs, dict):
+                fail(f"{path}: histogram '{name}': non-empty but no 'quantiles'")
+            for key in ("p50", "p90", "p99", "p999"):
+                if not isinstance(qs.get(key), int):
+                    fail(f"{path}: histogram '{name}': quantiles.{key} missing")
+            ordered = [qs["p50"], qs["p90"], qs["p99"], qs["p999"]]
+            if ordered != sorted(ordered):
+                fail(f"{path}: histogram '{name}': quantiles not monotone "
+                     f"(p50<=p90<=p99<=p999): {ordered}")
+            # Quantiles are bucket upper bounds: >= min, and at most one
+            # relative-error step (1/32) above the true max.
+            if qs["p50"] < h["min"]:
+                fail(f"{path}: histogram '{name}': p50 {qs['p50']} below min")
+            if qs["p999"] > h["max"] * 33 // 32 + 1:
+                fail(f"{path}: histogram '{name}': p999 {qs['p999']} exceeds "
+                     f"max {h['max']} beyond the relative-error bound")
     print(f"validate_trace: {path}: metrics snapshot ok "
           f"({len(doc['counters'])} counters, {len(doc['histograms'])} histograms)")
+
+
+PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+
+
+def check_prom(path):
+    """Lint the Prometheus text exposition format (what expose_text emits):
+    every sample family is preceded by a # TYPE line, names are legal,
+    histogram bucket counts are cumulative and the +Inf bucket == _count."""
+    import re
+    types = {}          # family -> counter|gauge|histogram
+    samples = []        # (name, labels-dict, value)
+    line_re = re.compile(
+        rf"^({PROM_NAME})(?:\{{([^}}]*)\}})? (-?[0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?)$")
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                m = re.match(rf"^# TYPE ({PROM_NAME}) (counter|gauge|histogram)$",
+                             line)
+                if m is None:
+                    if line.startswith("# TYPE"):
+                        fail(f"{path}:{lineno}: malformed TYPE line: {line!r}")
+                    continue  # HELP/comment lines are fine
+                if m.group(1) in types:
+                    fail(f"{path}:{lineno}: duplicate TYPE for '{m.group(1)}'")
+                types[m.group(1)] = m.group(2)
+                continue
+            m = line_re.match(line)
+            if m is None:
+                fail(f"{path}:{lineno}: unparseable sample line: {line!r}")
+            name, labels_raw, value = m.group(1), m.group(2), m.group(3)
+            labels = {}
+            if labels_raw:
+                for pair in labels_raw.split(","):
+                    lm = re.match(rf'^({PROM_NAME})="([^"]*)"$', pair)
+                    if lm is None:
+                        fail(f"{path}:{lineno}: bad label pair {pair!r}")
+                    labels[lm.group(1)] = lm.group(2)
+            family = re.sub(r"_(bucket|sum|count)$", "", name)
+            if name not in types and family not in types:
+                fail(f"{path}:{lineno}: sample '{name}' has no preceding "
+                     f"# TYPE line")
+            samples.append((name, labels, float(value)))
+    if not samples:
+        fail(f"{path}: no samples")
+    by_name = {}
+    for name, labels, value in samples:
+        by_name.setdefault(name, []).append((labels, value))
+    for family, kind in types.items():
+        if kind != "histogram":
+            if family not in by_name:
+                fail(f"{path}: TYPE '{family}' declared but no sample emitted")
+            continue
+        buckets = by_name.get(family + "_bucket", [])
+        if not buckets:
+            fail(f"{path}: histogram '{family}' has no _bucket samples")
+        if any("le" not in labels for labels, _ in buckets):
+            fail(f"{path}: histogram '{family}' bucket without an le label")
+        if buckets[-1][0].get("le") != "+Inf":
+            fail(f"{path}: histogram '{family}' last bucket must be le=\"+Inf\"")
+        counts = [v for _, v in buckets]
+        if counts != sorted(counts):
+            fail(f"{path}: histogram '{family}' bucket counts not cumulative")
+        for suffix in ("_sum", "_count"):
+            if family + suffix not in by_name:
+                fail(f"{path}: histogram '{family}' missing {family}{suffix}")
+        if by_name[family + "_count"][0][1] != counts[-1]:
+            fail(f"{path}: histogram '{family}': +Inf bucket "
+                 f"{counts[-1]} != _count {by_name[family + '_count'][0][1]}")
+    print(f"validate_trace: {path}: prometheus exposition ok "
+          f"({len(types)} families, {len(samples)} samples)")
 
 
 def check_analyzer(path):
@@ -247,6 +340,7 @@ def main():
     ap.add_argument("--jsonl", action="append", default=[])
     ap.add_argument("--chrome", action="append", default=[])
     ap.add_argument("--metrics", action="append", default=[])
+    ap.add_argument("--prom", action="append", default=[])
     ap.add_argument("--analyzer", action="append", default=[])
     ap.add_argument("--require-kind", action="append", default=[],
                     help="kind that must appear in every --jsonl file")
@@ -254,7 +348,8 @@ def main():
                     help="cross-check this engine's static bound against "
                          "the traced punish gap in the --jsonl files")
     args = ap.parse_args()
-    if not (args.jsonl or args.chrome or args.metrics or args.analyzer):
+    if not (args.jsonl or args.chrome or args.metrics or args.prom
+            or args.analyzer):
         ap.error("nothing to validate")
     if args.theorem1_engine and not args.analyzer:
         ap.error("--theorem1-engine requires --analyzer")
@@ -267,6 +362,8 @@ def main():
         check_chrome(p)
     for p in args.metrics:
         check_metrics(p)
+    for p in args.prom:
+        check_prom(p)
     for p in args.analyzer:
         doc = check_analyzer(p)
         if args.theorem1_engine:
